@@ -1,0 +1,80 @@
+// Beyond-paper validation: empirical competitive ratios of TBF against the
+// offline Hungarian OPT (Def. 8), swept over eps and over the predefined
+// point count N — next to the Theorem 3 shape (1/eps^4) log N log^2 k.
+// Instance sizes stay small because OPT is O(k^2 n).
+
+#include <functional>
+
+#include "bench/bench_common.h"
+#include "core/theory.h"
+#include "workload/synthetic.h"
+
+using namespace tbf;
+using namespace tbf::bench;
+
+namespace {
+
+double AverageRatio(Algorithm algorithm, double eps, int grid_side, int seeds,
+                    const BenchOptions& options, int tasks, int workers) {
+  double total = 0;
+  for (int s = 0; s < seeds; ++s) {
+    SyntheticConfig config;
+    config.num_tasks = tasks;
+    config.num_workers = workers;
+    config.seed = options.seed + static_cast<uint64_t>(s) * 97;
+    OnlineInstance instance =
+        Unwrap(GenerateSynthetic(config), "generate synthetic");
+    PipelineConfig pipeline;
+    pipeline.epsilon = eps;
+    pipeline.grid_side = grid_side;
+    pipeline.seed = options.seed + static_cast<uint64_t>(s);
+    RunMetrics algo =
+        Unwrap(RunPipeline(algorithm, instance, pipeline), "run algorithm");
+    RunMetrics opt = Unwrap(
+        RunPipeline(Algorithm::kOfflineOptimal, instance, pipeline), "run OPT");
+    total += algo.total_distance / opt.total_distance;
+  }
+  return total / seeds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  BenchOptions options = ParseBenchOptions(args, /*default_factor=*/1.0);
+  PrintModeBanner(options, "Ablation: empirical competitive ratio vs OPT");
+  const int tasks = static_cast<int>(args.GetInt("tasks", 150));
+  const int workers = static_cast<int>(args.GetInt("workers", 300));
+  const int seeds = static_cast<int>(args.GetInt("seeds", 3));
+
+  AsciiTable by_eps("competitive ratio vs eps (grid 32x32, k = " +
+                        std::to_string(tasks) + ")",
+                    {"eps", "CR(TBF)", "CR(Lap-GR)", "CR(NoPriv)",
+                     "Thm3 shape (no constants)"});
+  for (double eps : {0.1, 0.2, 0.4, 0.8, 1.6}) {
+    by_eps.AddRow(
+        {AsciiTable::Num(eps),
+         AsciiTable::Num(
+             AverageRatio(Algorithm::kTbf, eps, 32, seeds, options, tasks, workers)),
+         AsciiTable::Num(AverageRatio(Algorithm::kLapGr, eps, 32, seeds, options,
+                                      tasks, workers)),
+         AsciiTable::Num(AverageRatio(Algorithm::kNoPrivacyGreedy, eps, 32, seeds,
+                                      options, tasks, workers)),
+         AsciiTable::Num(Theorem3RatioShape(eps, 1024, tasks))});
+  }
+  by_eps.Print();
+  std::cout << "\n";
+
+  AsciiTable by_n("competitive ratio vs predefined point count N (eps = 0.6)",
+                  {"grid", "N", "CR(TBF)", "Thm3 shape (no constants)"});
+  for (int side : {8, 16, 24, 32, 48}) {
+    by_n.AddRow({AsciiTable::Num(side), AsciiTable::Num(side * side),
+                 AsciiTable::Num(AverageRatio(Algorithm::kTbf, 0.6, side, seeds,
+                                              options, tasks, workers)),
+                 AsciiTable::Num(Theorem3RatioShape(0.6, side * side, tasks))});
+  }
+  by_n.Print();
+  std::cout << "\nNote: Theorem 3 is an upper bound in O() notation; columns"
+               " compare growth shapes, not absolute values.\n";
+  return 0;
+}

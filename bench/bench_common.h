@@ -1,0 +1,85 @@
+// Shared plumbing for the figure benches.
+//
+// Every figure bench accepts:
+//   --paper          run the paper's full parameter settings (slow)
+//   --factor=F       size multiplier for the quick default mode
+//   --repeats=R      repetitions per configuration (paper used 10)
+//   --outdir=DIR     where CSV series are written (default bench_results)
+//   --seed=S         master seed
+// Quick mode scales the paper's instance sizes down so the whole bench
+// suite finishes in minutes; shapes are preserved.
+
+#pragma once
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "exp/experiment.h"
+
+namespace tbf {
+namespace bench {
+
+struct BenchOptions {
+  bool paper = false;
+  double factor = 0.2;  ///< instance-size multiplier in quick mode
+  int repeats = 1;
+  int grid_side = 32;  ///< predefined-point grid (N = grid_side^2)
+  std::string outdir = "bench_results";
+  uint64_t seed = 7;
+};
+
+inline BenchOptions ParseBenchOptions(const ArgParser& args,
+                                      double default_factor = 0.2) {
+  BenchOptions options;
+  options.paper = args.GetBool("paper", false);
+  options.factor = options.paper ? 1.0 : args.GetDouble("factor", default_factor);
+  options.repeats = static_cast<int>(args.GetInt("repeats", options.paper ? 10 : 1));
+  options.grid_side = static_cast<int>(args.GetInt("grid", 32));
+  options.outdir = args.GetString("outdir", "bench_results");
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+  return options;
+}
+
+/// Scales a paper-sized count down in quick mode (at least 1).
+inline int Scaled(int paper_count, const BenchOptions& options) {
+  return std::max(1, static_cast<int>(paper_count * options.factor));
+}
+
+/// Writes a series CSV under outdir; logs a note on failure instead of
+/// aborting the bench.
+inline void WriteSeries(const FigureSeries& series, const BenchOptions& options,
+                        const std::string& filename) {
+  std::error_code ec;
+  std::filesystem::create_directories(options.outdir, ec);
+  Status status = series.WriteCsv(options.outdir + "/" + filename);
+  if (!status.ok()) {
+    std::cerr << "note: could not write " << filename << ": " << status << "\n";
+  } else {
+    std::cout << "(series written to " << options.outdir << "/" << filename
+              << ")\n";
+  }
+}
+
+/// Aborts the process with a message when a Result failed.
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::cerr << what << ": " << result.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).MoveValueUnsafe();
+}
+
+inline void PrintModeBanner(const BenchOptions& options, const char* name) {
+  std::cout << "### " << name << " — "
+            << (options.paper ? "PAPER settings"
+                              : "quick mode (use --paper for full settings)")
+            << ", repeats=" << options.repeats << ", size factor "
+            << options.factor << "\n\n";
+}
+
+}  // namespace bench
+}  // namespace tbf

@@ -1,0 +1,94 @@
+// Figure 6 (a-l): synthetic data, varying |T|, |W|, mu, sigma — total
+// distance, running time and memory for Lap-GR, Lap-HG, TBF.
+//
+//   --sweep=T|W|mu|sigma|all   which column of Fig. 6 to run (default all)
+// plus the common flags in bench_common.h.
+
+#include <functional>
+
+#include "bench/bench_common.h"
+#include "workload/synthetic.h"
+
+using namespace tbf;
+using namespace tbf::bench;
+
+namespace {
+
+constexpr Algorithm kAlgorithms[] = {Algorithm::kLapGr, Algorithm::kLapHg,
+                                     Algorithm::kTbf};
+
+SyntheticConfig DefaultConfig(const BenchOptions& options) {
+  SyntheticConfig config;
+  config.num_tasks = Scaled(3000, options);
+  config.num_workers = Scaled(5000, options);
+  return config;
+}
+
+void RunSweep(const std::string& figure, const std::string& x_name,
+              const std::vector<double>& x_values,
+              const std::function<void(SyntheticConfig*, double)>& apply,
+              const BenchOptions& options, const std::string& csv_name) {
+  FigureSeries series(figure, x_name);
+  for (double x : x_values) {
+    SyntheticConfig config = DefaultConfig(options);
+    apply(&config, x);
+    config.seed = options.seed + static_cast<uint64_t>(x * 1000);
+    OnlineInstance instance =
+        Unwrap(GenerateSynthetic(config), "generate synthetic");
+    for (Algorithm algorithm : kAlgorithms) {
+      PipelineConfig pipeline;
+      pipeline.grid_side = options.grid_side;
+      pipeline.seed = options.seed;
+      AveragedMetrics metrics =
+          Unwrap(RunRepeated(algorithm, instance, pipeline, options.repeats),
+                 "run pipeline");
+      series.Add(AsciiTable::Num(x), metrics);
+    }
+  }
+  series.PrintTables();
+  WriteSeries(series, options, csv_name);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  BenchOptions options = ParseBenchOptions(args);
+  PrintModeBanner(options, "Figure 6: synthetic sweeps");
+  const std::string sweep = args.GetString("sweep", "all");
+
+  if (sweep == "T" || sweep == "all") {
+    std::vector<double> values;
+    for (int t : {1000, 2000, 3000, 4000, 5000}) {
+      values.push_back(Scaled(t, options));
+    }
+    RunSweep("Fig 6a/6e/6i — varying |T|", "|T|", values,
+             [](SyntheticConfig* c, double x) {
+               c->num_tasks = static_cast<int>(x);
+             },
+             options, "fig6_T.csv");
+  }
+  if (sweep == "W" || sweep == "all") {
+    std::vector<double> values;
+    for (int w : {3000, 4000, 5000, 6000, 7000}) {
+      values.push_back(Scaled(w, options));
+    }
+    RunSweep("Fig 6b/6f/6j — varying |W|", "|W|", values,
+             [](SyntheticConfig* c, double x) {
+               c->num_workers = static_cast<int>(x);
+             },
+             options, "fig6_W.csv");
+  }
+  if (sweep == "mu" || sweep == "all") {
+    RunSweep("Fig 6c/6g/6k — varying mu", "mu", {50, 75, 100, 125, 150},
+             [](SyntheticConfig* c, double x) { c->mu = x; }, options,
+             "fig6_mu.csv");
+  }
+  if (sweep == "sigma" || sweep == "all") {
+    RunSweep("Fig 6d/6h/6l — varying sigma", "sigma", {10, 15, 20, 25, 30},
+             [](SyntheticConfig* c, double x) { c->sigma = x; }, options,
+             "fig6_sigma.csv");
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Figure 7 (c, g, k) and (d, h, l): the real-data experiments on the
+// simulated Chengdu trips — varying |W| and varying eps. As in the paper,
+// each configuration runs on every selected day and reports the average.
+// Coordinates are normalized to the 200-unit frame (1 unit = 50 m) so the
+// eps range matches the synthetic experiments (DESIGN.md).
+//
+//   --sweep=W|eps|all   which panel set to run (default all)
+//   --days=N            how many of the 30 days to average (default 3,
+//                       paper mode runs all 30)
+
+#include <functional>
+
+#include "bench/bench_common.h"
+#include "workload/chengdu.h"
+
+using namespace tbf;
+using namespace tbf::bench;
+
+namespace {
+
+OnlineInstance MakeDay(int day, int workers, const BenchOptions& options) {
+  ChengduConfig config;
+  config.day = day;
+  config.num_workers = workers;
+  config.min_tasks_per_day = Scaled(4245, options);
+  config.max_tasks_per_day = Scaled(5034, options);
+  OnlineInstance instance = Unwrap(GenerateChengdu(config), "generate chengdu");
+  NormalizeToSquare(&instance, 200.0);
+  return instance;
+}
+
+// Averages one algorithm over `days` days at the given configuration.
+AveragedMetrics AverageOverDays(Algorithm algorithm, int workers, double eps,
+                                int days, const BenchOptions& options) {
+  AveragedMetrics total;
+  for (int day = 0; day < days; ++day) {
+    OnlineInstance instance = MakeDay(day, workers, options);
+    PipelineConfig pipeline;
+    pipeline.epsilon = eps;
+    pipeline.grid_side = options.grid_side;
+    pipeline.seed = options.seed + static_cast<uint64_t>(day);
+    AveragedMetrics m =
+        Unwrap(RunRepeated(algorithm, instance, pipeline, options.repeats),
+               "run pipeline");
+    total.algorithm = m.algorithm;
+    total.total_distance += m.total_distance;
+    total.matched += m.matched;
+    total.match_seconds += m.match_seconds;
+    total.build_seconds += m.build_seconds;
+    total.obfuscate_seconds += m.obfuscate_seconds;
+    total.memory_mb = std::max(total.memory_mb, m.memory_mb);
+    total.repeats += m.repeats;
+  }
+  total.total_distance /= days;
+  total.matched /= days;
+  total.match_seconds /= days;
+  total.build_seconds /= days;
+  total.obfuscate_seconds /= days;
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  BenchOptions options = ParseBenchOptions(args);
+  PrintModeBanner(options, "Figure 7c/7g/7k + 7d/7h/7l: real data (simulated Chengdu)");
+  const std::string sweep = args.GetString("sweep", "all");
+  const int days =
+      static_cast<int>(args.GetInt("days", options.paper ? 30 : 3));
+
+  constexpr Algorithm kAlgorithms[] = {Algorithm::kLapGr, Algorithm::kLapHg,
+                                       Algorithm::kTbf};
+
+  if (sweep == "W" || sweep == "all") {
+    FigureSeries series("Fig 7c/7g/7k — real data, varying |W|", "|W|");
+    for (int paper_w : {6000, 7000, 8000, 9000, 10000}) {
+      int workers = Scaled(paper_w, options);
+      for (Algorithm algorithm : kAlgorithms) {
+        series.Add(AsciiTable::Num(workers),
+                   AverageOverDays(algorithm, workers, 0.2, days, options));
+      }
+    }
+    series.PrintTables();
+    WriteSeries(series, options, "fig7_real_W.csv");
+    std::cout << "\n";
+  }
+
+  if (sweep == "eps" || sweep == "all") {
+    FigureSeries series("Fig 7d/7h/7l — real data, varying eps", "eps");
+    const int workers = Scaled(8000, options);
+    for (double eps : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+      for (Algorithm algorithm : kAlgorithms) {
+        series.Add(AsciiTable::Num(eps),
+                   AverageOverDays(algorithm, workers, eps, days, options));
+      }
+    }
+    series.PrintTables();
+    WriteSeries(series, options, "fig7_real_eps.csv");
+  }
+  return 0;
+}

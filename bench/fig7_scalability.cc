@@ -1,0 +1,44 @@
+// Figure 7 (b, f, j): scalability — |T| = |W| grows from 2x10^4 to 10^5
+// (paper scale; quick mode runs a downscaled ladder with the same shape).
+
+#include "bench/bench_common.h"
+#include "workload/synthetic.h"
+
+using namespace tbf;
+using namespace tbf::bench;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  BenchOptions options = ParseBenchOptions(args, /*default_factor=*/0.1);
+  PrintModeBanner(options, "Figure 7b/7f/7j: scalability");
+
+  FigureSeries series("Fig 7b/7f/7j — scalability |T| = |W|", "|T|,|W|");
+  for (int paper_size : {20000, 40000, 60000, 80000, 100000}) {
+    int size = Scaled(paper_size, options);
+    SyntheticConfig config;
+    config.num_tasks = size;
+    config.num_workers = size;
+    config.seed = options.seed + static_cast<uint64_t>(size);
+    OnlineInstance instance =
+        Unwrap(GenerateSynthetic(config), "generate synthetic");
+    for (Algorithm algorithm :
+         {Algorithm::kLapGr, Algorithm::kLapHg, Algorithm::kTbf}) {
+      PipelineConfig pipeline;
+      pipeline.grid_side = options.grid_side;
+      pipeline.seed = options.seed;
+      // The paper's complexity discussion assumes the scan engines; pass
+      // --fast_engines to see the indexed versions at the same sizes.
+      if (args.GetBool("fast_engines", false)) {
+        pipeline.greedy_engine = GreedyEngine::kKdTree;
+        pipeline.hst_engine = HstEngine::kIndex;
+      }
+      AveragedMetrics metrics =
+          Unwrap(RunRepeated(algorithm, instance, pipeline, options.repeats),
+                 "run pipeline");
+      series.Add(AsciiTable::Num(size), metrics);
+    }
+  }
+  series.PrintTables();
+  WriteSeries(series, options, "fig7_scalability.csv");
+  return 0;
+}

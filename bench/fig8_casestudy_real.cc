@@ -1,0 +1,106 @@
+// Figure 8 (c, d, g, h): the matching-size case study on the simulated
+// Chengdu data — Prob vs TBF, varying |W| and eps. Reachable radii
+// U[500, 1000] m, normalized with the coordinates to the 200-unit frame.
+//
+//   --sweep=W|eps|all
+//   --days=N   days to average (default 3; paper mode 30)
+
+#include <functional>
+
+#include "bench/bench_common.h"
+#include "workload/chengdu.h"
+
+using namespace tbf;
+using namespace tbf::bench;
+
+namespace {
+
+CaseStudyInstance MakeDay(int day, int workers, const BenchOptions& options) {
+  ChengduCaseStudyConfig config;
+  config.base.day = day;
+  config.base.num_workers = workers;
+  config.base.min_tasks_per_day = Scaled(4245, options);
+  config.base.max_tasks_per_day = Scaled(5034, options);
+  CaseStudyInstance instance =
+      Unwrap(GenerateChengduCaseStudy(config), "generate chengdu case study");
+  NormalizeToSquare(&instance, 200.0);
+  return instance;
+}
+
+AveragedMetrics AverageOverDays(CaseStudyAlgorithm algorithm, int workers,
+                                double eps, int days,
+                                const BenchOptions& options) {
+  AveragedMetrics total;
+  for (int day = 0; day < days; ++day) {
+    CaseStudyInstance instance = MakeDay(day, workers, options);
+    CaseStudyConfig config;
+    config.pipeline.epsilon = eps;
+    config.pipeline.grid_side = options.grid_side;
+    config.pipeline.seed = options.seed + static_cast<uint64_t>(day);
+    AveragedMetrics m = Unwrap(
+        RunRepeatedCaseStudy(algorithm, instance, config, options.repeats),
+        "run case study");
+    total.algorithm = m.algorithm;
+    total.matching_size += m.matching_size;
+    total.notifications += m.notifications;
+    total.match_seconds += m.match_seconds;
+    total.memory_mb = std::max(total.memory_mb, m.memory_mb);
+    total.repeats += m.repeats;
+  }
+  total.matching_size /= days;
+  total.notifications /= days;
+  total.match_seconds /= days;
+  return total;
+}
+
+FigureSeries::PanelSelection CaseStudyPanels() {
+  FigureSeries::PanelSelection panels;
+  panels.total_distance = false;
+  panels.memory_mb = false;
+  panels.matching_size = true;
+  panels.match_seconds = true;
+  return panels;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  BenchOptions options = ParseBenchOptions(args);
+  PrintModeBanner(options, "Figure 8c/8g + 8d/8h: case study (real data)");
+  const std::string sweep = args.GetString("sweep", "all");
+  const int days =
+      static_cast<int>(args.GetInt("days", options.paper ? 30 : 3));
+
+  if (sweep == "W" || sweep == "all") {
+    FigureSeries series("Fig 8c/8g — real data matching size, varying |W|",
+                        "|W|");
+    for (int paper_w : {6000, 7000, 8000, 9000, 10000}) {
+      int workers = Scaled(paper_w, options);
+      for (CaseStudyAlgorithm algorithm :
+           {CaseStudyAlgorithm::kProb, CaseStudyAlgorithm::kTbf}) {
+        series.Add(AsciiTable::Num(workers),
+                   AverageOverDays(algorithm, workers, 0.2, days, options));
+      }
+    }
+    series.PrintTables(CaseStudyPanels());
+    WriteSeries(series, options, "fig8_real_W.csv");
+    std::cout << "\n";
+  }
+
+  if (sweep == "eps" || sweep == "all") {
+    FigureSeries series("Fig 8d/8h — real data matching size, varying eps",
+                        "eps");
+    const int workers = Scaled(8000, options);
+    for (double eps : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+      for (CaseStudyAlgorithm algorithm :
+           {CaseStudyAlgorithm::kProb, CaseStudyAlgorithm::kTbf}) {
+        series.Add(AsciiTable::Num(eps),
+                   AverageOverDays(algorithm, workers, eps, days, options));
+      }
+    }
+    series.PrintTables(CaseStudyPanels());
+    WriteSeries(series, options, "fig8_real_eps.csv");
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 8 (a, b, e, f): the matching-size case study on synthetic data —
+// Prob (To et al.) vs TBF, varying |W| and eps. Reachable radii U[10, 20].
+//
+//   --sweep=W|eps|all
+
+#include <functional>
+
+#include "bench/bench_common.h"
+#include "workload/synthetic.h"
+
+using namespace tbf;
+using namespace tbf::bench;
+
+namespace {
+
+CaseStudyInstance MakeInstance(int workers, const BenchOptions& options,
+                               uint64_t salt) {
+  SyntheticCaseStudyConfig config;
+  config.base.num_tasks = Scaled(3000, options);
+  config.base.num_workers = workers;
+  config.base.seed = options.seed + salt;
+  return Unwrap(GenerateSyntheticCaseStudy(config), "generate case study");
+}
+
+void AddBoth(FigureSeries* series, const std::string& x,
+             const CaseStudyInstance& instance, double eps,
+             const BenchOptions& options) {
+  for (CaseStudyAlgorithm algorithm :
+       {CaseStudyAlgorithm::kProb, CaseStudyAlgorithm::kTbf}) {
+    CaseStudyConfig config;
+    config.pipeline.epsilon = eps;
+    config.pipeline.grid_side = options.grid_side;
+    config.pipeline.seed = options.seed;
+    AveragedMetrics metrics = Unwrap(
+        RunRepeatedCaseStudy(algorithm, instance, config, options.repeats),
+        "run case study");
+    series->Add(x, metrics);
+  }
+}
+
+FigureSeries::PanelSelection CaseStudyPanels() {
+  FigureSeries::PanelSelection panels;
+  panels.total_distance = false;
+  panels.memory_mb = false;
+  panels.matching_size = true;
+  panels.match_seconds = true;
+  return panels;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  BenchOptions options = ParseBenchOptions(args);
+  PrintModeBanner(options, "Figure 8a/8e + 8b/8f: case study (synthetic)");
+  const std::string sweep = args.GetString("sweep", "all");
+
+  if (sweep == "W" || sweep == "all") {
+    FigureSeries series("Fig 8a/8e — matching size, varying |W|", "|W|");
+    for (int paper_w : {3000, 4000, 5000, 6000, 7000}) {
+      int workers = Scaled(paper_w, options);
+      CaseStudyInstance instance =
+          MakeInstance(workers, options, static_cast<uint64_t>(paper_w));
+      AddBoth(&series, AsciiTable::Num(workers), instance, 0.2, options);
+    }
+    series.PrintTables(CaseStudyPanels());
+    WriteSeries(series, options, "fig8_synth_W.csv");
+    std::cout << "\n";
+  }
+
+  if (sweep == "eps" || sweep == "all") {
+    FigureSeries series("Fig 8b/8f — matching size, varying eps", "eps");
+    CaseStudyInstance instance = MakeInstance(Scaled(5000, options), options, 1);
+    for (double eps : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+      AddBoth(&series, AsciiTable::Num(eps), instance, eps, options);
+    }
+    series.PrintTables(CaseStudyPanels());
+    WriteSeries(series, options, "fig8_synth_eps.csv");
+  }
+  return 0;
+}

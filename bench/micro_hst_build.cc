@@ -1,0 +1,61 @@
+// Microbenchmarks of HST construction (google-benchmark): Alg. 1 is
+// O(N^2 D) plus the complete-tree bookkeeping.
+
+#include <benchmark/benchmark.h>
+
+#include "hst/complete_hst.h"
+#include "geo/grid.h"
+
+namespace tbf {
+namespace {
+
+std::vector<Point> GridPoints(int side) {
+  auto grid = UniformGridPoints(BBox::Square(200), side);
+  return std::move(grid).MoveValueUnsafe();
+}
+
+void BM_HstTreeBuild(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  std::vector<Point> points = GridPoints(side);
+  EuclideanMetric metric;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    auto tree = HstTree::Build(points, metric, &rng);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.counters["N"] = side * side;
+}
+BENCHMARK(BM_HstTreeBuild)->Arg(8)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_CompleteHstBuild(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  std::vector<Point> points = GridPoints(side);
+  EuclideanMetric metric;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    auto tree = CompleteHst::BuildFromPoints(points, metric, &rng);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.counters["N"] = side * side;
+}
+BENCHMARK(BM_CompleteHstBuild)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_TreeDistance(benchmark::State& state) {
+  std::vector<Point> points = GridPoints(32);
+  EuclideanMetric metric;
+  Rng rng(5);
+  auto tree = CompleteHst::BuildFromPoints(points, metric, &rng);
+  const LeafPath& a = tree->leaf_of_point(0);
+  const LeafPath& b = tree->leaf_of_point(tree->num_points() - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->TreeDistance(a, b));
+  }
+}
+BENCHMARK(BM_TreeDistance);
+
+}  // namespace
+}  // namespace tbf
+
+BENCHMARK_MAIN();

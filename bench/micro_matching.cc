@@ -1,0 +1,101 @@
+// Microbenchmarks of the matchers (google-benchmark): one full online
+// episode (all tasks assigned) per iteration, so per-assignment cost is
+// time / #tasks. Compares the paper's scan engines with the indexed ones.
+
+#include <benchmark/benchmark.h>
+
+#include "core/tbf.h"
+#include "geo/grid.h"
+#include "matching/greedy_euclid.h"
+#include "matching/hst_greedy.h"
+
+namespace tbf {
+namespace {
+
+std::vector<Point> RandomPoints(int count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  points.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    points.push_back({rng.Uniform(0, 200), rng.Uniform(0, 200)});
+  }
+  return points;
+}
+
+void RunEuclidEpisode(benchmark::State& state, GreedyEngine engine) {
+  const int workers = static_cast<int>(state.range(0));
+  const int tasks = workers / 2;
+  std::vector<Point> worker_points = RandomPoints(workers, 1);
+  std::vector<Point> task_points = RandomPoints(tasks, 2);
+  for (auto _ : state) {
+    GreedyEuclidMatcher matcher(worker_points, engine);
+    for (const Point& t : task_points) {
+      benchmark::DoNotOptimize(matcher.Assign(t));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+
+void BM_EuclidGreedyLinear(benchmark::State& state) {
+  RunEuclidEpisode(state, GreedyEngine::kLinearScan);
+}
+BENCHMARK(BM_EuclidGreedyLinear)->Arg(1000)->Arg(4000);
+
+void BM_EuclidGreedyKdTree(benchmark::State& state) {
+  RunEuclidEpisode(state, GreedyEngine::kKdTree);
+}
+BENCHMARK(BM_EuclidGreedyKdTree)->Arg(1000)->Arg(4000)->Arg(16000);
+
+struct HstData {
+  std::vector<LeafPath> workers;
+  std::vector<LeafPath> tasks;
+  int depth;
+  int arity;
+};
+
+HstData MakeHstData(int workers) {
+  Rng rng(3);
+  EuclideanMetric metric;
+  auto grid = UniformGridPoints(BBox::Square(200), 32);
+  TbfOptions options;
+  auto framework =
+      TbfFramework::Build(std::move(grid).MoveValueUnsafe(), metric, &rng, options);
+  HstData data;
+  data.depth = framework->tree().depth();
+  data.arity = framework->tree().arity();
+  Rng obf(4);
+  for (const Point& p : RandomPoints(workers, 5)) {
+    data.workers.push_back(framework->ObfuscateLocation(p, &obf));
+  }
+  for (const Point& p : RandomPoints(workers / 2, 6)) {
+    data.tasks.push_back(framework->ObfuscateLocation(p, &obf));
+  }
+  return data;
+}
+
+void RunHstEpisode(benchmark::State& state, HstEngine engine) {
+  HstData data = MakeHstData(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    HstGreedyMatcher matcher(data.workers, data.depth, data.arity, engine);
+    for (const LeafPath& t : data.tasks) {
+      benchmark::DoNotOptimize(matcher.Assign(t));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.tasks.size()));
+}
+
+void BM_HstGreedyScan(benchmark::State& state) {
+  RunHstEpisode(state, HstEngine::kLinearScan);
+}
+BENCHMARK(BM_HstGreedyScan)->Arg(1000)->Arg(4000);
+
+void BM_HstGreedyIndex(benchmark::State& state) {
+  RunHstEpisode(state, HstEngine::kIndex);
+}
+BENCHMARK(BM_HstGreedyIndex)->Arg(1000)->Arg(4000)->Arg(16000);
+
+}  // namespace
+}  // namespace tbf
+
+BENCHMARK_MAIN();

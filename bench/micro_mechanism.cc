@@ -1,0 +1,105 @@
+// Microbenchmarks of the privacy mechanisms (google-benchmark):
+// the complexity claims of Sec. III-C/D — Alg. 2 enumerates O(c^D) leaves,
+// Alg. 3 walks O(D) — plus the planar Laplace baseline sampler.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/hst_mechanism.h"
+#include "geo/grid.h"
+#include "privacy/planar_laplace.h"
+
+namespace tbf {
+namespace {
+
+// One shared tree/mechanism per grid side (built lazily, reused across
+// iterations — construction cost is measured separately below).
+struct Setup {
+  CompleteHst tree;
+  HstMechanism mechanism;
+};
+
+const Setup& GetSetup(int grid_side) {
+  static std::map<int, Setup>* cache = new std::map<int, Setup>();
+  auto it = cache->find(grid_side);
+  if (it == cache->end()) {
+    Rng rng(7);
+    EuclideanMetric metric;
+    auto grid = UniformGridPoints(BBox::Square(200), grid_side);
+    auto tree = CompleteHst::BuildFromPoints(*grid, metric, &rng);
+    auto mech = HstMechanism::Build(*tree, 0.6);
+    it = cache
+             ->emplace(grid_side,
+                       Setup{std::move(tree).MoveValueUnsafe(),
+                             std::move(mech).MoveValueUnsafe()})
+             .first;
+  }
+  return it->second;
+}
+
+// Algorithm 3: O(D) per sample regardless of arity.
+void BM_RandomWalkObfuscate(benchmark::State& state) {
+  const Setup& setup = GetSetup(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  const LeafPath& x = setup.tree.leaf_of_point(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(setup.mechanism.Obfuscate(x, &rng));
+  }
+  state.counters["depth"] = setup.tree.depth();
+  state.counters["arity"] = setup.tree.arity();
+}
+BENCHMARK(BM_RandomWalkObfuscate)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// Algorithm 2: O(c^D) per sample — only feasible on the small tree.
+void BM_NaiveSample(benchmark::State& state) {
+  const Setup& setup = GetSetup(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  const LeafPath& x = setup.tree.leaf_of_point(0);
+  for (auto _ : state) {
+    auto z = setup.mechanism.SampleNaive(x, &rng, /*max_leaves=*/1 << 22);
+    if (!z.ok()) state.SkipWithError("tree too large for Alg. 2");
+    benchmark::DoNotOptimize(z);
+  }
+  state.counters["leaves"] = setup.tree.num_leaves();
+}
+BENCHMARK(BM_NaiveSample)->Arg(4)->Arg(8);
+
+// Closed-form probability evaluation (log space).
+void BM_ExactProbability(benchmark::State& state) {
+  const Setup& setup = GetSetup(16);
+  Rng rng(2);
+  const LeafPath& x = setup.tree.leaf_of_point(0);
+  LeafPath z = setup.mechanism.Obfuscate(x, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(setup.mechanism.Probability(x, z));
+  }
+}
+BENCHMARK(BM_ExactProbability);
+
+// Baseline: planar Laplace sampling (Lambert W based inverse CDF).
+void BM_PlanarLaplace(benchmark::State& state) {
+  PlanarLaplaceMechanism mechanism(0.6);
+  Rng rng(3);
+  Point p{100, 100};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mechanism.Obfuscate(p, &rng));
+  }
+}
+BENCHMARK(BM_PlanarLaplace);
+
+// Client-side mapping: nearest predefined point via the k-d tree.
+void BM_MapToNearestLeaf(benchmark::State& state) {
+  const Setup& setup = GetSetup(static_cast<int>(state.range(0)));
+  Rng rng(4);
+  for (auto _ : state) {
+    Point p{rng.Uniform(0, 200), rng.Uniform(0, 200)};
+    benchmark::DoNotOptimize(setup.tree.MapToNearestLeaf(p));
+  }
+}
+BENCHMARK(BM_MapToNearestLeaf)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace tbf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Last-mile delivery scenario: maximize the number of completed deliveries
+// when couriers have limited reach (the paper's Sec. IV-C case study).
+//
+// Couriers accept a job only if the true pickup point is within their
+// reachable radius; the server sees only obfuscated locations and notifies
+// up to k candidates per job. Compares Prob (To et al., ICDE'18) with the
+// TBF variant that ranks couriers by HST distance.
+//
+// Run:  ./examples/delivery_matching_size [--eps=0.6] [--couriers=1000]
+//       [--jobs=600] [--notify=5]
+
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "matching/runner.h"
+#include "workload/synthetic.h"
+
+using namespace tbf;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+
+  SyntheticCaseStudyConfig config;
+  config.base.num_tasks = static_cast<int>(args.GetInt("jobs", 600));
+  config.base.num_workers = static_cast<int>(args.GetInt("couriers", 1000));
+  config.base.seed = static_cast<uint64_t>(args.GetInt("seed", 9));
+  auto instance = GenerateSyntheticCaseStudy(config);
+  if (!instance.ok()) {
+    std::cerr << instance.status() << "\n";
+    return 1;
+  }
+  std::cout << "Delivery day: " << instance->tasks.size() << " jobs, "
+            << instance->workers.size() << " couriers with reach "
+            << config.min_radius << "-" << config.max_radius << " units\n\n";
+
+  CaseStudyConfig run_config;
+  run_config.pipeline.epsilon = args.GetDouble("eps", 0.6);
+  run_config.max_notifications = static_cast<size_t>(args.GetInt("notify", 5));
+
+  AsciiTable table(
+      "completed deliveries under privacy, eps = " +
+          std::to_string(run_config.pipeline.epsilon),
+      {"algorithm", "matched jobs", "match rate", "notifications sent",
+       "assign time (s)"});
+  for (CaseStudyAlgorithm algorithm :
+       {CaseStudyAlgorithm::kProb, CaseStudyAlgorithm::kTbf}) {
+    auto metrics = RunCaseStudy(algorithm, *instance, run_config);
+    if (!metrics.ok()) {
+      std::cerr << CaseStudyAlgorithmName(algorithm) << ": " << metrics.status()
+                << "\n";
+      return 1;
+    }
+    double rate = static_cast<double>(metrics->matching_size) /
+                  static_cast<double>(instance->tasks.size());
+    table.AddRow({metrics->algorithm,
+                  AsciiTable::Num(static_cast<double>(metrics->matching_size)),
+                  AsciiTable::Num(rate),
+                  AsciiTable::Num(static_cast<double>(metrics->notifications)),
+                  AsciiTable::Num(metrics->match_seconds)});
+  }
+  table.Print();
+  return 0;
+}

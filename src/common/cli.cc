@@ -1,0 +1,52 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+
+namespace tbf {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string body = arg.substr(2);
+      size_t eq = body.find('=');
+      if (eq == std::string::npos) {
+        flags_[body] = "";
+      } else {
+        flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool ArgParser::Has(const std::string& key) const { return flags_.count(key) > 0; }
+
+std::string ArgParser::GetString(const std::string& key, const std::string& def) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? def : it->second;
+}
+
+double ArgParser::GetDouble(const std::string& key, double def) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end() || it->second.empty()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+int64_t ArgParser::GetInt(const std::string& key, int64_t def) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end() || it->second.empty()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+bool ArgParser::GetBool(const std::string& key, bool def) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return def;
+  const std::string& v = it->second;
+  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  return false;
+}
+
+}  // namespace tbf

@@ -1,0 +1,38 @@
+// Tiny --key=value flag parser for benchmark and example binaries.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tbf {
+
+/// \brief Parses `--key=value` and bare `--flag` arguments.
+///
+/// Unrecognized positional arguments are collected in positional(). Values
+/// are fetched with typed getters that fall back to a default.
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// True when --key was passed (with or without a value).
+  bool Has(const std::string& key) const;
+
+  std::string GetString(const std::string& key, const std::string& def) const;
+  double GetDouble(const std::string& key, double def) const;
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  bool GetBool(const std::string& key, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tbf

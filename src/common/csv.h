@@ -1,0 +1,45 @@
+// Minimal CSV writer/reader used by the benchmark harness to emit the
+// per-figure series the paper plots.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tbf {
+
+/// \brief Appends rows to an in-memory CSV document and writes it to disk.
+class CsvWriter {
+ public:
+  /// Creates a writer with the given column header.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Adds a row; must have the same arity as the header.
+  Status AddRow(const std::vector<std::string>& cells);
+
+  /// Convenience row of doubles (formatted with %.6g).
+  Status AddRow(const std::vector<double>& cells);
+
+  /// Serializes header + rows, RFC-4180-style quoting for , " and newline.
+  std::string ToString() const;
+
+  /// Writes ToString() to `path`.
+  Status WriteFile(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Parses CSV text into rows of cells (handles quoted cells).
+Result<std::vector<std::vector<std::string>>> ParseCsv(const std::string& text);
+
+/// \brief Reads and parses a CSV file.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(const std::string& path);
+
+}  // namespace tbf

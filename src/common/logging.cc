@@ -1,0 +1,54 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace tbf {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) {
+  stream_ << '[' << LevelName(level) << ' ' << Basename(file) << ':' << line << "] ";
+}
+
+LogMessage::~LogMessage() { std::cerr << stream_.str() << std::endl; }
+
+FatalMessage::FatalMessage(const char* file, int line) {
+  stream_ << "[FATAL " << Basename(file) << ':' << line << "] ";
+}
+
+FatalMessage::~FatalMessage() {
+  std::cerr << stream_.str() << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+
+}  // namespace tbf

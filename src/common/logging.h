@@ -1,0 +1,71 @@
+// Leveled logging to stderr. Benchmarks keep stdout clean for table output.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tbf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// \brief Sets the global minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+
+/// \brief Current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style sink that emits one line on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Fatal sink: flushes the message, then aborts, in its destructor.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line);
+  ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define TBF_LOG(level)                                                   \
+  if (::tbf::LogLevel::level < ::tbf::GetLogLevel()) {                   \
+  } else                                                                 \
+    ::tbf::internal::LogMessage(::tbf::LogLevel::level, __FILE__, __LINE__)
+
+#define TBF_LOG_DEBUG TBF_LOG(kDebug)
+#define TBF_LOG_INFO TBF_LOG(kInfo)
+#define TBF_LOG_WARN TBF_LOG(kWarn)
+#define TBF_LOG_ERROR TBF_LOG(kError)
+
+/// \brief Fatal invariant check: logs and aborts when `cond` is false.
+#define TBF_CHECK(cond)                                              \
+  if (cond) {                                                        \
+  } else                                                             \
+    ::tbf::internal::FatalMessage(__FILE__, __LINE__)                \
+        << "CHECK failed: " #cond " "
+
+}  // namespace tbf

@@ -1,0 +1,95 @@
+#include "common/math.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tbf {
+
+double LogAdd(double a, double b) {
+  if (a == kNegInf) return b;
+  if (b == kNegInf) return a;
+  double hi = std::max(a, b);
+  double lo = std::min(a, b);
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+double LogSumExp(const std::vector<double>& v) {
+  double hi = kNegInf;
+  for (double x : v) hi = std::max(hi, x);
+  if (hi == kNegInf) return kNegInf;
+  double sum = 0.0;
+  for (double x : v) sum += std::exp(x - hi);
+  return hi + std::log(sum);
+}
+
+namespace {
+
+// Halley iteration for w*e^w = x starting from w0.
+double HalleyLambert(double x, double w) {
+  for (int iter = 0; iter < 64; ++iter) {
+    double ew = std::exp(w);
+    double f = w * ew - x;
+    // The Halley correction term divides by 2w + 2, which vanishes at the
+    // branch point w = -1; guard against non-finite steps.
+    double denom = ew * (w + 1.0) - (w + 2.0) * f / (2.0 * w + 2.0);
+    if (denom == 0.0 || !std::isfinite(denom)) break;
+    double dw = f / denom;
+    if (!std::isfinite(dw)) break;
+    w -= dw;
+    if (std::fabs(dw) < 1e-14 * (1.0 + std::fabs(w))) break;
+  }
+  return w;
+}
+
+// True when x sits at (or a rounding error below) the branch point -1/e.
+bool AtBranchPoint(double x) {
+  const double inv_e = std::exp(-1.0);
+  return std::fabs(x + inv_e) <= 4.0 * std::numeric_limits<double>::epsilon();
+}
+
+}  // namespace
+
+double LambertW0(double x) {
+  constexpr double kInvE = 0.36787944117144233;  // 1/e
+  if (AtBranchPoint(x)) return -1.0;
+  if (x < -kInvE) return std::numeric_limits<double>::quiet_NaN();
+  if (x == 0.0) return 0.0;
+  double w;
+  if (x < 1.0) {
+    // Series about the branch point for x near -1/e, else log-based guess.
+    // The argument can dip epsilon-negative at the branch point itself.
+    double p = std::sqrt(std::max(0.0, 2.0 * (std::exp(1.0) * x + 1.0)));
+    w = -1.0 + p - p * p / 3.0;
+  } else {
+    w = std::log(x);
+    if (w > 3.0) w -= std::log(w);
+  }
+  return HalleyLambert(x, w);
+}
+
+double LambertWm1(double x) {
+  constexpr double kInvE = 0.36787944117144233;
+  if (AtBranchPoint(x)) return -1.0;
+  if (x < -kInvE || x >= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  // Initial guess: near branch point use the sqrt expansion; otherwise
+  // w ~ log(-x) - log(-log(-x)).
+  double w;
+  if (x > -kInvE * 0.25) {
+    double l1 = std::log(-x);
+    double l2 = std::log(-l1);
+    w = l1 - l2 + l2 / l1;
+  } else {
+    double p = -std::sqrt(std::max(0.0, 2.0 * (std::exp(1.0) * x + 1.0)));
+    w = -1.0 + p - p * p / 3.0;
+  }
+  return HalleyLambert(x, w);
+}
+
+double PowerOfTwo(int i) { return std::ldexp(1.0, i); }
+
+bool AlmostEqual(double a, double b, double tol) {
+  double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+}  // namespace tbf

@@ -1,0 +1,42 @@
+// Numeric helpers: log-space accumulation and the Lambert W function.
+//
+// Log-space arithmetic keeps the HST mechanism exact for deep trees, where
+// the raw weights wt_i = exp(eps * (4 - 2^{i+2})) underflow double by level
+// ~6. Lambert W_{-1} is required by the planar Laplace inverse CDF
+// (Andres et al., CCS 2013).
+
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace tbf {
+
+/// \brief Negative infinity shorthand used as log(0).
+inline constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// \brief log(exp(a) + exp(b)) computed without overflow/underflow.
+double LogAdd(double a, double b);
+
+/// \brief log(sum_i exp(v_i)); returns kNegInf for an empty input.
+double LogSumExp(const std::vector<double>& v);
+
+/// \brief Principal branch W_0(x), defined for x >= -1/e.
+///
+/// Solves w * exp(w) = x with w >= -1. Accuracy ~1e-12 via Halley iteration.
+double LambertW0(double x);
+
+/// \brief Lower branch W_{-1}(x), defined for x in [-1/e, 0).
+///
+/// Solves w * exp(w) = x with w <= -1. Used to invert the planar Laplace
+/// radial CDF. Accuracy ~1e-12 via Halley iteration.
+double LambertWm1(double x);
+
+/// \brief Exact integer power of two as double (i may be negative).
+double PowerOfTwo(int i);
+
+/// \brief True when |a - b| <= tol * max(1, |a|, |b|).
+bool AlmostEqual(double a, double b, double tol = 1e-9);
+
+}  // namespace tbf

@@ -1,0 +1,54 @@
+#include "common/memory.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace tbf {
+
+namespace {
+
+// Parses a "VmXXX:   123 kB" line from /proc/self/status.
+uint64_t ReadStatusFieldKb(const char* field) {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t kb = 0;
+  size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      unsigned long long value = 0;  // NOLINT(runtime/int): sscanf format
+      if (std::sscanf(line + field_len, ":%llu", &value) == 1) {
+        kb = static_cast<uint64_t>(value);
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+uint64_t CurrentRssBytes() { return ReadStatusFieldKb("VmRSS") * 1024; }
+
+uint64_t PeakRssBytes() {
+  // Some kernels/containers omit VmHWM; fall back to the current RSS so
+  // callers still get a usable (if conservative) figure.
+  uint64_t hwm = ReadStatusFieldKb("VmHWM") * 1024;
+  return std::max(hwm, CurrentRssBytes());
+}
+
+double BytesToMiB(uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+MemoryProbe::MemoryProbe() : baseline_(CurrentRssBytes()), max_rss_(baseline_) {}
+
+void MemoryProbe::Sample() { max_rss_ = std::max(max_rss_, CurrentRssBytes()); }
+
+uint64_t MemoryProbe::DeltaBytes() const {
+  return max_rss_ > baseline_ ? max_rss_ - baseline_ : 0;
+}
+
+}  // namespace tbf

@@ -1,0 +1,47 @@
+// Process memory metering for the paper's "memory usage (MB)" figures.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tbf {
+
+/// \brief Resident set size of the current process in bytes (VmRSS).
+/// Returns 0 when /proc is unavailable.
+uint64_t CurrentRssBytes();
+
+/// \brief Peak resident set size in bytes (VmHWM). 0 when unavailable.
+uint64_t PeakRssBytes();
+
+/// \brief Converts bytes to mebibytes.
+double BytesToMiB(uint64_t bytes);
+
+/// \brief Scoped sampler: records the RSS at construction and exposes the
+/// high-water delta observed across explicit Sample() calls.
+///
+/// The experiment harness calls Sample() after each phase (tree build,
+/// obfuscation, matching) so figures report the same "memory usage" the
+/// paper plots: the resident footprint while the algorithm runs.
+class MemoryProbe {
+ public:
+  MemoryProbe();
+
+  /// Re-reads RSS; keeps the maximum seen.
+  void Sample();
+
+  /// Maximum RSS observed by Sample() (absolute, bytes).
+  uint64_t max_rss_bytes() const { return max_rss_; }
+
+  /// RSS at construction (bytes).
+  uint64_t baseline_bytes() const { return baseline_; }
+
+  /// max(0, max_rss - baseline) in bytes.
+  uint64_t DeltaBytes() const;
+
+ private:
+  uint64_t baseline_ = 0;
+  uint64_t max_rss_ = 0;
+};
+
+}  // namespace tbf

@@ -1,0 +1,81 @@
+// Result<T>: value-or-Status, in the style of arrow::Result.
+
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace tbf {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Prefer Result<T> over out-parameters for fallible factories, e.g.
+/// `Result<CompleteHst> CompleteHst::Build(...)`. Access the value with
+/// ValueOrDie() after checking ok(), or move it out with MoveValueUnsafe().
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status. Constructing a Result from
+  /// an OK status is a programming error and is converted to Internal.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::holds_alternative<Status>(repr_) && std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// \brief Status of this result: OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// \brief Returns the value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& MoveValueUnsafe() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// \brief Returns the held value or `alternative` when in error state.
+  T ValueOr(T alternative) const {
+    return ok() ? std::get<T>(repr_) : std::move(alternative);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// \brief Assigns the value of a Result expression to `lhs`, or returns its
+/// error status from the enclosing function.
+#define TBF_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).MoveValueUnsafe();
+
+#define TBF_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define TBF_ASSIGN_OR_RETURN_NAME(x, y) TBF_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define TBF_ASSIGN_OR_RETURN(lhs, expr) \
+  TBF_ASSIGN_OR_RETURN_IMPL(            \
+      TBF_ASSIGN_OR_RETURN_NAME(_result_tmp_, __COUNTER__), lhs, expr)
+
+}  // namespace tbf

@@ -1,0 +1,82 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tbf {
+
+namespace {
+
+// SplitMix64 finalizer; used to decorrelate seeds derived via Split().
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) : seed_(seed), engine_(Mix(seed)) {}
+
+double Rng::Uniform01() {
+  // 53-bit mantissa resolution in [0, 1).
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform01(); }
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+double Rng::Exponential(double rate) {
+  std::exponential_distribution<double> dist(rate);
+  return dist(engine_);
+}
+
+double Rng::Laplace(double scale) {
+  // Inverse-CDF: u in (-1/2, 1/2), x = -b * sgn(u) * ln(1 - 2|u|).
+  double u = Uniform01() - 0.5;
+  double sign = (u < 0) ? -1.0 : 1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::fabs(u));
+}
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return Uniform01() < p;
+}
+
+std::vector<int> Rng::Permutation(int n) {
+  std::vector<int> perm(static_cast<size_t>(std::max(n, 0)));
+  std::iota(perm.begin(), perm.end(), 0);
+  Shuffle(&perm);
+  return perm;
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0 || weights.empty()) {
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+  double target = Uniform01() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Split(uint64_t salt) { return Rng(Mix(NextU64() ^ Mix(salt))); }
+
+uint64_t Rng::NextU64() { return engine_(); }
+
+}  // namespace tbf

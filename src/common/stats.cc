@@ -1,0 +1,70 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace tbf {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(values.begin(), values.end());
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double ChiSquareStatistic(const std::vector<size_t>& observed,
+                          const std::vector<double>& expected_probs,
+                          double min_expected) {
+  if (observed.size() != expected_probs.size() || observed.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  double n = 0.0;
+  for (size_t c : observed) n += static_cast<double>(c);
+  double chi2 = 0.0;
+  double pooled_obs = 0.0;
+  double pooled_exp = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    double exp_count = expected_probs[i] * n;
+    if (exp_count < min_expected) {
+      pooled_obs += static_cast<double>(observed[i]);
+      pooled_exp += exp_count;
+      continue;
+    }
+    double d = static_cast<double>(observed[i]) - exp_count;
+    chi2 += d * d / exp_count;
+  }
+  if (pooled_exp > 0.0) {
+    double d = pooled_obs - pooled_exp;
+    chi2 += d * d / pooled_exp;
+  }
+  return chi2;
+}
+
+}  // namespace tbf

@@ -1,0 +1,47 @@
+// Streaming statistics used by tests and the experiment harness.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tbf {
+
+/// \brief Welford-style accumulator for count/mean/variance/min/max.
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than 2 observations).
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// \brief Percentile of a sample (linear interpolation); p in [0, 100].
+/// Returns 0 for an empty sample. The input is copied and sorted.
+double Percentile(std::vector<double> values, double p);
+
+/// \brief Pearson chi-square statistic of observed counts vs expected
+/// probabilities; used by the mechanism distribution tests.
+///
+/// `observed[i]` are counts summing to n; `expected_probs[i]` must sum to ~1.
+/// Cells with expected count < min_expected are pooled into the last cell.
+double ChiSquareStatistic(const std::vector<size_t>& observed,
+                          const std::vector<double>& expected_probs,
+                          double min_expected = 5.0);
+
+}  // namespace tbf

@@ -1,0 +1,56 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace tbf {
+
+AsciiTable::AsciiTable(std::string title, std::vector<std::string> header)
+    : title_(std::move(title)), header_(std::move(header)) {}
+
+void AsciiTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::ToString() const {
+  std::vector<size_t> width(header_.size(), 0);
+  for (size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  auto emit = [&out, &width](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << (i == 0 ? "" : "  ");
+      out << row[i];
+      out << std::string(width[i] - row[i].size(), ' ');
+    }
+    out << '\n';
+  };
+  emit(header_);
+  size_t total = 0;
+  for (size_t w : width) total += w;
+  out << std::string(total + 2 * (width.empty() ? 0 : width.size() - 1), '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void AsciiTable::Print() const { std::cout << ToString() << std::flush; }
+
+std::string AsciiTable::Num(double v) {
+  char buf[64];
+  if (v == static_cast<int64_t>(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  }
+  return buf;
+}
+
+}  // namespace tbf

@@ -1,0 +1,34 @@
+// ASCII table rendering for benchmark output. Every figure bench prints the
+// same rows the paper plots, aligned for eyeballing.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tbf {
+
+/// \brief Column-aligned ASCII table with a title and a header row.
+class AsciiTable {
+ public:
+  AsciiTable(std::string title, std::vector<std::string> header);
+
+  /// Adds a row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a title line, a separator, the header and all rows.
+  std::string ToString() const;
+
+  /// Renders to stdout.
+  void Print() const;
+
+  /// Formats a double compactly (up to 4 significant decimals).
+  static std::string Num(double v);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tbf

@@ -1,0 +1,164 @@
+#include "core/hst_mechanism.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math.h"
+
+namespace tbf {
+
+Result<HstMechanism> HstMechanism::Build(const CompleteHst& tree, double epsilon) {
+  if (epsilon <= 0.0) return Status::InvalidArgument("epsilon must be positive");
+  HstMechanism m;
+  m.depth_ = tree.depth();
+  m.arity_ = tree.arity();
+  m.epsilon_metric_ = epsilon;
+  // Weight exponents use tree-unit distances (edges 2^{i+1}); converting the
+  // metric-unit budget keeps the Geo-I guarantee stated in metric units.
+  m.epsilon_tree_ = epsilon / tree.scale();
+
+  const int depth = m.depth_;
+  const double c = static_cast<double>(m.arity_);
+  const double log_c = std::log(c);
+  const double log_c_minus_1 = std::log(c - 1.0);
+
+  // log wt_i = eps_T * (4 - 2^{i+2}); exact for i = 0 too (wt_0 = 1).
+  m.log_weight_.resize(static_cast<size_t>(depth) + 1);
+  m.log_level_total_.resize(static_cast<size_t>(depth) + 1);
+  for (int i = 0; i <= depth; ++i) {
+    m.log_weight_[static_cast<size_t>(i)] =
+        m.epsilon_tree_ * (4.0 - PowerOfTwo(i + 2));
+    // |L_i| = (c-1) c^{i-1} leaves share weight wt_i (one leaf at i = 0).
+    m.log_level_total_[static_cast<size_t>(i)] =
+        i == 0 ? m.log_weight_[0]
+               : (i - 1) * log_c + log_c_minus_1 + m.log_weight_[static_cast<size_t>(i)];
+  }
+  m.log_total_weight_ = LogSumExp(m.log_level_total_);
+
+  // tw_k = total weight of leaves with LCA level >= k (paper Eq. 7);
+  // accumulate the suffix sums from the top down.
+  m.log_tail_weight_.assign(static_cast<size_t>(depth) + 2, kNegInf);
+  for (int k = depth; k >= 0; --k) {
+    m.log_tail_weight_[static_cast<size_t>(k)] =
+        LogAdd(m.log_tail_weight_[static_cast<size_t>(k) + 1],
+               m.log_level_total_[static_cast<size_t>(k)]);
+  }
+
+  // pu_i = tw_{i+1} / tw_i; pu_depth = 0 (the walk must turn at the root).
+  m.upward_prob_.resize(static_cast<size_t>(depth) + 1);
+  for (int i = 0; i <= depth; ++i) {
+    double log_num = m.log_tail_weight_[static_cast<size_t>(i) + 1];
+    double log_den = m.log_tail_weight_[static_cast<size_t>(i)];
+    m.upward_prob_[static_cast<size_t>(i)] =
+        log_num == kNegInf ? 0.0 : std::exp(log_num - log_den);
+  }
+  return m;
+}
+
+LeafPath HstMechanism::Obfuscate(const LeafPath& truth, Rng* rng) const {
+  TBF_CHECK(static_cast<int>(truth.size()) == depth_) << "leaf depth mismatch";
+  // Walk upward from the true leaf; at level i keep climbing w.p. pu_i.
+  int turn_level = 0;
+  while (turn_level <= depth_ &&
+         rng->Bernoulli(upward_prob_[static_cast<size_t>(turn_level)])) {
+    ++turn_level;
+  }
+  if (turn_level == 0) return truth;  // turned immediately: output x itself
+
+  // Descend: first step must leave the subtree we came from, so pick a
+  // uniform digit different from the truth's; below that, uniform digits.
+  LeafPath out = truth;
+  const size_t first = static_cast<size_t>(depth_ - turn_level);
+  int old_digit = static_cast<int>(truth[first]);
+  int pick = static_cast<int>(rng->UniformInt(0, arity_ - 2));
+  if (pick >= old_digit) ++pick;
+  out[first] = static_cast<char16_t>(pick);
+  for (size_t pos = first + 1; pos < out.size(); ++pos) {
+    out[pos] = static_cast<char16_t>(rng->UniformInt(0, arity_ - 1));
+  }
+  return out;
+}
+
+Result<LeafPath> HstMechanism::SampleNaive(const LeafPath& truth, Rng* rng,
+                                           double max_leaves) const {
+  TBF_ASSIGN_OR_RETURN(std::vector<LeafPath> leaves, EnumerateLeaves(max_leaves));
+  // Single-pass inverse-CDF over the exact distribution (Alg. 2 line 1-2).
+  double target = rng->Uniform01();
+  double acc = 0.0;
+  for (const LeafPath& leaf : leaves) {
+    acc += Probability(truth, leaf);
+    if (target < acc) return leaf;
+  }
+  return leaves.back();  // numerical slack: acc summed to slightly below 1
+}
+
+double HstMechanism::LogProbability(const LeafPath& x, const LeafPath& z) const {
+  int level = LcaLevel(x, z);
+  return log_weight_[static_cast<size_t>(level)] - log_total_weight_;
+}
+
+double HstMechanism::Probability(const LeafPath& x, const LeafPath& z) const {
+  return std::exp(LogProbability(x, z));
+}
+
+double HstMechanism::LevelProbability(int level) const {
+  TBF_CHECK(level >= 0 && level <= depth_) << "level out of range";
+  return std::exp(log_level_total_[static_cast<size_t>(level)] - log_total_weight_);
+}
+
+double HstMechanism::LogWeight(int level) const {
+  TBF_CHECK(level >= 0 && level <= depth_) << "level out of range";
+  return log_weight_[static_cast<size_t>(level)];
+}
+
+double HstMechanism::UpwardProbability(int level) const {
+  TBF_CHECK(level >= 0 && level <= depth_) << "level out of range";
+  return upward_prob_[static_cast<size_t>(level)];
+}
+
+double HstMechanism::WalkProbability(const LeafPath& x, const LeafPath& z) const {
+  const int level = LcaLevel(x, z);
+  // log(1 - pu_i) = log(level share of tw_i), exact even when pu_i ~ 1.
+  auto log_turn = [this](int i) {
+    return log_level_total_[static_cast<size_t>(i)] -
+           log_tail_weight_[static_cast<size_t>(i)];
+  };
+  if (level == 0) return std::exp(log_turn(0));
+  double log_p = log_turn(level);
+  for (int i = 0; i < level; ++i) {
+    double pu = upward_prob_[static_cast<size_t>(i)];
+    log_p += std::log(pu);
+  }
+  // Downward choices: 1/(c-1) for the first step, 1/c for each step below.
+  log_p -= std::log(static_cast<double>(arity_ - 1));
+  log_p -= (level - 1) * std::log(static_cast<double>(arity_));
+  return std::exp(log_p);
+}
+
+Result<std::vector<LeafPath>> HstMechanism::EnumerateLeaves(double max_leaves) const {
+  double total = std::pow(static_cast<double>(arity_), depth_);
+  if (total > max_leaves) {
+    return Status::OutOfRange("complete tree too large to enumerate");
+  }
+  std::vector<LeafPath> leaves;
+  leaves.reserve(static_cast<size_t>(total));
+  LeafPath current(static_cast<size_t>(depth_), 0);
+  while (true) {
+    leaves.push_back(current);
+    // Increment the digit string (odometer, least-significant digit last).
+    int pos = depth_ - 1;
+    while (pos >= 0) {
+      if (static_cast<int>(current[static_cast<size_t>(pos)]) + 1 < arity_) {
+        ++current[static_cast<size_t>(pos)];
+        break;
+      }
+      current[static_cast<size_t>(pos)] = 0;
+      --pos;
+    }
+    if (pos < 0) break;
+  }
+  return leaves;
+}
+
+}  // namespace tbf

@@ -1,0 +1,108 @@
+// The paper's privacy mechanism on the complete c-ary HST (Sec. III-C/D).
+//
+// Given a true leaf x, a leaf z whose LCA with x sits at level i is chosen
+// with probability wt_i / WT, where
+//   wt_0 = 1,  wt_i = exp(eps_T * (4 - 2^{i+2}))   (eps_T in tree units),
+//   WT   = wt_0 + sum_{i=1..D} c^{i-1} (c-1) wt_i.
+// Theorem 1: this is eps-Geo-Indistinguishable w.r.t. the tree metric.
+//
+// Two samplers are provided:
+//   * SampleNaive  — Algorithm 2: enumerates all c^D leaves, O(c^D); only
+//     feasible for small trees, kept as the reference for tests.
+//   * Obfuscate    — Algorithm 3: the random-walk sampler, O(D); proven
+//     (Theorem 2, re-verified by tests here) to produce the identical
+//     distribution.
+//
+// All probability math is in log space: wt_i underflows double by level ~6
+// at eps_T = 1, but log wt_i is exact at any depth.
+
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "hst/complete_hst.h"
+#include "hst/leaf_path.h"
+#include "privacy/mechanism.h"
+
+namespace tbf {
+
+/// \brief eps-Geo-I mechanism over the leaves of a complete c-ary HST.
+///
+/// The object is immutable after construction and thread-safe for
+/// concurrent Obfuscate calls with distinct Rngs.
+class HstMechanism final : public LeafMechanism {
+ public:
+  /// \brief Builds the mechanism for `tree` with budget `epsilon`.
+  ///
+  /// `epsilon` is expressed per *metric* unit (same units as the points the
+  /// tree was built over); the guarantee is
+  ///   M(x1)(z) <= exp(epsilon * dT(x1, x2)) * M(x2)(z)
+  /// with dT in metric units, i.e. exactly the paper's Theorem 1 modulo the
+  /// internal normalization scale.
+  static Result<HstMechanism> Build(const CompleteHst& tree, double epsilon);
+
+  /// \brief Algorithm 3: random-walk sampling, O(D).
+  LeafPath Obfuscate(const LeafPath& truth, Rng* rng) const override;
+
+  /// \brief Algorithm 2: enumerate-all-leaves sampling, O(c^D).
+  /// Fails when the complete tree has more than `max_leaves` leaves.
+  Result<LeafPath> SampleNaive(const LeafPath& truth, Rng* rng,
+                               double max_leaves = 1 << 20) const;
+
+  /// \brief Exact log M(x)(z) from the closed form wt_{lvl(x,z)} / WT.
+  double LogProbability(const LeafPath& x, const LeafPath& z) const;
+
+  /// \brief Exact M(x)(z).
+  double Probability(const LeafPath& x, const LeafPath& z) const;
+
+  /// \brief Probability that the output's LCA with the truth is at `level`
+  /// (aggregated over the whole sibling set L_level): |L_i| * wt_i / WT.
+  double LevelProbability(int level) const;
+
+  /// \brief log wt_i (wt in the paper's Eq. 3/4).
+  double LogWeight(int level) const;
+
+  /// \brief log WT.
+  double LogTotalWeight() const { return log_total_weight_; }
+
+  /// \brief Upward-continuation probability pu_i of the random walk at
+  /// level i (Sec. III-D); pu_D = 0.
+  double UpwardProbability(int level) const;
+
+  /// \brief Probability that Algorithm 3 walks the specific up-then-down
+  /// path from `x` to `z`; equals Probability(x, z) by Theorem 2 (verified
+  /// in tests).
+  double WalkProbability(const LeafPath& x, const LeafPath& z) const;
+
+  /// \brief Enumerates every leaf of the complete tree in lexicographic
+  /// digit order. Only valid when c^D <= max_leaves (else error).
+  Result<std::vector<LeafPath>> EnumerateLeaves(double max_leaves = 1 << 20) const;
+
+  double epsilon() const override { return epsilon_metric_; }
+
+  /// Epsilon converted to tree units (epsilon / tree scale), the eps that
+  /// appears in the weight formulas.
+  double epsilon_tree() const { return epsilon_tree_; }
+
+  int depth() const { return depth_; }
+  int arity() const { return arity_; }
+
+  std::string Name() const override { return "hst-mechanism"; }
+
+ private:
+  HstMechanism() = default;
+
+  int depth_ = 0;
+  int arity_ = 2;
+  double epsilon_metric_ = 0.0;
+  double epsilon_tree_ = 0.0;
+  std::vector<double> log_weight_;       // log wt_i, i in [0, D]
+  std::vector<double> log_level_total_;  // log(|L_i| * wt_i), i in [0, D]
+  std::vector<double> log_tail_weight_;  // log tw_k, k in [0, D+1] (last = -inf)
+  std::vector<double> upward_prob_;      // pu_i, i in [0, D]
+  double log_total_weight_ = 0.0;        // log WT
+};
+
+}  // namespace tbf

@@ -1,0 +1,90 @@
+#include "core/server.h"
+
+namespace tbf {
+
+Result<TbfServer> TbfServer::Create(std::shared_ptr<const CompleteHst> tree,
+                                    const TbfServerOptions& options) {
+  if (tree == nullptr) return Status::InvalidArgument("tree must not be null");
+  if (options.lifetime_budget && *options.lifetime_budget <= 0.0) {
+    return Status::InvalidArgument("lifetime budget must be positive");
+  }
+  return TbfServer(std::move(tree), options);
+}
+
+TbfServer::TbfServer(std::shared_ptr<const CompleteHst> tree,
+                     const TbfServerOptions& options)
+    : tree_(std::move(tree)),
+      options_(options),
+      index_(tree_->depth(), tree_->arity()),
+      rng_(options.seed) {
+  if (options_.lifetime_budget) {
+    ledger_ = std::make_unique<PrivacyBudgetLedger>(*options_.lifetime_budget);
+  }
+}
+
+Status TbfServer::ChargeIfRequired(const std::string& user,
+                                   std::optional<double> declared_epsilon) {
+  if (ledger_ == nullptr) return Status::OK();
+  if (!declared_epsilon) {
+    return Status::InvalidArgument(
+        "budget enforcement is on: reports must declare their epsilon");
+  }
+  return ledger_->Charge(user, *declared_epsilon);
+}
+
+Status TbfServer::RegisterWorker(const std::string& worker_id,
+                                 const LeafPath& leaf,
+                                 std::optional<double> declared_epsilon) {
+  if (static_cast<int>(leaf.size()) != tree_->depth()) {
+    return Status::InvalidArgument("leaf depth does not match the published tree");
+  }
+  // Charge first: a refused charge must leave the pool untouched.
+  TBF_RETURN_NOT_OK(ChargeIfRequired(worker_id, declared_epsilon));
+  auto it = workers_.find(worker_id);
+  if (it != workers_.end()) {
+    // Relocation: drop the old report before inserting the new one.
+    index_.Remove(it->second.leaf, it->second.index_id);
+    worker_by_index_id_[static_cast<size_t>(it->second.index_id)].clear();
+  }
+  int index_id = static_cast<int>(worker_by_index_id_.size());
+  worker_by_index_id_.push_back(worker_id);
+  index_.Insert(leaf, index_id);
+  workers_[worker_id] = WorkerState{leaf, index_id};
+  return Status::OK();
+}
+
+Status TbfServer::UnregisterWorker(const std::string& worker_id) {
+  auto it = workers_.find(worker_id);
+  if (it == workers_.end()) return Status::NotFound("unknown worker " + worker_id);
+  index_.Remove(it->second.leaf, it->second.index_id);
+  worker_by_index_id_[static_cast<size_t>(it->second.index_id)].clear();
+  workers_.erase(it);
+  return Status::OK();
+}
+
+Result<DispatchResult> TbfServer::SubmitTask(
+    const std::string& task_id, const LeafPath& leaf,
+    std::optional<double> declared_epsilon) {
+  if (static_cast<int>(leaf.size()) != tree_->depth()) {
+    return Status::InvalidArgument("leaf depth does not match the published tree");
+  }
+  TBF_RETURN_NOT_OK(ChargeIfRequired(task_id, declared_epsilon));
+  DispatchResult result;
+  auto nearest = options_.tie_break == HstTieBreak::kCanonical
+                     ? index_.Nearest(leaf)
+                     : index_.NearestUniform(leaf, &rng_);
+  if (!nearest) return result;  // no worker available: task unassigned
+
+  const std::string worker_id =
+      worker_by_index_id_[static_cast<size_t>(nearest->first)];
+  const WorkerState& state = workers_.at(worker_id);
+  index_.Remove(state.leaf, state.index_id);
+  worker_by_index_id_[static_cast<size_t>(state.index_id)].clear();
+  workers_.erase(worker_id);  // assigned: must register anew to serve again
+  result.worker = worker_id;
+  result.reported_tree_distance = tree_->TreeDistanceForLcaLevel(nearest->second);
+  ++assigned_tasks_;
+  return result;
+}
+
+}  // namespace tbf

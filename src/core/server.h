@@ -1,0 +1,125 @@
+// TbfServer — the untrusted crowdsourcing server of the paper's interaction
+// model (Sec. II-A), assembled from the library's pieces into the service a
+// deployment would actually run:
+//
+//   * owns the published CompleteHst (serializable via hst/serialize.h),
+//   * accepts worker registrations and task submissions as *obfuscated
+//     leaves* (it never sees a true location),
+//   * assigns each task on arrival with HST-Greedy (Alg. 4),
+//   * optionally enforces a per-user lifetime privacy budget: clients
+//     declare the epsilon their report was drawn with, and repeated
+//     reports compose additively (privacy/budget.h).
+//
+// The server is deliberately *unable* to undo the privacy mechanism: its
+// entire interface speaks leaf paths.
+//
+// Worker lifecycle: Register (join the pool / relocate with a fresh
+// report) -> assigned by SubmitTask (leaves the pool; to serve again the
+// worker registers anew, spending budget again) or Unregister (go offline).
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/tbf.h"
+#include "hst/hst_index.h"
+#include "privacy/budget.h"
+
+namespace tbf {
+
+/// \brief Server-side configuration.
+struct TbfServerOptions {
+  /// When set, every report must declare its epsilon and per-user spend is
+  /// capped at this lifetime budget.
+  std::optional<double> lifetime_budget;
+
+  /// Tie-breaking for the online matcher (canonical by default).
+  HstTieBreak tie_break = HstTieBreak::kCanonical;
+
+  /// Seed for randomized tie-breaking.
+  uint64_t seed = 1;
+};
+
+/// \brief Result of one task submission.
+struct DispatchResult {
+  /// Registration id of the assigned worker; empty if none was available.
+  std::optional<std::string> worker;
+  /// Tree distance (metric units) between the reported leaves.
+  double reported_tree_distance = 0.0;
+};
+
+/// \brief Online dispatch server operating purely on obfuscated leaves.
+///
+/// Not thread-safe; wrap with external synchronization for concurrent use.
+class TbfServer {
+ public:
+  /// \brief Creates a server around a published tree.
+  static Result<TbfServer> Create(std::shared_ptr<const CompleteHst> tree,
+                                  const TbfServerOptions& options = {});
+
+  /// \brief Registers a worker at an obfuscated leaf, or relocates an
+  /// already-registered worker to a fresh report.
+  ///
+  /// `declared_epsilon` is the budget the client spent producing the
+  /// report; required (and charged per report) when the server enforces
+  /// budgets — a charge that would exceed the cap fails and leaves any
+  /// previous registration untouched.
+  Status RegisterWorker(const std::string& worker_id, const LeafPath& leaf,
+                        std::optional<double> declared_epsilon = std::nullopt);
+
+  /// \brief Removes an available worker from the pool (going offline).
+  Status UnregisterWorker(const std::string& worker_id);
+
+  /// \brief True when `worker_id` is currently registered and available.
+  bool IsRegistered(const std::string& worker_id) const {
+    return workers_.count(worker_id) > 0;
+  }
+
+  /// \brief Submits a task at an obfuscated leaf; assigns and consumes the
+  /// nearest available worker (Alg. 4). Budget rules apply to the task id
+  /// exactly as to workers.
+  Result<DispatchResult> SubmitTask(const std::string& task_id,
+                                    const LeafPath& leaf,
+                                    std::optional<double> declared_epsilon =
+                                        std::nullopt);
+
+  /// Number of workers currently available for assignment.
+  size_t available_workers() const { return index_.size(); }
+
+  /// Total tasks assigned so far.
+  size_t assigned_tasks() const { return assigned_tasks_; }
+
+  /// The published tree.
+  const CompleteHst& tree() const { return *tree_; }
+
+  /// The budget ledger, when budgeting is enabled (else nullptr).
+  const PrivacyBudgetLedger* ledger() const { return ledger_.get(); }
+
+ private:
+  TbfServer(std::shared_ptr<const CompleteHst> tree,
+            const TbfServerOptions& options);
+
+  Status ChargeIfRequired(const std::string& user,
+                          std::optional<double> declared_epsilon);
+
+  std::shared_ptr<const CompleteHst> tree_;
+  TbfServerOptions options_;
+  HstAvailabilityIndex index_;
+  Rng rng_;
+  std::unique_ptr<PrivacyBudgetLedger> ledger_;
+
+  struct WorkerState {
+    LeafPath leaf;
+    int index_id = -1;  // id inside index_
+  };
+  std::unordered_map<std::string, WorkerState> workers_;
+  std::vector<std::string> worker_by_index_id_;
+  size_t assigned_tasks_ = 0;
+};
+
+}  // namespace tbf

@@ -1,0 +1,19 @@
+#include "core/tbf.h"
+
+namespace tbf {
+
+Result<TbfFramework> TbfFramework::Build(std::vector<Point> predefined_points,
+                                         const Metric& metric, Rng* rng,
+                                         const TbfOptions& options) {
+  TBF_ASSIGN_OR_RETURN(
+      CompleteHst tree,
+      CompleteHst::BuildFromPoints(predefined_points, metric, rng, options.tree));
+  TbfFramework framework;
+  framework.tree_ = std::make_shared<const CompleteHst>(std::move(tree));
+  TBF_ASSIGN_OR_RETURN(HstMechanism mechanism,
+                       HstMechanism::Build(*framework.tree_, options.epsilon));
+  framework.mechanism_ = std::make_shared<const HstMechanism>(std::move(mechanism));
+  return framework;
+}
+
+}  // namespace tbf

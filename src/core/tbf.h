@@ -1,0 +1,80 @@
+// TBF — the paper's end-to-end Tree-Based Framework (Fig. 1 workflow).
+//
+//   1. The server constructs an HST over a predefined, published point set.
+//   2. Each worker maps their location to the nearest predefined point's
+//      leaf and reports an obfuscated leaf drawn by the HST mechanism.
+//   3. Each arriving task does the same.
+//   4. The server matches on obfuscated leaves (HST-Greedy, Alg. 4 —
+//      implemented in matching/hst_greedy.h).
+//
+// TbfFramework owns steps 1-3: the published tree, the client-side mapping,
+// and the mechanism. Matching lives in matching/ so the same framework
+// serves both the distance objective and the matching-size case study.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/hst_mechanism.h"
+#include "geo/metric.h"
+#include "geo/point.h"
+#include "hst/complete_hst.h"
+
+namespace tbf {
+
+/// \brief Configuration of the published structure and the mechanism.
+struct TbfOptions {
+  /// Privacy budget per metric distance unit.
+  double epsilon = 0.6;
+
+  /// Algorithm-1 options (beta, normalization).
+  HstTreeOptions tree;
+};
+
+/// \brief The published HST + mechanism bundle shared by server and clients.
+class TbfFramework {
+ public:
+  /// \brief Builds the HST over `predefined_points` (server side, step 1)
+  /// and derives the mechanism. `rng` drives the tree randomness
+  /// (permutation, beta).
+  static Result<TbfFramework> Build(std::vector<Point> predefined_points,
+                                    const Metric& metric, Rng* rng,
+                                    const TbfOptions& options = {});
+
+  /// The published complete c-ary HST.
+  const CompleteHst& tree() const { return *tree_; }
+
+  /// The paper's leaf mechanism at the configured epsilon.
+  const HstMechanism& mechanism() const { return *mechanism_; }
+
+  /// \brief Client-side step without privacy: the leaf whose predefined
+  /// point is nearest to `location`.
+  const LeafPath& TrueLeaf(const Point& location) const {
+    return tree_->MapToNearestLeaf(location);
+  }
+
+  /// \brief Full client-side step: map to the nearest leaf, then obfuscate
+  /// with the HST mechanism (what a worker/task actually reports).
+  LeafPath ObfuscateLocation(const Point& location, Rng* rng) const {
+    return mechanism_->Obfuscate(TrueLeaf(location), rng);
+  }
+
+  /// Tree distance between two reported leaves, in metric units — all the
+  /// server ever evaluates.
+  double TreeDistance(const LeafPath& a, const LeafPath& b) const {
+    return tree_->TreeDistance(a, b);
+  }
+
+  double epsilon() const { return mechanism_->epsilon(); }
+
+ private:
+  TbfFramework() = default;
+
+  std::shared_ptr<const CompleteHst> tree_;
+  std::shared_ptr<const HstMechanism> mechanism_;
+};
+
+}  // namespace tbf

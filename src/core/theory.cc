@@ -1,0 +1,32 @@
+#include "core/theory.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tbf {
+
+double Lemma1LowerBoundFactor(int arity) {
+  return 1.0 / (3.0 * (2.0 * arity - 1.0));
+}
+
+double Lemma2UpperBoundFactor(int arity, double epsilon_tree) {
+  double two_c = 2.0 * arity;
+  double base = std::log(two_c) / epsilon_tree;
+  // The bound is vacuous (factor < 1 impossible for an expectation upper
+  // bound derived this way) only through hidden constants; clamp at 1.
+  return std::max(1.0, std::pow(base, std::log2(two_c)));
+}
+
+double Theorem3RatioShape(double epsilon, double num_predefined_points,
+                          double matching_size) {
+  double log_n = std::max(1.0, std::log2(num_predefined_points));
+  double log_k = std::max(1.0, std::log2(matching_size));
+  return (1.0 / std::pow(epsilon, 4)) * log_n * log_k * log_k;
+}
+
+double DistortionRatioBound(int arity, double epsilon_tree) {
+  return Lemma2UpperBoundFactor(arity, epsilon_tree) /
+         Lemma1LowerBoundFactor(arity);
+}
+
+}  // namespace tbf

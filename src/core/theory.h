@@ -1,0 +1,31 @@
+// Closed-form bounds from the paper's analysis (Sec. III-E).
+//
+// These are display/validation helpers: Lemma 1 and Lemma 2 bound the
+// expected obfuscation distortion of a tree edge; Theorem 3 combines them
+// with the HST-Greedy competitive ratio of Meyerson et al. The ablation
+// bench compares empirical ratios against the shapes these formulas predict.
+
+#pragma once
+
+namespace tbf {
+
+/// \brief Lemma 1: E[dT(u', v)] >= dT(u, v) / (3 (2c - 1)).
+double Lemma1LowerBoundFactor(int arity);
+
+/// \brief Lemma 2: E[dT(u', v)] <= O((ln 2c / eps)^{log2 2c}) dT(u, v).
+/// Returns the dominating term (ln(2c)/eps)^{log2(2c)} without the hidden
+/// constant. `eps` is the budget in tree units.
+double Lemma2UpperBoundFactor(int arity, double epsilon_tree);
+
+/// \brief Theorem 3 shape: (1/eps^4) * log2(N) * log2(k)^2 for c = 2
+/// (the paper reduces arbitrary HSTs to binary ones). Hidden constants
+/// omitted; useful for plotting the predicted growth curve next to
+/// measured competitive ratios.
+double Theorem3RatioShape(double epsilon, double num_predefined_points,
+                          double matching_size);
+
+/// \brief The per-edge expected-distortion ratio ub/lb used inside the
+/// Theorem 3 proof, with lb from Lemma 1 and ub from Lemma 2.
+double DistortionRatioBound(int arity, double epsilon_tree);
+
+}  // namespace tbf

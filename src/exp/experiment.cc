@@ -1,0 +1,146 @@
+#include "exp/experiment.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace tbf {
+
+Result<AveragedMetrics> RunRepeated(Algorithm algorithm,
+                                    const OnlineInstance& instance,
+                                    const PipelineConfig& config, int repeats) {
+  if (repeats < 1) return Status::InvalidArgument("repeats must be >= 1");
+  AveragedMetrics avg;
+  avg.algorithm = AlgorithmName(algorithm);
+  for (int r = 0; r < repeats; ++r) {
+    PipelineConfig run_config = config;
+    run_config.seed = config.seed + static_cast<uint64_t>(r);
+    TBF_ASSIGN_OR_RETURN(RunMetrics m, RunPipeline(algorithm, instance, run_config));
+    avg.total_distance += m.total_distance;
+    avg.matched += static_cast<double>(m.matched);
+    avg.match_seconds += m.match_seconds;
+    avg.obfuscate_seconds += m.obfuscate_seconds;
+    avg.build_seconds += m.build_seconds;
+    avg.memory_mb = std::max(avg.memory_mb, m.memory_mb);
+  }
+  double n = static_cast<double>(repeats);
+  avg.total_distance /= n;
+  avg.matched /= n;
+  avg.match_seconds /= n;
+  avg.obfuscate_seconds /= n;
+  avg.build_seconds /= n;
+  avg.repeats = repeats;
+  return avg;
+}
+
+Result<AveragedMetrics> RunRepeatedCaseStudy(CaseStudyAlgorithm algorithm,
+                                             const CaseStudyInstance& instance,
+                                             const CaseStudyConfig& config,
+                                             int repeats) {
+  if (repeats < 1) return Status::InvalidArgument("repeats must be >= 1");
+  AveragedMetrics avg;
+  avg.algorithm = CaseStudyAlgorithmName(algorithm);
+  for (int r = 0; r < repeats; ++r) {
+    CaseStudyConfig run_config = config;
+    run_config.pipeline.seed = config.pipeline.seed + static_cast<uint64_t>(r);
+    TBF_ASSIGN_OR_RETURN(CaseStudyMetrics m,
+                         RunCaseStudy(algorithm, instance, run_config));
+    avg.matching_size += static_cast<double>(m.matching_size);
+    avg.notifications += static_cast<double>(m.notifications);
+    avg.match_seconds += m.match_seconds;
+    avg.obfuscate_seconds += m.obfuscate_seconds;
+    avg.build_seconds += m.build_seconds;
+    avg.memory_mb = std::max(avg.memory_mb, m.memory_mb);
+  }
+  double n = static_cast<double>(repeats);
+  avg.matching_size /= n;
+  avg.notifications /= n;
+  avg.match_seconds /= n;
+  avg.obfuscate_seconds /= n;
+  avg.build_seconds /= n;
+  avg.repeats = repeats;
+  return avg;
+}
+
+FigureSeries::FigureSeries(std::string figure, std::string x_name)
+    : figure_(std::move(figure)), x_name_(std::move(x_name)) {}
+
+void FigureSeries::Add(const std::string& x_value, const AveragedMetrics& metrics) {
+  rows_.push_back({x_value, metrics});
+}
+
+void FigureSeries::PrintTables(const PanelSelection& panels) const {
+  // Column per algorithm, row per x value, one table per metric panel.
+  std::vector<std::string> algorithms;
+  std::vector<std::string> x_values;
+  for (const Row& row : rows_) {
+    if (std::find(algorithms.begin(), algorithms.end(), row.metrics.algorithm) ==
+        algorithms.end()) {
+      algorithms.push_back(row.metrics.algorithm);
+    }
+    if (std::find(x_values.begin(), x_values.end(), row.x_value) ==
+        x_values.end()) {
+      x_values.push_back(row.x_value);
+    }
+  }
+
+  auto panel = [&](const std::string& metric_name, auto getter) {
+    std::vector<std::string> header = {x_name_};
+    header.insert(header.end(), algorithms.begin(), algorithms.end());
+    AsciiTable table(figure_ + " — " + metric_name, header);
+    for (const std::string& x : x_values) {
+      std::vector<std::string> cells = {x};
+      for (const std::string& algorithm : algorithms) {
+        double value = 0.0;
+        bool found = false;
+        for (const Row& row : rows_) {
+          if (row.x_value == x && row.metrics.algorithm == algorithm) {
+            value = getter(row.metrics);
+            found = true;
+            break;
+          }
+        }
+        cells.push_back(found ? AsciiTable::Num(value) : "-");
+      }
+      table.AddRow(std::move(cells));
+    }
+    table.Print();
+  };
+
+  if (panels.total_distance) {
+    panel("total distance",
+          [](const AveragedMetrics& m) { return m.total_distance; });
+  }
+  if (panels.matching_size) {
+    panel("matching size",
+          [](const AveragedMetrics& m) { return m.matching_size; });
+  }
+  if (panels.match_seconds) {
+    panel("running time (secs)",
+          [](const AveragedMetrics& m) { return m.match_seconds; });
+  }
+  if (panels.memory_mb) {
+    panel("memory usage (MB)",
+          [](const AveragedMetrics& m) { return m.memory_mb; });
+  }
+}
+
+Status FigureSeries::WriteCsv(const std::string& path) const {
+  CsvWriter writer({x_name_, "algorithm", "total_distance", "matching_size",
+                    "match_seconds", "obfuscate_seconds", "build_seconds",
+                    "memory_mb", "repeats"});
+  for (const Row& row : rows_) {
+    TBF_RETURN_NOT_OK(writer.AddRow(std::vector<std::string>{
+        row.x_value, row.metrics.algorithm,
+        std::to_string(row.metrics.total_distance),
+        std::to_string(row.metrics.matching_size),
+        std::to_string(row.metrics.match_seconds),
+        std::to_string(row.metrics.obfuscate_seconds),
+        std::to_string(row.metrics.build_seconds),
+        std::to_string(row.metrics.memory_mb),
+        std::to_string(row.metrics.repeats)}));
+  }
+  return writer.WriteFile(path);
+}
+
+}  // namespace tbf

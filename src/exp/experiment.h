@@ -1,0 +1,82 @@
+// Experiment harness: repeated runs, averaging, and figure-series emission.
+//
+// The paper repeats every experiment 10 times and reports averages
+// (Sec. IV-A "Implementation"); benches default to fewer repeats so the
+// whole suite stays fast, with --repeats to match the paper.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/result.h"
+#include "common/table.h"
+#include "matching/runner.h"
+#include "workload/instance.h"
+
+namespace tbf {
+
+/// \brief Per-algorithm averages across repeated runs.
+struct AveragedMetrics {
+  std::string algorithm;
+  double total_distance = 0.0;
+  double matched = 0.0;
+  double match_seconds = 0.0;
+  double obfuscate_seconds = 0.0;
+  double build_seconds = 0.0;
+  double memory_mb = 0.0;
+  double matching_size = 0.0;   ///< case study only
+  double notifications = 0.0;   ///< case study only
+  int repeats = 0;
+};
+
+/// \brief Runs `algorithm` on `instance` `repeats` times (seed + r per run)
+/// and averages the metrics.
+Result<AveragedMetrics> RunRepeated(Algorithm algorithm,
+                                    const OnlineInstance& instance,
+                                    const PipelineConfig& config, int repeats);
+
+/// \brief Case-study counterpart of RunRepeated.
+Result<AveragedMetrics> RunRepeatedCaseStudy(CaseStudyAlgorithm algorithm,
+                                             const CaseStudyInstance& instance,
+                                             const CaseStudyConfig& config,
+                                             int repeats);
+
+/// \brief Collects one figure's series: rows keyed by (x value, algorithm).
+///
+/// PrintTables() renders one ASCII table per metric — matching the paper's
+/// figure panels (total distance / running time / memory) — and
+/// WriteCsv() dumps the raw series for plotting.
+class FigureSeries {
+ public:
+  /// \param figure e.g. "Fig 6a/6e/6i"; \param x_name e.g. "|T|".
+  FigureSeries(std::string figure, std::string x_name);
+
+  void Add(const std::string& x_value, const AveragedMetrics& metrics);
+
+  /// Panels: which metrics to render as per-panel tables.
+  struct PanelSelection {
+    bool total_distance = true;
+    bool match_seconds = true;
+    bool memory_mb = true;
+    bool matching_size = false;
+  };
+
+  void PrintTables(const PanelSelection& panels) const;
+  void PrintTables() const { PrintTables(PanelSelection{}); }
+
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  struct Row {
+    std::string x_value;
+    AveragedMetrics metrics;
+  };
+
+  std::string figure_;
+  std::string x_name_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace tbf

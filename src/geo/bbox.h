@@ -1,0 +1,58 @@
+// Axis-aligned bounding boxes (workload spaces, k-d tree pruning).
+
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace tbf {
+
+/// \brief Axis-aligned rectangle [min_x, max_x] x [min_y, max_y].
+struct BBox {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  constexpr BBox() = default;
+  constexpr BBox(double x0, double y0, double x1, double y1)
+      : min_x(x0), min_y(y0), max_x(x1), max_y(y1) {}
+
+  /// Square region [0, side] x [0, side] (the paper's 200x200 space).
+  static constexpr BBox Square(double side) { return BBox(0, 0, side, side); }
+
+  double width() const { return max_x - min_x; }
+  double height() const { return max_y - min_y; }
+  double Diagonal() const {
+    return EuclideanDistance({min_x, min_y}, {max_x, max_y});
+  }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  /// Closest point of the box to `p` (equals `p` when inside).
+  Point Clamp(const Point& p) const {
+    return {std::clamp(p.x, min_x, max_x), std::clamp(p.y, min_y, max_y)};
+  }
+
+  /// Distance from `p` to the box (0 when inside).
+  double Distance(const Point& p) const { return EuclideanDistance(p, Clamp(p)); }
+
+  /// Smallest box containing all points (empty input gives a zero box).
+  static BBox Of(const std::vector<Point>& pts) {
+    if (pts.empty()) return BBox();
+    BBox b(pts[0].x, pts[0].y, pts[0].x, pts[0].y);
+    for (const Point& p : pts) {
+      b.min_x = std::min(b.min_x, p.x);
+      b.min_y = std::min(b.min_y, p.y);
+      b.max_x = std::max(b.max_x, p.x);
+      b.max_y = std::max(b.max_y, p.y);
+    }
+    return b;
+  }
+};
+
+}  // namespace tbf

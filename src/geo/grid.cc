@@ -1,0 +1,52 @@
+#include "geo/grid.h"
+
+namespace tbf {
+
+Result<std::vector<Point>> UniformGridPoints(const BBox& region, int side) {
+  if (side < 1) return Status::InvalidArgument("grid side must be >= 1");
+  if (region.width() <= 0 || region.height() <= 0) {
+    return Status::InvalidArgument("region must have positive area");
+  }
+  std::vector<Point> pts;
+  pts.reserve(static_cast<size_t>(side) * static_cast<size_t>(side));
+  for (int i = 0; i < side; ++i) {
+    for (int j = 0; j < side; ++j) {
+      double fx = side == 1 ? 0.5 : static_cast<double>(i) / (side - 1);
+      double fy = side == 1 ? 0.5 : static_cast<double>(j) / (side - 1);
+      pts.push_back({region.min_x + fx * region.width(),
+                     region.min_y + fy * region.height()});
+    }
+  }
+  return pts;
+}
+
+Result<std::vector<Point>> RandomUniformPoints(const BBox& region, int count,
+                                               Rng* rng) {
+  if (count < 1) return Status::InvalidArgument("count must be >= 1");
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  std::vector<Point> pts;
+  pts.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    pts.push_back({rng->Uniform(region.min_x, region.max_x),
+                   rng->Uniform(region.min_y, region.max_y)});
+  }
+  return pts;
+}
+
+std::vector<Point> FilterMinSeparation(const std::vector<Point>& pts,
+                                       double min_separation) {
+  std::vector<Point> kept;
+  for (const Point& p : pts) {
+    bool ok = true;
+    for (const Point& q : kept) {
+      if (EuclideanDistance(p, q) < min_separation) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) kept.push_back(p);
+  }
+  return kept;
+}
+
+}  // namespace tbf

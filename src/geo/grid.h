@@ -1,0 +1,33 @@
+// Predefined point set generators.
+//
+// The server builds the HST over a *predefined*, published point set
+// (paper Sec. III-B): it never sees true worker/task locations. These
+// helpers produce the point sets used in the evaluation; N (the set size)
+// appears in the competitive ratio O(eps^-4 log N log^2 k).
+
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "geo/bbox.h"
+#include "geo/point.h"
+
+namespace tbf {
+
+/// \brief Uniform side x side grid of points covering `region`
+/// (side >= 2 gives points on the boundary).
+Result<std::vector<Point>> UniformGridPoints(const BBox& region, int side);
+
+/// \brief `count` points sampled uniformly at random in `region`.
+Result<std::vector<Point>> RandomUniformPoints(const BBox& region, int count,
+                                               Rng* rng);
+
+/// \brief Deduplicates points closer than `min_separation` (greedy filter,
+/// keeps earlier points). Used to sanitize user-supplied predefined sets
+/// before HST construction.
+std::vector<Point> FilterMinSeparation(const std::vector<Point>& pts,
+                                       double min_separation);
+
+}  // namespace tbf

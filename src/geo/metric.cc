@@ -1,0 +1,33 @@
+#include "geo/metric.h"
+
+#include <algorithm>
+
+namespace tbf {
+
+double MaxPairwiseDistance(const std::vector<Point>& pts, const Metric& metric) {
+  double best = 0.0;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (size_t j = i + 1; j < pts.size(); ++j) {
+      best = std::max(best, metric.Distance(pts[i], pts[j]));
+    }
+  }
+  return best;
+}
+
+double MinPairwiseDistance(const std::vector<Point>& pts, const Metric& metric) {
+  double best = 0.0;
+  bool found = false;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (size_t j = i + 1; j < pts.size(); ++j) {
+      double d = metric.Distance(pts[i], pts[j]);
+      if (d <= 0.0) continue;
+      if (!found || d < best) {
+        best = d;
+        found = true;
+      }
+    }
+  }
+  return found ? best : 0.0;
+}
+
+}  // namespace tbf

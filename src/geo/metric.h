@@ -1,0 +1,52 @@
+// Metric space abstraction. The HST construction (paper Alg. 1) works over
+// any finite metric (V, d); the library ships the Euclidean metric the paper
+// uses plus L1 for tests.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace tbf {
+
+/// \brief Distance function over 2-D points.
+class Metric {
+ public:
+  virtual ~Metric() = default;
+
+  /// Distance between two points; must satisfy the metric axioms.
+  virtual double Distance(const Point& a, const Point& b) const = 0;
+
+  /// Human-readable metric name (for logs and bench output).
+  virtual const char* Name() const = 0;
+};
+
+/// \brief L2 metric (the paper's space X).
+class EuclideanMetric final : public Metric {
+ public:
+  double Distance(const Point& a, const Point& b) const override {
+    return EuclideanDistance(a, b);
+  }
+  const char* Name() const override { return "euclidean"; }
+};
+
+/// \brief L1 metric (used by tests to exercise metric-genericity).
+class ManhattanMetric final : public Metric {
+ public:
+  double Distance(const Point& a, const Point& b) const override {
+    return ManhattanDistance(a, b);
+  }
+  const char* Name() const override { return "manhattan"; }
+};
+
+/// \brief Maximum pairwise distance over a point set under `metric`.
+/// Returns 0 for fewer than 2 points. O(n^2).
+double MaxPairwiseDistance(const std::vector<Point>& pts, const Metric& metric);
+
+/// \brief Minimum non-zero pairwise distance; 0 when no distinct pair exists.
+/// O(n^2).
+double MinPairwiseDistance(const std::vector<Point>& pts, const Metric& metric);
+
+}  // namespace tbf

@@ -1,0 +1,131 @@
+#include "hst/complete_hst.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/math.h"
+
+namespace tbf {
+
+Result<CompleteHst> CompleteHst::Build(const HstTree& tree,
+                                       std::vector<Point> points) {
+  if (points.size() != tree.num_points()) {
+    return Status::InvalidArgument("point set does not match the tree");
+  }
+  CompleteHst out;
+  out.depth_ = tree.depth();
+  out.arity_ = std::max(2, tree.max_branching());
+  if (out.arity_ > std::numeric_limits<char16_t>::max()) {
+    return Status::OutOfRange("tree branching exceeds digit capacity (65535)");
+  }
+  out.scale_ = tree.scale();
+  out.points_ = std::move(points);
+
+  // Digit path of each real leaf: child index at each node on the
+  // root-to-leaf walk. Real children occupy digits 0..k-1 in construction
+  // order; digits k..c-1 are the fake children appended by padding.
+  out.leaf_paths_.resize(out.points_.size());
+  const auto& nodes = tree.nodes();
+  for (size_t pid = 0; pid < out.points_.size(); ++pid) {
+    int node = tree.leaf_of_point(static_cast<int>(pid));
+    LeafPath reversed;
+    while (nodes[static_cast<size_t>(node)].parent >= 0) {
+      int parent = nodes[static_cast<size_t>(node)].parent;
+      const auto& siblings = nodes[static_cast<size_t>(parent)].children;
+      auto it = std::find(siblings.begin(), siblings.end(), node);
+      TBF_CHECK(it != siblings.end()) << "tree child/parent inconsistency";
+      reversed.push_back(
+          static_cast<char16_t>(std::distance(siblings.begin(), it)));
+      node = parent;
+    }
+    LeafPath path(reversed.rbegin(), reversed.rend());
+    TBF_CHECK(static_cast<int>(path.size()) == out.depth_)
+        << "leaf not at level 0";
+    out.point_by_leaf_[path] = static_cast<int>(pid);
+    out.leaf_paths_[pid] = std::move(path);
+  }
+
+  out.mapper_ = std::make_unique<KdTree>(out.points_);
+  return out;
+}
+
+Result<CompleteHst> CompleteHst::BuildFromPoints(const std::vector<Point>& points,
+                                                 const Metric& metric, Rng* rng,
+                                                 const HstTreeOptions& options) {
+  TBF_ASSIGN_OR_RETURN(HstTree tree, HstTree::Build(points, metric, rng, options));
+  return Build(tree, points);
+}
+
+Result<CompleteHst> CompleteHst::FromParts(int depth, int arity, double scale,
+                                           std::vector<Point> points,
+                                           std::vector<LeafPath> leaf_paths) {
+  if (depth < 1) return Status::InvalidArgument("depth must be >= 1");
+  if (arity < 2) return Status::InvalidArgument("arity must be >= 2");
+  if (arity > std::numeric_limits<char16_t>::max()) {
+    return Status::OutOfRange("arity exceeds digit capacity (65535)");
+  }
+  if (!(scale > 0.0)) return Status::InvalidArgument("scale must be positive");
+  if (points.empty()) return Status::InvalidArgument("empty point set");
+  if (points.size() != leaf_paths.size()) {
+    return Status::InvalidArgument("points/leaf_paths size mismatch");
+  }
+  CompleteHst out;
+  out.depth_ = depth;
+  out.arity_ = arity;
+  out.scale_ = scale;
+  out.points_ = std::move(points);
+  out.leaf_paths_ = std::move(leaf_paths);
+  for (size_t pid = 0; pid < out.leaf_paths_.size(); ++pid) {
+    const LeafPath& path = out.leaf_paths_[pid];
+    if (static_cast<int>(path.size()) != depth) {
+      return Status::InvalidArgument("leaf path length != depth");
+    }
+    for (char16_t digit : path) {
+      if (static_cast<int>(digit) >= arity) {
+        return Status::InvalidArgument("leaf path digit out of arity range");
+      }
+    }
+    if (!out.point_by_leaf_.emplace(path, static_cast<int>(pid)).second) {
+      return Status::InvalidArgument("duplicate leaf path");
+    }
+  }
+  out.mapper_ = std::make_unique<KdTree>(out.points_);
+  return out;
+}
+
+double CompleteHst::num_leaves() const {
+  return std::pow(static_cast<double>(arity_), depth_);
+}
+
+std::optional<int> CompleteHst::point_of_leaf(const LeafPath& leaf) const {
+  auto it = point_by_leaf_.find(leaf);
+  if (it == point_by_leaf_.end()) return std::nullopt;
+  return it->second;
+}
+
+double CompleteHst::TreeDistance(const LeafPath& a, const LeafPath& b) const {
+  return TreeDistanceForLevel(LcaLevel(a, b)) / scale_;
+}
+
+double CompleteHst::TreeDistanceForLcaLevel(int level) const {
+  return TreeDistanceForLevel(level) / scale_;
+}
+
+int CompleteHst::MapToNearestPoint(const Point& location) const {
+  int id = mapper_->NearestNeighbor(location);
+  TBF_CHECK(id >= 0) << "empty predefined point set";
+  return id;
+}
+
+const LeafPath& CompleteHst::MapToNearestLeaf(const Point& location) const {
+  return leaf_of_point(MapToNearestPoint(location));
+}
+
+double CompleteHst::SiblingSetSize(int level) const {
+  TBF_CHECK(level >= 1 && level <= depth_) << "level out of range";
+  return (arity_ - 1) * std::pow(static_cast<double>(arity_), level - 1);
+}
+
+}  // namespace tbf

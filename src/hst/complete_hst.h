@@ -1,0 +1,108 @@
+// Complete c-ary HST — the published structure of paper Sec. III-B.
+//
+// Wraps an HstTree and pads it (conceptually) with fake nodes until every
+// internal node has exactly c children (Alg. 1 lines 14-15). Fake subtrees
+// are never materialized: leaves are addressed by digit paths (leaf_path.h)
+// and a digit combination that does not correspond to a real point is a fake
+// leaf. This keeps the memory footprint O(N * D) while the logical leaf set
+// has c^D elements.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/kdtree.h"
+#include "geo/metric.h"
+#include "geo/point.h"
+#include "hst/hst_tree.h"
+#include "hst/leaf_path.h"
+
+namespace tbf {
+
+/// \brief The complete c-ary HST the server publishes: predefined points,
+/// their leaf paths, and the tree geometry (depth, arity, scale).
+///
+/// Thread-safe for concurrent reads after construction.
+class CompleteHst {
+ public:
+  /// \brief Pads `tree` to a complete c-ary tree.
+  ///
+  /// `points` must be the exact point set the tree was built over (the
+  /// class keeps a copy for nearest-point mapping). The arity is
+  /// max(2, tree.max_branching()): real children keep their construction
+  /// order as digits 0..k-1; fake children take the remaining digits.
+  static Result<CompleteHst> Build(const HstTree& tree, std::vector<Point> points);
+
+  /// Convenience: run Algorithm 1 and pad, in one call.
+  static Result<CompleteHst> BuildFromPoints(const std::vector<Point>& points,
+                                             const Metric& metric, Rng* rng,
+                                             const HstTreeOptions& options = {});
+
+  /// \brief Reconstructs a published tree from its parts (the
+  /// deserialization path — see hst/serialize.h). Validates depth/arity/
+  /// scale ranges, path lengths, digit bounds, and path uniqueness.
+  static Result<CompleteHst> FromParts(int depth, int arity, double scale,
+                                       std::vector<Point> points,
+                                       std::vector<LeafPath> leaf_paths);
+
+  /// Tree depth D (root level).
+  int depth() const { return depth_; }
+
+  /// Arity c of the complete tree.
+  int arity() const { return arity_; }
+
+  /// Internal units per metric unit (see HstTree::scale).
+  double scale() const { return scale_; }
+
+  /// Number of real predefined points N.
+  int num_points() const { return static_cast<int>(points_.size()); }
+
+  /// Number of logical leaves c^D of the complete tree (saturating; the
+  /// value is only informational and may exceed 2^63 for wide trees).
+  double num_leaves() const;
+
+  /// The predefined point set, by id.
+  const std::vector<Point>& points() const { return points_; }
+
+  /// Digit path of the leaf holding real point `point_id`.
+  const LeafPath& leaf_of_point(int point_id) const {
+    return leaf_paths_[static_cast<size_t>(point_id)];
+  }
+
+  /// Real point stored at `leaf`, or nullopt for fake leaves.
+  std::optional<int> point_of_leaf(const LeafPath& leaf) const;
+
+  /// \brief Tree distance between two leaves in *metric* units.
+  double TreeDistance(const LeafPath& a, const LeafPath& b) const;
+
+  /// \brief Tree distance in metric units for a given LCA level.
+  double TreeDistanceForLcaLevel(int level) const;
+
+  /// \brief Id of the predefined point nearest to `location` in Euclidean
+  /// distance (the client-side mapping step of the paper's workflow).
+  int MapToNearestPoint(const Point& location) const;
+
+  /// \brief Leaf path of the nearest predefined point.
+  const LeafPath& MapToNearestLeaf(const Point& location) const;
+
+  /// Size of |L_i(x)| = (c-1) c^{i-1}, the sibling set at level i >= 1
+  /// (as a double; exact while within 2^53).
+  double SiblingSetSize(int level) const;
+
+ private:
+  CompleteHst() = default;
+
+  int depth_ = 0;
+  int arity_ = 2;
+  double scale_ = 1.0;
+  std::vector<Point> points_;
+  std::vector<LeafPath> leaf_paths_;
+  std::unordered_map<LeafPath, int> point_by_leaf_;
+  std::unique_ptr<KdTree> mapper_;
+};
+
+}  // namespace tbf

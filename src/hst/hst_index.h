@@ -1,0 +1,91 @@
+// Availability index over HST leaves.
+//
+// The paper's HST-Greedy (Alg. 4) scans all unmatched workers per task,
+// O(D n) per assignment. Because the tree distance between leaves depends
+// only on their LCA level, the nearest available worker can instead be found
+// by walking up from the task's leaf and probing subtree occupancy counts —
+// O(c D) per query. This index maintains those counts under insert/remove
+// and also enumerates workers in non-decreasing tree distance (used by the
+// reachability case study, Sec. IV-C).
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "hst/leaf_path.h"
+
+namespace tbf {
+
+/// \brief Tie-breaking among equidistant items (the paper: "ties are
+/// broken arbitrarily").
+enum class HstTieBreak {
+  /// Deterministic: (LCA level, leaf path, item id) lexicographic.
+  kCanonical,
+  /// Uniformly random among all items at the minimal tree distance —
+  /// Bansal et al. (Algorithmica'14) style randomization; removes the
+  /// systematic spatial bias of a fixed order.
+  kUniformRandom,
+};
+
+/// \brief Multiset of items placed on HST leaves, supporting
+/// nearest-by-tree-distance queries.
+///
+/// Tie-breaking is canonical and deterministic: among equidistant items the
+/// one with the lexicographically smallest leaf path wins, and within a leaf
+/// the smallest item id. HstGreedyMatcher's naive engine applies the same
+/// rule so the two engines produce identical matchings.
+class HstAvailabilityIndex {
+ public:
+  /// `depth`/`arity` must match the CompleteHst the leaf paths come from.
+  HstAvailabilityIndex(int depth, int arity);
+
+  /// Adds `item_id` at `leaf`. Ids must be unique across the index.
+  void Insert(const LeafPath& leaf, int item_id);
+
+  /// Removes `item_id` from `leaf`; the pair must be present.
+  void Remove(const LeafPath& leaf, int item_id);
+
+  /// Number of items currently present.
+  size_t size() const { return size_; }
+
+  bool empty() const { return size_ == 0; }
+
+  /// \brief Nearest item to `query` by tree distance (canonical
+  /// tie-breaking); nullopt when empty. Returns (item_id, lca_level).
+  std::optional<std::pair<int, int>> Nearest(const LeafPath& query) const;
+
+  /// \brief Like Nearest, but uniformly random among all items at the
+  /// minimal tree distance (subtree-count-weighted descent, O(c D)).
+  std::optional<std::pair<int, int>> NearestUniform(const LeafPath& query,
+                                                    Rng* rng) const;
+
+  /// \brief Up to `limit` items in non-decreasing tree distance from
+  /// `query` (canonical order). Each entry is (item_id, lca_level).
+  std::vector<std::pair<int, int>> NearestK(const LeafPath& query,
+                                            size_t limit) const;
+
+ private:
+  // Count of items in the subtree identified by a root prefix.
+  int CountAt(const LeafPath& prefix) const;
+
+  // Appends items under `prefix` in canonical order, skipping the child
+  // subtree `skip_digit` (pass -1 to skip none); stops once out->size()
+  // reaches limit.
+  void Collect(const LeafPath& prefix, int skip_digit, size_t limit, int level,
+               std::vector<std::pair<int, int>>* out) const;
+
+  int depth_;
+  int arity_;
+  size_t size_ = 0;
+  std::unordered_map<LeafPath, int> subtree_count_;       // keyed by prefix
+  std::unordered_map<LeafPath, std::set<int>> leaf_items_;  // keyed by full path
+  std::unordered_map<int, LeafPath> leaf_of_item_;          // global id check
+};
+
+}  // namespace tbf

@@ -1,0 +1,165 @@
+#include "hst/hst_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math.h"
+
+namespace tbf {
+
+Result<HstTree> HstTree::Build(const std::vector<Point>& points,
+                               const Metric& metric, Rng* rng,
+                               const HstTreeOptions& options) {
+  if (points.empty()) return Status::InvalidArgument("empty point set");
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+
+  HstTree tree;
+
+  // Normalize the metric so min pairwise distance == kMinSeparation; this
+  // guarantees singleton level-0 clusters (ball radius there is beta <= 1).
+  const double min_dist = MinPairwiseDistance(points, metric);
+  if (points.size() > 1) {
+    bool has_duplicates = false;
+    for (size_t i = 0; i < points.size() && !has_duplicates; ++i) {
+      for (size_t j = i + 1; j < points.size(); ++j) {
+        if (metric.Distance(points[i], points[j]) <= 0.0) {
+          has_duplicates = true;
+          break;
+        }
+      }
+    }
+    if (has_duplicates) {
+      return Status::InvalidArgument(
+          "duplicate points in HST input; deduplicate first "
+          "(see FilterMinSeparation)");
+    }
+    if (options.normalize) {
+      tree.scale_ = HstTreeOptions::kMinSeparation / min_dist;
+    }
+  }
+
+  auto dist = [&](int a, int b) {
+    return tree.scale_ *
+           metric.Distance(points[static_cast<size_t>(a)], points[static_cast<size_t>(b)]);
+  };
+
+  const int n = static_cast<int>(points.size());
+
+  // Line 1 of Alg. 1: D = ceil(log2(2 * max distance)), beta ~ U[1/2, 1),
+  // pi a random permutation of V.
+  const double max_dist = tree.scale_ * MaxPairwiseDistance(points, metric);
+  tree.depth_ =
+      n == 1 ? 1 : static_cast<int>(std::ceil(std::log2(2.0 * max_dist)));
+  TBF_CHECK(tree.depth_ >= 1) << "HST depth must be positive";
+  tree.beta_ = (options.beta >= 0.5 && options.beta <= 1.0)
+                   ? options.beta
+                   : rng->Uniform(0.5, 1.0);
+  // With normalization off, singleton leaves require the metric to separate
+  // points by more than the level-0 ball diameter 2 * beta.
+  if (!options.normalize && n > 1 && min_dist <= 2.0 * tree.beta_) {
+    return Status::FailedPrecondition(
+        "normalize=false requires min pairwise distance > 2 * beta");
+  }
+
+  std::vector<int> pi;
+  if (options.permutation.empty()) {
+    pi = rng->Permutation(n);
+  } else {
+    pi = options.permutation;
+    if (static_cast<int>(pi.size()) != n) {
+      return Status::InvalidArgument("permutation size != point count");
+    }
+    std::vector<bool> seen(static_cast<size_t>(n), false);
+    for (int v : pi) {
+      if (v < 0 || v >= n || seen[static_cast<size_t>(v)]) {
+        return Status::InvalidArgument("permutation is not a permutation");
+      }
+      seen[static_cast<size_t>(v)] = true;
+    }
+  }
+
+  // Root cluster holds all of V at level D.
+  tree.nodes_.push_back(HstNode{});
+  tree.root_ = 0;
+  HstNode& root = tree.nodes_[0];
+  root.level = tree.depth_;
+  root.point_ids.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) root.point_ids[static_cast<size_t>(i)] = i;
+
+  // Lines 3-13: split every cluster at level i+1 into child clusters at
+  // level i using balls of radius beta * 2^i around pi(1), pi(2), ...
+  std::vector<int> frontier = {tree.root_};
+  for (int level = tree.depth_ - 1; level >= 0; --level) {
+    const double radius = tree.beta_ * PowerOfTwo(level);
+    std::vector<int> next_frontier;
+    for (int cluster_index : frontier) {
+      // Copy out the members: mutating nodes_ below may reallocate.
+      std::vector<int> remaining = tree.nodes_[static_cast<size_t>(cluster_index)].point_ids;
+      for (int j = 0; j < n && !remaining.empty(); ++j) {
+        const int center = pi[static_cast<size_t>(j)];
+        std::vector<int> ball;
+        std::vector<int> rest;
+        for (int u : remaining) {
+          if (dist(u, center) <= radius) {
+            ball.push_back(u);
+          } else {
+            rest.push_back(u);
+          }
+        }
+        if (ball.empty()) continue;
+        const int child_index = static_cast<int>(tree.nodes_.size());
+        tree.nodes_.push_back(HstNode{});
+        HstNode& child = tree.nodes_.back();
+        child.level = level;
+        child.parent = cluster_index;
+        child.point_ids = std::move(ball);
+        tree.nodes_[static_cast<size_t>(cluster_index)].children.push_back(child_index);
+        next_frontier.push_back(child_index);
+        remaining = std::move(rest);
+      }
+      TBF_CHECK(remaining.empty())
+          << "FRT partition left unassigned points at level " << level;
+    }
+    frontier = std::move(next_frontier);
+  }
+
+  // Leaves must be singletons; record the leaf of each point.
+  tree.leaf_of_point_.assign(static_cast<size_t>(n), -1);
+  for (int leaf_index : frontier) {
+    const HstNode& leaf = tree.nodes_[static_cast<size_t>(leaf_index)];
+    if (leaf.point_ids.size() != 1) {
+      return Status::Internal("non-singleton leaf cluster; metric separation violated");
+    }
+    tree.leaf_of_point_[static_cast<size_t>(leaf.point_ids[0])] = leaf_index;
+  }
+
+  // Line 14: maximum branching factor c.
+  tree.max_branching_ = 0;
+  for (const HstNode& node : tree.nodes_) {
+    tree.max_branching_ =
+        std::max(tree.max_branching_, static_cast<int>(node.children.size()));
+  }
+
+  return tree;
+}
+
+double HstTree::TreeDistanceBetweenPoints(int point_a, int point_b) const {
+  if (point_a == point_b) return 0.0;
+  int a = leaf_of_point(point_a);
+  int b = leaf_of_point(point_b);
+  double dist_internal = 0.0;
+  // Leaves are at equal depth; climb in lockstep until the clusters merge.
+  while (a != b) {
+    const HstNode& na = nodes_[static_cast<size_t>(a)];
+    const HstNode& nb = nodes_[static_cast<size_t>(b)];
+    // Edge to parent from level i has length 2^{i+1}.
+    dist_internal += 2.0 * PowerOfTwo(na.level) + 2.0 * PowerOfTwo(nb.level);
+    a = na.parent;
+    b = nb.parent;
+    TBF_CHECK(a >= 0 && b >= 0) << "walked past the root";
+  }
+  return dist_internal / scale_;
+}
+
+}  // namespace tbf

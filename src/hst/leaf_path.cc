@@ -1,0 +1,55 @@
+#include "hst/leaf_path.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/math.h"
+
+namespace tbf {
+
+int LcaLevel(const LeafPath& a, const LeafPath& b) {
+  TBF_CHECK(a.size() == b.size()) << "leaf paths from different trees: "
+                                  << a.size() << " vs " << b.size();
+  const int depth = static_cast<int>(a.size());
+  for (int j = 0; j < depth; ++j) {
+    if (a[static_cast<size_t>(j)] != b[static_cast<size_t>(j)]) return depth - j;
+  }
+  return 0;
+}
+
+double TreeDistanceForLevel(int lca_level) {
+  if (lca_level <= 0) return 0.0;
+  return PowerOfTwo(lca_level + 2) - 4.0;
+}
+
+LeafPath AncestorPrefix(const LeafPath& path, int level) {
+  const int depth = static_cast<int>(path.size());
+  TBF_CHECK(level >= 0 && level <= depth) << "level " << level << " out of range";
+  return path.substr(0, static_cast<size_t>(depth - level));
+}
+
+std::string LeafPathToString(const LeafPath& path) {
+  std::string out;
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(static_cast<int>(path[i]));
+  }
+  return out;
+}
+
+LeafPath LeafPathFromString(const std::string& text) {
+  LeafPath path;
+  if (text.empty()) return path;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t dot = text.find('.', pos);
+    if (dot == std::string::npos) dot = text.size();
+    int digit = std::atoi(text.substr(pos, dot - pos).c_str());
+    path.push_back(static_cast<char16_t>(digit));
+    pos = dot + 1;
+    if (dot == text.size()) break;
+  }
+  return path;
+}
+
+}  // namespace tbf

@@ -1,0 +1,101 @@
+#include "hst/serialize.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace tbf {
+
+namespace {
+
+constexpr char kMagic[] = "tbf-hst";
+constexpr int kVersion = 1;
+
+// %.17g round-trips IEEE doubles exactly.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string SerializeCompleteHst(const CompleteHst& tree) {
+  std::ostringstream out;
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "depth " << tree.depth() << " arity " << tree.arity() << " scale "
+      << FormatDouble(tree.scale()) << '\n';
+  out << "points " << tree.num_points() << '\n';
+  for (int pid = 0; pid < tree.num_points(); ++pid) {
+    const Point& p = tree.points()[static_cast<size_t>(pid)];
+    out << FormatDouble(p.x) << ' ' << FormatDouble(p.y) << ' '
+        << LeafPathToString(tree.leaf_of_point(pid)) << '\n';
+  }
+  return out.str();
+}
+
+Result<CompleteHst> ParseCompleteHst(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagic) {
+    return Status::InvalidArgument("not a tbf-hst document");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported tbf-hst version " +
+                                   std::to_string(version));
+  }
+
+  std::string key;
+  int depth = 0;
+  int arity = 0;
+  double scale = 0.0;
+  if (!(in >> key >> depth) || key != "depth") {
+    return Status::InvalidArgument("missing depth");
+  }
+  if (!(in >> key >> arity) || key != "arity") {
+    return Status::InvalidArgument("missing arity");
+  }
+  if (!(in >> key >> scale) || key != "scale") {
+    return Status::InvalidArgument("missing scale");
+  }
+
+  size_t count = 0;
+  if (!(in >> key >> count) || key != "points") {
+    return Status::InvalidArgument("missing points count");
+  }
+  std::vector<Point> points;
+  std::vector<LeafPath> paths;
+  points.reserve(count);
+  paths.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    double x = 0, y = 0;
+    std::string path_text;
+    if (!(in >> x >> y >> path_text)) {
+      return Status::InvalidArgument("truncated point table at row " +
+                                     std::to_string(i));
+    }
+    points.push_back({x, y});
+    paths.push_back(LeafPathFromString(path_text));
+  }
+  return CompleteHst::FromParts(depth, arity, scale, std::move(points),
+                                std::move(paths));
+}
+
+Status WriteCompleteHstFile(const CompleteHst& tree, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << SerializeCompleteHst(tree);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<CompleteHst> ReadCompleteHstFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCompleteHst(buf.str());
+}
+
+}  // namespace tbf

@@ -1,0 +1,35 @@
+// Publication format for the complete HST.
+//
+// In the paper's workflow the server *publishes* the tree and the
+// predefined point set to all workers/tasks (Fig. 1, step 1). This module
+// provides that wire format: a versioned, line-oriented text encoding that
+// round-trips a CompleteHst exactly, so clients can reconstruct the
+// published structure without access to the server's build-time randomness.
+//
+//   tbf-hst 1            header: magic + version
+//   depth D arity C scale S
+//   points N
+//   x y leafpath         (N lines, leafpath as dot-separated digits)
+
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "hst/complete_hst.h"
+
+namespace tbf {
+
+/// \brief Serializes the published structure (depth/arity/scale, predefined
+/// points and their leaf paths).
+std::string SerializeCompleteHst(const CompleteHst& tree);
+
+/// \brief Parses the SerializeCompleteHst format; validates structural
+/// invariants (path lengths, digit ranges, uniqueness, point count).
+Result<CompleteHst> ParseCompleteHst(const std::string& text);
+
+/// \brief Convenience file I/O wrappers.
+Status WriteCompleteHstFile(const CompleteHst& tree, const std::string& path);
+Result<CompleteHst> ReadCompleteHstFile(const std::string& path);
+
+}  // namespace tbf

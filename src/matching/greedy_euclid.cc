@@ -1,0 +1,42 @@
+#include "matching/greedy_euclid.h"
+
+#include <limits>
+
+namespace tbf {
+
+GreedyEuclidMatcher::GreedyEuclidMatcher(std::vector<Point> workers,
+                                         GreedyEngine engine)
+    : engine_(engine),
+      workers_(std::move(workers)),
+      taken_(workers_.size(), false),
+      available_count_(workers_.size()) {
+  if (engine_ == GreedyEngine::kKdTree) {
+    index_ = std::make_unique<KdTree>(workers_);
+  }
+}
+
+int GreedyEuclidMatcher::Assign(const Point& task) {
+  if (available_count_ == 0) return -1;
+  int best = -1;
+  if (engine_ == GreedyEngine::kKdTree) {
+    best = index_->NearestNeighbor(task);
+    if (best >= 0) index_->Deactivate(best);
+  } else {
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      if (taken_[i]) continue;
+      double d2 = SquaredDistance(task, workers_[i]);
+      if (d2 < best_d2) {  // strict: first minimum wins => smallest id
+        best_d2 = d2;
+        best = static_cast<int>(i);
+      }
+    }
+  }
+  if (best >= 0) {
+    taken_[static_cast<size_t>(best)] = true;
+    --available_count_;
+  }
+  return best;
+}
+
+}  // namespace tbf

@@ -1,0 +1,44 @@
+// Online greedy matching in the Euclidean plane (Tong et al., PVLDB 2016) —
+// the matcher inside the Lap-GR baseline: each arriving task takes the
+// nearest unmatched worker by (reported) Euclidean distance.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "geo/kdtree.h"
+#include "geo/point.h"
+
+namespace tbf {
+
+/// \brief Search engine for the greedy scan.
+enum class GreedyEngine {
+  kLinearScan,  ///< O(n) per task — the complexity the paper reports
+  kKdTree,      ///< O(log n) expected per task (library extension)
+};
+
+/// \brief Stateful online matcher over a fixed set of reported worker
+/// locations; each Assign consumes the returned worker.
+class GreedyEuclidMatcher {
+ public:
+  /// `workers` are the *reported* (obfuscated) worker locations.
+  explicit GreedyEuclidMatcher(std::vector<Point> workers,
+                               GreedyEngine engine = GreedyEngine::kLinearScan);
+
+  /// \brief Assigns the nearest available worker to a task reported at
+  /// `task`; returns its id, or -1 when no worker remains. Ties break
+  /// toward the smaller worker id (deterministic across engines).
+  int Assign(const Point& task);
+
+  size_t available() const { return available_count_; }
+
+ private:
+  GreedyEngine engine_;
+  std::vector<Point> workers_;
+  std::vector<bool> taken_;
+  size_t available_count_;
+  std::unique_ptr<KdTree> index_;  // only for kKdTree
+};
+
+}  // namespace tbf

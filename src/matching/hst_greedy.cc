@@ -1,0 +1,92 @@
+#include "matching/hst_greedy.h"
+
+#include "common/logging.h"
+
+namespace tbf {
+
+HstGreedyMatcher::HstGreedyMatcher(std::vector<LeafPath> workers, int depth,
+                                   int arity, HstEngine engine,
+                                   HstTieBreak tie_break, Rng* rng)
+    : engine_(engine),
+      tie_break_(tie_break),
+      depth_(depth),
+      workers_(std::move(workers)),
+      taken_(workers_.size(), false),
+      available_count_(workers_.size()),
+      rng_(rng) {
+  for (const LeafPath& leaf : workers_) {
+    TBF_CHECK(static_cast<int>(leaf.size()) == depth_) << "leaf depth mismatch";
+  }
+  TBF_CHECK(tie_break_ == HstTieBreak::kCanonical || rng_ != nullptr)
+      << "kUniformRandom tie-breaking requires an rng";
+  if (engine_ == HstEngine::kIndex) {
+    index_ = std::make_unique<HstAvailabilityIndex>(depth, arity);
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      index_->Insert(workers_[i], static_cast<int>(i));
+    }
+  }
+}
+
+int HstGreedyMatcher::Assign(const LeafPath& task) {
+  if (available_count_ == 0) return -1;
+  int best = -1;
+  if (engine_ == HstEngine::kIndex) {
+    if (tie_break_ == HstTieBreak::kCanonical) {
+      auto nearest = index_->Nearest(task);
+      if (nearest) best = nearest->first;
+    } else {
+      auto nearest = index_->NearestUniform(task, rng_);
+      if (nearest) best = nearest->first;
+    }
+    if (best >= 0) index_->Remove(workers_[static_cast<size_t>(best)], best);
+  } else {
+    best = tie_break_ == HstTieBreak::kCanonical ? AssignScan(task)
+                                                 : AssignScanRandom(task);
+  }
+  if (best >= 0) {
+    taken_[static_cast<size_t>(best)] = true;
+    --available_count_;
+  }
+  return best;
+}
+
+int HstGreedyMatcher::AssignScan(const LeafPath& task) {
+  // Canonical tie-break: (LCA level, leaf path, worker id) — identical to
+  // the index engine's enumeration order.
+  int best = -1;
+  int best_level = depth_ + 1;
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    if (taken_[i]) continue;
+    int level = LcaLevel(task, workers_[i]);
+    if (level < best_level ||
+        (level == best_level &&
+         workers_[i] < workers_[static_cast<size_t>(best)])) {
+      best_level = level;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+int HstGreedyMatcher::AssignScanRandom(const LeafPath& task) {
+  // Reservoir sampling over the minimal-level workers: one pass, uniform
+  // among ties.
+  int best = -1;
+  int best_level = depth_ + 1;
+  int tie_count = 0;
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    if (taken_[i]) continue;
+    int level = LcaLevel(task, workers_[i]);
+    if (level < best_level) {
+      best_level = level;
+      best = static_cast<int>(i);
+      tie_count = 1;
+    } else if (level == best_level) {
+      ++tie_count;
+      if (rng_->UniformInt(1, tie_count) == 1) best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace tbf

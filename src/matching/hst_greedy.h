@@ -1,0 +1,60 @@
+// HST-Greedy online matching — paper Algorithm 4 (after Meyerson et al.,
+// SODA 2006): each arriving task takes the available worker nearest on the
+// tree. Used by both Lap-HG (on Laplace-obfuscated, re-mapped leaves) and
+// TBF (on leaves obfuscated by the HST mechanism).
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "hst/complete_hst.h"
+#include "hst/hst_index.h"
+#include "hst/leaf_path.h"
+
+namespace tbf {
+
+/// \brief Search engine for the nearest-on-tree scan.
+enum class HstEngine {
+  kLinearScan,  ///< O(D n) per task — the paper's stated complexity
+  kIndex,       ///< O(c D) per task via HstAvailabilityIndex (extension)
+};
+
+// HstTieBreak (canonical vs uniform-random) is defined in hst/hst_index.h;
+// both engines produce identical matchings under the canonical rule
+// (tested).
+
+/// \brief Stateful online matcher over reported worker leaves; each Assign
+/// consumes the returned worker.
+class HstGreedyMatcher {
+ public:
+  /// `workers` are the *reported* (obfuscated) worker leaves; `depth` and
+  /// `arity` describe the published complete HST. `rng` is required when
+  /// tie_break == kUniformRandom (not owned; must outlive the matcher).
+  HstGreedyMatcher(std::vector<LeafPath> workers, int depth, int arity,
+                   HstEngine engine = HstEngine::kLinearScan,
+                   HstTieBreak tie_break = HstTieBreak::kCanonical,
+                   Rng* rng = nullptr);
+
+  /// \brief Assigns an available worker nearest on the tree to a task
+  /// reported at leaf `task`; returns its id, or -1 when none remains.
+  int Assign(const LeafPath& task);
+
+  size_t available() const { return available_count_; }
+
+ private:
+  int AssignScan(const LeafPath& task);
+  int AssignScanRandom(const LeafPath& task);
+
+  HstEngine engine_;
+  HstTieBreak tie_break_;
+  int depth_;
+  std::vector<LeafPath> workers_;
+  std::vector<bool> taken_;
+  size_t available_count_;
+  std::unique_ptr<HstAvailabilityIndex> index_;  // only for kIndex
+  Rng* rng_ = nullptr;                           // only for kUniformRandom
+};
+
+}  // namespace tbf

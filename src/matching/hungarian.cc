@@ -1,0 +1,101 @@
+#include "matching/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace tbf {
+
+Result<std::vector<int>> SolveMinCostAssignment(
+    const std::vector<std::vector<double>>& cost) {
+  const int rows = static_cast<int>(cost.size());
+  if (rows == 0) return std::vector<int>{};
+  const int cols = static_cast<int>(cost[0].size());
+  if (cols < rows) {
+    return Status::InvalidArgument("need at least as many columns as rows");
+  }
+  for (const auto& row : cost) {
+    if (static_cast<int>(row.size()) != cols) {
+      return Status::InvalidArgument("ragged cost matrix");
+    }
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // 1-based arrays, the classic potentials formulation: u/v are row/col
+  // potentials, way[] is the augmenting-path parent pointer.
+  std::vector<double> u(static_cast<size_t>(rows) + 1, 0.0);
+  std::vector<double> v(static_cast<size_t>(cols) + 1, 0.0);
+  std::vector<int> match(static_cast<size_t>(cols) + 1, 0);  // col -> row
+  std::vector<int> way(static_cast<size_t>(cols) + 1, 0);
+
+  for (int r = 1; r <= rows; ++r) {
+    match[0] = r;
+    int j0 = 0;
+    std::vector<double> minv(static_cast<size_t>(cols) + 1, kInf);
+    std::vector<bool> used(static_cast<size_t>(cols) + 1, false);
+    do {
+      used[static_cast<size_t>(j0)] = true;
+      int r0 = match[static_cast<size_t>(j0)];
+      double delta = kInf;
+      int j1 = -1;
+      for (int j = 1; j <= cols; ++j) {
+        if (used[static_cast<size_t>(j)]) continue;
+        double cur = cost[static_cast<size_t>(r0) - 1][static_cast<size_t>(j) - 1] -
+                     u[static_cast<size_t>(r0)] - v[static_cast<size_t>(j)];
+        if (cur < minv[static_cast<size_t>(j)]) {
+          minv[static_cast<size_t>(j)] = cur;
+          way[static_cast<size_t>(j)] = j0;
+        }
+        if (minv[static_cast<size_t>(j)] < delta) {
+          delta = minv[static_cast<size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= cols; ++j) {
+        if (used[static_cast<size_t>(j)]) {
+          u[static_cast<size_t>(match[static_cast<size_t>(j)])] += delta;
+          v[static_cast<size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[static_cast<size_t>(j0)] != 0);
+    // Unwind the augmenting path.
+    do {
+      int j1 = way[static_cast<size_t>(j0)];
+      match[static_cast<size_t>(j0)] = match[static_cast<size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> row_to_col(static_cast<size_t>(rows), -1);
+  for (int j = 1; j <= cols; ++j) {
+    if (match[static_cast<size_t>(j)] > 0) {
+      row_to_col[static_cast<size_t>(match[static_cast<size_t>(j)]) - 1] = j - 1;
+    }
+  }
+  return row_to_col;
+}
+
+Result<Matching> OptimalMatching(const std::vector<Point>& tasks,
+                                 const std::vector<Point>& workers) {
+  if (tasks.size() > workers.size()) {
+    return Status::InvalidArgument("more tasks than workers");
+  }
+  std::vector<std::vector<double>> cost(tasks.size(),
+                                        std::vector<double>(workers.size()));
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    for (size_t w = 0; w < workers.size(); ++w) {
+      cost[t][w] = EuclideanDistance(tasks[t], workers[w]);
+    }
+  }
+  TBF_ASSIGN_OR_RETURN(std::vector<int> row_to_col, SolveMinCostAssignment(cost));
+  Matching matching;
+  matching.pairs.reserve(tasks.size());
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    matching.pairs.push_back({static_cast<int>(t), row_to_col[t]});
+  }
+  return matching;
+}
+
+}  // namespace tbf

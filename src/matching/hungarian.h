@@ -1,0 +1,30 @@
+// Offline minimum-cost bipartite matching (Hungarian algorithm with
+// potentials, Jonker-Volgenant style).
+//
+// Not part of the paper's online protocol: OPT is the denominator of the
+// competitive ratio (Def. 8). The ablation bench measures empirical
+// CR = E[d(M_A)] / d(M_OPT) against this solver.
+
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "geo/point.h"
+#include "matching/types.h"
+
+namespace tbf {
+
+/// \brief Solves min-cost assignment of all rows to distinct columns.
+///
+/// `cost` is rows x cols with rows <= cols; entry [r][c] >= 0. Returns, for
+/// each row, the column it is matched to. O(rows^2 * cols).
+Result<std::vector<int>> SolveMinCostAssignment(
+    const std::vector<std::vector<double>>& cost);
+
+/// \brief Optimal offline matching of every task to a distinct worker under
+/// true Euclidean distances (requires #tasks <= #workers).
+Result<Matching> OptimalMatching(const std::vector<Point>& tasks,
+                                 const std::vector<Point>& workers);
+
+}  // namespace tbf

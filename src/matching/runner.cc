@@ -1,0 +1,363 @@
+#include "matching/runner.h"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+
+#include "common/memory.h"
+#include "common/timer.h"
+#include "core/tbf.h"
+#include "geo/grid.h"
+#include "matching/hungarian.h"
+#include "matching/prob_matcher.h"
+#include "privacy/exponential.h"
+#include "privacy/planar_laplace.h"
+
+namespace tbf {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kLapGr: return "Lap-GR";
+    case Algorithm::kLapHg: return "Lap-HG";
+    case Algorithm::kTbf: return "TBF";
+    case Algorithm::kNoPrivacyGreedy: return "NoPriv-GR";
+    case Algorithm::kOfflineOptimal: return "OPT";
+    case Algorithm::kExpGr: return "Exp-GR";
+  }
+  return "?";
+}
+
+const char* CaseStudyAlgorithmName(CaseStudyAlgorithm algorithm) {
+  switch (algorithm) {
+    case CaseStudyAlgorithm::kProb: return "Prob";
+    case CaseStudyAlgorithm::kTbf: return "TBF";
+  }
+  return "?";
+}
+
+namespace {
+
+// Builds the published TBF framework over a uniform grid covering the
+// instance region.
+Result<TbfFramework> BuildFramework(const OnlineInstance& instance,
+                                    const PipelineConfig& config, Rng* rng) {
+  TBF_ASSIGN_OR_RETURN(std::vector<Point> grid,
+                       UniformGridPoints(instance.region, config.grid_side));
+  EuclideanMetric metric;
+  TbfOptions options;
+  options.epsilon = config.epsilon;
+  return TbfFramework::Build(std::move(grid), metric, rng, options);
+}
+
+std::vector<Point> ObfuscatePoints(const std::vector<Point>& truth,
+                                   const PointMechanism& mechanism, Rng* rng) {
+  std::vector<Point> out;
+  out.reserve(truth.size());
+  for (const Point& p : truth) out.push_back(mechanism.Obfuscate(p, rng));
+  return out;
+}
+
+Result<RunMetrics> RunEuclidPipeline(Algorithm algorithm,
+                                     const OnlineInstance& instance,
+                                     const PipelineConfig& config) {
+  RunMetrics metrics;
+  metrics.algorithm = AlgorithmName(algorithm);
+  MemoryProbe probe;
+  Rng rng(config.seed);
+  Rng obf_rng = rng.Split(1);
+
+  std::unique_ptr<PointMechanism> mechanism;
+  if (algorithm == Algorithm::kLapGr) {
+    mechanism = std::make_unique<PlanarLaplaceMechanism>(
+        config.epsilon, config.clamp_laplace
+                            ? std::optional<BBox>(instance.region)
+                            : std::nullopt);
+  } else if (algorithm == Algorithm::kExpGr) {
+    TBF_ASSIGN_OR_RETURN(std::vector<Point> grid,
+                         UniformGridPoints(instance.region, config.grid_side));
+    mechanism = std::make_unique<DiscreteExponentialMechanism>(std::move(grid),
+                                                               config.epsilon);
+  } else {
+    mechanism = std::make_unique<IdentityPointMechanism>();
+  }
+
+  WallTimer obf_timer;
+  std::vector<Point> reported_workers =
+      ObfuscatePoints(instance.workers, *mechanism, &obf_rng);
+  std::vector<Point> reported_tasks =
+      ObfuscatePoints(instance.tasks, *mechanism, &obf_rng);
+  metrics.obfuscate_seconds = obf_timer.ElapsedSeconds();
+  probe.Sample();
+
+  GreedyEuclidMatcher matcher(std::move(reported_workers), config.greedy_engine);
+  metrics.matching.pairs.reserve(instance.tasks.size());
+  WallTimer match_timer;
+  for (size_t t = 0; t < instance.tasks.size(); ++t) {
+    WallTimer assign_timer;
+    int worker = matcher.Assign(reported_tasks[t]);
+    metrics.max_assign_seconds =
+        std::max(metrics.max_assign_seconds, assign_timer.ElapsedSeconds());
+    metrics.matching.pairs.push_back({static_cast<int>(t), worker});
+  }
+  metrics.match_seconds = match_timer.ElapsedSeconds();
+  metrics.avg_assign_seconds =
+      metrics.match_seconds / static_cast<double>(instance.tasks.size());
+  probe.Sample();
+
+  metrics.total_distance =
+      metrics.matching.TotalTrueDistance(instance.tasks, instance.workers);
+  metrics.matched = metrics.matching.MatchedCount();
+  metrics.memory_mb = BytesToMiB(probe.max_rss_bytes());
+  return metrics;
+}
+
+Result<RunMetrics> RunHstPipeline(Algorithm algorithm,
+                                  const OnlineInstance& instance,
+                                  const PipelineConfig& config) {
+  RunMetrics metrics;
+  metrics.algorithm = AlgorithmName(algorithm);
+  MemoryProbe probe;
+  Rng rng(config.seed);
+  Rng tree_rng = rng.Split(0);
+  Rng obf_rng = rng.Split(1);
+
+  WallTimer build_timer;
+  TBF_ASSIGN_OR_RETURN(TbfFramework framework,
+                       BuildFramework(instance, config, &tree_rng));
+  metrics.build_seconds = build_timer.ElapsedSeconds();
+  probe.Sample();
+
+  // Client-side reporting.
+  WallTimer obf_timer;
+  std::vector<LeafPath> reported_workers;
+  std::vector<LeafPath> reported_tasks;
+  reported_workers.reserve(instance.workers.size());
+  reported_tasks.reserve(instance.tasks.size());
+  if (algorithm == Algorithm::kTbf) {
+    for (const Point& w : instance.workers) {
+      reported_workers.push_back(framework.ObfuscateLocation(w, &obf_rng));
+    }
+    for (const Point& t : instance.tasks) {
+      reported_tasks.push_back(framework.ObfuscateLocation(t, &obf_rng));
+    }
+  } else {  // Lap-HG: Laplace noise in the plane, then map to the tree
+    PlanarLaplaceMechanism laplace(config.epsilon,
+                                   config.clamp_laplace
+                                       ? std::optional<BBox>(instance.region)
+                                       : std::nullopt);
+    for (const Point& w : instance.workers) {
+      reported_workers.push_back(
+          framework.TrueLeaf(laplace.Obfuscate(w, &obf_rng)));
+    }
+    for (const Point& t : instance.tasks) {
+      reported_tasks.push_back(
+          framework.TrueLeaf(laplace.Obfuscate(t, &obf_rng)));
+    }
+  }
+  metrics.obfuscate_seconds = obf_timer.ElapsedSeconds();
+  probe.Sample();
+
+  HstGreedyMatcher matcher(std::move(reported_workers), framework.tree().depth(),
+                           framework.tree().arity(), config.hst_engine);
+  metrics.matching.pairs.reserve(instance.tasks.size());
+  WallTimer match_timer;
+  for (size_t t = 0; t < instance.tasks.size(); ++t) {
+    WallTimer assign_timer;
+    int worker = matcher.Assign(reported_tasks[t]);
+    metrics.max_assign_seconds =
+        std::max(metrics.max_assign_seconds, assign_timer.ElapsedSeconds());
+    metrics.matching.pairs.push_back({static_cast<int>(t), worker});
+  }
+  metrics.match_seconds = match_timer.ElapsedSeconds();
+  metrics.avg_assign_seconds =
+      metrics.match_seconds / static_cast<double>(instance.tasks.size());
+  probe.Sample();
+
+  metrics.total_distance =
+      metrics.matching.TotalTrueDistance(instance.tasks, instance.workers);
+  metrics.matched = metrics.matching.MatchedCount();
+  metrics.memory_mb = BytesToMiB(probe.max_rss_bytes());
+  return metrics;
+}
+
+Result<RunMetrics> RunOfflineOptimal(const OnlineInstance& instance) {
+  RunMetrics metrics;
+  metrics.algorithm = AlgorithmName(Algorithm::kOfflineOptimal);
+  MemoryProbe probe;
+  WallTimer timer;
+  TBF_ASSIGN_OR_RETURN(Matching matching,
+                       OptimalMatching(instance.tasks, instance.workers));
+  metrics.match_seconds = timer.ElapsedSeconds();
+  probe.Sample();
+  metrics.matching = std::move(matching);
+  metrics.total_distance =
+      metrics.matching.TotalTrueDistance(instance.tasks, instance.workers);
+  metrics.matched = metrics.matching.MatchedCount();
+  metrics.memory_mb = BytesToMiB(probe.max_rss_bytes());
+  return metrics;
+}
+
+}  // namespace
+
+Result<RunMetrics> RunPipeline(Algorithm algorithm, const OnlineInstance& instance,
+                               const PipelineConfig& config) {
+  if (instance.tasks.empty() || instance.workers.empty()) {
+    return Status::InvalidArgument("instance must have tasks and workers");
+  }
+  if (instance.tasks.size() > instance.workers.size()) {
+    return Status::InvalidArgument("OMBM requires |T| <= |W|");
+  }
+  switch (algorithm) {
+    case Algorithm::kLapGr:
+    case Algorithm::kNoPrivacyGreedy:
+    case Algorithm::kExpGr:
+      return RunEuclidPipeline(algorithm, instance, config);
+    case Algorithm::kLapHg:
+    case Algorithm::kTbf:
+      return RunHstPipeline(algorithm, instance, config);
+    case Algorithm::kOfflineOptimal:
+      return RunOfflineOptimal(instance);
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+namespace {
+
+// Shared notification loop: walk the ranked candidates, a worker accepts
+// iff the task is truly within their reachable radius.
+template <typename CandidatesFn, typename ConsumeFn>
+void NotifyLoop(const CaseStudyInstance& instance, size_t task_index,
+                size_t max_notifications, const CandidatesFn& candidates,
+                const ConsumeFn& consume, CaseStudyMetrics* metrics) {
+  const Point& true_task = instance.tasks[task_index];
+  for (int worker : candidates(max_notifications)) {
+    ++metrics->notifications;
+    double true_distance =
+        EuclideanDistance(true_task, instance.workers[static_cast<size_t>(worker)]);
+    if (true_distance <= instance.radii[static_cast<size_t>(worker)]) {
+      consume(worker);
+      ++metrics->matching_size;
+      break;
+    }
+  }
+}
+
+Result<CaseStudyMetrics> RunProbCaseStudy(const CaseStudyInstance& instance,
+                                          const CaseStudyConfig& config) {
+  CaseStudyMetrics metrics;
+  metrics.algorithm = CaseStudyAlgorithmName(CaseStudyAlgorithm::kProb);
+  MemoryProbe probe;
+  Rng rng(config.pipeline.seed);
+  Rng table_rng = rng.Split(0);
+  Rng obf_rng = rng.Split(1);
+
+  double min_radius = instance.radii.empty() ? 0.0 : instance.radii[0];
+  double max_radius = min_radius;
+  for (double r : instance.radii) {
+    min_radius = std::min(min_radius, r);
+    max_radius = std::max(max_radius, r);
+  }
+
+  WallTimer build_timer;
+  auto table = std::make_shared<const ReachabilityTable>(
+      config.pipeline.epsilon, instance.region.Diagonal(), min_radius,
+      max_radius, &table_rng);
+  metrics.build_seconds = build_timer.ElapsedSeconds();
+  probe.Sample();
+
+  PlanarLaplaceMechanism laplace(config.pipeline.epsilon,
+                                 config.pipeline.clamp_laplace
+                                     ? std::optional<BBox>(instance.region)
+                                     : std::nullopt);
+  WallTimer obf_timer;
+  std::vector<Point> reported_workers =
+      ObfuscatePoints(instance.workers, laplace, &obf_rng);
+  std::vector<Point> reported_tasks =
+      ObfuscatePoints(instance.tasks, laplace, &obf_rng);
+  metrics.obfuscate_seconds = obf_timer.ElapsedSeconds();
+  probe.Sample();
+
+  ProbMatcher matcher(std::move(reported_workers), instance.radii, table);
+  WallTimer match_timer;
+  for (size_t t = 0; t < instance.tasks.size(); ++t) {
+    NotifyLoop(
+        instance, t, config.max_notifications,
+        [&](size_t limit) { return matcher.Candidates(reported_tasks[t], limit); },
+        [&](int worker) { matcher.Consume(worker); }, &metrics);
+  }
+  metrics.match_seconds = match_timer.ElapsedSeconds();
+  probe.Sample();
+  metrics.memory_mb = BytesToMiB(probe.max_rss_bytes());
+  return metrics;
+}
+
+Result<CaseStudyMetrics> RunTbfCaseStudy(const CaseStudyInstance& instance,
+                                         const CaseStudyConfig& config) {
+  CaseStudyMetrics metrics;
+  metrics.algorithm = CaseStudyAlgorithmName(CaseStudyAlgorithm::kTbf);
+  MemoryProbe probe;
+  Rng rng(config.pipeline.seed);
+  Rng tree_rng = rng.Split(0);
+  Rng obf_rng = rng.Split(1);
+
+  OnlineInstance base;
+  base.region = instance.region;
+  base.workers = instance.workers;
+  base.tasks = instance.tasks;
+
+  WallTimer build_timer;
+  TBF_ASSIGN_OR_RETURN(TbfFramework framework,
+                       BuildFramework(base, config.pipeline, &tree_rng));
+  metrics.build_seconds = build_timer.ElapsedSeconds();
+  probe.Sample();
+
+  WallTimer obf_timer;
+  std::vector<LeafPath> reported_workers;
+  reported_workers.reserve(instance.workers.size());
+  for (const Point& w : instance.workers) {
+    reported_workers.push_back(framework.ObfuscateLocation(w, &obf_rng));
+  }
+  std::vector<LeafPath> reported_tasks;
+  reported_tasks.reserve(instance.tasks.size());
+  for (const Point& t : instance.tasks) {
+    reported_tasks.push_back(framework.ObfuscateLocation(t, &obf_rng));
+  }
+  metrics.obfuscate_seconds = obf_timer.ElapsedSeconds();
+  probe.Sample();
+
+  HstCaseStudyMatcher matcher(std::move(reported_workers),
+                              framework.tree().depth(), framework.tree().arity());
+  WallTimer match_timer;
+  for (size_t t = 0; t < instance.tasks.size(); ++t) {
+    NotifyLoop(
+        instance, t, config.max_notifications,
+        [&](size_t limit) { return matcher.Candidates(reported_tasks[t], limit); },
+        [&](int worker) { matcher.Consume(worker); }, &metrics);
+  }
+  metrics.match_seconds = match_timer.ElapsedSeconds();
+  probe.Sample();
+  metrics.memory_mb = BytesToMiB(probe.max_rss_bytes());
+  return metrics;
+}
+
+}  // namespace
+
+Result<CaseStudyMetrics> RunCaseStudy(CaseStudyAlgorithm algorithm,
+                                      const CaseStudyInstance& instance,
+                                      const CaseStudyConfig& config) {
+  if (instance.tasks.empty() || instance.workers.empty()) {
+    return Status::InvalidArgument("instance must have tasks and workers");
+  }
+  if (instance.workers.size() != instance.radii.size()) {
+    return Status::InvalidArgument("radii size mismatch");
+  }
+  switch (algorithm) {
+    case CaseStudyAlgorithm::kProb:
+      return RunProbCaseStudy(instance, config);
+    case CaseStudyAlgorithm::kTbf:
+      return RunTbfCaseStudy(instance, config);
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+}  // namespace tbf

@@ -1,0 +1,46 @@
+// Shared types for online/offline matching.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace tbf {
+
+/// \brief One task-worker pair in a matching; ids index into the instance's
+/// task/worker vectors. worker_id == -1 marks an unassigned task.
+struct Assignment {
+  int task_id = -1;
+  int worker_id = -1;
+};
+
+/// \brief A complete matching plus the true total distance (the paper's
+/// objective: sum of true Euclidean distances over matched pairs).
+struct Matching {
+  std::vector<Assignment> pairs;
+
+  /// Sum of true distances over pairs with worker_id >= 0.
+  double TotalTrueDistance(const std::vector<Point>& tasks,
+                           const std::vector<Point>& workers) const {
+    double total = 0.0;
+    for (const Assignment& a : pairs) {
+      if (a.worker_id < 0) continue;
+      total += EuclideanDistance(tasks[static_cast<size_t>(a.task_id)],
+                                 workers[static_cast<size_t>(a.worker_id)]);
+    }
+    return total;
+  }
+
+  /// Number of tasks that received a worker.
+  size_t MatchedCount() const {
+    size_t n = 0;
+    for (const Assignment& a : pairs) {
+      if (a.worker_id >= 0) ++n;
+    }
+    return n;
+  }
+};
+
+}  // namespace tbf

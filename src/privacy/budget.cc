@@ -1,0 +1,51 @@
+#include "privacy/budget.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tbf {
+
+double ComposedEpsilon(double epsilon_per_report, int reports) {
+  if (reports <= 0) return 0.0;
+  return epsilon_per_report * reports;
+}
+
+int MaxReports(double total_budget, double epsilon_per_report) {
+  if (epsilon_per_report <= 0.0 || total_budget <= 0.0) return 0;
+  // Guard the floor against representation error at exact multiples.
+  return static_cast<int>(std::floor(total_budget / epsilon_per_report + 1e-12));
+}
+
+PrivacyBudgetLedger::PrivacyBudgetLedger(double lifetime_budget)
+    : lifetime_budget_(lifetime_budget) {
+  TBF_CHECK(lifetime_budget > 0.0) << "lifetime budget must be positive";
+}
+
+Status PrivacyBudgetLedger::Charge(const std::string& user, double epsilon) {
+  if (epsilon <= 0.0) return Status::InvalidArgument("epsilon must be positive");
+  double& spent = spent_[user];
+  if (spent + epsilon > lifetime_budget_ * (1.0 + 1e-12)) {
+    if (spent == 0.0) spent_.erase(user);  // keep num_users() meaningful
+    return Status::FailedPrecondition("budget exhausted for user " + user);
+  }
+  spent += epsilon;
+  return Status::OK();
+}
+
+double PrivacyBudgetLedger::Spent(const std::string& user) const {
+  auto it = spent_.find(user);
+  return it == spent_.end() ? 0.0 : it->second;
+}
+
+double PrivacyBudgetLedger::Remaining(const std::string& user) const {
+  double rest = lifetime_budget_ - Spent(user);
+  return rest > 0.0 ? rest : 0.0;
+}
+
+bool PrivacyBudgetLedger::CanCharge(const std::string& user, double epsilon) const {
+  return epsilon > 0.0 &&
+         Spent(user) + epsilon <= lifetime_budget_ * (1.0 + 1e-12);
+}
+
+}  // namespace tbf

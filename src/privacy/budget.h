@@ -1,0 +1,57 @@
+// Privacy budget accounting.
+//
+// The paper analyzes a single report per user. Deployments re-report
+// (drivers move, tasks are reposted); each extra report through an
+// eps-Geo-I mechanism composes additively (sequential composition of
+// differential privacy). This ledger tracks per-user spend against a
+// lifetime cap so a client layer can refuse reports that would exceed it.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace tbf {
+
+/// \brief Sequential composition: total budget of k eps-Geo-I reports.
+double ComposedEpsilon(double epsilon_per_report, int reports);
+
+/// \brief Reports permitted under `total_budget` at `epsilon_per_report`
+/// (floor; 0 when a single report already exceeds the budget).
+int MaxReports(double total_budget, double epsilon_per_report);
+
+/// \brief Per-user privacy-spend ledger with a lifetime cap.
+///
+/// Thread-compatible (guard externally if shared across threads).
+class PrivacyBudgetLedger {
+ public:
+  /// \param lifetime_budget maximum cumulative epsilon per user (> 0).
+  explicit PrivacyBudgetLedger(double lifetime_budget);
+
+  /// \brief Records a spend of `epsilon` for `user`; fails with
+  /// FailedPrecondition (and records nothing) if the cap would be exceeded.
+  Status Charge(const std::string& user, double epsilon);
+
+  /// \brief Budget already consumed by `user` (0 for unknown users).
+  double Spent(const std::string& user) const;
+
+  /// \brief Budget still available to `user`.
+  double Remaining(const std::string& user) const;
+
+  /// \brief True when a further spend of `epsilon` would be admitted.
+  bool CanCharge(const std::string& user, double epsilon) const;
+
+  double lifetime_budget() const { return lifetime_budget_; }
+
+  /// Number of users with non-zero spend.
+  size_t num_users() const { return spent_.size(); }
+
+ private:
+  double lifetime_budget_;
+  std::unordered_map<std::string, double> spent_;
+};
+
+}  // namespace tbf

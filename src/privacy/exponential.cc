@@ -1,0 +1,52 @@
+#include "privacy/exponential.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math.h"
+
+namespace tbf {
+
+DiscreteExponentialMechanism::DiscreteExponentialMechanism(
+    std::vector<Point> candidates, double epsilon)
+    : candidates_(std::move(candidates)), epsilon_(epsilon) {
+  TBF_CHECK(!candidates_.empty()) << "candidate set must be non-empty";
+  TBF_CHECK(epsilon > 0.0) << "epsilon must be positive";
+  index_ = std::make_unique<KdTree>(candidates_);
+}
+
+int DiscreteExponentialMechanism::NearestCandidate(const Point& location) const {
+  return index_->NearestNeighbor(location);
+}
+
+Point DiscreteExponentialMechanism::Obfuscate(const Point& truth, Rng* rng) const {
+  const Point snap = candidates_[static_cast<size_t>(NearestCandidate(truth))];
+  // Single pass: compute unnormalized weights and their total, then invert
+  // the empirical CDF with one uniform draw (second pass).
+  const double half_eps = epsilon_ / 2.0;
+  double total = 0.0;
+  std::vector<double> weights(candidates_.size());
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    weights[i] = std::exp(-half_eps * EuclideanDistance(snap, candidates_[i]));
+    total += weights[i];
+  }
+  double target = rng->Uniform01() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return candidates_[i];
+  }
+  return candidates_.back();
+}
+
+double DiscreteExponentialMechanism::LogProbability(int x_id, int z_id) const {
+  const Point& x = candidates_[static_cast<size_t>(x_id)];
+  const double half_eps = epsilon_ / 2.0;
+  std::vector<double> log_weights(candidates_.size());
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    log_weights[i] = -half_eps * EuclideanDistance(x, candidates_[i]);
+  }
+  return log_weights[static_cast<size_t>(z_id)] - LogSumExp(log_weights);
+}
+
+}  // namespace tbf

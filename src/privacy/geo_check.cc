@@ -1,0 +1,60 @@
+#include "privacy/geo_check.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/math.h"
+
+namespace tbf {
+
+std::string GeoCheckReport::ToString() const {
+  std::ostringstream out;
+  out << (satisfied ? "Geo-I satisfied" : "Geo-I VIOLATED")
+      << "; worst slack " << worst_slack << " at (x1=" << worst_x1
+      << ", x2=" << worst_x2 << ", z=" << worst_z
+      << "); tightest epsilon " << tightest_epsilon;
+  return out.str();
+}
+
+GeoCheckReport CheckGeoIndistinguishability(
+    int num_inputs, int num_outputs,
+    const std::function<double(int, int)>& log_prob,
+    const std::function<double(int, int)>& distance, double epsilon,
+    double tolerance) {
+  GeoCheckReport report;
+  report.worst_slack = -std::numeric_limits<double>::infinity();
+  for (int x1 = 0; x1 < num_inputs; ++x1) {
+    for (int x2 = 0; x2 < num_inputs; ++x2) {
+      if (x1 == x2) continue;
+      const double d = distance(x1, x2);
+      for (int z = 0; z < num_outputs; ++z) {
+        const double lp1 = log_prob(x1, z);
+        const double lp2 = log_prob(x2, z);
+        if (lp1 == kNegInf && lp2 == kNegInf) continue;
+        // Both-sided ratio is covered by iterating ordered pairs.
+        const double ratio = lp1 - lp2;
+        const double slack = ratio - epsilon * d;
+        if (slack > report.worst_slack) {
+          report.worst_slack = slack;
+          report.worst_x1 = x1;
+          report.worst_x2 = x2;
+          report.worst_z = z;
+        }
+        if (d > 0.0) {
+          report.tightest_epsilon = std::max(report.tightest_epsilon, ratio / d);
+        } else if (ratio > tolerance) {
+          // Distinct inputs at distance zero must behave identically.
+          report.satisfied = false;
+        }
+      }
+    }
+  }
+  if (report.worst_slack == -std::numeric_limits<double>::infinity()) {
+    report.worst_slack = 0.0;  // fewer than two inputs: vacuously satisfied
+  }
+  if (report.worst_slack > tolerance) report.satisfied = false;
+  return report;
+}
+
+}  // namespace tbf

@@ -1,0 +1,55 @@
+// Privacy mechanism interfaces (paper Def. 4).
+//
+// A mechanism maps a point of a metric space to an obfuscated point of the
+// same space, randomly. Two families exist in this library:
+//   * PointMechanism — obfuscates raw Euclidean coordinates (planar
+//     Laplace baseline, privacy/planar_laplace.h), and
+//   * LeafMechanism — obfuscates HST leaves (the paper's contribution,
+//     core/hst_mechanism.h).
+
+#pragma once
+
+#include <string>
+
+#include "common/rng.h"
+#include "geo/point.h"
+#include "hst/leaf_path.h"
+
+namespace tbf {
+
+/// \brief Randomized map from a true location to a reported location.
+class PointMechanism {
+ public:
+  virtual ~PointMechanism() = default;
+
+  /// Samples an obfuscated location for `truth`.
+  virtual Point Obfuscate(const Point& truth, Rng* rng) const = 0;
+
+  /// The privacy budget epsilon this mechanism was configured with.
+  virtual double epsilon() const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// \brief Randomized map from a true HST leaf to a reported leaf.
+class LeafMechanism {
+ public:
+  virtual ~LeafMechanism() = default;
+
+  virtual LeafPath Obfuscate(const LeafPath& truth, Rng* rng) const = 0;
+
+  virtual double epsilon() const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// \brief Pass-through point mechanism (no privacy). Used to measure the
+/// privacy cost of the real mechanisms against a non-private floor.
+class IdentityPointMechanism final : public PointMechanism {
+ public:
+  Point Obfuscate(const Point& truth, Rng*) const override { return truth; }
+  double epsilon() const override { return 0.0; }
+  std::string Name() const override { return "identity"; }
+};
+
+}  // namespace tbf

@@ -1,0 +1,41 @@
+#include "privacy/planar_laplace.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math.h"
+
+namespace tbf {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+PlanarLaplaceMechanism::PlanarLaplaceMechanism(double epsilon,
+                                               std::optional<BBox> clamp_region)
+    : epsilon_(epsilon), clamp_region_(clamp_region) {
+  TBF_CHECK(epsilon > 0.0) << "epsilon must be positive";
+}
+
+double PlanarLaplaceMechanism::RadialCdf(double r) const {
+  if (r <= 0.0) return 0.0;
+  return 1.0 - (1.0 + epsilon_ * r) * std::exp(-epsilon_ * r);
+}
+
+double PlanarLaplaceMechanism::RadialCdfInverse(double p) const {
+  TBF_CHECK(p >= 0.0 && p < 1.0) << "p must be in [0, 1)";
+  if (p == 0.0) return 0.0;
+  // r = -(1/eps) * (W_{-1}((p-1)/e) + 1); (p-1)/e is in [-1/e, 0).
+  double w = LambertWm1((p - 1.0) / std::exp(1.0));
+  return -(w + 1.0) / epsilon_;
+}
+
+Point PlanarLaplaceMechanism::Obfuscate(const Point& truth, Rng* rng) const {
+  double theta = rng->Uniform(0.0, 2.0 * kPi);
+  double r = RadialCdfInverse(rng->Uniform01());
+  Point noisy{truth.x + r * std::cos(theta), truth.y + r * std::sin(theta)};
+  if (clamp_region_) return clamp_region_->Clamp(noisy);
+  return noisy;
+}
+
+}  // namespace tbf

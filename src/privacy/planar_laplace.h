@@ -1,0 +1,48 @@
+// Planar Laplace mechanism (Andres et al., "Geo-Indistinguishability:
+// Differential Privacy for Location-Based Systems", CCS 2013).
+//
+// The state-of-the-art baseline the paper compares against (Lap-GR, Lap-HG,
+// and the noise source inside the Prob baseline). Density at displacement r:
+// p(r, theta) = eps^2 / (2 pi) * exp(-eps r); sampled by drawing
+// theta ~ U[0, 2 pi) and r via the inverse radial CDF
+//   C_eps^{-1}(p) = -(1/eps) * (W_{-1}((p - 1)/e) + 1).
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "geo/bbox.h"
+#include "privacy/mechanism.h"
+
+namespace tbf {
+
+/// \brief eps-Geo-Indistinguishable additive noise in the plane.
+class PlanarLaplaceMechanism final : public PointMechanism {
+ public:
+  /// \param epsilon privacy budget per unit distance (> 0).
+  /// \param clamp_region when set, obfuscated points are clamped back into
+  ///        this region (the remapping used in practice so reports stay in
+  ///        the service area; a post-processing step, so Geo-I is kept).
+  explicit PlanarLaplaceMechanism(double epsilon,
+                                  std::optional<BBox> clamp_region = std::nullopt);
+
+  Point Obfuscate(const Point& truth, Rng* rng) const override;
+
+  double epsilon() const override { return epsilon_; }
+
+  std::string Name() const override { return "planar-laplace"; }
+
+  /// \brief Radial CDF: probability that the noise magnitude is <= r.
+  /// C_eps(r) = 1 - (1 + eps r) exp(-eps r).
+  double RadialCdf(double r) const;
+
+  /// \brief Inverse radial CDF via Lambert W_{-1}; p in [0, 1).
+  double RadialCdfInverse(double p) const;
+
+ private:
+  double epsilon_;
+  std::optional<BBox> clamp_region_;
+};
+
+}  // namespace tbf

@@ -1,0 +1,129 @@
+#include "workload/chengdu.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tbf {
+
+namespace {
+
+Status Validate(const ChengduConfig& config) {
+  if (config.day < 0 || config.day > 29) {
+    return Status::InvalidArgument("day must be in [0, 29]");
+  }
+  if (config.num_workers < 1) return Status::InvalidArgument("num_workers < 1");
+  if (config.region_side_m <= 0) return Status::InvalidArgument("region side <= 0");
+  if (config.num_hotspots < 1) return Status::InvalidArgument("num_hotspots < 1");
+  if (config.hotspot_fraction < 0 || config.hotspot_fraction > 1) {
+    return Status::InvalidArgument("hotspot_fraction outside [0, 1]");
+  }
+  if (config.min_tasks_per_day < 1 ||
+      config.max_tasks_per_day < config.min_tasks_per_day) {
+    return Status::InvalidArgument("bad task count range");
+  }
+  return Status::OK();
+}
+
+struct Hotspot {
+  Point center;
+  double sigma;   // spatial spread, meters
+  double weight;  // relative demand intensity
+};
+
+// City geography: hotspot centers/intensities depend only on the base seed,
+// not the day, mirroring a real city where the same commercial centers
+// generate demand every day.
+std::vector<Hotspot> MakeHotspots(const ChengduConfig& config) {
+  Rng geo_rng = Rng(config.seed).Split(0xC17Bu);
+  std::vector<Hotspot> hotspots(static_cast<size_t>(config.num_hotspots));
+  const double side = config.region_side_m;
+  for (Hotspot& h : hotspots) {
+    // Keep centers away from the border so clusters stay mostly inside.
+    h.center = {geo_rng.Uniform(0.1 * side, 0.9 * side),
+                geo_rng.Uniform(0.1 * side, 0.9 * side)};
+    h.sigma = geo_rng.Uniform(0.02 * side, 0.06 * side);
+    // Zipf-ish intensities: few dominant centers, a long tail.
+    h.weight = 1.0 / (1.0 + geo_rng.Uniform(0.0, 9.0));
+  }
+  return hotspots;
+}
+
+Point DrawLocation(const std::vector<Hotspot>& hotspots,
+                   const std::vector<double>& weights, double hotspot_fraction,
+                   const BBox& region, Rng* rng) {
+  if (rng->Bernoulli(hotspot_fraction)) {
+    const Hotspot& h = hotspots[rng->Categorical(weights)];
+    Point p{rng->Normal(h.center.x, h.sigma), rng->Normal(h.center.y, h.sigma)};
+    return region.Clamp(p);
+  }
+  return {rng->Uniform(region.min_x, region.max_x),
+          rng->Uniform(region.min_y, region.max_y)};
+}
+
+}  // namespace
+
+int ChengduTaskCount(const ChengduConfig& config) {
+  Rng count_rng = Rng(config.seed).Split(0xDA1Du).Split(static_cast<uint64_t>(config.day));
+  return static_cast<int>(count_rng.UniformInt(config.min_tasks_per_day,
+                                               config.max_tasks_per_day));
+}
+
+Result<OnlineInstance> GenerateChengdu(const ChengduConfig& config) {
+  TBF_RETURN_NOT_OK(Validate(config));
+  OnlineInstance instance;
+  instance.region = BBox::Square(config.region_side_m);
+
+  std::vector<Hotspot> hotspots = MakeHotspots(config);
+  std::vector<double> weights;
+  weights.reserve(hotspots.size());
+  for (const Hotspot& h : hotspots) weights.push_back(h.weight);
+
+  Rng day_rng = Rng(config.seed).Split(static_cast<uint64_t>(config.day) + 1);
+  Rng worker_rng = day_rng.Split(1);
+  Rng task_rng = day_rng.Split(2);
+
+  // Drivers cruise near demand but more diffusely: same mixture with a
+  // reduced hotspot share and widened spread (configurable).
+  std::vector<Hotspot> worker_spots = hotspots;
+  for (Hotspot& h : worker_spots) h.sigma *= config.worker_sigma_factor;
+  const double worker_fraction = std::clamp(
+      config.worker_hotspot_factor * config.hotspot_fraction, 0.0, 1.0);
+  instance.workers.reserve(static_cast<size_t>(config.num_workers));
+  for (int i = 0; i < config.num_workers; ++i) {
+    instance.workers.push_back(DrawLocation(worker_spots, weights,
+                                            worker_fraction, instance.region,
+                                            &worker_rng));
+  }
+
+  const int num_tasks = ChengduTaskCount(config);
+  instance.tasks.reserve(static_cast<size_t>(num_tasks));
+  for (int i = 0; i < num_tasks; ++i) {
+    instance.tasks.push_back(DrawLocation(hotspots, weights,
+                                          config.hotspot_fraction,
+                                          instance.region, &task_rng));
+  }
+  return instance;
+}
+
+Result<CaseStudyInstance> GenerateChengduCaseStudy(
+    const ChengduCaseStudyConfig& config) {
+  if (config.min_radius < 0 || config.max_radius < config.min_radius) {
+    return Status::InvalidArgument("bad radius range");
+  }
+  TBF_ASSIGN_OR_RETURN(OnlineInstance base, GenerateChengdu(config.base));
+  CaseStudyInstance instance;
+  instance.region = base.region;
+  instance.workers = std::move(base.workers);
+  instance.tasks = std::move(base.tasks);
+  Rng radius_rng = Rng(config.base.seed)
+                       .Split(static_cast<uint64_t>(config.base.day) + 1)
+                       .Split(3);
+  instance.radii.reserve(instance.workers.size());
+  for (size_t i = 0; i < instance.workers.size(); ++i) {
+    instance.radii.push_back(
+        radius_rng.Uniform(config.min_radius, config.max_radius));
+  }
+  return instance;
+}
+
+}  // namespace tbf

@@ -1,0 +1,70 @@
+// Simulated Chengdu peak-hour trips — the real-dataset substitute
+// (paper Table III; see DESIGN.md "Substitutions").
+//
+// The paper evaluates on Didi GAIA trip records: 30 days of November 2016,
+// tasks = trip origins in a 10 km x 10 km region during 14:00-14:30,
+// 4,245-5,034 tasks per day, workers varied 6,000-10,000. The GAIA data is
+// access-gated, so this module synthesizes a deterministic stand-in with
+// the properties the algorithms are sensitive to: strong multi-hotspot
+// clustering (ride-hailing demand concentrates around commercial centers),
+// a diffuse background, and the paper's scale. Distances are in meters.
+
+#pragma once
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "workload/instance.h"
+
+namespace tbf {
+
+/// \brief Parameters of the simulated city.
+struct ChengduConfig {
+  /// Day index in [0, 29]; selects the per-day seed and task count, like
+  /// picking one of the paper's 30 daily datasets.
+  int day = 0;
+
+  int num_workers = 8000;  ///< |W| in {6000..10000} (Table III)
+
+  /// Region side in meters (paper: 10 km x 10 km).
+  double region_side_m = 10000.0;
+
+  /// Number of demand hotspots (commercial centers).
+  int num_hotspots = 12;
+
+  /// Fraction of tasks drawn from hotspots (rest uniform background).
+  double hotspot_fraction = 0.75;
+
+  /// Worker (driver) spatial law relative to demand: drivers cruise where
+  /// demand is (they just finished nearby trips) but slightly more
+  /// diffusely. Spread multiplier on the hotspot sigma and multiplier on
+  /// hotspot_fraction.
+  double worker_sigma_factor = 1.5;
+  double worker_hotspot_factor = 0.9;
+
+  /// Base seed shared by all days; the per-day stream is Split(day).
+  uint64_t seed = 20161101;
+
+  /// Paper's per-day task count range.
+  int min_tasks_per_day = 4245;
+  int max_tasks_per_day = 5034;
+};
+
+/// \brief Number of tasks on `day` under `config` (deterministic).
+int ChengduTaskCount(const ChengduConfig& config);
+
+/// \brief Generates one day of simulated Chengdu data. Hotspot centers are
+/// fixed across days (city geography), daily draws differ.
+Result<OnlineInstance> GenerateChengdu(const ChengduConfig& config);
+
+/// \brief Case-study variant with reachable radii U[min_radius, max_radius]
+/// (paper: [500, 1000] meters).
+struct ChengduCaseStudyConfig {
+  ChengduConfig base;
+  double min_radius = 500.0;
+  double max_radius = 1000.0;
+};
+
+Result<CaseStudyInstance> GenerateChengduCaseStudy(
+    const ChengduCaseStudyConfig& config);
+
+}  // namespace tbf

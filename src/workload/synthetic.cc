@@ -1,0 +1,67 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+
+namespace tbf {
+
+namespace {
+
+Status ValidateBase(const SyntheticConfig& config) {
+  if (config.num_tasks < 1) return Status::InvalidArgument("num_tasks < 1");
+  if (config.num_workers < 1) return Status::InvalidArgument("num_workers < 1");
+  if (config.sigma <= 0) return Status::InvalidArgument("sigma <= 0");
+  if (config.space_side <= 0) return Status::InvalidArgument("space_side <= 0");
+  return Status::OK();
+}
+
+std::vector<Point> DrawClippedNormal(int count, double mu, double sigma,
+                                     const BBox& region, Rng* rng) {
+  std::vector<Point> pts;
+  pts.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Point p{rng->Normal(mu, sigma), rng->Normal(mu, sigma)};
+    pts.push_back(region.Clamp(p));
+  }
+  return pts;
+}
+
+}  // namespace
+
+Result<OnlineInstance> GenerateSynthetic(const SyntheticConfig& config) {
+  TBF_RETURN_NOT_OK(ValidateBase(config));
+  Rng rng(config.seed);
+  Rng worker_rng = rng.Split(1);
+  Rng task_rng = rng.Split(2);
+
+  OnlineInstance instance;
+  instance.region = BBox::Square(config.space_side);
+  instance.workers = DrawClippedNormal(config.num_workers, config.mu,
+                                       config.sigma, instance.region, &worker_rng);
+  instance.tasks = DrawClippedNormal(config.num_tasks, config.mu, config.sigma,
+                                     instance.region, &task_rng);
+  // i.i.d. draws are exchangeable, so index order is already a uniformly
+  // random arrival order; no extra shuffle is needed.
+  return instance;
+}
+
+Result<CaseStudyInstance> GenerateSyntheticCaseStudy(
+    const SyntheticCaseStudyConfig& config) {
+  TBF_RETURN_NOT_OK(ValidateBase(config.base));
+  if (config.min_radius < 0 || config.max_radius < config.min_radius) {
+    return Status::InvalidArgument("bad radius range");
+  }
+  TBF_ASSIGN_OR_RETURN(OnlineInstance base, GenerateSynthetic(config.base));
+  CaseStudyInstance instance;
+  instance.region = base.region;
+  instance.workers = std::move(base.workers);
+  instance.tasks = std::move(base.tasks);
+  Rng radius_rng = Rng(config.base.seed).Split(3);
+  instance.radii.reserve(instance.workers.size());
+  for (size_t i = 0; i < instance.workers.size(); ++i) {
+    instance.radii.push_back(
+        radius_rng.Uniform(config.min_radius, config.max_radius));
+  }
+  return instance;
+}
+
+}  // namespace tbf

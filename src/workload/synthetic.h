@@ -1,0 +1,41 @@
+// Synthetic workloads — paper Table II.
+//
+// Tasks and workers are drawn in a 200 x 200 Euclidean space from a Normal
+// distribution with mean mu and standard deviation sigma (per coordinate),
+// clipped to the space. Defaults are the paper's bold settings.
+
+#pragma once
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "workload/instance.h"
+
+namespace tbf {
+
+/// \brief Parameters of a synthetic OMBM instance (Table II).
+struct SyntheticConfig {
+  int num_tasks = 3000;    ///< |T| in {1000..5000}
+  int num_workers = 5000;  ///< |W| in {3000..7000}
+  double mu = 100.0;       ///< location mean in {50..150}
+  double sigma = 20.0;     ///< location stddev in {10..30}
+  double space_side = 200.0;
+  uint64_t seed = 42;
+};
+
+/// \brief Generates workers and tasks i.i.d. Normal(mu, sigma) per
+/// coordinate, clipped to [0, space_side]^2; the task order is already a
+/// uniformly random arrival order (random order model).
+Result<OnlineInstance> GenerateSynthetic(const SyntheticConfig& config);
+
+/// \brief Case-study extension: same spatial law plus per-worker reachable
+/// radii drawn uniformly from [min_radius, max_radius] (paper: [10, 20]).
+struct SyntheticCaseStudyConfig {
+  SyntheticConfig base;
+  double min_radius = 10.0;
+  double max_radius = 20.0;
+};
+
+Result<CaseStudyInstance> GenerateSyntheticCaseStudy(
+    const SyntheticCaseStudyConfig& config);
+
+}  // namespace tbf

@@ -1,0 +1,206 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+
+namespace tbf {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void EmitRegion(std::ostringstream* out, const BBox& region) {
+  *out << "region," << FormatDouble(region.min_x) << ','
+       << FormatDouble(region.min_y) << ',' << FormatDouble(region.max_x)
+       << ',' << FormatDouble(region.max_y) << '\n';
+}
+
+Result<double> ParseNumber(const std::string& cell, const char* what,
+                           size_t row) {
+  char* end = nullptr;
+  double v = std::strtod(cell.c_str(), &end);
+  if (cell.empty() || end == nullptr || *end != '\0') {
+    return Status::InvalidArgument(std::string("bad ") + what + " at row " +
+                                   std::to_string(row));
+  }
+  return v;
+}
+
+struct ParsedTrace {
+  BBox region;
+  bool has_region = false;
+  std::vector<Point> workers;
+  std::vector<double> radii;  // NaN-free; empty when no radius column
+  std::vector<Point> tasks;
+};
+
+Result<ParsedTrace> ParseTrace(const std::string& text) {
+  TBF_ASSIGN_OR_RETURN(auto rows, ParseCsv(text));
+  ParsedTrace trace;
+  bool any_radius = false;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.empty()) continue;
+    const std::string& kind = row[0];
+    if (kind == "region") {
+      if (row.size() != 5) {
+        return Status::InvalidArgument("region row needs 4 coordinates");
+      }
+      TBF_ASSIGN_OR_RETURN(double x0, ParseNumber(row[1], "min_x", r));
+      TBF_ASSIGN_OR_RETURN(double y0, ParseNumber(row[2], "min_y", r));
+      TBF_ASSIGN_OR_RETURN(double x1, ParseNumber(row[3], "max_x", r));
+      TBF_ASSIGN_OR_RETURN(double y1, ParseNumber(row[4], "max_y", r));
+      if (x1 <= x0 || y1 <= y0) {
+        return Status::InvalidArgument("region must have positive area");
+      }
+      trace.region = BBox(x0, y0, x1, y1);
+      trace.has_region = true;
+    } else if (kind == "worker") {
+      if (row.size() != 3 && row.size() != 4) {
+        return Status::InvalidArgument("worker row needs x,y[,radius] at row " +
+                                       std::to_string(r));
+      }
+      TBF_ASSIGN_OR_RETURN(double x, ParseNumber(row[1], "x", r));
+      TBF_ASSIGN_OR_RETURN(double y, ParseNumber(row[2], "y", r));
+      trace.workers.push_back({x, y});
+      if (row.size() == 4) {
+        TBF_ASSIGN_OR_RETURN(double radius, ParseNumber(row[3], "radius", r));
+        if (radius < 0) return Status::InvalidArgument("negative radius");
+        trace.radii.push_back(radius);
+        any_radius = true;
+      } else if (any_radius) {
+        return Status::InvalidArgument("mixed worker rows with/without radius");
+      }
+    } else if (kind == "task") {
+      if (row.size() != 3) {
+        return Status::InvalidArgument("task row needs x,y at row " +
+                                       std::to_string(r));
+      }
+      TBF_ASSIGN_OR_RETURN(double x, ParseNumber(row[1], "x", r));
+      TBF_ASSIGN_OR_RETURN(double y, ParseNumber(row[2], "y", r));
+      trace.tasks.push_back({x, y});
+    } else {
+      return Status::InvalidArgument("unknown row kind '" + kind + "' at row " +
+                                     std::to_string(r));
+    }
+  }
+  if (!trace.has_region) return Status::InvalidArgument("missing region row");
+  if (any_radius && trace.radii.size() != trace.workers.size()) {
+    return Status::InvalidArgument("mixed worker rows with/without radius");
+  }
+  for (const Point& p : trace.workers) {
+    if (!trace.region.Contains(p)) {
+      return Status::OutOfRange("worker outside the declared region");
+    }
+  }
+  for (const Point& p : trace.tasks) {
+    if (!trace.region.Contains(p)) {
+      return Status::OutOfRange("task outside the declared region");
+    }
+  }
+  return trace;
+}
+
+}  // namespace
+
+std::string WriteInstanceTrace(const OnlineInstance& instance) {
+  std::ostringstream out;
+  EmitRegion(&out, instance.region);
+  for (const Point& w : instance.workers) {
+    out << "worker," << FormatDouble(w.x) << ',' << FormatDouble(w.y) << '\n';
+  }
+  for (const Point& t : instance.tasks) {
+    out << "task," << FormatDouble(t.x) << ',' << FormatDouble(t.y) << '\n';
+  }
+  return out.str();
+}
+
+std::string WriteInstanceTrace(const CaseStudyInstance& instance) {
+  std::ostringstream out;
+  EmitRegion(&out, instance.region);
+  for (size_t i = 0; i < instance.workers.size(); ++i) {
+    out << "worker," << FormatDouble(instance.workers[i].x) << ','
+        << FormatDouble(instance.workers[i].y) << ','
+        << FormatDouble(instance.radii[i]) << '\n';
+  }
+  for (const Point& t : instance.tasks) {
+    out << "task," << FormatDouble(t.x) << ',' << FormatDouble(t.y) << '\n';
+  }
+  return out.str();
+}
+
+Result<OnlineInstance> ReadInstanceTrace(const std::string& text) {
+  TBF_ASSIGN_OR_RETURN(ParsedTrace trace, ParseTrace(text));
+  if (!trace.radii.empty()) {
+    return Status::InvalidArgument(
+        "trace has radii; load it with ReadCaseStudyTrace");
+  }
+  OnlineInstance instance;
+  instance.region = trace.region;
+  instance.workers = std::move(trace.workers);
+  instance.tasks = std::move(trace.tasks);
+  return instance;
+}
+
+Result<CaseStudyInstance> ReadCaseStudyTrace(const std::string& text) {
+  TBF_ASSIGN_OR_RETURN(ParsedTrace trace, ParseTrace(text));
+  if (trace.radii.size() != trace.workers.size()) {
+    return Status::InvalidArgument("trace lacks radii; use ReadInstanceTrace");
+  }
+  CaseStudyInstance instance;
+  instance.region = trace.region;
+  instance.workers = std::move(trace.workers);
+  instance.radii = std::move(trace.radii);
+  instance.tasks = std::move(trace.tasks);
+  return instance;
+}
+
+namespace {
+
+Status WriteTextFile(const std::string& text, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << text;
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::string> ReadTextFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+Status WriteInstanceTraceFile(const OnlineInstance& instance,
+                              const std::string& path) {
+  return WriteTextFile(WriteInstanceTrace(instance), path);
+}
+
+Status WriteInstanceTraceFile(const CaseStudyInstance& instance,
+                              const std::string& path) {
+  return WriteTextFile(WriteInstanceTrace(instance), path);
+}
+
+Result<OnlineInstance> ReadInstanceTraceFile(const std::string& path) {
+  TBF_ASSIGN_OR_RETURN(std::string text, ReadTextFile(path));
+  return ReadInstanceTrace(text);
+}
+
+Result<CaseStudyInstance> ReadCaseStudyTraceFile(const std::string& path) {
+  TBF_ASSIGN_OR_RETURN(std::string text, ReadTextFile(path));
+  return ReadCaseStudyTrace(text);
+}
+
+}  // namespace tbf

@@ -1,0 +1,49 @@
+// Instance import/export.
+//
+// Lets users run the pipelines on their own traces: an OnlineInstance (or
+// CaseStudyInstance) round-trips through a simple CSV schema, so external
+// datasets (e.g. a real trip log) can be dropped in without recompiling.
+//
+// Schema (one row per entity):
+//   kind,x,y,radius
+//   region,min_x,min_y,max_x(+max_y via two rows? no:) -- see below
+//
+// Concretely:
+//   region,<min_x>,<min_y>,<max_x>,<max_y>
+//   worker,<x>,<y>[,<radius>]
+//   task,<x>,<y>
+// Rows appear in arrival order for tasks. The radius column makes the file
+// a CaseStudyInstance; files without radii load as OnlineInstance.
+
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "workload/instance.h"
+
+namespace tbf {
+
+/// \brief Serializes an instance to the trace CSV schema.
+std::string WriteInstanceTrace(const OnlineInstance& instance);
+
+/// \brief Serializes a case-study instance (workers carry radii).
+std::string WriteInstanceTrace(const CaseStudyInstance& instance);
+
+/// \brief Parses a trace without radii. Fails on malformed rows, missing
+/// region, radius columns (use ReadCaseStudyTrace), or out-of-region
+/// coordinates.
+Result<OnlineInstance> ReadInstanceTrace(const std::string& text);
+
+/// \brief Parses a trace whose workers carry radii.
+Result<CaseStudyInstance> ReadCaseStudyTrace(const std::string& text);
+
+/// \brief File convenience wrappers.
+Status WriteInstanceTraceFile(const OnlineInstance& instance,
+                              const std::string& path);
+Status WriteInstanceTraceFile(const CaseStudyInstance& instance,
+                              const std::string& path);
+Result<OnlineInstance> ReadInstanceTraceFile(const std::string& path);
+Result<CaseStudyInstance> ReadCaseStudyTraceFile(const std::string& path);
+
+}  // namespace tbf

@@ -1,0 +1,61 @@
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace tbf {
+namespace {
+
+ArgParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return ArgParser(static_cast<int>(args.size()), args.data());
+}
+
+TEST(ArgParserTest, ParsesKeyValue) {
+  ArgParser p = Parse({"--eps=0.5", "--n=100", "--name=hello"});
+  EXPECT_DOUBLE_EQ(p.GetDouble("eps", 1.0), 0.5);
+  EXPECT_EQ(p.GetInt("n", 7), 100);
+  EXPECT_EQ(p.GetString("name", "x"), "hello");
+}
+
+TEST(ArgParserTest, DefaultsWhenMissing) {
+  ArgParser p = Parse({});
+  EXPECT_DOUBLE_EQ(p.GetDouble("eps", 1.25), 1.25);
+  EXPECT_EQ(p.GetInt("n", -3), -3);
+  EXPECT_EQ(p.GetString("s", "def"), "def");
+  EXPECT_FALSE(p.GetBool("flag", false));
+  EXPECT_TRUE(p.GetBool("flag", true));
+}
+
+TEST(ArgParserTest, BareFlagIsTrue) {
+  ArgParser p = Parse({"--verbose"});
+  EXPECT_TRUE(p.Has("verbose"));
+  EXPECT_TRUE(p.GetBool("verbose", false));
+}
+
+TEST(ArgParserTest, BoolValues) {
+  ArgParser p = Parse({"--a=true", "--b=0", "--c=yes", "--d=off"});
+  EXPECT_TRUE(p.GetBool("a", false));
+  EXPECT_FALSE(p.GetBool("b", true));
+  EXPECT_TRUE(p.GetBool("c", false));
+  EXPECT_FALSE(p.GetBool("d", true));
+}
+
+TEST(ArgParserTest, PositionalCollected) {
+  ArgParser p = Parse({"pos1", "--k=v", "pos2"});
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "pos1");
+  EXPECT_EQ(p.positional()[1], "pos2");
+}
+
+TEST(ArgParserTest, ProgramName) {
+  ArgParser p = Parse({});
+  EXPECT_EQ(p.program(), "prog");
+}
+
+TEST(ArgParserTest, ValueWithEquals) {
+  ArgParser p = Parse({"--expr=a=b"});
+  EXPECT_EQ(p.GetString("expr", ""), "a=b");
+}
+
+}  // namespace
+}  // namespace tbf

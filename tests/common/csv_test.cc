@@ -1,0 +1,97 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace tbf {
+namespace {
+
+TEST(CsvWriterTest, HeaderOnly) {
+  CsvWriter w({"a", "b"});
+  EXPECT_EQ(w.ToString(), "a,b\n");
+  EXPECT_EQ(w.num_rows(), 0u);
+}
+
+TEST(CsvWriterTest, RowsAndQuoting) {
+  CsvWriter w({"name", "value"});
+  ASSERT_TRUE(w.AddRow(std::vector<std::string>{"plain", "1"}).ok());
+  ASSERT_TRUE(w.AddRow(std::vector<std::string>{"with,comma", "quote\"inside"}).ok());
+  EXPECT_EQ(w.ToString(),
+            "name,value\nplain,1\n\"with,comma\",\"quote\"\"inside\"\n");
+}
+
+TEST(CsvWriterTest, ArityMismatchRejected) {
+  CsvWriter w({"a", "b"});
+  EXPECT_FALSE(w.AddRow(std::vector<std::string>{"only-one"}).ok());
+}
+
+TEST(CsvWriterTest, DoubleRows) {
+  CsvWriter w({"x", "y"});
+  ASSERT_TRUE(w.AddRow(std::vector<double>{1.5, 2.0}).ok());
+  EXPECT_EQ(w.ToString(), "x,y\n1.5,2\n");
+}
+
+TEST(CsvWriterTest, RoundTripThroughFile) {
+  CsvWriter w({"k", "v"});
+  ASSERT_TRUE(w.AddRow(std::vector<std::string>{"alpha", "1,2"}).ok());
+  std::string path = testing::TempDir() + "/tbf_csv_test.csv";
+  ASSERT_TRUE(w.WriteFile(path).ok());
+  auto parsed = ReadCsvFile(path);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0], (std::vector<std::string>{"k", "v"}));
+  EXPECT_EQ((*parsed)[1], (std::vector<std::string>{"alpha", "1,2"}));
+  std::remove(path.c_str());
+}
+
+TEST(ParseCsvTest, Simple) {
+  auto rows = ParseCsv("a,b\n1,2\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][1], "2");
+}
+
+TEST(ParseCsvTest, QuotedCells) {
+  auto rows = ParseCsv("\"a,b\",\"c\"\"d\"\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0], "a,b");
+  EXPECT_EQ((*rows)[0][1], "c\"d");
+}
+
+TEST(ParseCsvTest, QuotedNewline) {
+  auto rows = ParseCsv("\"line1\nline2\",x\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], "line1\nline2");
+}
+
+TEST(ParseCsvTest, CrLf) {
+  auto rows = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[1][0], "1");
+}
+
+TEST(ParseCsvTest, MissingTrailingNewline) {
+  auto rows = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][1], "2");
+}
+
+TEST(ParseCsvTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsv("\"oops\n").ok());
+}
+
+TEST(ParseCsvTest, EmptyInput) {
+  auto rows = ParseCsv("");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(ReadCsvFileTest, MissingFileFails) {
+  EXPECT_FALSE(ReadCsvFile("/definitely/not/a/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace tbf

@@ -1,0 +1,49 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace tbf {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarn);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, BelowThresholdIsNotEvaluated) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto touch = [&evaluations]() {
+    ++evaluations;
+    return "msg";
+  };
+  TBF_LOG_DEBUG << touch();
+  TBF_LOG_INFO << touch();
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, EmitsAtOrAboveThreshold) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  TBF_LOG_INFO << "hello-" << 42;
+  std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("hello-42"), std::string::npos);
+  EXPECT_NE(err.find("INFO"), std::string::npos);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  TBF_CHECK(1 + 1 == 2) << "never shown";
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ TBF_CHECK(false) << "boom"; }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace tbf

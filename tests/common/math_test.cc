@@ -1,0 +1,100 @@
+#include "common/math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tbf {
+namespace {
+
+TEST(LogAddTest, BasicIdentities) {
+  EXPECT_NEAR(LogAdd(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  EXPECT_NEAR(LogAdd(0.0, 0.0), std::log(2.0), 1e-12);
+}
+
+TEST(LogAddTest, NegInfIsIdentity) {
+  EXPECT_EQ(LogAdd(kNegInf, 1.5), 1.5);
+  EXPECT_EQ(LogAdd(1.5, kNegInf), 1.5);
+  EXPECT_EQ(LogAdd(kNegInf, kNegInf), kNegInf);
+}
+
+TEST(LogAddTest, ExtremeMagnitudes) {
+  // exp(-1000) + exp(0) == exp(0) within double precision.
+  EXPECT_NEAR(LogAdd(-1000.0, 0.0), 0.0, 1e-12);
+  // Symmetric large values do not overflow.
+  EXPECT_NEAR(LogAdd(1000.0, 1000.0), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(LogSumExpTest, MatchesDirectSum) {
+  std::vector<double> v = {std::log(1.0), std::log(2.0), std::log(3.0)};
+  EXPECT_NEAR(LogSumExp(v), std::log(6.0), 1e-12);
+}
+
+TEST(LogSumExpTest, EmptyIsNegInf) {
+  EXPECT_EQ(LogSumExp({}), kNegInf);
+}
+
+TEST(LogSumExpTest, AllNegInf) {
+  EXPECT_EQ(LogSumExp({kNegInf, kNegInf}), kNegInf);
+}
+
+TEST(LogSumExpTest, UnderflowSafe) {
+  // Direct exp would underflow; log-space result is exact.
+  std::vector<double> v = {-2000.0, -2000.0};
+  EXPECT_NEAR(LogSumExp(v), -2000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(LambertW0Test, KnownValues) {
+  EXPECT_NEAR(LambertW0(0.0), 0.0, 1e-14);
+  // W0(e) = 1.
+  EXPECT_NEAR(LambertW0(std::exp(1.0)), 1.0, 1e-12);
+  // W0(1) = Omega constant.
+  EXPECT_NEAR(LambertW0(1.0), 0.5671432904097838, 1e-12);
+  // Branch point W0(-1/e) = -1.
+  EXPECT_NEAR(LambertW0(-std::exp(-1.0)), -1.0, 1e-5);
+}
+
+TEST(LambertW0Test, SatisfiesDefiningEquation) {
+  for (double x : {-0.3, -0.1, 0.5, 1.0, 10.0, 1e3, 1e8}) {
+    double w = LambertW0(x);
+    EXPECT_NEAR(w * std::exp(w), x, 1e-9 * std::max(1.0, std::fabs(x))) << "x=" << x;
+  }
+}
+
+TEST(LambertW0Test, OutOfDomainIsNaN) {
+  EXPECT_TRUE(std::isnan(LambertW0(-1.0)));
+}
+
+TEST(LambertWm1Test, SatisfiesDefiningEquation) {
+  for (double x : {-0.3678, -0.3, -0.2, -0.1, -0.01, -1e-4, -1e-8}) {
+    double w = LambertWm1(x);
+    EXPECT_NEAR(w * std::exp(w), x, 1e-9 * std::fabs(x) + 1e-12) << "x=" << x;
+    EXPECT_LE(w, -1.0 + 1e-6) << "W_{-1} must be <= -1";
+  }
+}
+
+TEST(LambertWm1Test, BranchPoint) {
+  EXPECT_NEAR(LambertWm1(-std::exp(-1.0)), -1.0, 1e-5);
+}
+
+TEST(LambertWm1Test, OutOfDomainIsNaN) {
+  EXPECT_TRUE(std::isnan(LambertWm1(0.5)));
+  EXPECT_TRUE(std::isnan(LambertWm1(-1.0)));
+}
+
+TEST(PowerOfTwoTest, Values) {
+  EXPECT_EQ(PowerOfTwo(0), 1.0);
+  EXPECT_EQ(PowerOfTwo(10), 1024.0);
+  EXPECT_EQ(PowerOfTwo(-1), 0.5);
+  EXPECT_EQ(PowerOfTwo(52), 4503599627370496.0);
+}
+
+TEST(AlmostEqualTest, RelativeTolerance) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.001));
+  EXPECT_TRUE(AlmostEqual(1e12, 1e12 + 1.0));
+  EXPECT_TRUE(AlmostEqual(0.0, 0.0));
+}
+
+}  // namespace
+}  // namespace tbf

@@ -1,0 +1,49 @@
+#include "common/memory.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tbf {
+namespace {
+
+TEST(MemoryTest, RssIsPositiveOnLinux) {
+  // /proc/self/status exists on the target platform.
+  EXPECT_GT(CurrentRssBytes(), 0u);
+  EXPECT_GT(PeakRssBytes(), 0u);
+}
+
+TEST(MemoryTest, PeakAtLeastCurrent) {
+  // PeakRssBytes falls back to the current RSS where VmHWM is unavailable,
+  // so it is never below a concurrent VmRSS reading (modulo shrinkage
+  // between the two reads — hence the factor).
+  EXPECT_GE(PeakRssBytes(), CurrentRssBytes() / 2);
+}
+
+TEST(MemoryTest, BytesToMiB) {
+  EXPECT_DOUBLE_EQ(BytesToMiB(0), 0.0);
+  EXPECT_DOUBLE_EQ(BytesToMiB(1024 * 1024), 1.0);
+  EXPECT_DOUBLE_EQ(BytesToMiB(512 * 1024), 0.5);
+}
+
+TEST(MemoryProbeTest, TracksGrowth) {
+  MemoryProbe probe;
+  EXPECT_EQ(probe.max_rss_bytes(), probe.baseline_bytes());
+  // Allocate ~64 MiB and touch it so it becomes resident.
+  std::vector<char> big(64 * 1024 * 1024, 1);
+  probe.Sample();
+  EXPECT_GE(probe.max_rss_bytes(), probe.baseline_bytes());
+  EXPECT_GT(probe.DeltaBytes(), 32u * 1024 * 1024);
+  // Keep `big` alive past the sample.
+  EXPECT_EQ(big[0], 1);
+}
+
+TEST(MemoryProbeTest, DeltaNeverNegative) {
+  MemoryProbe probe;
+  probe.Sample();
+  // Delta is clamped at zero even if RSS shrank between the two reads.
+  EXPECT_GE(probe.DeltaBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace tbf

@@ -1,0 +1,76 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tbf {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r(Status::OK());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, ValueOrReturnsAlternativeOnError) {
+  Result<int> err(Status::Internal("x"));
+  EXPECT_EQ(err.ValueOr(7), 7);
+  Result<int> ok(3);
+  EXPECT_EQ(ok.ValueOr(7), 3);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).MoveValueUnsafe();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  TBF_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> ok = Doubled(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err = Doubled(-1);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, VectorValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace tbf

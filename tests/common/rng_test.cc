@@ -1,0 +1,173 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/stats.h"
+
+namespace tbf {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.NextU64() != b.NextU64()) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(RngTest, Uniform01Range) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01Mean) {
+  Rng rng(11);
+  RunningStat stat;
+  for (int i = 0; i < 100000; ++i) stat.Add(rng.Uniform01());
+  EXPECT_NEAR(stat.mean(), 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(-3.0, 9.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 3));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(17);
+  RunningStat stat;
+  for (int i = 0; i < 200000; ++i) stat.Add(rng.Normal(10.0, 3.0));
+  EXPECT_NEAR(stat.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stat.stddev(), 3.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(19);
+  RunningStat stat;
+  for (int i = 0; i < 200000; ++i) stat.Add(rng.Exponential(2.0));
+  EXPECT_NEAR(stat.mean(), 0.5, 0.01);
+}
+
+TEST(RngTest, LaplaceMoments) {
+  Rng rng(23);
+  RunningStat stat;
+  for (int i = 0; i < 200000; ++i) stat.Add(rng.Laplace(2.0));
+  // Laplace(0, b): mean 0, variance 2 b^2.
+  EXPECT_NEAR(stat.mean(), 0.0, 0.05);
+  EXPECT_NEAR(stat.variance(), 8.0, 0.3);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliDegenerate) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(37);
+  std::vector<int> p = rng.Permutation(100);
+  std::vector<int> sorted = p;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(RngTest, PermutationUniformFirstElement) {
+  Rng rng(41);
+  std::vector<int> counts(5, 0);
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[static_cast<size_t>(rng.Permutation(5)[0])];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.2, 0.02);
+  }
+}
+
+TEST(RngTest, PermutationEmptyAndNegative) {
+  Rng rng(43);
+  EXPECT_TRUE(rng.Permutation(0).empty());
+  EXPECT_TRUE(rng.Permutation(-3).empty());
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(47);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[rng.Categorical(weights)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(trials), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(trials), 0.3, 0.01);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3] / static_cast<double>(trials), 0.6, 0.01);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentAndDeterministic) {
+  Rng parent1(99);
+  Rng parent2(99);
+  Rng child1 = parent1.Split(5);
+  Rng child2 = parent2.Split(5);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child1.NextU64(), child2.NextU64());
+  // Different salts after identical draw counts give different streams.
+  Rng parent3(99);
+  Rng child3 = parent3.Split(6);
+  Rng parent4(99);
+  Rng child4 = parent4.Split(5);
+  int diff = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (child3.NextU64() != child4.NextU64()) ++diff;
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(RngTest, ShuffleKeepsMultiset) {
+  Rng rng(53);
+  std::vector<int> v = {1, 1, 2, 3, 5, 8, 13};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  std::sort(original.begin(), original.end());
+  EXPECT_EQ(v, original);
+}
+
+}  // namespace
+}  // namespace tbf

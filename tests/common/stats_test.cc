@@ -1,0 +1,100 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tbf {
+namespace {
+
+TEST(RunningStatTest, EmptyDefaults) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat s;
+  s.Add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+  EXPECT_EQ(s.sum(), 4.0);
+}
+
+TEST(RunningStatTest, KnownSample) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic example is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, NegativeValues) {
+  RunningStat s;
+  s.Add(-5.0);
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 50.0);
+  EXPECT_EQ(s.min(), -5.0);
+}
+
+TEST(PercentileTest, EmptyIsZero) {
+  EXPECT_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(PercentileTest, MedianAndExtremes) {
+  std::vector<double> v = {5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+}
+
+TEST(PercentileTest, Interpolation) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 75), 7.5);
+}
+
+TEST(PercentileTest, ClampsP) {
+  std::vector<double> v = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, -10), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 200), 2.0);
+}
+
+TEST(ChiSquareTest, PerfectFitIsZero) {
+  std::vector<size_t> observed = {25, 25, 25, 25};
+  std::vector<double> probs = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(ChiSquareStatistic(observed, probs), 0.0, 1e-12);
+}
+
+TEST(ChiSquareTest, KnownStatistic) {
+  // n=100, expected 50/50, observed 60/40: chi2 = 100/50 + 100/50 = 4.
+  std::vector<size_t> observed = {60, 40};
+  std::vector<double> probs = {0.5, 0.5};
+  EXPECT_NEAR(ChiSquareStatistic(observed, probs), 4.0, 1e-12);
+}
+
+TEST(ChiSquareTest, PoolsSparseCells) {
+  // Last cell has expected count 0.1 (< 5), pooled instead of dividing by ~0.
+  std::vector<size_t> observed = {99, 1};
+  std::vector<double> probs = {0.999, 0.001};
+  double chi2 = ChiSquareStatistic(observed, probs);
+  EXPECT_TRUE(std::isfinite(chi2));
+  EXPECT_LT(chi2, 10.0);
+}
+
+TEST(ChiSquareTest, MismatchedSizesIsNaN) {
+  EXPECT_TRUE(std::isnan(ChiSquareStatistic({1, 2}, {1.0})));
+  EXPECT_TRUE(std::isnan(ChiSquareStatistic({}, {})));
+}
+
+}  // namespace
+}  // namespace tbf

@@ -1,0 +1,48 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace tbf {
+namespace {
+
+TEST(AsciiTableTest, RendersTitleHeaderRows) {
+  AsciiTable t("demo", {"col1", "c2"});
+  t.AddRow({"a", "b"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("col1"), std::string::npos);
+  EXPECT_NE(out.find("a"), std::string::npos);
+}
+
+TEST(AsciiTableTest, PadsShortRows) {
+  AsciiTable t("t", {"x", "y", "z"});
+  t.AddRow({"only"});
+  // Must not crash and must render three columns.
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(AsciiTableTest, ColumnAlignment) {
+  AsciiTable t("t", {"m", "v"});
+  t.AddRow({"aaaa", "1"});
+  t.AddRow({"b", "22"});
+  std::string out = t.ToString();
+  // Every data line has the second column starting at the same offset:
+  // "aaaa" is the widest cell -> "b" padded to 4 chars + 2 separator spaces.
+  EXPECT_NE(out.find("aaaa  1"), std::string::npos);
+  EXPECT_NE(out.find("b     22"), std::string::npos);
+}
+
+TEST(AsciiTableNumTest, IntegersRenderWithoutDecimals) {
+  EXPECT_EQ(AsciiTable::Num(5), "5");
+  EXPECT_EQ(AsciiTable::Num(-3), "-3");
+  EXPECT_EQ(AsciiTable::Num(12000), "12000");
+}
+
+TEST(AsciiTableNumTest, FractionsUseCompactFormat) {
+  EXPECT_EQ(AsciiTable::Num(1.5), "1.5");
+  EXPECT_EQ(AsciiTable::Num(0.12345), "0.1235");  // 4 significant digits
+}
+
+}  // namespace
+}  // namespace tbf

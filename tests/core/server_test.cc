@@ -1,0 +1,205 @@
+#include "core/server.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "geo/grid.h"
+
+namespace tbf {
+namespace {
+
+std::shared_ptr<const CompleteHst> BuildTree(uint64_t seed = 3) {
+  EuclideanMetric metric;
+  Rng rng(seed);
+  auto grid = UniformGridPoints(BBox::Square(100), 6);
+  auto tree = CompleteHst::BuildFromPoints(*grid, metric, &rng);
+  EXPECT_TRUE(tree.ok());
+  return std::make_shared<const CompleteHst>(std::move(tree).MoveValueUnsafe());
+}
+
+TEST(TbfServerTest, CreateValidates) {
+  EXPECT_FALSE(TbfServer::Create(nullptr).ok());
+  TbfServerOptions bad;
+  bad.lifetime_budget = 0.0;
+  EXPECT_FALSE(TbfServer::Create(BuildTree(), bad).ok());
+  EXPECT_TRUE(TbfServer::Create(BuildTree()).ok());
+}
+
+TEST(TbfServerTest, RegisterSubmitLifecycle) {
+  auto tree = BuildTree();
+  auto server = TbfServer::Create(tree);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server->RegisterWorker("w1", tree->leaf_of_point(0)).ok());
+  ASSERT_TRUE(server->RegisterWorker("w2", tree->leaf_of_point(20)).ok());
+  EXPECT_EQ(server->available_workers(), 2u);
+  EXPECT_TRUE(server->IsRegistered("w1"));
+
+  auto dispatch = server->SubmitTask("t1", tree->leaf_of_point(1));
+  ASSERT_TRUE(dispatch.ok());
+  ASSERT_TRUE(dispatch->worker.has_value());
+  EXPECT_EQ(*dispatch->worker, "w1");  // nearest on the tree
+  EXPECT_EQ(server->available_workers(), 1u);
+  EXPECT_EQ(server->assigned_tasks(), 1u);
+  EXPECT_FALSE(server->IsRegistered("w1"));  // consumed
+
+  auto second = server->SubmitTask("t2", tree->leaf_of_point(1));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second->worker, "w2");
+
+  auto drained = server->SubmitTask("t3", tree->leaf_of_point(1));
+  ASSERT_TRUE(drained.ok());
+  EXPECT_FALSE(drained->worker.has_value());
+}
+
+TEST(TbfServerTest, ReportedTreeDistanceMatchesLeaves) {
+  auto tree = BuildTree();
+  auto server = TbfServer::Create(tree);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server->RegisterWorker("w", tree->leaf_of_point(5)).ok());
+  LeafPath task_leaf = tree->leaf_of_point(30);
+  auto dispatch = server->SubmitTask("t", task_leaf);
+  ASSERT_TRUE(dispatch.ok());
+  EXPECT_DOUBLE_EQ(dispatch->reported_tree_distance,
+                   tree->TreeDistance(task_leaf, tree->leaf_of_point(5)));
+}
+
+TEST(TbfServerTest, RelocationMovesReport) {
+  auto tree = BuildTree();
+  auto server = TbfServer::Create(tree);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server->RegisterWorker("w", tree->leaf_of_point(0)).ok());
+  // Relocate to the far corner.
+  ASSERT_TRUE(server->RegisterWorker("w", tree->leaf_of_point(35)).ok());
+  EXPECT_EQ(server->available_workers(), 1u);
+  auto dispatch = server->SubmitTask("t", tree->leaf_of_point(35));
+  ASSERT_TRUE(dispatch.ok());
+  EXPECT_DOUBLE_EQ(dispatch->reported_tree_distance, 0.0);
+}
+
+TEST(TbfServerTest, UnregisterRemoves) {
+  auto tree = BuildTree();
+  auto server = TbfServer::Create(tree);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server->RegisterWorker("w", tree->leaf_of_point(0)).ok());
+  ASSERT_TRUE(server->UnregisterWorker("w").ok());
+  EXPECT_EQ(server->available_workers(), 0u);
+  EXPECT_EQ(server->UnregisterWorker("w").code(), StatusCode::kNotFound);
+}
+
+TEST(TbfServerTest, RejectsWrongDepthLeaves) {
+  auto tree = BuildTree();
+  auto server = TbfServer::Create(tree);
+  ASSERT_TRUE(server.ok());
+  LeafPath bad;
+  bad.push_back(0);
+  EXPECT_FALSE(server->RegisterWorker("w", bad).ok());
+  EXPECT_FALSE(server->SubmitTask("t", bad).ok());
+}
+
+TEST(TbfServerTest, BudgetEnforcement) {
+  auto tree = BuildTree();
+  TbfServerOptions options;
+  options.lifetime_budget = 0.5;
+  auto server = TbfServer::Create(tree, options);
+  ASSERT_TRUE(server.ok());
+  ASSERT_NE(server->ledger(), nullptr);
+
+  // Must declare epsilon under enforcement.
+  EXPECT_EQ(server->RegisterWorker("w", tree->leaf_of_point(0)).code(),
+            StatusCode::kInvalidArgument);
+  // Two reports of 0.2 fit; a third exceeds 0.5.
+  EXPECT_TRUE(server->RegisterWorker("w", tree->leaf_of_point(0), 0.2).ok());
+  EXPECT_TRUE(server->RegisterWorker("w", tree->leaf_of_point(1), 0.2).ok());
+  Status third = server->RegisterWorker("w", tree->leaf_of_point(2), 0.2);
+  EXPECT_EQ(third.code(), StatusCode::kFailedPrecondition);
+  // The refused relocation left the previous registration intact.
+  EXPECT_EQ(server->available_workers(), 1u);
+  auto dispatch = server->SubmitTask("t", tree->leaf_of_point(1), 0.2);
+  ASSERT_TRUE(dispatch.ok());
+  EXPECT_EQ(*dispatch->worker, "w");
+  EXPECT_DOUBLE_EQ(dispatch->reported_tree_distance, 0.0);
+}
+
+TEST(TbfServerTest, TasksSpendBudgetToo) {
+  auto tree = BuildTree();
+  TbfServerOptions options;
+  options.lifetime_budget = 0.3;
+  auto server = TbfServer::Create(tree, options);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server->RegisterWorker("w", tree->leaf_of_point(0), 0.3).ok());
+  EXPECT_TRUE(server->SubmitTask("rider", tree->leaf_of_point(0), 0.3).ok());
+  // Same task id again: budget gone.
+  auto refused = server->SubmitTask("rider", tree->leaf_of_point(0), 0.3);
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TbfServerTest, RandomTieBreakStillNearest) {
+  auto tree = BuildTree();
+  TbfServerOptions options;
+  options.tie_break = HstTieBreak::kUniformRandom;
+  options.seed = 9;
+  auto server = TbfServer::Create(tree, options);
+  ASSERT_TRUE(server.ok());
+  // Two co-located workers, one far: dispatch must pick a co-located one.
+  ASSERT_TRUE(server->RegisterWorker("near1", tree->leaf_of_point(7)).ok());
+  ASSERT_TRUE(server->RegisterWorker("near2", tree->leaf_of_point(7)).ok());
+  ASSERT_TRUE(server->RegisterWorker("far", tree->leaf_of_point(35)).ok());
+  auto dispatch = server->SubmitTask("t", tree->leaf_of_point(7));
+  ASSERT_TRUE(dispatch.ok());
+  EXPECT_NE(*dispatch->worker, "far");
+  EXPECT_DOUBLE_EQ(dispatch->reported_tree_distance, 0.0);
+}
+
+TEST(TbfServerTest, RandomTieBreakIsUniformAcrossRuns) {
+  auto tree = BuildTree();
+  std::map<std::string, int> counts;
+  for (uint64_t seed = 0; seed < 2000; ++seed) {
+    TbfServerOptions options;
+    options.tie_break = HstTieBreak::kUniformRandom;
+    options.seed = seed;
+    auto server = TbfServer::Create(tree, options);
+    ASSERT_TRUE(server.ok());
+    ASSERT_TRUE(server->RegisterWorker("a", tree->leaf_of_point(7)).ok());
+    ASSERT_TRUE(server->RegisterWorker("b", tree->leaf_of_point(7)).ok());
+    auto dispatch = server->SubmitTask("t", tree->leaf_of_point(7));
+    ASSERT_TRUE(dispatch.ok());
+    ++counts[*dispatch->worker];
+  }
+  EXPECT_NEAR(counts["a"] / 2000.0, 0.5, 0.05);
+}
+
+TEST(TbfServerTest, EndToEndWithMechanism) {
+  // Full workflow: publish tree, clients obfuscate with the mechanism, the
+  // server dispatches — nothing but leaves crosses the trust boundary.
+  auto tree = BuildTree();
+  auto mechanism_result = HstMechanism::Build(*tree, 0.4);
+  ASSERT_TRUE(mechanism_result.ok());
+  const HstMechanism& mechanism = *mechanism_result;
+  auto server = TbfServer::Create(tree);
+  ASSERT_TRUE(server.ok());
+
+  Rng rng(21);
+  for (int w = 0; w < 20; ++w) {
+    Point loc{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    LeafPath reported = mechanism.Obfuscate(tree->MapToNearestLeaf(loc), &rng);
+    std::string id = "w";
+    id += std::to_string(w);
+    ASSERT_TRUE(server->RegisterWorker(id, reported).ok());
+  }
+  size_t assigned = 0;
+  for (int t = 0; t < 10; ++t) {
+    Point loc{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    LeafPath reported = mechanism.Obfuscate(tree->MapToNearestLeaf(loc), &rng);
+    std::string id = "t";
+    id += std::to_string(t);
+    auto dispatch = server->SubmitTask(id, reported);
+    ASSERT_TRUE(dispatch.ok());
+    if (dispatch->worker) ++assigned;
+  }
+  EXPECT_EQ(assigned, 10u);
+  EXPECT_EQ(server->available_workers(), 10u);
+}
+
+}  // namespace
+}  // namespace tbf

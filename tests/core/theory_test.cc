@@ -1,0 +1,52 @@
+#include "core/theory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tbf {
+namespace {
+
+TEST(TheoryTest, Lemma1Factor) {
+  // 1 / (3(2c-1)).
+  EXPECT_DOUBLE_EQ(Lemma1LowerBoundFactor(2), 1.0 / 9.0);
+  EXPECT_DOUBLE_EQ(Lemma1LowerBoundFactor(3), 1.0 / 15.0);
+  // Wider trees give weaker lower bounds.
+  EXPECT_GT(Lemma1LowerBoundFactor(2), Lemma1LowerBoundFactor(10));
+}
+
+TEST(TheoryTest, Lemma2FactorShape) {
+  // (ln 2c / eps)^{log2 2c}, clamped at 1.
+  double f = Lemma2UpperBoundFactor(2, 0.5);
+  EXPECT_NEAR(f, std::pow(std::log(4.0) / 0.5, 2.0), 1e-9);
+  // Smaller eps -> larger distortion bound.
+  EXPECT_GT(Lemma2UpperBoundFactor(2, 0.1), Lemma2UpperBoundFactor(2, 1.0));
+  // Clamp: enormous eps cannot push the expectation factor below 1.
+  EXPECT_DOUBLE_EQ(Lemma2UpperBoundFactor(2, 1000.0), 1.0);
+}
+
+TEST(TheoryTest, Theorem3Shape) {
+  // (1/eps^4) log N log^2 k.
+  double r = Theorem3RatioShape(1.0, 1024, 256);
+  EXPECT_DOUBLE_EQ(r, 10.0 * 8.0 * 8.0);
+  // Quartic in 1/eps.
+  EXPECT_NEAR(Theorem3RatioShape(0.5, 1024, 256) / r, 16.0, 1e-9);
+  // Monotone in N and k.
+  EXPECT_GT(Theorem3RatioShape(1.0, 4096, 256), r);
+  EXPECT_GT(Theorem3RatioShape(1.0, 1024, 1024), r);
+}
+
+TEST(TheoryTest, Theorem3GuardsSmallInputs) {
+  // log terms are clamped at 1 so tiny instances do not yield ratios < 1.
+  EXPECT_GE(Theorem3RatioShape(1.0, 1, 1), 1.0);
+}
+
+TEST(TheoryTest, DistortionRatioCombinesLemmas) {
+  double ratio = DistortionRatioBound(2, 0.5);
+  EXPECT_DOUBLE_EQ(
+      ratio, Lemma2UpperBoundFactor(2, 0.5) / Lemma1LowerBoundFactor(2));
+  EXPECT_GT(ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace tbf

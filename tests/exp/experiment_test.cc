@@ -1,0 +1,153 @@
+#include "exp/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "workload/synthetic.h"
+
+namespace tbf {
+namespace {
+
+OnlineInstance TinyInstance() {
+  SyntheticConfig config;
+  config.num_tasks = 30;
+  config.num_workers = 60;
+  config.seed = 5;
+  auto instance = GenerateSynthetic(config);
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).MoveValueUnsafe();
+}
+
+PipelineConfig TinyPipeline() {
+  PipelineConfig config;
+  config.grid_side = 6;
+  return config;
+}
+
+TEST(RunRepeatedTest, AveragesOverRepeats) {
+  OnlineInstance inst = TinyInstance();
+  auto avg = RunRepeated(Algorithm::kTbf, inst, TinyPipeline(), 3);
+  ASSERT_TRUE(avg.ok()) << avg.status();
+  EXPECT_EQ(avg->repeats, 3);
+  EXPECT_EQ(avg->algorithm, "TBF");
+  EXPECT_GT(avg->total_distance, 0.0);
+  EXPECT_DOUBLE_EQ(avg->matched, 30.0);
+}
+
+TEST(RunRepeatedTest, RejectsZeroRepeats) {
+  OnlineInstance inst = TinyInstance();
+  EXPECT_FALSE(RunRepeated(Algorithm::kTbf, inst, TinyPipeline(), 0).ok());
+}
+
+TEST(RunRepeatedTest, SingleRepeatMatchesDirectRun) {
+  OnlineInstance inst = TinyInstance();
+  PipelineConfig config = TinyPipeline();
+  auto avg = RunRepeated(Algorithm::kLapGr, inst, config, 1);
+  auto direct = RunPipeline(Algorithm::kLapGr, inst, config);
+  ASSERT_TRUE(avg.ok());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_DOUBLE_EQ(avg->total_distance, direct->total_distance);
+}
+
+TEST(RunRepeatedCaseStudyTest, Works) {
+  SyntheticCaseStudyConfig cs_config;
+  cs_config.base.num_tasks = 30;
+  cs_config.base.num_workers = 80;
+  auto inst = GenerateSyntheticCaseStudy(cs_config);
+  ASSERT_TRUE(inst.ok());
+  CaseStudyConfig config;
+  config.pipeline = TinyPipeline();
+  auto avg = RunRepeatedCaseStudy(CaseStudyAlgorithm::kTbf, *inst, config, 2);
+  ASSERT_TRUE(avg.ok()) << avg.status();
+  EXPECT_EQ(avg->repeats, 2);
+  EXPECT_LE(avg->matching_size, 30.0);
+  EXPECT_GE(avg->notifications, avg->matching_size);
+}
+
+TEST(FigureSeriesTest, PrintsAllConfiguredPanels) {
+  FigureSeries series("Fig X", "|T|");
+  AveragedMetrics m;
+  m.algorithm = "TBF";
+  m.total_distance = 123.0;
+  m.match_seconds = 0.5;
+  m.memory_mb = 17.0;
+  series.Add("1000", m);
+  m.algorithm = "Lap-GR";
+  m.total_distance = 200.0;
+  series.Add("1000", m);
+
+  testing::internal::CaptureStdout();
+  series.PrintTables();
+  std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("Fig X"), std::string::npos);
+  EXPECT_NE(out.find("total distance"), std::string::npos);
+  EXPECT_NE(out.find("running time"), std::string::npos);
+  EXPECT_NE(out.find("memory usage"), std::string::npos);
+  EXPECT_NE(out.find("TBF"), std::string::npos);
+  EXPECT_NE(out.find("Lap-GR"), std::string::npos);
+  EXPECT_NE(out.find("123"), std::string::npos);
+}
+
+TEST(FigureSeriesTest, MatchingSizePanel) {
+  FigureSeries series("Fig 8a", "|W|");
+  AveragedMetrics m;
+  m.algorithm = "Prob";
+  m.matching_size = 42;
+  series.Add("3000", m);
+  FigureSeries::PanelSelection panels;
+  panels.total_distance = false;
+  panels.memory_mb = false;
+  panels.match_seconds = false;
+  panels.matching_size = true;
+  testing::internal::CaptureStdout();
+  series.PrintTables(panels);
+  std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("matching size"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_EQ(out.find("total distance"), std::string::npos);
+}
+
+TEST(FigureSeriesTest, WriteCsvRoundTrips) {
+  FigureSeries series("Fig Y", "eps");
+  AveragedMetrics m;
+  m.algorithm = "TBF";
+  m.total_distance = 7.5;
+  m.repeats = 2;
+  series.Add("0.2", m);
+  std::string path = testing::TempDir() + "/tbf_series.csv";
+  ASSERT_TRUE(series.WriteCsv(path).ok());
+  auto rows = ReadCsvFile(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0], "eps");
+  EXPECT_EQ((*rows)[1][0], "0.2");
+  EXPECT_EQ((*rows)[1][1], "TBF");
+  std::remove(path.c_str());
+}
+
+TEST(NormalizeToSquareTest, RescalesOnlineInstance) {
+  OnlineInstance inst;
+  inst.region = BBox::Square(10000);
+  inst.workers = {{5000, 5000}, {0, 10000}};
+  inst.tasks = {{2500, 7500}};
+  NormalizeToSquare(&inst, 200.0);
+  EXPECT_EQ(inst.region.width(), 200.0);
+  EXPECT_EQ(inst.workers[0], Point(100, 100));
+  EXPECT_EQ(inst.workers[1], Point(0, 200));
+  EXPECT_EQ(inst.tasks[0], Point(50, 150));
+}
+
+TEST(NormalizeToSquareTest, RescalesCaseStudyRadii) {
+  CaseStudyInstance inst;
+  inst.region = BBox::Square(10000);
+  inst.workers = {{5000, 5000}};
+  inst.radii = {500.0};
+  inst.tasks = {{5000, 5000}};
+  NormalizeToSquare(&inst, 200.0);
+  EXPECT_DOUBLE_EQ(inst.radii[0], 10.0);
+  EXPECT_EQ(inst.workers[0], Point(100, 100));
+}
+
+}  // namespace
+}  // namespace tbf

@@ -1,0 +1,61 @@
+#include "geo/bbox.h"
+
+#include <gtest/gtest.h>
+
+namespace tbf {
+namespace {
+
+TEST(BBoxTest, SquareFactory) {
+  BBox b = BBox::Square(200);
+  EXPECT_EQ(b.min_x, 0);
+  EXPECT_EQ(b.max_x, 200);
+  EXPECT_EQ(b.width(), 200);
+  EXPECT_EQ(b.height(), 200);
+}
+
+TEST(BBoxTest, Contains) {
+  BBox b(0, 0, 10, 10);
+  EXPECT_TRUE(b.Contains({5, 5}));
+  EXPECT_TRUE(b.Contains({0, 0}));    // boundary inclusive
+  EXPECT_TRUE(b.Contains({10, 10}));
+  EXPECT_FALSE(b.Contains({10.01, 5}));
+  EXPECT_FALSE(b.Contains({5, -0.01}));
+}
+
+TEST(BBoxTest, ClampInsideIsIdentity) {
+  BBox b(0, 0, 10, 10);
+  EXPECT_EQ(b.Clamp({3, 7}), Point(3, 7));
+}
+
+TEST(BBoxTest, ClampOutside) {
+  BBox b(0, 0, 10, 10);
+  EXPECT_EQ(b.Clamp({-5, 5}), Point(0, 5));
+  EXPECT_EQ(b.Clamp({12, 15}), Point(10, 10));
+}
+
+TEST(BBoxTest, DistanceZeroInside) {
+  BBox b(0, 0, 10, 10);
+  EXPECT_EQ(b.Distance({4, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(b.Distance({13, 14}), 5.0);  // (3,4) away from corner
+}
+
+TEST(BBoxTest, Diagonal) {
+  EXPECT_DOUBLE_EQ(BBox(0, 0, 3, 4).Diagonal(), 5.0);
+}
+
+TEST(BBoxTest, OfPoints) {
+  BBox b = BBox::Of({{1, 5}, {-2, 3}, {4, -1}});
+  EXPECT_EQ(b.min_x, -2);
+  EXPECT_EQ(b.min_y, -1);
+  EXPECT_EQ(b.max_x, 4);
+  EXPECT_EQ(b.max_y, 5);
+}
+
+TEST(BBoxTest, OfEmptyIsZero) {
+  BBox b = BBox::Of({});
+  EXPECT_EQ(b.width(), 0.0);
+  EXPECT_EQ(b.height(), 0.0);
+}
+
+}  // namespace
+}  // namespace tbf

@@ -1,0 +1,73 @@
+#include "geo/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geo/metric.h"
+
+namespace tbf {
+namespace {
+
+TEST(UniformGridTest, CountAndCoverage) {
+  auto grid = UniformGridPoints(BBox::Square(200), 4);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->size(), 16u);
+  // Corners present.
+  EXPECT_NE(std::find(grid->begin(), grid->end(), Point(0, 0)), grid->end());
+  EXPECT_NE(std::find(grid->begin(), grid->end(), Point(200, 200)), grid->end());
+}
+
+TEST(UniformGridTest, SpacingIsUniform) {
+  auto grid = UniformGridPoints(BBox::Square(30), 4);
+  ASSERT_TRUE(grid.ok());
+  EuclideanMetric metric;
+  EXPECT_DOUBLE_EQ(MinPairwiseDistance(*grid, metric), 10.0);
+}
+
+TEST(UniformGridTest, SideOneIsCenter) {
+  auto grid = UniformGridPoints(BBox(0, 0, 10, 20), 1);
+  ASSERT_TRUE(grid.ok());
+  ASSERT_EQ(grid->size(), 1u);
+  EXPECT_EQ((*grid)[0], Point(5, 10));
+}
+
+TEST(UniformGridTest, RejectsBadArguments) {
+  EXPECT_FALSE(UniformGridPoints(BBox::Square(10), 0).ok());
+  EXPECT_FALSE(UniformGridPoints(BBox(0, 0, 0, 0), 3).ok());
+}
+
+TEST(RandomUniformTest, InRegionAndDeterministic) {
+  Rng rng1(5), rng2(5);
+  BBox region(10, 20, 30, 40);
+  auto a = RandomUniformPoints(region, 100, &rng1);
+  auto b = RandomUniformPoints(region, 100, &rng2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  for (const Point& p : *a) EXPECT_TRUE(region.Contains(p));
+}
+
+TEST(RandomUniformTest, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(RandomUniformPoints(BBox::Square(10), 0, &rng).ok());
+  EXPECT_FALSE(RandomUniformPoints(BBox::Square(10), 5, nullptr).ok());
+}
+
+TEST(FilterMinSeparationTest, DropsClosePoints) {
+  std::vector<Point> pts = {{0, 0}, {0.5, 0}, {3, 0}, {3.2, 0}};
+  std::vector<Point> kept = FilterMinSeparation(pts, 1.0);
+  EXPECT_EQ(kept, (std::vector<Point>{{0, 0}, {3, 0}}));
+}
+
+TEST(FilterMinSeparationTest, KeepsAllWhenSeparated) {
+  std::vector<Point> pts = {{0, 0}, {5, 0}, {10, 0}};
+  EXPECT_EQ(FilterMinSeparation(pts, 1.0), pts);
+}
+
+TEST(FilterMinSeparationTest, EmptyInput) {
+  EXPECT_TRUE(FilterMinSeparation({}, 1.0).empty());
+}
+
+}  // namespace
+}  // namespace tbf

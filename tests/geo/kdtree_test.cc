@@ -1,0 +1,156 @@
+#include "geo/kdtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace tbf {
+namespace {
+
+// Reference linear-scan NN with the same tie-break (smallest id).
+int LinearNearest(const std::vector<Point>& pts, const std::vector<bool>& active,
+                  const Point& q) {
+  int best = -1;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (!active[i]) continue;
+    double d2 = SquaredDistance(q, pts[i]);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+TEST(KdTreeTest, EmptyQueries) {
+  KdTree tree(std::vector<Point>{});
+  EXPECT_EQ(tree.NearestNeighbor({0, 0}), -1);
+  EXPECT_TRUE(tree.RadiusSearch({0, 0}, 10).empty());
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  KdTree tree({{3, 4}});
+  EXPECT_EQ(tree.NearestNeighbor({0, 0}), 0);
+  tree.Deactivate(0);
+  EXPECT_EQ(tree.NearestNeighbor({0, 0}), -1);
+  tree.Activate(0);
+  EXPECT_EQ(tree.NearestNeighbor({0, 0}), 0);
+}
+
+TEST(KdTreeTest, NearestMatchesLinearScanRandom) {
+  Rng rng(1234);
+  std::vector<Point> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  KdTree tree(pts);
+  std::vector<bool> active(pts.size(), true);
+  for (int q = 0; q < 200; ++q) {
+    Point query{rng.Uniform(-10, 110), rng.Uniform(-10, 110)};
+    EXPECT_EQ(tree.NearestNeighbor(query), LinearNearest(pts, active, query));
+  }
+}
+
+TEST(KdTreeTest, NearestUnderDeletions) {
+  Rng rng(99);
+  std::vector<Point> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back({rng.Uniform(0, 50), rng.Uniform(0, 50)});
+  }
+  KdTree tree(pts);
+  std::vector<bool> active(pts.size(), true);
+  // Interleave queries and deletions until the structure empties.
+  for (int round = 0; round < 300; ++round) {
+    Point query{rng.Uniform(0, 50), rng.Uniform(0, 50)};
+    int got = tree.NearestNeighbor(query);
+    int want = LinearNearest(pts, active, query);
+    ASSERT_EQ(got, want) << "round " << round;
+    if (want >= 0) {
+      tree.Deactivate(want);
+      active[static_cast<size_t>(want)] = false;
+    }
+  }
+  EXPECT_EQ(tree.active_count(), 0u);
+  EXPECT_EQ(tree.NearestNeighbor({0, 0}), -1);
+}
+
+TEST(KdTreeTest, ReactivationRestoresVisibility) {
+  std::vector<Point> pts = {{0, 0}, {10, 0}, {20, 0}};
+  KdTree tree(pts);
+  tree.Deactivate(0);
+  EXPECT_EQ(tree.NearestNeighbor({1, 0}), 1);
+  tree.Activate(0);
+  EXPECT_EQ(tree.NearestNeighbor({1, 0}), 0);
+}
+
+TEST(KdTreeTest, ActivateAfterRebuildWorks) {
+  // Force a rebuild (deactivate > half), then re-activate a dropped point.
+  std::vector<Point> pts;
+  for (int i = 0; i < 10; ++i) pts.push_back({static_cast<double>(i), 0});
+  KdTree tree(pts);
+  for (int i = 0; i < 8; ++i) tree.Deactivate(i);
+  EXPECT_EQ(tree.NearestNeighbor({0, 0}), 8);
+  tree.Activate(3);
+  EXPECT_EQ(tree.NearestNeighbor({0, 0}), 3);
+  EXPECT_EQ(tree.active_count(), 3u);
+}
+
+TEST(KdTreeTest, RadiusSearchExact) {
+  std::vector<Point> pts = {{0, 0}, {1, 0}, {2, 0}, {5, 0}};
+  KdTree tree(pts);
+  EXPECT_EQ(tree.RadiusSearch({0, 0}, 2.0), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(tree.RadiusSearch({0, 0}, 0.5), (std::vector<int>{0}));
+  EXPECT_TRUE(tree.RadiusSearch({-10, 0}, 1.0).empty());
+}
+
+TEST(KdTreeTest, RadiusSearchRespectsDeactivation) {
+  std::vector<Point> pts = {{0, 0}, {1, 0}};
+  KdTree tree(pts);
+  tree.Deactivate(0);
+  EXPECT_EQ(tree.RadiusSearch({0, 0}, 5.0), (std::vector<int>{1}));
+}
+
+TEST(KdTreeTest, RadiusSearchMatchesLinearRandom) {
+  Rng rng(7);
+  std::vector<Point> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.Uniform(0, 20), rng.Uniform(0, 20)});
+  }
+  KdTree tree(pts);
+  for (int q = 0; q < 50; ++q) {
+    Point query{rng.Uniform(0, 20), rng.Uniform(0, 20)};
+    double radius = rng.Uniform(0, 8);
+    std::vector<int> expected;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      if (EuclideanDistance(query, pts[i]) <= radius) {
+        expected.push_back(static_cast<int>(i));
+      }
+    }
+    EXPECT_EQ(tree.RadiusSearch(query, radius), expected);
+  }
+}
+
+TEST(KdTreeTest, DuplicatePointsTieBreakSmallestId) {
+  std::vector<Point> pts = {{5, 5}, {5, 5}, {5, 5}};
+  KdTree tree(pts);
+  EXPECT_EQ(tree.NearestNeighbor({5, 5}), 0);
+  tree.Deactivate(0);
+  EXPECT_EQ(tree.NearestNeighbor({5, 5}), 1);
+}
+
+TEST(KdTreeTest, PointAccessors) {
+  std::vector<Point> pts = {{1, 2}, {3, 4}};
+  KdTree tree(pts);
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_EQ(tree.point(1), Point(3, 4));
+  EXPECT_TRUE(tree.IsActive(0));
+  tree.Deactivate(0);
+  EXPECT_FALSE(tree.IsActive(0));
+}
+
+}  // namespace
+}  // namespace tbf

@@ -1,0 +1,60 @@
+#include "geo/metric.h"
+
+#include <gtest/gtest.h>
+
+namespace tbf {
+namespace {
+
+TEST(MetricTest, EuclideanMatchesFreeFunction) {
+  EuclideanMetric m;
+  EXPECT_DOUBLE_EQ(m.Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_STREQ(m.Name(), "euclidean");
+}
+
+TEST(MetricTest, ManhattanMatchesFreeFunction) {
+  ManhattanMetric m;
+  EXPECT_DOUBLE_EQ(m.Distance({0, 0}, {3, 4}), 7.0);
+  EXPECT_STREQ(m.Name(), "manhattan");
+}
+
+TEST(MetricTest, MaxPairwiseDistance) {
+  EuclideanMetric m;
+  std::vector<Point> pts = {{0, 0}, {1, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(MaxPairwiseDistance(pts, m), 10.0);
+}
+
+TEST(MetricTest, MaxPairwiseDegenerate) {
+  EuclideanMetric m;
+  EXPECT_EQ(MaxPairwiseDistance({}, m), 0.0);
+  EXPECT_EQ(MaxPairwiseDistance({{5, 5}}, m), 0.0);
+}
+
+TEST(MetricTest, MinPairwiseSkipsZero) {
+  EuclideanMetric m;
+  // Duplicate points produce distance 0 which must be ignored.
+  std::vector<Point> pts = {{0, 0}, {0, 0}, {3, 0}};
+  EXPECT_DOUBLE_EQ(MinPairwiseDistance(pts, m), 3.0);
+}
+
+TEST(MetricTest, MinPairwiseAllDuplicatesIsZero) {
+  EuclideanMetric m;
+  std::vector<Point> pts = {{1, 1}, {1, 1}};
+  EXPECT_EQ(MinPairwiseDistance(pts, m), 0.0);
+}
+
+TEST(MetricTest, MinPairwiseBasic) {
+  EuclideanMetric m;
+  std::vector<Point> pts = {{0, 0}, {0, 5}, {0, 6}};
+  EXPECT_DOUBLE_EQ(MinPairwiseDistance(pts, m), 1.0);
+}
+
+TEST(MetricTest, MetricDependentResults) {
+  ManhattanMetric l1;
+  EuclideanMetric l2;
+  std::vector<Point> pts = {{0, 0}, {1, 1}};
+  EXPECT_DOUBLE_EQ(MaxPairwiseDistance(pts, l1), 2.0);
+  EXPECT_NEAR(MaxPairwiseDistance(pts, l2), std::sqrt(2.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace tbf

@@ -1,0 +1,55 @@
+#include "geo/point.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace tbf {
+namespace {
+
+TEST(PointTest, Arithmetic) {
+  Point a{1, 2}, b{3, 5};
+  EXPECT_EQ(a + b, Point(4, 7));
+  EXPECT_EQ(b - a, Point(2, 3));
+  EXPECT_EQ(a * 2.0, Point(2, 4));
+}
+
+TEST(PointTest, EqualityAndInequality) {
+  EXPECT_EQ(Point(1, 1), Point(1, 1));
+  EXPECT_NE(Point(1, 1), Point(1, 2));
+}
+
+TEST(PointTest, EuclideanDistance) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance({1, 1}, {1, 1}), 0.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(EuclideanDistance({-2, 7}, {3, -5}),
+                   EuclideanDistance({3, -5}, {-2, 7}));
+}
+
+TEST(PointTest, SquaredDistance) {
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(PointTest, ManhattanDistance) {
+  EXPECT_DOUBLE_EQ(ManhattanDistance({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(ManhattanDistance({1, 1}, {-1, -1}), 4.0);
+}
+
+TEST(PointTest, TriangleInequalitySpotChecks) {
+  Point a{0, 0}, b{5, 1}, c{2, 9};
+  EXPECT_LE(EuclideanDistance(a, c),
+            EuclideanDistance(a, b) + EuclideanDistance(b, c) + 1e-12);
+  EXPECT_LE(ManhattanDistance(a, c),
+            ManhattanDistance(a, b) + ManhattanDistance(b, c) + 1e-12);
+}
+
+TEST(PointTest, StreamFormat) {
+  std::ostringstream os;
+  os << Point{1.5, -2};
+  EXPECT_EQ(os.str(), "(1.5, -2)");
+}
+
+}  // namespace
+}  // namespace tbf

@@ -1,0 +1,181 @@
+#include "hst/complete_hst.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geo/grid.h"
+
+namespace tbf {
+namespace {
+
+std::vector<Point> ExamplePoints() {
+  return {{1, 1}, {2, 3}, {5, 3}, {4, 4}};
+}
+
+// The paper's Example 1 tree, exactly: beta = 1/2, pi = <o1, o2, o3, o4>,
+// distances in raw (unscaled) units.
+CompleteHst BuildExample(uint64_t seed = 3) {
+  EuclideanMetric metric;
+  Rng rng(seed);
+  HstTreeOptions options;
+  options.beta = 0.5;
+  options.normalize = false;
+  options.permutation = {0, 1, 2, 3};
+  auto result = CompleteHst::BuildFromPoints(ExamplePoints(), metric, &rng, options);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).MoveValueUnsafe();
+}
+
+TEST(CompleteHstTest, ExampleHasPaperShape) {
+  CompleteHst tree = BuildExample();
+  // Example 1: D = 4 and the padded tree is binary.
+  EXPECT_EQ(tree.depth(), 4);
+  EXPECT_EQ(tree.arity(), 2);
+  EXPECT_EQ(tree.num_points(), 4);
+  EXPECT_DOUBLE_EQ(tree.num_leaves(), 16.0);
+}
+
+TEST(CompleteHstTest, LeafPathsHaveDepthLength) {
+  CompleteHst tree = BuildExample();
+  for (int p = 0; p < tree.num_points(); ++p) {
+    EXPECT_EQ(tree.leaf_of_point(p).size(), static_cast<size_t>(tree.depth()));
+  }
+}
+
+TEST(CompleteHstTest, LeafPathsAreDistinct) {
+  CompleteHst tree = BuildExample();
+  std::set<LeafPath> seen;
+  for (int p = 0; p < tree.num_points(); ++p) {
+    EXPECT_TRUE(seen.insert(tree.leaf_of_point(p)).second);
+  }
+}
+
+TEST(CompleteHstTest, PointOfLeafRoundTrip) {
+  CompleteHst tree = BuildExample();
+  for (int p = 0; p < tree.num_points(); ++p) {
+    auto back = tree.point_of_leaf(tree.leaf_of_point(p));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, p);
+  }
+}
+
+TEST(CompleteHstTest, FakeLeafHasNoPoint) {
+  CompleteHst tree = BuildExample();
+  // 4 real points in a 16-leaf complete tree: some path must be fake.
+  int fake_count = 0;
+  LeafPath path(static_cast<size_t>(tree.depth()), 0);
+  for (int mask = 0; mask < 16; ++mask) {
+    for (int b = 0; b < 4; ++b) {
+      path[static_cast<size_t>(b)] = static_cast<char16_t>((mask >> b) & 1);
+    }
+    if (!tree.point_of_leaf(path).has_value()) ++fake_count;
+  }
+  EXPECT_EQ(fake_count, 12);
+}
+
+TEST(CompleteHstTest, TreeDistanceMatchesUnpaddedTree) {
+  EuclideanMetric metric;
+  Rng rng(11);
+  auto grid = UniformGridPoints(BBox::Square(100), 5);
+  ASSERT_TRUE(grid.ok());
+  auto tree_result = HstTree::Build(*grid, metric, &rng);
+  ASSERT_TRUE(tree_result.ok());
+  auto complete_result = CompleteHst::Build(*tree_result, *grid);
+  ASSERT_TRUE(complete_result.ok());
+  const CompleteHst& complete = *complete_result;
+  for (int a = 0; a < complete.num_points(); ++a) {
+    for (int b = 0; b < complete.num_points(); ++b) {
+      EXPECT_NEAR(complete.TreeDistance(complete.leaf_of_point(a),
+                                        complete.leaf_of_point(b)),
+                  tree_result->TreeDistanceBetweenPoints(a, b), 1e-9)
+          << "pair " << a << "," << b;
+    }
+  }
+}
+
+TEST(CompleteHstTest, TreeDistanceDominatesEuclidean) {
+  CompleteHst tree = BuildExample();
+  auto pts = ExamplePoints();
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      double d_tree = tree.TreeDistance(tree.leaf_of_point(a), tree.leaf_of_point(b));
+      double d_euclid = EuclideanDistance(pts[static_cast<size_t>(a)],
+                                          pts[static_cast<size_t>(b)]);
+      EXPECT_GE(d_tree, d_euclid * (1 - 1e-9));
+    }
+  }
+}
+
+TEST(CompleteHstTest, TreeDistanceForLcaLevelScales) {
+  CompleteHst tree = BuildExample();
+  // Metric distance = (2^{L+2}-4) / scale.
+  EXPECT_DOUBLE_EQ(tree.TreeDistanceForLcaLevel(0), 0.0);
+  EXPECT_DOUBLE_EQ(tree.TreeDistanceForLcaLevel(1), 4.0 / tree.scale());
+  EXPECT_DOUBLE_EQ(tree.TreeDistanceForLcaLevel(3), 28.0 / tree.scale());
+}
+
+TEST(CompleteHstTest, MapToNearestPointIsNearest) {
+  CompleteHst tree = BuildExample();
+  auto pts = ExamplePoints();
+  // Exactly on a predefined point.
+  EXPECT_EQ(tree.MapToNearestPoint(pts[2]), 2);
+  // Near o1(1,1).
+  EXPECT_EQ(tree.MapToNearestPoint({0.9, 1.2}), 0);
+  // Near o4(4,4).
+  EXPECT_EQ(tree.MapToNearestPoint({4.1, 4.2}), 3);
+  EXPECT_EQ(tree.MapToNearestLeaf({4.1, 4.2}), tree.leaf_of_point(3));
+}
+
+TEST(CompleteHstTest, SiblingSetSizes) {
+  CompleteHst tree = BuildExample();
+  // c=2: |L_i| = 2^{i-1}.
+  EXPECT_DOUBLE_EQ(tree.SiblingSetSize(1), 1.0);
+  EXPECT_DOUBLE_EQ(tree.SiblingSetSize(2), 2.0);
+  EXPECT_DOUBLE_EQ(tree.SiblingSetSize(3), 4.0);
+  EXPECT_DOUBLE_EQ(tree.SiblingSetSize(4), 8.0);
+}
+
+TEST(CompleteHstTest, SiblingSetsPartitionLeaves) {
+  CompleteHst tree = BuildExample();
+  // 1 + sum_i |L_i| = c^D.
+  double total = 1.0;
+  for (int i = 1; i <= tree.depth(); ++i) total += tree.SiblingSetSize(i);
+  EXPECT_DOUBLE_EQ(total, tree.num_leaves());
+}
+
+TEST(CompleteHstTest, BuildRejectsMismatchedPoints) {
+  EuclideanMetric metric;
+  Rng rng(1);
+  auto tree = HstTree::Build(ExamplePoints(), metric, &rng);
+  ASSERT_TRUE(tree.ok());
+  std::vector<Point> wrong = {{0, 0}};
+  EXPECT_FALSE(CompleteHst::Build(*tree, wrong).ok());
+}
+
+TEST(CompleteHstTest, ArityAtLeastTwoEvenForChains) {
+  // Two points: every cluster has <= 2 children but chains are unary;
+  // padding must still make the tree at least binary.
+  EuclideanMetric metric;
+  Rng rng(5);
+  std::vector<Point> pts = {{0, 0}, {10, 0}};
+  auto tree = CompleteHst::BuildFromPoints(pts, metric, &rng);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GE(tree->arity(), 2);
+}
+
+TEST(CompleteHstTest, LargerGridRoundTrips) {
+  EuclideanMetric metric;
+  Rng rng(13);
+  auto grid = UniformGridPoints(BBox::Square(200), 16);
+  ASSERT_TRUE(grid.ok());
+  auto tree = CompleteHst::BuildFromPoints(*grid, metric, &rng);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ(tree->num_points(), 256);
+  for (int p = 0; p < tree->num_points(); p += 17) {
+    EXPECT_EQ(tree->point_of_leaf(tree->leaf_of_point(p)).value_or(-1), p);
+  }
+}
+
+}  // namespace
+}  // namespace tbf

@@ -1,0 +1,103 @@
+// End-to-end matching-size case study (paper Sec. IV-C) at test scale.
+
+#include <gtest/gtest.h>
+
+#include "matching/runner.h"
+#include "workload/chengdu.h"
+#include "workload/synthetic.h"
+
+namespace tbf {
+namespace {
+
+CaseStudyInstance MakeInstance(int tasks, int workers, uint64_t seed) {
+  SyntheticCaseStudyConfig config;
+  config.base.num_tasks = tasks;
+  config.base.num_workers = workers;
+  config.base.seed = seed;
+  auto instance = GenerateSyntheticCaseStudy(config);
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).MoveValueUnsafe();
+}
+
+double AverageMatchingSize(CaseStudyAlgorithm algorithm, double epsilon,
+                           int seeds, int workers = 600) {
+  double total = 0;
+  for (int s = 0; s < seeds; ++s) {
+    CaseStudyInstance inst =
+        MakeInstance(300, workers, 2000 + static_cast<uint64_t>(s));
+    CaseStudyConfig config;
+    config.pipeline.epsilon = epsilon;
+    config.pipeline.seed = static_cast<uint64_t>(s);
+    auto metrics = RunCaseStudy(algorithm, inst, config);
+    EXPECT_TRUE(metrics.ok()) << metrics.status();
+    total += static_cast<double>(metrics->matching_size);
+  }
+  return total / seeds;
+}
+
+TEST(CaseStudyIntegrationTest, TbfMatchesMoreThanProbAtStrictPrivacy) {
+  // Fig. 8b: at small eps TBF's matching size exceeds Prob's.
+  const double eps = 0.2;
+  double tbf = AverageMatchingSize(CaseStudyAlgorithm::kTbf, eps, 3);
+  double prob = AverageMatchingSize(CaseStudyAlgorithm::kProb, eps, 3);
+  EXPECT_GT(tbf, prob);
+}
+
+TEST(CaseStudyIntegrationTest, MoreWorkersMoreMatches) {
+  // Fig. 8a: matching size grows with |W| for both algorithms.
+  for (CaseStudyAlgorithm algorithm :
+       {CaseStudyAlgorithm::kProb, CaseStudyAlgorithm::kTbf}) {
+    double few = AverageMatchingSize(algorithm, 0.6, 2, 300);
+    double many = AverageMatchingSize(algorithm, 0.6, 2, 1500);
+    EXPECT_GT(many, few) << CaseStudyAlgorithmName(algorithm);
+  }
+}
+
+TEST(CaseStudyIntegrationTest, LooserPrivacyHelpsProb) {
+  // Fig. 8b: Prob recovers as eps grows (less Laplace noise).
+  double strict = AverageMatchingSize(CaseStudyAlgorithm::kProb, 0.2, 3);
+  double loose = AverageMatchingSize(CaseStudyAlgorithm::kProb, 1.0, 3);
+  EXPECT_GT(loose, strict);
+}
+
+TEST(CaseStudyIntegrationTest, MatchedPairsAreTrulyReachableOnly) {
+  // The notification protocol counts a match only when the true distance is
+  // within the radius; replay one run and verify the accounting.
+  CaseStudyInstance inst = MakeInstance(100, 300, 77);
+  CaseStudyConfig config;
+  auto metrics = RunCaseStudy(CaseStudyAlgorithm::kTbf, inst, config);
+  ASSERT_TRUE(metrics.ok());
+  // Upper bound: no more matches than tasks that have at least one truly
+  // reachable worker.
+  size_t reachable_tasks = 0;
+  for (const Point& t : inst.tasks) {
+    for (size_t w = 0; w < inst.workers.size(); ++w) {
+      if (EuclideanDistance(t, inst.workers[w]) <= inst.radii[w]) {
+        ++reachable_tasks;
+        break;
+      }
+    }
+  }
+  EXPECT_LE(metrics->matching_size, reachable_tasks);
+}
+
+TEST(CaseStudyIntegrationTest, ChengduCaseStudyRuns) {
+  ChengduCaseStudyConfig config;
+  config.base.day = 1;
+  config.base.num_workers = 500;
+  config.base.min_tasks_per_day = 200;
+  config.base.max_tasks_per_day = 250;
+  auto instance = GenerateChengduCaseStudy(config);
+  ASSERT_TRUE(instance.ok());
+  NormalizeToSquare(&*instance, 200.0);
+  CaseStudyConfig run_config;
+  for (CaseStudyAlgorithm algorithm :
+       {CaseStudyAlgorithm::kProb, CaseStudyAlgorithm::kTbf}) {
+    auto metrics = RunCaseStudy(algorithm, *instance, run_config);
+    ASSERT_TRUE(metrics.ok()) << CaseStudyAlgorithmName(algorithm);
+    EXPECT_GT(metrics->matching_size, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace tbf

@@ -1,0 +1,131 @@
+// Parameterized end-to-end sweeps: the qualitative figure shapes must hold
+// pointwise across the paper's epsilon grid and across workloads.
+
+#include <gtest/gtest.h>
+
+#include "matching/runner.h"
+#include "workload/chengdu.h"
+#include "workload/synthetic.h"
+
+namespace tbf {
+namespace {
+
+struct SweepCase {
+  double epsilon;
+  uint64_t seed;
+};
+
+class EpsilonSweepTest : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(EpsilonSweepTest, AllPipelinesCompleteAndAreConsistent) {
+  SyntheticConfig config;
+  config.num_tasks = 120;
+  config.num_workers = 240;
+  config.seed = GetParam().seed;
+  auto instance = GenerateSynthetic(config);
+  ASSERT_TRUE(instance.ok());
+
+  PipelineConfig pipeline;
+  pipeline.epsilon = GetParam().epsilon;
+  pipeline.seed = GetParam().seed;
+  pipeline.grid_side = 16;
+
+  auto opt = RunPipeline(Algorithm::kOfflineOptimal, *instance, pipeline);
+  ASSERT_TRUE(opt.ok());
+  for (Algorithm algorithm : {Algorithm::kLapGr, Algorithm::kLapHg,
+                              Algorithm::kTbf, Algorithm::kExpGr,
+                              Algorithm::kNoPrivacyGreedy}) {
+    auto metrics = RunPipeline(algorithm, *instance, pipeline);
+    ASSERT_TRUE(metrics.ok()) << AlgorithmName(algorithm);
+    // Complete matching, OPT lower bound, finite latencies.
+    EXPECT_EQ(metrics->matched, instance->tasks.size())
+        << AlgorithmName(algorithm);
+    EXPECT_GE(metrics->total_distance, opt->total_distance - 1e-9)
+        << AlgorithmName(algorithm);
+    EXPECT_GE(metrics->avg_assign_seconds, 0.0);
+    EXPECT_GE(metrics->max_assign_seconds, metrics->avg_assign_seconds);
+    EXPECT_LE(metrics->avg_assign_seconds * instance->tasks.size(),
+              metrics->match_seconds * 1.0001 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EpsilonSweepTest,
+    testing::Values(SweepCase{0.2, 1}, SweepCase{0.4, 1}, SweepCase{0.6, 1},
+                    SweepCase{0.8, 1}, SweepCase{1.0, 1}, SweepCase{0.2, 2},
+                    SweepCase{0.6, 2}, SweepCase{1.0, 2}, SweepCase{0.2, 3},
+                    SweepCase{1.0, 3}));
+
+class ChengduSweepTest : public testing::TestWithParam<int> {};
+
+TEST_P(ChengduSweepTest, NormalizedDayRunsAllAlgorithms) {
+  ChengduConfig config;
+  config.day = GetParam();
+  config.num_workers = 300;
+  config.min_tasks_per_day = 150;
+  config.max_tasks_per_day = 200;
+  auto instance = GenerateChengdu(config);
+  ASSERT_TRUE(instance.ok());
+  NormalizeToSquare(&*instance, 200.0);
+  PipelineConfig pipeline;
+  pipeline.grid_side = 16;
+  for (Algorithm algorithm :
+       {Algorithm::kLapGr, Algorithm::kLapHg, Algorithm::kTbf}) {
+    auto metrics = RunPipeline(algorithm, *instance, pipeline);
+    ASSERT_TRUE(metrics.ok())
+        << "day " << GetParam() << " " << AlgorithmName(algorithm);
+    EXPECT_EQ(metrics->matched, instance->tasks.size());
+    EXPECT_GT(metrics->total_distance, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Days, ChengduSweepTest, testing::Range(0, 5));
+
+TEST(EpsilonShapeTest, LaplaceDegradesMonotonicallyOnAverage) {
+  // Average over seeds: Lap-GR's distance at eps = 0.2 exceeds its distance
+  // at eps = 1.0 (the 1/eps noise dominates).
+  double strict = 0, loose = 0;
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    SyntheticConfig config;
+    config.num_tasks = 150;
+    config.num_workers = 300;
+    config.seed = 700 + seed;
+    auto instance = GenerateSynthetic(config);
+    ASSERT_TRUE(instance.ok());
+    PipelineConfig a;
+    a.epsilon = 0.2;
+    a.seed = seed;
+    PipelineConfig b;
+    b.epsilon = 1.0;
+    b.seed = seed;
+    strict += RunPipeline(Algorithm::kLapGr, *instance, a)->total_distance;
+    loose += RunPipeline(Algorithm::kLapGr, *instance, b)->total_distance;
+  }
+  EXPECT_GT(strict, loose);
+}
+
+TEST(EpsilonShapeTest, TbfSwingAcrossEpsilonIsSmall) {
+  // TBF's relative change between eps = 0.2 and eps = 1.0 stays within a
+  // modest band (the paper's "relatively insensitive").
+  double strict = 0, loose = 0;
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    SyntheticConfig config;
+    config.num_tasks = 150;
+    config.num_workers = 300;
+    config.seed = 800 + seed;
+    auto instance = GenerateSynthetic(config);
+    ASSERT_TRUE(instance.ok());
+    PipelineConfig a;
+    a.epsilon = 0.2;
+    a.seed = seed;
+    PipelineConfig b;
+    b.epsilon = 1.0;
+    b.seed = seed;
+    strict += RunPipeline(Algorithm::kTbf, *instance, a)->total_distance;
+    loose += RunPipeline(Algorithm::kTbf, *instance, b)->total_distance;
+  }
+  EXPECT_LT(std::abs(strict - loose) / loose, 0.35);
+}
+
+}  // namespace
+}  // namespace tbf

@@ -1,0 +1,133 @@
+// End-to-end distance-objective comparisons on synthetic data: the
+// qualitative claims of the paper's Sec. IV-B at test-sized instances.
+
+#include <gtest/gtest.h>
+
+#include "exp/experiment.h"
+#include "matching/runner.h"
+#include "workload/chengdu.h"
+#include "workload/synthetic.h"
+
+namespace tbf {
+namespace {
+
+OnlineInstance MakeInstance(int tasks, int workers, uint64_t seed) {
+  SyntheticConfig config;
+  config.num_tasks = tasks;
+  config.num_workers = workers;
+  config.seed = seed;
+  auto instance = GenerateSynthetic(config);
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).MoveValueUnsafe();
+}
+
+double AverageDistance(Algorithm algorithm, double epsilon, int seeds) {
+  double total = 0;
+  for (int s = 0; s < seeds; ++s) {
+    OnlineInstance inst = MakeInstance(400, 700, 1000 + static_cast<uint64_t>(s));
+    PipelineConfig config;
+    config.epsilon = epsilon;
+    config.seed = static_cast<uint64_t>(s);
+    auto metrics = RunPipeline(algorithm, inst, config);
+    EXPECT_TRUE(metrics.ok()) << metrics.status();
+    total += metrics->total_distance;
+  }
+  return total / seeds;
+}
+
+TEST(PipelineIntegrationTest, TbfBeatsLaplaceBaselinesAtStrictPrivacy) {
+  // The paper's headline (Fig. 7a): at small eps the Laplace baselines
+  // degrade sharply while TBF stays effective.
+  const double eps = 0.2;
+  double tbf = AverageDistance(Algorithm::kTbf, eps, 3);
+  double lap_gr = AverageDistance(Algorithm::kLapGr, eps, 3);
+  double lap_hg = AverageDistance(Algorithm::kLapHg, eps, 3);
+  EXPECT_LT(tbf, lap_gr);
+  EXPECT_LT(tbf, lap_hg);
+}
+
+TEST(PipelineIntegrationTest, TbfIsInsensitiveToEpsilon) {
+  // Fig. 7a: TBF's distance varies far less across the eps range than
+  // Lap-GR's.
+  double tbf_strict = AverageDistance(Algorithm::kTbf, 0.2, 3);
+  double tbf_loose = AverageDistance(Algorithm::kTbf, 1.0, 3);
+  double lap_strict = AverageDistance(Algorithm::kLapGr, 0.2, 3);
+  double lap_loose = AverageDistance(Algorithm::kLapGr, 1.0, 3);
+  double tbf_swing = std::abs(tbf_strict - tbf_loose);
+  double lap_swing = std::abs(lap_strict - lap_loose);
+  EXPECT_LT(tbf_swing, lap_swing);
+}
+
+TEST(PipelineIntegrationTest, MoreWorkersShortenDistances) {
+  // Fig. 6b: total distance decreases in |W| for every algorithm.
+  for (Algorithm algorithm : {Algorithm::kLapGr, Algorithm::kTbf}) {
+    double few = 0, many = 0;
+    for (uint64_t s = 0; s < 3; ++s) {
+      PipelineConfig config;
+      config.seed = s;
+      auto a = RunPipeline(algorithm, MakeInstance(300, 400, 7 + s), config);
+      auto b = RunPipeline(algorithm, MakeInstance(300, 1200, 7 + s), config);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      few += a->total_distance;
+      many += b->total_distance;
+    }
+    EXPECT_LT(many, few) << AlgorithmName(algorithm);
+  }
+}
+
+TEST(PipelineIntegrationTest, DistanceGrowsWithTaskCount) {
+  // Fig. 6a: more tasks, longer total distance (same worker pool).
+  PipelineConfig config;
+  auto small = RunPipeline(Algorithm::kTbf, MakeInstance(100, 900, 13), config);
+  auto large = RunPipeline(Algorithm::kTbf, MakeInstance(700, 900, 13), config);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(large->total_distance, small->total_distance);
+}
+
+TEST(PipelineIntegrationTest, ChengduNormalizedPipelineRuns) {
+  // The real-data path: generate a day, normalize to the 200-unit frame,
+  // run all three algorithms.
+  ChengduConfig config;
+  config.day = 2;
+  config.num_workers = 800;
+  config.min_tasks_per_day = 300;  // test-sized day
+  config.max_tasks_per_day = 400;
+  auto instance = GenerateChengdu(config);
+  ASSERT_TRUE(instance.ok());
+  NormalizeToSquare(&*instance, 200.0);
+  ASSERT_EQ(instance->region.width(), 200.0);
+  PipelineConfig pipeline;
+  for (Algorithm algorithm :
+       {Algorithm::kLapGr, Algorithm::kLapHg, Algorithm::kTbf}) {
+    auto metrics = RunPipeline(algorithm, *instance, pipeline);
+    ASSERT_TRUE(metrics.ok()) << AlgorithmName(algorithm);
+    EXPECT_EQ(metrics->matched, instance->tasks.size());
+  }
+}
+
+TEST(PipelineIntegrationTest, FinerGridImprovesTbf) {
+  // Ablation: more predefined points = finer client mapping = shorter
+  // distances (at fixed eps), at the cost of a larger N in the CR bound.
+  double coarse_total = 0, fine_total = 0;
+  for (uint64_t s = 0; s < 3; ++s) {
+    OnlineInstance inst = MakeInstance(300, 600, 40 + s);
+    PipelineConfig coarse;
+    coarse.grid_side = 8;
+    coarse.seed = s;
+    PipelineConfig fine;
+    fine.grid_side = 40;
+    fine.seed = s;
+    auto a = RunPipeline(Algorithm::kTbf, inst, coarse);
+    auto b = RunPipeline(Algorithm::kTbf, inst, fine);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    coarse_total += a->total_distance;
+    fine_total += b->total_distance;
+  }
+  EXPECT_LT(fine_total, coarse_total);
+}
+
+}  // namespace
+}  // namespace tbf

@@ -1,0 +1,87 @@
+// Tests of the Exp-GR ablation pipeline (discrete exponential mechanism +
+// Euclidean greedy).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "matching/runner.h"
+#include "workload/synthetic.h"
+
+namespace tbf {
+namespace {
+
+OnlineInstance SmallInstance(uint64_t seed = 11) {
+  SyntheticConfig config;
+  config.num_tasks = 60;
+  config.num_workers = 120;
+  config.seed = seed;
+  auto instance = GenerateSynthetic(config);
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).MoveValueUnsafe();
+}
+
+TEST(ExpGrPipelineTest, AlgorithmName) {
+  EXPECT_STREQ(AlgorithmName(Algorithm::kExpGr), "Exp-GR");
+}
+
+TEST(ExpGrPipelineTest, ProducesCompleteMatching) {
+  OnlineInstance inst = SmallInstance();
+  PipelineConfig config;
+  config.grid_side = 8;
+  auto metrics = RunPipeline(Algorithm::kExpGr, inst, config);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_EQ(metrics->matched, inst.tasks.size());
+  std::set<int> used;
+  for (const Assignment& a : metrics->matching.pairs) {
+    ASSERT_GE(a.worker_id, 0);
+    EXPECT_TRUE(used.insert(a.worker_id).second);
+  }
+  EXPECT_EQ(metrics->algorithm, "Exp-GR");
+}
+
+TEST(ExpGrPipelineTest, DeterministicForSeed) {
+  OnlineInstance inst = SmallInstance();
+  PipelineConfig config;
+  config.grid_side = 8;
+  auto a = RunPipeline(Algorithm::kExpGr, inst, config);
+  auto b = RunPipeline(Algorithm::kExpGr, inst, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->total_distance, b->total_distance);
+}
+
+TEST(ExpGrPipelineTest, GridGranularityMatters) {
+  // A very coarse grid forces large snap errors; finer grids help, on
+  // average over seeds.
+  double coarse = 0, fine = 0;
+  for (uint64_t s = 0; s < 4; ++s) {
+    OnlineInstance inst = SmallInstance(100 + s);
+    PipelineConfig coarse_config;
+    coarse_config.grid_side = 3;
+    coarse_config.epsilon = 2.0;
+    coarse_config.seed = s;
+    PipelineConfig fine_config = coarse_config;
+    fine_config.grid_side = 24;
+    auto a = RunPipeline(Algorithm::kExpGr, inst, coarse_config);
+    auto b = RunPipeline(Algorithm::kExpGr, inst, fine_config);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    coarse += a->total_distance;
+    fine += b->total_distance;
+  }
+  EXPECT_LT(fine, coarse);
+}
+
+TEST(ExpGrPipelineTest, AtLeastOpt) {
+  OnlineInstance inst = SmallInstance(55);
+  PipelineConfig config;
+  auto exp = RunPipeline(Algorithm::kExpGr, inst, config);
+  auto opt = RunPipeline(Algorithm::kOfflineOptimal, inst, config);
+  ASSERT_TRUE(exp.ok());
+  ASSERT_TRUE(opt.ok());
+  EXPECT_GE(exp->total_distance, opt->total_distance - 1e-9);
+}
+
+}  // namespace
+}  // namespace tbf

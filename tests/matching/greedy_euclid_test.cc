@@ -1,0 +1,81 @@
+#include "matching/greedy_euclid.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tbf {
+namespace {
+
+TEST(GreedyEuclidTest, AssignsNearest) {
+  GreedyEuclidMatcher m({{0, 0}, {10, 0}, {20, 0}});
+  EXPECT_EQ(m.Assign({9, 0}), 1);
+  EXPECT_EQ(m.Assign({9, 0}), 0);  // 1 consumed; 0 is now nearest
+  EXPECT_EQ(m.Assign({9, 0}), 2);
+  EXPECT_EQ(m.Assign({9, 0}), -1);  // exhausted
+}
+
+TEST(GreedyEuclidTest, AvailableCountTracks) {
+  GreedyEuclidMatcher m({{0, 0}, {1, 1}});
+  EXPECT_EQ(m.available(), 2u);
+  m.Assign({0, 0});
+  EXPECT_EQ(m.available(), 1u);
+  m.Assign({0, 0});
+  EXPECT_EQ(m.available(), 0u);
+  m.Assign({0, 0});
+  EXPECT_EQ(m.available(), 0u);
+}
+
+TEST(GreedyEuclidTest, TieBreaksSmallestId) {
+  GreedyEuclidMatcher m({{1, 0}, {-1, 0}, {0, 1}});
+  // All at distance 1 from origin.
+  EXPECT_EQ(m.Assign({0, 0}), 0);
+  EXPECT_EQ(m.Assign({0, 0}), 1);
+  EXPECT_EQ(m.Assign({0, 0}), 2);
+}
+
+TEST(GreedyEuclidTest, EmptyWorkers) {
+  GreedyEuclidMatcher m({});
+  EXPECT_EQ(m.Assign({0, 0}), -1);
+}
+
+class GreedyEngineEquivalenceTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(GreedyEngineEquivalenceTest, LinearAndKdTreeAgree) {
+  Rng rng(GetParam());
+  std::vector<Point> workers;
+  for (int i = 0; i < 200; ++i) {
+    workers.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  GreedyEuclidMatcher linear(workers, GreedyEngine::kLinearScan);
+  GreedyEuclidMatcher kd(workers, GreedyEngine::kKdTree);
+  for (int t = 0; t < 200; ++t) {
+    Point task{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    int a = linear.Assign(task);
+    int b = kd.Assign(task);
+    ASSERT_EQ(a, b) << "task " << t;
+  }
+  EXPECT_EQ(linear.available(), 0u);
+  EXPECT_EQ(kd.available(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyEngineEquivalenceTest,
+                         testing::Range<uint64_t>(0, 6));
+
+TEST(GreedyEuclidTest, GreedyIsOptimalForOneTask) {
+  Rng rng(77);
+  std::vector<Point> workers;
+  for (int i = 0; i < 50; ++i) {
+    workers.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  GreedyEuclidMatcher m(workers);
+  Point task{5, 5};
+  int chosen = m.Assign(task);
+  for (size_t w = 0; w < workers.size(); ++w) {
+    EXPECT_LE(EuclideanDistance(task, workers[static_cast<size_t>(chosen)]),
+              EuclideanDistance(task, workers[w]) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace tbf

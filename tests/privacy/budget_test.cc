@@ -1,0 +1,87 @@
+#include "privacy/budget.h"
+
+#include <gtest/gtest.h>
+
+namespace tbf {
+namespace {
+
+TEST(ComposedEpsilonTest, Additive) {
+  EXPECT_DOUBLE_EQ(ComposedEpsilon(0.2, 5), 1.0);
+  EXPECT_DOUBLE_EQ(ComposedEpsilon(0.2, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ComposedEpsilon(0.2, -3), 0.0);
+}
+
+TEST(MaxReportsTest, Floors) {
+  EXPECT_EQ(MaxReports(1.0, 0.2), 5);
+  EXPECT_EQ(MaxReports(1.0, 0.3), 3);
+  EXPECT_EQ(MaxReports(0.1, 0.2), 0);
+  EXPECT_EQ(MaxReports(1.0, 0.0), 0);
+  EXPECT_EQ(MaxReports(0.0, 0.2), 0);
+}
+
+TEST(LedgerTest, ChargesAndTracks) {
+  PrivacyBudgetLedger ledger(1.0);
+  EXPECT_TRUE(ledger.Charge("alice", 0.4).ok());
+  EXPECT_TRUE(ledger.Charge("alice", 0.4).ok());
+  EXPECT_DOUBLE_EQ(ledger.Spent("alice"), 0.8);
+  EXPECT_NEAR(ledger.Remaining("alice"), 0.2, 1e-12);
+  EXPECT_EQ(ledger.num_users(), 1u);
+}
+
+TEST(LedgerTest, RefusesOverspend) {
+  PrivacyBudgetLedger ledger(1.0);
+  EXPECT_TRUE(ledger.Charge("bob", 0.9).ok());
+  Status overspend = ledger.Charge("bob", 0.2);
+  EXPECT_EQ(overspend.code(), StatusCode::kFailedPrecondition);
+  // A refused charge must not consume anything.
+  EXPECT_DOUBLE_EQ(ledger.Spent("bob"), 0.9);
+  // A smaller charge still fits.
+  EXPECT_TRUE(ledger.Charge("bob", 0.1).ok());
+  EXPECT_NEAR(ledger.Spent("bob"), 1.0, 1e-12);
+}
+
+TEST(LedgerTest, ExactBudgetIsAdmitted) {
+  PrivacyBudgetLedger ledger(1.0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ledger.Charge("carol", 0.2).ok()) << "report " << i;
+  }
+  EXPECT_FALSE(ledger.Charge("carol", 0.2).ok());
+}
+
+TEST(LedgerTest, UsersAreIndependent) {
+  PrivacyBudgetLedger ledger(0.5);
+  EXPECT_TRUE(ledger.Charge("u1", 0.5).ok());
+  EXPECT_TRUE(ledger.Charge("u2", 0.5).ok());
+  EXPECT_FALSE(ledger.Charge("u1", 0.1).ok());
+  EXPECT_EQ(ledger.num_users(), 2u);
+}
+
+TEST(LedgerTest, CanChargePredictsCharge) {
+  PrivacyBudgetLedger ledger(1.0);
+  EXPECT_TRUE(ledger.CanCharge("dave", 1.0));
+  EXPECT_FALSE(ledger.CanCharge("dave", 1.1));
+  EXPECT_FALSE(ledger.CanCharge("dave", 0.0));
+  ASSERT_TRUE(ledger.Charge("dave", 0.7).ok());
+  EXPECT_TRUE(ledger.CanCharge("dave", 0.3));
+  EXPECT_FALSE(ledger.CanCharge("dave", 0.31));
+}
+
+TEST(LedgerTest, RejectsNonPositiveCharge) {
+  PrivacyBudgetLedger ledger(1.0);
+  EXPECT_EQ(ledger.Charge("eve", 0.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ledger.Charge("eve", -0.5).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ledger.num_users(), 0u);
+}
+
+TEST(LedgerTest, UnknownUserHasFullBudget) {
+  PrivacyBudgetLedger ledger(2.0);
+  EXPECT_DOUBLE_EQ(ledger.Spent("nobody"), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.Remaining("nobody"), 2.0);
+}
+
+TEST(LedgerDeathTest, RejectsBadLifetimeBudget) {
+  EXPECT_DEATH(PrivacyBudgetLedger(0.0), "positive");
+}
+
+}  // namespace
+}  // namespace tbf

@@ -1,0 +1,116 @@
+#include "privacy/exponential.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/math.h"
+#include "common/stats.h"
+#include "geo/grid.h"
+#include "privacy/geo_check.h"
+
+namespace tbf {
+namespace {
+
+std::vector<Point> SmallGrid() {
+  auto grid = UniformGridPoints(BBox::Square(30), 4);
+  return std::move(grid).MoveValueUnsafe();
+}
+
+TEST(DiscreteExponentialTest, OutputsAreCandidates) {
+  DiscreteExponentialMechanism m(SmallGrid(), 0.5);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    Point z = m.Obfuscate({12.3, 4.5}, &rng);
+    EXPECT_NE(std::find(m.candidates().begin(), m.candidates().end(), z),
+              m.candidates().end());
+  }
+}
+
+TEST(DiscreteExponentialTest, NearestCandidateSnap) {
+  DiscreteExponentialMechanism m(SmallGrid(), 0.5);
+  // Grid over [0,30], side 4: spacing 10; (1, 1) snaps to (0, 0) = id 0.
+  EXPECT_EQ(m.NearestCandidate({1, 1}), 0);
+  EXPECT_EQ(m.NearestCandidate({29, 29}), 15);
+}
+
+TEST(DiscreteExponentialTest, LogProbabilitiesNormalize) {
+  DiscreteExponentialMechanism m(SmallGrid(), 0.7);
+  for (int x = 0; x < 16; ++x) {
+    double total = 0.0;
+    for (int z = 0; z < 16; ++z) total += std::exp(m.LogProbability(x, z));
+    EXPECT_NEAR(total, 1.0, 1e-12) << "x=" << x;
+  }
+}
+
+TEST(DiscreteExponentialTest, CloserOutputsMoreLikely) {
+  DiscreteExponentialMechanism m(SmallGrid(), 0.5);
+  // From candidate 0 at (0,0): itself most likely, far corner least.
+  EXPECT_GT(m.LogProbability(0, 0), m.LogProbability(0, 1));
+  EXPECT_GT(m.LogProbability(0, 1), m.LogProbability(0, 15));
+}
+
+TEST(DiscreteExponentialTest, SamplesMatchExactDistribution) {
+  DiscreteExponentialMechanism m(SmallGrid(), 0.3);
+  Rng rng(5);
+  const Point truth = m.candidates()[5];
+  std::map<Point, size_t, bool (*)(const Point&, const Point&)> counts(
+      [](const Point& a, const Point& b) {
+        return a.x != b.x ? a.x < b.x : a.y < b.y;
+      });
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[m.Obfuscate(truth, &rng)];
+  std::vector<size_t> observed;
+  std::vector<double> expected;
+  for (size_t z = 0; z < m.candidates().size(); ++z) {
+    observed.push_back(counts[m.candidates()[z]]);
+    expected.push_back(std::exp(m.LogProbability(5, static_cast<int>(z))));
+  }
+  // 15 df, 0.999 quantile ~ 37.7; generous headroom.
+  EXPECT_LT(ChiSquareStatistic(observed, expected), 60.0);
+}
+
+TEST(DiscreteExponentialTest, GeoIndistinguishabilityExact) {
+  // The eps/2 weight exponent + triangle inequality give eps-Geo-I in the
+  // Euclidean metric over the candidate set — verified exactly.
+  for (double eps : {0.1, 0.5, 2.0}) {
+    DiscreteExponentialMechanism m(SmallGrid(), eps);
+    auto log_prob = [&](int x, int z) { return m.LogProbability(x, z); };
+    auto distance = [&](int a, int b) {
+      return EuclideanDistance(m.candidates()[static_cast<size_t>(a)],
+                               m.candidates()[static_cast<size_t>(b)]);
+    };
+    GeoCheckReport report = CheckGeoIndistinguishability(16, 16, log_prob,
+                                                         distance, eps);
+    EXPECT_TRUE(report.satisfied) << "eps=" << eps << ": " << report.ToString();
+  }
+}
+
+TEST(DiscreteExponentialTest, SmallEpsilonApproachesUniform) {
+  DiscreteExponentialMechanism m(SmallGrid(), 1e-9);
+  for (int z = 0; z < 16; ++z) {
+    EXPECT_NEAR(std::exp(m.LogProbability(0, z)), 1.0 / 16.0, 1e-6);
+  }
+}
+
+TEST(DiscreteExponentialTest, LargeEpsilonConcentrates) {
+  DiscreteExponentialMechanism m(SmallGrid(), 50.0);
+  EXPECT_NEAR(std::exp(m.LogProbability(3, 3)), 1.0, 1e-6);
+}
+
+TEST(DiscreteExponentialDeathTest, RejectsBadConstruction) {
+  EXPECT_DEATH(DiscreteExponentialMechanism({}, 0.5), "non-empty");
+  EXPECT_DEATH(DiscreteExponentialMechanism(SmallGrid(), 0.0), "positive");
+}
+
+TEST(DiscreteExponentialTest, MetadataAccessors) {
+  DiscreteExponentialMechanism m(SmallGrid(), 0.4);
+  EXPECT_DOUBLE_EQ(m.epsilon(), 0.4);
+  EXPECT_EQ(m.Name(), "discrete-exponential");
+  EXPECT_EQ(m.candidates().size(), 16u);
+}
+
+}  // namespace
+}  // namespace tbf

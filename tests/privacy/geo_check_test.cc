@@ -1,0 +1,99 @@
+#include "privacy/geo_check.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/math.h"
+
+namespace tbf {
+namespace {
+
+TEST(GeoCheckTest, UniformMechanismIsPerfectlyPrivate) {
+  // M(x) uniform over 4 outputs regardless of x: 0-Geo-I.
+  auto log_prob = [](int, int) { return std::log(0.25); };
+  auto distance = [](int a, int b) { return std::fabs(a - b); };
+  GeoCheckReport report =
+      CheckGeoIndistinguishability(3, 4, log_prob, distance, 0.5);
+  EXPECT_TRUE(report.satisfied);
+  EXPECT_NEAR(report.worst_slack, -0.5, 1e-9);  // ratio 0 at distance >= 1
+  EXPECT_NEAR(report.tightest_epsilon, 0.0, 1e-12);
+}
+
+TEST(GeoCheckTest, ExponentialMechanismIsTight) {
+  // Two inputs at distance 2, M(x)(z) proportional to e^{-eps |x - z|} over
+  // outputs colocated with inputs: the ratio achieves e^{eps d} exactly.
+  const double eps = 0.7;
+  std::vector<double> positions = {0.0, 2.0};
+  auto log_prob = [&](int x, int z) {
+    double w0 = std::exp(-eps * std::fabs(positions[static_cast<size_t>(x)] -
+                                          positions[0]));
+    double w1 = std::exp(-eps * std::fabs(positions[static_cast<size_t>(x)] -
+                                          positions[1]));
+    double w = (z == 0 ? w0 : w1);
+    return std::log(w / (w0 + w1));
+  };
+  auto distance = [&](int a, int b) {
+    return std::fabs(positions[static_cast<size_t>(a)] -
+                     positions[static_cast<size_t>(b)]);
+  };
+  GeoCheckReport report =
+      CheckGeoIndistinguishability(2, 2, log_prob, distance, eps);
+  EXPECT_TRUE(report.satisfied) << report.ToString();
+  EXPECT_NEAR(report.worst_slack, 0.0, 1e-9);
+  EXPECT_NEAR(report.tightest_epsilon, eps, 1e-9);
+}
+
+TEST(GeoCheckTest, DetectsViolation) {
+  // Deterministic mechanism: M(x) = x. Infinite ratio -> violated.
+  auto log_prob = [](int x, int z) { return x == z ? 0.0 : kNegInf; };
+  auto distance = [](int, int) { return 1.0; };
+  GeoCheckReport report =
+      CheckGeoIndistinguishability(2, 2, log_prob, distance, 10.0);
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_EQ(report.worst_slack, std::numeric_limits<double>::infinity());
+}
+
+TEST(GeoCheckTest, BudgetMattersForSatisfaction) {
+  // Ratio e^1 at distance 1: satisfied at eps=1, violated at eps=0.5.
+  auto log_prob = [](int x, int z) {
+    double p_match = std::exp(1.0) / (std::exp(1.0) + 1.0);
+    return std::log(x == z ? p_match : 1.0 - p_match);
+  };
+  auto distance = [](int, int) { return 1.0; };
+  EXPECT_TRUE(
+      CheckGeoIndistinguishability(2, 2, log_prob, distance, 1.0).satisfied);
+  EXPECT_FALSE(
+      CheckGeoIndistinguishability(2, 2, log_prob, distance, 0.5).satisfied);
+}
+
+TEST(GeoCheckTest, ZeroDistanceDistinctDistributionsViolate) {
+  auto log_prob = [](int x, int z) {
+    double p = x == 0 ? 0.9 : 0.5;
+    return std::log(z == 0 ? p : 1.0 - p);
+  };
+  auto distance = [](int, int) { return 0.0; };
+  GeoCheckReport report =
+      CheckGeoIndistinguishability(2, 2, log_prob, distance, 5.0);
+  EXPECT_FALSE(report.satisfied);
+}
+
+TEST(GeoCheckTest, SingleInputVacuouslySatisfied) {
+  auto log_prob = [](int, int) { return 0.0; };
+  auto distance = [](int, int) { return 1.0; };
+  GeoCheckReport report =
+      CheckGeoIndistinguishability(1, 1, log_prob, distance, 0.1);
+  EXPECT_TRUE(report.satisfied);
+}
+
+TEST(GeoCheckTest, ReportToStringMentionsVerdict) {
+  auto log_prob = [](int, int) { return std::log(0.5); };
+  auto distance = [](int, int) { return 1.0; };
+  GeoCheckReport report =
+      CheckGeoIndistinguishability(2, 2, log_prob, distance, 0.1);
+  EXPECT_NE(report.ToString().find("Geo-I satisfied"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tbf

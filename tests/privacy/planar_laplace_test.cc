@@ -1,0 +1,148 @@
+#include "privacy/planar_laplace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/stats.h"
+
+namespace tbf {
+namespace {
+
+TEST(PlanarLaplaceTest, RadialCdfClosedForm) {
+  PlanarLaplaceMechanism m(0.5);
+  EXPECT_DOUBLE_EQ(m.RadialCdf(0.0), 0.0);
+  // C(r) = 1 - (1 + eps r) e^{-eps r}.
+  double r = 3.0;
+  EXPECT_NEAR(m.RadialCdf(r), 1.0 - (1.0 + 0.5 * r) * std::exp(-0.5 * r), 1e-12);
+  EXPECT_NEAR(m.RadialCdf(1e9), 1.0, 1e-12);
+}
+
+TEST(PlanarLaplaceTest, CdfInverseIsInverse) {
+  PlanarLaplaceMechanism m(0.7);
+  for (double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.9999}) {
+    double r = m.RadialCdfInverse(p);
+    EXPECT_NEAR(m.RadialCdf(r), p, 1e-9) << "p=" << p;
+  }
+  EXPECT_EQ(m.RadialCdfInverse(0.0), 0.0);
+}
+
+TEST(PlanarLaplaceTest, CdfInverseMonotone) {
+  PlanarLaplaceMechanism m(1.0);
+  double prev = -1.0;
+  for (double p = 0.0; p < 0.999; p += 0.037) {
+    double r = m.RadialCdfInverse(p);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(PlanarLaplaceTest, NoiseIsCenteredAndHasExpectedRadius) {
+  PlanarLaplaceMechanism m(0.4);
+  Rng rng(1);
+  RunningStat dx, dy, radius;
+  const Point truth{10, -5};
+  for (int i = 0; i < 100000; ++i) {
+    Point z = m.Obfuscate(truth, &rng);
+    dx.Add(z.x - truth.x);
+    dy.Add(z.y - truth.y);
+    radius.Add(EuclideanDistance(z, truth));
+  }
+  EXPECT_NEAR(dx.mean(), 0.0, 0.1);
+  EXPECT_NEAR(dy.mean(), 0.0, 0.1);
+  // E[r] = 2 / eps for the planar Laplace.
+  EXPECT_NEAR(radius.mean(), 2.0 / 0.4, 0.1);
+}
+
+TEST(PlanarLaplaceTest, RadialSamplesMatchCdf) {
+  PlanarLaplaceMechanism m(1.0);
+  Rng rng(2);
+  const int n = 50000;
+  int below_median = 0;
+  double median_r = m.RadialCdfInverse(0.5);
+  for (int i = 0; i < n; ++i) {
+    Point z = m.Obfuscate({0, 0}, &rng);
+    if (EuclideanDistance(z, {0, 0}) <= median_r) ++below_median;
+  }
+  EXPECT_NEAR(static_cast<double>(below_median) / n, 0.5, 0.02);
+}
+
+TEST(PlanarLaplaceTest, AngleIsUniform) {
+  PlanarLaplaceMechanism m(1.0);
+  Rng rng(3);
+  int quadrant_counts[4] = {0, 0, 0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    Point z = m.Obfuscate({0, 0}, &rng);
+    int q = (z.x >= 0 ? 0 : 1) + (z.y >= 0 ? 0 : 2);
+    ++quadrant_counts[q];
+  }
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_NEAR(quadrant_counts[q] / static_cast<double>(n), 0.25, 0.02);
+  }
+}
+
+TEST(PlanarLaplaceTest, HigherEpsilonMeansLessNoise) {
+  Rng rng1(4), rng2(4);
+  PlanarLaplaceMechanism strict(0.2), loose(2.0);
+  RunningStat r_strict, r_loose;
+  for (int i = 0; i < 20000; ++i) {
+    r_strict.Add(EuclideanDistance(strict.Obfuscate({0, 0}, &rng1), {0, 0}));
+    r_loose.Add(EuclideanDistance(loose.Obfuscate({0, 0}, &rng2), {0, 0}));
+  }
+  EXPECT_GT(r_strict.mean(), 5.0 * r_loose.mean());
+}
+
+TEST(PlanarLaplaceTest, ClampKeepsReportsInRegion) {
+  BBox region = BBox::Square(10);
+  PlanarLaplaceMechanism m(0.05, region);  // large noise
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(region.Contains(m.Obfuscate({5, 5}, &rng)));
+  }
+}
+
+TEST(PlanarLaplaceTest, EpsilonAccessor) {
+  PlanarLaplaceMechanism m(0.9);
+  EXPECT_DOUBLE_EQ(m.epsilon(), 0.9);
+  EXPECT_EQ(m.Name(), "planar-laplace");
+}
+
+TEST(PlanarLaplaceDeathTest, NonPositiveEpsilonAborts) {
+  EXPECT_DEATH(PlanarLaplaceMechanism(-1.0), "epsilon");
+}
+
+// Empirical Geo-I audit on a coarse discretization: estimate densities on a
+// grid for two nearby inputs and check the ratio bound with sampling slack.
+TEST(PlanarLaplaceTest, EmpiricalGeoIndistinguishability) {
+  const double eps = 0.8;
+  PlanarLaplaceMechanism m(eps);
+  Rng rng(6);
+  const Point x1{0, 0}, x2{1, 0};
+  const int n = 400000;
+  const double cell = 1.0;
+  auto cell_of = [cell](const Point& p) {
+    return std::make_pair(static_cast<int>(std::floor(p.x / cell)),
+                          static_cast<int>(std::floor(p.y / cell)));
+  };
+  std::map<std::pair<int, int>, std::pair<int, int>> counts;
+  for (int i = 0; i < n; ++i) {
+    ++counts[cell_of(m.Obfuscate(x1, &rng))].first;
+    ++counts[cell_of(m.Obfuscate(x2, &rng))].second;
+  }
+  const double d = EuclideanDistance(x1, x2);
+  // Only judge cells with enough mass for a stable ratio estimate. The
+  // discretization itself inflates ratios by at most e^{eps * cell_diag}.
+  const double slack = std::exp(eps * cell * std::sqrt(2.0));
+  for (const auto& [key, c] : counts) {
+    if (c.first < 500 || c.second < 500) continue;
+    double ratio = static_cast<double>(c.first) / c.second;
+    EXPECT_LE(ratio, std::exp(eps * d) * slack * 1.15);
+    EXPECT_GE(ratio, std::exp(-eps * d) / (slack * 1.15));
+  }
+}
+
+}  // namespace
+}  // namespace tbf

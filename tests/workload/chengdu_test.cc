@@ -1,0 +1,207 @@
+#include "workload/chengdu.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/stats.h"
+
+namespace tbf {
+namespace {
+
+TEST(ChengduTest, TaskCountsMatchPaperRange) {
+  // Table III: 4,245 to 5,034 tasks per day.
+  ChengduConfig config;
+  std::set<int> distinct;
+  for (int day = 0; day < 30; ++day) {
+    config.day = day;
+    int count = ChengduTaskCount(config);
+    EXPECT_GE(count, 4245);
+    EXPECT_LE(count, 5034);
+    distinct.insert(count);
+  }
+  // Days differ (not one constant count).
+  EXPECT_GT(distinct.size(), 5u);
+}
+
+TEST(ChengduTest, GeneratesConfiguredScale) {
+  ChengduConfig config;
+  config.day = 3;
+  config.num_workers = 6000;
+  auto instance = GenerateChengdu(config);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->workers.size(), 6000u);
+  EXPECT_EQ(instance->tasks.size(),
+            static_cast<size_t>(ChengduTaskCount(config)));
+  EXPECT_DOUBLE_EQ(instance->region.width(), 10000.0);
+  for (const Point& p : instance->tasks) EXPECT_TRUE(instance->region.Contains(p));
+  for (const Point& p : instance->workers) EXPECT_TRUE(instance->region.Contains(p));
+}
+
+TEST(ChengduTest, DeterministicPerDay) {
+  ChengduConfig config;
+  config.day = 7;
+  auto a = GenerateChengdu(config);
+  auto b = GenerateChengdu(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->tasks, b->tasks);
+  EXPECT_EQ(a->workers, b->workers);
+}
+
+TEST(ChengduTest, DaysDiffer) {
+  ChengduConfig c1, c2;
+  c1.day = 0;
+  c2.day = 1;
+  auto a = GenerateChengdu(c1);
+  auto b = GenerateChengdu(c2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->tasks[0], b->tasks[0]);
+}
+
+TEST(ChengduTest, TasksAreClustered) {
+  // Hotspot demand must make tasks substantially more concentrated than a
+  // uniform draw: compare the mean pairwise... cheaper proxy: the variance
+  // of local density. Use grid-cell occupancy: clustered data has much
+  // higher max-cell share than uniform.
+  ChengduConfig config;
+  auto instance = GenerateChengdu(config);
+  ASSERT_TRUE(instance.ok());
+  const int cells = 10;
+  std::vector<int> histogram(cells * cells, 0);
+  for (const Point& p : instance->tasks) {
+    int cx = std::min(cells - 1, static_cast<int>(p.x / 1000.0));
+    int cy = std::min(cells - 1, static_cast<int>(p.y / 1000.0));
+    ++histogram[static_cast<size_t>(cx * cells + cy)];
+  }
+  int max_cell = 0;
+  for (int h : histogram) max_cell = std::max(max_cell, h);
+  double uniform_share = 1.0 / (cells * cells);
+  double max_share = static_cast<double>(max_cell) /
+                     static_cast<double>(instance->tasks.size());
+  EXPECT_GT(max_share, 3.0 * uniform_share);
+}
+
+TEST(ChengduTest, HotspotsAreStableAcrossDays) {
+  // City geography is fixed: the densest cell of day 0 should still be
+  // denser than average on day 5.
+  ChengduConfig c0, c5;
+  c0.day = 0;
+  c5.day = 5;
+  auto a = GenerateChengdu(c0);
+  auto b = GenerateChengdu(c5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const int cells = 10;
+  auto histogram = [cells](const std::vector<Point>& pts) {
+    std::vector<double> h(static_cast<size_t>(cells * cells), 0);
+    for (const Point& p : pts) {
+      int cx = std::min(cells - 1, static_cast<int>(p.x / 1000.0));
+      int cy = std::min(cells - 1, static_cast<int>(p.y / 1000.0));
+      h[static_cast<size_t>(cx * cells + cy)] += 1.0 / pts.size();
+    }
+    return h;
+  };
+  std::vector<double> ha = histogram(a->tasks);
+  std::vector<double> hb = histogram(b->tasks);
+  size_t peak = 0;
+  for (size_t i = 0; i < ha.size(); ++i) {
+    if (ha[i] > ha[peak]) peak = i;
+  }
+  EXPECT_GT(hb[peak], 1.0 / (cells * cells));
+}
+
+TEST(ChengduTest, RejectsBadConfig) {
+  ChengduConfig config;
+  config.day = 30;
+  EXPECT_FALSE(GenerateChengdu(config).ok());
+  config = ChengduConfig();
+  config.hotspot_fraction = 1.5;
+  EXPECT_FALSE(GenerateChengdu(config).ok());
+  config = ChengduConfig();
+  config.min_tasks_per_day = 100;
+  config.max_tasks_per_day = 50;
+  EXPECT_FALSE(GenerateChengdu(config).ok());
+}
+
+TEST(ChengduCaseStudyTest, RadiiMatchPaperRange) {
+  ChengduCaseStudyConfig config;
+  auto instance = GenerateChengduCaseStudy(config);
+  ASSERT_TRUE(instance.ok());
+  for (double r : instance->radii) {
+    EXPECT_GE(r, 500.0);
+    EXPECT_LT(r, 1000.0);
+  }
+}
+
+TEST(ChengduCaseStudyTest, RejectsBadRadius) {
+  ChengduCaseStudyConfig config;
+  config.min_radius = -5;
+  EXPECT_FALSE(GenerateChengduCaseStudy(config).ok());
+}
+
+TEST(ChengduTest, WorkerDiffusionFactorsChangeSupplyLaw) {
+  // Higher worker_sigma_factor must spread drivers further from the demand
+  // hotspots: measure the mean distance from each worker to the nearest
+  // task (a supply-demand alignment proxy).
+  auto mean_nn_distance = [](const OnlineInstance& instance) {
+    double total = 0;
+    int counted = 0;
+    for (size_t w = 0; w < instance.workers.size(); w += 7) {
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t t = 0; t < instance.tasks.size(); t += 5) {
+        best = std::min(best, EuclideanDistance(instance.workers[w],
+                                                instance.tasks[t]));
+      }
+      total += best;
+      ++counted;
+    }
+    return total / counted;
+  };
+  ChengduConfig tight;
+  tight.num_workers = 1000;
+  tight.min_tasks_per_day = 500;
+  tight.max_tasks_per_day = 600;
+  tight.worker_sigma_factor = 1.0;
+  tight.worker_hotspot_factor = 1.0;
+  ChengduConfig diffuse = tight;
+  diffuse.worker_sigma_factor = 4.0;
+  diffuse.worker_hotspot_factor = 0.3;
+  auto a = GenerateChengdu(tight);
+  auto b = GenerateChengdu(diffuse);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(mean_nn_distance(*a), mean_nn_distance(*b));
+}
+
+TEST(ChengduTest, HotspotCountControlsSpread) {
+  ChengduConfig few;
+  few.num_hotspots = 2;
+  few.min_tasks_per_day = 400;
+  few.max_tasks_per_day = 500;
+  ChengduConfig many = few;
+  many.num_hotspots = 40;
+  auto a = GenerateChengdu(few);
+  auto b = GenerateChengdu(many);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // With 2 hotspots the densest 1km cell holds a larger share of demand
+  // than with 40 hotspots.
+  auto max_cell_share = [](const std::vector<Point>& pts) {
+    std::vector<int> histogram(100, 0);
+    for (const Point& p : pts) {
+      int cx = std::min(9, static_cast<int>(p.x / 1000.0));
+      int cy = std::min(9, static_cast<int>(p.y / 1000.0));
+      ++histogram[static_cast<size_t>(cx * 10 + cy)];
+    }
+    int max_count = 0;
+    for (int h : histogram) max_count = std::max(max_count, h);
+    return static_cast<double>(max_count) / static_cast<double>(pts.size());
+  };
+  EXPECT_GT(max_cell_share(a->tasks), max_cell_share(b->tasks));
+}
+
+}  // namespace
+}  // namespace tbf

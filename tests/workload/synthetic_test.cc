@@ -1,0 +1,142 @@
+#include "workload/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace tbf {
+namespace {
+
+TEST(SyntheticTest, DefaultsMatchPaperTableII) {
+  SyntheticConfig config;
+  EXPECT_EQ(config.num_tasks, 3000);
+  EXPECT_EQ(config.num_workers, 5000);
+  EXPECT_DOUBLE_EQ(config.mu, 100.0);
+  EXPECT_DOUBLE_EQ(config.sigma, 20.0);
+  EXPECT_DOUBLE_EQ(config.space_side, 200.0);
+}
+
+TEST(SyntheticTest, SizesAndRegion) {
+  SyntheticConfig config;
+  config.num_tasks = 123;
+  config.num_workers = 456;
+  auto instance = GenerateSynthetic(config);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->tasks.size(), 123u);
+  EXPECT_EQ(instance->workers.size(), 456u);
+  for (const Point& p : instance->tasks) EXPECT_TRUE(instance->region.Contains(p));
+  for (const Point& p : instance->workers) EXPECT_TRUE(instance->region.Contains(p));
+}
+
+TEST(SyntheticTest, LocationMomentsMatchConfig) {
+  SyntheticConfig config;
+  config.num_tasks = 20000;
+  config.num_workers = 20000;
+  config.mu = 100;
+  config.sigma = 15;
+  auto instance = GenerateSynthetic(config);
+  ASSERT_TRUE(instance.ok());
+  RunningStat xs, ys;
+  for (const Point& p : instance->workers) {
+    xs.Add(p.x);
+    ys.Add(p.y);
+  }
+  // Clipping is negligible at mu=100, sigma=15 in [0,200].
+  EXPECT_NEAR(xs.mean(), 100.0, 0.5);
+  EXPECT_NEAR(ys.mean(), 100.0, 0.5);
+  EXPECT_NEAR(xs.stddev(), 15.0, 0.5);
+}
+
+TEST(SyntheticTest, OffCenterMeanShiftsMass) {
+  SyntheticConfig config;
+  config.mu = 50;
+  config.num_tasks = 5000;
+  config.num_workers = 100;
+  auto instance = GenerateSynthetic(config);
+  ASSERT_TRUE(instance.ok());
+  RunningStat xs;
+  for (const Point& p : instance->tasks) xs.Add(p.x);
+  EXPECT_NEAR(xs.mean(), 50.0, 2.0);
+}
+
+TEST(SyntheticTest, ClippingKeepsExtremeSigmaInRegion) {
+  SyntheticConfig config;
+  config.sigma = 500;  // most draws land outside and are clamped
+  config.num_tasks = 1000;
+  config.num_workers = 1000;
+  auto instance = GenerateSynthetic(config);
+  ASSERT_TRUE(instance.ok());
+  for (const Point& p : instance->tasks) EXPECT_TRUE(instance->region.Contains(p));
+}
+
+TEST(SyntheticTest, DeterministicBySeed) {
+  SyntheticConfig config;
+  config.num_tasks = 100;
+  config.num_workers = 100;
+  auto a = GenerateSynthetic(config);
+  auto b = GenerateSynthetic(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->tasks, b->tasks);
+  EXPECT_EQ(a->workers, b->workers);
+  config.seed += 1;
+  auto c = GenerateSynthetic(config);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->tasks, c->tasks);
+}
+
+TEST(SyntheticTest, TasksAndWorkersAreIndependentStreams) {
+  SyntheticConfig config;
+  config.num_tasks = 50;
+  config.num_workers = 50;
+  auto instance = GenerateSynthetic(config);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_NE(instance->tasks, instance->workers);
+}
+
+TEST(SyntheticTest, RejectsBadConfig) {
+  SyntheticConfig config;
+  config.num_tasks = 0;
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+  config = SyntheticConfig();
+  config.sigma = 0;
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+  config = SyntheticConfig();
+  config.space_side = -1;
+  EXPECT_FALSE(GenerateSynthetic(config).ok());
+}
+
+TEST(SyntheticCaseStudyTest, RadiiInRange) {
+  SyntheticCaseStudyConfig config;
+  config.base.num_tasks = 100;
+  config.base.num_workers = 300;
+  auto instance = GenerateSyntheticCaseStudy(config);
+  ASSERT_TRUE(instance.ok());
+  ASSERT_EQ(instance->radii.size(), 300u);
+  for (double r : instance->radii) {
+    EXPECT_GE(r, 10.0);
+    EXPECT_LT(r, 20.0);
+  }
+}
+
+TEST(SyntheticCaseStudyTest, BaseInstanceIsReused) {
+  SyntheticCaseStudyConfig config;
+  config.base.num_tasks = 40;
+  config.base.num_workers = 60;
+  auto cs = GenerateSyntheticCaseStudy(config);
+  auto base = GenerateSynthetic(config.base);
+  ASSERT_TRUE(cs.ok());
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(cs->tasks, base->tasks);
+  EXPECT_EQ(cs->workers, base->workers);
+}
+
+TEST(SyntheticCaseStudyTest, RejectsBadRadiusRange) {
+  SyntheticCaseStudyConfig config;
+  config.min_radius = 20;
+  config.max_radius = 10;
+  EXPECT_FALSE(GenerateSyntheticCaseStudy(config).ok());
+}
+
+}  // namespace
+}  // namespace tbf

@@ -1,0 +1,124 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "matching/runner.h"
+#include "workload/synthetic.h"
+
+namespace tbf {
+namespace {
+
+TEST(TraceTest, OnlineRoundTrip) {
+  SyntheticConfig config;
+  config.num_tasks = 25;
+  config.num_workers = 40;
+  auto original = GenerateSynthetic(config);
+  ASSERT_TRUE(original.ok());
+  auto parsed = ReadInstanceTrace(WriteInstanceTrace(*original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->workers, original->workers);
+  EXPECT_EQ(parsed->tasks, original->tasks);
+  EXPECT_EQ(parsed->region.min_x, original->region.min_x);
+  EXPECT_EQ(parsed->region.max_y, original->region.max_y);
+}
+
+TEST(TraceTest, CaseStudyRoundTrip) {
+  SyntheticCaseStudyConfig config;
+  config.base.num_tasks = 20;
+  config.base.num_workers = 30;
+  auto original = GenerateSyntheticCaseStudy(config);
+  ASSERT_TRUE(original.ok());
+  auto parsed = ReadCaseStudyTrace(WriteInstanceTrace(*original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->workers, original->workers);
+  EXPECT_EQ(parsed->radii, original->radii);
+  EXPECT_EQ(parsed->tasks, original->tasks);
+}
+
+TEST(TraceTest, TaskArrivalOrderPreserved) {
+  OnlineInstance instance;
+  instance.region = BBox::Square(10);
+  instance.workers = {{1, 1}};
+  instance.tasks = {{2, 2}, {3, 3}, {1, 4}};
+  auto parsed = ReadInstanceTrace(WriteInstanceTrace(instance));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->tasks[0], Point(2, 2));
+  EXPECT_EQ(parsed->tasks[2], Point(1, 4));
+}
+
+TEST(TraceTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ReadInstanceTrace("").ok());  // no region
+  EXPECT_FALSE(ReadInstanceTrace("region,0,0,10\n").ok());  // arity
+  EXPECT_FALSE(ReadInstanceTrace("region,0,0,10,10\nworker,abc,2\n").ok());
+  EXPECT_FALSE(ReadInstanceTrace("region,10,0,0,10\n").ok());  // inverted
+  EXPECT_FALSE(ReadInstanceTrace("region,0,0,10,10\nwat,1,2\n").ok());
+  EXPECT_FALSE(ReadInstanceTrace("region,0,0,10,10\ntask,1\n").ok());
+}
+
+TEST(TraceTest, RejectsOutOfRegionEntities) {
+  EXPECT_FALSE(ReadInstanceTrace("region,0,0,10,10\nworker,11,5\n").ok());
+  EXPECT_FALSE(ReadInstanceTrace("region,0,0,10,10\ntask,5,-1\n").ok());
+}
+
+TEST(TraceTest, RejectsMixedRadiusRows) {
+  std::string text =
+      "region,0,0,10,10\nworker,1,1,2.5\nworker,2,2\n";
+  EXPECT_FALSE(ReadInstanceTrace(text).ok());
+  EXPECT_FALSE(ReadCaseStudyTrace(text).ok());
+}
+
+TEST(TraceTest, RejectsNegativeRadius) {
+  EXPECT_FALSE(ReadCaseStudyTrace("region,0,0,10,10\nworker,1,1,-2\n").ok());
+}
+
+TEST(TraceTest, KindMismatchGivesClearError) {
+  // Radii present but loaded as OnlineInstance, and vice versa.
+  std::string with_radius = "region,0,0,10,10\nworker,1,1,2\ntask,2,2\n";
+  std::string without = "region,0,0,10,10\nworker,1,1\ntask,2,2\n";
+  EXPECT_FALSE(ReadInstanceTrace(with_radius).ok());
+  EXPECT_FALSE(ReadCaseStudyTrace(without).ok());
+  EXPECT_TRUE(ReadCaseStudyTrace(with_radius).ok());
+  EXPECT_TRUE(ReadInstanceTrace(without).ok());
+}
+
+TEST(TraceTest, FileRoundTrip) {
+  SyntheticConfig config;
+  config.num_tasks = 10;
+  config.num_workers = 15;
+  auto original = GenerateSynthetic(config);
+  ASSERT_TRUE(original.ok());
+  std::string path = testing::TempDir() + "/tbf_trace.csv";
+  ASSERT_TRUE(WriteInstanceTraceFile(*original, path).ok());
+  auto loaded = ReadInstanceTraceFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->workers, original->workers);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, MissingFileFails) {
+  EXPECT_FALSE(ReadInstanceTraceFile("/no/such/trace.csv").ok());
+  EXPECT_FALSE(ReadCaseStudyTraceFile("/no/such/trace.csv").ok());
+}
+
+TEST(TraceTest, LoadedTraceRunsThroughPipeline) {
+  // The adoption path: external trace in, full pipeline out.
+  SyntheticConfig config;
+  config.num_tasks = 30;
+  config.num_workers = 60;
+  auto original = GenerateSynthetic(config);
+  ASSERT_TRUE(original.ok());
+  auto loaded = ReadInstanceTrace(WriteInstanceTrace(*original));
+  ASSERT_TRUE(loaded.ok());
+  PipelineConfig pipeline;
+  pipeline.grid_side = 8;
+  auto direct = RunPipeline(Algorithm::kTbf, *original, pipeline);
+  auto via_trace = RunPipeline(Algorithm::kTbf, *loaded, pipeline);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(via_trace.ok());
+  EXPECT_DOUBLE_EQ(direct->total_distance, via_trace->total_distance);
+}
+
+}  // namespace
+}  // namespace tbf
