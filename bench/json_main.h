@@ -1,0 +1,46 @@
+// Drop-in replacement for BENCHMARK_MAIN() that makes every micro bench
+// emit a machine-readable BENCH_<name>.json next to its console output
+// (google-benchmark's JSON format), so CI can archive the perf trajectory.
+// Any explicit --benchmark_out/--benchmark_format flags win over the
+// defaults.
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace tbf {
+namespace bench {
+
+inline int RunBenchmarksWithJsonDefault(int argc, char** argv,
+                                        const char* bench_name) {
+  std::vector<std::string> args(argv, argv + argc);
+  bool has_out = false;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(std::string("--benchmark_out=BENCH_") + bench_name + ".json");
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> raw;
+  raw.reserve(args.size());
+  for (std::string& arg : args) raw.push_back(arg.data());
+  int raw_argc = static_cast<int>(raw.size());
+  benchmark::Initialize(&raw_argc, raw.data());
+  if (benchmark::ReportUnrecognizedArguments(raw_argc, raw.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace tbf
+
+#define TBF_BENCHMARK_JSON_MAIN(bench_name)                                  \
+  int main(int argc, char** argv) {                                          \
+    return ::tbf::bench::RunBenchmarksWithJsonDefault(argc, argv, bench_name); \
+  }

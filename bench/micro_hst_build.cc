@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/json_main.h"
+
 #include "hst/complete_hst.h"
 #include "geo/grid.h"
 
@@ -58,4 +60,4 @@ BENCHMARK(BM_TreeDistance);
 }  // namespace
 }  // namespace tbf
 
-BENCHMARK_MAIN();
+TBF_BENCHMARK_JSON_MAIN("micro_hst_build");

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/json_main.h"
+
 #include <map>
 
 #include "core/hst_mechanism.h"
@@ -102,4 +104,4 @@ BENCHMARK(BM_MapToNearestLeaf)->Arg(16)->Arg(64);
 }  // namespace
 }  // namespace tbf
 
-BENCHMARK_MAIN();
+TBF_BENCHMARK_JSON_MAIN("micro_mechanism");

@@ -65,13 +65,17 @@ int main(int argc, char** argv) {
     return mechanism->Obfuscate(client_tree->MapToNearestLeaf(loc), &world);
   };
 
-  // Three drivers join.
+  // Three drivers join as one arrival wave (the batch API).
+  std::vector<LeafReport> wave;
   for (const auto& [id, loc] :
        {std::pair<const char*, Point>{"driver-ann", {40, 40}},
         {"driver-bo", {160, 40}},
         {"driver-cy", {100, 160}}}) {
-    Status status = server->RegisterWorker(id, report(loc), eps);
-    std::cout << "register " << id << ": " << status << "\n";
+    wave.push_back({id, report(loc), eps});
+  }
+  std::vector<Status> joined = server->RegisterWorkers(wave);
+  for (size_t i = 0; i < wave.size(); ++i) {
+    std::cout << "register " << wave[i].user_id << ": " << joined[i] << "\n";
   }
 
   // Riders arrive; after each completed trip the driver re-registers at

@@ -68,4 +68,17 @@ class FatalMessage {
     ::tbf::internal::FatalMessage(__FILE__, __LINE__)                \
         << "CHECK failed: " #cond " "
 
+/// \brief Debug-only invariant check: full TBF_CHECK in debug builds,
+/// compiled out (condition unevaluated) under NDEBUG so release hot paths
+/// stay branch-light. The `true ||` keeps `cond` odr-used, silencing
+/// unused-variable warnings without evaluating it.
+#ifdef NDEBUG
+#define TBF_DCHECK(cond)                                             \
+  if (true || (cond)) {                                              \
+  } else                                                             \
+    ::tbf::internal::FatalMessage(__FILE__, __LINE__)
+#else
+#define TBF_DCHECK(cond) TBF_CHECK(cond)
+#endif
+
 }  // namespace tbf

@@ -77,6 +77,12 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
 
 Rng Rng::Split(uint64_t salt) { return Rng(Mix(NextU64() ^ Mix(salt))); }
 
+Rng Rng::ForkAt(uint64_t index) const {
+  // Different mixing constant than Split so ForkAt(i) never collides with a
+  // Split(i) stream of the same parent.
+  return Rng(Mix(seed_ ^ Mix(index + 0x6a09e667f3bcc909ULL)));
+}
+
 uint64_t Rng::NextU64() { return engine_(); }
 
 }  // namespace tbf

@@ -62,6 +62,13 @@ class Rng {
   /// (parent seed, draw count, salt).
   Rng Split(uint64_t salt = 0);
 
+  /// \brief Stateless per-index child stream: deterministic in (seed,
+  /// index) alone — no draws are consumed, so it is const, safe to call
+  /// concurrently, and yields the same stream no matter which thread or in
+  /// what order item `index` is processed. This is the determinism
+  /// foundation of the batch-parallel obfuscation pipeline.
+  Rng ForkAt(uint64_t index) const;
+
   /// \brief Raw 64-bit draw.
   uint64_t NextU64();
 

@@ -1,0 +1,114 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tbf {
+
+int ThreadPool::ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int total = ResolveThreadCount(num_threads);
+  workers_.reserve(static_cast<size_t>(total - 1));
+  for (int i = 0; i < total - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::DrainChunks(uint64_t epoch) {
+  for (;;) {
+    const std::function<void(size_t, size_t)>* body;
+    size_t begin, end;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Revalidate under the lock every claim: a worker that was
+      // descheduled between waking and claiming must not execute a later
+      // batch's chunks with an earlier (already destroyed) body.
+      if (batch_epoch_ != epoch || body_ == nullptr || next_index_ >= count_) {
+        return;
+      }
+      body = body_;
+      begin = next_index_;
+      end = std::min(count_, begin + chunk_size_);
+      next_index_ = end;
+      ++active_chunks_;
+    }
+    try {
+      (*body)(begin, end);
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_chunks_;
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_chunks_;
+      if (!batch_error_) batch_error_ = std::current_exception();
+      next_index_ = count_;  // stop further claims; in-flight chunks finish
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] {
+        return stop_ || (body_ != nullptr && batch_epoch_ != seen_epoch &&
+                         next_index_ < count_);
+      });
+      if (stop_) return;
+      seen_epoch = batch_epoch_;
+    }
+    DrainChunks(seen_epoch);
+    batch_done_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t count, const std::function<void(size_t begin, size_t end)>& body) {
+  if (count == 0) return;
+  if (workers_.empty()) {  // single-threaded: no synchronization at all
+    body(0, count);
+    return;
+  }
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TBF_CHECK(body_ == nullptr) << "ParallelFor is not reentrant";
+    body_ = &body;
+    count_ = count;
+    // ~4 chunks per worker bounds the straggler tail without flooding the
+    // queue with tiny ranges.
+    chunk_size_ = std::max<size_t>(
+        1, count / (static_cast<size_t>(num_threads()) * 4));
+    next_index_ = 0;
+    active_chunks_ = 0;
+    epoch = ++batch_epoch_;
+  }
+  work_ready_.notify_all();
+  DrainChunks(epoch);  // the calling thread works too
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    batch_done_.wait(lock, [&] { return active_chunks_ == 0; });
+    body_ = nullptr;
+    count_ = 0;
+    std::swap(error, batch_error_);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace tbf

@@ -1,0 +1,75 @@
+// Fixed worker pool for batch-parallel pipeline stages.
+//
+// The batched pipeline fans client-side obfuscation out over a worker/task
+// batch: each item derives its own Rng (Rng::ForkAt), so results are
+// identical no matter how many threads run or how the batch is carved up.
+// The pool exists to make that fan-out cheap: threads are spawned once and
+// reused across ParallelFor calls instead of being created per stage.
+//
+// With 0 or 1 workers the pool degrades to inline execution with no
+// synchronization at all — single-core machines pay nothing.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tbf {
+
+/// \brief Persistent thread pool executing half-open index ranges.
+///
+/// ParallelFor is not reentrant (no nested calls) and the pool must not be
+/// shared by concurrent callers; one pool per pipeline run.
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers, counting the calling thread (so always >= 1).
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// \brief Runs body(begin, end) over a partition of [0, count) across all
+  /// workers plus the calling thread; blocks until every chunk finished.
+  /// `body` must be safe to invoke concurrently on disjoint ranges.
+  ///
+  /// If body throws, unclaimed chunks are abandoned, in-flight chunks run to
+  /// completion, and the first exception is rethrown here; the pool remains
+  /// usable afterwards.
+  void ParallelFor(size_t count,
+                   const std::function<void(size_t begin, size_t end)>& body);
+
+  /// \brief Resolves a thread-count request: <= 0 means "all hardware
+  /// threads" (at least 1).
+  static int ResolveThreadCount(int requested);
+
+ private:
+  void WorkerLoop();
+  // Claims chunks of batch `epoch` until it is drained; bails immediately
+  // if a different batch (or none) is current.
+  void DrainChunks(uint64_t epoch);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  const std::function<void(size_t, size_t)>* body_ = nullptr;  // current batch
+  size_t count_ = 0;        // items in the current batch
+  size_t chunk_size_ = 0;   // partition granularity
+  size_t next_index_ = 0;   // first unclaimed item
+  size_t active_chunks_ = 0;
+  uint64_t batch_epoch_ = 0;
+  std::exception_ptr batch_error_;  // first exception of the current batch
+  bool stop_ = false;
+};
+
+}  // namespace tbf

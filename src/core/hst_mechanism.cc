@@ -53,11 +53,22 @@ Result<HstMechanism> HstMechanism::Build(const CompleteHst& tree, double epsilon
     m.upward_prob_[static_cast<size_t>(i)] =
         log_num == kNegInf ? 0.0 : std::exp(log_num - log_den);
   }
+
+  // Prefix sums of log pu_j make WalkProbability O(1) instead of O(D) per
+  // call (equal up to FP regrouping of the old per-call accumulation).
+  // pu_j > 0 for all j < D (only pu_D is 0), so every prefix is finite.
+  m.log_upward_prefix_.resize(static_cast<size_t>(depth) + 1);
+  m.log_upward_prefix_[0] = 0.0;
+  for (int i = 0; i < depth; ++i) {
+    m.log_upward_prefix_[static_cast<size_t>(i) + 1] =
+        m.log_upward_prefix_[static_cast<size_t>(i)] +
+        std::log(m.upward_prob_[static_cast<size_t>(i)]);
+  }
   return m;
 }
 
 LeafPath HstMechanism::Obfuscate(const LeafPath& truth, Rng* rng) const {
-  TBF_CHECK(static_cast<int>(truth.size()) == depth_) << "leaf depth mismatch";
+  TBF_DCHECK(static_cast<int>(truth.size()) == depth_) << "leaf depth mismatch";
   // Walk upward from the true leaf; at level i keep climbing w.p. pu_i.
   int turn_level = 0;
   while (turn_level <= depth_ &&
@@ -125,11 +136,8 @@ double HstMechanism::WalkProbability(const LeafPath& x, const LeafPath& z) const
            log_tail_weight_[static_cast<size_t>(i)];
   };
   if (level == 0) return std::exp(log_turn(0));
-  double log_p = log_turn(level);
-  for (int i = 0; i < level; ++i) {
-    double pu = upward_prob_[static_cast<size_t>(i)];
-    log_p += std::log(pu);
-  }
+  // Climb probability: sum_{i<level} log pu_i, precomputed at Build time.
+  double log_p = log_turn(level) + log_upward_prefix_[static_cast<size_t>(level)];
   // Downward choices: 1/(c-1) for the first step, 1/c for each step below.
   log_p -= std::log(static_cast<double>(arity_ - 1));
   log_p -= (level - 1) * std::log(static_cast<double>(arity_));

@@ -102,6 +102,7 @@ class HstMechanism final : public LeafMechanism {
   std::vector<double> log_level_total_;  // log(|L_i| * wt_i), i in [0, D]
   std::vector<double> log_tail_weight_;  // log tw_k, k in [0, D+1] (last = -inf)
   std::vector<double> upward_prob_;      // pu_i, i in [0, D]
+  std::vector<double> log_upward_prefix_;  // sum_{j<i} log pu_j, i in [0, D]
   double log_total_weight_ = 0.0;        // log WT
 };
 

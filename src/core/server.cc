@@ -22,6 +22,21 @@ TbfServer::TbfServer(std::shared_ptr<const CompleteHst> tree,
   }
 }
 
+Status TbfServer::ValidateLeaf(const LeafPath& leaf) const {
+  if (static_cast<int>(leaf.size()) != tree_->depth()) {
+    return Status::InvalidArgument("leaf depth does not match the published tree");
+  }
+  // Client input is untrusted: the flat index would index child tables with
+  // these digits, so reject out-of-range ones here instead of aborting (or
+  // reading out of bounds) deeper down.
+  for (char16_t digit : leaf) {
+    if (static_cast<int>(digit) >= tree_->arity()) {
+      return Status::InvalidArgument("leaf digit exceeds the published arity");
+    }
+  }
+  return Status::OK();
+}
+
 Status TbfServer::ChargeIfRequired(const std::string& user,
                                    std::optional<double> declared_epsilon) {
   if (ledger_ == nullptr) return Status::OK();
@@ -32,22 +47,36 @@ Status TbfServer::ChargeIfRequired(const std::string& user,
   return ledger_->Charge(user, *declared_epsilon);
 }
 
+int TbfServer::AcquireIndexId(const std::string& worker_id) {
+  if (!free_index_ids_.empty()) {
+    const int index_id = free_index_ids_.back();
+    free_index_ids_.pop_back();
+    worker_by_index_id_[static_cast<size_t>(index_id)] = worker_id;
+    return index_id;
+  }
+  const int index_id = static_cast<int>(worker_by_index_id_.size());
+  worker_by_index_id_.push_back(worker_id);
+  return index_id;
+}
+
+void TbfServer::ReleaseIndexId(int index_id) {
+  worker_by_index_id_[static_cast<size_t>(index_id)].clear();
+  free_index_ids_.push_back(index_id);
+}
+
 Status TbfServer::RegisterWorker(const std::string& worker_id,
                                  const LeafPath& leaf,
                                  std::optional<double> declared_epsilon) {
-  if (static_cast<int>(leaf.size()) != tree_->depth()) {
-    return Status::InvalidArgument("leaf depth does not match the published tree");
-  }
+  TBF_RETURN_NOT_OK(ValidateLeaf(leaf));
   // Charge first: a refused charge must leave the pool untouched.
   TBF_RETURN_NOT_OK(ChargeIfRequired(worker_id, declared_epsilon));
   auto it = workers_.find(worker_id);
   if (it != workers_.end()) {
     // Relocation: drop the old report before inserting the new one.
     index_.Remove(it->second.leaf, it->second.index_id);
-    worker_by_index_id_[static_cast<size_t>(it->second.index_id)].clear();
+    ReleaseIndexId(it->second.index_id);
   }
-  int index_id = static_cast<int>(worker_by_index_id_.size());
-  worker_by_index_id_.push_back(worker_id);
+  const int index_id = AcquireIndexId(worker_id);
   index_.Insert(leaf, index_id);
   workers_[worker_id] = WorkerState{leaf, index_id};
   return Status::OK();
@@ -57,7 +86,7 @@ Status TbfServer::UnregisterWorker(const std::string& worker_id) {
   auto it = workers_.find(worker_id);
   if (it == workers_.end()) return Status::NotFound("unknown worker " + worker_id);
   index_.Remove(it->second.leaf, it->second.index_id);
-  worker_by_index_id_[static_cast<size_t>(it->second.index_id)].clear();
+  ReleaseIndexId(it->second.index_id);
   workers_.erase(it);
   return Status::OK();
 }
@@ -65,9 +94,7 @@ Status TbfServer::UnregisterWorker(const std::string& worker_id) {
 Result<DispatchResult> TbfServer::SubmitTask(
     const std::string& task_id, const LeafPath& leaf,
     std::optional<double> declared_epsilon) {
-  if (static_cast<int>(leaf.size()) != tree_->depth()) {
-    return Status::InvalidArgument("leaf depth does not match the published tree");
-  }
+  TBF_RETURN_NOT_OK(ValidateLeaf(leaf));
   TBF_RETURN_NOT_OK(ChargeIfRequired(task_id, declared_epsilon));
   DispatchResult result;
   auto nearest = options_.tie_break == HstTieBreak::kCanonical
@@ -79,12 +106,41 @@ Result<DispatchResult> TbfServer::SubmitTask(
       worker_by_index_id_[static_cast<size_t>(nearest->first)];
   const WorkerState& state = workers_.at(worker_id);
   index_.Remove(state.leaf, state.index_id);
-  worker_by_index_id_[static_cast<size_t>(state.index_id)].clear();
+  ReleaseIndexId(state.index_id);
   workers_.erase(worker_id);  // assigned: must register anew to serve again
   result.worker = worker_id;
   result.reported_tree_distance = tree_->TreeDistanceForLcaLevel(nearest->second);
   ++assigned_tasks_;
   return result;
+}
+
+std::vector<Status> TbfServer::RegisterWorkers(
+    const std::vector<LeafReport>& batch) {
+  std::vector<Status> statuses;
+  statuses.reserve(batch.size());
+  for (const LeafReport& report : batch) {
+    statuses.push_back(
+        RegisterWorker(report.user_id, report.leaf, report.declared_epsilon));
+  }
+  return statuses;
+}
+
+std::vector<BatchDispatchOutcome> TbfServer::SubmitTasks(
+    const std::vector<LeafReport>& batch) {
+  std::vector<BatchDispatchOutcome> outcomes;
+  outcomes.reserve(batch.size());
+  for (const LeafReport& report : batch) {
+    BatchDispatchOutcome outcome;
+    Result<DispatchResult> dispatched =
+        SubmitTask(report.user_id, report.leaf, report.declared_epsilon);
+    if (dispatched.ok()) {
+      outcome.result = std::move(dispatched).MoveValueUnsafe();
+    } else {
+      outcome.status = dispatched.status();
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
 }
 
 }  // namespace tbf

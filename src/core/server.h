@@ -53,6 +53,21 @@ struct DispatchResult {
   double reported_tree_distance = 0.0;
 };
 
+/// \brief One entry of a batch registration or submission: a user id plus
+/// the obfuscated leaf their client reported (and the declared epsilon when
+/// the server enforces budgets).
+struct LeafReport {
+  std::string user_id;
+  LeafPath leaf;
+  std::optional<double> declared_epsilon;
+};
+
+/// \brief Outcome of one item of a batch submission.
+struct BatchDispatchOutcome {
+  Status status;          ///< per-item admission result
+  DispatchResult result;  ///< meaningful when status.ok()
+};
+
 /// \brief Online dispatch server operating purely on obfuscated leaves.
 ///
 /// Not thread-safe; wrap with external synchronization for concurrent use.
@@ -88,11 +103,30 @@ class TbfServer {
                                     std::optional<double> declared_epsilon =
                                         std::nullopt);
 
+  /// \brief Registers a worker batch (one arrival wave). Item k's status is
+  /// exactly what RegisterWorker would have returned; a failed item is
+  /// skipped, the rest of the batch proceeds. Obfuscation already happened
+  /// client-side (see TbfFramework::ObfuscateBatch for the parallel path);
+  /// the pool mutation itself is sequential by design.
+  std::vector<Status> RegisterWorkers(const std::vector<LeafReport>& batch);
+
+  /// \brief Submits a task batch; assignment is inherently online, so items
+  /// are dispatched sequentially in vector order, each seeing the pool
+  /// state its predecessors left behind.
+  std::vector<BatchDispatchOutcome> SubmitTasks(
+      const std::vector<LeafReport>& batch);
+
   /// Number of workers currently available for assignment.
   size_t available_workers() const { return index_.size(); }
 
   /// Total tasks assigned so far.
   size_t assigned_tasks() const { return assigned_tasks_; }
+
+  /// \brief Size of the internal index-id pool. Ids are recycled on every
+  /// removal path (assignment, unregister, relocation), so this stays
+  /// bounded by the peak number of concurrently registered workers, not by
+  /// total registrations ever — exposed for monitoring and leak tests.
+  size_t index_id_pool_size() const { return worker_by_index_id_.size(); }
 
   /// The published tree.
   const CompleteHst& tree() const { return *tree_; }
@@ -104,6 +138,9 @@ class TbfServer {
   TbfServer(std::shared_ptr<const CompleteHst> tree,
             const TbfServerOptions& options);
 
+  // Depth + digit-range validation of untrusted client leaves.
+  Status ValidateLeaf(const LeafPath& leaf) const;
+
   Status ChargeIfRequired(const std::string& user,
                           std::optional<double> declared_epsilon);
 
@@ -113,12 +150,19 @@ class TbfServer {
   Rng rng_;
   std::unique_ptr<PrivacyBudgetLedger> ledger_;
 
+  // Index ids are recycled through a free list so the per-id arrays (here
+  // and inside HstAvailabilityIndex) stay bounded by the peak pool size in
+  // a long-running server, not by the total number of registrations ever.
+  int AcquireIndexId(const std::string& worker_id);
+  void ReleaseIndexId(int index_id);
+
   struct WorkerState {
     LeafPath leaf;
     int index_id = -1;  // id inside index_
   };
   std::unordered_map<std::string, WorkerState> workers_;
   std::vector<std::string> worker_by_index_id_;
+  std::vector<int> free_index_ids_;
   size_t assigned_tasks_ = 0;
 };
 

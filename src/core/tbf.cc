@@ -1,5 +1,7 @@
 #include "core/tbf.h"
 
+#include "common/timer.h"
+
 namespace tbf {
 
 Result<TbfFramework> TbfFramework::Build(std::vector<Point> predefined_points,
@@ -14,6 +16,31 @@ Result<TbfFramework> TbfFramework::Build(std::vector<Point> predefined_points,
                        HstMechanism::Build(*framework.tree_, options.epsilon));
   framework.mechanism_ = std::make_shared<const HstMechanism>(std::move(mechanism));
   return framework;
+}
+
+std::vector<LeafPath> TbfFramework::ObfuscateBatch(
+    const std::vector<Point>& locations, const Rng& stream, ThreadPool* pool,
+    BatchStageTimings* timings) const {
+  const size_t n = locations.size();
+  // Stage 1: nearest-predefined-point mapping (pure reads of the kd-tree).
+  std::vector<const LeafPath*> mapped(n, nullptr);
+  WallTimer timer;
+  pool->ParallelFor(n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) mapped[i] = &TrueLeaf(locations[i]);
+  });
+  if (timings) timings->map_seconds += timer.ElapsedSeconds();
+
+  // Stage 2: mechanism draws, one ForkAt stream per item.
+  std::vector<LeafPath> reported(n);
+  timer.Restart();
+  pool->ParallelFor(n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      Rng item_rng = stream.ForkAt(i);
+      reported[i] = mechanism_->Obfuscate(*mapped[i], &item_rng);
+    }
+  });
+  if (timings) timings->obfuscate_seconds += timer.ElapsedSeconds();
+  return reported;
 }
 
 }  // namespace tbf

@@ -18,6 +18,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/hst_mechanism.h"
 #include "geo/metric.h"
 #include "geo/point.h"
@@ -61,6 +62,20 @@ class TbfFramework {
   LeafPath ObfuscateLocation(const Point& location, Rng* rng) const {
     return mechanism_->Obfuscate(TrueLeaf(location), rng);
   }
+
+  /// \brief Wall-clock breakdown of one ObfuscateBatch call.
+  struct BatchStageTimings {
+    double map_seconds = 0.0;        ///< nearest-predefined-point mapping
+    double obfuscate_seconds = 0.0;  ///< mechanism random-walk draws
+  };
+
+  /// \brief Batch client-side reporting: maps and obfuscates `locations`
+  /// across `pool`'s threads. Item i draws from stream.ForkAt(i), so the
+  /// output is bit-identical regardless of thread count or scheduling.
+  /// `timings`, when given, accumulates the per-stage wall clock.
+  std::vector<LeafPath> ObfuscateBatch(const std::vector<Point>& locations,
+                                       const Rng& stream, ThreadPool* pool,
+                                       BatchStageTimings* timings = nullptr) const;
 
   /// Tree distance between two reported leaves, in metric units — all the
   /// server ever evaluates.

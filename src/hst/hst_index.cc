@@ -1,159 +1,334 @@
 #include "hst/hst_index.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace tbf {
+
+namespace {
+
+// Query-path node buffer: inline for every realistic depth, heap only for
+// trees deeper than 64 levels (which cannot happen with packed codes).
+struct ScratchNodes {
+  static constexpr int kStack = 65;
+
+  explicit ScratchNodes(int depth) {
+    if (depth + 1 <= kStack) {
+      data = buf;
+    } else {
+      heap.resize(static_cast<size_t>(depth) + 1);
+      data = heap.data();
+    }
+  }
+
+  int32_t buf[kStack];
+  std::vector<int32_t> heap;
+  int32_t* data;
+};
+
+}  // namespace
 
 HstAvailabilityIndex::HstAvailabilityIndex(int depth, int arity)
     : depth_(depth), arity_(arity) {
   TBF_CHECK(depth >= 1) << "depth must be >= 1";
   TBF_CHECK(arity >= 2) << "arity must be >= 2";
+  if (LeafCodec::Fits(depth, arity)) codec_.emplace(depth, arity);
+  NewNode(/*is_leaf=*/false);  // the root; depth >= 1 makes it internal
+}
+
+int32_t HstAvailabilityIndex::NewNode(bool is_leaf) {
+  const int32_t id = static_cast<int32_t>(count_.size());
+  count_.push_back(0);
+  if (is_leaf) {
+    slot_.push_back(static_cast<int32_t>(leaf_items_.size()));
+    leaf_items_.emplace_back();
+  } else {
+    slot_.push_back(static_cast<int32_t>(children_.size()));
+    children_.insert(children_.end(), static_cast<size_t>(arity_), kNoNode);
+  }
+  return id;
+}
+
+void HstAvailabilityIndex::UnpackTo(LeafCode code, char16_t* digits) const {
+  TBF_CHECK(codec_) << "tree shape exceeds packed-code capacity";
+  for (int j = 0; j < depth_; ++j) {
+    digits[j] = static_cast<char16_t>(codec_->Digit(code, j));
+  }
 }
 
 void HstAvailabilityIndex::Insert(const LeafPath& leaf, int item_id) {
   TBF_CHECK(static_cast<int>(leaf.size()) == depth_) << "leaf depth mismatch";
-  TBF_CHECK(leaf_of_item_.emplace(item_id, leaf).second)
-      << "duplicate item id " << item_id;
-  leaf_items_[leaf].insert(item_id);
-  // Bump counts for every ancestor prefix, including the full path and the
-  // empty root prefix.
-  for (size_t len = 0; len <= leaf.size(); ++len) {
-    ++subtree_count_[leaf.substr(0, len)];
-  }
-  ++size_;
+  InsertDigits(leaf.data(), item_id);
 }
 
 void HstAvailabilityIndex::Remove(const LeafPath& leaf, int item_id) {
-  auto registered = leaf_of_item_.find(item_id);
-  TBF_CHECK(registered != leaf_of_item_.end() && registered->second == leaf)
-      << "item " << item_id << " not registered on this leaf";
-  leaf_of_item_.erase(registered);
-  auto it = leaf_items_.find(leaf);
-  TBF_CHECK(it != leaf_items_.end()) << "remove from empty leaf";
-  size_t erased = it->second.erase(item_id);
-  TBF_CHECK(erased == 1) << "item " << item_id << " not on leaf";
-  if (it->second.empty()) leaf_items_.erase(it);
-  for (size_t len = 0; len <= leaf.size(); ++len) {
-    auto cit = subtree_count_.find(leaf.substr(0, len));
-    TBF_CHECK(cit != subtree_count_.end()) << "count underflow";
-    if (--cit->second == 0) subtree_count_.erase(cit);
+  TBF_CHECK(static_cast<int>(leaf.size()) == depth_) << "leaf depth mismatch";
+  RemoveDigits(leaf.data(), item_id);
+}
+
+void HstAvailabilityIndex::Insert(LeafCode leaf, int item_id) {
+  char16_t digits[kInlineDepth];
+  UnpackTo(leaf, digits);
+  InsertDigits(digits, item_id);
+}
+
+void HstAvailabilityIndex::Remove(LeafCode leaf, int item_id) {
+  char16_t digits[kInlineDepth];
+  UnpackTo(leaf, digits);
+  RemoveDigits(digits, item_id);
+}
+
+void HstAvailabilityIndex::InsertDigits(const char16_t* digits, int item_id) {
+  TBF_CHECK(item_id >= 0) << "item ids must be non-negative";
+  if (item_id >= static_cast<int>(node_of_item_.size())) {
+    node_of_item_.resize(static_cast<size_t>(item_id) + 1, kNoNode);
   }
+  TBF_CHECK(node_of_item_[static_cast<size_t>(item_id)] == kNoNode)
+      << "duplicate item id " << item_id;
+  int32_t node = 0;
+  ++count_[0];
+  for (int d = 0; d < depth_; ++d) {
+    const int digit = static_cast<int>(digits[d]);
+    TBF_CHECK(digit < arity_) << "digit " << digit << " out of range";
+    const size_t child_index =
+        static_cast<size_t>(slot_[static_cast<size_t>(node)] + digit);
+    int32_t child = children_[child_index];
+    if (child == kNoNode) {
+      child = NewNode(/*is_leaf=*/d + 1 == depth_);
+      children_[child_index] = child;  // re-index: NewNode may reallocate
+    }
+    node = child;
+    ++count_[static_cast<size_t>(node)];
+  }
+  std::vector<int>& items =
+      leaf_items_[static_cast<size_t>(slot_[static_cast<size_t>(node)])];
+  items.insert(std::lower_bound(items.begin(), items.end(), item_id), item_id);
+  node_of_item_[static_cast<size_t>(item_id)] = node;
+  ++size_;
+}
+
+void HstAvailabilityIndex::RemoveDigits(const char16_t* digits, int item_id) {
+  TBF_CHECK(item_id >= 0 &&
+            item_id < static_cast<int>(node_of_item_.size()) &&
+            node_of_item_[static_cast<size_t>(item_id)] != kNoNode)
+      << "item " << item_id << " not registered";
+  // Resolve the full path before mutating anything: a mismatched (leaf,
+  // id) pair must abort with the index untouched conceptually.
+  ScratchNodes scratch(depth_);
+  int32_t node = 0;
+  scratch.data[0] = node;
+  for (int d = 0; d < depth_; ++d) {
+    const int digit = static_cast<int>(digits[d]);
+    TBF_CHECK(digit < arity_) << "digit " << digit << " out of range";
+    const int32_t child = node == kNoNode ? kNoNode : ChildAt(node, digit);
+    node = child;
+    scratch.data[d + 1] = node;
+  }
+  TBF_CHECK(node != kNoNode &&
+            node == node_of_item_[static_cast<size_t>(item_id)])
+      << "item " << item_id << " not registered on this leaf";
+  for (int d = 0; d <= depth_; ++d) {
+    int32_t& count = count_[static_cast<size_t>(scratch.data[d])];
+    TBF_CHECK(count > 0) << "count underflow";
+    --count;
+  }
+  std::vector<int>& items =
+      leaf_items_[static_cast<size_t>(slot_[static_cast<size_t>(node)])];
+  auto it = std::lower_bound(items.begin(), items.end(), item_id);
+  TBF_CHECK(it != items.end() && *it == item_id)
+      << "item " << item_id << " not on leaf";
+  items.erase(it);
+  node_of_item_[static_cast<size_t>(item_id)] = kNoNode;
   --size_;
 }
 
-int HstAvailabilityIndex::CountAt(const LeafPath& prefix) const {
-  auto it = subtree_count_.find(prefix);
-  return it == subtree_count_.end() ? 0 : it->second;
+int HstAvailabilityIndex::WalkQueryPath(const char16_t* digits,
+                                        int32_t* nodes) const {
+  nodes[0] = 0;
+  int d_last = 0;
+  for (int d = 1; d <= depth_; ++d) {
+    const int32_t parent = nodes[d - 1];
+    int32_t child = kNoNode;
+    if (parent != kNoNode) {
+      const int digit = static_cast<int>(digits[d - 1]);
+      TBF_CHECK(digit < arity_) << "digit out of range";
+      child = ChildAt(parent, digit);
+      if (child != kNoNode && count_[static_cast<size_t>(child)] == 0) {
+        child = kNoNode;
+      }
+    }
+    nodes[d] = child;
+    if (child != kNoNode) d_last = d;
+  }
+  return d_last;
+}
+
+int32_t HstAvailabilityIndex::DescendCanonical(int32_t node, int d,
+                                               int skip_digit) const {
+  while (d < depth_) {
+    int32_t next = kNoNode;
+    for (int digit = 0; digit < arity_; ++digit) {
+      if (digit == skip_digit) continue;
+      const int32_t child = ChildAt(node, digit);
+      if (child != kNoNode && count_[static_cast<size_t>(child)] > 0) {
+        next = child;
+        break;
+      }
+    }
+    TBF_CHECK(next != kNoNode) << "inconsistent subtree counts";
+    node = next;
+    ++d;
+    skip_digit = -1;  // only the top step excludes the query's branch
+  }
+  return node;
 }
 
 std::optional<std::pair<int, int>> HstAvailabilityIndex::Nearest(
     const LeafPath& query) const {
-  auto result = NearestK(query, 1);
-  if (result.empty()) return std::nullopt;
-  return result[0];
+  TBF_CHECK(static_cast<int>(query.size()) == depth_) << "leaf depth mismatch";
+  return NearestDigits(query.data());
+}
+
+std::optional<std::pair<int, int>> HstAvailabilityIndex::Nearest(
+    LeafCode query) const {
+  char16_t digits[kInlineDepth];
+  UnpackTo(query, digits);
+  return NearestDigits(digits);
+}
+
+std::optional<std::pair<int, int>> HstAvailabilityIndex::NearestDigits(
+    const char16_t* digits) const {
+  if (size_ == 0) return std::nullopt;
+  ScratchNodes scratch(depth_);
+  const int d_last = WalkQueryPath(digits, scratch.data);
+  if (d_last == depth_) {
+    return std::pair<int, int>(ItemsOf(scratch.data[depth_]).front(), 0);
+  }
+  const int32_t leaf = DescendCanonical(scratch.data[d_last], d_last,
+                                        static_cast<int>(digits[d_last]));
+  return std::pair<int, int>(ItemsOf(leaf).front(), depth_ - d_last);
 }
 
 std::optional<std::pair<int, int>> HstAvailabilityIndex::NearestUniform(
     const LeafPath& query, Rng* rng) const {
   TBF_CHECK(static_cast<int>(query.size()) == depth_) << "leaf depth mismatch";
+  return NearestUniformDigits(query.data(), rng);
+}
+
+std::optional<std::pair<int, int>> HstAvailabilityIndex::NearestUniform(
+    LeafCode query, Rng* rng) const {
+  char16_t digits[kInlineDepth];
+  UnpackTo(query, digits);
+  return NearestUniformDigits(digits, rng);
+}
+
+std::optional<std::pair<int, int>> HstAvailabilityIndex::NearestUniformDigits(
+    const char16_t* digits, Rng* rng) const {
   TBF_CHECK(rng != nullptr) << "rng required";
   if (size_ == 0) return std::nullopt;
 
-  auto pick_from_leaf = [&](const LeafPath& leaf, int level)
-      -> std::pair<int, int> {
-    const std::set<int>& items = leaf_items_.at(leaf);
-    auto it = items.begin();
-    std::advance(it, rng->UniformInt(0, static_cast<int64_t>(items.size()) - 1));
-    return {*it, level};
+  // The draw sequence below (one UniformInt(1, total) per descent level,
+  // then UniformInt(0, n-1) within the leaf) replicates the map-based
+  // reference draw for draw; the fuzz test depends on it.
+  auto pick_from_leaf = [&](int32_t leaf_node, int level) -> std::pair<int, int> {
+    const std::vector<int>& items = ItemsOf(leaf_node);
+    const int64_t k =
+        rng->UniformInt(0, static_cast<int64_t>(items.size()) - 1);
+    return {items[static_cast<size_t>(k)], level};
   };
 
-  // Level 0: co-located items.
-  if (CountAt(query) > 0) return pick_from_leaf(query, 0);
+  ScratchNodes scratch(depth_);
+  const int d_last = WalkQueryPath(digits, scratch.data);
+  if (d_last == depth_) return pick_from_leaf(scratch.data[depth_], 0);
 
-  // Find the minimal occupied level, then descend choosing children in
-  // proportion to their subtree counts — uniform over the sibling set.
-  for (int level = 1; level <= depth_; ++level) {
-    LeafPath prefix = AncestorPrefix(query, level);
-    int within = CountAt(prefix);
-    if (within == 0) continue;  // the closer subtree was empty too
-    int skip_digit = static_cast<int>(query[prefix.size()]);
-    LeafPath node = prefix;
-    int first_skip = skip_digit;
-    while (static_cast<int>(node.size()) < depth_) {
-      int total = 0;
-      LeafPath child = node;
-      child.push_back(0);
-      for (int digit = 0; digit < arity_; ++digit) {
-        if (digit == first_skip) continue;
-        child[node.size()] = static_cast<char16_t>(digit);
-        total += CountAt(child);
-      }
-      TBF_CHECK(total > 0) << "inconsistent subtree counts";
-      int64_t target = rng->UniformInt(1, total);
-      for (int digit = 0; digit < arity_; ++digit) {
-        if (digit == first_skip) continue;
-        child[node.size()] = static_cast<char16_t>(digit);
-        target -= CountAt(child);
-        if (target <= 0) break;
-      }
-      node = child;
-      first_skip = -1;  // only the top step excludes the query's branch
+  const int level = depth_ - d_last;
+  int32_t node = scratch.data[d_last];
+  int skip = static_cast<int>(digits[d_last]);
+  for (int d = d_last; d < depth_; ++d) {
+    int64_t total = 0;
+    for (int digit = 0; digit < arity_; ++digit) {
+      if (digit == skip) continue;
+      total += ChildCount(node, digit);
     }
-    return pick_from_leaf(node, level);
+    TBF_CHECK(total > 0) << "inconsistent subtree counts";
+    int64_t target = rng->UniformInt(1, total);
+    int32_t next = kNoNode;
+    for (int digit = 0; digit < arity_; ++digit) {
+      if (digit == skip) continue;
+      target -= ChildCount(node, digit);
+      if (target <= 0) {
+        next = ChildAt(node, digit);
+        break;
+      }
+    }
+    node = next;
+    skip = -1;  // only the top step excludes the query's branch
   }
-  return std::nullopt;
+  return pick_from_leaf(node, level);
 }
 
 std::vector<std::pair<int, int>> HstAvailabilityIndex::NearestK(
     const LeafPath& query, size_t limit) const {
   TBF_CHECK(static_cast<int>(query.size()) == depth_) << "leaf depth mismatch";
+  return NearestKDigits(query.data(), limit);
+}
+
+std::vector<std::pair<int, int>> HstAvailabilityIndex::NearestK(
+    LeafCode query, size_t limit) const {
+  char16_t digits[kInlineDepth];
+  UnpackTo(query, digits);
+  return NearestKDigits(digits, limit);
+}
+
+std::vector<std::pair<int, int>> HstAvailabilityIndex::NearestKDigits(
+    const char16_t* digits, size_t limit) const {
   std::vector<std::pair<int, int>> out;
   if (limit == 0 || size_ == 0) return out;
 
+  ScratchNodes scratch(depth_);
+  WalkQueryPath(digits, scratch.data);
+
   // Level 0: items co-located on the query leaf itself.
-  auto leaf_it = leaf_items_.find(query);
-  if (leaf_it != leaf_items_.end()) {
-    for (int id : leaf_it->second) {
+  if (scratch.data[depth_] != kNoNode) {
+    for (int id : ItemsOf(scratch.data[depth_])) {
       out.emplace_back(id, 0);
       if (out.size() >= limit) return out;
     }
   }
 
-  // Level l >= 1: items in the subtree rooted at the query's level-l
-  // ancestor but outside the level-(l-1) ancestor's subtree — exactly the
-  // sibling set L_l(query), all at tree distance 2^{l+2}-4.
+  // Level l >= 1: items under the level-l ancestor but outside the
+  // level-(l-1) ancestor's subtree — the sibling set L_l(query).
   for (int level = 1; level <= depth_; ++level) {
-    LeafPath prefix = AncestorPrefix(query, level);
-    int within = CountAt(prefix);
-    int closer = CountAt(AncestorPrefix(query, level - 1));
-    if (within <= closer) continue;  // no items with LCA exactly at `level`
-    int skip_digit = static_cast<int>(query[prefix.size()]);
-    Collect(prefix, skip_digit, limit, level, &out);
+    const int d = depth_ - level;
+    const int32_t node = scratch.data[d];
+    if (node == kNoNode) continue;
+    const int32_t closer = scratch.data[d + 1] == kNoNode
+                               ? 0
+                               : count_[static_cast<size_t>(scratch.data[d + 1])];
+    if (count_[static_cast<size_t>(node)] <= closer) continue;
+    Collect(node, d, static_cast<int>(digits[d]), limit, level, &out);
     if (out.size() >= limit) return out;
   }
   return out;
 }
 
-void HstAvailabilityIndex::Collect(const LeafPath& prefix, int skip_digit,
+void HstAvailabilityIndex::Collect(int32_t node, int d, int skip_digit,
                                    size_t limit, int level,
                                    std::vector<std::pair<int, int>>* out) const {
   if (out->size() >= limit) return;
-  if (static_cast<int>(prefix.size()) == depth_) {
-    auto it = leaf_items_.find(prefix);
-    if (it == leaf_items_.end()) return;
-    for (int id : it->second) {
+  if (d == depth_) {
+    for (int id : ItemsOf(node)) {
       out->emplace_back(id, level);
       if (out->size() >= limit) return;
     }
     return;
   }
-  LeafPath child = prefix;
-  child.push_back(0);
   for (int digit = 0; digit < arity_; ++digit) {
     if (digit == skip_digit) continue;
-    child[prefix.size()] = static_cast<char16_t>(digit);
-    if (CountAt(child) == 0) continue;
-    Collect(child, /*skip_digit=*/-1, limit, level, out);
+    const int32_t child = ChildAt(node, digit);
+    if (child == kNoNode || count_[static_cast<size_t>(child)] == 0) continue;
+    Collect(child, d + 1, /*skip_digit=*/-1, limit, level, out);
     if (out->size() >= limit) return;
   }
 }

@@ -1,4 +1,4 @@
-// Availability index over HST leaves.
+// Availability index over HST leaves — flat node-pool engine.
 //
 // The paper's HST-Greedy (Alg. 4) scans all unmatched workers per task,
 // O(D n) per assignment. Because the tree distance between leaves depends
@@ -7,17 +7,32 @@
 // O(c D) per query. This index maintains those counts under insert/remove
 // and also enumerates workers in non-decreasing tree distance (used by the
 // reachability case study, Sec. IV-C).
+//
+// Engine: a trie of occupied subtrees laid out in contiguous arrays — one
+// int32 count per node, one arity-wide int32 child block per internal node,
+// one sorted item vector per leaf node, all indexed by dense node ids. A
+// query is pure pointer-free array walking: no hashing, no LeafPath
+// materialization, zero heap allocations (NearestK only allocates its
+// result). Nodes are created lazily on first insert and kept (count 0) after
+// their last remove, so a long-running server reuses them instead of
+// churning the pool. The trade-off: pool memory is O(depth * arity) int32s
+// per *distinct leaf ever occupied* — not per concurrent item — so a
+// deployment cycling through the whole leaf space should plan for that
+// ceiling (or periodically rebuild the index to compact it). The map-based
+// original lives on in hst_map_index.h as the golden reference; equivalence
+// — including draw-for-draw identical NearestUniform randomization — is
+// enforced by fuzz tests.
 
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
-#include <set>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "hst/leaf_code.h"
 #include "hst/leaf_path.h"
 
 namespace tbf {
@@ -40,6 +55,12 @@ enum class HstTieBreak {
 /// one with the lexicographically smallest leaf path wins, and within a leaf
 /// the smallest item id. HstGreedyMatcher's naive engine applies the same
 /// rule so the two engines produce identical matchings.
+///
+/// Item ids must be unique and non-negative; they index a flat registration
+/// array, so keep them dense (the matcher and server both do).
+///
+/// Not thread-safe; queries are const but share no mutable state, so
+/// concurrent reads without writers are fine.
 class HstAvailabilityIndex {
  public:
   /// `depth`/`arity` must match the CompleteHst the leaf paths come from.
@@ -51,6 +72,11 @@ class HstAvailabilityIndex {
   /// Removes `item_id` from `leaf`; the pair must be present.
   void Remove(const LeafPath& leaf, int item_id);
 
+  /// Packed-code variants (require LeafCodec::Fits(depth, arity), which
+  /// holds for every tree the builder produces; see codec()).
+  void Insert(LeafCode leaf, int item_id);
+  void Remove(LeafCode leaf, int item_id);
+
   /// Number of items currently present.
   size_t size() const { return size_; }
 
@@ -59,33 +85,82 @@ class HstAvailabilityIndex {
   /// \brief Nearest item to `query` by tree distance (canonical
   /// tie-breaking); nullopt when empty. Returns (item_id, lca_level).
   std::optional<std::pair<int, int>> Nearest(const LeafPath& query) const;
+  std::optional<std::pair<int, int>> Nearest(LeafCode query) const;
 
   /// \brief Like Nearest, but uniformly random among all items at the
   /// minimal tree distance (subtree-count-weighted descent, O(c D)).
   std::optional<std::pair<int, int>> NearestUniform(const LeafPath& query,
+                                                    Rng* rng) const;
+  std::optional<std::pair<int, int>> NearestUniform(LeafCode query,
                                                     Rng* rng) const;
 
   /// \brief Up to `limit` items in non-decreasing tree distance from
   /// `query` (canonical order). Each entry is (item_id, lca_level).
   std::vector<std::pair<int, int>> NearestK(const LeafPath& query,
                                             size_t limit) const;
+  std::vector<std::pair<int, int>> NearestK(LeafCode query, size_t limit) const;
+
+  /// \brief Codec for the packed-code API, or nullptr when the tree shape
+  /// exceeds 64 bits (then only the LeafPath API is usable).
+  const LeafCodec* codec() const { return codec_ ? &*codec_ : nullptr; }
 
  private:
-  // Count of items in the subtree identified by a root prefix.
-  int CountAt(const LeafPath& prefix) const;
+  static constexpr int kInlineDepth = 64;
+  static constexpr int32_t kNoNode = -1;
 
-  // Appends items under `prefix` in canonical order, skipping the child
-  // subtree `skip_digit` (pass -1 to skip none); stops once out->size()
-  // reaches limit.
-  void Collect(const LeafPath& prefix, int skip_digit, size_t limit, int level,
+  // Allocates a node; internal nodes get an arity-wide child block, leaf
+  // nodes a slot in leaf_items_.
+  int32_t NewNode(bool is_leaf);
+
+  int32_t ChildAt(int32_t node, int digit) const {
+    return children_[static_cast<size_t>(slot_[static_cast<size_t>(node)] + digit)];
+  }
+
+  int32_t ChildCount(int32_t node, int digit) const {
+    const int32_t child = ChildAt(node, digit);
+    return child == kNoNode ? 0 : count_[static_cast<size_t>(child)];
+  }
+
+  const std::vector<int>& ItemsOf(int32_t leaf_node) const {
+    return leaf_items_[static_cast<size_t>(slot_[static_cast<size_t>(leaf_node)])];
+  }
+
+  // Unpacks a LeafCode into a caller-provided digit buffer of at least
+  // depth_ entries; CHECK-fails when the tree shape has no codec.
+  void UnpackTo(LeafCode code, char16_t* digits) const;
+
+  // Digit-pointer core of the public API; `digits` has depth_ entries.
+  void InsertDigits(const char16_t* digits, int item_id);
+  void RemoveDigits(const char16_t* digits, int item_id);
+  std::optional<std::pair<int, int>> NearestDigits(const char16_t* digits) const;
+  std::optional<std::pair<int, int>> NearestUniformDigits(const char16_t* digits,
+                                                          Rng* rng) const;
+  std::vector<std::pair<int, int>> NearestKDigits(const char16_t* digits,
+                                                  size_t limit) const;
+
+  // Fills nodes[d] with the node at digit-depth d along `digits` when it
+  // exists with count > 0, else kNoNode; returns the deepest live d.
+  int WalkQueryPath(const char16_t* digits, int32_t* nodes) const;
+
+  // Descends from `node` (digit-depth d) to the canonically smallest
+  // occupied leaf, skipping child `skip_digit` at the first step (-1: none).
+  int32_t DescendCanonical(int32_t node, int d, int skip_digit) const;
+
+  // Appends items under `node` (digit-depth d) in canonical order, skipping
+  // child `skip_digit` at the top (-1: none); stops at `limit`.
+  void Collect(int32_t node, int d, int skip_digit, size_t limit, int level,
                std::vector<std::pair<int, int>>* out) const;
 
   int depth_;
   int arity_;
   size_t size_ = 0;
-  std::unordered_map<LeafPath, int> subtree_count_;       // keyed by prefix
-  std::unordered_map<LeafPath, std::set<int>> leaf_items_;  // keyed by full path
-  std::unordered_map<int, LeafPath> leaf_of_item_;          // global id check
+  std::optional<LeafCodec> codec_;
+
+  std::vector<int32_t> count_;  // per node: live items in its subtree
+  std::vector<int32_t> slot_;   // per node: child-block offset or leaf slot
+  std::vector<int32_t> children_;  // arity_-wide blocks, kNoNode = absent
+  std::vector<std::vector<int>> leaf_items_;  // sorted ascending
+  std::vector<int32_t> node_of_item_;  // item id -> leaf node, kNoNode = absent
 };
 
 }  // namespace tbf

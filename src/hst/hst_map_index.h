@@ -1,0 +1,75 @@
+// Reference availability index (hash-map based).
+//
+// This is the original HstAvailabilityIndex implementation, kept verbatim
+// as the golden reference for the flat node-pool engine in hst_index.h: the
+// fuzz and equivalence tests drive both through identical operation
+// sequences and require byte-identical answers (including draw-for-draw
+// identical NearestUniform randomization). It allocates and hashes a
+// LeafPath per probe, so it is an order of magnitude slower — never use it
+// on a hot path.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "hst/leaf_path.h"
+
+namespace tbf {
+
+/// \brief Map-based multiset of items on HST leaves; the semantics
+/// specification for HstAvailabilityIndex.
+class HstAvailabilityMapIndex {
+ public:
+  /// `depth`/`arity` must match the CompleteHst the leaf paths come from.
+  HstAvailabilityMapIndex(int depth, int arity);
+
+  /// Adds `item_id` at `leaf`. Ids must be unique across the index.
+  void Insert(const LeafPath& leaf, int item_id);
+
+  /// Removes `item_id` from `leaf`; the pair must be present.
+  void Remove(const LeafPath& leaf, int item_id);
+
+  /// Number of items currently present.
+  size_t size() const { return size_; }
+
+  bool empty() const { return size_ == 0; }
+
+  /// \brief Nearest item to `query` by tree distance (canonical
+  /// tie-breaking); nullopt when empty. Returns (item_id, lca_level).
+  std::optional<std::pair<int, int>> Nearest(const LeafPath& query) const;
+
+  /// \brief Like Nearest, but uniformly random among all items at the
+  /// minimal tree distance (subtree-count-weighted descent, O(c D)).
+  std::optional<std::pair<int, int>> NearestUniform(const LeafPath& query,
+                                                    Rng* rng) const;
+
+  /// \brief Up to `limit` items in non-decreasing tree distance from
+  /// `query` (canonical order). Each entry is (item_id, lca_level).
+  std::vector<std::pair<int, int>> NearestK(const LeafPath& query,
+                                            size_t limit) const;
+
+ private:
+  // Count of items in the subtree identified by a root prefix.
+  int CountAt(const LeafPath& prefix) const;
+
+  // Appends items under `prefix` in canonical order, skipping the child
+  // subtree `skip_digit` (pass -1 to skip none); stops once out->size()
+  // reaches limit.
+  void Collect(const LeafPath& prefix, int skip_digit, size_t limit, int level,
+               std::vector<std::pair<int, int>>* out) const;
+
+  int depth_;
+  int arity_;
+  size_t size_ = 0;
+  std::unordered_map<LeafPath, int> subtree_count_;       // keyed by prefix
+  std::unordered_map<LeafPath, std::set<int>> leaf_items_;  // keyed by full path
+  std::unordered_map<int, LeafPath> leaf_of_item_;          // global id check
+};
+
+}  // namespace tbf

@@ -1,0 +1,52 @@
+#include "hst/leaf_code.h"
+
+#include "common/logging.h"
+
+namespace tbf {
+
+int LeafCodec::BitsPerDigit(int arity) {
+  TBF_CHECK(arity >= 2) << "arity must be >= 2";
+  return std::bit_width(static_cast<unsigned>(arity - 1));
+}
+
+bool LeafCodec::Fits(int depth, int arity) {
+  if (depth < 1 || arity < 2) return false;
+  return depth * BitsPerDigit(arity) <= 64;
+}
+
+LeafCodec::LeafCodec(int depth, int arity)
+    : depth_(depth), arity_(arity), bits_(BitsPerDigit(arity)),
+      mask_((uint64_t{1} << bits_) - 1) {
+  TBF_CHECK(Fits(depth, arity))
+      << "leaf codes need " << depth * bits_ << " bits for depth " << depth
+      << ", arity " << arity;
+}
+
+LeafCode LeafCodec::Pack(const LeafPath& path) const {
+  TBF_CHECK(static_cast<int>(path.size()) == depth_) << "leaf depth mismatch";
+  LeafCode code = 0;
+  for (int j = 0; j < depth_; ++j) {
+    const int digit = static_cast<int>(path[static_cast<size_t>(j)]);
+    TBF_DCHECK(digit >= 0 && digit < arity_) << "digit " << digit
+                                             << " out of range";
+    code |= static_cast<uint64_t>(digit) << Shift(j);
+  }
+  return code;
+}
+
+LeafPath LeafCodec::Unpack(LeafCode code) const {
+  LeafPath path(static_cast<size_t>(depth_), 0);
+  for (int j = 0; j < depth_; ++j) {
+    path[static_cast<size_t>(j)] = static_cast<char16_t>(Digit(code, j));
+  }
+  return path;
+}
+
+int LeafCodec::LcaLevelDigitLoop(LeafCode a, LeafCode b) const {
+  for (int j = 0; j < depth_; ++j) {
+    if (Digit(a, j) != Digit(b, j)) return depth_ - j;
+  }
+  return 0;
+}
+
+}  // namespace tbf

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/math.h"
+#include "common/rng.h"
 
 namespace tbf {
 
@@ -35,6 +36,15 @@ std::string LeafPathToString(const LeafPath& path) {
     out += std::to_string(static_cast<int>(path[i]));
   }
   return out;
+}
+
+LeafPath RandomLeafPath(int depth, int arity, Rng* rng) {
+  LeafPath path;
+  path.reserve(static_cast<size_t>(depth));
+  for (int i = 0; i < depth; ++i) {
+    path.push_back(static_cast<char16_t>(rng->UniformInt(0, arity - 1)));
+  }
+  return path;
 }
 
 LeafPath LeafPathFromString(const std::string& text) {

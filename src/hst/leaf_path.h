@@ -14,6 +14,8 @@
 
 namespace tbf {
 
+class Rng;
+
 /// \brief Digit path of a leaf, root-first; digit j in [0, arity) selects the
 /// child taken from the node at level D-j down to level D-j-1.
 using LeafPath = std::u16string;
@@ -41,5 +43,9 @@ std::string LeafPathToString(const LeafPath& path);
 /// \brief Parses the LeafPathToString format (digits separated by '.').
 /// An empty string yields an empty (root) path.
 LeafPath LeafPathFromString(const std::string& text);
+
+/// \brief Uniformly random leaf of a (depth, arity) tree — one UniformInt
+/// draw per digit. Synthetic-workload and test/bench helper.
+LeafPath RandomLeafPath(int depth, int arity, Rng* rng);
 
 }  // namespace tbf

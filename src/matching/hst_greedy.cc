@@ -3,6 +3,56 @@
 #include "common/logging.h"
 
 namespace tbf {
+namespace {
+
+// One scan body serves both representations: LeafPath and LeafCode compare
+// in lexicographic path order alike, so the canonical tie-break rule (LCA
+// level, leaf path, worker id) carries over unchanged; only the LCA functor
+// differs (digit loop vs XOR + countl_zero).
+template <typename Worker, typename Lca>
+int ScanCanonical(const std::vector<Worker>& workers,
+                  const std::vector<bool>& taken, int depth,
+                  const Worker& task, Lca&& lca) {
+  int best = -1;
+  int best_level = depth + 1;
+  for (size_t i = 0; i < workers.size(); ++i) {
+    if (taken[i]) continue;
+    const int level = lca(task, workers[i]);
+    if (level < best_level ||
+        (level == best_level &&
+         workers[i] < workers[static_cast<size_t>(best)])) {
+      best_level = level;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+// Reservoir sampling over the minimal-level workers: one pass, uniform
+// among ties.
+template <typename Worker, typename Lca>
+int ScanReservoir(const std::vector<Worker>& workers,
+                  const std::vector<bool>& taken, int depth,
+                  const Worker& task, Lca&& lca, Rng* rng) {
+  int best = -1;
+  int best_level = depth + 1;
+  int tie_count = 0;
+  for (size_t i = 0; i < workers.size(); ++i) {
+    if (taken[i]) continue;
+    const int level = lca(task, workers[i]);
+    if (level < best_level) {
+      best_level = level;
+      best = static_cast<int>(i);
+      tie_count = 1;
+    } else if (level == best_level) {
+      ++tie_count;
+      if (rng->UniformInt(1, tie_count) == 1) best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace
 
 HstGreedyMatcher::HstGreedyMatcher(std::vector<LeafPath> workers, int depth,
                                    int arity, HstEngine engine,
@@ -19,72 +69,66 @@ HstGreedyMatcher::HstGreedyMatcher(std::vector<LeafPath> workers, int depth,
   }
   TBF_CHECK(tie_break_ == HstTieBreak::kCanonical || rng_ != nullptr)
       << "kUniformRandom tie-breaking requires an rng";
+  if (LeafCodec::Fits(depth, arity)) {
+    codec_.emplace(depth, arity);
+    worker_codes_.reserve(workers_.size());
+    for (const LeafPath& leaf : workers_) {
+      worker_codes_.push_back(codec_->Pack(leaf));
+    }
+  }
   if (engine_ == HstEngine::kIndex) {
     index_ = std::make_unique<HstAvailabilityIndex>(depth, arity);
     for (size_t i = 0; i < workers_.size(); ++i) {
-      index_->Insert(workers_[i], static_cast<int>(i));
+      if (codec_) {
+        index_->Insert(worker_codes_[i], static_cast<int>(i));
+      } else {
+        index_->Insert(workers_[i], static_cast<int>(i));
+      }
     }
+  }
+  if (codec_) {
+    // Every post-construction path runs on worker_codes_; drop the heap-heavy
+    // LeafPath copies (several MB at 100k workers).
+    workers_.clear();
+    workers_.shrink_to_fit();
   }
 }
 
 int HstGreedyMatcher::Assign(const LeafPath& task) {
+  TBF_DCHECK(static_cast<int>(task.size()) == depth_) << "leaf depth mismatch";
   if (available_count_ == 0) return -1;
   int best = -1;
   if (engine_ == HstEngine::kIndex) {
-    if (tie_break_ == HstTieBreak::kCanonical) {
-      auto nearest = index_->Nearest(task);
-      if (nearest) best = nearest->first;
-    } else {
-      auto nearest = index_->NearestUniform(task, rng_);
-      if (nearest) best = nearest->first;
+    auto nearest = tie_break_ == HstTieBreak::kCanonical
+                       ? index_->Nearest(task)
+                       : index_->NearestUniform(task, rng_);
+    if (nearest) {
+      best = nearest->first;
+      if (codec_) {
+        index_->Remove(worker_codes_[static_cast<size_t>(best)], best);
+      } else {
+        index_->Remove(workers_[static_cast<size_t>(best)], best);
+      }
     }
-    if (best >= 0) index_->Remove(workers_[static_cast<size_t>(best)], best);
+  } else if (codec_) {
+    const LeafCode code = codec_->Pack(task);
+    const auto lca = [this](LeafCode a, LeafCode b) {
+      return codec_->LcaLevel(a, b);
+    };
+    best = tie_break_ == HstTieBreak::kCanonical
+               ? ScanCanonical(worker_codes_, taken_, depth_, code, lca)
+               : ScanReservoir(worker_codes_, taken_, depth_, code, lca, rng_);
   } else {
-    best = tie_break_ == HstTieBreak::kCanonical ? AssignScan(task)
-                                                 : AssignScanRandom(task);
+    const auto lca = [](const LeafPath& a, const LeafPath& b) {
+      return LcaLevel(a, b);
+    };
+    best = tie_break_ == HstTieBreak::kCanonical
+               ? ScanCanonical(workers_, taken_, depth_, task, lca)
+               : ScanReservoir(workers_, taken_, depth_, task, lca, rng_);
   }
   if (best >= 0) {
     taken_[static_cast<size_t>(best)] = true;
     --available_count_;
-  }
-  return best;
-}
-
-int HstGreedyMatcher::AssignScan(const LeafPath& task) {
-  // Canonical tie-break: (LCA level, leaf path, worker id) — identical to
-  // the index engine's enumeration order.
-  int best = -1;
-  int best_level = depth_ + 1;
-  for (size_t i = 0; i < workers_.size(); ++i) {
-    if (taken_[i]) continue;
-    int level = LcaLevel(task, workers_[i]);
-    if (level < best_level ||
-        (level == best_level &&
-         workers_[i] < workers_[static_cast<size_t>(best)])) {
-      best_level = level;
-      best = static_cast<int>(i);
-    }
-  }
-  return best;
-}
-
-int HstGreedyMatcher::AssignScanRandom(const LeafPath& task) {
-  // Reservoir sampling over the minimal-level workers: one pass, uniform
-  // among ties.
-  int best = -1;
-  int best_level = depth_ + 1;
-  int tie_count = 0;
-  for (size_t i = 0; i < workers_.size(); ++i) {
-    if (taken_[i]) continue;
-    int level = LcaLevel(task, workers_[i]);
-    if (level < best_level) {
-      best_level = level;
-      best = static_cast<int>(i);
-      tie_count = 1;
-    } else if (level == best_level) {
-      ++tie_count;
-      if (rng_->UniformInt(1, tie_count) == 1) best = static_cast<int>(i);
-    }
   }
   return best;
 }

@@ -2,15 +2,23 @@
 // SODA 2006): each arriving task takes the available worker nearest on the
 // tree. Used by both Lap-HG (on Laplace-obfuscated, re-mapped leaves) and
 // TBF (on leaves obfuscated by the HST mechanism).
+//
+// When the tree shape fits packed codes (every built tree does — see
+// leaf_code.h), worker leaves are stored as LeafCodes: the scan engine's
+// per-pair LCA becomes one XOR + countl_zero instead of a digit loop, and
+// the index engine runs on the flat node-pool trie. Oversized shapes fall
+// back to LeafPath transparently.
 
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/rng.h"
 #include "hst/complete_hst.h"
 #include "hst/hst_index.h"
+#include "hst/leaf_code.h"
 #include "hst/leaf_path.h"
 
 namespace tbf {
@@ -44,13 +52,12 @@ class HstGreedyMatcher {
   size_t available() const { return available_count_; }
 
  private:
-  int AssignScan(const LeafPath& task);
-  int AssignScanRandom(const LeafPath& task);
-
   HstEngine engine_;
   HstTieBreak tie_break_;
   int depth_;
   std::vector<LeafPath> workers_;
+  std::vector<LeafCode> worker_codes_;  // packed copy; empty when !codec_
+  std::optional<LeafCodec> codec_;
   std::vector<bool> taken_;
   size_t available_count_;
   std::unique_ptr<HstAvailabilityIndex> index_;  // only for kIndex

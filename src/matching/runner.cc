@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/memory.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/tbf.h"
 #include "geo/grid.h"
@@ -49,12 +50,44 @@ Result<TbfFramework> BuildFramework(const OnlineInstance& instance,
   return TbfFramework::Build(std::move(grid), metric, rng, options);
 }
 
+// Batch obfuscation: item i draws from stream.ForkAt(i), so the reports are
+// bit-identical for any pool width.
 std::vector<Point> ObfuscatePoints(const std::vector<Point>& truth,
-                                   const PointMechanism& mechanism, Rng* rng) {
-  std::vector<Point> out;
-  out.reserve(truth.size());
-  for (const Point& p : truth) out.push_back(mechanism.Obfuscate(p, rng));
+                                   const PointMechanism& mechanism,
+                                   const Rng& stream, ThreadPool* pool) {
+  std::vector<Point> out(truth.size());
+  pool->ParallelFor(truth.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      Rng item_rng = stream.ForkAt(i);
+      out[i] = mechanism.Obfuscate(truth[i], &item_rng);
+    }
+  });
   return out;
+}
+
+// Timed sequential assignment loop shared by both pipelines: per-task wall
+// samples feed max/avg, the outer timer the stage total. Mean is computed
+// over the same per-task samples as the max, so mean <= max holds even when
+// the loop is preempted between timer reads.
+template <typename Matcher, typename Report>
+void RunAssignLoop(Matcher* matcher, const std::vector<Report>& tasks,
+                   RunMetrics* metrics) {
+  metrics->matching.pairs.reserve(tasks.size());
+  WallTimer match_timer;
+  double assign_sample_total = 0.0;
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    WallTimer assign_timer;
+    int worker = matcher->Assign(tasks[t]);
+    const double assign_seconds = assign_timer.ElapsedSeconds();
+    assign_sample_total += assign_seconds;
+    metrics->max_assign_seconds =
+        std::max(metrics->max_assign_seconds, assign_seconds);
+    metrics->matching.pairs.push_back({static_cast<int>(t), worker});
+  }
+  metrics->match_seconds = match_timer.ElapsedSeconds();
+  metrics->avg_assign_seconds =
+      assign_sample_total / static_cast<double>(tasks.size());
+  metrics->stages.assign_seconds = metrics->match_seconds;
 }
 
 Result<RunMetrics> RunEuclidPipeline(Algorithm algorithm,
@@ -65,6 +98,9 @@ Result<RunMetrics> RunEuclidPipeline(Algorithm algorithm,
   MemoryProbe probe;
   Rng rng(config.seed);
   Rng obf_rng = rng.Split(1);
+  const Rng worker_stream = obf_rng.Split(0);
+  const Rng task_stream = obf_rng.Split(1);
+  ThreadPool pool(config.threads);
 
   std::unique_ptr<PointMechanism> mechanism;
   if (algorithm == Algorithm::kLapGr) {
@@ -83,25 +119,17 @@ Result<RunMetrics> RunEuclidPipeline(Algorithm algorithm,
 
   WallTimer obf_timer;
   std::vector<Point> reported_workers =
-      ObfuscatePoints(instance.workers, *mechanism, &obf_rng);
+      ObfuscatePoints(instance.workers, *mechanism, worker_stream, &pool);
   std::vector<Point> reported_tasks =
-      ObfuscatePoints(instance.tasks, *mechanism, &obf_rng);
+      ObfuscatePoints(instance.tasks, *mechanism, task_stream, &pool);
   metrics.obfuscate_seconds = obf_timer.ElapsedSeconds();
+  metrics.stages.obfuscate_seconds = metrics.obfuscate_seconds;
+  metrics.stages.threads = pool.num_threads();
+  metrics.stages.batch_items = instance.workers.size() + instance.tasks.size();
   probe.Sample();
 
   GreedyEuclidMatcher matcher(std::move(reported_workers), config.greedy_engine);
-  metrics.matching.pairs.reserve(instance.tasks.size());
-  WallTimer match_timer;
-  for (size_t t = 0; t < instance.tasks.size(); ++t) {
-    WallTimer assign_timer;
-    int worker = matcher.Assign(reported_tasks[t]);
-    metrics.max_assign_seconds =
-        std::max(metrics.max_assign_seconds, assign_timer.ElapsedSeconds());
-    metrics.matching.pairs.push_back({static_cast<int>(t), worker});
-  }
-  metrics.match_seconds = match_timer.ElapsedSeconds();
-  metrics.avg_assign_seconds =
-      metrics.match_seconds / static_cast<double>(instance.tasks.size());
+  RunAssignLoop(&matcher, reported_tasks, &metrics);
   probe.Sample();
 
   metrics.total_distance =
@@ -109,6 +137,20 @@ Result<RunMetrics> RunEuclidPipeline(Algorithm algorithm,
   metrics.matched = metrics.matching.MatchedCount();
   metrics.memory_mb = BytesToMiB(probe.max_rss_bytes());
   return metrics;
+}
+
+// Maps already-noisy points onto their nearest published leaves in parallel
+// (pure reads; ordering-independent).
+std::vector<LeafPath> MapToLeaves(const std::vector<Point>& points,
+                                  const TbfFramework& framework,
+                                  ThreadPool* pool) {
+  std::vector<LeafPath> leaves(points.size());
+  pool->ParallelFor(points.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      leaves[i] = framework.TrueLeaf(points[i]);
+    }
+  });
+  return leaves;
 }
 
 Result<RunMetrics> RunHstPipeline(Algorithm algorithm,
@@ -120,6 +162,9 @@ Result<RunMetrics> RunHstPipeline(Algorithm algorithm,
   Rng rng(config.seed);
   Rng tree_rng = rng.Split(0);
   Rng obf_rng = rng.Split(1);
+  const Rng worker_stream = obf_rng.Split(0);
+  const Rng task_stream = obf_rng.Split(1);
+  ThreadPool pool(config.threads);
 
   WallTimer build_timer;
   TBF_ASSIGN_OR_RETURN(TbfFramework framework,
@@ -127,50 +172,42 @@ Result<RunMetrics> RunHstPipeline(Algorithm algorithm,
   metrics.build_seconds = build_timer.ElapsedSeconds();
   probe.Sample();
 
-  // Client-side reporting.
+  // Client-side reporting, batched across the pool.
   WallTimer obf_timer;
   std::vector<LeafPath> reported_workers;
   std::vector<LeafPath> reported_tasks;
-  reported_workers.reserve(instance.workers.size());
-  reported_tasks.reserve(instance.tasks.size());
+  TbfFramework::BatchStageTimings batch_timings;
   if (algorithm == Algorithm::kTbf) {
-    for (const Point& w : instance.workers) {
-      reported_workers.push_back(framework.ObfuscateLocation(w, &obf_rng));
-    }
-    for (const Point& t : instance.tasks) {
-      reported_tasks.push_back(framework.ObfuscateLocation(t, &obf_rng));
-    }
+    reported_workers = framework.ObfuscateBatch(instance.workers, worker_stream,
+                                                &pool, &batch_timings);
+    reported_tasks = framework.ObfuscateBatch(instance.tasks, task_stream,
+                                              &pool, &batch_timings);
   } else {  // Lap-HG: Laplace noise in the plane, then map to the tree
     PlanarLaplaceMechanism laplace(config.epsilon,
                                    config.clamp_laplace
                                        ? std::optional<BBox>(instance.region)
                                        : std::nullopt);
-    for (const Point& w : instance.workers) {
-      reported_workers.push_back(
-          framework.TrueLeaf(laplace.Obfuscate(w, &obf_rng)));
-    }
-    for (const Point& t : instance.tasks) {
-      reported_tasks.push_back(
-          framework.TrueLeaf(laplace.Obfuscate(t, &obf_rng)));
-    }
+    WallTimer stage_timer;
+    std::vector<Point> noisy_workers =
+        ObfuscatePoints(instance.workers, laplace, worker_stream, &pool);
+    std::vector<Point> noisy_tasks =
+        ObfuscatePoints(instance.tasks, laplace, task_stream, &pool);
+    batch_timings.obfuscate_seconds = stage_timer.ElapsedSeconds();
+    stage_timer.Restart();
+    reported_workers = MapToLeaves(noisy_workers, framework, &pool);
+    reported_tasks = MapToLeaves(noisy_tasks, framework, &pool);
+    batch_timings.map_seconds = stage_timer.ElapsedSeconds();
   }
   metrics.obfuscate_seconds = obf_timer.ElapsedSeconds();
+  metrics.stages.map_seconds = batch_timings.map_seconds;
+  metrics.stages.obfuscate_seconds = batch_timings.obfuscate_seconds;
+  metrics.stages.threads = pool.num_threads();
+  metrics.stages.batch_items = instance.workers.size() + instance.tasks.size();
   probe.Sample();
 
   HstGreedyMatcher matcher(std::move(reported_workers), framework.tree().depth(),
                            framework.tree().arity(), config.hst_engine);
-  metrics.matching.pairs.reserve(instance.tasks.size());
-  WallTimer match_timer;
-  for (size_t t = 0; t < instance.tasks.size(); ++t) {
-    WallTimer assign_timer;
-    int worker = matcher.Assign(reported_tasks[t]);
-    metrics.max_assign_seconds =
-        std::max(metrics.max_assign_seconds, assign_timer.ElapsedSeconds());
-    metrics.matching.pairs.push_back({static_cast<int>(t), worker});
-  }
-  metrics.match_seconds = match_timer.ElapsedSeconds();
-  metrics.avg_assign_seconds =
-      metrics.match_seconds / static_cast<double>(instance.tasks.size());
+  RunAssignLoop(&matcher, reported_tasks, &metrics);
   probe.Sample();
 
   metrics.total_distance =
@@ -250,6 +287,9 @@ Result<CaseStudyMetrics> RunProbCaseStudy(const CaseStudyInstance& instance,
   Rng rng(config.pipeline.seed);
   Rng table_rng = rng.Split(0);
   Rng obf_rng = rng.Split(1);
+  const Rng worker_stream = obf_rng.Split(0);
+  const Rng task_stream = obf_rng.Split(1);
+  ThreadPool pool(config.pipeline.threads);
 
   double min_radius = instance.radii.empty() ? 0.0 : instance.radii[0];
   double max_radius = min_radius;
@@ -271,9 +311,9 @@ Result<CaseStudyMetrics> RunProbCaseStudy(const CaseStudyInstance& instance,
                                      : std::nullopt);
   WallTimer obf_timer;
   std::vector<Point> reported_workers =
-      ObfuscatePoints(instance.workers, laplace, &obf_rng);
+      ObfuscatePoints(instance.workers, laplace, worker_stream, &pool);
   std::vector<Point> reported_tasks =
-      ObfuscatePoints(instance.tasks, laplace, &obf_rng);
+      ObfuscatePoints(instance.tasks, laplace, task_stream, &pool);
   metrics.obfuscate_seconds = obf_timer.ElapsedSeconds();
   probe.Sample();
 
@@ -299,6 +339,9 @@ Result<CaseStudyMetrics> RunTbfCaseStudy(const CaseStudyInstance& instance,
   Rng rng(config.pipeline.seed);
   Rng tree_rng = rng.Split(0);
   Rng obf_rng = rng.Split(1);
+  const Rng worker_stream = obf_rng.Split(0);
+  const Rng task_stream = obf_rng.Split(1);
+  ThreadPool pool(config.pipeline.threads);
 
   OnlineInstance base;
   base.region = instance.region;
@@ -312,16 +355,10 @@ Result<CaseStudyMetrics> RunTbfCaseStudy(const CaseStudyInstance& instance,
   probe.Sample();
 
   WallTimer obf_timer;
-  std::vector<LeafPath> reported_workers;
-  reported_workers.reserve(instance.workers.size());
-  for (const Point& w : instance.workers) {
-    reported_workers.push_back(framework.ObfuscateLocation(w, &obf_rng));
-  }
-  std::vector<LeafPath> reported_tasks;
-  reported_tasks.reserve(instance.tasks.size());
-  for (const Point& t : instance.tasks) {
-    reported_tasks.push_back(framework.ObfuscateLocation(t, &obf_rng));
-  }
+  std::vector<LeafPath> reported_workers =
+      framework.ObfuscateBatch(instance.workers, worker_stream, &pool);
+  std::vector<LeafPath> reported_tasks =
+      framework.ObfuscateBatch(instance.tasks, task_stream, &pool);
   metrics.obfuscate_seconds = obf_timer.ElapsedSeconds();
   probe.Sample();
 

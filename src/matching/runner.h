@@ -65,6 +65,12 @@ struct PipelineConfig {
   /// Clamp Laplace-obfuscated reports back into the region (practical
   /// post-processing; Geo-I preserved).
   bool clamp_laplace = true;
+
+  /// Threads for the batched obfuscation stage (<= 0: all hardware
+  /// threads). Results are bit-identical for every thread count: item i
+  /// always draws from the same Rng::ForkAt(i) stream. Assignment itself
+  /// stays sequential — it is an online process.
+  int threads = 0;
 };
 
 /// \brief Measurements of one pipeline run.
@@ -81,6 +87,19 @@ struct RunMetrics {
   /// in x seconds" claims): mean and worst case over all tasks.
   double avg_assign_seconds = 0.0;
   double max_assign_seconds = 0.0;
+
+  /// \brief Fine-grained wall-clock breakdown of the pipeline stages.
+  /// obfuscate_seconds above remains the whole client-reporting stage
+  /// (map + mechanism); these split it and record the parallelism used.
+  struct StageBreakdown {
+    double map_seconds = 0.0;        ///< nearest-predefined-point mapping
+    double obfuscate_seconds = 0.0;  ///< mechanism draws only
+    double assign_seconds = 0.0;     ///< sequential online assignment
+    int threads = 1;                 ///< pool width of the batched stages
+    size_t batch_items = 0;          ///< workers + tasks obfuscated
+  };
+  StageBreakdown stages;
+
   Matching matching;  ///< the actual assignment
 };
 

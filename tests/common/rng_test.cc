@@ -159,6 +159,39 @@ TEST(RngTest, SplitStreamsAreIndependentAndDeterministic) {
   EXPECT_GT(diff, 0);
 }
 
+TEST(RngTest, ForkAtIsStateless) {
+  // ForkAt depends on (seed, index) only — not on how many draws the
+  // parent has made — so batch items get the same stream no matter when or
+  // on which thread they are processed.
+  Rng fresh(77);
+  Rng burned(77);
+  for (int i = 0; i < 100; ++i) burned.NextU64();
+  Rng child1 = fresh.ForkAt(9);
+  Rng child2 = burned.ForkAt(9);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child1.NextU64(), child2.NextU64());
+}
+
+TEST(RngTest, ForkAtIndicesAndSeedsDecorrelate) {
+  Rng parent(77);
+  Rng a = parent.ForkAt(0);
+  Rng b = parent.ForkAt(1);
+  Rng other_parent(78);
+  Rng c = other_parent.ForkAt(0);
+  // Distinct from each other and from a Split stream of the same salt.
+  Rng parent_copy(77);
+  Rng split = parent_copy.Split(0);
+  int ab_diff = 0, ac_diff = 0, asplit_diff = 0;
+  for (int i = 0; i < 16; ++i) {
+    uint64_t draw_a = a.NextU64();
+    if (draw_a != b.NextU64()) ++ab_diff;
+    if (draw_a != c.NextU64()) ++ac_diff;
+    if (draw_a != split.NextU64()) ++asplit_diff;
+  }
+  EXPECT_GT(ab_diff, 0);
+  EXPECT_GT(ac_diff, 0);
+  EXPECT_GT(asplit_diff, 0);
+}
+
 TEST(RngTest, ShuffleKeepsMultiset) {
   Rng rng(53);
   std::vector<int> v = {1, 1, 2, 3, 5, 8, 13};

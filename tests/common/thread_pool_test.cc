@@ -1,0 +1,87 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace tbf {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(3), 3);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1);
+  EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1);
+  EXPECT_GE(ThreadPool::ResolveThreadCount(-5), 1);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    for (size_t count : {size_t{0}, size_t{1}, size_t{7}, size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(count);
+      pool.ParallelFor(count, [&](size_t begin, size_t end) {
+        ASSERT_LE(begin, end);
+        ASSERT_LE(end, count);
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+      for (size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, RepeatedBatchesOnOnePool) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(100, [&](size_t begin, size_t end) {
+      int64_t local = 0;
+      for (size_t i = begin; i < end; ++i) local += static_cast<int64_t>(i);
+      sum.fetch_add(local);
+    });
+  }
+  EXPECT_EQ(sum.load(), 50 * (99 * 100 / 2));
+}
+
+TEST(ThreadPoolTest, BodyExceptionRethrownAndPoolStaysUsable) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(pool.ParallelFor(1000,
+                                  [&](size_t begin, size_t) {
+                                    if (begin == 0) {
+                                      throw std::runtime_error("boom");
+                                    }
+                                  }),
+                 std::runtime_error);
+    // The failed batch must not wedge the pool or leak into later batches.
+    std::atomic<int> hits{0};
+    pool.ParallelFor(100, [&](size_t begin, size_t end) {
+      hits.fetch_add(static_cast<int>(end - begin));
+    });
+    EXPECT_EQ(hits.load(), 100);
+  }
+}
+
+TEST(ThreadPoolTest, ResultsIndependentOfThreadCount) {
+  // The batch-parallel contract: per-index work keyed by the index alone
+  // gives identical output for any pool width.
+  auto run = [](int threads) {
+    ThreadPool pool(threads);
+    std::vector<uint64_t> out(512);
+    pool.ParallelFor(out.size(), [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        out[i] = i * 0x9e3779b97f4a7c15ULL;
+      }
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+}  // namespace
+}  // namespace tbf

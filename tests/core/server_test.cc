@@ -52,6 +52,26 @@ TEST(TbfServerTest, RegisterSubmitLifecycle) {
   EXPECT_FALSE(drained->worker.has_value());
 }
 
+TEST(TbfServerTest, IndexIdsAreRecycledAcrossAssignmentChurn) {
+  auto tree = BuildTree();
+  auto server = TbfServer::Create(tree);
+  ASSERT_TRUE(server.ok());
+  for (int round = 0; round < 50; ++round) {
+    ASSERT_TRUE(server->RegisterWorker("a", tree->leaf_of_point(0)).ok());
+    ASSERT_TRUE(server->RegisterWorker("b", tree->leaf_of_point(20)).ok());
+    auto dispatch =
+        server->SubmitTask("t" + std::to_string(round), tree->leaf_of_point(1));
+    ASSERT_TRUE(dispatch.ok());
+    ASSERT_TRUE(dispatch->worker.has_value());
+    ASSERT_TRUE(
+        server->UnregisterWorker(*dispatch->worker == "a" ? "b" : "a").ok());
+  }
+  EXPECT_EQ(server->available_workers(), 0u);
+  // Every removal path recycles its id: the pool is bounded by the peak of
+  // two concurrent workers, not the 100 registrations performed.
+  EXPECT_EQ(server->index_id_pool_size(), 2u);
+}
+
 TEST(TbfServerTest, ReportedTreeDistanceMatchesLeaves) {
   auto tree = BuildTree();
   auto server = TbfServer::Create(tree);
@@ -199,6 +219,87 @@ TEST(TbfServerTest, EndToEndWithMechanism) {
   }
   EXPECT_EQ(assigned, 10u);
   EXPECT_EQ(server->available_workers(), 10u);
+}
+
+TEST(TbfServerTest, BatchRegisterAndSubmitMatchSingleCalls) {
+  auto tree = BuildTree();
+  auto batch_server = TbfServer::Create(tree);
+  auto single_server = TbfServer::Create(tree);
+  ASSERT_TRUE(batch_server.ok());
+  ASSERT_TRUE(single_server.ok());
+
+  std::vector<LeafReport> workers;
+  for (int w = 0; w < 12; ++w) {
+    workers.push_back({"w" + std::to_string(w), tree->leaf_of_point(w * 3), {}});
+  }
+  std::vector<Status> statuses = batch_server->RegisterWorkers(workers);
+  ASSERT_EQ(statuses.size(), workers.size());
+  for (size_t i = 0; i < workers.size(); ++i) {
+    EXPECT_TRUE(statuses[i].ok()) << i;
+    EXPECT_TRUE(single_server
+                    ->RegisterWorker(workers[i].user_id, workers[i].leaf)
+                    .ok());
+  }
+  EXPECT_EQ(batch_server->available_workers(), workers.size());
+
+  std::vector<LeafReport> tasks;
+  for (int t = 0; t < 6; ++t) {
+    tasks.push_back({"t" + std::to_string(t), tree->leaf_of_point(t * 5 + 1), {}});
+  }
+  std::vector<BatchDispatchOutcome> outcomes = batch_server->SubmitTasks(tasks);
+  ASSERT_EQ(outcomes.size(), tasks.size());
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    ASSERT_TRUE(outcomes[t].status.ok()) << t;
+    auto expected = single_server->SubmitTask(tasks[t].user_id, tasks[t].leaf);
+    ASSERT_TRUE(expected.ok());
+    // Batch submission is the same online process: identical assignment
+    // sequence and reported distances.
+    EXPECT_EQ(outcomes[t].result.worker, expected->worker) << t;
+    EXPECT_DOUBLE_EQ(outcomes[t].result.reported_tree_distance,
+                     expected->reported_tree_distance);
+  }
+  EXPECT_EQ(batch_server->assigned_tasks(), single_server->assigned_tasks());
+}
+
+TEST(TbfServerTest, RejectsOutOfRangeDigits) {
+  // Untrusted client input: right depth, digits beyond the published
+  // arity. Must be refused cleanly, not abort or corrupt the index.
+  auto tree = BuildTree();
+  auto server = TbfServer::Create(tree);
+  ASSERT_TRUE(server.ok());
+  LeafPath bogus(static_cast<size_t>(tree->depth()),
+                 static_cast<char16_t>(tree->arity()));
+  EXPECT_FALSE(server->RegisterWorker("evil", bogus).ok());
+  EXPECT_FALSE(server->IsRegistered("evil"));
+  ASSERT_TRUE(server->RegisterWorker("w", tree->leaf_of_point(0)).ok());
+  auto dispatch = server->SubmitTask("t", bogus);
+  EXPECT_FALSE(dispatch.ok());
+  EXPECT_EQ(server->available_workers(), 1u);  // pool untouched
+}
+
+TEST(TbfServerTest, BatchRegisterSkipsOnlyFailedItems) {
+  auto tree = BuildTree();
+  TbfServerOptions options;
+  options.lifetime_budget = 1.0;
+  auto server = TbfServer::Create(tree, options);
+  ASSERT_TRUE(server.ok());
+
+  std::vector<LeafReport> batch;
+  batch.push_back({"a", tree->leaf_of_point(0), 0.5});
+  batch.push_back({"b", tree->leaf_of_point(1), std::nullopt});  // no epsilon
+  batch.push_back({"c", LeafPath({0}), 0.5});                    // bad depth
+  batch.push_back({"d", tree->leaf_of_point(2), 0.5});
+  std::vector<Status> statuses = server->RegisterWorkers(batch);
+  ASSERT_EQ(statuses.size(), 4u);
+  EXPECT_TRUE(statuses[0].ok());
+  EXPECT_FALSE(statuses[1].ok());
+  EXPECT_FALSE(statuses[2].ok());
+  EXPECT_TRUE(statuses[3].ok());
+  EXPECT_EQ(server->available_workers(), 2u);
+  EXPECT_TRUE(server->IsRegistered("a"));
+  EXPECT_FALSE(server->IsRegistered("b"));
+  EXPECT_FALSE(server->IsRegistered("c"));
+  EXPECT_TRUE(server->IsRegistered("d"));
 }
 
 }  // namespace

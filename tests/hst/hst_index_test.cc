@@ -16,15 +16,6 @@ LeafPath P(std::initializer_list<int> digits) {
   return p;
 }
 
-// Random leaf of a complete (depth, arity) tree.
-LeafPath RandomLeaf(int depth, int arity, Rng* rng) {
-  LeafPath p;
-  for (int i = 0; i < depth; ++i) {
-    p.push_back(static_cast<char16_t>(rng->UniformInt(0, arity - 1)));
-  }
-  return p;
-}
-
 TEST(HstIndexTest, EmptyIndex) {
   HstAvailabilityIndex index(3, 2);
   EXPECT_TRUE(index.empty());
@@ -139,7 +130,7 @@ TEST_P(HstIndexRandomTest, MatchesBruteForce) {
   HstAvailabilityIndex index(depth, arity);
   std::vector<LeafPath> items;
   for (int i = 0; i < 60; ++i) {
-    items.push_back(RandomLeaf(depth, arity, &rng));
+    items.push_back(RandomLeafPath(depth, arity, &rng));
     index.Insert(items.back(), i);
   }
   std::vector<bool> present(items.size(), true);
@@ -171,7 +162,7 @@ TEST_P(HstIndexRandomTest, MatchesBruteForce) {
 
   // Interleave queries and removals until drained.
   for (int round = 0; round < 80; ++round) {
-    LeafPath query = RandomLeaf(depth, arity, &rng);
+    LeafPath query = RandomLeafPath(depth, arity, &rng);
     auto got = index.Nearest(query);
     auto want = brute(query);
     ASSERT_EQ(got.has_value(), want.has_value()) << "round " << round;
@@ -190,9 +181,9 @@ TEST_P(HstIndexRandomTest, NearestKIsSortedByLevel) {
   Rng rng(GetParam() + 1000);
   HstAvailabilityIndex index(depth, arity);
   for (int i = 0; i < 30; ++i) {
-    index.Insert(RandomLeaf(depth, arity, &rng), i);
+    index.Insert(RandomLeafPath(depth, arity, &rng), i);
   }
-  LeafPath query = RandomLeaf(depth, arity, &rng);
+  LeafPath query = RandomLeafPath(depth, arity, &rng);
   auto result = index.NearestK(query, 30);
   ASSERT_EQ(result.size(), 30u);
   for (size_t i = 1; i < result.size(); ++i) {

@@ -1,0 +1,103 @@
+#include "hst/leaf_code.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tbf {
+namespace {
+
+TEST(LeafCodecTest, BitsPerDigit) {
+  EXPECT_EQ(LeafCodec::BitsPerDigit(2), 1);
+  EXPECT_EQ(LeafCodec::BitsPerDigit(3), 2);
+  EXPECT_EQ(LeafCodec::BitsPerDigit(4), 2);
+  EXPECT_EQ(LeafCodec::BitsPerDigit(5), 3);
+  EXPECT_EQ(LeafCodec::BitsPerDigit(8), 3);
+  EXPECT_EQ(LeafCodec::BitsPerDigit(9), 4);
+  EXPECT_EQ(LeafCodec::BitsPerDigit(22), 5);
+}
+
+TEST(LeafCodecTest, FitsBoundaries) {
+  EXPECT_TRUE(LeafCodec::Fits(64, 2));    // 64 * 1
+  EXPECT_FALSE(LeafCodec::Fits(65, 2));
+  EXPECT_TRUE(LeafCodec::Fits(32, 4));    // 32 * 2
+  EXPECT_FALSE(LeafCodec::Fits(33, 4));
+  EXPECT_TRUE(LeafCodec::Fits(12, 22));   // 12 * 5 = 60
+  EXPECT_FALSE(LeafCodec::Fits(13, 22));  // 13 * 5 = 65
+  EXPECT_FALSE(LeafCodec::Fits(0, 2));
+  EXPECT_FALSE(LeafCodec::Fits(3, 1));
+}
+
+TEST(LeafCodecTest, PackUnpackRoundTrip) {
+  Rng rng(17);
+  for (int arity : {2, 3, 4, 7, 11, 22, 32}) {
+    const int depth = 64 / LeafCodec::BitsPerDigit(arity);
+    LeafCodec codec(depth, arity);
+    for (int trial = 0; trial < 200; ++trial) {
+      LeafPath path = RandomLeafPath(depth, arity, &rng);
+      LeafCode code = codec.Pack(path);
+      EXPECT_EQ(codec.Unpack(code), path);
+      for (int j = 0; j < depth; ++j) {
+        EXPECT_EQ(codec.Digit(code, j), static_cast<int>(path[j]));
+      }
+    }
+  }
+}
+
+TEST(LeafCodecTest, WithDigit) {
+  LeafCodec codec(4, 5);
+  LeafCode code = codec.Pack(LeafPath({1, 4, 0, 2}));
+  LeafCode patched = codec.WithDigit(code, 1, 3);
+  EXPECT_EQ(codec.Unpack(patched), LeafPath({1, 3, 0, 2}));
+  // Other digits untouched, original unchanged.
+  EXPECT_EQ(codec.Unpack(code), LeafPath({1, 4, 0, 2}));
+  EXPECT_EQ(codec.WithDigit(patched, 1, 4), code);
+}
+
+TEST(LeafCodecTest, LcaLevelMatchesLeafPathReference) {
+  Rng rng(23);
+  for (int arity : {2, 3, 8, 13, 22}) {  // power-of-two and not
+    for (int depth : {1, 3, 6, 9}) {
+      LeafCodec codec(depth, arity);
+      for (int trial = 0; trial < 300; ++trial) {
+        LeafPath a = RandomLeafPath(depth, arity, &rng);
+        // Bias toward shared prefixes so all levels get exercised.
+        LeafPath b = a;
+        int from = static_cast<int>(rng.UniformInt(0, depth));
+        for (int j = from; j < depth; ++j) {
+          b[static_cast<size_t>(j)] =
+              static_cast<char16_t>(rng.UniformInt(0, arity - 1));
+        }
+        const int expected = LcaLevel(a, b);
+        LeafCode ca = codec.Pack(a);
+        LeafCode cb = codec.Pack(b);
+        EXPECT_EQ(codec.LcaLevel(ca, cb), expected);
+        EXPECT_EQ(codec.LcaLevelDigitLoop(ca, cb), expected);
+      }
+    }
+  }
+}
+
+TEST(LeafCodecTest, CodeOrderIsLexicographicPathOrder) {
+  // Canonical tie-breaking compares leaf paths lexicographically; the flat
+  // engines compare packed codes instead, which is only sound because the
+  // two orders coincide.
+  Rng rng(29);
+  for (int arity : {2, 5, 22}) {
+    const int depth = 7;
+    LeafCodec codec(depth, arity);
+    std::vector<LeafPath> paths;
+    for (int i = 0; i < 100; ++i) paths.push_back(RandomLeafPath(depth, arity, &rng));
+    for (const LeafPath& a : paths) {
+      for (const LeafPath& b : paths) {
+        EXPECT_EQ(a < b, codec.Pack(a) < codec.Pack(b));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tbf

@@ -107,6 +107,43 @@ TEST(RunnerTest, DifferentSeedsDifferentObfuscation) {
   EXPECT_TRUE(any_diff);
 }
 
+TEST(RunnerTest, ThreadCountDoesNotChangeResults) {
+  // The batched obfuscation stage derives item i's noise from ForkAt(i),
+  // so any pool width must reproduce the single-threaded run bit for bit.
+  OnlineInstance inst = SmallInstance();
+  for (Algorithm algorithm : {Algorithm::kTbf, Algorithm::kLapHg,
+                              Algorithm::kLapGr}) {
+    PipelineConfig serial = SmallConfig();
+    serial.threads = 1;
+    PipelineConfig wide = SmallConfig();
+    wide.threads = 4;
+    auto a = RunPipeline(algorithm, inst, serial);
+    auto b = RunPipeline(algorithm, inst, wide);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_DOUBLE_EQ(a->total_distance, b->total_distance)
+        << AlgorithmName(algorithm);
+    ASSERT_EQ(a->matching.pairs.size(), b->matching.pairs.size());
+    for (size_t i = 0; i < a->matching.pairs.size(); ++i) {
+      EXPECT_EQ(a->matching.pairs[i].worker_id, b->matching.pairs[i].worker_id);
+    }
+    EXPECT_EQ(b->stages.threads, 4);
+    EXPECT_EQ(b->stages.batch_items, inst.workers.size() + inst.tasks.size());
+  }
+}
+
+TEST(RunnerTest, StageBreakdownCoversObfuscation) {
+  OnlineInstance inst = SmallInstance();
+  auto metrics = RunPipeline(Algorithm::kTbf, inst, SmallConfig());
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GE(metrics->stages.map_seconds, 0.0);
+  EXPECT_GE(metrics->stages.obfuscate_seconds, 0.0);
+  // The split stages sit inside the aggregate client-reporting wall clock.
+  EXPECT_LE(metrics->stages.map_seconds + metrics->stages.obfuscate_seconds,
+            metrics->obfuscate_seconds + 1e-9);
+  EXPECT_DOUBLE_EQ(metrics->stages.assign_seconds, metrics->match_seconds);
+}
+
 TEST(RunnerTest, OptIsLowerBoundOnAllOnlineAlgorithms) {
   OnlineInstance inst = SmallInstance(40, 80, 5);
   PipelineConfig config = SmallConfig();
