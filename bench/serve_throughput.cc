@@ -1,0 +1,105 @@
+// End-to-end serving throughput (google-benchmark): replays a timestamped
+// synthetic worker/task stream through the sharded serving engine and
+// reports events/sec (items_per_second in the JSON). One iteration = one
+// full replay: per-epoch batched obfuscation + dispatch into a fresh
+// ShardedTbfServer.
+//
+// The shards axis is the acceptance gate of the sharded engine: 1 shard
+// runs the exact sequential baseline (threads=1, event-order dispatch —
+// what a single TbfServer does), K > 1 shards run K dispatch lanes over a
+// K-wide pool. Obfuscation and dispatch both parallelize, so on a machine
+// with >= 4 cores the 8-shard row should clear 2x the 1-shard row at 100k
+// workers; on a single-core machine the rows collapse to ~1x (the engine
+// adds locking but no parallel work can happen). Emits
+// BENCH_serve_throughput.json (see json_main.h).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <utility>
+
+#include "bench/json_main.h"
+#include "core/tbf.h"
+#include "geo/grid.h"
+#include "serve/replay.h"
+#include "workload/synthetic.h"
+
+namespace tbf {
+namespace {
+
+struct ServeWorkload {
+  TbfFramework framework;
+  EventTrace trace;
+};
+
+// Framework + trace are shared across iterations and shard counts: the
+// bench measures serving, not setup.
+const ServeWorkload& GetWorkload(int workers) {
+  static std::map<int, ServeWorkload>* cache = new std::map<int, ServeWorkload>;
+  auto it = cache->find(workers);
+  if (it != cache->end()) return it->second;
+
+  Rng rng(3);
+  auto grid = UniformGridPoints(BBox::Square(200), 32);
+  TbfOptions options;
+  options.epsilon = 0.6;
+  auto framework = TbfFramework::Build(std::move(grid).MoveValueUnsafe(),
+                                       EuclideanMetric(), &rng, options);
+
+  SyntheticEventConfig config;
+  config.base.num_workers = workers;
+  config.base.num_tasks = workers / 2;
+  config.base.seed = 17;
+  config.horizon_seconds = 600.0;
+  config.departure_probability = 0.05;
+  auto trace = GenerateEventTrace(config);
+
+  auto inserted = cache->emplace(
+      workers, ServeWorkload{std::move(framework).MoveValueUnsafe(),
+                             std::move(trace).MoveValueUnsafe()});
+  return inserted.first->second;
+}
+
+void BM_ServeReplay(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const int shards = static_cast<int>(state.range(1));
+  const ServeWorkload& workload = GetWorkload(workers);
+
+  ReplayOptions options;
+  options.epoch_seconds = 30.0;
+  options.num_shards = shards;
+  options.threads = shards;  // one lane per shard
+  options.parallel_dispatch = shards > 1;
+  size_t assigned = 0;
+  size_t epochs = 0;
+  for (auto _ : state) {
+    auto report = RunEventReplay(workload.framework, workload.trace, options);
+    if (!report.ok()) {
+      state.SkipWithError(report.status().ToString().c_str());
+      return;
+    }
+    assigned = report->assigned;
+    epochs = report->epochs;
+    benchmark::DoNotOptimize(report->events_per_second);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.trace.events.size()));
+  state.counters["shards"] = shards;
+  state.counters["assigned"] = static_cast<double>(assigned);
+  state.counters["epochs"] = static_cast<double>(epochs);
+}
+
+BENCHMARK(BM_ServeReplay)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()  // items_per_second from wall clock, not main-thread CPU
+    ->Args({10000, 1})
+    ->Args({10000, 8})
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->Args({100000, 4})
+    ->Args({100000, 8});
+
+}  // namespace
+}  // namespace tbf
+
+TBF_BENCHMARK_JSON_MAIN("serve_throughput");

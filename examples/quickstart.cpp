@@ -1,18 +1,25 @@
-// Quickstart: the full TBF workflow (paper Fig. 1) in ~60 lines.
+// Quickstart: the full TBF workflow (paper Fig. 1) through the serving
+// API in ~70 lines.
 //
-//   1. The server builds and publishes a complete HST over predefined points.
-//   2. Workers report obfuscated leaves (HST mechanism, eps-Geo-I).
-//   3. Tasks arrive online, also reporting obfuscated leaves.
-//   4. The server runs HST-Greedy on the obfuscated leaves.
+//   1. The server builds and publishes a complete HST over predefined
+//      points (TbfFramework).
+//   2. Workers obfuscate client-side (batched HST mechanism) and register
+//      with the server in one wave (TbfServer::RegisterWorkers).
+//   3. Tasks arrive online, also reporting obfuscated leaves, and are
+//      dispatched to the nearest available worker on the tree
+//      (TbfServer::SubmitTasks).
 //
-// Build & run:  ./examples/quickstart [--eps=0.6] [--workers=8] [--tasks=4]
+// The snippet in docs/API.md is kept in sync with this file.
+//
+// Build & run:  ./example_quickstart [--eps=0.6] [--workers=8] [--tasks=4]
 
 #include <iostream>
 
 #include "common/cli.h"
+#include "common/thread_pool.h"
+#include "core/server.h"
 #include "core/tbf.h"
 #include "geo/grid.h"
-#include "matching/hst_greedy.h"
 
 using namespace tbf;
 
@@ -42,30 +49,65 @@ int main(int argc, char** argv) {
             << " predefined points N=" << framework->tree().num_points()
             << " (logical leaves c^D=" << framework->tree().num_leaves() << ")\n";
 
-  // --- Step 2: workers obfuscate and report. ---
-  Rng world(42);
-  std::vector<Point> worker_locations;
-  std::vector<LeafPath> reported_workers;
-  for (int w = 0; w < num_workers; ++w) {
-    Point loc{world.Uniform(0, 200), world.Uniform(0, 200)};
-    worker_locations.push_back(loc);
-    reported_workers.push_back(framework->ObfuscateLocation(loc, &world));
+  auto server = TbfServer::Create(framework->tree_ptr());
+  if (!server.ok()) {
+    std::cerr << server.status() << "\n";
+    return 1;
   }
 
-  // --- Steps 3-4: tasks arrive online and are assigned on the tree. ---
-  HstGreedyMatcher matcher(reported_workers, framework->tree().depth(),
-                           framework->tree().arity());
-  double total_true_distance = 0.0;
+  // --- Step 2: workers obfuscate client-side and register in one wave. ---
+  Rng world(42);
+  std::vector<Point> worker_locations;
+  for (int w = 0; w < num_workers; ++w) {
+    worker_locations.push_back({world.Uniform(0, 200), world.Uniform(0, 200)});
+  }
+  ThreadPool pool;  // batched reporting: item i draws from ForkAt(i)
+  std::vector<LeafPath> worker_reports =
+      framework->ObfuscateBatch(worker_locations, world.Split(1), &pool);
+  std::vector<LeafReport> registrations;
+  for (int w = 0; w < num_workers; ++w) {
+    registrations.push_back({"w" + std::to_string(w),
+                             worker_reports[static_cast<size_t>(w)], {}});
+  }
+  for (const Status& status : server->RegisterWorkers(registrations)) {
+    if (!status.ok()) std::cerr << status << "\n";
+  }
+  std::cout << server->available_workers() << " workers available\n";
+
+  // --- Step 3: tasks arrive online and are dispatched on the tree. ---
+  std::vector<Point> task_locations;
   for (int t = 0; t < num_tasks; ++t) {
-    Point task{world.Uniform(0, 200), world.Uniform(0, 200)};
-    LeafPath reported = framework->ObfuscateLocation(task, &world);
-    int worker = matcher.Assign(reported);
-    double true_distance =
-        worker < 0 ? 0.0
-                   : EuclideanDistance(task, worker_locations[static_cast<size_t>(worker)]);
-    total_true_distance += true_distance;
-    std::cout << "task " << t << " at " << task << " -> worker " << worker
-              << " (true travel distance " << true_distance << ")\n";
+    task_locations.push_back({world.Uniform(0, 200), world.Uniform(0, 200)});
+  }
+  std::vector<LeafPath> task_reports =
+      framework->ObfuscateBatch(task_locations, world.Split(2), &pool);
+  std::vector<LeafReport> submissions;
+  for (int t = 0; t < num_tasks; ++t) {
+    submissions.push_back({"t" + std::to_string(t),
+                           task_reports[static_cast<size_t>(t)], {}});
+  }
+  double total_true_distance = 0.0;
+  std::vector<BatchDispatchOutcome> outcomes = server->SubmitTasks(submissions);
+  for (int t = 0; t < num_tasks; ++t) {
+    const BatchDispatchOutcome& outcome = outcomes[static_cast<size_t>(t)];
+    if (!outcome.status.ok()) {
+      std::cerr << outcome.status << "\n";
+      continue;
+    }
+    double true_distance = 0.0;
+    if (outcome.result.worker) {
+      // The server never sees this: true travel cost, for reporting only.
+      int w = std::atoi(outcome.result.worker->c_str() + 1);
+      true_distance = EuclideanDistance(task_locations[static_cast<size_t>(t)],
+                                        worker_locations[static_cast<size_t>(w)]);
+      total_true_distance += true_distance;
+    }
+    std::cout << "task " << t << " at " << task_locations[static_cast<size_t>(t)]
+              << " -> worker "
+              << (outcome.result.worker ? *outcome.result.worker : "<none>")
+              << " (reported tree distance "
+              << outcome.result.reported_tree_distance
+              << ", true travel distance " << true_distance << ")\n";
   }
   std::cout << "total true distance: " << total_true_distance << "\n"
             << "privacy: every report was " << epsilon

@@ -22,15 +22,12 @@ TbfServer::TbfServer(std::shared_ptr<const CompleteHst> tree,
   }
 }
 
-Status TbfServer::ValidateLeaf(const LeafPath& leaf) const {
-  if (static_cast<int>(leaf.size()) != tree_->depth()) {
+Status ValidateReportedLeaf(const CompleteHst& tree, const LeafPath& leaf) {
+  if (static_cast<int>(leaf.size()) != tree.depth()) {
     return Status::InvalidArgument("leaf depth does not match the published tree");
   }
-  // Client input is untrusted: the flat index would index child tables with
-  // these digits, so reject out-of-range ones here instead of aborting (or
-  // reading out of bounds) deeper down.
   for (char16_t digit : leaf) {
-    if (static_cast<int>(digit) >= tree_->arity()) {
+    if (static_cast<int>(digit) >= tree.arity()) {
       return Status::InvalidArgument("leaf digit exceeds the published arity");
     }
   }
@@ -67,7 +64,7 @@ void TbfServer::ReleaseIndexId(int index_id) {
 Status TbfServer::RegisterWorker(const std::string& worker_id,
                                  const LeafPath& leaf,
                                  std::optional<double> declared_epsilon) {
-  TBF_RETURN_NOT_OK(ValidateLeaf(leaf));
+  TBF_RETURN_NOT_OK(ValidateReportedLeaf(*tree_, leaf));
   // Charge first: a refused charge must leave the pool untouched.
   TBF_RETURN_NOT_OK(ChargeIfRequired(worker_id, declared_epsilon));
   auto it = workers_.find(worker_id);
@@ -94,7 +91,7 @@ Status TbfServer::UnregisterWorker(const std::string& worker_id) {
 Result<DispatchResult> TbfServer::SubmitTask(
     const std::string& task_id, const LeafPath& leaf,
     std::optional<double> declared_epsilon) {
-  TBF_RETURN_NOT_OK(ValidateLeaf(leaf));
+  TBF_RETURN_NOT_OK(ValidateReportedLeaf(*tree_, leaf));
   TBF_RETURN_NOT_OK(ChargeIfRequired(task_id, declared_epsilon));
   DispatchResult result;
   auto nearest = options_.tie_break == HstTieBreak::kCanonical

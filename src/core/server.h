@@ -68,6 +68,13 @@ struct BatchDispatchOutcome {
   DispatchResult result;  ///< meaningful when status.ok()
 };
 
+/// \brief Depth + digit-range validation of an untrusted client leaf
+/// against a published tree. Shared by every serving engine (TbfServer
+/// here, ShardedTbfServer in serve/): the flat index would index child
+/// tables with these digits, so out-of-range ones are rejected up front
+/// instead of aborting (or reading out of bounds) deeper down.
+Status ValidateReportedLeaf(const CompleteHst& tree, const LeafPath& leaf);
+
 /// \brief Online dispatch server operating purely on obfuscated leaves.
 ///
 /// Not thread-safe; wrap with external synchronization for concurrent use.
@@ -131,15 +138,15 @@ class TbfServer {
   /// The published tree.
   const CompleteHst& tree() const { return *tree_; }
 
+  /// The configuration the server was created with.
+  const TbfServerOptions& options() const { return options_; }
+
   /// The budget ledger, when budgeting is enabled (else nullptr).
   const PrivacyBudgetLedger* ledger() const { return ledger_.get(); }
 
  private:
   TbfServer(std::shared_ptr<const CompleteHst> tree,
             const TbfServerOptions& options);
-
-  // Depth + digit-range validation of untrusted client leaves.
-  Status ValidateLeaf(const LeafPath& leaf) const;
 
   Status ChargeIfRequired(const std::string& user,
                           std::optional<double> declared_epsilon);

@@ -20,7 +20,7 @@ Result<TbfFramework> TbfFramework::Build(std::vector<Point> predefined_points,
 
 std::vector<LeafPath> TbfFramework::ObfuscateBatch(
     const std::vector<Point>& locations, const Rng& stream, ThreadPool* pool,
-    BatchStageTimings* timings) const {
+    BatchStageTimings* timings, uint64_t fork_offset) const {
   const size_t n = locations.size();
   // Stage 1: nearest-predefined-point mapping (pure reads of the kd-tree).
   std::vector<const LeafPath*> mapped(n, nullptr);
@@ -35,7 +35,7 @@ std::vector<LeafPath> TbfFramework::ObfuscateBatch(
   timer.Restart();
   pool->ParallelFor(n, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      Rng item_rng = stream.ForkAt(i);
+      Rng item_rng = stream.ForkAt(fork_offset + i);
       reported[i] = mechanism_->Obfuscate(*mapped[i], &item_rng);
     }
   });

@@ -48,6 +48,10 @@ class TbfFramework {
   /// The published complete c-ary HST.
   const CompleteHst& tree() const { return *tree_; }
 
+  /// Shared ownership of the published tree (servers keep it alive past
+  /// the framework, e.g. serve/replay.cc handing it to ShardedTbfServer).
+  std::shared_ptr<const CompleteHst> tree_ptr() const { return tree_; }
+
   /// The paper's leaf mechanism at the configured epsilon.
   const HstMechanism& mechanism() const { return *mechanism_; }
 
@@ -70,12 +74,17 @@ class TbfFramework {
   };
 
   /// \brief Batch client-side reporting: maps and obfuscates `locations`
-  /// across `pool`'s threads. Item i draws from stream.ForkAt(i), so the
-  /// output is bit-identical regardless of thread count or scheduling.
-  /// `timings`, when given, accumulates the per-stage wall clock.
+  /// across `pool`'s threads. Item i draws from
+  /// stream.ForkAt(fork_offset + i), so the output is bit-identical
+  /// regardless of thread count or scheduling — and a caller that chops
+  /// one logical stream into several batches (the event-time replay loop
+  /// obfuscates per epoch) gets results independent of where the cuts
+  /// fall by passing the number of items already obfuscated as the
+  /// offset. `timings`, when given, accumulates the per-stage wall clock.
   std::vector<LeafPath> ObfuscateBatch(const std::vector<Point>& locations,
                                        const Rng& stream, ThreadPool* pool,
-                                       BatchStageTimings* timings = nullptr) const;
+                                       BatchStageTimings* timings = nullptr,
+                                       uint64_t fork_offset = 0) const;
 
   /// Tree distance between two reported leaves, in metric units — all the
   /// server ever evaluates.

@@ -68,6 +68,14 @@ class LeafCodec {
            (static_cast<LeafCode>(static_cast<uint64_t>(digit)) << shift);
   }
 
+  /// \brief The first `digits` digits as a base-arity integer (the leaf's
+  /// ancestor prefix at level depth - digits). `digits` in [0, depth];
+  /// 0 digits yield 0. Shard routing keys on this value.
+  uint64_t PrefixValue(LeafCode code, int digits) const {
+    if (digits <= 0) return 0;
+    return code >> Shift(digits - 1);
+  }
+
   /// \brief LCA level of two leaves: 0 when equal, else depth - (index of
   /// the first differing digit). O(1) via XOR + countl_zero.
   int LcaLevel(LeafCode a, LeafCode b) const {

@@ -1,5 +1,6 @@
 #include "privacy/budget.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
@@ -17,6 +18,17 @@ int MaxReports(double total_budget, double epsilon_per_report) {
   return static_cast<int>(std::floor(total_budget / epsilon_per_report + 1e-12));
 }
 
+namespace {
+
+// Cap admission with a relative tolerance, shared by both ledgers so
+// they agree on spends that reach a cap exactly despite representation
+// error at exact multiples.
+inline bool FitsCap(double spent, double epsilon, double cap) {
+  return spent + epsilon <= cap * (1.0 + 1e-12);
+}
+
+}  // namespace
+
 PrivacyBudgetLedger::PrivacyBudgetLedger(double lifetime_budget)
     : lifetime_budget_(lifetime_budget) {
   TBF_CHECK(lifetime_budget > 0.0) << "lifetime budget must be positive";
@@ -25,7 +37,7 @@ PrivacyBudgetLedger::PrivacyBudgetLedger(double lifetime_budget)
 Status PrivacyBudgetLedger::Charge(const std::string& user, double epsilon) {
   if (epsilon <= 0.0) return Status::InvalidArgument("epsilon must be positive");
   double& spent = spent_[user];
-  if (spent + epsilon > lifetime_budget_ * (1.0 + 1e-12)) {
+  if (!FitsCap(spent, epsilon, lifetime_budget_)) {
     if (spent == 0.0) spent_.erase(user);  // keep num_users() meaningful
     return Status::FailedPrecondition("budget exhausted for user " + user);
   }
@@ -44,8 +56,74 @@ double PrivacyBudgetLedger::Remaining(const std::string& user) const {
 }
 
 bool PrivacyBudgetLedger::CanCharge(const std::string& user, double epsilon) const {
-  return epsilon > 0.0 &&
-         Spent(user) + epsilon <= lifetime_budget_ * (1.0 + 1e-12);
+  return epsilon > 0.0 && FitsCap(Spent(user), epsilon, lifetime_budget_);
+}
+
+EpochBudgetLedger::EpochBudgetLedger(double epoch_budget,
+                                     std::optional<double> lifetime_budget)
+    : epoch_budget_(epoch_budget), lifetime_budget_(lifetime_budget) {
+  TBF_CHECK(epoch_budget > 0.0) << "epoch budget must be positive";
+  TBF_CHECK(!lifetime_budget || *lifetime_budget > 0.0)
+      << "lifetime budget must be positive";
+}
+
+Status EpochBudgetLedger::BeginEpoch(int64_t epoch) {
+  if (epoch < epoch_) {
+    return Status::InvalidArgument("epochs only move forward: at " +
+                                   std::to_string(epoch_) + ", asked for " +
+                                   std::to_string(epoch));
+  }
+  if (epoch > epoch_) {
+    epoch_ = epoch;
+    epoch_spent_.clear();
+  }
+  return Status::OK();
+}
+
+void EpochBudgetLedger::AdvanceEpoch() {
+  Status status = BeginEpoch(epoch_ + 1);
+  TBF_CHECK(status.ok());
+}
+
+Status EpochBudgetLedger::Charge(const std::string& user, double epsilon) {
+  if (epsilon <= 0.0) return Status::InvalidArgument("epsilon must be positive");
+  const double in_epoch = SpentThisEpoch(user);
+  if (!FitsCap(in_epoch, epsilon, epoch_budget_)) {
+    return Status::FailedPrecondition("epoch budget exhausted for user " + user);
+  }
+  const double lifetime = SpentLifetime(user);
+  if (lifetime_budget_ && !FitsCap(lifetime, epsilon, *lifetime_budget_)) {
+    return Status::FailedPrecondition("lifetime budget exhausted for user " +
+                                      user);
+  }
+  epoch_spent_[user] = in_epoch + epsilon;
+  lifetime_spent_[user] = lifetime + epsilon;
+  return Status::OK();
+}
+
+bool EpochBudgetLedger::CanCharge(const std::string& user, double epsilon) const {
+  if (epsilon <= 0.0) return false;
+  if (!FitsCap(SpentThisEpoch(user), epsilon, epoch_budget_)) return false;
+  return !lifetime_budget_ ||
+         FitsCap(SpentLifetime(user), epsilon, *lifetime_budget_);
+}
+
+double EpochBudgetLedger::SpentThisEpoch(const std::string& user) const {
+  auto it = epoch_spent_.find(user);
+  return it == epoch_spent_.end() ? 0.0 : it->second;
+}
+
+double EpochBudgetLedger::SpentLifetime(const std::string& user) const {
+  auto it = lifetime_spent_.find(user);
+  return it == lifetime_spent_.end() ? 0.0 : it->second;
+}
+
+double EpochBudgetLedger::RemainingThisEpoch(const std::string& user) const {
+  double rest = epoch_budget_ - SpentThisEpoch(user);
+  if (lifetime_budget_) {
+    rest = std::min(rest, *lifetime_budget_ - SpentLifetime(user));
+  }
+  return rest > 0.0 ? rest : 0.0;
 }
 
 }  // namespace tbf

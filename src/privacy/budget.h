@@ -3,12 +3,20 @@
 // The paper analyzes a single report per user. Deployments re-report
 // (drivers move, tasks are reposted); each extra report through an
 // eps-Geo-I mechanism composes additively (sequential composition of
-// differential privacy). This ledger tracks per-user spend against a
-// lifetime cap so a client layer can refuse reports that would exceed it.
+// differential privacy). Two ledgers implement the resulting admission
+// control:
+//
+//   * PrivacyBudgetLedger — per-user spend against a single lifetime cap.
+//   * EpochBudgetLedger — the serving engine's epoch-aware variant: spend
+//     is additionally rate-limited per event-time epoch, so a user who
+//     burns their per-epoch allowance is refused only until the next
+//     epoch begins (rollover), while an optional lifetime cap still
+//     composes across all epochs.
 
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -52,6 +60,69 @@ class PrivacyBudgetLedger {
  private:
   double lifetime_budget_;
   std::unordered_map<std::string, double> spent_;
+};
+
+/// \brief Epoch-aware per-user budget ledger.
+///
+/// Charges are admitted only when they fit the per-epoch cap AND (when
+/// configured) the lifetime cap; a refused charge records nothing against
+/// either. BeginEpoch moves accounting to a later epoch and clears every
+/// user's per-epoch spend (rollover) — lifetime spend persists. Independent
+/// ledgers share no state, so a serving engine may keep one per shard (or
+/// one global one) without cross-talk.
+///
+/// Thread-compatible (guard externally if shared across threads).
+class EpochBudgetLedger {
+ public:
+  /// \param epoch_budget maximum epsilon per user within one epoch (> 0).
+  /// \param lifetime_budget optional cumulative cap across all epochs
+  ///   (> 0, and at least `epoch_budget` to be satisfiable in one epoch —
+  ///   smaller values are allowed but make the epoch cap unreachable).
+  explicit EpochBudgetLedger(double epoch_budget,
+                             std::optional<double> lifetime_budget = std::nullopt);
+
+  /// Current epoch index (starts at 0).
+  int64_t epoch() const { return epoch_; }
+
+  /// \brief Moves to `epoch`, clearing all per-epoch spend. Jumps forward
+  /// over empty epochs are fine; moving backwards fails with
+  /// InvalidArgument. Re-entering the current epoch is a no-op.
+  Status BeginEpoch(int64_t epoch);
+
+  /// \brief Convenience: BeginEpoch(epoch() + 1).
+  void AdvanceEpoch();
+
+  /// \brief Records a spend of `epsilon` for `user`; fails with
+  /// FailedPrecondition (recording nothing) when either the per-epoch or
+  /// the lifetime cap would be exceeded.
+  Status Charge(const std::string& user, double epsilon);
+
+  /// \brief True when a further spend of `epsilon` would be admitted now.
+  bool CanCharge(const std::string& user, double epsilon) const;
+
+  /// \brief Spend of `user` within the current epoch (0 for unknown users).
+  double SpentThisEpoch(const std::string& user) const;
+
+  /// \brief Cumulative spend of `user` across all epochs.
+  double SpentLifetime(const std::string& user) const;
+
+  /// \brief Epoch headroom of `user` (also capped by lifetime headroom).
+  double RemainingThisEpoch(const std::string& user) const;
+
+  double epoch_budget() const { return epoch_budget_; }
+  const std::optional<double>& lifetime_budget() const {
+    return lifetime_budget_;
+  }
+
+  /// Users with non-zero lifetime spend.
+  size_t num_users() const { return lifetime_spent_.size(); }
+
+ private:
+  double epoch_budget_;
+  std::optional<double> lifetime_budget_;
+  int64_t epoch_ = 0;
+  std::unordered_map<std::string, double> epoch_spent_;
+  std::unordered_map<std::string, double> lifetime_spent_;
 };
 
 }  // namespace tbf

@@ -1,0 +1,254 @@
+#include "serve/replay.h"
+
+#include <cmath>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "serve/sharded_server.h"
+
+namespace tbf {
+
+namespace {
+
+// One epoch's worth of dispatch work for a single event, pre-resolved to
+// the obfuscated report and its home lane.
+struct PreparedEvent {
+  const TimedEvent* event = nullptr;
+  int report_index = -1;  // into the epoch's obfuscated batch (arrivals)
+  int task_slot = -1;     // into ReplayReport::task_outcomes (tasks)
+};
+
+struct LaneStats {
+  size_t assigned = 0;
+  size_t unassigned = 0;
+  size_t denied = 0;
+  size_t missed_departures = 0;
+};
+
+}  // namespace
+
+Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
+                                    const EventTrace& trace,
+                                    const ReplayOptions& options) {
+  if (options.epoch_seconds <= 0.0) {
+    return Status::InvalidArgument("epoch_seconds must be positive");
+  }
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    if (!std::isfinite(trace.events[i].time)) {
+      return Status::InvalidArgument("event times must be finite (event " +
+                                     std::to_string(i) + ")");
+    }
+    if (i > 0 && trace.events[i].time < trace.events[i - 1].time) {
+      return Status::InvalidArgument(
+          "events must be in nondecreasing time order (event " +
+          std::to_string(i) + ")");
+    }
+  }
+
+  ShardedServerOptions server_options;
+  server_options.num_shards = options.num_shards;
+  server_options.lifetime_budget = options.lifetime_budget;
+  server_options.epoch_budget = options.epoch_budget;
+  server_options.tie_break = options.tie_break;
+  server_options.seed = options.server_seed;
+  TBF_ASSIGN_OR_RETURN(std::unique_ptr<ShardedTbfServer> server,
+                       ShardedTbfServer::Create(framework.tree_ptr(),
+                                                server_options));
+
+  const bool budgets_on =
+      options.lifetime_budget.has_value() || options.epoch_budget.has_value();
+  const std::optional<double> declared_epsilon =
+      budgets_on ? std::optional<double>(framework.epsilon()) : std::nullopt;
+
+  ReplayReport report;
+  for (const TimedEvent& event : trace.events) {
+    switch (event.kind) {
+      case EventKind::kWorkerArrival: ++report.worker_arrivals; break;
+      case EventKind::kTaskArrival: ++report.task_arrivals; break;
+      case EventKind::kWorkerDeparture: ++report.departures; break;
+    }
+  }
+  report.events = trace.events.size();
+  report.task_outcomes.resize(report.task_arrivals);
+  if (trace.events.empty()) {
+    report.available_workers_end = 0;
+    return report;
+  }
+
+  ThreadPool pool(options.threads);
+  const Rng obfuscation_stream(options.obfuscation_seed);
+  const double t0 = trace.events.front().time;
+  uint64_t arrivals_obfuscated = 0;  // global ForkAt offset
+  int next_task_slot = 0;
+  WallTimer total_timer;
+
+  size_t begin = 0;
+  while (begin < trace.events.size()) {
+    const int64_t epoch = static_cast<int64_t>(
+        std::floor((trace.events[begin].time - t0) / options.epoch_seconds));
+    size_t end = begin;
+    while (end < trace.events.size() &&
+           static_cast<int64_t>(std::floor(
+               (trace.events[end].time - t0) / options.epoch_seconds)) == epoch) {
+      ++end;
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+
+    // Client-side reporting for this window, batched over the pool. The
+    // fork offset makes report i of the trace independent of where the
+    // epoch cut falls.
+    std::vector<PreparedEvent> prepared;
+    prepared.reserve(end - begin);
+    std::vector<Point> locations;
+    for (size_t i = begin; i < end; ++i) {
+      const TimedEvent& event = trace.events[i];
+      PreparedEvent item;
+      item.event = &event;
+      switch (event.kind) {
+        case EventKind::kWorkerArrival:
+          ++stats.worker_arrivals;
+          item.report_index = static_cast<int>(locations.size());
+          locations.push_back(event.location);
+          break;
+        case EventKind::kTaskArrival:
+          ++stats.task_arrivals;
+          item.report_index = static_cast<int>(locations.size());
+          item.task_slot = next_task_slot++;
+          locations.push_back(event.location);
+          break;
+        case EventKind::kWorkerDeparture:
+          ++stats.departures;
+          break;
+      }
+      prepared.push_back(item);
+    }
+    WallTimer obf_timer;
+    std::vector<LeafPath> reports = framework.ObfuscateBatch(
+        locations, obfuscation_stream, &pool, nullptr, arrivals_obfuscated);
+    arrivals_obfuscated += locations.size();
+    stats.obfuscate_seconds = obf_timer.ElapsedSeconds();
+
+    // Epoch budgets roll over at the window boundary, even across empty
+    // windows (BeginEpoch jumps forward).
+    TBF_RETURN_NOT_OK(server->BeginEpoch(epoch));
+
+    // Dispatch. One lane per shard in parallel mode: lanes preserve
+    // per-shard event order, the engine's locks linearize the rest.
+    const auto dispatch_one = [&](const PreparedEvent& item,
+                                  LaneStats* lane) {
+      const TimedEvent& event = *item.event;
+      switch (event.kind) {
+        case EventKind::kWorkerArrival: {
+          Status status = server->RegisterWorker(
+              event.id, reports[static_cast<size_t>(item.report_index)],
+              declared_epsilon);
+          if (!status.ok()) ++lane->denied;
+          break;
+        }
+        case EventKind::kTaskArrival: {
+          Result<DispatchResult> dispatched = server->SubmitTask(
+              event.id, reports[static_cast<size_t>(item.report_index)],
+              declared_epsilon);
+          TaskOutcome& outcome =
+              report.task_outcomes[static_cast<size_t>(item.task_slot)];
+          outcome.task_id = event.id;
+          if (dispatched.ok()) {
+            outcome.worker = dispatched->worker;
+            outcome.reported_tree_distance = dispatched->reported_tree_distance;
+            if (outcome.worker) {
+              ++lane->assigned;
+            } else {
+              ++lane->unassigned;
+            }
+          } else {
+            outcome.status = dispatched.status();
+            ++lane->denied;
+          }
+          break;
+        }
+        case EventKind::kWorkerDeparture: {
+          Status status = server->UnregisterWorker(event.id);
+          if (!status.ok()) ++lane->missed_departures;
+          break;
+        }
+      }
+    };
+
+    WallTimer dispatch_timer;
+    std::vector<LaneStats> lanes;
+    if (!options.parallel_dispatch || options.num_shards == 1) {
+      lanes.resize(1);
+      for (const PreparedEvent& item : prepared) dispatch_one(item, &lanes[0]);
+    } else {
+      const size_t num_lanes = static_cast<size_t>(options.num_shards);
+      lanes.resize(num_lanes);
+      std::vector<std::vector<const PreparedEvent*>> queues(num_lanes);
+      const ShardRouter& router = server->router();
+      // All of one worker's events in the epoch must share a lane, or a
+      // departure (or re-registration) could overtake the arrival it
+      // follows in event time and leave the pool in a state sequential
+      // replay can never reach. First event of the worker picks the lane
+      // (its home shard for arrivals, an id-hash for bare departures);
+      // later same-worker events stick to it. Tasks are single-shot, so
+      // their home shard is always safe.
+      std::unordered_map<std::string, size_t> worker_lane;
+      for (const PreparedEvent& item : prepared) {
+        size_t lane;
+        if (item.event->kind == EventKind::kTaskArrival) {
+          lane = static_cast<size_t>(router.ShardOf(
+              reports[static_cast<size_t>(item.report_index)]));
+        } else {
+          auto it = worker_lane.find(item.event->id);
+          if (it != worker_lane.end()) {
+            lane = it->second;
+          } else {
+            lane = item.event->kind == EventKind::kWorkerArrival
+                       ? static_cast<size_t>(router.ShardOf(
+                             reports[static_cast<size_t>(item.report_index)]))
+                       : std::hash<std::string>{}(item.event->id) % num_lanes;
+            worker_lane.emplace(item.event->id, lane);
+          }
+        }
+        queues[lane].push_back(&item);
+      }
+      pool.ParallelFor(num_lanes, [&](size_t lane_begin, size_t lane_end) {
+        for (size_t lane = lane_begin; lane < lane_end; ++lane) {
+          for (const PreparedEvent* item : queues[lane]) {
+            dispatch_one(*item, &lanes[lane]);
+          }
+        }
+      });
+    }
+    stats.dispatch_seconds = dispatch_timer.ElapsedSeconds();
+    for (const LaneStats& lane : lanes) {
+      stats.assigned += lane.assigned;
+      stats.unassigned += lane.unassigned;
+      stats.denied += lane.denied;
+      report.missed_departures += lane.missed_departures;
+    }
+
+    report.assigned += stats.assigned;
+    report.unassigned += stats.unassigned;
+    report.denied += stats.denied;
+    report.obfuscate_seconds += stats.obfuscate_seconds;
+    report.dispatch_seconds += stats.dispatch_seconds;
+    report.per_epoch.push_back(stats);
+    begin = end;
+  }
+
+  report.epochs = report.per_epoch.size();
+  report.wall_seconds = total_timer.ElapsedSeconds();
+  report.events_per_second =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.events) / report.wall_seconds
+          : 0.0;
+  report.available_workers_end = server->available_workers();
+  return report;
+}
+
+}  // namespace tbf

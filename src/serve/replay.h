@@ -1,0 +1,131 @@
+// Event-time replay: drives the sharded serving engine from a timestamped
+// worker/task arrival stream.
+//
+// The paper's interaction model is inherently online — workers and tasks
+// arrive interleaved in time and every assignment is irrevocable — but
+// the experiment pipelines (matching/runner.h) replay "all workers, then
+// all tasks". This loop replays a real schedule instead:
+//
+//   1. Events are grouped into fixed event-time windows (epochs).
+//   2. Each epoch's arrivals are obfuscated client-side through the
+//      batched pipeline (TbfFramework::ObfuscateBatch across a thread
+//      pool). Arrival i of the whole trace always draws from
+//      ForkAt(obfuscation_seed stream, i), so reports are bit-identical
+//      regardless of epoch length, thread count or shard count.
+//   3. The obfuscated reports are dispatched into a ShardedTbfServer —
+//      sequentially in event order (deterministic), or driven by one
+//      lane per shard in parallel (parallel_dispatch). Tasks go to their
+//      home shard's lane; all events of one worker share a lane, so each
+//      worker's own arrival/departure order is preserved. Interleaving
+//      *across* lanes is resolved by the engine's locks and is
+//      scheduling-dependent.
+//   4. Per-epoch privacy budgets roll over at every window boundary
+//      (ShardedTbfServer::BeginEpoch -> EpochBudgetLedger).
+//
+// The report carries per-epoch stats plus every task's outcome, so a
+// replay doubles as a measurement run (bench/serve_throughput.cc) and as
+// a fixture for equivalence tests.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/tbf.h"
+#include "hst/hst_index.h"
+#include "workload/instance.h"
+
+namespace tbf {
+
+/// \brief Configuration of one replay run.
+struct ReplayOptions {
+  /// Event-time window per epoch (> 0, seconds of trace time).
+  double epoch_seconds = 60.0;
+
+  /// Spatial shards of the serving engine (>= 1).
+  int num_shards = 1;
+
+  /// Thread-pool width for obfuscation and parallel dispatch
+  /// (<= 0: all hardware threads).
+  int threads = 1;
+
+  /// When true, each epoch's events are dispatched by one lane per
+  /// shard, concurrently (tasks by home shard; a worker's events all
+  /// share one lane so their relative order holds). When false, events
+  /// are dispatched one by one in event order — fully deterministic, and
+  /// with canonical tie-breaking draw-for-draw identical to feeding a
+  /// single TbfServer.
+  bool parallel_dispatch = false;
+
+  /// Per-user budget caps (see ShardedServerOptions). When either is set,
+  /// the loop declares the framework's epsilon for every report.
+  std::optional<double> lifetime_budget;
+  std::optional<double> epoch_budget;
+
+  /// Tie-breaking (kUniformRandom requires num_shards == 1).
+  HstTieBreak tie_break = HstTieBreak::kCanonical;
+
+  /// Seed of the engine's tie-breaking rng.
+  uint64_t server_seed = 1;
+
+  /// Seed of the client-side obfuscation stream.
+  uint64_t obfuscation_seed = 11;
+};
+
+/// \brief Outcome of one task-arrival event, in task arrival order.
+struct TaskOutcome {
+  std::string task_id;
+  Status status;  ///< admission result; OK even when no worker was free
+  std::optional<std::string> worker;  ///< nullopt: unassigned
+  double reported_tree_distance = 0.0;
+};
+
+/// \brief Per-epoch measurements.
+struct EpochStats {
+  int64_t epoch = 0;
+  size_t worker_arrivals = 0;
+  size_t task_arrivals = 0;
+  size_t departures = 0;
+  size_t assigned = 0;
+  size_t unassigned = 0;
+  size_t denied = 0;  ///< reports refused (budget caps)
+  double obfuscate_seconds = 0.0;
+  double dispatch_seconds = 0.0;
+};
+
+/// \brief Aggregate measurements of a replay run.
+struct ReplayReport {
+  size_t events = 0;
+  size_t worker_arrivals = 0;
+  size_t task_arrivals = 0;
+  size_t departures = 0;
+  size_t assigned = 0;
+  size_t unassigned = 0;
+  size_t denied = 0;
+  /// Departures of workers that were already assigned or gone (expected
+  /// churn, not an error).
+  size_t missed_departures = 0;
+  size_t epochs = 0;
+
+  double obfuscate_seconds = 0.0;
+  double dispatch_seconds = 0.0;
+  double wall_seconds = 0.0;      ///< obfuscation + dispatch, whole trace
+  double events_per_second = 0.0; ///< events / wall_seconds
+
+  size_t available_workers_end = 0;  ///< pool size after the last event
+
+  std::vector<EpochStats> per_epoch;
+  std::vector<TaskOutcome> task_outcomes;  ///< task arrival order
+};
+
+/// \brief Replays `trace` against a fresh sharded engine built on
+/// `framework`'s published tree. Events must be in nondecreasing time
+/// order. The framework must outlive the call.
+Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
+                                    const EventTrace& trace,
+                                    const ReplayOptions& options = {});
+
+}  // namespace tbf

@@ -1,0 +1,58 @@
+#include "serve/shard_router.h"
+
+#include "common/logging.h"
+
+namespace tbf {
+
+namespace {
+
+// Smallest p with arity^p >= num_shards, capped at depth (callers verified
+// Fits, so the cap is only reached when arity^depth == num_shards).
+int MinimalPrefixDepth(int depth, int arity, int num_shards) {
+  int p = 0;
+  uint64_t values = 1;
+  while (values < static_cast<uint64_t>(num_shards) && p < depth) {
+    values *= static_cast<uint64_t>(arity);
+    ++p;
+  }
+  return p;
+}
+
+}  // namespace
+
+bool ShardRouter::Fits(int depth, int arity, int num_shards) {
+  if (depth < 0 || arity < 2 || num_shards < 1) return false;
+  uint64_t values = 1;
+  for (int level = 0; level < depth; ++level) {
+    if (values >= static_cast<uint64_t>(num_shards)) return true;
+    if (values > UINT64_MAX / static_cast<uint64_t>(arity)) return true;
+    values *= static_cast<uint64_t>(arity);
+  }
+  return values >= static_cast<uint64_t>(num_shards);
+}
+
+ShardRouter::ShardRouter(int depth, int arity, int num_shards)
+    : depth_(depth),
+      arity_(arity),
+      num_shards_(num_shards),
+      prefix_depth_(MinimalPrefixDepth(depth, arity, num_shards)),
+      bits_per_digit_(LeafCodec::BitsPerDigit(arity)) {
+  TBF_CHECK(Fits(depth, arity, num_shards))
+      << "num_shards=" << num_shards << " exceeds the " << arity << "^"
+      << depth << " leaf prefixes";
+}
+
+int ShardRouter::ShardOf(const LeafPath& leaf) const {
+  TBF_DCHECK(static_cast<int>(leaf.size()) == depth_);
+  // Same radix as LeafCodec::PrefixValue (one field of bits_per_digit_
+  // bits per digit), so the LeafPath and LeafCode overloads agree for
+  // every arity, power of two or not.
+  uint64_t prefix = 0;
+  for (int d = 0; d < prefix_depth_; ++d) {
+    prefix = (prefix << bits_per_digit_) |
+             static_cast<uint64_t>(leaf[static_cast<size_t>(d)]);
+  }
+  return static_cast<int>(prefix % static_cast<uint64_t>(num_shards_));
+}
+
+}  // namespace tbf

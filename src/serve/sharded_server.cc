@@ -1,0 +1,298 @@
+#include "serve/sharded_server.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tbf {
+
+Result<std::unique_ptr<ShardedTbfServer>> ShardedTbfServer::Create(
+    std::shared_ptr<const CompleteHst> tree,
+    const ShardedServerOptions& options) {
+  if (tree == nullptr) return Status::InvalidArgument("tree must not be null");
+  if (options.lifetime_budget && *options.lifetime_budget <= 0.0) {
+    return Status::InvalidArgument("lifetime budget must be positive");
+  }
+  if (options.epoch_budget && *options.epoch_budget <= 0.0) {
+    return Status::InvalidArgument("epoch budget must be positive");
+  }
+  if (!ShardRouter::Fits(tree->depth(), tree->arity(), options.num_shards)) {
+    return Status::InvalidArgument(
+        "num_shards must be in [1, arity^depth] (" +
+        std::to_string(options.num_shards) + " requested)");
+  }
+  if (options.tie_break == HstTieBreak::kUniformRandom &&
+      options.num_shards != 1) {
+    // Uniform tie-breaking needs one global draw sequence over subtree
+    // counts; per-shard draws would not compose into a uniform choice.
+    return Status::InvalidArgument(
+        "uniform-random tie-breaking requires num_shards == 1");
+  }
+  return std::unique_ptr<ShardedTbfServer>(
+      new ShardedTbfServer(std::move(tree), options));
+}
+
+ShardedTbfServer::ShardedTbfServer(std::shared_ptr<const CompleteHst> tree,
+                                   const ShardedServerOptions& options)
+    : tree_(std::move(tree)),
+      options_(options),
+      router_(tree_->depth(), tree_->arity(), options.num_shards),
+      rng_(options.seed) {
+  shards_.reserve(static_cast<size_t>(options.num_shards));
+  for (int s = 0; s < options.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(tree_->depth(), tree_->arity()));
+  }
+  if (options_.epoch_budget || options_.lifetime_budget) {
+    // Without an explicit epoch cap the per-epoch constraint must never
+    // bind on its own; a cap equal to the lifetime cap is implied by it.
+    const double epoch_cap =
+        options_.epoch_budget.value_or(*options_.lifetime_budget);
+    ledger_ =
+        std::make_unique<EpochBudgetLedger>(epoch_cap, options_.lifetime_budget);
+  }
+}
+
+Status ShardedTbfServer::ChargeIfRequired(
+    const std::string& user, std::optional<double> declared_epsilon) {
+  if (ledger_ == nullptr) return Status::OK();
+  if (!declared_epsilon) {
+    return Status::InvalidArgument(
+        "budget enforcement is on: reports must declare their epsilon");
+  }
+  std::lock_guard<std::mutex> lock(budget_mu_);
+  return ledger_->Charge(user, *declared_epsilon);
+}
+
+Status ShardedTbfServer::BeginEpoch(int64_t epoch) {
+  if (ledger_ == nullptr) return Status::OK();
+  std::lock_guard<std::mutex> lock(budget_mu_);
+  return ledger_->BeginEpoch(epoch);
+}
+
+// Callers hold pool_mu_.
+int ShardedTbfServer::AcquireIndexId(const std::string& worker_id) {
+  if (!free_index_ids_.empty()) {
+    const int index_id = free_index_ids_.back();
+    free_index_ids_.pop_back();
+    worker_by_index_id_[static_cast<size_t>(index_id)] = worker_id;
+    return index_id;
+  }
+  const int index_id = static_cast<int>(worker_by_index_id_.size());
+  worker_by_index_id_.push_back(worker_id);
+  return index_id;
+}
+
+// Callers hold pool_mu_.
+void ShardedTbfServer::ReleaseIndexId(int index_id) {
+  worker_by_index_id_[static_cast<size_t>(index_id)].clear();
+  free_index_ids_.push_back(index_id);
+}
+
+Status ShardedTbfServer::RegisterWorker(const std::string& worker_id,
+                                        const LeafPath& leaf,
+                                        std::optional<double> declared_epsilon) {
+  TBF_RETURN_NOT_OK(ValidateReportedLeaf(*tree_, leaf));
+  // Charge first: a refused charge must leave the pool untouched.
+  TBF_RETURN_NOT_OK(ChargeIfRequired(worker_id, declared_epsilon));
+  const int new_shard = router_.ShardOf(leaf);
+  for (;;) {
+    // Peek at the worker's current shard to know which index mutexes the
+    // mutation needs; revalidate after acquiring them (the worker may be
+    // assigned, unregistered or relocated by a concurrent caller in
+    // between — then retry with the fresh observation).
+    int observed_shard = -1;
+    {
+      std::lock_guard<std::mutex> pool_lock(pool_mu_);
+      auto it = workers_.find(worker_id);
+      if (it != workers_.end()) observed_shard = it->second.shard;
+    }
+    const int lo = observed_shard < 0 ? new_shard
+                                      : std::min(observed_shard, new_shard);
+    const int hi = observed_shard < 0 ? new_shard
+                                      : std::max(observed_shard, new_shard);
+    std::unique_lock<std::mutex> lock_lo(shards_[static_cast<size_t>(lo)]->mu);
+    std::unique_lock<std::mutex> lock_hi;
+    if (hi != lo) {
+      lock_hi = std::unique_lock<std::mutex>(shards_[static_cast<size_t>(hi)]->mu);
+    }
+    std::lock_guard<std::mutex> pool_lock(pool_mu_);
+    auto it = workers_.find(worker_id);
+    const int current_shard = it == workers_.end() ? -1 : it->second.shard;
+    if (current_shard != observed_shard) continue;  // raced: retry
+
+    if (it != workers_.end()) {
+      // Relocation: drop the old report before inserting the new one.
+      shards_[static_cast<size_t>(current_shard)]->index.Remove(
+          it->second.leaf, it->second.index_id);
+      ReleaseIndexId(it->second.index_id);
+    } else {
+      available_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const int index_id = AcquireIndexId(worker_id);
+    shards_[static_cast<size_t>(new_shard)]->index.Insert(leaf, index_id);
+    workers_[worker_id] = WorkerState{leaf, index_id, new_shard};
+    return Status::OK();
+  }
+}
+
+Status ShardedTbfServer::UnregisterWorker(const std::string& worker_id) {
+  for (;;) {
+    int observed_shard = -1;
+    {
+      std::lock_guard<std::mutex> pool_lock(pool_mu_);
+      auto it = workers_.find(worker_id);
+      if (it == workers_.end()) {
+        return Status::NotFound("unknown worker " + worker_id);
+      }
+      observed_shard = it->second.shard;
+    }
+    std::unique_lock<std::mutex> shard_lock(
+        shards_[static_cast<size_t>(observed_shard)]->mu);
+    std::lock_guard<std::mutex> pool_lock(pool_mu_);
+    auto it = workers_.find(worker_id);
+    if (it == workers_.end()) {
+      // Concurrently assigned or unregistered: gone either way.
+      return Status::NotFound("unknown worker " + worker_id);
+    }
+    if (it->second.shard != observed_shard) continue;  // relocated: retry
+    shards_[static_cast<size_t>(observed_shard)]->index.Remove(
+        it->second.leaf, it->second.index_id);
+    ReleaseIndexId(it->second.index_id);
+    workers_.erase(it);
+    available_.fetch_sub(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+}
+
+bool ShardedTbfServer::IsRegistered(const std::string& worker_id) const {
+  std::lock_guard<std::mutex> pool_lock(pool_mu_);
+  return workers_.count(worker_id) > 0;
+}
+
+size_t ShardedTbfServer::index_id_pool_size() const {
+  std::lock_guard<std::mutex> pool_lock(pool_mu_);
+  return worker_by_index_id_.size();
+}
+
+size_t ShardedTbfServer::shard_size(int shard) const {
+  std::lock_guard<std::mutex> lock(shards_[static_cast<size_t>(shard)]->mu);
+  return shards_[static_cast<size_t>(shard)]->index.size();
+}
+
+// The shard's mutex must be held.
+std::optional<std::pair<int, int>> ShardedTbfServer::QueryShard(
+    int shard, const LeafPath& leaf) {
+  HstAvailabilityIndex& index = shards_[static_cast<size_t>(shard)]->index;
+  // K == 1 only (enforced at Create), so the single shard mutex also
+  // serializes rng_ and the draw sequence matches TbfServer's.
+  return options_.tie_break == HstTieBreak::kCanonical
+             ? index.Nearest(leaf)
+             : index.NearestUniform(leaf, &rng_);
+}
+
+// The candidate's shard mutex and pool_mu_ must be held.
+DispatchResult ShardedTbfServer::ConsumeCandidate(const Candidate& candidate) {
+  const std::string worker_id =
+      worker_by_index_id_[static_cast<size_t>(candidate.index_id)];
+  const WorkerState& state = workers_.at(worker_id);
+  shards_[static_cast<size_t>(state.shard)]->index.Remove(state.leaf,
+                                                          state.index_id);
+  ReleaseIndexId(state.index_id);
+  workers_.erase(worker_id);  // assigned: must register anew to serve again
+  available_.fetch_sub(1, std::memory_order_relaxed);
+  assigned_tasks_.fetch_add(1, std::memory_order_relaxed);
+  DispatchResult result;
+  result.worker = worker_id;
+  result.reported_tree_distance =
+      tree_->TreeDistanceForLcaLevel(candidate.lca_level);
+  return result;
+}
+
+Result<DispatchResult> ShardedTbfServer::SubmitTask(
+    const std::string& task_id, const LeafPath& leaf,
+    std::optional<double> declared_epsilon) {
+  TBF_RETURN_NOT_OK(ValidateReportedLeaf(*tree_, leaf));
+  TBF_RETURN_NOT_OK(ChargeIfRequired(task_id, declared_epsilon));
+  const int home = router_.ShardOf(leaf);
+
+  // Fast path: probe the home shard only. A candidate whose LCA level is
+  // at or below the cutoff beats every worker of every other shard (they
+  // all differ from the task within the prefix digits), so the engine can
+  // commit while holding a single shard mutex. With K == 1 the cutoff is
+  // the full depth: the fast path always decides.
+  {
+    std::lock_guard<std::mutex> home_lock(
+        shards_[static_cast<size_t>(home)]->mu);
+    auto nearest = QueryShard(home, leaf);
+    if (nearest && nearest->second <= router_.cutoff_level()) {
+      std::lock_guard<std::mutex> pool_lock(pool_mu_);
+      return ConsumeCandidate(Candidate{home, nearest->first, nearest->second});
+    }
+    if (!nearest && router_.num_shards() == 1) {
+      return DispatchResult{};  // no worker available: task unassigned
+    }
+  }
+
+  // Slow path (task near a shard boundary, or home subtree empty up to
+  // the prefix levels): take every shard mutex in ascending order and
+  // resolve the canonical global minimum across per-shard candidates.
+  // The home shard is re-queried — its state may have moved since the
+  // fast-path probe.
+  std::vector<std::unique_lock<std::mutex>> shard_locks;
+  shard_locks.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    shard_locks.emplace_back(shard->mu);
+  }
+  std::lock_guard<std::mutex> pool_lock(pool_mu_);
+  std::optional<Candidate> best;
+  const LeafPath* best_leaf = nullptr;
+  for (int s = 0; s < router_.num_shards(); ++s) {
+    auto nearest = shards_[static_cast<size_t>(s)]->index.Nearest(leaf);
+    if (!nearest) continue;
+    const std::string& worker_id =
+        worker_by_index_id_[static_cast<size_t>(nearest->first)];
+    const LeafPath* worker_leaf = &workers_.at(worker_id).leaf;
+    // Canonical total order: (LCA level, worker leaf path, index id) —
+    // exactly the rule each index applies internally, so the cross-shard
+    // minimum is the choice one global index would have made.
+    if (!best || nearest->second < best->lca_level ||
+        (nearest->second == best->lca_level &&
+         (*worker_leaf < *best_leaf ||
+          (*worker_leaf == *best_leaf && nearest->first < best->index_id)))) {
+      best = Candidate{s, nearest->first, nearest->second};
+      best_leaf = worker_leaf;
+    }
+  }
+  if (!best) return DispatchResult{};  // all shards empty
+  return ConsumeCandidate(*best);
+}
+
+std::vector<Status> ShardedTbfServer::RegisterWorkers(
+    const std::vector<LeafReport>& batch) {
+  std::vector<Status> statuses;
+  statuses.reserve(batch.size());
+  for (const LeafReport& report : batch) {
+    statuses.push_back(
+        RegisterWorker(report.user_id, report.leaf, report.declared_epsilon));
+  }
+  return statuses;
+}
+
+std::vector<BatchDispatchOutcome> ShardedTbfServer::SubmitTasks(
+    const std::vector<LeafReport>& batch) {
+  std::vector<BatchDispatchOutcome> outcomes;
+  outcomes.reserve(batch.size());
+  for (const LeafReport& report : batch) {
+    BatchDispatchOutcome outcome;
+    Result<DispatchResult> dispatched =
+        SubmitTask(report.user_id, report.leaf, report.declared_epsilon);
+    if (dispatched.ok()) {
+      outcome.result = std::move(dispatched).MoveValueUnsafe();
+    } else {
+      outcome.status = dispatched.status();
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+}  // namespace tbf

@@ -1,0 +1,206 @@
+// ShardedTbfServer — the sharded, epoch-aware online serving engine.
+//
+// TbfServer processes one global availability index single-threaded. This
+// engine partitions the leaf space into K spatial shards by leaf-code
+// prefix (serve/shard_router.h); each shard owns its own
+// HstAvailabilityIndex behind its own mutex (a striped lock over the leaf
+// space), so event streams touching different subtrees proceed in
+// parallel.
+//
+// Nearest-worker resolution stays *globally exact*: a task first probes
+// its home shard only, and commits immediately when the candidate's LCA
+// level is at or below the router's cutoff (no other shard can hold a
+// strictly nearer worker — see shard_router.h for the proof sketch). Only
+// tasks near a shard boundary — home subtree empty up to the prefix
+// levels — fan out, locking all shards in ascending order and taking the
+// canonical minimum across the per-shard candidates. Because the
+// canonical order (LCA level, leaf path, index id) is a total order that
+// partitioning preserves, the sharded engine reproduces the single-index
+// engine's choices *exactly*: driven sequentially with canonical
+// tie-breaking, any K produces draw-for-draw the same assignments as
+// TbfServer (enforced by tests/serve/sharded_server_test.cc).
+//
+// Shards share one worker registry and one index-id pool (pool_mu_),
+// mirroring TbfServer's id recycling bit for bit — that shared pool is
+// what makes the equivalence hold even through churn, and its critical
+// sections are a few map/vector operations, orders of magnitude cheaper
+// than an index query.
+//
+// Epoch budgets: on top of TbfServer's lifetime cap, the engine can
+// rate-limit per-user spend per event-time epoch (EpochBudgetLedger);
+// BeginEpoch rolls accounting forward (the replay loop drives this from
+// event time, serve/replay.h).
+//
+// Lock order (deadlock freedom): budget_mu_ alone; otherwise shard
+// mutexes in ascending shard id, then pool_mu_. Uniform-random
+// tie-breaking needs one global draw sequence and is therefore only
+// supported at K = 1 (Create refuses otherwise).
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/server.h"
+#include "hst/complete_hst.h"
+#include "hst/hst_index.h"
+#include "privacy/budget.h"
+#include "serve/shard_router.h"
+
+namespace tbf {
+
+/// \brief Configuration of the sharded serving engine.
+struct ShardedServerOptions {
+  /// Spatial shards (>= 1; at most arity^depth). 1 reproduces TbfServer.
+  int num_shards = 1;
+
+  /// Per-user lifetime epsilon cap (TbfServer semantics).
+  std::optional<double> lifetime_budget;
+
+  /// Per-user per-epoch epsilon cap; epochs advance via BeginEpoch. When
+  /// either budget is set, every report must declare its epsilon.
+  std::optional<double> epoch_budget;
+
+  /// Tie-breaking; kUniformRandom requires num_shards == 1.
+  HstTieBreak tie_break = HstTieBreak::kCanonical;
+
+  /// Seed for randomized tie-breaking.
+  uint64_t seed = 1;
+};
+
+/// \brief Sharded online dispatch server on obfuscated leaves.
+///
+/// Thread-safe: registrations, submissions and departures may be issued
+/// concurrently from any number of threads. Concurrent operations
+/// linearize in some order consistent with per-shard arrival; driven from
+/// a single thread the engine is fully deterministic.
+class ShardedTbfServer {
+ public:
+  static Result<std::unique_ptr<ShardedTbfServer>> Create(
+      std::shared_ptr<const CompleteHst> tree,
+      const ShardedServerOptions& options = {});
+
+  /// \brief Registers (or relocates) a worker at an obfuscated leaf.
+  /// Budget semantics match TbfServer: the charge happens first, and a
+  /// refused charge leaves any previous registration untouched.
+  Status RegisterWorker(const std::string& worker_id, const LeafPath& leaf,
+                        std::optional<double> declared_epsilon = std::nullopt);
+
+  /// \brief Removes an available worker from the pool.
+  Status UnregisterWorker(const std::string& worker_id);
+
+  /// \brief True when `worker_id` is currently registered and available.
+  bool IsRegistered(const std::string& worker_id) const;
+
+  /// \brief Submits a task; assigns and consumes the globally nearest
+  /// available worker (exact, across all shards).
+  Result<DispatchResult> SubmitTask(const std::string& task_id,
+                                    const LeafPath& leaf,
+                                    std::optional<double> declared_epsilon =
+                                        std::nullopt);
+
+  /// \brief Batch wrappers, item semantics identical to the single-call
+  /// API (TbfServer contract). Items are issued sequentially by the
+  /// calling thread; parallelism comes from *concurrent* callers (the
+  /// replay loop drives one caller per shard).
+  std::vector<Status> RegisterWorkers(const std::vector<LeafReport>& batch);
+  std::vector<BatchDispatchOutcome> SubmitTasks(
+      const std::vector<LeafReport>& batch);
+
+  /// \brief Rolls per-epoch budget accounting forward to `epoch` (no-op
+  /// without an epoch budget; going backwards fails).
+  Status BeginEpoch(int64_t epoch);
+
+  /// Number of workers currently available for assignment.
+  size_t available_workers() const {
+    return available_.load(std::memory_order_relaxed);
+  }
+
+  /// Total tasks assigned so far.
+  size_t assigned_tasks() const {
+    return assigned_tasks_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Size of the shared index-id pool (bounded by the peak pool
+  /// size, as in TbfServer — ids recycle through one free list across all
+  /// shards).
+  size_t index_id_pool_size() const;
+
+  /// Workers currently held by shard `shard` (monitoring).
+  size_t shard_size(int shard) const;
+
+  int num_shards() const { return router_.num_shards(); }
+  const ShardRouter& router() const { return router_; }
+  const CompleteHst& tree() const { return *tree_; }
+
+  /// The epoch/lifetime ledger, when budgeting is enabled (else nullptr).
+  /// Synchronize externally with concurrent operations before reading.
+  const EpochBudgetLedger* ledger() const { return ledger_.get(); }
+
+ private:
+  struct Shard {
+    Shard(int depth, int arity) : index(depth, arity) {}
+    mutable std::mutex mu;
+    HstAvailabilityIndex index;
+  };
+
+  struct WorkerState {
+    LeafPath leaf;
+    int index_id = -1;
+    int shard = -1;
+  };
+
+  // A candidate assignment discovered in some shard's index.
+  struct Candidate {
+    int shard;
+    int index_id;
+    int lca_level;
+  };
+
+  ShardedTbfServer(std::shared_ptr<const CompleteHst> tree,
+                   const ShardedServerOptions& options);
+
+  Status ChargeIfRequired(const std::string& user,
+                          std::optional<double> declared_epsilon);
+
+  // Shared id pool, guarded by pool_mu_ (TbfServer's exact recycling).
+  int AcquireIndexId(const std::string& worker_id);
+  void ReleaseIndexId(int index_id);
+
+  // Queries shard `shard` (its mutex must be held). Uses rng_ for
+  // uniform-random tie-breaking (K == 1 only, so the shard mutex also
+  // serializes the rng).
+  std::optional<std::pair<int, int>> QueryShard(int shard,
+                                                const LeafPath& leaf);
+
+  // Consumes `candidate` as the assignment of one task. Its shard's mutex
+  // must be held; takes pool_mu_ internally.
+  DispatchResult ConsumeCandidate(const Candidate& candidate);
+
+  std::shared_ptr<const CompleteHst> tree_;
+  ShardedServerOptions options_;
+  ShardRouter router_;
+  Rng rng_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex pool_mu_;
+  std::unordered_map<std::string, WorkerState> workers_;
+  std::vector<std::string> worker_by_index_id_;
+  std::vector<int> free_index_ids_;
+
+  std::mutex budget_mu_;
+  std::unique_ptr<EpochBudgetLedger> ledger_;
+
+  std::atomic<size_t> available_{0};
+  std::atomic<size_t> assigned_tasks_{0};
+};
+
+}  // namespace tbf

@@ -2,6 +2,7 @@
 
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "geo/bbox.h"
@@ -23,6 +24,31 @@ struct CaseStudyInstance {
   std::vector<Point> workers;
   std::vector<double> radii;  ///< reachable radius per worker
   std::vector<Point> tasks;
+};
+
+/// \brief Kinds of timestamped serving events (see serve/replay.h).
+enum class EventKind {
+  kWorkerArrival,   ///< a worker joins the pool at a true location
+  kTaskArrival,     ///< a task arrives and must be matched irrevocably
+  kWorkerDeparture, ///< a still-unmatched worker goes offline
+};
+
+/// \brief One timestamped event of an online serving trace. Locations are
+/// *true* coordinates — obfuscation happens inside the replay loop, on
+/// the client side of the trust boundary. `location` is meaningless for
+/// departures.
+struct TimedEvent {
+  double time = 0.0;  ///< event time, seconds (any epoch origin)
+  EventKind kind = EventKind::kWorkerArrival;
+  std::string id;     ///< worker/task id; departures name the worker
+  Point location;
+};
+
+/// \brief A full serving trace: region + events in nondecreasing time
+/// order (arrival order == index order for equal timestamps).
+struct EventTrace {
+  BBox region;
+  std::vector<TimedEvent> events;
 };
 
 /// \brief Rescales an instance into a [0, side]^2 coordinate frame.

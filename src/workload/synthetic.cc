@@ -64,4 +64,56 @@ Result<CaseStudyInstance> GenerateSyntheticCaseStudy(
   return instance;
 }
 
+Result<EventTrace> GenerateEventTrace(const SyntheticEventConfig& config) {
+  if (config.horizon_seconds <= 0) {
+    return Status::InvalidArgument("horizon_seconds <= 0");
+  }
+  if (config.worker_arrival_fraction <= 0 ||
+      config.worker_arrival_fraction > 1) {
+    return Status::InvalidArgument("worker_arrival_fraction outside (0, 1]");
+  }
+  if (config.departure_probability < 0 || config.departure_probability > 1) {
+    return Status::InvalidArgument("departure_probability outside [0, 1]");
+  }
+  TBF_ASSIGN_OR_RETURN(OnlineInstance base, GenerateSynthetic(config.base));
+  Rng time_rng = Rng(config.base.seed).Split(4);
+
+  EventTrace trace;
+  trace.region = base.region;
+  trace.events.reserve(base.workers.size() + base.tasks.size());
+  const double worker_window =
+      config.horizon_seconds * config.worker_arrival_fraction;
+  for (size_t w = 0; w < base.workers.size(); ++w) {
+    TimedEvent arrival;
+    arrival.time = time_rng.Uniform(0.0, worker_window);
+    arrival.kind = EventKind::kWorkerArrival;
+    arrival.id = "w" + std::to_string(w);
+    arrival.location = base.workers[w];
+    const bool departs = time_rng.Bernoulli(config.departure_probability);
+    const double depart_time =
+        departs ? time_rng.Uniform(arrival.time, config.horizon_seconds) : 0.0;
+    trace.events.push_back(std::move(arrival));
+    if (departs) {
+      TimedEvent departure;
+      departure.time = depart_time;
+      departure.kind = EventKind::kWorkerDeparture;
+      departure.id = "w" + std::to_string(w);
+      trace.events.push_back(std::move(departure));
+    }
+  }
+  for (size_t t = 0; t < base.tasks.size(); ++t) {
+    TimedEvent arrival;
+    arrival.time = time_rng.Uniform(0.0, config.horizon_seconds);
+    arrival.kind = EventKind::kTaskArrival;
+    arrival.id = "t" + std::to_string(t);
+    arrival.location = base.tasks[t];
+    trace.events.push_back(std::move(arrival));
+  }
+  std::stable_sort(trace.events.begin(), trace.events.end(),
+                   [](const TimedEvent& a, const TimedEvent& b) {
+                     return a.time < b.time;
+                   });
+  return trace;
+}
+
 }  // namespace tbf

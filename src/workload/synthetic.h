@@ -38,4 +38,23 @@ struct SyntheticCaseStudyConfig {
 Result<CaseStudyInstance> GenerateSyntheticCaseStudy(
     const SyntheticCaseStudyConfig& config);
 
+/// \brief Parameters of a timestamped serving trace (serve/replay.h).
+///
+/// Arrivals use the same spatial law as GenerateSynthetic. Worker arrival
+/// times are Uniform[0, horizon * worker_arrival_fraction) — the pool
+/// fills early so tasks, Uniform[0, horizon), usually find someone.
+/// Each worker independently departs with `departure_probability` at a
+/// time Uniform(arrival, horizon); departures of already-assigned workers
+/// are dropped by the replay loop, mirroring real churn.
+struct SyntheticEventConfig {
+  SyntheticConfig base;  ///< counts, spatial law and seed
+  double horizon_seconds = 600.0;
+  double worker_arrival_fraction = 0.5;
+  double departure_probability = 0.0;
+};
+
+/// \brief Generates an event trace with ids "w<k>" / "t<k>", sorted by
+/// time (stable: simultaneous events keep draw order).
+Result<EventTrace> GenerateEventTrace(const SyntheticEventConfig& config);
+
 }  // namespace tbf

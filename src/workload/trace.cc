@@ -1,9 +1,11 @@
 #include "workload/trace.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 #include "common/csv.h"
 
@@ -150,6 +152,136 @@ Result<OnlineInstance> ReadInstanceTrace(const std::string& text) {
   return instance;
 }
 
+Result<std::string> WriteEventTrace(const EventTrace& trace) {
+  std::ostringstream out;
+  EmitRegion(&out, trace.region);
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    const TimedEvent& event = trace.events[i];
+    // The schema is plain CSV with no quoting: refuse ids (and times) it
+    // cannot carry instead of emitting a file that will not read back.
+    if (event.id.empty() ||
+        event.id.find_first_of(",\n\r") != std::string::npos) {
+      return Status::InvalidArgument(
+          "event id unrepresentable in the CSV schema at event " +
+          std::to_string(i));
+    }
+    if (!std::isfinite(event.time)) {
+      return Status::InvalidArgument("non-finite event time at event " +
+                                     std::to_string(i));
+    }
+    out << "event," << FormatDouble(event.time) << ',';
+    switch (event.kind) {
+      case EventKind::kWorkerArrival:
+        out << "worker," << event.id << ',' << FormatDouble(event.location.x)
+            << ',' << FormatDouble(event.location.y);
+        break;
+      case EventKind::kTaskArrival:
+        out << "task," << event.id << ',' << FormatDouble(event.location.x)
+            << ',' << FormatDouble(event.location.y);
+        break;
+      case EventKind::kWorkerDeparture:
+        out << "depart," << event.id;
+        break;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Result<EventTrace> ReadEventTrace(const std::string& text) {
+  TBF_ASSIGN_OR_RETURN(auto rows, ParseCsv(text));
+  EventTrace trace;
+  bool has_region = false;
+  double last_time = 0.0;
+  bool any_event = false;
+  std::unordered_set<std::string> worker_ids;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.empty()) continue;
+    const std::string& kind = row[0];
+    if (kind == "region") {
+      if (row.size() != 5) {
+        return Status::InvalidArgument("region row needs 4 coordinates");
+      }
+      TBF_ASSIGN_OR_RETURN(double x0, ParseNumber(row[1], "min_x", r));
+      TBF_ASSIGN_OR_RETURN(double y0, ParseNumber(row[2], "min_y", r));
+      TBF_ASSIGN_OR_RETURN(double x1, ParseNumber(row[3], "max_x", r));
+      TBF_ASSIGN_OR_RETURN(double y1, ParseNumber(row[4], "max_y", r));
+      if (x1 <= x0 || y1 <= y0) {
+        return Status::InvalidArgument("region must have positive area");
+      }
+      trace.region = BBox(x0, y0, x1, y1);
+      has_region = true;
+    } else if (kind == "event") {
+      if (row.size() < 4) {
+        return Status::InvalidArgument("event row too short at row " +
+                                       std::to_string(r));
+      }
+      TimedEvent event;
+      TBF_ASSIGN_OR_RETURN(event.time, ParseNumber(row[1], "time", r));
+      // strtod happily parses "nan"/"inf"; both would poison the epoch
+      // arithmetic downstream (NaN also defeats the ordering check).
+      if (!std::isfinite(event.time)) {
+        return Status::InvalidArgument("non-finite event time at row " +
+                                       std::to_string(r));
+      }
+      if (any_event && event.time < last_time) {
+        return Status::InvalidArgument(
+            "event times must be nondecreasing (row " + std::to_string(r) +
+            ")");
+      }
+      const std::string& what = row[2];
+      if (what == "worker" || what == "task") {
+        if (row.size() != 6) {
+          return Status::InvalidArgument(
+              "arrival event needs time,kind,id,x,y at row " +
+              std::to_string(r));
+        }
+        event.kind = what == "worker" ? EventKind::kWorkerArrival
+                                      : EventKind::kTaskArrival;
+        event.id = row[3];
+        TBF_ASSIGN_OR_RETURN(event.location.x, ParseNumber(row[4], "x", r));
+        TBF_ASSIGN_OR_RETURN(event.location.y, ParseNumber(row[5], "y", r));
+        if (event.kind == EventKind::kWorkerArrival) worker_ids.insert(event.id);
+      } else if (what == "depart") {
+        if (row.size() != 4) {
+          return Status::InvalidArgument(
+              "depart event needs time,depart,id at row " + std::to_string(r));
+        }
+        event.kind = EventKind::kWorkerDeparture;
+        event.id = row[3];
+        if (worker_ids.count(event.id) == 0) {
+          return Status::InvalidArgument("departure of unknown worker '" +
+                                         event.id + "' at row " +
+                                         std::to_string(r));
+        }
+      } else {
+        return Status::InvalidArgument("unknown event kind '" + what +
+                                       "' at row " + std::to_string(r));
+      }
+      if (event.id.empty()) {
+        return Status::InvalidArgument("empty event id at row " +
+                                       std::to_string(r));
+      }
+      last_time = event.time;
+      any_event = true;
+      trace.events.push_back(std::move(event));
+    } else {
+      return Status::InvalidArgument("unknown row kind '" + kind +
+                                     "' in event trace at row " +
+                                     std::to_string(r));
+    }
+  }
+  if (!has_region) return Status::InvalidArgument("missing region row");
+  for (const TimedEvent& event : trace.events) {
+    if (event.kind != EventKind::kWorkerDeparture &&
+        !trace.region.Contains(event.location)) {
+      return Status::OutOfRange("event outside the declared region");
+    }
+  }
+  return trace;
+}
+
 Result<CaseStudyInstance> ReadCaseStudyTrace(const std::string& text) {
   TBF_ASSIGN_OR_RETURN(ParsedTrace trace, ParseTrace(text));
   if (trace.radii.size() != trace.workers.size()) {
@@ -193,6 +325,11 @@ Status WriteInstanceTraceFile(const CaseStudyInstance& instance,
   return WriteTextFile(WriteInstanceTrace(instance), path);
 }
 
+Status WriteEventTraceFile(const EventTrace& trace, const std::string& path) {
+  TBF_ASSIGN_OR_RETURN(std::string text, WriteEventTrace(trace));
+  return WriteTextFile(text, path);
+}
+
 Result<OnlineInstance> ReadInstanceTraceFile(const std::string& path) {
   TBF_ASSIGN_OR_RETURN(std::string text, ReadTextFile(path));
   return ReadInstanceTrace(text);
@@ -201,6 +338,11 @@ Result<OnlineInstance> ReadInstanceTraceFile(const std::string& path) {
 Result<CaseStudyInstance> ReadCaseStudyTraceFile(const std::string& path) {
   TBF_ASSIGN_OR_RETURN(std::string text, ReadTextFile(path));
   return ReadCaseStudyTrace(text);
+}
+
+Result<EventTrace> ReadEventTraceFile(const std::string& path) {
+  TBF_ASSIGN_OR_RETURN(std::string text, ReadTextFile(path));
+  return ReadEventTrace(text);
 }
 
 }  // namespace tbf

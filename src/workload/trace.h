@@ -14,6 +14,15 @@
 //   task,<x>,<y>
 // Rows appear in arrival order for tasks. The radius column makes the file
 // a CaseStudyInstance; files without radii load as OnlineInstance.
+//
+// Timestamped serving traces (consumed by the event-time replay loop,
+// serve/replay.h) use a third schema — a region row plus one row per
+// event, in nondecreasing time order:
+//   event,<time>,worker,<id>,<x>,<y>
+//   event,<time>,task,<id>,<x>,<y>
+//   event,<time>,depart,<id>
+// Ids are free-form strings without commas; worker and task ids live in
+// separate namespaces, but a depart row must name an earlier worker id.
 
 #pragma once
 
@@ -38,12 +47,25 @@ Result<OnlineInstance> ReadInstanceTrace(const std::string& text);
 /// \brief Parses a trace whose workers carry radii.
 Result<CaseStudyInstance> ReadCaseStudyTrace(const std::string& text);
 
+/// \brief Serializes a timestamped serving trace to the event CSV schema.
+/// Fails on ids the schema cannot carry (empty, or containing commas or
+/// newlines) and on non-finite timestamps, so a written trace always
+/// reads back.
+Result<std::string> WriteEventTrace(const EventTrace& trace);
+
+/// \brief Parses the event schema. Fails on malformed rows, missing
+/// region, non-finite or decreasing timestamps, out-of-region arrival
+/// coordinates, or departures of ids never seen as workers.
+Result<EventTrace> ReadEventTrace(const std::string& text);
+
 /// \brief File convenience wrappers.
 Status WriteInstanceTraceFile(const OnlineInstance& instance,
                               const std::string& path);
 Status WriteInstanceTraceFile(const CaseStudyInstance& instance,
                               const std::string& path);
+Status WriteEventTraceFile(const EventTrace& trace, const std::string& path);
 Result<OnlineInstance> ReadInstanceTraceFile(const std::string& path);
 Result<CaseStudyInstance> ReadCaseStudyTraceFile(const std::string& path);
+Result<EventTrace> ReadEventTraceFile(const std::string& path);
 
 }  // namespace tbf

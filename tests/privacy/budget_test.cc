@@ -83,5 +83,100 @@ TEST(LedgerDeathTest, RejectsBadLifetimeBudget) {
   EXPECT_DEATH(PrivacyBudgetLedger(0.0), "positive");
 }
 
+TEST(EpochLedgerTest, ExhaustedEpochBudgetRefusesUntilRollover) {
+  EpochBudgetLedger ledger(0.4);
+  EXPECT_TRUE(ledger.Charge("alice", 0.2).ok());
+  EXPECT_TRUE(ledger.Charge("alice", 0.2).ok());
+  Status refused = ledger.Charge("alice", 0.2);
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+  // A refused charge records nothing.
+  EXPECT_DOUBLE_EQ(ledger.SpentThisEpoch("alice"), 0.4);
+  EXPECT_DOUBLE_EQ(ledger.SpentLifetime("alice"), 0.4);
+  EXPECT_DOUBLE_EQ(ledger.RemainingThisEpoch("alice"), 0.0);
+  // Rollover restores the per-epoch headroom.
+  ledger.AdvanceEpoch();
+  EXPECT_EQ(ledger.epoch(), 1);
+  EXPECT_TRUE(ledger.Charge("alice", 0.2).ok());
+  EXPECT_DOUBLE_EQ(ledger.SpentThisEpoch("alice"), 0.2);
+  EXPECT_DOUBLE_EQ(ledger.SpentLifetime("alice"), 0.6);
+}
+
+TEST(EpochLedgerTest, LifetimeCapBindsAcrossEpochs) {
+  EpochBudgetLedger ledger(0.4, 0.6);
+  EXPECT_TRUE(ledger.Charge("bob", 0.4).ok());
+  ledger.AdvanceEpoch();
+  // Epoch headroom is 0.4, but the lifetime cap only admits 0.2 more.
+  EXPECT_NEAR(ledger.RemainingThisEpoch("bob"), 0.2, 1e-12);
+  EXPECT_FALSE(ledger.CanCharge("bob", 0.3));
+  EXPECT_FALSE(ledger.Charge("bob", 0.3).ok());
+  EXPECT_TRUE(ledger.Charge("bob", 0.2).ok());
+  ledger.AdvanceEpoch();
+  // Lifetime exhausted: no rollover can help.
+  EXPECT_EQ(ledger.Charge("bob", 0.1).code(), StatusCode::kFailedPrecondition);
+  EXPECT_DOUBLE_EQ(ledger.SpentLifetime("bob"), 0.6);
+}
+
+TEST(EpochLedgerTest, BeginEpochJumpsForwardButNeverBack) {
+  EpochBudgetLedger ledger(1.0);
+  ASSERT_TRUE(ledger.Charge("carol", 1.0).ok());
+  // Jump over empty epochs (replay traces have gaps).
+  EXPECT_TRUE(ledger.BeginEpoch(7).ok());
+  EXPECT_EQ(ledger.epoch(), 7);
+  EXPECT_DOUBLE_EQ(ledger.SpentThisEpoch("carol"), 0.0);
+  EXPECT_TRUE(ledger.Charge("carol", 1.0).ok());
+  // Re-entering the current epoch is a no-op, not a reset.
+  EXPECT_TRUE(ledger.BeginEpoch(7).ok());
+  EXPECT_DOUBLE_EQ(ledger.SpentThisEpoch("carol"), 1.0);
+  EXPECT_EQ(ledger.BeginEpoch(6).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EpochLedgerTest, UsersAndLedgersAreIsolated) {
+  // One ledger per shard must not cross-talk: exhausting a user on one
+  // ledger leaves the same user untouched on another, and users within a
+  // ledger are independent.
+  EpochBudgetLedger shard0(0.5);
+  EpochBudgetLedger shard1(0.5);
+  EXPECT_TRUE(shard0.Charge("u", 0.5).ok());
+  EXPECT_FALSE(shard0.CanCharge("u", 0.1));
+  EXPECT_TRUE(shard1.CanCharge("u", 0.5));
+  EXPECT_TRUE(shard1.Charge("u", 0.5).ok());
+  EXPECT_TRUE(shard0.Charge("v", 0.5).ok());
+  EXPECT_EQ(shard0.num_users(), 2u);
+  EXPECT_EQ(shard1.num_users(), 1u);
+  // Rollover on one ledger does not advance the other.
+  shard0.AdvanceEpoch();
+  EXPECT_EQ(shard0.epoch(), 1);
+  EXPECT_EQ(shard1.epoch(), 0);
+  EXPECT_TRUE(shard0.CanCharge("u", 0.5));
+  EXPECT_FALSE(shard1.CanCharge("u", 0.1));
+}
+
+TEST(EpochLedgerTest, ExactCapsAdmittedDespiteRounding) {
+  EpochBudgetLedger ledger(1.0, 2.0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ledger.Charge("dave", 0.2).ok()) << "report " << i;
+  }
+  EXPECT_FALSE(ledger.Charge("dave", 0.2).ok());
+  ledger.AdvanceEpoch();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ledger.Charge("dave", 0.2).ok()) << "report " << i;
+  }
+  // Lifetime cap reached exactly.
+  EXPECT_FALSE(ledger.CanCharge("dave", 0.2));
+}
+
+TEST(EpochLedgerTest, RejectsNonPositiveCharge) {
+  EpochBudgetLedger ledger(1.0);
+  EXPECT_EQ(ledger.Charge("eve", 0.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ledger.Charge("eve", -1.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(ledger.CanCharge("eve", 0.0));
+  EXPECT_EQ(ledger.num_users(), 0u);
+}
+
+TEST(EpochLedgerDeathTest, RejectsBadBudgets) {
+  EXPECT_DEATH(EpochBudgetLedger(0.0), "positive");
+  EXPECT_DEATH(EpochBudgetLedger(1.0, 0.0), "positive");
+}
+
 }  // namespace
 }  // namespace tbf

@@ -1,0 +1,257 @@
+#include "serve/replay.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "core/server.h"
+#include "geo/grid.h"
+#include "workload/synthetic.h"
+#include "workload/trace.h"
+
+namespace tbf {
+namespace {
+
+TbfFramework BuildFramework(double epsilon = 0.6, uint64_t seed = 7) {
+  Rng rng(seed);
+  auto grid = UniformGridPoints(BBox::Square(200), 8);
+  EXPECT_TRUE(grid.ok());
+  TbfOptions options;
+  options.epsilon = epsilon;
+  auto framework =
+      TbfFramework::Build(std::move(*grid), EuclideanMetric(), &rng, options);
+  EXPECT_TRUE(framework.ok());
+  return std::move(framework).MoveValueUnsafe();
+}
+
+EventTrace SmallTrace(int workers = 80, int tasks = 40,
+                      double departure_probability = 0.1,
+                      uint64_t seed = 5) {
+  SyntheticEventConfig config;
+  config.base.num_workers = workers;
+  config.base.num_tasks = tasks;
+  config.base.seed = seed;
+  config.horizon_seconds = 600.0;
+  config.departure_probability = departure_probability;
+  auto trace = GenerateEventTrace(config);
+  EXPECT_TRUE(trace.ok());
+  return std::move(trace).MoveValueUnsafe();
+}
+
+TEST(ReplayTest, ValidatesInput) {
+  TbfFramework framework = BuildFramework();
+  EventTrace trace = SmallTrace();
+  ReplayOptions options;
+  options.epoch_seconds = 0.0;
+  EXPECT_FALSE(RunEventReplay(framework, trace, options).ok());
+
+  EventTrace unsorted = trace;
+  std::swap(unsorted.events.front().time, unsorted.events.back().time);
+  EXPECT_FALSE(RunEventReplay(framework, unsorted, ReplayOptions{}).ok());
+
+  EventTrace empty;
+  empty.region = trace.region;
+  auto report = RunEventReplay(framework, empty, ReplayOptions{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->events, 0u);
+  EXPECT_EQ(report->epochs, 0u);
+}
+
+// The replay loop applied sequentially must reproduce, event for event,
+// what a hand-driven TbfServer sees when fed the same obfuscated reports:
+// the loop only adds epoching and sharding around the same online process.
+TEST(ReplayTest, SequentialReplayMatchesDirectServerDrive) {
+  TbfFramework framework = BuildFramework();
+  EventTrace trace = SmallTrace(100, 60, 0.15);
+
+  ReplayOptions options;
+  options.epoch_seconds = 45.0;
+  options.num_shards = 4;
+  options.threads = 1;
+  options.parallel_dispatch = false;
+  options.obfuscation_seed = 77;
+  auto report = RunEventReplay(framework, trace, options);
+  ASSERT_TRUE(report.ok());
+
+  // Hand-drive a plain TbfServer with the identical report stream.
+  auto server = TbfServer::Create(framework.tree_ptr());
+  ASSERT_TRUE(server.ok());
+  ThreadPool pool(1);
+  const Rng stream(options.obfuscation_seed);
+  std::vector<Point> locations;
+  for (const TimedEvent& event : trace.events) {
+    if (event.kind != EventKind::kWorkerDeparture) {
+      locations.push_back(event.location);
+    }
+  }
+  std::vector<LeafPath> reports =
+      framework.ObfuscateBatch(locations, stream, &pool);
+
+  size_t next_report = 0;
+  size_t next_task = 0;
+  size_t assigned = 0;
+  for (const TimedEvent& event : trace.events) {
+    switch (event.kind) {
+      case EventKind::kWorkerArrival:
+        ASSERT_TRUE(
+            server->RegisterWorker(event.id, reports[next_report++]).ok());
+        break;
+      case EventKind::kTaskArrival: {
+        auto dispatched = server->SubmitTask(event.id, reports[next_report++]);
+        ASSERT_TRUE(dispatched.ok());
+        const TaskOutcome& outcome = report->task_outcomes[next_task++];
+        EXPECT_EQ(outcome.task_id, event.id);
+        EXPECT_TRUE(outcome.status.ok());
+        ASSERT_EQ(outcome.worker, dispatched->worker) << event.id;
+        EXPECT_DOUBLE_EQ(outcome.reported_tree_distance,
+                         dispatched->reported_tree_distance);
+        if (dispatched->worker) ++assigned;
+        break;
+      }
+      case EventKind::kWorkerDeparture:
+        server->UnregisterWorker(event.id);  // NotFound == expected churn
+        break;
+    }
+  }
+  EXPECT_EQ(next_task, report->task_outcomes.size());
+  EXPECT_EQ(report->assigned, assigned);
+  EXPECT_EQ(report->available_workers_end, server->available_workers());
+}
+
+TEST(ReplayTest, OutcomeIsIndependentOfEpochLength) {
+  // Obfuscation forks at the global arrival index and sequential dispatch
+  // ignores window boundaries, so (without budgets) the epoch length must
+  // not change a single assignment.
+  TbfFramework framework = BuildFramework();
+  EventTrace trace = SmallTrace(90, 50, 0.1, 9);
+  ReplayOptions coarse;
+  coarse.epoch_seconds = 1e9;  // whole trace in one epoch
+  coarse.num_shards = 2;
+  ReplayOptions fine = coarse;
+  fine.epoch_seconds = 10.0;
+  auto a = RunEventReplay(framework, trace, coarse);
+  auto b = RunEventReplay(framework, trace, fine);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b->epochs, a->epochs);
+  ASSERT_EQ(a->task_outcomes.size(), b->task_outcomes.size());
+  for (size_t t = 0; t < a->task_outcomes.size(); ++t) {
+    EXPECT_EQ(a->task_outcomes[t].worker, b->task_outcomes[t].worker) << t;
+  }
+}
+
+TEST(ReplayTest, EpochStatsAddUp) {
+  TbfFramework framework = BuildFramework();
+  EventTrace trace = SmallTrace(70, 35, 0.2, 13);
+  ReplayOptions options;
+  options.epoch_seconds = 60.0;
+  options.num_shards = 3;
+  auto report = RunEventReplay(framework, trace, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->events, trace.events.size());
+  EXPECT_EQ(report->worker_arrivals + report->task_arrivals +
+                report->departures,
+            report->events);
+  size_t workers = 0, tasks = 0, departures = 0, assigned = 0;
+  int64_t last_epoch = -1;
+  for (const EpochStats& stats : report->per_epoch) {
+    EXPECT_GT(stats.epoch, last_epoch);  // strictly increasing windows
+    last_epoch = stats.epoch;
+    workers += stats.worker_arrivals;
+    tasks += stats.task_arrivals;
+    departures += stats.departures;
+    assigned += stats.assigned;
+  }
+  EXPECT_EQ(workers, report->worker_arrivals);
+  EXPECT_EQ(tasks, report->task_arrivals);
+  EXPECT_EQ(departures, report->departures);
+  EXPECT_EQ(assigned, report->assigned);
+  EXPECT_EQ(report->assigned + report->unassigned + report->denied,
+            report->task_arrivals);
+  EXPECT_GT(report->events_per_second, 0.0);
+}
+
+TEST(ReplayTest, ParallelDispatchKeepsMatchingValid) {
+  TbfFramework framework = BuildFramework();
+  EventTrace trace = SmallTrace(400, 250, 0.1, 17);
+  ReplayOptions options;
+  options.epoch_seconds = 30.0;
+  options.num_shards = 8;
+  options.threads = 8;
+  options.parallel_dispatch = true;
+  auto report = RunEventReplay(framework, trace, options);
+  ASSERT_TRUE(report.ok());
+  // Every assignment names a distinct worker, and the books balance.
+  std::set<std::string> assigned_workers;
+  size_t assigned = 0;
+  for (const TaskOutcome& outcome : report->task_outcomes) {
+    EXPECT_TRUE(outcome.status.ok());
+    if (!outcome.worker) continue;
+    EXPECT_TRUE(assigned_workers.insert(*outcome.worker).second)
+        << *outcome.worker << " assigned twice";
+    ++assigned;
+  }
+  EXPECT_EQ(assigned, report->assigned);
+  EXPECT_EQ(report->assigned + report->unassigned, report->task_arrivals);
+  EXPECT_EQ(report->available_workers_end + report->assigned +
+                report->departures - report->missed_departures,
+            report->worker_arrivals);
+}
+
+TEST(ReplayTest, EpochBudgetDeniesWithinWindowOnly) {
+  // Build a trace where the same worker re-reports three times in one
+  // window and once in the next: with a two-report epoch budget the third
+  // in-window report is denied, the next-window one is admitted.
+  TbfFramework framework = BuildFramework(0.4);
+  EventTrace trace;
+  trace.region = BBox::Square(200);
+  auto at = [&](double time, EventKind kind, const std::string& id) {
+    TimedEvent event;
+    event.time = time;
+    event.kind = kind;
+    event.id = id;
+    event.location = Point{100.0, 100.0};
+    trace.events.push_back(event);
+  };
+  at(0.0, EventKind::kWorkerArrival, "w");
+  at(1.0, EventKind::kWorkerArrival, "w");
+  at(2.0, EventKind::kWorkerArrival, "w");   // denied: epoch cap
+  at(70.0, EventKind::kWorkerArrival, "w");  // next epoch: admitted
+
+  ReplayOptions options;
+  options.epoch_seconds = 60.0;
+  options.epoch_budget = 2 * framework.epsilon() + 1e-9;
+  auto report = RunEventReplay(framework, trace, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->denied, 1u);
+  EXPECT_EQ(report->available_workers_end, 1u);
+  ASSERT_EQ(report->per_epoch.size(), 2u);
+  EXPECT_EQ(report->per_epoch[0].denied, 1u);
+  EXPECT_EQ(report->per_epoch[1].denied, 0u);
+}
+
+TEST(ReplayTest, EventTraceSurvivesCsvRoundTripIntoReplay) {
+  // The adoption path: external timestamped trace in, replay out.
+  TbfFramework framework = BuildFramework();
+  EventTrace trace = SmallTrace(60, 30, 0.25, 23);
+  auto written = WriteEventTrace(trace);
+  ASSERT_TRUE(written.ok());
+  auto loaded = ReadEventTrace(*written);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->events.size(), trace.events.size());
+  ReplayOptions options;
+  options.num_shards = 2;
+  auto direct = RunEventReplay(framework, trace, options);
+  auto via_csv = RunEventReplay(framework, *loaded, options);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(via_csv.ok());
+  ASSERT_EQ(direct->task_outcomes.size(), via_csv->task_outcomes.size());
+  for (size_t t = 0; t < direct->task_outcomes.size(); ++t) {
+    EXPECT_EQ(direct->task_outcomes[t].worker, via_csv->task_outcomes[t].worker);
+  }
+}
+
+}  // namespace
+}  // namespace tbf

@@ -1,0 +1,346 @@
+#include "serve/sharded_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/server.h"
+#include "geo/grid.h"
+
+namespace tbf {
+namespace {
+
+std::shared_ptr<const CompleteHst> BuildTree(uint64_t seed = 3) {
+  EuclideanMetric metric;
+  Rng rng(seed);
+  auto grid = UniformGridPoints(BBox::Square(100), 6);
+  auto tree = CompleteHst::BuildFromPoints(*grid, metric, &rng);
+  EXPECT_TRUE(tree.ok());
+  return std::make_shared<const CompleteHst>(std::move(tree).MoveValueUnsafe());
+}
+
+TEST(ShardedServerTest, CreateValidates) {
+  auto tree = BuildTree();
+  EXPECT_FALSE(ShardedTbfServer::Create(nullptr).ok());
+
+  ShardedServerOptions bad_budget;
+  bad_budget.lifetime_budget = 0.0;
+  EXPECT_FALSE(ShardedTbfServer::Create(tree, bad_budget).ok());
+  bad_budget.lifetime_budget = std::nullopt;
+  bad_budget.epoch_budget = -1.0;
+  EXPECT_FALSE(ShardedTbfServer::Create(tree, bad_budget).ok());
+
+  ShardedServerOptions bad_shards;
+  bad_shards.num_shards = 0;
+  EXPECT_FALSE(ShardedTbfServer::Create(tree, bad_shards).ok());
+  bad_shards.num_shards = 1 << 30;  // far beyond arity^depth
+  EXPECT_FALSE(ShardedTbfServer::Create(tree, bad_shards).ok());
+
+  ShardedServerOptions uniform_sharded;
+  uniform_sharded.tie_break = HstTieBreak::kUniformRandom;
+  uniform_sharded.num_shards = 2;
+  EXPECT_FALSE(ShardedTbfServer::Create(tree, uniform_sharded).ok());
+  uniform_sharded.num_shards = 1;
+  EXPECT_TRUE(ShardedTbfServer::Create(tree, uniform_sharded).ok());
+
+  ShardedServerOptions good;
+  good.num_shards = 8;
+  EXPECT_TRUE(ShardedTbfServer::Create(tree, good).ok());
+}
+
+// Replays an identical randomized churn script (registrations,
+// relocations, departures, submissions — budgeted or not) into a plain
+// TbfServer and a ShardedTbfServer, asserting draw-for-draw identical
+// behavior at every step. This is the golden equivalence contract: the
+// sharded engine is an implementation strategy, not a semantics change.
+void RunGoldenChurn(int num_shards, HstTieBreak tie_break,
+                    std::optional<double> lifetime_budget, uint64_t seed) {
+  auto tree = BuildTree();
+  TbfServerOptions single_options;
+  single_options.tie_break = tie_break;
+  single_options.seed = 99;
+  single_options.lifetime_budget = lifetime_budget;
+  auto single = TbfServer::Create(tree, single_options);
+  ASSERT_TRUE(single.ok());
+
+  ShardedServerOptions sharded_options;
+  sharded_options.num_shards = num_shards;
+  sharded_options.tie_break = tie_break;
+  sharded_options.seed = 99;
+  sharded_options.lifetime_budget = lifetime_budget;
+  auto sharded = ShardedTbfServer::Create(tree, sharded_options);
+  ASSERT_TRUE(sharded.ok());
+
+  const int depth = tree->depth();
+  const int arity = tree->arity();
+  Rng script(seed);
+  const std::optional<double> eps =
+      lifetime_budget ? std::optional<double>(0.3) : std::nullopt;
+  std::vector<std::string> known_workers;
+  int next_worker = 0;
+  for (int step = 0; step < 600; ++step) {
+    const int op = static_cast<int>(script.UniformInt(0, 9));
+    if (op < 4) {  // fresh registration
+      std::string id = "w" + std::to_string(next_worker++);
+      LeafPath leaf = RandomLeafPath(depth, arity, &script);
+      Status a = (*single).RegisterWorker(id, leaf, eps);
+      Status b = (*sharded)->RegisterWorker(id, leaf, eps);
+      ASSERT_EQ(a.code(), b.code()) << "step " << step;
+      if (a.ok()) known_workers.push_back(id);
+    } else if (op < 5 && !known_workers.empty()) {  // relocation
+      const std::string& id = known_workers[static_cast<size_t>(
+          script.UniformInt(0, static_cast<int64_t>(known_workers.size()) - 1))];
+      LeafPath leaf = RandomLeafPath(depth, arity, &script);
+      Status a = (*single).RegisterWorker(id, leaf, eps);
+      Status b = (*sharded)->RegisterWorker(id, leaf, eps);
+      ASSERT_EQ(a.code(), b.code()) << "step " << step;
+    } else if (op < 6 && !known_workers.empty()) {  // departure
+      const std::string& id = known_workers[static_cast<size_t>(
+          script.UniformInt(0, static_cast<int64_t>(known_workers.size()) - 1))];
+      Status a = (*single).UnregisterWorker(id);
+      Status b = (*sharded)->UnregisterWorker(id);
+      ASSERT_EQ(a.code(), b.code()) << "step " << step;
+    } else {  // task submission
+      std::string id = "t" + std::to_string(step);
+      LeafPath leaf = RandomLeafPath(depth, arity, &script);
+      auto a = (*single).SubmitTask(id, leaf, eps);
+      auto b = (*sharded)->SubmitTask(id, leaf, eps);
+      ASSERT_EQ(a.ok(), b.ok()) << "step " << step;
+      if (a.ok()) {
+        ASSERT_EQ(a->worker, b->worker) << "step " << step;
+        ASSERT_DOUBLE_EQ(a->reported_tree_distance, b->reported_tree_distance)
+            << "step " << step;
+      }
+    }
+    ASSERT_EQ((*single).available_workers(), (*sharded)->available_workers())
+        << "step " << step;
+    ASSERT_EQ((*single).assigned_tasks(), (*sharded)->assigned_tasks());
+    // The shared id pool recycles exactly like TbfServer's.
+    ASSERT_EQ((*single).index_id_pool_size(), (*sharded)->index_id_pool_size());
+  }
+  // The workers remaining available agree one by one.
+  for (const std::string& id : known_workers) {
+    EXPECT_EQ((*single).IsRegistered(id), (*sharded)->IsRegistered(id)) << id;
+  }
+}
+
+TEST(ShardedServerTest, GoldenEquivalenceSingleShard) {
+  RunGoldenChurn(1, HstTieBreak::kCanonical, std::nullopt, 5);
+}
+
+TEST(ShardedServerTest, GoldenEquivalenceSingleShardUniformTieBreak) {
+  // Uniform-random tie-breaking draws from the engine rng; at K = 1 the
+  // draw sequence must match TbfServer's exactly.
+  RunGoldenChurn(1, HstTieBreak::kUniformRandom, std::nullopt, 6);
+}
+
+TEST(ShardedServerTest, GoldenEquivalenceManyShards) {
+  for (int shards : {2, 3, 8}) {
+    RunGoldenChurn(shards, HstTieBreak::kCanonical, std::nullopt,
+                   100 + static_cast<uint64_t>(shards));
+  }
+}
+
+TEST(ShardedServerTest, GoldenEquivalenceManyShardsWithBudgets) {
+  RunGoldenChurn(4, HstTieBreak::kCanonical, 0.9, 21);
+}
+
+TEST(ShardedServerTest, CrossShardResolutionFindsTheGlobalNearest) {
+  // Construct a task whose home shard is empty: the engine must fan out
+  // and return the canonical nearest across the other shards, exactly as
+  // a global index would.
+  auto tree = BuildTree();
+  ShardedServerOptions options;
+  options.num_shards = tree->arity();  // prefix_depth == 1: shard == digit 0
+  auto server = ShardedTbfServer::Create(tree, options);
+  ASSERT_TRUE(server.ok());
+  auto single = TbfServer::Create(tree);
+  ASSERT_TRUE(single.ok());
+
+  const int depth = tree->depth();
+  const int arity = tree->arity();
+  Rng rng(31);
+  for (int w = 0; w < 40; ++w) {
+    LeafPath leaf = RandomLeafPath(depth, arity, &rng);
+    // Keep the whole pool out of subtree 0.
+    if (leaf[0] == 0) leaf[0] = 1;
+    std::string id = "w" + std::to_string(w);
+    ASSERT_TRUE((*server)->RegisterWorker(id, leaf).ok());
+    ASSERT_TRUE((*single).RegisterWorker(id, leaf).ok());
+  }
+  EXPECT_EQ((*server)->shard_size(0), 0u);
+  for (int t = 0; t < 40; ++t) {
+    LeafPath leaf = RandomLeafPath(depth, arity, &rng);
+    leaf[0] = 0;  // home shard 0 is empty: always the slow path
+    std::string id = "t" + std::to_string(t);
+    auto a = (*single).SubmitTask(id, leaf);
+    auto b = (*server)->SubmitTask(id, leaf);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->worker, b->worker) << "task " << t;
+  }
+}
+
+TEST(ShardedServerTest, ShardSizesPartitionThePool) {
+  auto tree = BuildTree();
+  ShardedServerOptions options;
+  options.num_shards = 5;
+  auto server = ShardedTbfServer::Create(tree, options);
+  ASSERT_TRUE(server.ok());
+  Rng rng(41);
+  for (int w = 0; w < 120; ++w) {
+    ASSERT_TRUE((*server)
+                    ->RegisterWorker("w" + std::to_string(w),
+                                     RandomLeafPath(tree->depth(),
+                                                    tree->arity(), &rng))
+                    .ok());
+  }
+  size_t total = 0;
+  for (int s = 0; s < 5; ++s) total += (*server)->shard_size(s);
+  EXPECT_EQ(total, 120u);
+  EXPECT_EQ((*server)->available_workers(), 120u);
+}
+
+TEST(ShardedServerTest, EpochBudgetRollsOverPerUser) {
+  auto tree = BuildTree();
+  ShardedServerOptions options;
+  options.epoch_budget = 0.4;
+  options.lifetime_budget = 1.0;
+  auto server = ShardedTbfServer::Create(tree, options);
+  ASSERT_TRUE(server.ok());
+  const LeafPath leaf = tree->leaf_of_point(0);
+
+  // Epoch 0: two reports of 0.2 fit, the third hits the epoch cap.
+  EXPECT_TRUE((*server)->RegisterWorker("w", leaf, 0.2).ok());
+  EXPECT_TRUE((*server)->RegisterWorker("w", leaf, 0.2).ok());
+  EXPECT_EQ((*server)->RegisterWorker("w", leaf, 0.2).code(),
+            StatusCode::kFailedPrecondition);
+  // The refused relocation left the previous registration intact.
+  EXPECT_TRUE((*server)->IsRegistered("w"));
+
+  // Epoch 1: headroom is back, but the lifetime cap keeps composing.
+  ASSERT_TRUE((*server)->BeginEpoch(1).ok());
+  EXPECT_TRUE((*server)->RegisterWorker("w", leaf, 0.4).ok());
+  ASSERT_TRUE((*server)->BeginEpoch(2).ok());
+  EXPECT_TRUE((*server)->RegisterWorker("w", leaf, 0.2).ok());
+  EXPECT_EQ((*server)->RegisterWorker("w", leaf, 0.2).code(),
+            StatusCode::kFailedPrecondition);  // lifetime 1.0 exhausted
+  EXPECT_EQ((*server)->BeginEpoch(1).code(), StatusCode::kInvalidArgument);
+
+  // Reports must declare an epsilon under enforcement.
+  EXPECT_EQ((*server)->RegisterWorker("x", leaf).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedServerTest, RejectsInvalidLeaves) {
+  auto tree = BuildTree();
+  ShardedServerOptions options;
+  options.num_shards = 4;
+  auto server = ShardedTbfServer::Create(tree, options);
+  ASSERT_TRUE(server.ok());
+  LeafPath short_leaf;
+  short_leaf.push_back(0);
+  EXPECT_FALSE((*server)->RegisterWorker("w", short_leaf).ok());
+  LeafPath bogus(static_cast<size_t>(tree->depth()),
+                 static_cast<char16_t>(tree->arity()));
+  EXPECT_FALSE((*server)->RegisterWorker("w", bogus).ok());
+  EXPECT_FALSE((*server)->SubmitTask("t", bogus).ok());
+  EXPECT_EQ((*server)->available_workers(), 0u);
+}
+
+TEST(ShardedServerTest, ConcurrentChurnKeepsInvariants) {
+  // Hammer the engine from several threads. The engine promises
+  // linearizable operations: every worker is assigned at most once, every
+  // dispatched worker was actually registered, and the final counters add
+  // up. (Exact assignments are interleaving-dependent here — determinism
+  // is a single-driver property.)
+  auto tree = BuildTree();
+  ShardedServerOptions options;
+  options.num_shards = 8;
+  auto server = ShardedTbfServer::Create(tree, options);
+  ASSERT_TRUE(server.ok());
+  ShardedTbfServer* engine = server->get();
+
+  const int kThreads = 8;
+  const int kWorkersPerThread = 300;
+  const int kTasksPerThread = 200;
+  const int depth = tree->depth();
+  const int arity = tree->arity();
+
+  std::vector<std::vector<std::string>> dispatched(
+      static_cast<size_t>(kThreads));
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int thread_index = 0; thread_index < kThreads; ++thread_index) {
+    threads.emplace_back([&, thread_index] {
+      Rng rng(1000 + static_cast<uint64_t>(thread_index));
+      const std::string prefix = "p" + std::to_string(thread_index) + "-";
+      // Registration wave (also relocates every 10th worker).
+      for (int w = 0; w < kWorkersPerThread; ++w) {
+        std::string id = prefix + "w" + std::to_string(w);
+        if (!engine->RegisterWorker(id, RandomLeafPath(depth, arity, &rng))
+                 .ok()) {
+          ++failures;
+        }
+        if (w % 10 == 0 &&
+            !engine->RegisterWorker(id, RandomLeafPath(depth, arity, &rng))
+                 .ok()) {
+          ++failures;
+        }
+      }
+      // Mixed wave: submissions racing departures.
+      for (int t = 0; t < kTasksPerThread; ++t) {
+        std::string id = prefix + "t" + std::to_string(t);
+        auto result = engine->SubmitTask(id, RandomLeafPath(depth, arity, &rng));
+        if (!result.ok()) {
+          ++failures;
+        } else if (result->worker) {
+          dispatched[static_cast<size_t>(thread_index)].push_back(
+              *result->worker);
+        }
+        if (t % 7 == 0) {
+          // Departure of a random own worker; NotFound (already assigned)
+          // is expected churn, anything else would be a bug.
+          std::string worker = prefix + "w" +
+                               std::to_string(rng.UniformInt(
+                                   0, kWorkersPerThread - 1));
+          Status status = engine->UnregisterWorker(worker);
+          if (!status.ok() && status.code() != StatusCode::kNotFound) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // No worker dispatched twice, and none of them is still registered.
+  std::set<std::string> all_dispatched;
+  size_t total_dispatched = 0;
+  for (const auto& lane : dispatched) {
+    for (const std::string& worker : lane) {
+      EXPECT_TRUE(all_dispatched.insert(worker).second)
+          << worker << " assigned twice";
+      EXPECT_FALSE(engine->IsRegistered(worker));
+      ++total_dispatched;
+    }
+  }
+  EXPECT_EQ(engine->assigned_tasks(), total_dispatched);
+  // Shard sizes still partition the pool.
+  size_t shard_total = 0;
+  for (int s = 0; s < engine->num_shards(); ++s) {
+    shard_total += engine->shard_size(s);
+  }
+  EXPECT_EQ(shard_total, engine->available_workers());
+  // The id pool stays bounded by the peak concurrent registrations.
+  EXPECT_LE(engine->index_id_pool_size(),
+            static_cast<size_t>(kThreads * kWorkersPerThread));
+}
+
+}  // namespace
+}  // namespace tbf

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 
 #include "matching/runner.h"
 #include "workload/synthetic.h"
@@ -100,6 +101,106 @@ TEST(TraceTest, FileRoundTrip) {
 TEST(TraceTest, MissingFileFails) {
   EXPECT_FALSE(ReadInstanceTraceFile("/no/such/trace.csv").ok());
   EXPECT_FALSE(ReadCaseStudyTraceFile("/no/such/trace.csv").ok());
+  EXPECT_FALSE(ReadEventTraceFile("/no/such/trace.csv").ok());
+}
+
+TEST(EventTraceTest, RoundTripPreservesEverything) {
+  SyntheticEventConfig config;
+  config.base.num_workers = 25;
+  config.base.num_tasks = 12;
+  config.departure_probability = 0.3;
+  auto original = GenerateEventTrace(config);
+  ASSERT_TRUE(original.ok());
+  auto written = WriteEventTrace(*original);
+  ASSERT_TRUE(written.ok());
+  auto loaded = ReadEventTrace(*written);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->events.size(), original->events.size());
+  for (size_t i = 0; i < original->events.size(); ++i) {
+    const TimedEvent& a = original->events[i];
+    const TimedEvent& b = loaded->events[i];
+    EXPECT_EQ(a.time, b.time) << i;
+    EXPECT_EQ(a.kind, b.kind) << i;
+    EXPECT_EQ(a.id, b.id) << i;
+    if (a.kind != EventKind::kWorkerDeparture) {
+      EXPECT_EQ(a.location.x, b.location.x) << i;
+      EXPECT_EQ(a.location.y, b.location.y) << i;
+    }
+  }
+}
+
+TEST(EventTraceTest, FileRoundTrip) {
+  SyntheticEventConfig config;
+  config.base.num_workers = 10;
+  config.base.num_tasks = 5;
+  auto original = GenerateEventTrace(config);
+  ASSERT_TRUE(original.ok());
+  std::string path = testing::TempDir() + "/tbf_events.csv";
+  ASSERT_TRUE(WriteEventTraceFile(*original, path).ok());
+  auto loaded = ReadEventTraceFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->events.size(), original->events.size());
+  std::remove(path.c_str());
+}
+
+TEST(EventTraceTest, RejectsMalformedInput) {
+  const std::string region = "region,0,0,200,200\n";
+  // Missing region.
+  EXPECT_FALSE(ReadEventTrace("event,0,worker,w0,1,1\n").ok());
+  // Decreasing timestamps.
+  EXPECT_FALSE(ReadEventTrace(region +
+                              "event,5,worker,w0,1,1\n"
+                              "event,4,task,t0,1,1\n")
+                   .ok());
+  // Unknown event kind.
+  EXPECT_FALSE(ReadEventTrace(region + "event,0,banana,x,1,1\n").ok());
+  // Arrival with missing coordinates.
+  EXPECT_FALSE(ReadEventTrace(region + "event,0,worker,w0,1\n").ok());
+  // Departure with coordinates.
+  EXPECT_FALSE(ReadEventTrace(region + "event,0,depart,w0,1,1\n").ok());
+  // Departure of an id never seen as a worker.
+  EXPECT_FALSE(ReadEventTrace(region + "event,0,depart,ghost\n").ok());
+  // Out-of-region arrival.
+  EXPECT_FALSE(ReadEventTrace(region + "event,0,task,t0,999,1\n").ok());
+  // Non-finite timestamps (strtod accepts "nan"/"inf"; the epoch
+  // arithmetic downstream must never see them).
+  EXPECT_FALSE(ReadEventTrace(region + "event,nan,task,t0,1,1\n").ok());
+  EXPECT_FALSE(ReadEventTrace(region + "event,inf,task,t0,1,1\n").ok());
+  // Instance rows do not belong in an event trace.
+  EXPECT_FALSE(ReadEventTrace(region + "worker,1,1\n").ok());
+  // Empty id.
+  EXPECT_FALSE(ReadEventTrace(region + "event,0,worker,,1,1\n").ok());
+  // The happy path for contrast.
+  auto ok = ReadEventTrace(region +
+                           "event,0,worker,w0,1,1\n"
+                           "event,1,task,t0,2,2\n"
+                           "event,1,depart,w0\n");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->events.size(), 3u);
+  EXPECT_EQ(ok->events[2].kind, EventKind::kWorkerDeparture);
+}
+
+TEST(EventTraceTest, WriteRefusesUnrepresentableEvents) {
+  // The schema is unquoted CSV: ids with commas (and non-finite times)
+  // must be refused at write time, not discovered at read time.
+  EventTrace trace;
+  trace.region = BBox::Square(10);
+  TimedEvent event;
+  event.kind = EventKind::kWorkerArrival;
+  event.location = Point{1, 1};
+  event.id = "a,b";
+  trace.events.push_back(event);
+  EXPECT_FALSE(WriteEventTrace(trace).ok());
+  trace.events[0].id = "";
+  EXPECT_FALSE(WriteEventTrace(trace).ok());
+  trace.events[0].id = "ok";
+  trace.events[0].time = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(WriteEventTrace(trace).ok());
+  trace.events[0].time = 1.0;
+  EXPECT_TRUE(WriteEventTrace(trace).ok());
+  std::string path = testing::TempDir() + "/tbf_bad_events.csv";
+  trace.events[0].id = "a,b";
+  EXPECT_FALSE(WriteEventTraceFile(trace, path).ok());
 }
 
 TEST(TraceTest, LoadedTraceRunsThroughPipeline) {
