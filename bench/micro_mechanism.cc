@@ -1,16 +1,56 @@
 // Microbenchmarks of the privacy mechanisms (google-benchmark):
 // the complexity claims of Sec. III-C/D — Alg. 2 enumerates O(c^D) leaves,
-// Alg. 3 walks O(D) — plus the planar Laplace baseline sampler.
+// Alg. 3 walks O(D) — plus the planar Laplace baseline sampler, the
+// code-native samplers (walk-vs-inverse-CDF and path-vs-code rows pair up
+// by identical depth/arity counters for BENCH JSON comparisons), and the
+// availability-index churn (packed insert/remove vs the LeafPath entry
+// point). The inverse-CDF row also audits the allocator: one sample must
+// never touch the heap.
 
 #include <benchmark/benchmark.h>
 
 #include "bench/json_main.h"
 
+#include <atomic>
+#include <cstdlib>
 #include <map>
+#include <new>
+#include <utility>
+#include <vector>
 
 #include "core/hst_mechanism.h"
 #include "geo/grid.h"
+#include "hst/hst_index.h"
 #include "privacy/planar_laplace.h"
+
+// Global allocation counter feeding the zero-allocation assertions below.
+// Replacing operator new in the benchmark binary counts every heap
+// allocation of the process; the audits only ever read deltas. GCC's
+// mismatch checker pairs the replacement delete with the *default* new and
+// warns spuriously — new and delete are replaced together here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+static std::atomic<size_t> g_alloc_count{0};
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
 
 namespace tbf {
 namespace {
@@ -78,6 +118,165 @@ void BM_ExactProbability(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExactProbability);
+
+// ------------------------- code-native sampler rows -----------------------
+// Exact (depth, arity) shapes via FromParts — the mechanism only reads the
+// shape and scale, so a handful of real points pins it precisely. The
+// acceptance shape of the fast path is depth 16, arity 4.
+
+const Setup& GetShapedSetup(int depth, int arity) {
+  static std::map<std::pair<int, int>, Setup>* cache =
+      new std::map<std::pair<int, int>, Setup>();
+  auto key = std::make_pair(depth, arity);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    std::vector<Point> points;
+    std::vector<LeafPath> paths;
+    for (int i = 0; i < 2; ++i) {
+      points.push_back({static_cast<double>(i), 0.0});
+      paths.push_back(LeafPath(static_cast<size_t>(depth),
+                               static_cast<char16_t>(i)));
+    }
+    auto tree = CompleteHst::FromParts(depth, arity, 1.0, std::move(points),
+                                       std::move(paths));
+    auto mech = HstMechanism::Build(*tree, 0.05);
+    it = cache
+             ->emplace(key, Setup{std::move(tree).MoveValueUnsafe(),
+                                  std::move(mech).MoveValueUnsafe()})
+             .first;
+  }
+  return it->second;
+}
+
+// Path-domain walk: the pre-existing serve-path cost (heap-allocated
+// LeafPath out, one Bernoulli per level + one UniformInt per digit).
+void BM_WalkObfuscatePath(benchmark::State& state) {
+  const Setup& setup = GetShapedSetup(static_cast<int>(state.range(0)),
+                                      static_cast<int>(state.range(1)));
+  Rng rng(1);
+  const LeafPath& x = setup.tree.leaf_of_point(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(setup.mechanism.Obfuscate(x, &rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["depth"] = setup.tree.depth();
+  state.counters["arity"] = setup.tree.arity();
+}
+BENCHMARK(BM_WalkObfuscatePath)->Args({16, 4})->Args({32, 2})->Args({10, 8});
+
+// Code-domain walk: same draw sequence, packed output (path-vs-code row).
+void BM_WalkObfuscateCode(benchmark::State& state) {
+  const Setup& setup = GetShapedSetup(static_cast<int>(state.range(0)),
+                                      static_cast<int>(state.range(1)));
+  Rng rng(1);
+  const LeafCode x =
+      setup.mechanism.codec()->Pack(setup.tree.leaf_of_point(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(setup.mechanism.ObfuscateCodeWalk(x, &rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["depth"] = setup.tree.depth();
+  state.counters["arity"] = setup.tree.arity();
+}
+BENCHMARK(BM_WalkObfuscateCode)->Args({16, 4})->Args({32, 2})->Args({10, 8});
+
+// Inverse-CDF fast path (walk-vs-inverse-CDF row), with the allocation
+// audit: 10k samples outside the timed loop must not allocate once.
+void BM_InverseCdfObfuscateCode(benchmark::State& state) {
+  const Setup& setup = GetShapedSetup(static_cast<int>(state.range(0)),
+                                      static_cast<int>(state.range(1)));
+  Rng rng(1);
+  const LeafCode x =
+      setup.mechanism.codec()->Pack(setup.tree.leaf_of_point(0));
+
+  const size_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    benchmark::DoNotOptimize(setup.mechanism.ObfuscateCode(x, &rng));
+  }
+  const size_t audit_allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  if (audit_allocs != 0) {
+    state.SkipWithError("ObfuscateCode allocated on the sampling path");
+    return;
+  }
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(setup.mechanism.ObfuscateCode(x, &rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["depth"] = setup.tree.depth();
+  state.counters["arity"] = setup.tree.arity();
+  state.counters["audit_allocs_per_10k"] = static_cast<double>(audit_allocs);
+}
+BENCHMARK(BM_InverseCdfObfuscateCode)
+    ->Args({16, 4})
+    ->Args({32, 2})
+    ->Args({10, 8});
+
+// --------------------------- index churn rows ------------------------------
+// Steady-state insert/remove churn of the availability index at the fast
+// path's shape: one worker leaves a leaf, another arrives elsewhere —
+// exactly what every assignment + re-registration costs the trie. The
+// packed row reads digits straight out of the code; the path row is the
+// LeafPath entry point (packs at the boundary).
+
+constexpr int kChurnItems = 4096;
+
+std::vector<LeafPath> ChurnLeaves(const Setup& setup, int count) {
+  Rng rng(42);
+  std::vector<LeafPath> leaves;
+  leaves.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    leaves.push_back(
+        RandomLeafPath(setup.tree.depth(), setup.tree.arity(), &rng));
+  }
+  return leaves;
+}
+
+void BM_IndexChurnPath(benchmark::State& state) {
+  const Setup& setup = GetShapedSetup(16, 4);
+  const std::vector<LeafPath> leaves = ChurnLeaves(setup, 2 * kChurnItems);
+  HstAvailabilityIndex index(setup.tree.depth(), setup.tree.arity());
+  for (int i = 0; i < kChurnItems; ++i) {
+    index.Insert(leaves[static_cast<size_t>(i)], i);
+  }
+  // Each pass moves every item between layout A (leaves[i]) and layout B
+  // (leaves[i + N]); alternating passes keep the books consistent forever.
+  size_t cursor = 0;
+  for (auto _ : state) {
+    const size_t i = cursor % kChurnItems;
+    const bool to_b = (cursor / kChurnItems) % 2 == 0;
+    index.Remove(leaves[to_b ? i : i + kChurnItems], static_cast<int>(i));
+    index.Insert(leaves[to_b ? i + kChurnItems : i], static_cast<int>(i));
+    ++cursor;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);  // one remove + one insert
+  state.counters["items"] = kChurnItems;
+}
+BENCHMARK(BM_IndexChurnPath);
+
+void BM_IndexChurnCode(benchmark::State& state) {
+  const Setup& setup = GetShapedSetup(16, 4);
+  const std::vector<LeafPath> leaves = ChurnLeaves(setup, 2 * kChurnItems);
+  HstAvailabilityIndex index(setup.tree.depth(), setup.tree.arity());
+  std::vector<LeafCode> codes;
+  codes.reserve(leaves.size());
+  for (const LeafPath& leaf : leaves) codes.push_back(index.codec()->Pack(leaf));
+  for (int i = 0; i < kChurnItems; ++i) {
+    index.Insert(codes[static_cast<size_t>(i)], i);
+  }
+  size_t cursor = 0;
+  for (auto _ : state) {
+    const size_t i = cursor % kChurnItems;
+    const bool to_b = (cursor / kChurnItems) % 2 == 0;
+    index.Remove(codes[to_b ? i : i + kChurnItems], static_cast<int>(i));
+    index.Insert(codes[to_b ? i + kChurnItems : i], static_cast<int>(i));
+    ++cursor;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  state.counters["items"] = kChurnItems;
+}
+BENCHMARK(BM_IndexChurnCode);
 
 // Baseline: planar Laplace sampling (Lambert W based inverse CDF).
 void BM_PlanarLaplace(benchmark::State& state) {

@@ -29,22 +29,17 @@ namespace {
 
 struct ServeWorkload {
   TbfFramework framework;
-  EventTrace trace;
+  const EventTrace* trace;  // stable address in GetTrace's never-freed cache
 };
 
 // Framework + trace are shared across iterations and shard counts: the
-// bench measures serving, not setup.
-const ServeWorkload& GetWorkload(int workers) {
-  static std::map<int, ServeWorkload>* cache = new std::map<int, ServeWorkload>;
+// bench measures serving, not setup. The sampler axis (0 = walk, 1 =
+// inverse-CDF) rebuilds only the framework; the trace is generated once
+// per worker count and shared by reference across sampler entries.
+const EventTrace& GetTrace(int workers) {
+  static std::map<int, EventTrace>* cache = new std::map<int, EventTrace>;
   auto it = cache->find(workers);
   if (it != cache->end()) return it->second;
-
-  Rng rng(3);
-  auto grid = UniformGridPoints(BBox::Square(200), 32);
-  TbfOptions options;
-  options.epsilon = 0.6;
-  auto framework = TbfFramework::Build(std::move(grid).MoveValueUnsafe(),
-                                       EuclideanMetric(), &rng, options);
 
   SyntheticEventConfig config;
   config.base.num_workers = workers;
@@ -53,17 +48,37 @@ const ServeWorkload& GetWorkload(int workers) {
   config.horizon_seconds = 600.0;
   config.departure_probability = 0.05;
   auto trace = GenerateEventTrace(config);
+  return cache->emplace(workers, std::move(trace).MoveValueUnsafe())
+      .first->second;
+}
+
+const ServeWorkload& GetWorkload(int workers, SamplerKind sampler) {
+  static std::map<std::pair<int, int>, ServeWorkload>* cache =
+      new std::map<std::pair<int, int>, ServeWorkload>;
+  const auto key = std::make_pair(workers, static_cast<int>(sampler));
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second;
+
+  Rng rng(3);
+  auto grid = UniformGridPoints(BBox::Square(200), 32);
+  TbfOptions options;
+  options.epsilon = 0.6;
+  options.sampler = sampler;
+  auto framework = TbfFramework::Build(std::move(grid).MoveValueUnsafe(),
+                                       EuclideanMetric(), &rng, options);
 
   auto inserted = cache->emplace(
-      workers, ServeWorkload{std::move(framework).MoveValueUnsafe(),
-                             std::move(trace).MoveValueUnsafe()});
+      key, ServeWorkload{std::move(framework).MoveValueUnsafe(),
+                         &GetTrace(workers)});
   return inserted.first->second;
 }
 
 void BM_ServeReplay(benchmark::State& state) {
   const int workers = static_cast<int>(state.range(0));
   const int shards = static_cast<int>(state.range(1));
-  const ServeWorkload& workload = GetWorkload(workers);
+  const SamplerKind sampler = state.range(2) == 0 ? SamplerKind::kWalk
+                                                  : SamplerKind::kInverseCdf;
+  const ServeWorkload& workload = GetWorkload(workers, sampler);
 
   ReplayOptions options;
   options.epoch_seconds = 30.0;
@@ -73,7 +88,7 @@ void BM_ServeReplay(benchmark::State& state) {
   size_t assigned = 0;
   size_t epochs = 0;
   for (auto _ : state) {
-    auto report = RunEventReplay(workload.framework, workload.trace, options);
+    auto report = RunEventReplay(workload.framework, *workload.trace, options);
     if (!report.ok()) {
       state.SkipWithError(report.status().ToString().c_str());
       return;
@@ -83,21 +98,30 @@ void BM_ServeReplay(benchmark::State& state) {
     benchmark::DoNotOptimize(report->events_per_second);
   }
   state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(workload.trace.events.size()));
+                          static_cast<int64_t>(workload.trace->events.size()));
   state.counters["shards"] = shards;
   state.counters["assigned"] = static_cast<double>(assigned);
   state.counters["epochs"] = static_cast<double>(epochs);
+  // Comparison fields: the serve path dispatches on packed LeafCodes end to
+  // end (code_native = 1 distinguishes this JSON from pre-fast-path
+  // artifacts); sampler 0 = Bernoulli walk, 1 = inverse-CDF single draw.
+  state.counters["code_native"] =
+      workload.framework.codec() != nullptr ? 1.0 : 0.0;
+  state.counters["sampler"] = static_cast<double>(state.range(2));
 }
 
 BENCHMARK(BM_ServeReplay)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()  // items_per_second from wall clock, not main-thread CPU
-    ->Args({10000, 1})
-    ->Args({10000, 8})
-    ->Args({100000, 1})
-    ->Args({100000, 2})
-    ->Args({100000, 4})
-    ->Args({100000, 8});
+    ->Args({10000, 1, 0})
+    ->Args({10000, 8, 0})
+    ->Args({100000, 1, 0})
+    ->Args({100000, 2, 0})
+    ->Args({100000, 4, 0})
+    ->Args({100000, 8, 0})
+    // Walk vs inverse-CDF, end to end at the 100k gate.
+    ->Args({100000, 1, 1})
+    ->Args({100000, 8, 1});
 
 }  // namespace
 }  // namespace tbf

@@ -20,13 +20,6 @@ uint64_t Mix(uint64_t x) {
 
 Rng::Rng(uint64_t seed) : seed_(seed), engine_(Mix(seed)) {}
 
-double Rng::Uniform01() {
-  // 53-bit mantissa resolution in [0, 1).
-  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
-}
-
-double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform01(); }
-
 int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
   std::uniform_int_distribution<int64_t> dist(lo, hi);
   return dist(engine_);
@@ -47,11 +40,6 @@ double Rng::Laplace(double scale) {
   double u = Uniform01() - 0.5;
   double sign = (u < 0) ? -1.0 : 1.0;
   return -scale * sign * std::log(1.0 - 2.0 * std::fabs(u));
-}
-
-bool Rng::Bernoulli(double p) {
-  p = std::clamp(p, 0.0, 1.0);
-  return Uniform01() < p;
 }
 
 std::vector<int> Rng::Permutation(int n) {
@@ -82,7 +70,5 @@ Rng Rng::ForkAt(uint64_t index) const {
   // Split(i) stream of the same parent.
   return Rng(Mix(seed_ ^ Mix(index + 0x6a09e667f3bcc909ULL)));
 }
-
-uint64_t Rng::NextU64() { return engine_(); }
 
 }  // namespace tbf

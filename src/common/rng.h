@@ -21,11 +21,18 @@ class Rng {
   /// Constructs a generator from a 64-bit seed.
   explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
+  // The leaf draw primitives are defined inline: the mechanism samplers
+  // spend a handful of nanoseconds per sample, and an out-of-line call per
+  // draw would dominate that budget. Values are identical either way.
+
   /// \brief Uniform double in [0, 1).
-  double Uniform01();
+  double Uniform01() {
+    // 53-bit mantissa resolution in [0, 1).
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
 
   /// \brief Uniform double in [lo, hi).
-  double Uniform(double lo, double hi);
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform01(); }
 
   /// \brief Uniform integer in [lo, hi] (inclusive bounds).
   int64_t UniformInt(int64_t lo, int64_t hi);
@@ -40,7 +47,11 @@ class Rng {
   double Laplace(double scale);
 
   /// \brief Bernoulli trial with success probability p (clamped to [0,1]).
-  bool Bernoulli(double p);
+  bool Bernoulli(double p) {
+    if (p < 0.0) p = 0.0;
+    if (p > 1.0) p = 1.0;
+    return Uniform01() < p;
+  }
 
   /// \brief Random permutation of {0, 1, ..., n-1}.
   std::vector<int> Permutation(int n);
@@ -70,7 +81,7 @@ class Rng {
   Rng ForkAt(uint64_t index) const;
 
   /// \brief Raw 64-bit draw.
-  uint64_t NextU64();
+  uint64_t NextU64() { return engine_(); }
 
   uint64_t seed() const { return seed_; }
 

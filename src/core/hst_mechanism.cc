@@ -64,7 +64,137 @@ Result<HstMechanism> HstMechanism::Build(const CompleteHst& tree, double epsilon
         m.log_upward_prefix_[static_cast<size_t>(i)] +
         std::log(m.upward_prob_[static_cast<size_t>(i)]);
   }
+
+  // Inverse-CDF table of the level marginal P(lvl <= k) for the fast
+  // sampler. The walk turns at level i with probability
+  // (prod_{j<i} pu_j)(1 - pu_i) = |L_i| wt_i / WT = LevelProbability(i)
+  // (Theorem 2), so one Uniform01 against this table replaces up to D
+  // Bernoulli draws. The last entry is clamped to 1 so a draw can never
+  // fall past the table through rounding.
+  m.cum_level_prob_.resize(static_cast<size_t>(depth) + 1);
+  double cum = 0.0;
+  for (int i = 0; i <= depth; ++i) {
+    cum += std::exp(m.log_level_total_[static_cast<size_t>(i)] -
+                    m.log_total_weight_);
+    m.cum_level_prob_[static_cast<size_t>(i)] = cum;
+  }
+  m.cum_level_prob_[static_cast<size_t>(depth)] =
+      std::max(m.cum_level_prob_[static_cast<size_t>(depth)], 1.0);
+
+  // Guide table accelerating the inverse-CDF lookup: bucket g covers
+  // u in [g/G, (g+1)/G) and level_guide_[g] is the smallest level whose
+  // cum exceeds the bucket's left edge, so a draw costs one multiply plus
+  // a scan of only the levels whose cum falls inside its bucket (usually
+  // none) — no data-dependent branch mispredicts from a binary search.
+  m.level_guide_.resize(kGuideSize);
+  int level = 0;
+  for (int g = 0; g < kGuideSize; ++g) {
+    const double edge = static_cast<double>(g) / kGuideSize;
+    while (level < depth &&
+           m.cum_level_prob_[static_cast<size_t>(level)] <= edge) {
+      ++level;
+    }
+    m.level_guide_[static_cast<size_t>(g)] = level;
+  }
+
+  m.pow2_arity_ = (m.arity_ & (m.arity_ - 1)) == 0;
+  if (LeafCodec::Fits(depth, m.arity_)) m.codec_.emplace(depth, m.arity_);
   return m;
+}
+
+int HstMechanism::TurnLevelFromUniform(double u) const {
+  // Indexed inverse CDF: the guide entry is exact for the bucket's left
+  // edge, so only levels whose cum crosses inside the bucket are scanned —
+  // in expectation (D + 1) / G extra steps, i.e. none for every realistic
+  // depth. Result identical to std::upper_bound (verified by tests).
+  int level =
+      level_guide_[static_cast<size_t>(u * kGuideSize)];
+  const double* cum = cum_level_prob_.data();
+  while (level < depth_ && cum[level] <= u) ++level;
+  return level;
+}
+
+namespace {
+
+// Rejection-free remap of `spare` uniform random bits onto [0, m): the
+// widening multiply-shift keeps the bias below m / 2^spare, which at the
+// >= 32 spare bits used here sits ~10 orders of magnitude under what any
+// statistical test in the suite could resolve.
+inline int RemapBits(uint64_t random_bits, int m, int spare) {
+  return static_cast<int>((random_bits * static_cast<uint64_t>(m)) >>
+                          spare);
+}
+
+inline int RemapWord(uint64_t word, int m) {
+  return static_cast<int>(
+      (static_cast<unsigned __int128>(word) * static_cast<uint64_t>(m)) >> 64);
+}
+
+}  // namespace
+
+LeafCode HstMechanism::ObfuscateCode(LeafCode truth, Rng* rng) const {
+  TBF_CHECK(codec_) << "tree shape exceeds packed-code capacity";
+  const int level = TurnLevelFromUniform(rng->Uniform01());
+  if (level == 0) return truth;  // LCA at the leaf: output x itself
+
+  // The first rewritten digit must leave the truth's subtree (uniform over
+  // the other c-1 children); every digit below it is uniform in [0, c).
+  const int first = depth_ - level;
+  const int old_digit = codec_->Digit(truth, first);
+  const int suffix_digits = level - 1;
+
+  if (pow2_arity_ && suffix_digits > 0) {
+    // Power-of-two arity: every bits_-wide field of one random word is an
+    // exact uniform digit, so the whole suffix (at most 64 - bits_ bits,
+    // since depth * bits_ <= 64) fills by a single shift/mask. When the
+    // word's unused high bits can carry the first-digit remap too, the
+    // entire rewrite costs one rng draw; only suffixes within 32 bits of
+    // the full word draw a second word for the remap.
+    const int bits = codec_->bits_per_digit();
+    const int suffix_bits = bits * suffix_digits;
+    const int spare = 64 - suffix_bits;
+    const uint64_t word = rng->NextU64();
+    int pick = spare >= 32 ? RemapBits(word >> suffix_bits, arity_ - 1, spare)
+                           : RemapWord(rng->NextU64(), arity_ - 1);
+    if (pick >= old_digit) ++pick;
+    LeafCode out = codec_->WithDigit(truth, first, pick);
+    const int low = 64 - bits * depth_;  // unused bits below the last digit
+    const uint64_t suffix_mask = ((uint64_t{1} << suffix_bits) - 1) << low;
+    return (out & ~suffix_mask) | ((word << low) & suffix_mask);
+  }
+
+  int pick = RemapWord(rng->NextU64(), arity_ - 1);
+  if (pick >= old_digit) ++pick;
+  LeafCode out = codec_->WithDigit(truth, first, pick);
+  // Non-power-of-two arity: masked fields would be biased, so draw one
+  // UniformInt per suffix digit (still allocation-free).
+  for (int pos = first + 1; pos < depth_; ++pos) {
+    out = codec_->WithDigit(
+        out, pos, static_cast<int>(rng->UniformInt(0, arity_ - 1)));
+  }
+  return out;
+}
+
+LeafCode HstMechanism::ObfuscateCodeWalk(LeafCode truth, Rng* rng) const {
+  TBF_CHECK(codec_) << "tree shape exceeds packed-code capacity";
+  // Exactly Obfuscate's draw sequence, digit for digit, on the packed word.
+  int turn_level = 0;
+  while (turn_level <= depth_ &&
+         rng->Bernoulli(upward_prob_[static_cast<size_t>(turn_level)])) {
+    ++turn_level;
+  }
+  if (turn_level == 0) return truth;
+
+  const int first = depth_ - turn_level;
+  const int old_digit = codec_->Digit(truth, first);
+  int pick = static_cast<int>(rng->UniformInt(0, arity_ - 2));
+  if (pick >= old_digit) ++pick;
+  LeafCode out = codec_->WithDigit(truth, first, pick);
+  for (int pos = first + 1; pos < depth_; ++pos) {
+    out = codec_->WithDigit(out, pos,
+                            static_cast<int>(rng->UniformInt(0, arity_ - 1)));
+  }
+  return out;
 }
 
 LeafPath HstMechanism::Obfuscate(const LeafPath& truth, Rng* rng) const {
@@ -110,6 +240,16 @@ double HstMechanism::LogProbability(const LeafPath& x, const LeafPath& z) const 
 }
 
 double HstMechanism::Probability(const LeafPath& x, const LeafPath& z) const {
+  return std::exp(LogProbability(x, z));
+}
+
+double HstMechanism::LogProbability(LeafCode x, LeafCode z) const {
+  TBF_CHECK(codec_) << "tree shape exceeds packed-code capacity";
+  const int level = codec_->LcaLevel(x, z);
+  return log_weight_[static_cast<size_t>(level)] - log_total_weight_;
+}
+
+double HstMechanism::Probability(LeafCode x, LeafCode z) const {
   return std::exp(LogProbability(x, z));
 }
 

@@ -6,27 +6,47 @@
 //   WT   = wt_0 + sum_{i=1..D} c^{i-1} (c-1) wt_i.
 // Theorem 1: this is eps-Geo-Indistinguishable w.r.t. the tree metric.
 //
-// Two samplers are provided:
-//   * SampleNaive  — Algorithm 2: enumerates all c^D leaves, O(c^D); only
+// Three samplers are provided, all drawing the identical distribution:
+//   * SampleNaive    — Algorithm 2: enumerates all c^D leaves, O(c^D); only
 //     feasible for small trees, kept as the reference for tests.
-//   * Obfuscate    — Algorithm 3: the random-walk sampler, O(D); proven
-//     (Theorem 2, re-verified by tests here) to produce the identical
-//     distribution.
+//   * Obfuscate      — Algorithm 3: the random-walk sampler, O(D) Bernoulli
+//     draws; proven (Theorem 2, re-verified by tests here) to produce the
+//     identical distribution. ObfuscateCodeWalk is the same walk operating
+//     on packed LeafCodes, draw-for-draw identical.
+//   * ObfuscateCode  — the serving fast path: one Uniform01() inverse-CDF
+//     draw against the precomputed level marginal (binary search over a
+//     cumulative table), then the suffix digits of the packed code are
+//     rewritten in place — for power-of-two arity from a single 64-bit
+//     random word with shift/mask, so a sample costs O(log D) + O(1) rng
+//     draws and zero heap allocations at any depth.
 //
 // All probability math is in log space: wt_i underflows double by level ~6
 // at eps_T = 1, but log wt_i is exact at any depth.
 
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
 #include "hst/complete_hst.h"
+#include "hst/leaf_code.h"
 #include "hst/leaf_path.h"
 #include "privacy/mechanism.h"
 
 namespace tbf {
+
+/// \brief Which sampler implementation draws mechanism outputs on the
+/// batched/serving paths (the LeafPath Obfuscate always walks).
+enum class SamplerKind {
+  /// Algorithm 3 Bernoulli walk — the golden reference; default, so every
+  /// existing golden/churn fixture keeps its draw sequence.
+  kWalk,
+  /// Single-draw inverse-CDF over the level marginal on packed codes —
+  /// same distribution, O(1) rng draws per sample (chi-square verified).
+  kInverseCdf,
+};
 
 /// \brief eps-Geo-I mechanism over the leaves of a complete c-ary HST.
 ///
@@ -46,6 +66,26 @@ class HstMechanism final : public LeafMechanism {
   /// \brief Algorithm 3: random-walk sampling, O(D).
   LeafPath Obfuscate(const LeafPath& truth, Rng* rng) const override;
 
+  /// \brief Fast sampler on packed codes: one Uniform01() picks the LCA
+  /// ("turn") level by inverse CDF over the precomputed level marginal,
+  /// then the suffix digits are rewritten directly in the 64-bit word (for
+  /// power-of-two arity from one extra random word). Same distribution as
+  /// Obfuscate (chi-square + marginal tests), O(1) rng draws, no
+  /// allocations. Requires codec() != nullptr (CHECKed).
+  LeafCode ObfuscateCode(LeafCode truth, Rng* rng) const;
+
+  /// \brief Algorithm 3 on packed codes: consumes exactly the same rng
+  /// draws as Obfuscate on the unpacked path, so for any seed
+  /// ObfuscateCodeWalk(Pack(x)) == Pack(Obfuscate(x)) — the golden
+  /// reference identity the serve pipeline leans on. Requires codec().
+  LeafCode ObfuscateCodeWalk(LeafCode truth, Rng* rng) const;
+
+  /// \brief Dispatches to ObfuscateCodeWalk or ObfuscateCode by `kind`.
+  LeafCode ObfuscateCodeWith(LeafCode truth, Rng* rng, SamplerKind kind) const {
+    return kind == SamplerKind::kWalk ? ObfuscateCodeWalk(truth, rng)
+                                      : ObfuscateCode(truth, rng);
+  }
+
   /// \brief Algorithm 2: enumerate-all-leaves sampling, O(c^D).
   /// Fails when the complete tree has more than `max_leaves` leaves.
   Result<LeafPath> SampleNaive(const LeafPath& truth, Rng* rng,
@@ -56,6 +96,10 @@ class HstMechanism final : public LeafMechanism {
 
   /// \brief Exact M(x)(z).
   double Probability(const LeafPath& x, const LeafPath& z) const;
+
+  /// \brief Exact M(x)(z) on packed codes (codec() must be non-null).
+  double LogProbability(LeafCode x, LeafCode z) const;
+  double Probability(LeafCode x, LeafCode z) const;
 
   /// \brief Probability that the output's LCA with the truth is at `level`
   /// (aggregated over the whole sibling set L_level): |L_i| * wt_i / WT.
@@ -89,13 +133,25 @@ class HstMechanism final : public LeafMechanism {
   int depth() const { return depth_; }
   int arity() const { return arity_; }
 
+  /// \brief Codec of the packed-code sampler API, or nullptr when the tree
+  /// shape exceeds 64 bits (then only the LeafPath samplers are usable).
+  const LeafCodec* codec() const { return codec_ ? &*codec_ : nullptr; }
+
   std::string Name() const override { return "hst-mechanism"; }
 
  private:
   HstMechanism() = default;
 
+  // Buckets of the inverse-CDF guide table (power of two: u * kGuideSize
+  // compiles to a multiply).
+  static constexpr int kGuideSize = 256;
+
+  // Turn level of the fast sampler: smallest k with cum_level_prob_[k] > u.
+  int TurnLevelFromUniform(double u) const;
+
   int depth_ = 0;
   int arity_ = 2;
+  bool pow2_arity_ = false;
   double epsilon_metric_ = 0.0;
   double epsilon_tree_ = 0.0;
   std::vector<double> log_weight_;       // log wt_i, i in [0, D]
@@ -103,7 +159,10 @@ class HstMechanism final : public LeafMechanism {
   std::vector<double> log_tail_weight_;  // log tw_k, k in [0, D+1] (last = -inf)
   std::vector<double> upward_prob_;      // pu_i, i in [0, D]
   std::vector<double> log_upward_prefix_;  // sum_{j<i} log pu_j, i in [0, D]
+  std::vector<double> cum_level_prob_;   // inverse-CDF table over levels
+  std::vector<int> level_guide_;         // bucket -> first candidate level
   double log_total_weight_ = 0.0;        // log WT
+  std::optional<LeafCodec> codec_;       // set when the shape fits 64 bits
 };
 
 }  // namespace tbf

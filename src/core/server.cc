@@ -1,5 +1,7 @@
 #include "core/server.h"
 
+#include <type_traits>
+
 namespace tbf {
 
 Result<TbfServer> TbfServer::Create(std::shared_ptr<const CompleteHst> tree,
@@ -17,6 +19,7 @@ TbfServer::TbfServer(std::shared_ptr<const CompleteHst> tree,
       options_(options),
       index_(tree_->depth(), tree_->arity()),
       rng_(options.seed) {
+  packed_ = tree_->codec() != nullptr;
   if (options_.lifetime_budget) {
     ledger_ = std::make_unique<PrivacyBudgetLedger>(*options_.lifetime_budget);
   }
@@ -29,6 +32,30 @@ Status ValidateReportedLeaf(const CompleteHst& tree, const LeafPath& leaf) {
   for (char16_t digit : leaf) {
     if (static_cast<int>(digit) >= tree.arity()) {
       return Status::InvalidArgument("leaf digit exceeds the published arity");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateReportedLeafCode(const CompleteHst& tree, LeafCode code) {
+  const LeafCodec* codec = tree.codec();
+  if (codec == nullptr) {
+    return Status::InvalidArgument(
+        "published tree has no packed-code codec; report a leaf path");
+  }
+  // Bits below the last digit must be zero, or two distinct codes could
+  // name the same leaf and canonical comparisons would drift.
+  const int low = 64 - codec->bits_per_digit() * codec->depth();
+  if (low > 0 && (code & ((uint64_t{1} << low) - 1)) != 0) {
+    return Status::InvalidArgument("leaf code has stray bits below the leaf");
+  }
+  // For power-of-two arity every digit field value is a valid digit;
+  // otherwise each field must be range-checked.
+  if ((tree.arity() & (tree.arity() - 1)) != 0) {
+    for (int j = 0; j < codec->depth(); ++j) {
+      if (codec->Digit(code, j) >= tree.arity()) {
+        return Status::InvalidArgument("leaf code digit exceeds the published arity");
+      }
     }
   }
   return Status::OK();
@@ -61,54 +88,105 @@ void TbfServer::ReleaseIndexId(int index_id) {
   free_index_ids_.push_back(index_id);
 }
 
+template <typename Key>
+Status TbfServer::RegisterImpl(const std::string& worker_id, const Key& key,
+                               std::optional<double> declared_epsilon) {
+  // Charge first: a refused charge must leave the pool untouched.
+  TBF_RETURN_NOT_OK(ChargeIfRequired(worker_id, declared_epsilon));
+  constexpr bool kPacked = std::is_same_v<Key, LeafCode>;
+  auto it = workers_.find(worker_id);
+  if (it != workers_.end()) {
+    // Relocation: drop the old report before inserting the new one.
+    if constexpr (kPacked) {
+      index_.Remove(it->second.code, it->second.index_id);
+    } else {
+      index_.Remove(it->second.leaf, it->second.index_id);
+    }
+    ReleaseIndexId(it->second.index_id);
+  }
+  const int index_id = AcquireIndexId(worker_id);
+  index_.Insert(key, index_id);
+  WorkerState& state = workers_[worker_id];
+  if constexpr (kPacked) {
+    state.code = key;
+  } else {
+    state.leaf = key;
+  }
+  state.index_id = index_id;
+  return Status::OK();
+}
+
 Status TbfServer::RegisterWorker(const std::string& worker_id,
                                  const LeafPath& leaf,
                                  std::optional<double> declared_epsilon) {
   TBF_RETURN_NOT_OK(ValidateReportedLeaf(*tree_, leaf));
-  // Charge first: a refused charge must leave the pool untouched.
-  TBF_RETURN_NOT_OK(ChargeIfRequired(worker_id, declared_epsilon));
-  auto it = workers_.find(worker_id);
-  if (it != workers_.end()) {
-    // Relocation: drop the old report before inserting the new one.
-    index_.Remove(it->second.leaf, it->second.index_id);
-    ReleaseIndexId(it->second.index_id);
+  if (packed_) {
+    return RegisterImpl(worker_id, tree_->codec()->Pack(leaf), declared_epsilon);
   }
-  const int index_id = AcquireIndexId(worker_id);
-  index_.Insert(leaf, index_id);
-  workers_[worker_id] = WorkerState{leaf, index_id};
-  return Status::OK();
+  return RegisterImpl(worker_id, leaf, declared_epsilon);
+}
+
+Status TbfServer::RegisterWorker(const std::string& worker_id, LeafCode code,
+                                 std::optional<double> declared_epsilon) {
+  TBF_RETURN_NOT_OK(ValidateReportedLeafCode(*tree_, code));
+  return RegisterImpl(worker_id, code, declared_epsilon);
 }
 
 Status TbfServer::UnregisterWorker(const std::string& worker_id) {
   auto it = workers_.find(worker_id);
   if (it == workers_.end()) return Status::NotFound("unknown worker " + worker_id);
-  index_.Remove(it->second.leaf, it->second.index_id);
+  if (packed_) {
+    index_.Remove(it->second.code, it->second.index_id);
+  } else {
+    index_.Remove(it->second.leaf, it->second.index_id);
+  }
   ReleaseIndexId(it->second.index_id);
   workers_.erase(it);
   return Status::OK();
 }
 
-Result<DispatchResult> TbfServer::SubmitTask(
-    const std::string& task_id, const LeafPath& leaf,
+template <typename Key>
+Result<DispatchResult> TbfServer::SubmitImpl(
+    const std::string& task_id, const Key& key,
     std::optional<double> declared_epsilon) {
-  TBF_RETURN_NOT_OK(ValidateReportedLeaf(*tree_, leaf));
   TBF_RETURN_NOT_OK(ChargeIfRequired(task_id, declared_epsilon));
   DispatchResult result;
   auto nearest = options_.tie_break == HstTieBreak::kCanonical
-                     ? index_.Nearest(leaf)
-                     : index_.NearestUniform(leaf, &rng_);
+                     ? index_.Nearest(key)
+                     : index_.NearestUniform(key, &rng_);
   if (!nearest) return result;  // no worker available: task unassigned
 
   const std::string worker_id =
       worker_by_index_id_[static_cast<size_t>(nearest->first)];
   const WorkerState& state = workers_.at(worker_id);
-  index_.Remove(state.leaf, state.index_id);
+  if constexpr (std::is_same_v<Key, LeafCode>) {
+    index_.Remove(state.code, state.index_id);
+  } else {
+    index_.Remove(state.leaf, state.index_id);
+  }
   ReleaseIndexId(state.index_id);
   workers_.erase(worker_id);  // assigned: must register anew to serve again
   result.worker = worker_id;
   result.reported_tree_distance = tree_->TreeDistanceForLcaLevel(nearest->second);
   ++assigned_tasks_;
   return result;
+}
+
+Result<DispatchResult> TbfServer::SubmitTask(
+    const std::string& task_id, const LeafPath& leaf,
+    std::optional<double> declared_epsilon) {
+  TBF_RETURN_NOT_OK(ValidateReportedLeaf(*tree_, leaf));
+  if (packed_) {
+    return SubmitImpl(task_id, tree_->codec()->Pack(leaf), declared_epsilon);
+  }
+  return SubmitImpl(task_id, leaf, declared_epsilon);
+}
+
+Result<DispatchResult> TbfServer::SubmitTask(
+    const std::string& task_id, LeafCode code,
+    std::optional<double> declared_epsilon) {
+  TBF_RETURN_NOT_OK(ValidateReportedLeafCode(*tree_, code));
+  return SubmitImpl(task_id, code, declared_epsilon);
 }
 
 std::vector<Status> TbfServer::RegisterWorkers(
@@ -130,6 +208,35 @@ std::vector<BatchDispatchOutcome> TbfServer::SubmitTasks(
     BatchDispatchOutcome outcome;
     Result<DispatchResult> dispatched =
         SubmitTask(report.user_id, report.leaf, report.declared_epsilon);
+    if (dispatched.ok()) {
+      outcome.result = std::move(dispatched).MoveValueUnsafe();
+    } else {
+      outcome.status = dispatched.status();
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+std::vector<Status> TbfServer::RegisterWorkers(
+    std::span<const LeafCodeReport> batch) {
+  std::vector<Status> statuses;
+  statuses.reserve(batch.size());
+  for (const LeafCodeReport& report : batch) {
+    statuses.push_back(
+        RegisterWorker(report.user_id, report.code, report.declared_epsilon));
+  }
+  return statuses;
+}
+
+std::vector<BatchDispatchOutcome> TbfServer::SubmitTasks(
+    std::span<const LeafCodeReport> batch) {
+  std::vector<BatchDispatchOutcome> outcomes;
+  outcomes.reserve(batch.size());
+  for (const LeafCodeReport& report : batch) {
+    BatchDispatchOutcome outcome;
+    Result<DispatchResult> dispatched =
+        SubmitTask(report.user_id, report.code, report.declared_epsilon);
     if (dispatched.ok()) {
       outcome.result = std::move(dispatched).MoveValueUnsafe();
     } else {

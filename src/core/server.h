@@ -21,6 +21,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -62,6 +63,14 @@ struct LeafReport {
   std::optional<double> declared_epsilon;
 };
 
+/// \brief Code-native batch entry: the obfuscated leaf as a packed
+/// LeafCode (what TbfFramework::ObfuscateCodes emits).
+struct LeafCodeReport {
+  std::string user_id;
+  LeafCode code = 0;
+  std::optional<double> declared_epsilon;
+};
+
 /// \brief Outcome of one item of a batch submission.
 struct BatchDispatchOutcome {
   Status status;          ///< per-item admission result
@@ -74,6 +83,12 @@ struct BatchDispatchOutcome {
 /// tables with these digits, so out-of-range ones are rejected up front
 /// instead of aborting (or reading out of bounds) deeper down.
 Status ValidateReportedLeaf(const CompleteHst& tree, const LeafPath& leaf);
+
+/// \brief Packed-code variant: rejects codes with stray bits below the
+/// last digit and (for non-power-of-two arity) digit fields >= arity, and
+/// fails outright when the published tree has no packed-code codec. O(1)
+/// for power-of-two arity.
+Status ValidateReportedLeafCode(const CompleteHst& tree, LeafCode code);
 
 /// \brief Online dispatch server operating purely on obfuscated leaves.
 ///
@@ -94,6 +109,12 @@ class TbfServer {
   Status RegisterWorker(const std::string& worker_id, const LeafPath& leaf,
                         std::optional<double> declared_epsilon = std::nullopt);
 
+  /// \brief Code-native registration: identical semantics, but the report
+  /// is a packed LeafCode and no LeafPath is materialized anywhere on the
+  /// way into the index. Fails when the tree has no codec.
+  Status RegisterWorker(const std::string& worker_id, LeafCode code,
+                        std::optional<double> declared_epsilon = std::nullopt);
+
   /// \brief Removes an available worker from the pool (going offline).
   Status UnregisterWorker(const std::string& worker_id);
 
@@ -110,6 +131,11 @@ class TbfServer {
                                     std::optional<double> declared_epsilon =
                                         std::nullopt);
 
+  /// \brief Code-native submission (see the code RegisterWorker overload).
+  Result<DispatchResult> SubmitTask(const std::string& task_id, LeafCode code,
+                                    std::optional<double> declared_epsilon =
+                                        std::nullopt);
+
   /// \brief Registers a worker batch (one arrival wave). Item k's status is
   /// exactly what RegisterWorker would have returned; a failed item is
   /// skipped, the rest of the batch proceeds. Obfuscation already happened
@@ -122,6 +148,11 @@ class TbfServer {
   /// state its predecessors left behind.
   std::vector<BatchDispatchOutcome> SubmitTasks(
       const std::vector<LeafReport>& batch);
+
+  /// \brief Code-native batch spans (pair with ObfuscateCodes).
+  std::vector<Status> RegisterWorkers(std::span<const LeafCodeReport> batch);
+  std::vector<BatchDispatchOutcome> SubmitTasks(
+      std::span<const LeafCodeReport> batch);
 
   /// Number of workers currently available for assignment.
   size_t available_workers() const { return index_.size(); }
@@ -151,6 +182,16 @@ class TbfServer {
   Status ChargeIfRequired(const std::string& user,
                           std::optional<double> declared_epsilon);
 
+  // Shared cores over the report key type (LeafCode in packed mode,
+  // LeafPath otherwise); both instantiations live in the .cc. The caller
+  // has already validated the report.
+  template <typename Key>
+  Status RegisterImpl(const std::string& worker_id, const Key& key,
+                      std::optional<double> declared_epsilon);
+  template <typename Key>
+  Result<DispatchResult> SubmitImpl(const std::string& task_id, const Key& key,
+                                    std::optional<double> declared_epsilon);
+
   std::shared_ptr<const CompleteHst> tree_;
   TbfServerOptions options_;
   HstAvailabilityIndex index_;
@@ -163,10 +204,15 @@ class TbfServer {
   int AcquireIndexId(const std::string& worker_id);
   void ReleaseIndexId(int index_id);
 
+  // When the published tree has a packed-code codec the server stores and
+  // indexes workers by LeafCode only (LeafPath reports are packed once at
+  // the boundary); `leaf` is used solely on codec-less trees.
   struct WorkerState {
+    LeafCode code = 0;
     LeafPath leaf;
     int index_id = -1;  // id inside index_
   };
+  bool packed_ = false;  // tree_->codec() != nullptr
   std::unordered_map<std::string, WorkerState> workers_;
   std::vector<std::string> worker_by_index_id_;
   std::vector<int> free_index_ids_;

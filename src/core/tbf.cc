@@ -1,5 +1,6 @@
 #include "core/tbf.h"
 
+#include "common/logging.h"
 #include "common/timer.h"
 
 namespace tbf {
@@ -15,6 +16,12 @@ Result<TbfFramework> TbfFramework::Build(std::vector<Point> predefined_points,
   TBF_ASSIGN_OR_RETURN(HstMechanism mechanism,
                        HstMechanism::Build(*framework.tree_, options.epsilon));
   framework.mechanism_ = std::make_shared<const HstMechanism>(std::move(mechanism));
+  framework.sampler_ = options.sampler;
+  if (options.sampler == SamplerKind::kInverseCdf &&
+      framework.tree_->codec() == nullptr) {
+    return Status::InvalidArgument(
+        "inverse-CDF sampler requires a tree shape that fits packed codes");
+  }
   return framework;
 }
 
@@ -33,10 +40,49 @@ std::vector<LeafPath> TbfFramework::ObfuscateBatch(
   // Stage 2: mechanism draws, one ForkAt stream per item.
   std::vector<LeafPath> reported(n);
   timer.Restart();
+  const bool fast = sampler_ == SamplerKind::kInverseCdf;
+  const LeafCodec* codec = tree_->codec();
   pool->ParallelFor(n, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       Rng item_rng = stream.ForkAt(fork_offset + i);
-      reported[i] = mechanism_->Obfuscate(*mapped[i], &item_rng);
+      reported[i] =
+          fast ? codec->Unpack(mechanism_->ObfuscateCode(
+                     codec->Pack(*mapped[i]), &item_rng))
+               : mechanism_->Obfuscate(*mapped[i], &item_rng);
+    }
+  });
+  if (timings) timings->obfuscate_seconds += timer.ElapsedSeconds();
+  return reported;
+}
+
+std::vector<LeafCode> TbfFramework::ObfuscateCodes(
+    const std::vector<Point>& locations, const Rng& stream, ThreadPool* pool,
+    BatchStageTimings* timings, uint64_t fork_offset) const {
+  TBF_CHECK(tree_->codec() != nullptr)
+      << "tree shape exceeds packed-code capacity";
+  const size_t n = locations.size();
+  // Stage 1: nearest-predefined-point mapping straight to point ids (the
+  // packed code per id is precomputed on the tree).
+  std::vector<int32_t> mapped(n, 0);
+  WallTimer timer;
+  pool->ParallelFor(n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      mapped[i] = tree_->MapToNearestPoint(locations[i]);
+    }
+  });
+  if (timings) timings->map_seconds += timer.ElapsedSeconds();
+
+  // Stage 2: mechanism draws in the packed domain, one ForkAt stream per
+  // item — same stream layout as ObfuscateBatch, so with the walk sampler
+  // the two pipelines report the same leaves.
+  std::vector<LeafCode> reported(n);
+  timer.Restart();
+  const SamplerKind kind = sampler_;
+  pool->ParallelFor(n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      Rng item_rng = stream.ForkAt(fork_offset + i);
+      reported[i] = mechanism_->ObfuscateCodeWith(
+          tree_->leaf_code_of_point(mapped[i]), &item_rng, kind);
     }
   });
   if (timings) timings->obfuscate_seconds += timer.ElapsedSeconds();

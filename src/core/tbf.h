@@ -31,6 +31,12 @@ struct TbfOptions {
   /// Privacy budget per metric distance unit.
   double epsilon = 0.6;
 
+  /// Sampler driving the batched/serving obfuscation paths. kWalk (the
+  /// default) keeps every existing draw sequence bit-identical; kInverseCdf
+  /// draws the same distribution in O(1) rng calls per sample
+  /// (HstMechanism::ObfuscateCode).
+  SamplerKind sampler = SamplerKind::kWalk;
+
   /// Algorithm-1 options (beta, normalization).
   HstTreeOptions tree;
 };
@@ -86,6 +92,23 @@ class TbfFramework {
                                        BatchStageTimings* timings = nullptr,
                                        uint64_t fork_offset = 0) const;
 
+  /// \brief Code-native batch reporting: identical fork/determinism
+  /// contract to ObfuscateBatch, but maps to precomputed leaf codes and
+  /// samples in the packed domain — no LeafPath is materialized for any
+  /// item. With the default kWalk sampler, element i is exactly
+  /// codec()->Pack(ObfuscateBatch(...)[i]). Requires codec() != nullptr.
+  std::vector<LeafCode> ObfuscateCodes(const std::vector<Point>& locations,
+                                       const Rng& stream, ThreadPool* pool,
+                                       BatchStageTimings* timings = nullptr,
+                                       uint64_t fork_offset = 0) const;
+
+  /// \brief Codec of the published tree's packed leaf addressing, or
+  /// nullptr when the shape exceeds 64 bits.
+  const LeafCodec* codec() const { return tree_->codec(); }
+
+  /// The sampler the batched paths draw with.
+  SamplerKind sampler() const { return sampler_; }
+
   /// Tree distance between two reported leaves, in metric units — all the
   /// server ever evaluates.
   double TreeDistance(const LeafPath& a, const LeafPath& b) const {
@@ -99,6 +122,7 @@ class TbfFramework {
 
   std::shared_ptr<const CompleteHst> tree_;
   std::shared_ptr<const HstMechanism> mechanism_;
+  SamplerKind sampler_ = SamplerKind::kWalk;
 };
 
 }  // namespace tbf

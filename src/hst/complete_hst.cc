@@ -47,6 +47,7 @@ Result<CompleteHst> CompleteHst::Build(const HstTree& tree,
     out.leaf_paths_[pid] = std::move(path);
   }
 
+  out.FinishLeafCodes();
   out.mapper_ = std::make_unique<KdTree>(out.points_);
   return out;
 }
@@ -91,8 +92,18 @@ Result<CompleteHst> CompleteHst::FromParts(int depth, int arity, double scale,
       return Status::InvalidArgument("duplicate leaf path");
     }
   }
+  out.FinishLeafCodes();
   out.mapper_ = std::make_unique<KdTree>(out.points_);
   return out;
+}
+
+void CompleteHst::FinishLeafCodes() {
+  if (!LeafCodec::Fits(depth_, arity_)) return;
+  codec_.emplace(depth_, arity_);
+  leaf_codes_.reserve(leaf_paths_.size());
+  for (const LeafPath& path : leaf_paths_) {
+    leaf_codes_.push_back(codec_->Pack(path));
+  }
 }
 
 double CompleteHst::num_leaves() const {
@@ -121,6 +132,11 @@ int CompleteHst::MapToNearestPoint(const Point& location) const {
 
 const LeafPath& CompleteHst::MapToNearestLeaf(const Point& location) const {
   return leaf_of_point(MapToNearestPoint(location));
+}
+
+LeafCode CompleteHst::MapToNearestLeafCode(const Point& location) const {
+  TBF_CHECK(codec_) << "tree shape exceeds packed-code capacity";
+  return leaf_code_of_point(MapToNearestPoint(location));
 }
 
 double CompleteHst::SiblingSetSize(int level) const {

@@ -19,6 +19,7 @@
 #include "geo/metric.h"
 #include "geo/point.h"
 #include "hst/hst_tree.h"
+#include "hst/leaf_code.h"
 #include "hst/leaf_path.h"
 
 namespace tbf {
@@ -73,6 +74,16 @@ class CompleteHst {
     return leaf_paths_[static_cast<size_t>(point_id)];
   }
 
+  /// \brief Packed code of the leaf holding real point `point_id`
+  /// (precomputed at build time; codec() must be non-null).
+  LeafCode leaf_code_of_point(int point_id) const {
+    return leaf_codes_[static_cast<size_t>(point_id)];
+  }
+
+  /// \brief Codec of the packed-code addressing, or nullptr when the tree
+  /// shape exceeds 64 bits (then only the LeafPath API is usable).
+  const LeafCodec* codec() const { return codec_ ? &*codec_ : nullptr; }
+
   /// Real point stored at `leaf`, or nullopt for fake leaves.
   std::optional<int> point_of_leaf(const LeafPath& leaf) const;
 
@@ -89,6 +100,11 @@ class CompleteHst {
   /// \brief Leaf path of the nearest predefined point.
   const LeafPath& MapToNearestLeaf(const Point& location) const;
 
+  /// \brief Packed code of the nearest predefined point's leaf — the
+  /// client-side mapping step of the code-native serve path (codec()
+  /// must be non-null).
+  LeafCode MapToNearestLeafCode(const Point& location) const;
+
   /// Size of |L_i(x)| = (c-1) c^{i-1}, the sibling set at level i >= 1
   /// (as a double; exact while within 2^53).
   double SiblingSetSize(int level) const;
@@ -96,11 +112,17 @@ class CompleteHst {
  private:
   CompleteHst() = default;
 
+  // Packs every real leaf once the paths are final (no-op when the shape
+  // does not fit 64-bit codes).
+  void FinishLeafCodes();
+
   int depth_ = 0;
   int arity_ = 2;
   double scale_ = 1.0;
   std::vector<Point> points_;
   std::vector<LeafPath> leaf_paths_;
+  std::vector<LeafCode> leaf_codes_;  // parallel to leaf_paths_ (packed)
+  std::optional<LeafCodec> codec_;    // set when the shape fits 64 bits
   std::unordered_map<LeafPath, int> point_by_leaf_;
   std::unique_ptr<KdTree> mapper_;
 };

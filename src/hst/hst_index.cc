@@ -27,6 +27,21 @@ struct ScratchNodes {
   int32_t* data;
 };
 
+// Digit accessors for the templated core: a position in [0, depth) maps to
+// the digit at that root-first position.
+struct PathDigits {
+  const char16_t* digits;
+  int operator()(int position) const {
+    return static_cast<int>(digits[position]);
+  }
+};
+
+struct CodeDigits {
+  LeafCode code;
+  const LeafCodec* codec;
+  int operator()(int position) const { return codec->Digit(code, position); }
+};
+
 }  // namespace
 
 HstAvailabilityIndex::HstAvailabilityIndex(int depth, int arity)
@@ -50,36 +65,28 @@ int32_t HstAvailabilityIndex::NewNode(bool is_leaf) {
   return id;
 }
 
-void HstAvailabilityIndex::UnpackTo(LeafCode code, char16_t* digits) const {
-  TBF_CHECK(codec_) << "tree shape exceeds packed-code capacity";
-  for (int j = 0; j < depth_; ++j) {
-    digits[j] = static_cast<char16_t>(codec_->Digit(code, j));
-  }
-}
-
 void HstAvailabilityIndex::Insert(const LeafPath& leaf, int item_id) {
   TBF_CHECK(static_cast<int>(leaf.size()) == depth_) << "leaf depth mismatch";
-  InsertDigits(leaf.data(), item_id);
+  InsertDigits(PathDigits{leaf.data()}, item_id);
 }
 
 void HstAvailabilityIndex::Remove(const LeafPath& leaf, int item_id) {
   TBF_CHECK(static_cast<int>(leaf.size()) == depth_) << "leaf depth mismatch";
-  RemoveDigits(leaf.data(), item_id);
+  RemoveDigits(PathDigits{leaf.data()}, item_id);
 }
 
 void HstAvailabilityIndex::Insert(LeafCode leaf, int item_id) {
-  char16_t digits[kInlineDepth];
-  UnpackTo(leaf, digits);
-  InsertDigits(digits, item_id);
+  TBF_CHECK(codec_) << "tree shape exceeds packed-code capacity";
+  InsertDigits(CodeDigits{leaf, &*codec_}, item_id);
 }
 
 void HstAvailabilityIndex::Remove(LeafCode leaf, int item_id) {
-  char16_t digits[kInlineDepth];
-  UnpackTo(leaf, digits);
-  RemoveDigits(digits, item_id);
+  TBF_CHECK(codec_) << "tree shape exceeds packed-code capacity";
+  RemoveDigits(CodeDigits{leaf, &*codec_}, item_id);
 }
 
-void HstAvailabilityIndex::InsertDigits(const char16_t* digits, int item_id) {
+template <typename Digits>
+void HstAvailabilityIndex::InsertDigits(const Digits& digits, int item_id) {
   TBF_CHECK(item_id >= 0) << "item ids must be non-negative";
   if (item_id >= static_cast<int>(node_of_item_.size())) {
     node_of_item_.resize(static_cast<size_t>(item_id) + 1, kNoNode);
@@ -89,7 +96,7 @@ void HstAvailabilityIndex::InsertDigits(const char16_t* digits, int item_id) {
   int32_t node = 0;
   ++count_[0];
   for (int d = 0; d < depth_; ++d) {
-    const int digit = static_cast<int>(digits[d]);
+    const int digit = digits(d);
     TBF_CHECK(digit < arity_) << "digit " << digit << " out of range";
     const size_t child_index =
         static_cast<size_t>(slot_[static_cast<size_t>(node)] + digit);
@@ -108,7 +115,8 @@ void HstAvailabilityIndex::InsertDigits(const char16_t* digits, int item_id) {
   ++size_;
 }
 
-void HstAvailabilityIndex::RemoveDigits(const char16_t* digits, int item_id) {
+template <typename Digits>
+void HstAvailabilityIndex::RemoveDigits(const Digits& digits, int item_id) {
   TBF_CHECK(item_id >= 0 &&
             item_id < static_cast<int>(node_of_item_.size()) &&
             node_of_item_[static_cast<size_t>(item_id)] != kNoNode)
@@ -119,7 +127,7 @@ void HstAvailabilityIndex::RemoveDigits(const char16_t* digits, int item_id) {
   int32_t node = 0;
   scratch.data[0] = node;
   for (int d = 0; d < depth_; ++d) {
-    const int digit = static_cast<int>(digits[d]);
+    const int digit = digits(d);
     TBF_CHECK(digit < arity_) << "digit " << digit << " out of range";
     const int32_t child = node == kNoNode ? kNoNode : ChildAt(node, digit);
     node = child;
@@ -143,7 +151,8 @@ void HstAvailabilityIndex::RemoveDigits(const char16_t* digits, int item_id) {
   --size_;
 }
 
-int HstAvailabilityIndex::WalkQueryPath(const char16_t* digits,
+template <typename Digits>
+int HstAvailabilityIndex::WalkQueryPath(const Digits& digits,
                                         int32_t* nodes) const {
   nodes[0] = 0;
   int d_last = 0;
@@ -151,7 +160,7 @@ int HstAvailabilityIndex::WalkQueryPath(const char16_t* digits,
     const int32_t parent = nodes[d - 1];
     int32_t child = kNoNode;
     if (parent != kNoNode) {
-      const int digit = static_cast<int>(digits[d - 1]);
+      const int digit = digits(d - 1);
       TBF_CHECK(digit < arity_) << "digit out of range";
       child = ChildAt(parent, digit);
       if (child != kNoNode && count_[static_cast<size_t>(child)] == 0) {
@@ -167,10 +176,14 @@ int HstAvailabilityIndex::WalkQueryPath(const char16_t* digits,
 int32_t HstAvailabilityIndex::DescendCanonical(int32_t node, int d,
                                                int skip_digit) const {
   while (d < depth_) {
+    // One scan over the node's child block, base pointer hoisted out of
+    // the digit loop (ChildAt re-reads slot_ per probe).
+    const int32_t* block = &children_[static_cast<size_t>(
+        slot_[static_cast<size_t>(node)])];
     int32_t next = kNoNode;
     for (int digit = 0; digit < arity_; ++digit) {
       if (digit == skip_digit) continue;
-      const int32_t child = ChildAt(node, digit);
+      const int32_t child = block[digit];
       if (child != kNoNode && count_[static_cast<size_t>(child)] > 0) {
         next = child;
         break;
@@ -187,44 +200,44 @@ int32_t HstAvailabilityIndex::DescendCanonical(int32_t node, int d,
 std::optional<std::pair<int, int>> HstAvailabilityIndex::Nearest(
     const LeafPath& query) const {
   TBF_CHECK(static_cast<int>(query.size()) == depth_) << "leaf depth mismatch";
-  return NearestDigits(query.data());
+  return NearestDigits(PathDigits{query.data()});
 }
 
 std::optional<std::pair<int, int>> HstAvailabilityIndex::Nearest(
     LeafCode query) const {
-  char16_t digits[kInlineDepth];
-  UnpackTo(query, digits);
-  return NearestDigits(digits);
+  TBF_CHECK(codec_) << "tree shape exceeds packed-code capacity";
+  return NearestDigits(CodeDigits{query, &*codec_});
 }
 
+template <typename Digits>
 std::optional<std::pair<int, int>> HstAvailabilityIndex::NearestDigits(
-    const char16_t* digits) const {
+    const Digits& digits) const {
   if (size_ == 0) return std::nullopt;
   ScratchNodes scratch(depth_);
   const int d_last = WalkQueryPath(digits, scratch.data);
   if (d_last == depth_) {
     return std::pair<int, int>(ItemsOf(scratch.data[depth_]).front(), 0);
   }
-  const int32_t leaf = DescendCanonical(scratch.data[d_last], d_last,
-                                        static_cast<int>(digits[d_last]));
+  const int32_t leaf =
+      DescendCanonical(scratch.data[d_last], d_last, digits(d_last));
   return std::pair<int, int>(ItemsOf(leaf).front(), depth_ - d_last);
 }
 
 std::optional<std::pair<int, int>> HstAvailabilityIndex::NearestUniform(
     const LeafPath& query, Rng* rng) const {
   TBF_CHECK(static_cast<int>(query.size()) == depth_) << "leaf depth mismatch";
-  return NearestUniformDigits(query.data(), rng);
+  return NearestUniformDigits(PathDigits{query.data()}, rng);
 }
 
 std::optional<std::pair<int, int>> HstAvailabilityIndex::NearestUniform(
     LeafCode query, Rng* rng) const {
-  char16_t digits[kInlineDepth];
-  UnpackTo(query, digits);
-  return NearestUniformDigits(digits, rng);
+  TBF_CHECK(codec_) << "tree shape exceeds packed-code capacity";
+  return NearestUniformDigits(CodeDigits{query, &*codec_}, rng);
 }
 
+template <typename Digits>
 std::optional<std::pair<int, int>> HstAvailabilityIndex::NearestUniformDigits(
-    const char16_t* digits, Rng* rng) const {
+    const Digits& digits, Rng* rng) const {
   TBF_CHECK(rng != nullptr) << "rng required";
   if (size_ == 0) return std::nullopt;
 
@@ -244,21 +257,30 @@ std::optional<std::pair<int, int>> HstAvailabilityIndex::NearestUniformDigits(
 
   const int level = depth_ - d_last;
   int32_t node = scratch.data[d_last];
-  int skip = static_cast<int>(digits[d_last]);
+  int skip = digits(d_last);
   for (int d = d_last; d < depth_; ++d) {
-    int64_t total = 0;
-    for (int digit = 0; digit < arity_; ++digit) {
-      if (digit == skip) continue;
-      total += ChildCount(node, digit);
+    // An internal node's count is the sum of its children's, so the
+    // candidate total needs no scan: subtract the skipped branch (dead at
+    // the top step — its count is 0 — but keep the general form) and the
+    // old count-scan fuses into the single pick-scan below, draw for draw
+    // identical (same `total`, same UniformInt sequence).
+    const int32_t* block = &children_[static_cast<size_t>(
+        slot_[static_cast<size_t>(node)])];
+    int64_t total = count_[static_cast<size_t>(node)];
+    if (skip >= 0) {
+      const int32_t skipped = block[skip];
+      if (skipped != kNoNode) total -= count_[static_cast<size_t>(skipped)];
     }
     TBF_CHECK(total > 0) << "inconsistent subtree counts";
     int64_t target = rng->UniformInt(1, total);
     int32_t next = kNoNode;
     for (int digit = 0; digit < arity_; ++digit) {
       if (digit == skip) continue;
-      target -= ChildCount(node, digit);
+      const int32_t child = block[digit];
+      if (child == kNoNode) continue;
+      target -= count_[static_cast<size_t>(child)];
       if (target <= 0) {
-        next = ChildAt(node, digit);
+        next = child;
         break;
       }
     }
@@ -271,20 +293,23 @@ std::optional<std::pair<int, int>> HstAvailabilityIndex::NearestUniformDigits(
 std::vector<std::pair<int, int>> HstAvailabilityIndex::NearestK(
     const LeafPath& query, size_t limit) const {
   TBF_CHECK(static_cast<int>(query.size()) == depth_) << "leaf depth mismatch";
-  return NearestKDigits(query.data(), limit);
+  return NearestKDigits(PathDigits{query.data()}, limit);
 }
 
 std::vector<std::pair<int, int>> HstAvailabilityIndex::NearestK(
     LeafCode query, size_t limit) const {
-  char16_t digits[kInlineDepth];
-  UnpackTo(query, digits);
-  return NearestKDigits(digits, limit);
+  TBF_CHECK(codec_) << "tree shape exceeds packed-code capacity";
+  return NearestKDigits(CodeDigits{query, &*codec_}, limit);
 }
 
+template <typename Digits>
 std::vector<std::pair<int, int>> HstAvailabilityIndex::NearestKDigits(
-    const char16_t* digits, size_t limit) const {
+    const Digits& digits, size_t limit) const {
   std::vector<std::pair<int, int>> out;
   if (limit == 0 || size_ == 0) return out;
+  // At most min(limit, size_) entries can come back; reserving up front
+  // makes every emplace below allocation-free.
+  out.reserve(std::min(limit, size_));
 
   ScratchNodes scratch(depth_);
   WalkQueryPath(digits, scratch.data);
@@ -307,7 +332,7 @@ std::vector<std::pair<int, int>> HstAvailabilityIndex::NearestKDigits(
                                ? 0
                                : count_[static_cast<size_t>(scratch.data[d + 1])];
     if (count_[static_cast<size_t>(node)] <= closer) continue;
-    Collect(node, d, static_cast<int>(digits[d]), limit, level, &out);
+    Collect(node, d, digits(d), limit, level, &out);
     if (out.size() >= limit) return out;
   }
   return out;
@@ -317,19 +342,49 @@ void HstAvailabilityIndex::Collect(int32_t node, int d, int skip_digit,
                                    size_t limit, int level,
                                    std::vector<std::pair<int, int>>* out) const {
   if (out->size() >= limit) return;
-  if (d == depth_) {
-    for (int id : ItemsOf(node)) {
-      out->emplace_back(id, level);
-      if (out->size() >= limit) return;
+  TBF_DCHECK(d < depth_) << "Collect starts on an internal node";
+  // Iterative canonical DFS over occupied subtrees: nodes[h] is the node
+  // at digit-depth d + h, cursor[h] the next child digit to probe there.
+  // Replaces the recursive walk — no call overhead per level, and the
+  // per-level state lives in two stack arrays.
+  const int frames = depth_ - d + 1;
+  ScratchNodes node_stack(frames - 1);
+  ScratchNodes cursor_stack(frames - 1);
+  int h = 0;
+  node_stack.data[0] = node;
+  cursor_stack.data[0] = 0;
+  while (h >= 0) {
+    if (d + h == depth_) {  // leaf frame: emit its items, then pop
+      for (int id : ItemsOf(node_stack.data[h])) {
+        out->emplace_back(id, level);
+        if (out->size() >= limit) return;
+      }
+      --h;
+      continue;
     }
-    return;
-  }
-  for (int digit = 0; digit < arity_; ++digit) {
-    if (digit == skip_digit) continue;
-    const int32_t child = ChildAt(node, digit);
-    if (child == kNoNode || count_[static_cast<size_t>(child)] == 0) continue;
-    Collect(child, d + 1, /*skip_digit=*/-1, limit, level, out);
-    if (out->size() >= limit) return;
+    const int32_t* block = &children_[static_cast<size_t>(
+        slot_[static_cast<size_t>(node_stack.data[h])])];
+    int digit = cursor_stack.data[h];
+    int32_t child = kNoNode;
+    while (digit < arity_) {
+      // Only the top frame excludes the query's own branch.
+      if (h != 0 || digit != skip_digit) {
+        const int32_t candidate = block[digit];
+        if (candidate != kNoNode && count_[static_cast<size_t>(candidate)] > 0) {
+          child = candidate;
+          break;
+        }
+      }
+      ++digit;
+    }
+    if (child == kNoNode) {  // children exhausted: pop
+      --h;
+      continue;
+    }
+    cursor_stack.data[h] = digit + 1;
+    ++h;
+    node_stack.data[h] = child;
+    cursor_stack.data[h] = 0;
   }
 }
 

@@ -73,7 +73,9 @@ class HstAvailabilityIndex {
   void Remove(const LeafPath& leaf, int item_id);
 
   /// Packed-code variants (require LeafCodec::Fits(depth, arity), which
-  /// holds for every tree the builder produces; see codec()).
+  /// holds for every tree the builder produces; see codec()). Digits are
+  /// read straight out of the 64-bit word by shift/mask — no unpacking
+  /// into a scratch digit buffer anywhere on these paths.
   void Insert(LeafCode leaf, int item_id);
   void Remove(LeafCode leaf, int item_id);
 
@@ -105,7 +107,6 @@ class HstAvailabilityIndex {
   const LeafCodec* codec() const { return codec_ ? &*codec_ : nullptr; }
 
  private:
-  static constexpr int kInlineDepth = 64;
   static constexpr int32_t kNoNode = -1;
 
   // Allocates a node; internal nodes get an arity-wide child block, leaf
@@ -125,29 +126,38 @@ class HstAvailabilityIndex {
     return leaf_items_[static_cast<size_t>(slot_[static_cast<size_t>(leaf_node)])];
   }
 
-  // Unpacks a LeafCode into a caller-provided digit buffer of at least
-  // depth_ entries; CHECK-fails when the tree shape has no codec.
-  void UnpackTo(LeafCode code, char16_t* digits) const;
-
-  // Digit-pointer core of the public API; `digits` has depth_ entries.
-  void InsertDigits(const char16_t* digits, int item_id);
-  void RemoveDigits(const char16_t* digits, int item_id);
-  std::optional<std::pair<int, int>> NearestDigits(const char16_t* digits) const;
-  std::optional<std::pair<int, int>> NearestUniformDigits(const char16_t* digits,
+  // Digit-accessor core of the public API. `Digits` is a lightweight
+  // functor mapping a root-first position in [0, depth_) to a digit: the
+  // LeafPath overloads pass a pointer reader, the LeafCode overloads a
+  // shift/mask reader over the packed word, so the trie walk reads digits
+  // straight out of the register with no scratch buffer. Definitions live
+  // in the .cc (both instantiations are internal).
+  template <typename Digits>
+  void InsertDigits(const Digits& digits, int item_id);
+  template <typename Digits>
+  void RemoveDigits(const Digits& digits, int item_id);
+  template <typename Digits>
+  std::optional<std::pair<int, int>> NearestDigits(const Digits& digits) const;
+  template <typename Digits>
+  std::optional<std::pair<int, int>> NearestUniformDigits(const Digits& digits,
                                                           Rng* rng) const;
-  std::vector<std::pair<int, int>> NearestKDigits(const char16_t* digits,
+  template <typename Digits>
+  std::vector<std::pair<int, int>> NearestKDigits(const Digits& digits,
                                                   size_t limit) const;
 
   // Fills nodes[d] with the node at digit-depth d along `digits` when it
   // exists with count > 0, else kNoNode; returns the deepest live d.
-  int WalkQueryPath(const char16_t* digits, int32_t* nodes) const;
+  template <typename Digits>
+  int WalkQueryPath(const Digits& digits, int32_t* nodes) const;
 
   // Descends from `node` (digit-depth d) to the canonically smallest
   // occupied leaf, skipping child `skip_digit` at the first step (-1: none).
   int32_t DescendCanonical(int32_t node, int d, int skip_digit) const;
 
   // Appends items under `node` (digit-depth d) in canonical order, skipping
-  // child `skip_digit` at the top (-1: none); stops at `limit`.
+  // child `skip_digit` at the top (-1: none); stops at `limit`. Iterative
+  // (explicit per-level cursor stack) — no recursion, no allocation beyond
+  // `out` itself.
   void Collect(int32_t node, int d, int skip_digit, size_t limit, int level,
                std::vector<std::pair<int, int>>* out) const;
 

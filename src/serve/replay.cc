@@ -80,6 +80,12 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
 
   ThreadPool pool(options.threads);
   const Rng obfuscation_stream(options.obfuscation_seed);
+  // Packed fast path: obfuscate, route and dispatch entirely on LeafCodes
+  // (one uint64 per report, no LeafPath materialized per event). Trees too
+  // deep for 64-bit codes degrade to the LeafPath pipeline — same arrivals,
+  // same draws, just heavier reports.
+  const LeafCodec* codec = framework.codec();
+  const bool packed = codec != nullptr;
   const double t0 = trace.events.front().time;
   uint64_t arrivals_obfuscated = 0;  // global ForkAt offset
   int next_task_slot = 0;
@@ -128,8 +134,15 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
       prepared.push_back(item);
     }
     WallTimer obf_timer;
-    std::vector<LeafPath> reports = framework.ObfuscateBatch(
-        locations, obfuscation_stream, &pool, nullptr, arrivals_obfuscated);
+    std::vector<LeafCode> code_reports;
+    std::vector<LeafPath> path_reports;
+    if (packed) {
+      code_reports = framework.ObfuscateCodes(
+          locations, obfuscation_stream, &pool, nullptr, arrivals_obfuscated);
+    } else {
+      path_reports = framework.ObfuscateBatch(
+          locations, obfuscation_stream, &pool, nullptr, arrivals_obfuscated);
+    }
     arrivals_obfuscated += locations.size();
     stats.obfuscate_seconds = obf_timer.ElapsedSeconds();
 
@@ -142,18 +155,23 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
     const auto dispatch_one = [&](const PreparedEvent& item,
                                   LaneStats* lane) {
       const TimedEvent& event = *item.event;
+      const size_t idx = static_cast<size_t>(item.report_index);
       switch (event.kind) {
         case EventKind::kWorkerArrival: {
-          Status status = server->RegisterWorker(
-              event.id, reports[static_cast<size_t>(item.report_index)],
-              declared_epsilon);
+          Status status =
+              packed ? server->RegisterWorker(event.id, code_reports[idx],
+                                              declared_epsilon)
+                     : server->RegisterWorker(event.id, path_reports[idx],
+                                              declared_epsilon);
           if (!status.ok()) ++lane->denied;
           break;
         }
         case EventKind::kTaskArrival: {
-          Result<DispatchResult> dispatched = server->SubmitTask(
-              event.id, reports[static_cast<size_t>(item.report_index)],
-              declared_epsilon);
+          Result<DispatchResult> dispatched =
+              packed ? server->SubmitTask(event.id, code_reports[idx],
+                                          declared_epsilon)
+                     : server->SubmitTask(event.id, path_reports[idx],
+                                          declared_epsilon);
           TaskOutcome& outcome =
               report.task_outcomes[static_cast<size_t>(item.task_slot)];
           outcome.task_id = event.id;
@@ -197,19 +215,23 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
       // later same-worker events stick to it. Tasks are single-shot, so
       // their home shard is always safe.
       std::unordered_map<std::string, size_t> worker_lane;
+      const auto home_shard = [&](int report_index) {
+        const size_t idx = static_cast<size_t>(report_index);
+        return static_cast<size_t>(
+            packed ? router.ShardOf(code_reports[idx], *codec)
+                   : router.ShardOf(path_reports[idx]));
+      };
       for (const PreparedEvent& item : prepared) {
         size_t lane;
         if (item.event->kind == EventKind::kTaskArrival) {
-          lane = static_cast<size_t>(router.ShardOf(
-              reports[static_cast<size_t>(item.report_index)]));
+          lane = home_shard(item.report_index);
         } else {
           auto it = worker_lane.find(item.event->id);
           if (it != worker_lane.end()) {
             lane = it->second;
           } else {
             lane = item.event->kind == EventKind::kWorkerArrival
-                       ? static_cast<size_t>(router.ShardOf(
-                             reports[static_cast<size_t>(item.report_index)]))
+                       ? home_shard(item.report_index)
                        : std::hash<std::string>{}(item.event->id) % num_lanes;
             worker_lane.emplace(item.event->id, lane);
           }

@@ -8,8 +8,10 @@
 //
 //   1. Events are grouped into fixed event-time windows (epochs).
 //   2. Each epoch's arrivals are obfuscated client-side through the
-//      batched pipeline (TbfFramework::ObfuscateBatch across a thread
-//      pool). Arrival i of the whole trace always draws from
+//      batched pipeline — code-native (TbfFramework::ObfuscateCodes, one
+//      packed uint64 per report, sampler per TbfOptions::sampler) whenever
+//      the tree fits 64-bit codes, else via ObfuscateBatch on LeafPaths.
+//      Arrival i of the whole trace always draws from
 //      ForkAt(obfuscation_seed stream, i), so reports are bit-identical
 //      regardless of epoch length, thread count or shard count.
 //   3. The obfuscated reports are dispatched into a ShardedTbfServer —

@@ -1,9 +1,31 @@
 #include "serve/sharded_server.h"
 
 #include <algorithm>
+#include <type_traits>
 #include <utility>
 
 namespace tbf {
+
+namespace {
+
+// Key access for the templated cores: packed mode keys workers by code,
+// path mode by leaf. Both orders are the same lexicographic digit order.
+template <typename Key>
+struct KeyTraits;
+
+template <>
+struct KeyTraits<LeafCode> {
+  static LeafCode Of(const auto& state) { return state.code; }
+  static void Store(auto* state, LeafCode code) { state->code = code; }
+};
+
+template <>
+struct KeyTraits<LeafPath> {
+  static const LeafPath& Of(const auto& state) { return state.leaf; }
+  static void Store(auto* state, const LeafPath& leaf) { state->leaf = leaf; }
+};
+
+}  // namespace
 
 Result<std::unique_ptr<ShardedTbfServer>> ShardedTbfServer::Create(
     std::shared_ptr<const CompleteHst> tree,
@@ -36,7 +58,8 @@ ShardedTbfServer::ShardedTbfServer(std::shared_ptr<const CompleteHst> tree,
     : tree_(std::move(tree)),
       options_(options),
       router_(tree_->depth(), tree_->arity(), options.num_shards),
-      rng_(options.seed) {
+      rng_(options.seed),
+      packed_(tree_->codec() != nullptr) {
   shards_.reserve(static_cast<size_t>(options.num_shards));
   for (int s = 0; s < options.num_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(tree_->depth(), tree_->arity()));
@@ -87,13 +110,18 @@ void ShardedTbfServer::ReleaseIndexId(int index_id) {
   free_index_ids_.push_back(index_id);
 }
 
-Status ShardedTbfServer::RegisterWorker(const std::string& worker_id,
-                                        const LeafPath& leaf,
-                                        std::optional<double> declared_epsilon) {
-  TBF_RETURN_NOT_OK(ValidateReportedLeaf(*tree_, leaf));
+template <typename Key>
+Status ShardedTbfServer::RegisterImpl(const std::string& worker_id,
+                                      const Key& key,
+                                      std::optional<double> declared_epsilon) {
   // Charge first: a refused charge must leave the pool untouched.
   TBF_RETURN_NOT_OK(ChargeIfRequired(worker_id, declared_epsilon));
-  const int new_shard = router_.ShardOf(leaf);
+  int new_shard;
+  if constexpr (std::is_same_v<Key, LeafCode>) {
+    new_shard = router_.ShardOf(key, *tree_->codec());
+  } else {
+    new_shard = router_.ShardOf(key);
+  }
   for (;;) {
     // Peek at the worker's current shard to know which index mutexes the
     // mutation needs; revalidate after acquiring them (the worker may be
@@ -122,16 +150,36 @@ Status ShardedTbfServer::RegisterWorker(const std::string& worker_id,
     if (it != workers_.end()) {
       // Relocation: drop the old report before inserting the new one.
       shards_[static_cast<size_t>(current_shard)]->index.Remove(
-          it->second.leaf, it->second.index_id);
+          KeyTraits<Key>::Of(it->second), it->second.index_id);
       ReleaseIndexId(it->second.index_id);
     } else {
       available_.fetch_add(1, std::memory_order_relaxed);
     }
     const int index_id = AcquireIndexId(worker_id);
-    shards_[static_cast<size_t>(new_shard)]->index.Insert(leaf, index_id);
-    workers_[worker_id] = WorkerState{leaf, index_id, new_shard};
+    shards_[static_cast<size_t>(new_shard)]->index.Insert(key, index_id);
+    WorkerState& state = workers_[worker_id];
+    KeyTraits<Key>::Store(&state, key);
+    state.index_id = index_id;
+    state.shard = new_shard;
     return Status::OK();
   }
+}
+
+Status ShardedTbfServer::RegisterWorker(const std::string& worker_id,
+                                        const LeafPath& leaf,
+                                        std::optional<double> declared_epsilon) {
+  TBF_RETURN_NOT_OK(ValidateReportedLeaf(*tree_, leaf));
+  if (packed_) {
+    return RegisterImpl(worker_id, tree_->codec()->Pack(leaf), declared_epsilon);
+  }
+  return RegisterImpl(worker_id, leaf, declared_epsilon);
+}
+
+Status ShardedTbfServer::RegisterWorker(const std::string& worker_id,
+                                        LeafCode code,
+                                        std::optional<double> declared_epsilon) {
+  TBF_RETURN_NOT_OK(ValidateReportedLeafCode(*tree_, code));
+  return RegisterImpl(worker_id, code, declared_epsilon);
 }
 
 Status ShardedTbfServer::UnregisterWorker(const std::string& worker_id) {
@@ -154,8 +202,13 @@ Status ShardedTbfServer::UnregisterWorker(const std::string& worker_id) {
       return Status::NotFound("unknown worker " + worker_id);
     }
     if (it->second.shard != observed_shard) continue;  // relocated: retry
-    shards_[static_cast<size_t>(observed_shard)]->index.Remove(
-        it->second.leaf, it->second.index_id);
+    if (packed_) {
+      shards_[static_cast<size_t>(observed_shard)]->index.Remove(
+          it->second.code, it->second.index_id);
+    } else {
+      shards_[static_cast<size_t>(observed_shard)]->index.Remove(
+          it->second.leaf, it->second.index_id);
+    }
     ReleaseIndexId(it->second.index_id);
     workers_.erase(it);
     available_.fetch_sub(1, std::memory_order_relaxed);
@@ -179,14 +232,15 @@ size_t ShardedTbfServer::shard_size(int shard) const {
 }
 
 // The shard's mutex must be held.
+template <typename Key>
 std::optional<std::pair<int, int>> ShardedTbfServer::QueryShard(
-    int shard, const LeafPath& leaf) {
+    int shard, const Key& key) {
   HstAvailabilityIndex& index = shards_[static_cast<size_t>(shard)]->index;
   // K == 1 only (enforced at Create), so the single shard mutex also
   // serializes rng_ and the draw sequence matches TbfServer's.
   return options_.tie_break == HstTieBreak::kCanonical
-             ? index.Nearest(leaf)
-             : index.NearestUniform(leaf, &rng_);
+             ? index.Nearest(key)
+             : index.NearestUniform(key, &rng_);
 }
 
 // The candidate's shard mutex and pool_mu_ must be held.
@@ -194,8 +248,13 @@ DispatchResult ShardedTbfServer::ConsumeCandidate(const Candidate& candidate) {
   const std::string worker_id =
       worker_by_index_id_[static_cast<size_t>(candidate.index_id)];
   const WorkerState& state = workers_.at(worker_id);
-  shards_[static_cast<size_t>(state.shard)]->index.Remove(state.leaf,
-                                                          state.index_id);
+  if (packed_) {
+    shards_[static_cast<size_t>(state.shard)]->index.Remove(state.code,
+                                                            state.index_id);
+  } else {
+    shards_[static_cast<size_t>(state.shard)]->index.Remove(state.leaf,
+                                                            state.index_id);
+  }
   ReleaseIndexId(state.index_id);
   workers_.erase(worker_id);  // assigned: must register anew to serve again
   available_.fetch_sub(1, std::memory_order_relaxed);
@@ -207,12 +266,17 @@ DispatchResult ShardedTbfServer::ConsumeCandidate(const Candidate& candidate) {
   return result;
 }
 
-Result<DispatchResult> ShardedTbfServer::SubmitTask(
-    const std::string& task_id, const LeafPath& leaf,
+template <typename Key>
+Result<DispatchResult> ShardedTbfServer::SubmitImpl(
+    const std::string& task_id, const Key& key,
     std::optional<double> declared_epsilon) {
-  TBF_RETURN_NOT_OK(ValidateReportedLeaf(*tree_, leaf));
   TBF_RETURN_NOT_OK(ChargeIfRequired(task_id, declared_epsilon));
-  const int home = router_.ShardOf(leaf);
+  int home;
+  if constexpr (std::is_same_v<Key, LeafCode>) {
+    home = router_.ShardOf(key, *tree_->codec());
+  } else {
+    home = router_.ShardOf(key);
+  }
 
   // Fast path: probe the home shard only. A candidate whose LCA level is
   // at or below the cutoff beats every worker of every other shard (they
@@ -222,7 +286,7 @@ Result<DispatchResult> ShardedTbfServer::SubmitTask(
   {
     std::lock_guard<std::mutex> home_lock(
         shards_[static_cast<size_t>(home)]->mu);
-    auto nearest = QueryShard(home, leaf);
+    auto nearest = QueryShard(home, key);
     if (nearest && nearest->second <= router_.cutoff_level()) {
       std::lock_guard<std::mutex> pool_lock(pool_mu_);
       return ConsumeCandidate(Candidate{home, nearest->first, nearest->second});
@@ -244,26 +308,46 @@ Result<DispatchResult> ShardedTbfServer::SubmitTask(
   }
   std::lock_guard<std::mutex> pool_lock(pool_mu_);
   std::optional<Candidate> best;
-  const LeafPath* best_leaf = nullptr;
+  const WorkerState* best_state = nullptr;
   for (int s = 0; s < router_.num_shards(); ++s) {
-    auto nearest = shards_[static_cast<size_t>(s)]->index.Nearest(leaf);
+    auto nearest = shards_[static_cast<size_t>(s)]->index.Nearest(key);
     if (!nearest) continue;
     const std::string& worker_id =
         worker_by_index_id_[static_cast<size_t>(nearest->first)];
-    const LeafPath* worker_leaf = &workers_.at(worker_id).leaf;
-    // Canonical total order: (LCA level, worker leaf path, index id) —
-    // exactly the rule each index applies internally, so the cross-shard
-    // minimum is the choice one global index would have made.
+    const WorkerState* state = &workers_.at(worker_id);
+    // Canonical total order: (LCA level, worker leaf, index id) — exactly
+    // the rule each index applies internally (unsigned code comparison is
+    // lexicographic digit comparison), so the cross-shard minimum is the
+    // choice one global index would have made.
+    const auto& worker_key = KeyTraits<Key>::Of(*state);
+    const auto& best_key = best ? KeyTraits<Key>::Of(*best_state) : worker_key;
     if (!best || nearest->second < best->lca_level ||
         (nearest->second == best->lca_level &&
-         (*worker_leaf < *best_leaf ||
-          (*worker_leaf == *best_leaf && nearest->first < best->index_id)))) {
+         (worker_key < best_key ||
+          (worker_key == best_key && nearest->first < best->index_id)))) {
       best = Candidate{s, nearest->first, nearest->second};
-      best_leaf = worker_leaf;
+      best_state = state;
     }
   }
   if (!best) return DispatchResult{};  // all shards empty
   return ConsumeCandidate(*best);
+}
+
+Result<DispatchResult> ShardedTbfServer::SubmitTask(
+    const std::string& task_id, const LeafPath& leaf,
+    std::optional<double> declared_epsilon) {
+  TBF_RETURN_NOT_OK(ValidateReportedLeaf(*tree_, leaf));
+  if (packed_) {
+    return SubmitImpl(task_id, tree_->codec()->Pack(leaf), declared_epsilon);
+  }
+  return SubmitImpl(task_id, leaf, declared_epsilon);
+}
+
+Result<DispatchResult> ShardedTbfServer::SubmitTask(
+    const std::string& task_id, LeafCode code,
+    std::optional<double> declared_epsilon) {
+  TBF_RETURN_NOT_OK(ValidateReportedLeafCode(*tree_, code));
+  return SubmitImpl(task_id, code, declared_epsilon);
 }
 
 std::vector<Status> ShardedTbfServer::RegisterWorkers(
@@ -285,6 +369,35 @@ std::vector<BatchDispatchOutcome> ShardedTbfServer::SubmitTasks(
     BatchDispatchOutcome outcome;
     Result<DispatchResult> dispatched =
         SubmitTask(report.user_id, report.leaf, report.declared_epsilon);
+    if (dispatched.ok()) {
+      outcome.result = std::move(dispatched).MoveValueUnsafe();
+    } else {
+      outcome.status = dispatched.status();
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+std::vector<Status> ShardedTbfServer::RegisterWorkers(
+    std::span<const LeafCodeReport> batch) {
+  std::vector<Status> statuses;
+  statuses.reserve(batch.size());
+  for (const LeafCodeReport& report : batch) {
+    statuses.push_back(
+        RegisterWorker(report.user_id, report.code, report.declared_epsilon));
+  }
+  return statuses;
+}
+
+std::vector<BatchDispatchOutcome> ShardedTbfServer::SubmitTasks(
+    std::span<const LeafCodeReport> batch) {
+  std::vector<BatchDispatchOutcome> outcomes;
+  outcomes.reserve(batch.size());
+  for (const LeafCodeReport& report : batch) {
+    BatchDispatchOutcome outcome;
+    Result<DispatchResult> dispatched =
+        SubmitTask(report.user_id, report.code, report.declared_epsilon);
     if (dispatched.ok()) {
       outcome.result = std::move(dispatched).MoveValueUnsafe();
     } else {

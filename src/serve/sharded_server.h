@@ -93,6 +93,12 @@ class ShardedTbfServer {
   Status RegisterWorker(const std::string& worker_id, const LeafPath& leaf,
                         std::optional<double> declared_epsilon = std::nullopt);
 
+  /// \brief Code-native registration (TbfServer contract): the report is
+  /// a packed LeafCode and stays packed through routing, locking and the
+  /// per-shard trie. Fails when the tree has no codec.
+  Status RegisterWorker(const std::string& worker_id, LeafCode code,
+                        std::optional<double> declared_epsilon = std::nullopt);
+
   /// \brief Removes an available worker from the pool.
   Status UnregisterWorker(const std::string& worker_id);
 
@@ -106,6 +112,11 @@ class ShardedTbfServer {
                                     std::optional<double> declared_epsilon =
                                         std::nullopt);
 
+  /// \brief Code-native submission (see the code RegisterWorker overload).
+  Result<DispatchResult> SubmitTask(const std::string& task_id, LeafCode code,
+                                    std::optional<double> declared_epsilon =
+                                        std::nullopt);
+
   /// \brief Batch wrappers, item semantics identical to the single-call
   /// API (TbfServer contract). Items are issued sequentially by the
   /// calling thread; parallelism comes from *concurrent* callers (the
@@ -113,6 +124,11 @@ class ShardedTbfServer {
   std::vector<Status> RegisterWorkers(const std::vector<LeafReport>& batch);
   std::vector<BatchDispatchOutcome> SubmitTasks(
       const std::vector<LeafReport>& batch);
+
+  /// \brief Code-native batch spans (pair with ObfuscateCodes).
+  std::vector<Status> RegisterWorkers(std::span<const LeafCodeReport> batch);
+  std::vector<BatchDispatchOutcome> SubmitTasks(
+      std::span<const LeafCodeReport> batch);
 
   /// \brief Rolls per-epoch budget accounting forward to `epoch` (no-op
   /// without an epoch budget; going backwards fails).
@@ -151,7 +167,11 @@ class ShardedTbfServer {
     HstAvailabilityIndex index;
   };
 
+  // When the published tree has a codec the engine stores, routes and
+  // indexes workers by packed LeafCode only (LeafPath reports pack once at
+  // the boundary); `leaf` is used solely on codec-less trees.
   struct WorkerState {
+    LeafCode code = 0;
     LeafPath leaf;
     int index_id = -1;
     int shard = -1;
@@ -174,11 +194,24 @@ class ShardedTbfServer {
   int AcquireIndexId(const std::string& worker_id);
   void ReleaseIndexId(int index_id);
 
+  // Shared cores over the report key type (LeafCode in packed mode,
+  // LeafPath otherwise); both instantiations live in the .cc. The
+  // canonical total order is the same either way — unsigned LeafCode
+  // comparison is lexicographic digit comparison — so any mix of entry
+  // points produces identical assignments. The caller has already
+  // validated the report.
+  template <typename Key>
+  Status RegisterImpl(const std::string& worker_id, const Key& key,
+                      std::optional<double> declared_epsilon);
+  template <typename Key>
+  Result<DispatchResult> SubmitImpl(const std::string& task_id, const Key& key,
+                                    std::optional<double> declared_epsilon);
+
   // Queries shard `shard` (its mutex must be held). Uses rng_ for
   // uniform-random tie-breaking (K == 1 only, so the shard mutex also
   // serializes the rng).
-  std::optional<std::pair<int, int>> QueryShard(int shard,
-                                                const LeafPath& leaf);
+  template <typename Key>
+  std::optional<std::pair<int, int>> QueryShard(int shard, const Key& key);
 
   // Consumes `candidate` as the assignment of one task. Its shard's mutex
   // must be held; takes pool_mu_ internally.
@@ -188,6 +221,7 @@ class ShardedTbfServer {
   ShardedServerOptions options_;
   ShardRouter router_;
   Rng rng_;
+  bool packed_ = false;  // tree_->codec() != nullptr
 
   std::vector<std::unique_ptr<Shard>> shards_;
 

@@ -1,0 +1,254 @@
+// Tests of the code-native fast sampler (ObfuscateCode): exact-distribution
+// chi-square against Probability(), marginal agreement between the walk and
+// inverse-CDF samplers across random epsilons, the draw-for-draw identity of
+// ObfuscateCodeWalk with the LeafPath walk, and output validity (packed
+// digit ranges) for power-of-two and odd arities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/thread_pool.h"
+#include "core/server.h"
+#include "core/tbf.h"
+#include "geo/grid.h"
+
+namespace tbf {
+namespace {
+
+// Chi-square quantile via the Wilson–Hilferty approximation; z is the
+// standard-normal quantile of the target tail (2.326 for p = 0.01).
+double ChiSquareQuantile(double df, double z) {
+  const double a = 2.0 / (9.0 * df);
+  const double t = 1.0 - a + z * std::sqrt(a);
+  return df * t * t * t;
+}
+
+// Complete tree of an exact (depth, arity) shape via FromParts: the
+// mechanism only reads depth/arity/scale, so a handful of real points is
+// enough to pin the shape precisely (scale = 1 => eps_tree = eps).
+CompleteHst ShapedTree(int depth, int arity) {
+  std::vector<Point> points;
+  std::vector<LeafPath> paths;
+  const int n = std::min(arity, 4);
+  for (int i = 0; i < n; ++i) {
+    points.push_back({static_cast<double>(i), 0.0});
+    paths.push_back(LeafPath(static_cast<size_t>(depth),
+                             static_cast<char16_t>(i)));
+  }
+  auto tree = CompleteHst::FromParts(depth, arity, 1.0, std::move(points),
+                                     std::move(paths));
+  EXPECT_TRUE(tree.ok()) << tree.status();
+  return std::move(tree).MoveValueUnsafe();
+}
+
+HstMechanism BuildMechanism(const CompleteHst& tree, double eps_tree) {
+  auto m = HstMechanism::Build(tree, eps_tree * tree.scale());
+  EXPECT_TRUE(m.ok()) << m.status();
+  return std::move(m).MoveValueUnsafe();
+}
+
+TEST(ObfuscateCodeTest, ChiSquareMatchesExactDistributionDepth4Arity4) {
+  // The issue's acceptance shape: depth 4, arity 4 — 256 leaves, all with
+  // expected counts >= 5 at this (n, eps), so no cells are pooled and the
+  // statistic has 255 degrees of freedom. Threshold: p > 0.01.
+  CompleteHst tree = ShapedTree(4, 4);
+  HstMechanism m = BuildMechanism(tree, 0.1);
+  const LeafCodec* codec = m.codec();
+  ASSERT_NE(codec, nullptr);
+
+  auto leaves_result = m.EnumerateLeaves();
+  ASSERT_TRUE(leaves_result.ok());
+  const std::vector<LeafPath>& leaves = *leaves_result;
+  ASSERT_EQ(leaves.size(), 256u);
+
+  const LeafCode x = codec->Pack(tree.leaf_of_point(1));
+  std::map<LeafCode, size_t> index_of;
+  std::vector<double> expected;
+  expected.reserve(leaves.size());
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    const LeafCode z = codec->Pack(leaves[i]);
+    index_of[z] = i;
+    expected.push_back(m.Probability(x, z));
+    EXPECT_GE(200000 * expected.back(), 5.0) << "cell would be pooled";
+  }
+
+  Rng rng(20260730);
+  const int n = 200000;
+  std::vector<size_t> observed(leaves.size(), 0);
+  for (int i = 0; i < n; ++i) {
+    ++observed[index_of.at(m.ObfuscateCode(x, &rng))];
+  }
+  const double chi2 = ChiSquareStatistic(observed, expected);
+  EXPECT_LT(chi2, ChiSquareQuantile(255.0, 2.326)) << "chi2=" << chi2;
+}
+
+TEST(ObfuscateCodeTest, WalkAndFastMarginalsAgreeAcrossRandomEpsilons) {
+  // Fuzz: on random shapes and epsilons, both samplers' LCA-level
+  // marginals must match the exact LevelProbability distribution within
+  // the same p > 0.01 chi-square tolerance.
+  Rng driver(99);
+  const int shapes[][2] = {{4, 4}, {6, 2}, {3, 5}, {5, 3}, {8, 4}};
+  for (const auto& shape : shapes) {
+    CompleteHst tree = ShapedTree(shape[0], shape[1]);
+    const double eps_tree = driver.Uniform(0.02, 0.5);
+    HstMechanism m = BuildMechanism(tree, eps_tree);
+    const LeafCodec* codec = m.codec();
+    ASSERT_NE(codec, nullptr);
+    const LeafCode x = codec->Pack(tree.leaf_of_point(0));
+
+    std::vector<double> level_probs;
+    for (int level = 0; level <= m.depth(); ++level) {
+      level_probs.push_back(m.LevelProbability(level));
+    }
+    const int n = 60000;
+    const double threshold =
+        ChiSquareQuantile(static_cast<double>(m.depth()), 2.326) + 10.0;
+
+    Rng walk_rng(driver.NextU64());
+    Rng fast_rng(driver.NextU64());
+    std::vector<size_t> walk_counts(level_probs.size(), 0);
+    std::vector<size_t> fast_counts(level_probs.size(), 0);
+    for (int i = 0; i < n; ++i) {
+      ++walk_counts[static_cast<size_t>(
+          codec->LcaLevel(x, m.ObfuscateCodeWalk(x, &walk_rng)))];
+      ++fast_counts[static_cast<size_t>(
+          codec->LcaLevel(x, m.ObfuscateCode(x, &fast_rng)))];
+    }
+    EXPECT_LT(ChiSquareStatistic(walk_counts, level_probs), threshold)
+        << "walk sampler, depth=" << shape[0] << " arity=" << shape[1]
+        << " eps=" << eps_tree;
+    EXPECT_LT(ChiSquareStatistic(fast_counts, level_probs), threshold)
+        << "fast sampler, depth=" << shape[0] << " arity=" << shape[1]
+        << " eps=" << eps_tree;
+  }
+}
+
+TEST(ObfuscateCodeTest, CodeWalkIsDrawForDrawIdenticalToPathWalk) {
+  // The golden identity the serve pipeline relies on: for any seed,
+  // ObfuscateCodeWalk(Pack(x)) == Pack(Obfuscate(x)).
+  const std::pair<int, int> shapes[] = {{5, 3}, {7, 4}, {4, 2}, {3, 6}};
+  for (const auto& shape : shapes) {
+    CompleteHst tree = ShapedTree(shape.first, shape.second);
+    HstMechanism m = BuildMechanism(tree, 0.15);
+    const LeafCodec* codec = m.codec();
+    ASSERT_NE(codec, nullptr);
+    const LeafPath& x = tree.leaf_of_point(0);
+    const LeafCode cx = codec->Pack(x);
+    for (uint64_t seed = 1; seed <= 200; ++seed) {
+      Rng path_rng(seed);
+      Rng code_rng(seed);
+      EXPECT_EQ(m.ObfuscateCodeWalk(cx, &code_rng),
+                codec->Pack(m.Obfuscate(x, &path_rng)))
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(ObfuscateCodeTest, OutputsAreValidLeafCodes) {
+  // Digit ranges and zero stray bits, for power-of-two and odd arities
+  // (the latter exercises the per-digit fallback of the suffix fill).
+  const std::pair<int, int> shapes[] = {{16, 4}, {9, 7}, {21, 3}, {8, 8}};
+  for (const auto& shape : shapes) {
+    CompleteHst tree = ShapedTree(shape.first, shape.second);
+    HstMechanism m = BuildMechanism(tree, 0.05);
+    const LeafCodec* codec = m.codec();
+    ASSERT_NE(codec, nullptr);
+    const LeafCode x = codec->Pack(tree.leaf_of_point(0));
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+      const LeafCode z = m.ObfuscateCode(x, &rng);
+      ASSERT_TRUE(ValidateReportedLeafCode(tree, z).ok())
+          << ValidateReportedLeafCode(tree, z).ToString();
+      for (int j = 0; j < codec->depth(); ++j) {
+        ASSERT_LT(codec->Digit(z, j), shape.second);
+      }
+    }
+  }
+}
+
+TEST(ObfuscateCodeTest, LargeEpsilonConcentratesAndSmallEpsilonSpreads) {
+  CompleteHst tree = ShapedTree(4, 4);
+  const LeafCodec* codec = tree.codec();
+  ASSERT_NE(codec, nullptr);
+  const LeafCode x = codec->Pack(tree.leaf_of_point(0));
+
+  HstMechanism sharp = BuildMechanism(tree, 50.0);
+  Rng rng1(3);
+  int exact = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (sharp.ObfuscateCode(x, &rng1) == x) ++exact;
+  }
+  EXPECT_GT(exact, 990);
+
+  HstMechanism flat = BuildMechanism(tree, 1e-7);
+  EXPECT_NEAR(flat.Probability(x, x), 1.0 / 256.0, 1e-4);
+}
+
+TEST(TbfFrameworkCodeBatchTest, ObfuscateCodesMatchesObfuscateBatchWalk) {
+  // With the default walk sampler the code pipeline must report exactly
+  // the packed leaves of the path pipeline — any thread count, any offset.
+  Rng rng(5);
+  auto grid = UniformGridPoints(BBox::Square(100), 6);
+  ASSERT_TRUE(grid.ok());
+  auto framework =
+      TbfFramework::Build(std::move(*grid), EuclideanMetric(), &rng);
+  ASSERT_TRUE(framework.ok());
+  const LeafCodec* codec = framework->codec();
+  ASSERT_NE(codec, nullptr);
+
+  Rng loc_rng(8);
+  std::vector<Point> locations;
+  for (int i = 0; i < 500; ++i) {
+    locations.push_back({loc_rng.Uniform(0, 100), loc_rng.Uniform(0, 100)});
+  }
+  const Rng stream(123);
+  ThreadPool pool(3);
+  const uint64_t offset = 41;
+  std::vector<LeafPath> paths =
+      framework->ObfuscateBatch(locations, stream, &pool, nullptr, offset);
+  std::vector<LeafCode> codes =
+      framework->ObfuscateCodes(locations, stream, &pool, nullptr, offset);
+  ASSERT_EQ(paths.size(), codes.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    EXPECT_EQ(codes[i], codec->Pack(paths[i])) << i;
+  }
+}
+
+TEST(TbfFrameworkCodeBatchTest, InverseCdfSamplerAgreesAcrossBatchApis) {
+  // With kInverseCdf both batch entry points share the same draws, so the
+  // path pipeline must be the unpacked code pipeline.
+  Rng rng(6);
+  auto grid = UniformGridPoints(BBox::Square(100), 5);
+  ASSERT_TRUE(grid.ok());
+  TbfOptions options;
+  options.sampler = SamplerKind::kInverseCdf;
+  auto framework =
+      TbfFramework::Build(std::move(*grid), EuclideanMetric(), &rng, options);
+  ASSERT_TRUE(framework.ok());
+  EXPECT_EQ(framework->sampler(), SamplerKind::kInverseCdf);
+  const LeafCodec* codec = framework->codec();
+  ASSERT_NE(codec, nullptr);
+
+  Rng loc_rng(9);
+  std::vector<Point> locations;
+  for (int i = 0; i < 300; ++i) {
+    locations.push_back({loc_rng.Uniform(0, 100), loc_rng.Uniform(0, 100)});
+  }
+  const Rng stream(77);
+  ThreadPool pool(2);
+  std::vector<LeafPath> paths =
+      framework->ObfuscateBatch(locations, stream, &pool);
+  std::vector<LeafCode> codes =
+      framework->ObfuscateCodes(locations, stream, &pool);
+  ASSERT_EQ(paths.size(), codes.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    EXPECT_EQ(paths[i], codec->Unpack(codes[i])) << i;
+  }
+}
+
+}  // namespace
+}  // namespace tbf

@@ -277,6 +277,107 @@ TEST(TbfServerTest, RejectsOutOfRangeDigits) {
   EXPECT_EQ(server->available_workers(), 1u);  // pool untouched
 }
 
+TEST(TbfServerTest, CodeApiMatchesPathApiThroughChurn) {
+  // Two identically-seeded servers, one driven by LeafPaths, one by packed
+  // LeafCodes: every registration, assignment and distance must agree (the
+  // path API packs internally, so both run the same code-native engine).
+  auto tree = BuildTree();
+  const LeafCodec* codec = tree->codec();
+  ASSERT_NE(codec, nullptr);
+  auto by_path = TbfServer::Create(tree);
+  auto by_code = TbfServer::Create(tree);
+  ASSERT_TRUE(by_path.ok());
+  ASSERT_TRUE(by_code.ok());
+
+  Rng rng(31);
+  const int points = tree->num_points();
+  for (int round = 0; round < 200; ++round) {
+    const int op = static_cast<int>(rng.UniformInt(0, 2));
+    const LeafPath& leaf = tree->leaf_of_point(
+        static_cast<int>(rng.UniformInt(0, points - 1)));
+    const std::string id = "u" + std::to_string(rng.UniformInt(0, 20));
+    if (op == 0) {
+      EXPECT_EQ(by_path->RegisterWorker(id, leaf).ok(),
+                by_code->RegisterWorker(id, codec->Pack(leaf)).ok());
+    } else if (op == 1) {
+      auto a = by_path->SubmitTask(id, leaf);
+      auto b = by_code->SubmitTask(id, codec->Pack(leaf));
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(a->worker, b->worker) << "round " << round;
+      EXPECT_DOUBLE_EQ(a->reported_tree_distance, b->reported_tree_distance);
+    } else {
+      EXPECT_EQ(by_path->UnregisterWorker(id).ok(),
+                by_code->UnregisterWorker(id).ok());
+    }
+    EXPECT_EQ(by_path->available_workers(), by_code->available_workers());
+  }
+}
+
+TEST(TbfServerTest, CodeBatchSpansMatchPathBatches) {
+  auto tree = BuildTree();
+  const LeafCodec* codec = tree->codec();
+  ASSERT_NE(codec, nullptr);
+  auto by_path = TbfServer::Create(tree);
+  auto by_code = TbfServer::Create(tree);
+  ASSERT_TRUE(by_path.ok());
+  ASSERT_TRUE(by_code.ok());
+
+  std::vector<LeafReport> path_workers;
+  std::vector<LeafCodeReport> code_workers;
+  for (int i = 0; i < 12; ++i) {
+    const LeafPath& leaf = tree->leaf_of_point(3 * i);
+    path_workers.push_back({"w" + std::to_string(i), leaf, std::nullopt});
+    code_workers.push_back(
+        {"w" + std::to_string(i), codec->Pack(leaf), std::nullopt});
+  }
+  auto path_statuses = by_path->RegisterWorkers(path_workers);
+  auto code_statuses = by_code->RegisterWorkers(code_workers);
+  ASSERT_EQ(path_statuses.size(), code_statuses.size());
+  for (size_t i = 0; i < path_statuses.size(); ++i) {
+    EXPECT_EQ(path_statuses[i].ok(), code_statuses[i].ok()) << i;
+  }
+
+  std::vector<LeafReport> path_tasks;
+  std::vector<LeafCodeReport> code_tasks;
+  for (int i = 0; i < 8; ++i) {
+    const LeafPath& leaf =
+        tree->leaf_of_point((5 * i + 1) % tree->num_points());
+    path_tasks.push_back({"t" + std::to_string(i), leaf, std::nullopt});
+    code_tasks.push_back(
+        {"t" + std::to_string(i), codec->Pack(leaf), std::nullopt});
+  }
+  auto path_outcomes = by_path->SubmitTasks(path_tasks);
+  auto code_outcomes = by_code->SubmitTasks(code_tasks);
+  ASSERT_EQ(path_outcomes.size(), code_outcomes.size());
+  for (size_t i = 0; i < path_outcomes.size(); ++i) {
+    EXPECT_EQ(path_outcomes[i].result.worker, code_outcomes[i].result.worker)
+        << i;
+  }
+}
+
+TEST(TbfServerTest, RejectsMalformedLeafCodes) {
+  auto tree = BuildTree();
+  const LeafCodec* codec = tree->codec();
+  ASSERT_NE(codec, nullptr);
+  auto server = TbfServer::Create(tree);
+  ASSERT_TRUE(server.ok());
+  const LeafCode good = codec->Pack(tree->leaf_of_point(0));
+  ASSERT_TRUE(ValidateReportedLeafCode(*tree, good).ok());
+
+  const int low = 64 - codec->bits_per_digit() * codec->depth();
+  if (low > 0) {
+    // Stray bits below the last digit name no leaf: rejected, not aborted.
+    EXPECT_FALSE(server->RegisterWorker("w", good | 1).ok());
+    EXPECT_FALSE(server->SubmitTask("t", good | 1).ok());
+  }
+  if ((tree->arity() & (tree->arity() - 1)) != 0) {
+    // Non-power-of-two arity: a field holding `arity` is out of range.
+    const LeafCode bad = codec->WithDigit(good, 0, tree->arity());
+    EXPECT_FALSE(server->RegisterWorker("w", bad).ok());
+  }
+}
+
 TEST(TbfServerTest, BatchRegisterSkipsOnlyFailedItems) {
   auto tree = BuildTree();
   TbfServerOptions options;

@@ -78,11 +78,26 @@ TEST_P(HstIndexFuzzTest, FlatMatchesMapReference) {
         auto flat_uniform = flat.NearestUniform(query, &flat_rng);
         auto ref_uniform = reference.NearestUniform(query, &ref_rng);
         ASSERT_EQ(flat_uniform, ref_uniform) << "step " << step;
+        if (packed && !live.empty()) {
+          // The packed query overload must consume the identical draw
+          // sequence: replay the reference's draws off a cloned rng.
+          Rng code_rng = ref_rng;
+          Rng replay_rng = ref_rng;
+          ASSERT_EQ(flat.NearestUniform(flat.codec()->Pack(query), &code_rng),
+                    reference.NearestUniform(query, &replay_rng))
+              << "step " << step;
+          ASSERT_EQ(code_rng.NextU64(), replay_rng.NextU64());
+        }
 
         const size_t limit =
             static_cast<size_t>(driver.UniformInt(0, static_cast<int64_t>(live.size()) + 2));
         ASSERT_EQ(flat.NearestK(query, limit), reference.NearestK(query, limit))
             << "step " << step;
+        if (packed) {
+          ASSERT_EQ(flat.NearestK(flat.codec()->Pack(query), limit),
+                    reference.NearestK(query, limit))
+              << "step " << step;
+        }
       }
     }
 

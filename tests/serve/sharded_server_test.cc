@@ -149,6 +149,45 @@ TEST(ShardedServerTest, GoldenEquivalenceManyShardsWithBudgets) {
   RunGoldenChurn(4, HstTieBreak::kCanonical, 0.9, 21);
 }
 
+TEST(ShardedServerTest, CodeEntryPointIsGoldenEquivalentAcrossShards) {
+  // Same churn script, the single server fed LeafPaths and the sharded
+  // engine fed packed LeafCodes: the entry representation must not change
+  // one assignment (the path API packs at the boundary, so both run the
+  // identical code-native engine — this pins that equivalence down).
+  auto tree = BuildTree();
+  const LeafCodec* codec = tree->codec();
+  ASSERT_NE(codec, nullptr);
+  auto single = TbfServer::Create(tree);
+  ASSERT_TRUE(single.ok());
+  ShardedServerOptions options;
+  options.num_shards = 4;
+  auto sharded = ShardedTbfServer::Create(tree, options);
+  ASSERT_TRUE(sharded.ok());
+
+  Rng script(77);
+  int next_worker = 0;
+  for (int step = 0; step < 400; ++step) {
+    const int op = static_cast<int>(script.UniformInt(0, 9));
+    LeafPath leaf = RandomLeafPath(tree->depth(), tree->arity(), &script);
+    const LeafCode code = codec->Pack(leaf);
+    if (op < 5) {
+      std::string id = "w" + std::to_string(next_worker++);
+      ASSERT_EQ((*single).RegisterWorker(id, leaf).code(),
+                (*sharded)->RegisterWorker(id, code).code())
+          << "step " << step;
+    } else {
+      std::string id = "t" + std::to_string(step);
+      auto a = (*single).SubmitTask(id, leaf);
+      auto b = (*sharded)->SubmitTask(id, code);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ASSERT_EQ(a->worker, b->worker) << "step " << step;
+      ASSERT_DOUBLE_EQ(a->reported_tree_distance, b->reported_tree_distance);
+    }
+    ASSERT_EQ((*single).available_workers(), (*sharded)->available_workers());
+  }
+}
+
 TEST(ShardedServerTest, CrossShardResolutionFindsTheGlobalNearest) {
   // Construct a task whose home shard is empty: the engine must fan out
   // and return the canonical nearest across the other shards, exactly as
