@@ -11,6 +11,15 @@
 
 namespace tbf {
 
+/// \brief Coordinate structure of a metric, for geometric accelerators.
+///
+/// The grid/k-d pruning used by the fast HST builder and the pairwise
+/// distance bounds needs d(a,b) >= max(|dx|, |dy|), which holds for L1 and
+/// L2. Metrics that cannot promise a coordinate-aligned lower bound report
+/// kGeneric and the accelerated paths fall back to the exact quadratic
+/// scans.
+enum class MetricKind { kEuclidean, kManhattan, kGeneric };
+
 /// \brief Distance function over 2-D points.
 class Metric {
  public:
@@ -21,6 +30,9 @@ class Metric {
 
   /// Human-readable metric name (for logs and bench output).
   virtual const char* Name() const = 0;
+
+  /// Coordinate structure; kGeneric disables geometric acceleration.
+  virtual MetricKind kind() const { return MetricKind::kGeneric; }
 };
 
 /// \brief L2 metric (the paper's space X).
@@ -30,6 +42,7 @@ class EuclideanMetric final : public Metric {
     return EuclideanDistance(a, b);
   }
   const char* Name() const override { return "euclidean"; }
+  MetricKind kind() const override { return MetricKind::kEuclidean; }
 };
 
 /// \brief L1 metric (used by tests to exercise metric-genericity).
@@ -39,6 +52,7 @@ class ManhattanMetric final : public Metric {
     return ManhattanDistance(a, b);
   }
   const char* Name() const override { return "manhattan"; }
+  MetricKind kind() const override { return MetricKind::kManhattan; }
 };
 
 /// \brief Maximum pairwise distance over a point set under `metric`.

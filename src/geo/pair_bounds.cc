@@ -1,0 +1,133 @@
+#include "geo/pair_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tbf {
+namespace {
+
+// Relative slack on geometric pruning windows: distance evaluations round
+// at ~1e-16 relative, so a 1e-9-wide window can never exclude the pair
+// achieving the computed extreme. Candidate pairs themselves are evaluated
+// exactly, so the slack only ever admits extra candidates.
+constexpr double kWindowSlack = 1.0 + 1e-9;
+
+bool LexLess(const Point& a, const Point& b) {
+  return a.x < b.x || (a.x == b.x && a.y < b.y);
+}
+
+double BruteMin(const std::vector<Point>& pts, const Metric& metric) {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (size_t j = i + 1; j < pts.size(); ++j) {
+      best = std::min(best, metric.Distance(pts[i], pts[j]));
+    }
+  }
+  return best;
+}
+
+// Classic divide-and-conquer closest pair with a piggybacked merge sort on
+// y. On entry a[lo, hi) is sorted by (x, y); on exit it is sorted by y.
+// `best` tracks the minimum *computed* distance over every pair examined;
+// the standard correctness argument (both halves recursed, strip around the
+// median examined) guarantees the globally minimizing pair is among them —
+// the kWindowSlack margins keep that argument valid under floating-point
+// window arithmetic (|dx| and |dy| never exceed the L1/L2 distance).
+void ClosestRecurse(Point* a, Point* buf, size_t lo, size_t hi,
+                    const Metric& metric, double* best) {
+  const size_t count = hi - lo;
+  if (count <= 3) {
+    for (size_t i = lo; i < hi; ++i) {
+      for (size_t j = i + 1; j < hi; ++j) {
+        *best = std::min(*best, metric.Distance(a[i], a[j]));
+      }
+    }
+    std::sort(a + lo, a + hi,
+              [](const Point& p, const Point& q) { return p.y < q.y; });
+    return;
+  }
+  const size_t mid = lo + count / 2;
+  const double mid_x = a[mid].x;  // before recursion reorders by y
+  ClosestRecurse(a, buf, lo, mid, metric, best);
+  ClosestRecurse(a, buf, mid, hi, metric, best);
+  std::merge(a + lo, a + mid, a + mid, a + hi, buf + lo,
+             [](const Point& p, const Point& q) { return p.y < q.y; });
+  std::copy(buf + lo, buf + hi, a + lo);
+
+  // Strip scan: candidates within the (slackened) window of the median
+  // line, each compared upward while the y gap stays within the window.
+  double window = *best * kWindowSlack;
+  size_t strip_size = 0;
+  for (size_t i = lo; i < hi; ++i) {
+    if (std::fabs(a[i].x - mid_x) <= window) buf[lo + strip_size++] = a[i];
+  }
+  for (size_t i = 0; i < strip_size; ++i) {
+    for (size_t j = i + 1; j < strip_size; ++j) {
+      if (buf[lo + j].y - buf[lo + i].y > window) break;
+      const double d = metric.Distance(buf[lo + i], buf[lo + j]);
+      if (d < *best) {
+        *best = d;
+        window = *best * kWindowSlack;
+      }
+    }
+  }
+}
+
+// Cross product (A - O) x (B - O): > 0 for a counter-clockwise turn.
+double Cross(const Point& o, const Point& a, const Point& b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+}  // namespace
+
+double ClosestPairDistance(const std::vector<Point>& pts, const Metric& metric) {
+  const size_t n = pts.size();
+  if (n < 2) return 0.0;
+  if (metric.kind() == MetricKind::kGeneric) return BruteMin(pts, metric);
+  std::vector<Point> by_x(pts);
+  std::sort(by_x.begin(), by_x.end(), LexLess);
+  std::vector<Point> buf(n);
+  double best = std::numeric_limits<double>::infinity();
+  ClosestRecurse(by_x.data(), buf.data(), 0, n, metric, &best);
+  return best;
+}
+
+std::vector<Point> ConvexHullBoundary(std::vector<Point> pts) {
+  std::sort(pts.begin(), pts.end(), LexLess);
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const size_t n = pts.size();
+  if (n <= 2) return pts;
+  // Popping only on strictly clockwise turns (< 0) keeps collinear
+  // boundary points on the chain.
+  std::vector<Point> hull(2 * n);
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {  // lower chain
+    while (k >= 2 && Cross(hull[k - 2], hull[k - 1], pts[i]) < 0) --k;
+    hull[k++] = pts[i];
+  }
+  const size_t lower_size = k + 1;
+  for (size_t i = n - 1; i-- > 0;) {  // upper chain
+    while (k >= lower_size && Cross(hull[k - 2], hull[k - 1], pts[i]) < 0) --k;
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);  // last point is the first point again
+  // Degenerate (1-D) inputs keep every point on both chains; dedupe so
+  // the pair scan never exceeds the boundary size (callers only need the
+  // point set, not the traversal order).
+  std::sort(hull.begin(), hull.end(), LexLess);
+  hull.erase(std::unique(hull.begin(), hull.end()), hull.end());
+  return hull;
+}
+
+double FurthestPairDistance(const std::vector<Point>& pts, const Metric& metric) {
+  if (pts.size() < 2) return 0.0;
+  // MaxPairwiseDistance is the exact scan the reference builder uses —
+  // sharing it keeps the bit-identity contract in one place.
+  if (metric.kind() == MetricKind::kGeneric) {
+    return MaxPairwiseDistance(pts, metric);
+  }
+  return MaxPairwiseDistance(ConvexHullBoundary(pts), metric);
+}
+
+}  // namespace tbf

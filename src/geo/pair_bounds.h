@@ -1,0 +1,56 @@
+// Fast exact pairwise-distance extremes over 2-D point sets.
+//
+// HST construction needs the minimum and maximum pairwise distance (metric
+// normalization and tree depth); the seed computed both with O(N^2) scans,
+// which alone is ~5*10^11 distance evaluations at a million points. These
+// helpers return the *identical doubles* in O(N log N):
+//
+//   * ClosestPairDistance — divide-and-conquer closest pair. The minimum of
+//     a multiset of doubles is order-independent, so any algorithm that
+//     provably examines the minimizing pair returns the bit-identical
+//     value. Geometric pruning windows carry a 1e-9 relative slack so
+//     floating-point rounding of the window test can never exclude the
+//     minimizing pair (distance evaluation error is ~1e-16 relative).
+//   * FurthestPairDistance — convex hull (monotone chain, collinear
+//     boundary points kept) + exhaustive hull-pair evaluation. The diameter
+//     of a point set is attained on hull boundary points for any norm, so
+//     the maximum over hull pairs equals the maximum over all pairs.
+//
+// Both evaluate candidate pairs through Metric::Distance itself, so the
+// returned double is exactly the extreme of the same computed values the
+// quadratic scans consider. Metrics reporting MetricKind::kGeneric get the
+// exact quadratic fallback (no coordinate lower bound to prune with).
+//
+// Unlike MinPairwiseDistance (which skips zero distances),
+// ClosestPairDistance includes them: a result <= 0 means the set contains
+// duplicates, which doubles as the builder's O(N log N) duplicate check.
+
+#pragma once
+
+#include <vector>
+
+#include "geo/metric.h"
+#include "geo/point.h"
+
+namespace tbf {
+
+/// \brief Minimum pairwise distance, *including* zero-distance pairs.
+/// Returns 0 for fewer than 2 points. O(N log N) for L1/L2 metrics,
+/// O(N^2) for generic ones. Bit-identical to the brute-force minimum.
+double ClosestPairDistance(const std::vector<Point>& pts, const Metric& metric);
+
+/// \brief Maximum pairwise distance. Returns 0 for fewer than 2 points.
+/// O(N log N + h^2) for L1/L2 (h = hull boundary size; degenerate 1-D
+/// sets have h = N and degrade to the quadratic scan this replaces — no
+/// worse than the seed), O(N^2) for generic metrics. Bit-identical to the
+/// brute-force maximum.
+double FurthestPairDistance(const std::vector<Point>& pts, const Metric& metric);
+
+/// \brief Convex hull boundary of `pts` (monotone chain), *keeping*
+/// collinear boundary points — distance extremes on flat hull edges are
+/// then evaluated rather than inferred, which keeps FurthestPairDistance
+/// bit-identical even when ties on an edge round differently. Exposed for
+/// tests.
+std::vector<Point> ConvexHullBoundary(std::vector<Point> pts);
+
+}  // namespace tbf

@@ -1,0 +1,275 @@
+#include "geo/rank_index.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tbf {
+namespace {
+
+// Cells are made a hair larger than the prune radius so that, even after
+// the floor() coordinate arithmetic rounds, every center within the prune
+// radius of a query lies in the query's 3x3 cell neighborhood.
+constexpr double kCellSlack = 1.0000001;
+
+// Explicit DFS stack bound for the k-d query: the tree is median-balanced,
+// so its depth is <= ceil(log2(N)) + 1 <= 32, and the stack holds at most
+// one pending sibling per level.
+constexpr int kKdStackCapacity = 96;
+
+uint64_t MixKey(uint64_t key) {
+  // splitmix64 finalizer — cheap, deterministic cell-key scatter.
+  key += 0x9e3779b97f4a7c15ULL;
+  key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  key = (key ^ (key >> 27)) * 0x94d049bb133111ebULL;
+  return key ^ (key >> 31);
+}
+
+uint64_t PackKey(int64_t cx, int64_t cy) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
+         static_cast<uint32_t>(cy);
+}
+
+}  // namespace
+
+MinRankBallIndex::MinRankBallIndex(std::vector<Point> centers_by_rank,
+                                   MetricKind kind, double scale,
+                                   int grid_scan_budget)
+    : centers_(std::move(centers_by_rank)),
+      kind_(kind),
+      scale_(scale),
+      grid_scan_budget_(grid_scan_budget) {
+  TBF_CHECK(kind_ != MetricKind::kGeneric)
+      << "MinRankBallIndex needs a coordinate lower bound (L1/L2)";
+  TBF_CHECK(!centers_.empty()) << "empty center set";
+  origin_x_ = centers_[0].x;
+  origin_y_ = centers_[0].y;
+  double max_x = centers_[0].x, max_y = centers_[0].y;
+  for (const Point& p : centers_) {
+    origin_x_ = std::min(origin_x_, p.x);
+    origin_y_ = std::min(origin_y_, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  span_ = std::max(max_x - origin_x_, max_y - origin_y_);
+  const int n = static_cast<int>(centers_.size());
+  kd_.reserve(static_cast<size_t>(n));
+  std::vector<int32_t> ranks(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) ranks[static_cast<size_t>(r)] = r;
+  kd_root_ = BuildKd(&ranks, 0, n, 0);
+}
+
+int32_t MinRankBallIndex::BuildKd(std::vector<int32_t>* ranks, int lo, int hi,
+                                  int axis) {
+  if (lo >= hi) return -1;
+  const int mid = lo + (hi - lo) / 2;
+  auto* base = ranks->data();
+  std::nth_element(base + lo, base + mid, base + hi,
+                   [&](int32_t a, int32_t b) {
+                     const Point& pa = centers_[static_cast<size_t>(a)];
+                     const Point& pb = centers_[static_cast<size_t>(b)];
+                     return axis == 0 ? pa.x < pb.x : pa.y < pb.y;
+                   });
+  const int32_t node_index = static_cast<int32_t>(kd_.size());
+  kd_.push_back(KdNode{});
+  {
+    // Subtree bbox and min rank over the contiguous range this node owns.
+    KdNode& node = kd_[static_cast<size_t>(node_index)];
+    const int32_t rank = base[mid];
+    const Point& pt = centers_[static_cast<size_t>(rank)];
+    node.x = pt.x;
+    node.y = pt.y;
+    node.rank = rank;
+    node.min_x = node.max_x = pt.x;
+    node.min_y = node.max_y = pt.y;
+    node.min_rank = rank;
+    for (int i = lo; i < hi; ++i) {
+      const Point& p = centers_[static_cast<size_t>(base[i])];
+      node.min_x = std::min(node.min_x, p.x);
+      node.max_x = std::max(node.max_x, p.x);
+      node.min_y = std::min(node.min_y, p.y);
+      node.max_y = std::max(node.max_y, p.y);
+      node.min_rank = std::min(node.min_rank, base[i]);
+    }
+  }
+  const int32_t left = BuildKd(ranks, lo, mid, 1 - axis);
+  const int32_t right = BuildKd(ranks, mid + 1, hi, 1 - axis);
+  kd_[static_cast<size_t>(node_index)].left = left;
+  kd_[static_cast<size_t>(node_index)].right = right;
+  return node_index;
+}
+
+bool MinRankBallIndex::Covers(const Point& query, double cx, double cy,
+                              double scaled_radius) const {
+  // The exact expression of the reference builder's ball test — same
+  // distance function, same multiplication order, same comparison.
+  const Point center{cx, cy};
+  const double d = kind_ == MetricKind::kEuclidean
+                       ? EuclideanDistance(query, center)
+                       : ManhattanDistance(query, center);
+  return scale_ * d <= scaled_radius;
+}
+
+bool MinRankBallIndex::PrepareGrid(double prune_radius) {
+  TBF_CHECK(prune_radius > 0.0) << "non-positive grid radius";
+  const double cell_size = prune_radius * kCellSlack;
+  // Guard the coordinate magnitude: floor((p - origin) * inv_cell) rounds
+  // with ~3 ulp relative error, so at 1e8 cells the absolute error stays
+  // ~3e-8 cells per point — comfortably inside the 1e-7 kCellSlack margin
+  // that keeps covering centers within the 3x3 neighborhood (and far from
+  // the 32-bit packed-key limit). Beyond that, refuse; the k-d path
+  // answers those levels exactly.
+  if (span_ / cell_size >= 1e8) return false;
+  inv_cell_size_ = 1.0 / cell_size;
+  const int n = static_cast<int>(centers_.size());
+  if (slots_.empty()) {
+    const size_t table_size =
+        std::bit_ceil(static_cast<size_t>(2 * std::max(n, 8)));
+    slots_.assign(table_size, CellSlot{});
+    slot_mask_ = table_size - 1;
+    entries_.resize(static_cast<size_t>(n));
+    cell_of_rank_.resize(static_cast<size_t>(n));
+    cell_begin_.reserve(static_cast<size_t>(n) + 1);
+  }
+  ++grid_epoch_;
+  num_cells_ = 0;
+  cell_begin_.clear();
+
+  // Pass 1: assign cell ids in first-encounter order, count occupancy.
+  std::vector<int32_t> counts;  // indexed by cell id
+  counts.reserve(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    const Point& p = centers_[static_cast<size_t>(r)];
+    const int64_t cx =
+        static_cast<int64_t>(std::floor((p.x - origin_x_) * inv_cell_size_));
+    const int64_t cy =
+        static_cast<int64_t>(std::floor((p.y - origin_y_) * inv_cell_size_));
+    const uint64_t key = PackKey(cx, cy);
+    size_t slot = MixKey(key) & slot_mask_;
+    for (;;) {
+      CellSlot& s = slots_[slot];
+      if (s.epoch != grid_epoch_) {
+        s.epoch = grid_epoch_;
+        s.key = key;
+        s.cell = num_cells_++;
+        counts.push_back(0);
+        break;
+      }
+      if (s.key == key) break;
+      slot = (slot + 1) & slot_mask_;
+    }
+    const int32_t cell = slots_[slot].cell;
+    cell_of_rank_[static_cast<size_t>(r)] = cell;
+    ++counts[static_cast<size_t>(cell)];
+  }
+
+  // CSR offsets + pass 2: filling in ascending rank order leaves every
+  // cell's entries rank-sorted, which is what lets queries early-exit.
+  cell_begin_.assign(static_cast<size_t>(num_cells_) + 1, 0);
+  for (int32_t c = 0; c < num_cells_; ++c) {
+    cell_begin_[static_cast<size_t>(c) + 1] =
+        cell_begin_[static_cast<size_t>(c)] + counts[static_cast<size_t>(c)];
+  }
+  std::vector<int32_t> cursor(cell_begin_.begin(), cell_begin_.end() - 1);
+  for (int r = 0; r < n; ++r) {
+    const int32_t cell = cell_of_rank_[static_cast<size_t>(r)];
+    const Point& p = centers_[static_cast<size_t>(r)];
+    entries_[static_cast<size_t>(cursor[static_cast<size_t>(cell)]++)] =
+        GridEntry{p.x, p.y, static_cast<int32_t>(r)};
+  }
+  return true;
+}
+
+int MinRankBallIndex::FindCell(int64_t cx, int64_t cy) const {
+  const uint64_t key = PackKey(cx, cy);
+  size_t slot = MixKey(key) & slot_mask_;
+  for (;;) {
+    const CellSlot& s = slots_[slot];
+    if (s.epoch != grid_epoch_) return -1;
+    if (s.key == key) return s.cell;
+    slot = (slot + 1) & slot_mask_;
+  }
+}
+
+int MinRankBallIndex::MinCoveringRank(const Point& query, double scaled_radius,
+                                      double prune_radius, int initial_bound,
+                                      bool use_grid) const {
+  int best = initial_bound;
+  if (!use_grid) {
+    return KdMinCoveringRank(query, scaled_radius, prune_radius, best);
+  }
+  TBF_DCHECK(inv_cell_size_ > 0.0) << "grid not prepared";
+  const int64_t qx =
+      static_cast<int64_t>(std::floor((query.x - origin_x_) * inv_cell_size_));
+  const int64_t qy =
+      static_cast<int64_t>(std::floor((query.y - origin_y_) * inv_cell_size_));
+  int examined = 0;
+  for (int64_t dy = -1; dy <= 1; ++dy) {
+    for (int64_t dx = -1; dx <= 1; ++dx) {
+      const int cell = FindCell(qx + dx, qy + dy);
+      if (cell < 0) continue;
+      const int32_t end = cell_begin_[static_cast<size_t>(cell) + 1];
+      for (int32_t e = cell_begin_[static_cast<size_t>(cell)]; e < end; ++e) {
+        const GridEntry& entry = entries_[static_cast<size_t>(e)];
+        if (entry.rank >= best) break;  // rank-sorted: rest can't improve
+        if (++examined > grid_scan_budget_) {
+          // Skewed cell: finish on the k-d path, keeping the bound found
+          // so far (deterministic — the scan order is fixed).
+          return KdMinCoveringRank(query, scaled_radius, prune_radius, best);
+        }
+        if (Covers(query, entry.x, entry.y, scaled_radius)) {
+          best = entry.rank;
+          break;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+int MinRankBallIndex::KdMinCoveringRank(const Point& query,
+                                        double scaled_radius,
+                                        double prune_radius, int best) const {
+  int32_t stack[kKdStackCapacity];
+  int top = 0;
+  stack[top++] = kd_root_;
+  while (top > 0) {
+    const int32_t index = stack[--top];
+    if (index < 0) continue;
+    const KdNode& node = kd_[static_cast<size_t>(index)];
+    if (node.min_rank >= best) continue;
+    // Lower bound from the bbox in the metric (>= slackened prune radius
+    // means no center inside can pass the exact covering test).
+    const double gx =
+        std::max({0.0, node.min_x - query.x, query.x - node.max_x});
+    const double gy =
+        std::max({0.0, node.min_y - query.y, query.y - node.max_y});
+    const double bound = kind_ == MetricKind::kEuclidean
+                             ? std::sqrt(gx * gx + gy * gy)
+                             : gx + gy;
+    if (bound > prune_radius) continue;
+    if (node.rank < best && Covers(query, node.x, node.y, scaled_radius)) {
+      best = node.rank;
+    }
+    // Pop the lower-min-rank child first: it is likelier to shrink `best`
+    // and let the sibling prune away entirely.
+    const int32_t left = node.left, right = node.right;
+    TBF_DCHECK(top + 2 <= kKdStackCapacity) << "k-d stack overflow";
+    const bool left_first =
+        left >= 0 &&
+        (right < 0 || kd_[static_cast<size_t>(left)].min_rank <=
+                          kd_[static_cast<size_t>(right)].min_rank);
+    if (left_first) {
+      if (right >= 0) stack[top++] = right;
+      stack[top++] = left;
+    } else {
+      if (left >= 0) stack[top++] = left;
+      if (right >= 0) stack[top++] = right;
+    }
+  }
+  return best;
+}
+
+}  // namespace tbf

@@ -1,0 +1,85 @@
+// Internal pieces shared by the two Algorithm 1 builders (hst_tree.cc and
+// hst_builder.cc). Both must resolve (beta, pi) with the exact same RNG
+// draw order — beta first, then the permutation — and apply the same
+// validation, or draw-for-draw equivalence between Build and
+// BuildReference breaks. Not part of the public API.
+
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "hst/hst_tree.h"
+
+namespace tbf {
+namespace hst_build_internal {
+
+/// Resolves the radius factor: a fixed options.beta in [0.5, 1] is used
+/// as-is (no draw); anything else samples U[1/2, 1) from `rng`.
+inline double ResolveBeta(Rng* rng, const HstTreeOptions& options) {
+  return (options.beta >= 0.5 && options.beta <= 1.0) ? options.beta
+                                                      : rng->Uniform(0.5, 1.0);
+}
+
+inline Status DuplicatePointsError() {
+  return Status::InvalidArgument(
+      "duplicate points in HST input; deduplicate first "
+      "(see FilterMinSeparation)");
+}
+
+/// Scale, depth and beta shared by both builders. `min_dist` is the
+/// minimum pairwise computed distance (duplicates already rejected, so
+/// > 0 for n > 1); `unscaled_max_dist` the maximum. Resolves beta (the
+/// first RNG draw) and applies the normalize=false separation check.
+struct BuildPrelude {
+  double scale = 1.0;
+  int depth = 0;
+  double beta = 0.0;
+};
+
+inline Result<BuildPrelude> ResolvePrelude(int n, double min_dist,
+                                           double unscaled_max_dist, Rng* rng,
+                                           const HstTreeOptions& options) {
+  BuildPrelude prelude;
+  if (n > 1 && options.normalize) {
+    prelude.scale = HstTreeOptions::kMinSeparation / min_dist;
+  }
+  // Line 1 of Alg. 1: D = ceil(log2(2 * max distance)) in scaled units.
+  const double max_dist = prelude.scale * unscaled_max_dist;
+  prelude.depth =
+      n == 1 ? 1 : static_cast<int>(std::ceil(std::log2(2.0 * max_dist)));
+  TBF_CHECK(prelude.depth >= 1) << "HST depth must be positive";
+  prelude.beta = ResolveBeta(rng, options);
+  // With normalization off, singleton leaves require the metric to
+  // separate points by more than the level-0 ball diameter 2 * beta.
+  if (!options.normalize && n > 1 && min_dist <= 2.0 * prelude.beta) {
+    return Status::FailedPrecondition(
+        "normalize=false requires min pairwise distance > 2 * beta");
+  }
+  return prelude;
+}
+
+/// Resolves and validates the permutation pi (must be called after
+/// ResolveBeta — the reference draw order).
+inline Result<std::vector<int>> ResolvePi(int n, Rng* rng,
+                                          const HstTreeOptions& options) {
+  if (options.permutation.empty()) return rng->Permutation(n);
+  std::vector<int> pi = options.permutation;
+  if (static_cast<int>(pi.size()) != n) {
+    return Status::InvalidArgument("permutation size != point count");
+  }
+  std::vector<bool> seen(static_cast<size_t>(n), false);
+  for (int v : pi) {
+    if (v < 0 || v >= n || seen[static_cast<size_t>(v)]) {
+      return Status::InvalidArgument("permutation is not a permutation");
+    }
+    seen[static_cast<size_t>(v)] = true;
+  }
+  return pi;
+}
+
+}  // namespace hst_build_internal
+}  // namespace tbf

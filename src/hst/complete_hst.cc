@@ -25,29 +25,40 @@ Result<CompleteHst> CompleteHst::Build(const HstTree& tree,
 
   // Digit path of each real leaf: child index at each node on the
   // root-to-leaf walk. Real children occupy digits 0..k-1 in construction
-  // order; digits k..c-1 are the fake children appended by padding.
+  // order; digits k..c-1 are the fake children appended by padding. One
+  // pass over the nodes records every node's digit within its parent, so
+  // each leaf walk is O(D) instead of O(D * c) sibling scans.
   out.leaf_paths_.resize(out.points_.size());
   const auto& nodes = tree.nodes();
+  // Sentinel-initialized so a node missing from its parent's children list
+  // still trips the consistency check below (arity <= 65535, so 0xFFFF is
+  // never a real digit).
+  constexpr char16_t kNoDigit = 0xFFFF;
+  std::vector<char16_t> digit_of_node(nodes.size(), kNoDigit);
+  for (size_t node = 0; node < nodes.size(); ++node) {
+    const auto& children = nodes[node].children;
+    for (size_t d = 0; d < children.size(); ++d) {
+      digit_of_node[static_cast<size_t>(children[d])] =
+          static_cast<char16_t>(d);
+    }
+  }
   for (size_t pid = 0; pid < out.points_.size(); ++pid) {
     int node = tree.leaf_of_point(static_cast<int>(pid));
     LeafPath reversed;
     while (nodes[static_cast<size_t>(node)].parent >= 0) {
-      int parent = nodes[static_cast<size_t>(node)].parent;
-      const auto& siblings = nodes[static_cast<size_t>(parent)].children;
-      auto it = std::find(siblings.begin(), siblings.end(), node);
-      TBF_CHECK(it != siblings.end()) << "tree child/parent inconsistency";
-      reversed.push_back(
-          static_cast<char16_t>(std::distance(siblings.begin(), it)));
-      node = parent;
+      TBF_CHECK(digit_of_node[static_cast<size_t>(node)] != kNoDigit)
+          << "tree child/parent inconsistency";
+      reversed.push_back(digit_of_node[static_cast<size_t>(node)]);
+      node = nodes[static_cast<size_t>(node)].parent;
     }
     LeafPath path(reversed.rbegin(), reversed.rend());
     TBF_CHECK(static_cast<int>(path.size()) == out.depth_)
         << "leaf not at level 0";
-    out.point_by_leaf_[path] = static_cast<int>(pid);
     out.leaf_paths_[pid] = std::move(path);
   }
 
   out.FinishLeafCodes();
+  TBF_CHECK(out.BuildLeafLookup()) << "duplicate leaf path in built tree";
   out.mapper_ = std::make_unique<KdTree>(out.points_);
   return out;
 }
@@ -88,11 +99,11 @@ Result<CompleteHst> CompleteHst::FromParts(int depth, int arity, double scale,
         return Status::InvalidArgument("leaf path digit out of arity range");
       }
     }
-    if (!out.point_by_leaf_.emplace(path, static_cast<int>(pid)).second) {
-      return Status::InvalidArgument("duplicate leaf path");
-    }
   }
   out.FinishLeafCodes();
+  if (!out.BuildLeafLookup()) {
+    return Status::InvalidArgument("duplicate leaf path");
+  }
   out.mapper_ = std::make_unique<KdTree>(out.points_);
   return out;
 }
@@ -106,13 +117,52 @@ void CompleteHst::FinishLeafCodes() {
   }
 }
 
+bool CompleteHst::BuildLeafLookup() {
+  // Packing is injective on valid paths, so duplicate detection through
+  // either map is equivalent.
+  if (codec_) {
+    point_by_code_.reserve(leaf_codes_.size());
+    for (size_t pid = 0; pid < leaf_codes_.size(); ++pid) {
+      if (!point_by_code_.emplace(leaf_codes_[pid], static_cast<int>(pid))
+               .second) {
+        return false;
+      }
+    }
+    return true;
+  }
+  point_by_leaf_.reserve(leaf_paths_.size());
+  for (size_t pid = 0; pid < leaf_paths_.size(); ++pid) {
+    if (!point_by_leaf_.emplace(leaf_paths_[pid], static_cast<int>(pid))
+             .second) {
+      return false;
+    }
+  }
+  return true;
+}
+
 double CompleteHst::num_leaves() const {
   return std::pow(static_cast<double>(arity_), depth_);
 }
 
 std::optional<int> CompleteHst::point_of_leaf(const LeafPath& leaf) const {
+  if (codec_) {
+    // Validate shape before packing (Pack CHECKs what a map lookup would
+    // simply miss), then hit the uint64-keyed map.
+    if (static_cast<int>(leaf.size()) != depth_) return std::nullopt;
+    for (char16_t digit : leaf) {
+      if (static_cast<int>(digit) >= arity_) return std::nullopt;
+    }
+    return point_of_leaf(codec_->Pack(leaf));
+  }
   auto it = point_by_leaf_.find(leaf);
   if (it == point_by_leaf_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<int> CompleteHst::point_of_leaf(LeafCode leaf) const {
+  TBF_CHECK(codec_) << "tree shape exceeds packed-code capacity";
+  auto it = point_by_code_.find(leaf);
+  if (it == point_by_code_.end()) return std::nullopt;
   return it->second;
 }
 

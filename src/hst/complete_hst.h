@@ -84,8 +84,14 @@ class CompleteHst {
   /// shape exceeds 64 bits (then only the LeafPath API is usable).
   const LeafCodec* codec() const { return codec_ ? &*codec_ : nullptr; }
 
-  /// Real point stored at `leaf`, or nullopt for fake leaves.
+  /// \brief Real point stored at `leaf`, or nullopt for fake leaves (and
+  /// for paths of the wrong length or with out-of-range digits). When a
+  /// codec exists the lookup packs at the boundary and hits the
+  /// LeafCode-keyed map — hashing one uint64 instead of a digit vector.
   std::optional<int> point_of_leaf(const LeafPath& leaf) const;
+
+  /// \brief Packed-domain lookup (codec() must be non-null).
+  std::optional<int> point_of_leaf(LeafCode leaf) const;
 
   /// \brief Tree distance between two leaves in *metric* units.
   double TreeDistance(const LeafPath& a, const LeafPath& b) const;
@@ -116,6 +122,10 @@ class CompleteHst {
   // does not fit 64-bit codes).
   void FinishLeafCodes();
 
+  // Fills the leaf -> point lookup (code-keyed when a codec exists,
+  // path-keyed otherwise). Returns false on a duplicate leaf.
+  bool BuildLeafLookup();
+
   int depth_ = 0;
   int arity_ = 2;
   double scale_ = 1.0;
@@ -123,6 +133,9 @@ class CompleteHst {
   std::vector<LeafPath> leaf_paths_;
   std::vector<LeafCode> leaf_codes_;  // parallel to leaf_paths_ (packed)
   std::optional<LeafCodec> codec_;    // set when the shape fits 64 bits
+  // Leaf -> point id. point_by_code_ when a codec exists (uint64 hashing);
+  // the LeafPath map only serves shapes beyond 64-bit codes.
+  std::unordered_map<LeafCode, int> point_by_code_;
   std::unordered_map<LeafPath, int> point_by_leaf_;
   std::unique_ptr<KdTree> mapper_;
 };

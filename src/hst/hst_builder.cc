@@ -1,0 +1,219 @@
+// Grid-accelerated, cluster-parallel FRT builder (HstTree::Build).
+//
+// Equivalence argument: the only randomness in Algorithm 1 is the
+// permutation pi and the radius factor beta. In the reference's ball
+// peeling, point u still "remains" at step j iff no earlier center covered
+// it, so u lands in the ball of center pi[j*] with
+//
+//     j*(u, i) = min { j : scale * d(u, pi[j]) <= beta * 2^i },
+//
+// independent of every other point. A cluster at level i is therefore the
+// set of points sharing the first-cover ranks (j*(., D-1), ..., j*(., i)),
+// and the reference's construction order falls out deterministically:
+// children of a cluster appear in ascending first-cover rank, members keep
+// parent order (ascending point id, inherited from the root), and nodes
+// are appended level by level over the frontier. Reproducing that order
+// from per-point rank queries yields the bit-identical tree — nodes,
+// levels, parents, children, point order, leaf map, depth, beta, scale.
+//
+// The per-point queries go through geo/rank_index.h (uniform per-level
+// grid, k-d fallback) instead of scanning all N centers, and are fanned
+// out over common/thread_pool.h — each query is a pure function of
+// (pi, beta), so the thread count cannot change the tree. Points already
+// in singleton clusters skip the query entirely: their chain to level 0 is
+// rank-independent, which makes per-level work proportional to the number
+// of points still sharing clusters.
+//
+// The scale and depth inputs (min/max pairwise distance) come from
+// geo/pair_bounds.h in O(N log N), bit-identical to the quadratic scans.
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <optional>
+
+#include "common/logging.h"
+#include "common/math.h"
+#include "common/thread_pool.h"
+#include "geo/pair_bounds.h"
+#include "geo/rank_index.h"
+#include "hst/build_internal.h"
+#include "hst/hst_tree.h"
+
+namespace tbf {
+namespace {
+
+// Pruning windows carry the same relative slack as pair_bounds.h: the
+// covering test itself is exact, the slack only guarantees rounding never
+// hides an acceptable center from the spatial index.
+constexpr double kPruneSlack = 1.0 + 1e-9;
+
+// Below this fraction of points needing queries, the O(N) per-level grid
+// build costs more than the queries it accelerates; the radius-independent
+// k-d path serves the stragglers. Pure wall-clock policy — both paths are
+// exact, so the threshold cannot affect the tree.
+constexpr size_t kGridQueryFraction = 8;
+
+}  // namespace
+
+Result<HstTree> HstTree::Build(const std::vector<Point>& points,
+                               const Metric& metric, Rng* rng,
+                               const HstTreeOptions& options) {
+  if (metric.kind() == MetricKind::kGeneric) {
+    // No coordinate lower bound to prune with — run the exact reference.
+    return BuildReference(points, metric, rng, options);
+  }
+  if (points.empty()) return Status::InvalidArgument("empty point set");
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+
+  HstTree tree;
+  const int n = static_cast<int>(points.size());
+
+  // Same prologue as BuildReference, with the O(N log N) distance
+  // extremes: ClosestPairDistance includes zero-distance pairs, so it
+  // doubles as the duplicate check, and FurthestPairDistance is
+  // bit-identical to the quadratic max scan.
+  double min_dist = 0.0;
+  if (n > 1) {
+    min_dist = ClosestPairDistance(points, metric);
+    if (min_dist <= 0.0) return hst_build_internal::DuplicatePointsError();
+  }
+  TBF_ASSIGN_OR_RETURN(
+      const hst_build_internal::BuildPrelude prelude,
+      hst_build_internal::ResolvePrelude(
+          n, min_dist, FurthestPairDistance(points, metric), rng, options));
+  tree.scale_ = prelude.scale;
+  tree.depth_ = prelude.depth;
+  tree.beta_ = prelude.beta;
+  TBF_ASSIGN_OR_RETURN(std::vector<int> pi,
+                       hst_build_internal::ResolvePi(n, rng, options));
+
+  std::vector<int32_t> rank_of(static_cast<size_t>(n));
+  std::vector<Point> centers(static_cast<size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    rank_of[static_cast<size_t>(pi[static_cast<size_t>(j)])] = j;
+    centers[static_cast<size_t>(j)] = points[static_cast<size_t>(pi[static_cast<size_t>(j)])];
+  }
+  MinRankBallIndex index(std::move(centers), metric.kind(), tree.scale_);
+
+  const int threads = ThreadPool::ResolveThreadCount(options.num_threads);
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+
+  tree.nodes_.push_back(HstNode{});
+  tree.root_ = 0;
+  tree.nodes_[0].level = tree.depth_;
+  tree.nodes_[0].point_ids.resize(static_cast<size_t>(n));
+  std::iota(tree.nodes_[0].point_ids.begin(), tree.nodes_[0].point_ids.end(), 0);
+
+  std::vector<int32_t> rank_at(static_cast<size_t>(n));  // level's j*(u)
+  std::vector<int> query_ids;  // points in clusters of size >= 2
+  query_ids.reserve(static_cast<size_t>(n));
+  std::vector<uint64_t> groups;  // (rank << 32 | id), sorted per cluster
+
+  // The frontier is always the contiguous node range created by the
+  // previous level (the root to start).
+  size_t frontier_begin = 0, frontier_end = 1;
+  for (int level = tree.depth_ - 1; level >= 0; --level) {
+    const double scaled_radius = tree.beta_ * PowerOfTwo(level);
+    const double prune_radius = (scaled_radius / tree.scale_) * kPruneSlack;
+
+    query_ids.clear();
+    for (size_t c = frontier_begin; c < frontier_end; ++c) {
+      const std::vector<int>& ids = tree.nodes_[c].point_ids;
+      if (ids.size() >= 2) {
+        query_ids.insert(query_ids.end(), ids.begin(), ids.end());
+      }
+    }
+    if (!query_ids.empty()) {
+      const bool use_grid =
+          query_ids.size() * kGridQueryFraction >= points.size() &&
+          index.PrepareGrid(prune_radius);
+      const auto assign = [&](size_t begin, size_t end) {
+        // The zero-allocation hot loop: one min-rank ball query per point,
+        // bounded above by the point's own rank (it always covers itself).
+        for (size_t i = begin; i < end; ++i) {
+          const int u = query_ids[i];
+          rank_at[static_cast<size_t>(u)] = static_cast<int32_t>(
+              index.MinCoveringRank(points[static_cast<size_t>(u)],
+                                    scaled_radius, prune_radius,
+                                    rank_of[static_cast<size_t>(u)], use_grid));
+        }
+      };
+      if (pool) {
+        pool->ParallelFor(query_ids.size(), assign);
+      } else {
+        assign(0, query_ids.size());
+      }
+    }
+
+    // Group each frontier cluster by first-cover rank: children in
+    // ascending rank, members in parent order (ascending id) — the
+    // reference's ball-peeling order. Singleton clusters chain down
+    // rank-free: one child, same point, whatever its rank.
+    const size_t next_begin = tree.nodes_.size();
+    for (size_t c = frontier_begin; c < frontier_end; ++c) {
+      if (tree.nodes_[c].point_ids.size() == 1) {
+        const int only = tree.nodes_[c].point_ids[0];
+        const int child_index = static_cast<int>(tree.nodes_.size());
+        tree.nodes_.push_back(HstNode{});
+        tree.nodes_.back().level = level;
+        tree.nodes_.back().parent = static_cast<int>(c);
+        tree.nodes_.back().point_ids.push_back(only);
+        tree.nodes_[c].children.push_back(child_index);
+        continue;
+      }
+      groups.clear();
+      for (int u : tree.nodes_[c].point_ids) {
+        groups.push_back(
+            (static_cast<uint64_t>(
+                 static_cast<uint32_t>(rank_at[static_cast<size_t>(u)]))
+             << 32) |
+            static_cast<uint32_t>(u));
+      }
+      // Members are already in ascending id order, so the plain sort on
+      // (rank, id) is exactly the stable grouping by rank.
+      std::sort(groups.begin(), groups.end());
+      size_t i = 0;
+      while (i < groups.size()) {
+        const uint64_t rank_key = groups[i] >> 32;
+        size_t j = i;
+        while (j < groups.size() && (groups[j] >> 32) == rank_key) ++j;
+        const int child_index = static_cast<int>(tree.nodes_.size());
+        tree.nodes_.push_back(HstNode{});
+        tree.nodes_.back().level = level;
+        tree.nodes_.back().parent = static_cast<int>(c);
+        std::vector<int>& member_ids = tree.nodes_.back().point_ids;
+        member_ids.reserve(j - i);
+        for (size_t k = i; k < j; ++k) {
+          member_ids.push_back(static_cast<int>(
+              static_cast<uint32_t>(groups[k] & 0xffffffffULL)));
+        }
+        tree.nodes_[c].children.push_back(child_index);
+        i = j;
+      }
+    }
+    frontier_begin = next_begin;
+    frontier_end = tree.nodes_.size();
+  }
+
+  tree.leaf_of_point_.assign(static_cast<size_t>(n), -1);
+  for (size_t c = frontier_begin; c < frontier_end; ++c) {
+    const HstNode& leaf = tree.nodes_[c];
+    if (leaf.point_ids.size() != 1) {
+      return Status::Internal("non-singleton leaf cluster; metric separation violated");
+    }
+    tree.leaf_of_point_[static_cast<size_t>(leaf.point_ids[0])] =
+        static_cast<int>(c);
+  }
+
+  tree.max_branching_ = 0;
+  for (const HstNode& node : tree.nodes_) {
+    tree.max_branching_ =
+        std::max(tree.max_branching_, static_cast<int>(node.children.size()));
+  }
+
+  return tree;
+}
+
+}  // namespace tbf

@@ -5,38 +5,31 @@
 
 #include "common/logging.h"
 #include "common/math.h"
+#include "geo/pair_bounds.h"
+#include "hst/build_internal.h"
 
 namespace tbf {
 
-Result<HstTree> HstTree::Build(const std::vector<Point>& points,
-                               const Metric& metric, Rng* rng,
-                               const HstTreeOptions& options) {
+Result<HstTree> HstTree::BuildReference(const std::vector<Point>& points,
+                                        const Metric& metric, Rng* rng,
+                                        const HstTreeOptions& options) {
   if (points.empty()) return Status::InvalidArgument("empty point set");
   if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
 
   HstTree tree;
+  const int n = static_cast<int>(points.size());
 
   // Normalize the metric so min pairwise distance == kMinSeparation; this
   // guarantees singleton level-0 clusters (ball radius there is beta <= 1).
-  const double min_dist = MinPairwiseDistance(points, metric);
-  if (points.size() > 1) {
-    bool has_duplicates = false;
-    for (size_t i = 0; i < points.size() && !has_duplicates; ++i) {
-      for (size_t j = i + 1; j < points.size(); ++j) {
-        if (metric.Distance(points[i], points[j]) <= 0.0) {
-          has_duplicates = true;
-          break;
-        }
-      }
-    }
-    if (has_duplicates) {
-      return Status::InvalidArgument(
-          "duplicate points in HST input; deduplicate first "
-          "(see FilterMinSeparation)");
-    }
-    if (options.normalize) {
-      tree.scale_ = HstTreeOptions::kMinSeparation / min_dist;
-    }
+  // ClosestPairDistance includes zero-distance pairs, so a result <= 0 is
+  // exactly the seed's duplicate rejection (any pair with computed
+  // distance <= 0) at O(N log N) instead of the O(N^2) pre-scan; once
+  // duplicates are ruled out the value equals the minimum non-zero
+  // distance bit for bit.
+  double min_dist = 0.0;
+  if (n > 1) {
+    min_dist = ClosestPairDistance(points, metric);
+    if (min_dist <= 0.0) return hst_build_internal::DuplicatePointsError();
   }
 
   auto dist = [&](int a, int b) {
@@ -44,40 +37,18 @@ Result<HstTree> HstTree::Build(const std::vector<Point>& points,
            metric.Distance(points[static_cast<size_t>(a)], points[static_cast<size_t>(b)]);
   };
 
-  const int n = static_cast<int>(points.size());
-
   // Line 1 of Alg. 1: D = ceil(log2(2 * max distance)), beta ~ U[1/2, 1),
   // pi a random permutation of V.
-  const double max_dist = tree.scale_ * MaxPairwiseDistance(points, metric);
-  tree.depth_ =
-      n == 1 ? 1 : static_cast<int>(std::ceil(std::log2(2.0 * max_dist)));
-  TBF_CHECK(tree.depth_ >= 1) << "HST depth must be positive";
-  tree.beta_ = (options.beta >= 0.5 && options.beta <= 1.0)
-                   ? options.beta
-                   : rng->Uniform(0.5, 1.0);
-  // With normalization off, singleton leaves require the metric to separate
-  // points by more than the level-0 ball diameter 2 * beta.
-  if (!options.normalize && n > 1 && min_dist <= 2.0 * tree.beta_) {
-    return Status::FailedPrecondition(
-        "normalize=false requires min pairwise distance > 2 * beta");
-  }
+  TBF_ASSIGN_OR_RETURN(
+      const hst_build_internal::BuildPrelude prelude,
+      hst_build_internal::ResolvePrelude(
+          n, min_dist, MaxPairwiseDistance(points, metric), rng, options));
+  tree.scale_ = prelude.scale;
+  tree.depth_ = prelude.depth;
+  tree.beta_ = prelude.beta;
 
-  std::vector<int> pi;
-  if (options.permutation.empty()) {
-    pi = rng->Permutation(n);
-  } else {
-    pi = options.permutation;
-    if (static_cast<int>(pi.size()) != n) {
-      return Status::InvalidArgument("permutation size != point count");
-    }
-    std::vector<bool> seen(static_cast<size_t>(n), false);
-    for (int v : pi) {
-      if (v < 0 || v >= n || seen[static_cast<size_t>(v)]) {
-        return Status::InvalidArgument("permutation is not a permutation");
-      }
-      seen[static_cast<size_t>(v)] = true;
-    }
-  }
+  TBF_ASSIGN_OR_RETURN(std::vector<int> pi,
+                       hst_build_internal::ResolvePi(n, rng, options));
 
   // Root cluster holds all of V at level D.
   tree.nodes_.push_back(HstNode{});

@@ -39,6 +39,12 @@ struct HstTreeOptions {
   /// fully deterministic — used to reproduce the paper's Example 1 exactly.
   std::vector<int> permutation;
 
+  /// Worker threads for the fast builder's per-level assignment queries
+  /// (<= 0 means all hardware threads). The tree is a pure function of
+  /// (pi, beta), so every thread count produces the identical tree; this
+  /// only trades wall clock. Ignored by BuildReference.
+  int num_threads = 1;
+
   /// Internal separation target; > 2 so level-0 balls (radius beta <= 1)
   /// cannot contain two points.
   static constexpr double kMinSeparation = 2.01;
@@ -61,9 +67,26 @@ class HstTree {
   /// with normalize=false — a metric whose min distance is below
   /// kMinSeparation (leaves could then hold several points).
   /// `rng` supplies the permutation pi and (unless fixed) beta.
+  ///
+  /// This is the grid-accelerated builder (~O(N D log N)): the only
+  /// randomness in Algorithm 1 is (pi, beta), and a point's cluster at
+  /// level i is exactly the group sharing its minimum-pi-rank covering
+  /// center at every level >= i, so per-level min-rank ball queries
+  /// (geo/rank_index.h) replace the reference's O(N^2) center scans while
+  /// producing the bit-identical tree — same nodes, same order, same
+  /// leaves, for any options.num_threads. Draw-for-draw RNG-compatible
+  /// with BuildReference. Metrics reporting MetricKind::kGeneric fall back
+  /// to BuildReference (no coordinate pruning is possible).
   static Result<HstTree> Build(const std::vector<Point>& points,
                                const Metric& metric, Rng* rng,
                                const HstTreeOptions& options = {});
+
+  /// \brief The seed's level-by-level O(N^2 D) Algorithm 1, kept verbatim
+  /// as the golden reference the fast builder is fuzz-pinned against
+  /// (tests/hst/hst_build_golden_test.cc). Same contract as Build.
+  static Result<HstTree> BuildReference(const std::vector<Point>& points,
+                                        const Metric& metric, Rng* rng,
+                                        const HstTreeOptions& options = {});
 
   /// Tree depth D = ceil(log2(2 * max pairwise distance)) in scaled units;
   /// the root sits at level D, leaves at level 0.

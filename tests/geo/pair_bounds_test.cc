@@ -1,0 +1,157 @@
+#include "geo/pair_bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/grid.h"
+#include "geo/metric.h"
+
+namespace tbf {
+namespace {
+
+// Brute-force twins of the accelerated helpers; equality below is exact
+// (==), not approximate — the helpers promise the identical double.
+double BruteMin(const std::vector<Point>& pts, const Metric& metric) {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (size_t j = i + 1; j < pts.size(); ++j) {
+      best = std::min(best, metric.Distance(pts[i], pts[j]));
+    }
+  }
+  return best;
+}
+
+double BruteMax(const std::vector<Point>& pts, const Metric& metric) {
+  double best = 0.0;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (size_t j = i + 1; j < pts.size(); ++j) {
+      best = std::max(best, metric.Distance(pts[i], pts[j]));
+    }
+  }
+  return best;
+}
+
+void ExpectExactExtremes(const std::vector<Point>& pts) {
+  EuclideanMetric l2;
+  ManhattanMetric l1;
+  ASSERT_GE(pts.size(), 2u);
+  EXPECT_EQ(ClosestPairDistance(pts, l2), BruteMin(pts, l2));
+  EXPECT_EQ(ClosestPairDistance(pts, l1), BruteMin(pts, l1));
+  EXPECT_EQ(FurthestPairDistance(pts, l2), BruteMax(pts, l2));
+  EXPECT_EQ(FurthestPairDistance(pts, l1), BruteMax(pts, l1));
+}
+
+TEST(PairBoundsTest, DegenerateSizes) {
+  EuclideanMetric l2;
+  EXPECT_EQ(ClosestPairDistance({}, l2), 0.0);
+  EXPECT_EQ(FurthestPairDistance({}, l2), 0.0);
+  EXPECT_EQ(ClosestPairDistance({{1, 2}}, l2), 0.0);
+  EXPECT_EQ(FurthestPairDistance({{1, 2}}, l2), 0.0);
+}
+
+TEST(PairBoundsTest, TwoAndThreePoints) {
+  ExpectExactExtremes({{0, 0}, {3, 4}});
+  ExpectExactExtremes({{0, 0}, {3, 4}, {-1, 2}});
+}
+
+TEST(PairBoundsTest, RandomUniformManySeeds) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed * 7919 + 11);
+    auto pts = RandomUniformPoints(BBox::Square(100), 200, &rng);
+    ASSERT_TRUE(pts.ok());
+    ExpectExactExtremes(*pts);
+  }
+}
+
+TEST(PairBoundsTest, GridPoints) {
+  auto grid = UniformGridPoints(BBox::Square(200), 12);
+  ASSERT_TRUE(grid.ok());
+  ExpectExactExtremes(*grid);
+}
+
+TEST(PairBoundsTest, CollinearHorizontalAndDiagonal) {
+  std::vector<Point> horiz, diag;
+  Rng rng(5);
+  for (int i = 0; i < 120; ++i) {
+    const double t = rng.Uniform(0, 50);
+    horiz.push_back({t, 7.0});
+    diag.push_back({t, t});
+  }
+  ExpectExactExtremes(horiz);
+  ExpectExactExtremes(diag);
+}
+
+TEST(PairBoundsTest, ClusteredBlobs) {
+  Rng rng(42);
+  std::vector<Point> pts;
+  const Point blob_centers[] = {{0, 0}, {90, 5}, {50, 80}};
+  for (const Point& blob : blob_centers) {
+    for (int i = 0; i < 80; ++i) {
+      pts.push_back({blob.x + rng.Normal(0, 0.5), blob.y + rng.Normal(0, 0.5)});
+    }
+  }
+  ExpectExactExtremes(pts);
+}
+
+TEST(PairBoundsTest, RingStressesHull) {
+  // Every point is a hull vertex — the worst case for the hull-pair scan.
+  std::vector<Point> pts;
+  for (int i = 0; i < 257; ++i) {
+    const double angle = 2.0 * M_PI * i / 257.0;
+    pts.push_back({50 + 40 * std::cos(angle), 50 + 40 * std::sin(angle)});
+  }
+  ExpectExactExtremes(pts);
+}
+
+TEST(PairBoundsTest, NearDuplicatePairs) {
+  Rng rng(9);
+  std::vector<Point> pts;
+  for (int i = 0; i < 60; ++i) {
+    const Point p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    pts.push_back(p);
+    pts.push_back({p.x + 1e-7, p.y - 1e-7});
+  }
+  ExpectExactExtremes(pts);
+}
+
+TEST(PairBoundsTest, ExactDuplicatesYieldZeroMin) {
+  EuclideanMetric l2;
+  std::vector<Point> pts = {{1, 1}, {5, 5}, {1, 1}, {9, 2}};
+  EXPECT_EQ(ClosestPairDistance(pts, l2), 0.0);
+  EXPECT_EQ(FurthestPairDistance(pts, l2), BruteMax(pts, l2));
+}
+
+TEST(PairBoundsTest, HullKeepsCollinearBoundaryPoints) {
+  // 5x5 grid: the strict hull is the 4 corners, the kept boundary is the
+  // 16-point perimeter.
+  auto grid = UniformGridPoints(BBox::Square(4), 5);
+  ASSERT_TRUE(grid.ok());
+  auto hull = ConvexHullBoundary(*grid);
+  EXPECT_EQ(hull.size(), 16u);
+}
+
+// A generic metric (no coordinate lower bound) takes the quadratic
+// fallback and must still return the exact extremes.
+class ChebyshevMetric final : public Metric {
+ public:
+  double Distance(const Point& a, const Point& b) const override {
+    return std::max(std::fabs(a.x - b.x), std::fabs(a.y - b.y));
+  }
+  const char* Name() const override { return "chebyshev"; }
+};
+
+TEST(PairBoundsTest, GenericMetricFallback) {
+  ChebyshevMetric linf;
+  ASSERT_EQ(linf.kind(), MetricKind::kGeneric);
+  Rng rng(3);
+  auto pts = RandomUniformPoints(BBox::Square(50), 100, &rng);
+  ASSERT_TRUE(pts.ok());
+  EXPECT_EQ(ClosestPairDistance(*pts, linf), BruteMin(*pts, linf));
+  EXPECT_EQ(FurthestPairDistance(*pts, linf), BruteMax(*pts, linf));
+}
+
+}  // namespace
+}  // namespace tbf

@@ -1,0 +1,157 @@
+#include "geo/rank_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/grid.h"
+#include "geo/metric.h"
+
+namespace tbf {
+namespace {
+
+// The reference predicate: smallest rank whose center covers `query` under
+// the builder's exact ball test, bounded above by `initial_bound`.
+int BruteMinCoveringRank(const std::vector<Point>& centers_by_rank,
+                         MetricKind kind, double scale, const Point& query,
+                         double scaled_radius, int initial_bound) {
+  for (int r = 0; r < static_cast<int>(centers_by_rank.size()); ++r) {
+    if (r >= initial_bound) break;
+    const double d = kind == MetricKind::kEuclidean
+                         ? EuclideanDistance(query, centers_by_rank[static_cast<size_t>(r)])
+                         : ManhattanDistance(query, centers_by_rank[static_cast<size_t>(r)]);
+    if (scale * d <= scaled_radius) return r;
+  }
+  return initial_bound;
+}
+
+struct Instance {
+  std::vector<Point> centers_by_rank;  // already permuted
+  std::vector<int> rank_of;            // rank of original id
+  std::vector<Point> points;           // original order
+};
+
+Instance MakeInstance(std::vector<Point> points, uint64_t seed) {
+  Rng rng(seed);
+  const int n = static_cast<int>(points.size());
+  std::vector<int> pi = rng.Permutation(n);
+  Instance inst;
+  inst.points = points;
+  inst.centers_by_rank.resize(static_cast<size_t>(n));
+  inst.rank_of.resize(static_cast<size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    inst.centers_by_rank[static_cast<size_t>(j)] = points[static_cast<size_t>(pi[static_cast<size_t>(j)])];
+    inst.rank_of[static_cast<size_t>(pi[static_cast<size_t>(j)])] = j;
+  }
+  return inst;
+}
+
+// Checks the index against the brute scan for every point at several radii
+// spanning "covers nothing but self" to "rank 0 covers everything", on the
+// grid path, the k-d path, and (with budget 1) the mid-query fallback.
+void CheckAllQueries(const Instance& inst, MetricKind kind, double scale) {
+  const double radii[] = {0.01, 0.5, 2.0, 8.0, 40.0, 200.0, 2000.0};
+  MinRankBallIndex index(inst.centers_by_rank, kind, scale);
+  MinRankBallIndex tiny_budget(inst.centers_by_rank, kind, scale,
+                               /*grid_scan_budget=*/1);
+  for (double scaled_radius : radii) {
+    const double prune_radius = (scaled_radius / scale) * (1.0 + 1e-9);
+    const bool grid_ok = index.PrepareGrid(prune_radius);
+    const bool tiny_ok = tiny_budget.PrepareGrid(prune_radius);
+    for (size_t u = 0; u < inst.points.size(); ++u) {
+      const int bound = inst.rank_of[u];
+      const int expected =
+          BruteMinCoveringRank(inst.centers_by_rank, kind, scale,
+                               inst.points[u], scaled_radius, bound);
+      EXPECT_EQ(index.MinCoveringRank(inst.points[u], scaled_radius,
+                                      prune_radius, bound, false),
+                expected)
+          << "kd path, radius " << scaled_radius << ", point " << u;
+      if (grid_ok) {
+        EXPECT_EQ(index.MinCoveringRank(inst.points[u], scaled_radius,
+                                        prune_radius, bound, true),
+                  expected)
+            << "grid path, radius " << scaled_radius << ", point " << u;
+      }
+      if (tiny_ok) {
+        EXPECT_EQ(tiny_budget.MinCoveringRank(inst.points[u], scaled_radius,
+                                              prune_radius, bound, true),
+                  expected)
+            << "budget fallback, radius " << scaled_radius << ", point " << u;
+      }
+    }
+  }
+}
+
+TEST(MinRankBallIndexTest, RandomUniformEuclidean) {
+  Rng rng(17);
+  auto pts = RandomUniformPoints(BBox::Square(100), 150, &rng);
+  ASSERT_TRUE(pts.ok());
+  CheckAllQueries(MakeInstance(*pts, 3), MetricKind::kEuclidean, 1.0);
+}
+
+TEST(MinRankBallIndexTest, RandomUniformManhattan) {
+  Rng rng(23);
+  auto pts = RandomUniformPoints(BBox::Square(100), 150, &rng);
+  ASSERT_TRUE(pts.ok());
+  CheckAllQueries(MakeInstance(*pts, 5), MetricKind::kManhattan, 1.0);
+}
+
+TEST(MinRankBallIndexTest, ScaledMetric) {
+  Rng rng(31);
+  auto pts = RandomUniformPoints(BBox::Square(10), 120, &rng);
+  ASSERT_TRUE(pts.ok());
+  CheckAllQueries(MakeInstance(*pts, 7), MetricKind::kEuclidean, 37.5);
+}
+
+TEST(MinRankBallIndexTest, ClusteredSkew) {
+  // Dense blobs force many points into single grid cells — the budget
+  // fallback territory.
+  Rng rng(41);
+  std::vector<Point> pts;
+  for (int blob = 0; blob < 3; ++blob) {
+    const Point c{blob * 50.0, blob * 20.0};
+    for (int i = 0; i < 60; ++i) {
+      pts.push_back({c.x + rng.Normal(0, 0.2), c.y + rng.Normal(0, 0.2)});
+    }
+  }
+  CheckAllQueries(MakeInstance(pts, 11), MetricKind::kEuclidean, 1.0);
+}
+
+TEST(MinRankBallIndexTest, CollinearPoints) {
+  std::vector<Point> pts;
+  Rng rng(53);
+  for (int i = 0; i < 100; ++i) pts.push_back({rng.Uniform(0, 80), 3.0});
+  CheckAllQueries(MakeInstance(pts, 13), MetricKind::kEuclidean, 1.0);
+}
+
+TEST(MinRankBallIndexTest, GridPoints) {
+  auto grid = UniformGridPoints(BBox::Square(60), 10);
+  ASSERT_TRUE(grid.ok());
+  CheckAllQueries(MakeInstance(*grid, 19), MetricKind::kManhattan, 1.0);
+}
+
+TEST(MinRankBallIndexTest, SingleCenter) {
+  MinRankBallIndex index({{5, 5}}, MetricKind::kEuclidean, 1.0);
+  ASSERT_TRUE(index.PrepareGrid(1.0));
+  // The only center is rank 0; with bound 0 nothing below it exists.
+  EXPECT_EQ(index.MinCoveringRank({5, 5}, 1.0, 1.0, 0, true), 0);
+  EXPECT_EQ(index.MinCoveringRank({5, 5}, 1.0, 1.0, 0, false), 0);
+  // A far query with a generous bound: nothing covers, bound returned.
+  EXPECT_EQ(index.MinCoveringRank({50, 50}, 1.0, 1.0, 1, false), 1);
+}
+
+TEST(MinRankBallIndexTest, GridOverflowRefused) {
+  // Radius so small relative to the spread that 32-bit cell coordinates
+  // would overflow: PrepareGrid must refuse and the k-d path still answer.
+  std::vector<Point> pts = {{0, 0}, {1e12, 0}, {0, 1e12}, {3, 4}};
+  MinRankBallIndex index(pts, MetricKind::kEuclidean, 1.0);
+  EXPECT_FALSE(index.PrepareGrid(1e-3));
+  EXPECT_EQ(index.MinCoveringRank({3, 4}, 1e-3, 1e-3, 3, false), 3);
+  EXPECT_TRUE(index.PrepareGrid(1e6));
+}
+
+}  // namespace
+}  // namespace tbf

@@ -177,5 +177,65 @@ TEST(CompleteHstTest, LargerGridRoundTrips) {
   }
 }
 
+TEST(CompleteHstTest, CodeKeyedLookupMatchesPathLookup) {
+  CompleteHst tree = BuildExample();
+  ASSERT_NE(tree.codec(), nullptr);
+  // Real and fake leaves agree between the path and code entry points.
+  LeafPath path(static_cast<size_t>(tree.depth()), 0);
+  for (int mask = 0; mask < 16; ++mask) {
+    for (int b = 0; b < 4; ++b) {
+      path[static_cast<size_t>(b)] = static_cast<char16_t>((mask >> b) & 1);
+    }
+    EXPECT_EQ(tree.point_of_leaf(path),
+              tree.point_of_leaf(tree.codec()->Pack(path)))
+        << "mask " << mask;
+  }
+  for (int p = 0; p < tree.num_points(); ++p) {
+    EXPECT_EQ(tree.point_of_leaf(tree.leaf_code_of_point(p)).value_or(-1), p);
+  }
+}
+
+TEST(CompleteHstTest, MalformedPathsYieldNulloptNotCrash) {
+  CompleteHst tree = BuildExample();
+  EXPECT_FALSE(tree.point_of_leaf(LeafPath()).has_value());
+  EXPECT_FALSE(
+      tree.point_of_leaf(LeafPath(static_cast<size_t>(tree.depth() + 1), 0))
+          .has_value());
+  LeafPath bad_digit(static_cast<size_t>(tree.depth()), 0);
+  bad_digit[0] = static_cast<char16_t>(tree.arity());  // out of range
+  EXPECT_FALSE(tree.point_of_leaf(bad_digit).has_value());
+}
+
+TEST(CompleteHstTest, OversizedShapeFallsBackToPathMap) {
+  // depth 65 at arity 2 needs 65 bits: no codec, the LeafPath map serves.
+  const int depth = 65;
+  std::vector<Point> pts = {{0, 0}, {10, 0}, {0, 10}};
+  std::vector<LeafPath> paths;
+  for (int p = 0; p < 3; ++p) {
+    LeafPath path(static_cast<size_t>(depth), 0);
+    path[static_cast<size_t>(depth - 1)] = static_cast<char16_t>(p % 2);
+    path[static_cast<size_t>(depth - 2)] = static_cast<char16_t>(p / 2);
+    paths.push_back(path);
+  }
+  auto tree = CompleteHst::FromParts(depth, 2, 1.0, pts, paths);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ(tree->codec(), nullptr);
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_EQ(tree->point_of_leaf(paths[static_cast<size_t>(p)]).value_or(-1),
+              p);
+  }
+  LeafPath fake(static_cast<size_t>(depth), 0);
+  fake[0] = 1;
+  EXPECT_FALSE(tree->point_of_leaf(fake).has_value());
+}
+
+TEST(CompleteHstTest, FromPartsRejectsDuplicateLeafThroughCodeMap) {
+  std::vector<Point> pts = {{0, 0}, {10, 0}};
+  LeafPath same(static_cast<size_t>(3), 1);
+  auto tree = CompleteHst::FromParts(3, 2, 1.0, pts, {same, same});
+  EXPECT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace tbf

@@ -1,0 +1,254 @@
+// Golden-equivalence suite for the grid-accelerated FRT builder: for any
+// fixed (pi, beta) — and for shared-seed RNG draws — HstTree::Build must
+// produce the *bit-identical* tree to HstTree::BuildReference: same node
+// array (levels, parents, children, point order), same leaf map, depth,
+// beta, scale, branching. Fuzzes random / clustered / collinear / grid /
+// ring / near-duplicate point sets, both metrics, and thread counts
+// 1 / 2 / 8 (the tree is a pure function of (pi, beta), so parallelism
+// must not change it).
+
+#include "hst/hst_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/metric.h"
+
+namespace tbf {
+namespace {
+
+void ExpectSameTree(const HstTree& a, const HstTree& b) {
+  EXPECT_EQ(a.depth(), b.depth());
+  EXPECT_EQ(a.beta(), b.beta());    // exact double equality
+  EXPECT_EQ(a.scale(), b.scale());  // exact double equality
+  EXPECT_EQ(a.max_branching(), b.max_branching());
+  EXPECT_EQ(a.root(), b.root());
+  EXPECT_EQ(a.num_points(), b.num_points());
+  ASSERT_EQ(a.nodes().size(), b.nodes().size());
+  for (size_t i = 0; i < a.nodes().size(); ++i) {
+    const HstNode& na = a.nodes()[i];
+    const HstNode& nb = b.nodes()[i];
+    EXPECT_EQ(na.level, nb.level) << "node " << i;
+    EXPECT_EQ(na.parent, nb.parent) << "node " << i;
+    ASSERT_EQ(na.children, nb.children) << "node " << i;
+    ASSERT_EQ(na.point_ids, nb.point_ids) << "node " << i;
+  }
+  for (size_t p = 0; p < a.num_points(); ++p) {
+    EXPECT_EQ(a.leaf_of_point(static_cast<int>(p)),
+              b.leaf_of_point(static_cast<int>(p)));
+  }
+}
+
+// Builds reference and fast trees from the same seed (RNG draw-for-draw
+// equivalence) across thread counts 1/2/8, expecting identity throughout.
+void ExpectGoldenEquivalence(const std::vector<Point>& points,
+                             const Metric& metric, uint64_t seed,
+                             HstTreeOptions options = {}) {
+  Rng ref_rng(seed);
+  auto reference = HstTree::BuildReference(points, metric, &ref_rng, options);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  for (int threads : {1, 2, 8}) {
+    options.num_threads = threads;
+    Rng fast_rng(seed);
+    auto fast = HstTree::Build(points, metric, &fast_rng, options);
+    ASSERT_TRUE(fast.ok()) << fast.status() << " (threads " << threads << ")";
+    ExpectSameTree(*fast, *reference);
+  }
+}
+
+std::vector<Point> RandomPoints(int count, double side, uint64_t seed) {
+  Rng rng(seed);
+  auto pts = RandomUniformPoints(BBox::Square(side), count, &rng);
+  return FilterMinSeparation(*pts, 1e-9);
+}
+
+std::vector<Point> ClusteredPoints(int per_blob, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  const Point blob_centers[] = {{5, 5}, {180, 12}, {90, 170}, {6, 120}};
+  for (const Point& blob : blob_centers) {
+    for (int i = 0; i < per_blob; ++i) {
+      pts.push_back({blob.x + rng.Normal(0, 1.0), blob.y + rng.Normal(0, 1.0)});
+    }
+  }
+  return FilterMinSeparation(pts, 1e-9);
+}
+
+std::vector<Point> CollinearPoints(int count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  for (int i = 0; i < count; ++i) {
+    const double t = rng.Uniform(0, 150);
+    pts.push_back({t, 0.5 * t + 3.0});
+  }
+  return FilterMinSeparation(pts, 1e-9);
+}
+
+std::vector<Point> RingPoints(int count) {
+  std::vector<Point> pts;
+  for (int i = 0; i < count; ++i) {
+    const double angle = 2.0 * M_PI * i / count;
+    pts.push_back({100 + 80 * std::cos(angle), 100 + 80 * std::sin(angle)});
+  }
+  return pts;
+}
+
+std::vector<Point> NearDuplicatePairs(int pairs, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  for (int i = 0; i < pairs; ++i) {
+    const Point p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    pts.push_back(p);
+    pts.push_back({p.x + 1e-6, p.y + 1e-6});
+  }
+  return FilterMinSeparation(pts, 1e-12);
+}
+
+class GoldenSeedTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(GoldenSeedTest, RandomUniformEuclidean) {
+  ExpectGoldenEquivalence(RandomPoints(200, 200, GetParam() * 31 + 1),
+                          EuclideanMetric(), GetParam());
+}
+
+TEST_P(GoldenSeedTest, RandomUniformManhattan) {
+  ExpectGoldenEquivalence(RandomPoints(150, 100, GetParam() * 37 + 2),
+                          ManhattanMetric(), GetParam());
+}
+
+TEST_P(GoldenSeedTest, Clustered) {
+  ExpectGoldenEquivalence(ClusteredPoints(50, GetParam() * 41 + 3),
+                          EuclideanMetric(), GetParam());
+}
+
+TEST_P(GoldenSeedTest, Collinear) {
+  ExpectGoldenEquivalence(CollinearPoints(120, GetParam() * 43 + 4),
+                          EuclideanMetric(), GetParam());
+}
+
+TEST_P(GoldenSeedTest, NearDuplicates) {
+  ExpectGoldenEquivalence(NearDuplicatePairs(60, GetParam() * 47 + 5),
+                          EuclideanMetric(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GoldenSeedTest, testing::Range<uint64_t>(0, 6));
+
+TEST(HstBuildGoldenTest, GridPoints) {
+  auto grid = UniformGridPoints(BBox::Square(200), 14);
+  ASSERT_TRUE(grid.ok());
+  ExpectGoldenEquivalence(*grid, EuclideanMetric(), 77);
+  ExpectGoldenEquivalence(*grid, ManhattanMetric(), 78);
+}
+
+TEST(HstBuildGoldenTest, Ring) {
+  ExpectGoldenEquivalence(RingPoints(151), EuclideanMetric(), 99);
+}
+
+TEST(HstBuildGoldenTest, TinySets) {
+  ExpectGoldenEquivalence({{1, 1}, {40, 2}}, EuclideanMetric(), 7);
+  ExpectGoldenEquivalence({{1, 1}, {40, 2}, {20, 90}}, EuclideanMetric(), 8);
+  ExpectGoldenEquivalence({{3, 3}}, EuclideanMetric(), 9);  // single point
+}
+
+TEST(HstBuildGoldenTest, PaperExampleFixedPermutation) {
+  // The paper's Example 1 setup: fixed pi and beta make the whole build
+  // deterministic; the fast builder must reproduce it digit for digit.
+  HstTreeOptions options;
+  options.beta = 0.75;
+  options.permutation = {2, 0, 3, 1};
+  ExpectGoldenEquivalence({{1, 1}, {2, 3}, {5, 3}, {4, 4}}, EuclideanMetric(),
+                          1, options);
+}
+
+TEST(HstBuildGoldenTest, FixedBetaSweep) {
+  const std::vector<Point> pts = RandomPoints(100, 150, 1234);
+  for (double beta : {0.5, 0.6180339887, 0.75, 0.99, 1.0}) {
+    HstTreeOptions options;
+    options.beta = beta;
+    ExpectGoldenEquivalence(pts, EuclideanMetric(), 5, options);
+  }
+}
+
+TEST(HstBuildGoldenTest, UnnormalizedMetric) {
+  HstTreeOptions options;
+  options.normalize = false;
+  ExpectGoldenEquivalence({{0, 0}, {10, 0}, {0, 10}, {60, 60}},
+                          EuclideanMetric(), 3, options);
+}
+
+TEST(HstBuildGoldenTest, RejectionsMatchReference) {
+  EuclideanMetric metric;
+  const std::vector<Point> dup = {{0, 0}, {5, 5}, {0, 0}};
+  Rng r1(1), r2(1);
+  auto fast = HstTree::Build(dup, metric, &r1);
+  auto reference = HstTree::BuildReference(dup, metric, &r2);
+  EXPECT_FALSE(fast.ok());
+  EXPECT_FALSE(reference.ok());
+  EXPECT_EQ(fast.status().code(), reference.status().code());
+
+  // Distinct coordinates whose *computed* distance underflows to zero are
+  // rejected as duplicates too — by both builders, gracefully.
+  const std::vector<Point> underflow = {{0, 0}, {1e-170, 0}, {5, 5}};
+  Rng r7(1), r8(1);
+  auto fast_uf = HstTree::Build(underflow, metric, &r7);
+  auto ref_uf = HstTree::BuildReference(underflow, metric, &r8);
+  EXPECT_FALSE(fast_uf.ok());
+  EXPECT_FALSE(ref_uf.ok());
+  EXPECT_EQ(fast_uf.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ref_uf.status().code(), StatusCode::kInvalidArgument);
+
+  HstTreeOptions close_opts;
+  close_opts.normalize = false;
+  const std::vector<Point> close = {{0, 0}, {1, 0}};
+  Rng r3(1), r4(1);
+  EXPECT_EQ(HstTree::Build(close, metric, &r3, close_opts).status().code(),
+            HstTree::BuildReference(close, metric, &r4, close_opts)
+                .status()
+                .code());
+
+  HstTreeOptions bad_pi;
+  bad_pi.permutation = {0, 0, 1};
+  const std::vector<Point> three = {{0, 0}, {9, 0}, {0, 9}};
+  Rng r5(1), r6(1);
+  EXPECT_EQ(HstTree::Build(three, metric, &r5, bad_pi).status().code(),
+            HstTree::BuildReference(three, metric, &r6, bad_pi).status().code());
+}
+
+// A generic metric (kGeneric) routes Build through the reference path —
+// trivially identical, but the fallback itself must work.
+class ChebyshevMetric final : public Metric {
+ public:
+  double Distance(const Point& a, const Point& b) const override {
+    return std::max(std::fabs(a.x - b.x), std::fabs(a.y - b.y));
+  }
+  const char* Name() const override { return "chebyshev"; }
+};
+
+TEST(HstBuildGoldenTest, GenericMetricFallsBackToReference) {
+  ChebyshevMetric linf;
+  ASSERT_EQ(linf.kind(), MetricKind::kGeneric);
+  const std::vector<Point> pts = RandomPoints(80, 100, 55);
+  Rng r1(6), r2(6);
+  auto fast = HstTree::Build(pts, linf, &r1);
+  auto reference = HstTree::BuildReference(pts, linf, &r2);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  ExpectSameTree(*fast, *reference);
+}
+
+// Draw-for-draw compatibility: after a build, both builders must leave the
+// RNG in the identical state (downstream draws agree).
+TEST(HstBuildGoldenTest, RngStateMatchesAfterBuild) {
+  const std::vector<Point> pts = RandomPoints(64, 120, 17);
+  EuclideanMetric metric;
+  Rng r1(21), r2(21);
+  ASSERT_TRUE(HstTree::Build(pts, metric, &r1).ok());
+  ASSERT_TRUE(HstTree::BuildReference(pts, metric, &r2).ok());
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(r1.NextU64(), r2.NextU64());
+}
+
+}  // namespace
+}  // namespace tbf
