@@ -86,7 +86,10 @@ void BM_ServeReplay(benchmark::State& state) {
   options.threads = shards;  // one lane per shard
   options.parallel_dispatch = shards > 1;
   size_t assigned = 0;
+  size_t unassigned = 0;
+  size_t denied = 0;
   size_t epochs = 0;
+  double mean_tree_distance = 0.0;
   for (auto _ : state) {
     auto report = RunEventReplay(workload.framework, *workload.trace, options);
     if (!report.ok()) {
@@ -94,13 +97,31 @@ void BM_ServeReplay(benchmark::State& state) {
       return;
     }
     assigned = report->assigned;
+    unassigned = report->unassigned;
+    denied = report->denied;
     epochs = report->epochs;
+    double distance_sum = 0.0;
+    size_t distance_count = 0;
+    for (const TaskOutcome& outcome : report->task_outcomes) {
+      if (outcome.worker) {
+        distance_sum += outcome.reported_tree_distance;
+        ++distance_count;
+      }
+    }
+    mean_tree_distance =
+        distance_count > 0 ? distance_sum / static_cast<double>(distance_count)
+                           : 0.0;
     benchmark::DoNotOptimize(report->events_per_second);
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(workload.trace->events.size()));
   state.counters["shards"] = shards;
   state.counters["assigned"] = static_cast<double>(assigned);
+  state.counters["unassigned"] = static_cast<double>(unassigned);
+  state.counters["denied"] = static_cast<double>(denied);
+  // Mean reported tree distance over assigned tasks: the quality axis —
+  // it must not move when shards/sampler/metrics knobs change.
+  state.counters["mean_tree_distance"] = mean_tree_distance;
   state.counters["epochs"] = static_cast<double>(epochs);
   // Comparison fields: the serve path dispatches on packed LeafCodes end to
   // end (code_native = 1 distinguishes this JSON from pre-fast-path

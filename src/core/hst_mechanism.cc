@@ -99,6 +99,14 @@ Result<HstMechanism> HstMechanism::Build(const CompleteHst& tree, double epsilon
 
   m.pow2_arity_ = (m.arity_ & (m.arity_ - 1)) == 0;
   if (LeafCodec::Fits(depth, m.arity_)) m.codec_.emplace(depth, m.arity_);
+
+  obs::MetricRegistry* metrics = obs::MetricRegistry::Global();
+  m.draws_walk_ = metrics->FindOrCreateCounter(
+      obs::LabeledName("tbf_mechanism_draws_total", "sampler", "walk"));
+  m.draws_inverse_cdf_ = metrics->FindOrCreateCounter(
+      obs::LabeledName("tbf_mechanism_draws_total", "sampler", "inverse_cdf"));
+  m.draws_naive_ = metrics->FindOrCreateCounter(
+      obs::LabeledName("tbf_mechanism_draws_total", "sampler", "naive"));
   return m;
 }
 
@@ -134,6 +142,7 @@ inline int RemapWord(uint64_t word, int m) {
 
 LeafCode HstMechanism::ObfuscateCode(LeafCode truth, Rng* rng) const {
   TBF_CHECK(codec_) << "tree shape exceeds packed-code capacity";
+  draws_inverse_cdf_->Add(1);
   const int level = TurnLevelFromUniform(rng->Uniform01());
   if (level == 0) return truth;  // LCA at the leaf: output x itself
 
@@ -177,6 +186,7 @@ LeafCode HstMechanism::ObfuscateCode(LeafCode truth, Rng* rng) const {
 
 LeafCode HstMechanism::ObfuscateCodeWalk(LeafCode truth, Rng* rng) const {
   TBF_CHECK(codec_) << "tree shape exceeds packed-code capacity";
+  draws_walk_->Add(1);
   // Exactly Obfuscate's draw sequence, digit for digit, on the packed word.
   int turn_level = 0;
   while (turn_level <= depth_ &&
@@ -199,6 +209,7 @@ LeafCode HstMechanism::ObfuscateCodeWalk(LeafCode truth, Rng* rng) const {
 
 LeafPath HstMechanism::Obfuscate(const LeafPath& truth, Rng* rng) const {
   TBF_DCHECK(static_cast<int>(truth.size()) == depth_) << "leaf depth mismatch";
+  draws_walk_->Add(1);
   // Walk upward from the true leaf; at level i keep climbing w.p. pu_i.
   int turn_level = 0;
   while (turn_level <= depth_ &&
@@ -223,6 +234,7 @@ LeafPath HstMechanism::Obfuscate(const LeafPath& truth, Rng* rng) const {
 
 Result<LeafPath> HstMechanism::SampleNaive(const LeafPath& truth, Rng* rng,
                                            double max_leaves) const {
+  draws_naive_->Add(1);
   TBF_ASSIGN_OR_RETURN(std::vector<LeafPath> leaves, EnumerateLeaves(max_leaves));
   // Single-pass inverse-CDF over the exact distribution (Alg. 2 line 1-2).
   double target = rng->Uniform01();

@@ -33,6 +33,7 @@
 #include "hst/complete_hst.h"
 #include "hst/leaf_code.h"
 #include "hst/leaf_path.h"
+#include "obs/metrics.h"
 #include "privacy/mechanism.h"
 
 namespace tbf {
@@ -163,6 +164,13 @@ class HstMechanism final : public LeafMechanism {
   std::vector<int> level_guide_;         // bucket -> first candidate level
   double log_total_weight_ = 0.0;        // log WT
   std::optional<LeafCodec> codec_;       // set when the shape fits 64 bits
+
+  // Draw counters by sampler kind (tbf_mechanism_draws_total{sampler=...}
+  // in the process-wide registry): one relaxed striped increment per
+  // sample, compiled out under TBF_METRICS_DISABLED.
+  obs::Counter* draws_walk_ = nullptr;
+  obs::Counter* draws_inverse_cdf_ = nullptr;
+  obs::Counter* draws_naive_ = nullptr;
 };
 
 }  // namespace tbf

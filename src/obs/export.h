@@ -1,0 +1,39 @@
+// Snapshot exporters: Prometheus text exposition format and a JSON-lines
+// writer whose flat numeric records sit next to the BENCH_*.json
+// trajectory in CI artifacts.
+//
+// Both exporters consume a MetricsSnapshot (plain data), so they never
+// touch registry locks or the hot path; call them from the reporter
+// thread or after a run.
+
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace tbf {
+namespace obs {
+
+/// \brief Prometheus text exposition (version 0.0.4).
+///
+/// Counters and gauges emit one sample line each; histograms emit
+/// cumulative `_bucket{le="..."}` lines for every non-empty bucket plus
+/// the closing `le="+Inf"`, `_sum` and `_count`. Registry names that
+/// carry a `{label="value"}` block keep those labels, merged with `le`.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// \brief One JSON object per call, no trailing newline:
+///   {"counters":{...},"gauges":{...},
+///    "histograms":{"name":{"count":..,"sum":..,"mean":..,
+///                          "p50":..,"p95":..,"p99":..}}}
+/// Values are finite numbers; names are JSON-escaped. Appending one line
+/// per interval yields a JSON-lines flight log.
+std::string ToJsonLine(const MetricsSnapshot& snapshot);
+
+/// \brief Writes ToJsonLine(snapshot) plus '\n' to `out`.
+void WriteJsonLine(const MetricsSnapshot& snapshot, std::ostream* out);
+
+}  // namespace obs
+}  // namespace tbf

@@ -1,0 +1,62 @@
+#include "obs/reporter.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace tbf {
+namespace obs {
+
+MetricsReporter::MetricsReporter(MetricRegistry* registry,
+                                 std::chrono::milliseconds interval, Sink sink)
+    : registry_(registry), interval_(interval), sink_(std::move(sink)) {
+  TBF_CHECK(registry_ != nullptr);
+  TBF_CHECK(interval_.count() > 0) << "reporter interval must be positive";
+  TBF_CHECK(sink_ != nullptr);
+}
+
+MetricsReporter::~MetricsReporter() { Stop(); }
+
+void MetricsReporter::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Run(); });
+}
+
+void MetricsReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool MetricsReporter::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void MetricsReporter::Run() {
+  MetricsSnapshot previous;  // empty: first delta equals the first snapshot
+  for (;;) {
+    bool stopping;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, interval_, [this] { return stop_requested_; });
+      stopping = stop_requested_;
+    }
+    MetricsSnapshot total = registry_->Snapshot();
+    sink_(total, total.Delta(previous));
+    previous = std::move(total);
+    if (stopping) return;  // final flush already emitted
+  }
+}
+
+}  // namespace obs
+}  // namespace tbf

@@ -1,0 +1,62 @@
+// MetricsReporter — periodic background snapshotter.
+//
+// Every `interval` the reporter thread snapshots one registry, computes
+// the delta against the previous snapshot, and hands both to a sink. The
+// sink runs on the reporter thread; typical sinks append a JSON line
+// (obs/export.h) or push Prometheus text at a scrape endpoint.
+//
+// Lifecycle: Start() spawns the thread (idempotent), Stop() wakes it and
+// joins (idempotent, always emits one final flush so short-lived runs are
+// never unrecorded); the destructor calls Stop(). The registry must
+// outlive the reporter.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace tbf {
+namespace obs {
+
+class MetricsReporter {
+ public:
+  /// \param total full snapshot at this tick; \param delta change since
+  /// the previous tick (first tick: delta == total).
+  using Sink = std::function<void(const MetricsSnapshot& total,
+                                  const MetricsSnapshot& delta)>;
+
+  MetricsReporter(MetricRegistry* registry, std::chrono::milliseconds interval,
+                  Sink sink);
+  ~MetricsReporter();
+
+  MetricsReporter(const MetricsReporter&) = delete;
+  MetricsReporter& operator=(const MetricsReporter&) = delete;
+
+  void Start();
+
+  /// Stops the thread after one final snapshot+sink flush.
+  void Stop();
+
+  bool running() const;
+
+ private:
+  void Run();
+
+  MetricRegistry* registry_;
+  std::chrono::milliseconds interval_;
+  Sink sink_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace tbf

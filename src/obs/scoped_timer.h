@@ -1,0 +1,65 @@
+// ScopedTimer — RAII latency hook built on WallTimer.
+//
+// One construction-time clock read, one at destruction. The elapsed time
+// lands in up to two places:
+//
+//   * a `double* seconds` accumulator (always, even with metrics compiled
+//     out — this is the functional timing the replay report and BENCH
+//     JSON depend on, bit-compatible with the manual
+//     `WallTimer t; ...; acc += t.ElapsedSeconds();` pattern it replaces);
+//   * a Histogram, in nanoseconds (subject to the metrics switches).
+//
+// Either sink may be null. For hot loops that only need the histogram,
+// construct with the histogram alone; when metrics are disabled that
+// constructor skips the clock reads entirely.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace tbf {
+namespace obs {
+
+class ScopedTimer {
+ public:
+  /// Accumulates into `*seconds` (may be null) and records ns into
+  /// `histogram` (may be null).
+  explicit ScopedTimer(double* seconds, Histogram* histogram = nullptr)
+      : seconds_(seconds), histogram_(histogram), armed_(true) {}
+
+  /// Histogram-only timing: free when metrics are off (no clock reads).
+  explicit ScopedTimer(Histogram* histogram)
+      : seconds_(nullptr),
+        histogram_(histogram),
+        armed_(histogram != nullptr && internal::Enabled()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { Stop(); }
+
+  /// Flushes the elapsed time into the sinks early (idempotent).
+  void Stop() {
+    if (!armed_) return;
+    armed_ = false;
+    const double elapsed = timer_.ElapsedSeconds();
+    if (seconds_ != nullptr) *seconds_ += elapsed;
+    if (histogram_ != nullptr) {
+      histogram_->Record(elapsed <= 0.0
+                             ? 0
+                             : static_cast<uint64_t>(elapsed * 1e9));
+    }
+  }
+
+ private:
+  WallTimer timer_;
+  double* seconds_;
+  Histogram* histogram_;
+  bool armed_;
+};
+
+}  // namespace obs
+}  // namespace tbf

@@ -60,11 +60,22 @@ bool PrivacyBudgetLedger::CanCharge(const std::string& user, double epsilon) con
 }
 
 EpochBudgetLedger::EpochBudgetLedger(double epoch_budget,
-                                     std::optional<double> lifetime_budget)
+                                     std::optional<double> lifetime_budget,
+                                     obs::MetricRegistry* metrics)
     : epoch_budget_(epoch_budget), lifetime_budget_(lifetime_budget) {
   TBF_CHECK(epoch_budget > 0.0) << "epoch budget must be positive";
   TBF_CHECK(!lifetime_budget || *lifetime_budget > 0.0)
       << "lifetime budget must be positive";
+  if (metrics == nullptr) metrics = obs::MetricRegistry::Global();
+  epsilon_spent_metric_ =
+      metrics->FindOrCreateDoubleCounter("tbf_privacy_epsilon_spent_total");
+  charges_metric_ = metrics->FindOrCreateCounter("tbf_privacy_charges_total");
+  denied_epoch_metric_ = metrics->FindOrCreateCounter(
+      obs::LabeledName("tbf_privacy_denials_total", "cause", "epoch"));
+  denied_lifetime_metric_ = metrics->FindOrCreateCounter(
+      obs::LabeledName("tbf_privacy_denials_total", "cause", "lifetime"));
+  epoch_metric_ = metrics->FindOrCreateGauge("tbf_privacy_epoch");
+  users_metric_ = metrics->FindOrCreateGauge("tbf_privacy_users");
 }
 
 Status EpochBudgetLedger::BeginEpoch(int64_t epoch) {
@@ -76,6 +87,7 @@ Status EpochBudgetLedger::BeginEpoch(int64_t epoch) {
   if (epoch > epoch_) {
     epoch_ = epoch;
     epoch_spent_.clear();
+    epoch_metric_->Set(epoch);
   }
   return Status::OK();
 }
@@ -89,15 +101,24 @@ Status EpochBudgetLedger::Charge(const std::string& user, double epsilon) {
   if (epsilon <= 0.0) return Status::InvalidArgument("epsilon must be positive");
   const double in_epoch = SpentThisEpoch(user);
   if (!FitsCap(in_epoch, epsilon, epoch_budget_)) {
+    ++totals_.denied_epoch;
+    denied_epoch_metric_->Add(1);
     return Status::FailedPrecondition("epoch budget exhausted for user " + user);
   }
   const double lifetime = SpentLifetime(user);
   if (lifetime_budget_ && !FitsCap(lifetime, epsilon, *lifetime_budget_)) {
+    ++totals_.denied_lifetime;
+    denied_lifetime_metric_->Add(1);
     return Status::FailedPrecondition("lifetime budget exhausted for user " +
                                       user);
   }
   epoch_spent_[user] = in_epoch + epsilon;
   lifetime_spent_[user] = lifetime + epsilon;
+  totals_.epsilon_spent += epsilon;
+  ++totals_.charges;
+  epsilon_spent_metric_->Add(epsilon);
+  charges_metric_->Add(1);
+  users_metric_->Set(static_cast<int64_t>(lifetime_spent_.size()));
   return Status::OK();
 }
 

@@ -21,6 +21,7 @@
 #include <unordered_map>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace tbf {
 
@@ -74,12 +75,25 @@ class PrivacyBudgetLedger {
 /// Thread-compatible (guard externally if shared across threads).
 class EpochBudgetLedger {
  public:
+  /// Running totals across all users and epochs — the ledger's own
+  /// flight-recorder view, always on (independent of the metrics
+  /// switches) so replay reports and tests can rely on it.
+  struct Totals {
+    double epsilon_spent = 0.0;    ///< sum of admitted charges
+    uint64_t charges = 0;          ///< admitted charges
+    uint64_t denied_epoch = 0;     ///< refused: per-epoch cap
+    uint64_t denied_lifetime = 0;  ///< refused: lifetime cap
+  };
+
   /// \param epoch_budget maximum epsilon per user within one epoch (> 0).
   /// \param lifetime_budget optional cumulative cap across all epochs
   ///   (> 0, and at least `epoch_budget` to be satisfiable in one epoch —
   ///   smaller values are allowed but make the epoch cap unreachable).
+  /// \param metrics registry receiving the tbf_privacy_* series
+  ///   (see docs/OBSERVABILITY.md); nullptr uses the process-wide one.
   explicit EpochBudgetLedger(double epoch_budget,
-                             std::optional<double> lifetime_budget = std::nullopt);
+                             std::optional<double> lifetime_budget = std::nullopt,
+                             obs::MetricRegistry* metrics = nullptr);
 
   /// Current epoch index (starts at 0).
   int64_t epoch() const { return epoch_; }
@@ -117,12 +131,24 @@ class EpochBudgetLedger {
   /// Users with non-zero lifetime spend.
   size_t num_users() const { return lifetime_spent_.size(); }
 
+  /// Cumulative admission/denial totals (see Totals).
+  const Totals& totals() const { return totals_; }
+
  private:
   double epoch_budget_;
   std::optional<double> lifetime_budget_;
   int64_t epoch_ = 0;
   std::unordered_map<std::string, double> epoch_spent_;
   std::unordered_map<std::string, double> lifetime_spent_;
+
+  Totals totals_;
+  // Registry mirrors of totals_ (Prometheus/JSONL export surface).
+  obs::DoubleCounter* epsilon_spent_metric_;
+  obs::Counter* charges_metric_;
+  obs::Counter* denied_epoch_metric_;
+  obs::Counter* denied_lifetime_metric_;
+  obs::Gauge* epoch_metric_;
+  obs::Gauge* users_metric_;
 };
 
 }  // namespace tbf

@@ -7,6 +7,8 @@
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 #include "serve/sharded_server.h"
 
 namespace tbf {
@@ -48,12 +50,22 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
     }
   }
 
+  // Each run instruments a private registry: interval deltas, latency
+  // percentiles and per-shard counters then describe exactly this run,
+  // isolated from the process-wide registry and concurrent replays.
+  // Declared before the server so every engine handle stays valid for
+  // the server's whole lifetime.
+  obs::MetricRegistry run_metrics;
+  obs::Histogram* obfuscate_hist =
+      run_metrics.FindOrCreateHistogram("tbf_replay_obfuscate_latency_ns");
+
   ShardedServerOptions server_options;
   server_options.num_shards = options.num_shards;
   server_options.lifetime_budget = options.lifetime_budget;
   server_options.epoch_budget = options.epoch_budget;
   server_options.tie_break = options.tie_break;
   server_options.seed = options.server_seed;
+  server_options.metrics = &run_metrics;
   TBF_ASSIGN_OR_RETURN(std::unique_ptr<ShardedTbfServer> server,
                        ShardedTbfServer::Create(framework.tree_ptr(),
                                                 server_options));
@@ -133,18 +145,28 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
       }
       prepared.push_back(item);
     }
-    WallTimer obf_timer;
     std::vector<LeafCode> code_reports;
     std::vector<LeafPath> path_reports;
-    if (packed) {
-      code_reports = framework.ObfuscateCodes(
-          locations, obfuscation_stream, &pool, nullptr, arrivals_obfuscated);
-    } else {
-      path_reports = framework.ObfuscateBatch(
-          locations, obfuscation_stream, &pool, nullptr, arrivals_obfuscated);
+    {
+      obs::ScopedTimer obf_timer(&stats.obfuscate_seconds);
+      if (packed) {
+        code_reports = framework.ObfuscateCodes(
+            locations, obfuscation_stream, &pool, nullptr, arrivals_obfuscated);
+      } else {
+        path_reports = framework.ObfuscateBatch(
+            locations, obfuscation_stream, &pool, nullptr, arrivals_obfuscated);
+      }
     }
     arrivals_obfuscated += locations.size();
-    stats.obfuscate_seconds = obf_timer.ElapsedSeconds();
+    if (!locations.empty()) {
+      // The batched pass's wall time, attributed evenly to its reports
+      // (one O(1) RecordN, not one Record per report).
+      const double per_report =
+          stats.obfuscate_seconds / static_cast<double>(locations.size());
+      obfuscate_hist->RecordN(
+          per_report <= 0.0 ? 0 : static_cast<uint64_t>(per_report * 1e9),
+          locations.size());
+    }
 
     // Epoch budgets roll over at the window boundary, even across empty
     // windows (BeginEpoch jumps forward).
@@ -197,7 +219,13 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
       }
     };
 
-    WallTimer dispatch_timer;
+    // Ledger totals bracket the dispatch: every charge (and denial)
+    // happens inside it, so the delta is this epoch's privacy spend.
+    const EpochBudgetLedger* ledger = server->ledger();
+    const EpochBudgetLedger::Totals totals_before =
+        ledger ? ledger->totals() : EpochBudgetLedger::Totals{};
+
+    obs::ScopedTimer dispatch_timer(&stats.dispatch_seconds);
     std::vector<LaneStats> lanes;
     if (!options.parallel_dispatch || options.num_shards == 1) {
       lanes.resize(1);
@@ -246,7 +274,15 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
         }
       });
     }
-    stats.dispatch_seconds = dispatch_timer.ElapsedSeconds();
+    dispatch_timer.Stop();  // stats.dispatch_seconds += elapsed
+    if (ledger != nullptr) {
+      const EpochBudgetLedger::Totals& totals = ledger->totals();
+      stats.epsilon_spent = totals.epsilon_spent - totals_before.epsilon_spent;
+      stats.denied_epoch_budget =
+          totals.denied_epoch - totals_before.denied_epoch;
+      stats.denied_lifetime_budget =
+          totals.denied_lifetime - totals_before.denied_lifetime;
+    }
     for (const LaneStats& lane : lanes) {
       stats.assigned += lane.assigned;
       stats.unassigned += lane.unassigned;
@@ -270,6 +306,45 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
           ? static_cast<double>(report.events) / report.wall_seconds
           : 0.0;
   report.available_workers_end = server->available_workers();
+
+  // Flight-recorder summary: one merged snapshot of the run registry,
+  // with the headline series pulled out into typed fields.
+  report.metrics = run_metrics.Snapshot();
+  if (const obs::HistogramSample* h =
+          report.metrics.FindHistogram("tbf_serve_dispatch_latency_ns")) {
+    report.dispatch_p50_ns = h->Quantile(0.50);
+    report.dispatch_p95_ns = h->Quantile(0.95);
+    report.dispatch_p99_ns = h->Quantile(0.99);
+  }
+  if (const obs::HistogramSample* h =
+          report.metrics.FindHistogram("tbf_replay_obfuscate_latency_ns")) {
+    report.obfuscate_p50_ns = h->Quantile(0.50);
+    report.obfuscate_p95_ns = h->Quantile(0.95);
+    report.obfuscate_p99_ns = h->Quantile(0.99);
+  }
+  report.crossshard_fanouts = static_cast<uint64_t>(
+      report.metrics.CounterValue("tbf_serve_crossshard_fanout_total"));
+  report.per_shard.resize(static_cast<size_t>(server->num_shards()));
+  for (int s = 0; s < server->num_shards(); ++s) {
+    const std::string label = std::to_string(s);
+    ShardReplayCounters& shard = report.per_shard[static_cast<size_t>(s)];
+    shard.shard = s;
+    shard.worker_arrivals =
+        static_cast<uint64_t>(report.metrics.CounterValue(obs::LabeledName(
+            "tbf_serve_worker_arrivals_total", "shard", label)));
+    shard.departures = static_cast<uint64_t>(report.metrics.CounterValue(
+        obs::LabeledName("tbf_serve_departures_total", "shard", label)));
+    shard.tasks = static_cast<uint64_t>(report.metrics.CounterValue(
+        obs::LabeledName("tbf_serve_tasks_total", "shard", label)));
+    shard.assigned = static_cast<uint64_t>(report.metrics.CounterValue(
+        obs::LabeledName("tbf_serve_assigned_total", "shard", label)));
+  }
+  if (const EpochBudgetLedger* ledger = server->ledger()) {
+    const EpochBudgetLedger::Totals& totals = ledger->totals();
+    report.epsilon_spent = totals.epsilon_spent;
+    report.denied_epoch_budget = totals.denied_epoch;
+    report.denied_lifetime_budget = totals.denied_lifetime;
+  }
   return report;
 }
 

@@ -38,6 +38,7 @@
 #include "common/result.h"
 #include "core/tbf.h"
 #include "hst/hst_index.h"
+#include "obs/metrics.h"
 #include "workload/instance.h"
 
 namespace tbf {
@@ -85,7 +86,10 @@ struct TaskOutcome {
   double reported_tree_distance = 0.0;
 };
 
-/// \brief Per-epoch measurements.
+/// \brief Per-epoch measurements. Counts (arrivals/assigned/denied/...)
+/// are lane-counted by the loop itself, so they are exact and identical
+/// whether metrics are on or off; the epsilon fields are deltas of the
+/// engine ledger's always-on Totals across this epoch's dispatch.
 struct EpochStats {
   int64_t epoch = 0;
   size_t worker_arrivals = 0;
@@ -96,6 +100,23 @@ struct EpochStats {
   size_t denied = 0;  ///< reports refused (budget caps)
   double obfuscate_seconds = 0.0;
   double dispatch_seconds = 0.0;
+
+  /// Epsilon admitted within this epoch (0 when budgets are off).
+  double epsilon_spent = 0.0;
+  /// Reports refused by the per-epoch cap within this epoch.
+  uint64_t denied_epoch_budget = 0;
+  /// Reports refused by the lifetime cap within this epoch.
+  uint64_t denied_lifetime_budget = 0;
+};
+
+/// \brief End-of-run counters of one engine shard (from the run's metric
+/// registry; all zero when metrics are compiled out or disabled).
+struct ShardReplayCounters {
+  int shard = 0;
+  uint64_t worker_arrivals = 0;  ///< successful (re)registrations routed here
+  uint64_t departures = 0;       ///< successful unregistrations
+  uint64_t tasks = 0;            ///< tasks whose home shard this is
+  uint64_t assigned = 0;         ///< assignments consumed from this shard
 };
 
 /// \brief Aggregate measurements of a replay run.
@@ -118,6 +139,40 @@ struct ReplayReport {
   double events_per_second = 0.0; ///< events / wall_seconds
 
   size_t available_workers_end = 0;  ///< pool size after the last event
+
+  // Flight-recorder view of the run. Each replay instruments a private
+  // MetricRegistry (isolated from the process-wide one), so the latency
+  // percentiles and per-shard counters below describe exactly this run.
+  // Histogram percentiles carry the power-of-two bucket error bound (at
+  // most a factor of 2); all of these are 0 when metrics are disabled.
+
+  /// Per-task dispatch latency (ns): SubmitTask entry to resolution,
+  /// from tbf_serve_dispatch_latency_ns.
+  double dispatch_p50_ns = 0.0;
+  double dispatch_p95_ns = 0.0;
+  double dispatch_p99_ns = 0.0;
+
+  /// Per-report client-side obfuscation latency (ns): the batched pass's
+  /// wall time attributed evenly to its reports
+  /// (tbf_replay_obfuscate_latency_ns).
+  double obfuscate_p50_ns = 0.0;
+  double obfuscate_p95_ns = 0.0;
+  double obfuscate_p99_ns = 0.0;
+
+  /// Tasks that probed beyond their home shard (boundary fan-outs).
+  uint64_t crossshard_fanouts = 0;
+
+  /// Whole-run privacy spend (ledger Totals; always on, exact).
+  double epsilon_spent = 0.0;
+  uint64_t denied_epoch_budget = 0;
+  uint64_t denied_lifetime_budget = 0;
+
+  /// One entry per engine shard, indexed by shard id.
+  std::vector<ShardReplayCounters> per_shard;
+
+  /// Final snapshot of the run's private registry (every tbf_serve_* and
+  /// tbf_privacy_* series; see docs/OBSERVABILITY.md for the catalog).
+  obs::MetricsSnapshot metrics;
 
   std::vector<EpochStats> per_epoch;
   std::vector<TaskOutcome> task_outcomes;  ///< task arrival order

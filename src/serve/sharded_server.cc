@@ -1,12 +1,28 @@
 #include "serve/sharded_server.h"
 
 #include <algorithm>
+#include <string>
 #include <type_traits>
 #include <utility>
+
+#include "common/timer.h"
+#include "obs/scoped_timer.h"
 
 namespace tbf {
 
 namespace {
+
+// Acquires `mu`, recording only *contended* acquisitions into
+// `wait_hist`: try_lock costs the same as an uncontended lock, so the
+// fast path pays no clock read. Pair with std::adopt_lock.
+inline void LockTimed(std::mutex& mu, obs::Histogram* wait_hist) {
+  if (mu.try_lock()) return;
+  WallTimer timer;
+  mu.lock();
+  const double elapsed = timer.ElapsedSeconds();
+  wait_hist->Record(elapsed <= 0.0 ? 0
+                                   : static_cast<uint64_t>(elapsed * 1e9));
+}
 
 // Key access for the templated cores: packed mode keys workers by code,
 // path mode by leaf. Both orders are the same lexicographic digit order.
@@ -64,25 +80,56 @@ ShardedTbfServer::ShardedTbfServer(std::shared_ptr<const CompleteHst> tree,
   for (int s = 0; s < options.num_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(tree_->depth(), tree_->arity()));
   }
+  metrics_ = options.metrics != nullptr ? options.metrics
+                                        : obs::MetricRegistry::Global();
   if (options_.epoch_budget || options_.lifetime_budget) {
     // Without an explicit epoch cap the per-epoch constraint must never
     // bind on its own; a cap equal to the lifetime cap is implied by it.
     const double epoch_cap =
         options_.epoch_budget.value_or(*options_.lifetime_budget);
-    ledger_ =
-        std::make_unique<EpochBudgetLedger>(epoch_cap, options_.lifetime_budget);
+    ledger_ = std::make_unique<EpochBudgetLedger>(
+        epoch_cap, options_.lifetime_budget, metrics_);
   }
+  for (int s = 0; s < options.num_shards; ++s) {
+    const std::string shard_label = std::to_string(s);
+    shard_arrivals_metric_.push_back(metrics_->FindOrCreateCounter(
+        obs::LabeledName("tbf_serve_worker_arrivals_total", "shard",
+                         shard_label)));
+    shard_departures_metric_.push_back(metrics_->FindOrCreateCounter(
+        obs::LabeledName("tbf_serve_departures_total", "shard", shard_label)));
+    shard_tasks_metric_.push_back(metrics_->FindOrCreateCounter(
+        obs::LabeledName("tbf_serve_tasks_total", "shard", shard_label)));
+    shard_assigned_metric_.push_back(metrics_->FindOrCreateCounter(
+        obs::LabeledName("tbf_serve_assigned_total", "shard", shard_label)));
+  }
+  unassigned_metric_ =
+      metrics_->FindOrCreateCounter("tbf_serve_unassigned_total");
+  denied_metric_ = metrics_->FindOrCreateCounter("tbf_serve_denied_total");
+  fanout_metric_ =
+      metrics_->FindOrCreateCounter("tbf_serve_crossshard_fanout_total");
+  dispatch_latency_metric_ =
+      metrics_->FindOrCreateHistogram("tbf_serve_dispatch_latency_ns");
+  lock_wait_metric_ =
+      metrics_->FindOrCreateHistogram("tbf_serve_lock_wait_ns");
+  available_metric_ =
+      metrics_->FindOrCreateGauge("tbf_serve_available_workers");
 }
 
 Status ShardedTbfServer::ChargeIfRequired(
     const std::string& user, std::optional<double> declared_epsilon) {
   if (ledger_ == nullptr) return Status::OK();
   if (!declared_epsilon) {
+    denied_metric_->Add(1);
     return Status::InvalidArgument(
         "budget enforcement is on: reports must declare their epsilon");
   }
-  std::lock_guard<std::mutex> lock(budget_mu_);
-  return ledger_->Charge(user, *declared_epsilon);
+  Status status;
+  {
+    std::lock_guard<std::mutex> lock(budget_mu_);
+    status = ledger_->Charge(user, *declared_epsilon);
+  }
+  if (!status.ok()) denied_metric_->Add(1);
+  return status;
 }
 
 Status ShardedTbfServer::BeginEpoch(int64_t epoch) {
@@ -154,7 +201,9 @@ Status ShardedTbfServer::RegisterImpl(const std::string& worker_id,
       ReleaseIndexId(it->second.index_id);
     } else {
       available_.fetch_add(1, std::memory_order_relaxed);
+      available_metric_->Add(1);
     }
+    shard_arrivals_metric_[static_cast<size_t>(new_shard)]->Add(1);
     const int index_id = AcquireIndexId(worker_id);
     shards_[static_cast<size_t>(new_shard)]->index.Insert(key, index_id);
     WorkerState& state = workers_[worker_id];
@@ -212,6 +261,8 @@ Status ShardedTbfServer::UnregisterWorker(const std::string& worker_id) {
     ReleaseIndexId(it->second.index_id);
     workers_.erase(it);
     available_.fetch_sub(1, std::memory_order_relaxed);
+    available_metric_->Add(-1);
+    shard_departures_metric_[static_cast<size_t>(observed_shard)]->Add(1);
     return Status::OK();
   }
 }
@@ -259,6 +310,8 @@ DispatchResult ShardedTbfServer::ConsumeCandidate(const Candidate& candidate) {
   workers_.erase(worker_id);  // assigned: must register anew to serve again
   available_.fetch_sub(1, std::memory_order_relaxed);
   assigned_tasks_.fetch_add(1, std::memory_order_relaxed);
+  available_metric_->Add(-1);
+  shard_assigned_metric_[static_cast<size_t>(candidate.shard)]->Add(1);
   DispatchResult result;
   result.worker = worker_id;
   result.reported_tree_distance =
@@ -277,6 +330,10 @@ Result<DispatchResult> ShardedTbfServer::SubmitImpl(
   } else {
     home = router_.ShardOf(key);
   }
+  shard_tasks_metric_[static_cast<size_t>(home)]->Add(1);
+  // Dispatch latency covers the whole resolution, lock waits included
+  // (histogram-only timer: no clock reads when metrics are off).
+  obs::ScopedTimer dispatch_timer(dispatch_latency_metric_);
 
   // Fast path: probe the home shard only. A candidate whose LCA level is
   // at or below the cutoff beats every worker of every other shard (they
@@ -284,14 +341,16 @@ Result<DispatchResult> ShardedTbfServer::SubmitImpl(
   // commit while holding a single shard mutex. With K == 1 the cutoff is
   // the full depth: the fast path always decides.
   {
+    LockTimed(shards_[static_cast<size_t>(home)]->mu, lock_wait_metric_);
     std::lock_guard<std::mutex> home_lock(
-        shards_[static_cast<size_t>(home)]->mu);
+        shards_[static_cast<size_t>(home)]->mu, std::adopt_lock);
     auto nearest = QueryShard(home, key);
     if (nearest && nearest->second <= router_.cutoff_level()) {
       std::lock_guard<std::mutex> pool_lock(pool_mu_);
       return ConsumeCandidate(Candidate{home, nearest->first, nearest->second});
     }
     if (!nearest && router_.num_shards() == 1) {
+      unassigned_metric_->Add(1);
       return DispatchResult{};  // no worker available: task unassigned
     }
   }
@@ -301,10 +360,12 @@ Result<DispatchResult> ShardedTbfServer::SubmitImpl(
   // resolve the canonical global minimum across per-shard candidates.
   // The home shard is re-queried — its state may have moved since the
   // fast-path probe.
+  fanout_metric_->Add(1);
   std::vector<std::unique_lock<std::mutex>> shard_locks;
   shard_locks.reserve(shards_.size());
   for (auto& shard : shards_) {
-    shard_locks.emplace_back(shard->mu);
+    LockTimed(shard->mu, lock_wait_metric_);
+    shard_locks.emplace_back(shard->mu, std::adopt_lock);
   }
   std::lock_guard<std::mutex> pool_lock(pool_mu_);
   std::optional<Candidate> best;
@@ -329,7 +390,10 @@ Result<DispatchResult> ShardedTbfServer::SubmitImpl(
       best_state = state;
     }
   }
-  if (!best) return DispatchResult{};  // all shards empty
+  if (!best) {
+    unassigned_metric_->Add(1);
+    return DispatchResult{};  // all shards empty
+  }
   return ConsumeCandidate(*best);
 }
 

@@ -51,6 +51,7 @@
 #include "core/server.h"
 #include "hst/complete_hst.h"
 #include "hst/hst_index.h"
+#include "obs/metrics.h"
 #include "privacy/budget.h"
 #include "serve/shard_router.h"
 
@@ -73,6 +74,12 @@ struct ShardedServerOptions {
 
   /// Seed for randomized tie-breaking.
   uint64_t seed = 1;
+
+  /// Registry receiving the engine's tbf_serve_* series (and the
+  /// ledger's tbf_privacy_* series when budgets are on); nullptr uses
+  /// the process-wide registry. Must outlive the server. The replay loop
+  /// passes a per-run registry so interval deltas are isolated.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 /// \brief Sharded online dispatch server on obfuscated leaves.
@@ -160,6 +167,10 @@ class ShardedTbfServer {
   /// Synchronize externally with concurrent operations before reading.
   const EpochBudgetLedger* ledger() const { return ledger_.get(); }
 
+  /// The registry this engine's tbf_serve_* metrics land in (see
+  /// docs/OBSERVABILITY.md for the catalog).
+  obs::MetricRegistry* metrics() const { return metrics_; }
+
  private:
   struct Shard {
     Shard(int depth, int arity) : index(depth, arity) {}
@@ -235,6 +246,21 @@ class ShardedTbfServer {
 
   std::atomic<size_t> available_{0};
   std::atomic<size_t> assigned_tasks_{0};
+
+  // Metrics handles (resolved once at construction; mutations on the hot
+  // path are striped relaxed atomics, compiled out under
+  // TBF_METRICS_DISABLED). Per-shard vectors are indexed by shard id.
+  obs::MetricRegistry* metrics_ = nullptr;
+  std::vector<obs::Counter*> shard_arrivals_metric_;
+  std::vector<obs::Counter*> shard_departures_metric_;
+  std::vector<obs::Counter*> shard_tasks_metric_;
+  std::vector<obs::Counter*> shard_assigned_metric_;
+  obs::Counter* unassigned_metric_ = nullptr;
+  obs::Counter* denied_metric_ = nullptr;
+  obs::Counter* fanout_metric_ = nullptr;
+  obs::Histogram* dispatch_latency_metric_ = nullptr;
+  obs::Histogram* lock_wait_metric_ = nullptr;
+  obs::Gauge* available_metric_ = nullptr;
 };
 
 }  // namespace tbf

@@ -1,5 +1,7 @@
 #include "common/logging.h"
 
+#include <regex>
+
 #include <gtest/gtest.h>
 
 namespace tbf {
@@ -35,6 +37,24 @@ TEST(LoggingTest, EmitsAtOrAboveThreshold) {
   EXPECT_NE(err.find("hello-42"), std::string::npos);
   EXPECT_NE(err.find("INFO"), std::string::npos);
   SetLogLevel(before);
+}
+
+// The line prefix is a contract with log scrapers:
+//   [LEVEL 2026-08-07T12:34:56.789Z t3 file.cc:42] message
+// ISO-8601 UTC wall clock with millisecond precision, then a compact
+// per-process thread ordinal. Any format change must update this pin.
+TEST(LoggingTest, LinePrefixFormatIsPinned) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  TBF_LOG_WARN << "pinned-payload";
+  std::string err = testing::internal::GetCapturedStderr();
+  SetLogLevel(before);
+  std::regex prefix(
+      "\\[WARN "
+      "[0-9]{4}-[0-9]{2}-[0-9]{2}T[0-9]{2}:[0-9]{2}:[0-9]{2}\\.[0-9]{3}Z "
+      "t[0-9]+ logging_test\\.cc:[0-9]+\\] pinned-payload");
+  EXPECT_TRUE(std::regex_search(err, prefix)) << "unexpected line: " << err;
 }
 
 TEST(LoggingTest, CheckPassesSilently) {

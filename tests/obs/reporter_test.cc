@@ -1,0 +1,81 @@
+#include "obs/reporter.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace tbf {
+namespace obs {
+namespace {
+
+TEST(MetricsReporterTest, StartStopLifecycleIsIdempotent) {
+  MetricRegistry registry;
+  std::atomic<int> ticks{0};
+  MetricsReporter reporter(
+      &registry, std::chrono::milliseconds(5),
+      [&ticks](const MetricsSnapshot&, const MetricsSnapshot&) { ++ticks; });
+  EXPECT_FALSE(reporter.running());
+  reporter.Start();
+  reporter.Start();  // no-op
+  EXPECT_TRUE(reporter.running());
+  reporter.Stop();
+  reporter.Stop();  // no-op
+  EXPECT_FALSE(reporter.running());
+  // Stop always emits one final flush, even if no interval elapsed.
+  EXPECT_GE(ticks.load(), 1);
+}
+
+TEST(MetricsReporterTest, DestructorStopsTheThread) {
+  MetricRegistry registry;
+  std::atomic<int> ticks{0};
+  {
+    MetricsReporter reporter(
+        &registry, std::chrono::hours(1),
+        [&ticks](const MetricsSnapshot&, const MetricsSnapshot&) { ++ticks; });
+    reporter.Start();
+  }  // must join promptly despite the huge interval
+  EXPECT_GE(ticks.load(), 1);
+}
+
+#ifndef TBF_METRICS_DISABLED
+
+TEST(MetricsReporterTest, DeltasPartitionTheTotal) {
+  MetricRegistry registry;
+  Counter* counter = registry.FindOrCreateCounter("ticks_total");
+
+  std::mutex mu;
+  std::vector<double> delta_values;
+  double last_total = 0.0;
+  MetricsReporter reporter(
+      &registry, std::chrono::milliseconds(2),
+      [&](const MetricsSnapshot& total, const MetricsSnapshot& delta) {
+        std::lock_guard<std::mutex> lock(mu);
+        delta_values.push_back(delta.CounterValue("ticks_total"));
+        last_total = total.CounterValue("ticks_total");
+      });
+  reporter.Start();
+  for (int i = 0; i < 1000; ++i) counter->Add(1);
+  reporter.Stop();
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_FALSE(delta_values.empty());
+  double delta_sum = 0.0;
+  for (double d : delta_values) {
+    EXPECT_GE(d, 0.0);  // monotone counter: interval deltas non-negative
+    delta_sum += d;
+  }
+  // The final flush runs after the last Add, so deltas sum to the total.
+  EXPECT_DOUBLE_EQ(last_total, 1000.0);
+  EXPECT_DOUBLE_EQ(delta_sum, 1000.0);
+}
+
+#endif  // TBF_METRICS_DISABLED
+
+}  // namespace
+}  // namespace obs
+}  // namespace tbf

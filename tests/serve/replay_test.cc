@@ -230,7 +230,90 @@ TEST(ReplayTest, EpochBudgetDeniesWithinWindowOnly) {
   ASSERT_EQ(report->per_epoch.size(), 2u);
   EXPECT_EQ(report->per_epoch[0].denied, 1u);
   EXPECT_EQ(report->per_epoch[1].denied, 0u);
+
+  // Per-epoch privacy accounting (ledger Totals deltas, metrics-agnostic):
+  // two admitted charges in the first window, one in the second, one
+  // epoch-cap denial in the first.
+  EXPECT_DOUBLE_EQ(report->per_epoch[0].epsilon_spent, 2 * framework.epsilon());
+  EXPECT_DOUBLE_EQ(report->per_epoch[1].epsilon_spent, framework.epsilon());
+  EXPECT_EQ(report->per_epoch[0].denied_epoch_budget, 1u);
+  EXPECT_EQ(report->per_epoch[0].denied_lifetime_budget, 0u);
+  EXPECT_EQ(report->per_epoch[1].denied_epoch_budget, 0u);
+  EXPECT_DOUBLE_EQ(report->epsilon_spent, 3 * framework.epsilon());
+  EXPECT_EQ(report->denied_epoch_budget, 1u);
+  EXPECT_EQ(report->denied_lifetime_budget, 0u);
 }
+
+#ifndef TBF_METRICS_DISABLED
+
+TEST(ReplayTest, FlightRecorderFieldsDescribeTheRun) {
+  TbfFramework framework = BuildFramework();
+  EventTrace trace = SmallTrace(120, 80, 0.1, 29);
+  ReplayOptions options;
+  options.epoch_seconds = 60.0;
+  options.num_shards = 4;
+  auto report = RunEventReplay(framework, trace, options);
+  ASSERT_TRUE(report.ok());
+
+  // Latency percentiles come from the run's histograms: present, ordered,
+  // and positive once any task/report was processed.
+  ASSERT_GT(report->task_arrivals, 0u);
+  EXPECT_GT(report->dispatch_p50_ns, 0.0);
+  EXPECT_LE(report->dispatch_p50_ns, report->dispatch_p95_ns);
+  EXPECT_LE(report->dispatch_p95_ns, report->dispatch_p99_ns);
+  EXPECT_GT(report->obfuscate_p50_ns, 0.0);
+  EXPECT_LE(report->obfuscate_p50_ns, report->obfuscate_p99_ns);
+
+  // Per-shard counters are exhaustive: summed over shards they equal the
+  // loop's own lane-counted totals (every registration succeeded — no
+  // budgets — and every assignment consumed a worker from some shard).
+  ASSERT_EQ(report->per_shard.size(), 4u);
+  uint64_t arrivals = 0, departures = 0, tasks = 0, assigned = 0;
+  for (size_t s = 0; s < report->per_shard.size(); ++s) {
+    EXPECT_EQ(report->per_shard[s].shard, static_cast<int>(s));
+    arrivals += report->per_shard[s].worker_arrivals;
+    departures += report->per_shard[s].departures;
+    tasks += report->per_shard[s].tasks;
+    assigned += report->per_shard[s].assigned;
+  }
+  EXPECT_EQ(arrivals, report->worker_arrivals);
+  EXPECT_EQ(departures, report->departures - report->missed_departures);
+  EXPECT_EQ(tasks, report->task_arrivals);
+  EXPECT_EQ(assigned, report->assigned);
+
+  // The raw snapshot carries the serve series; the dispatch histogram saw
+  // every task.
+  const obs::HistogramSample* dispatch =
+      report->metrics.FindHistogram("tbf_serve_dispatch_latency_ns");
+  ASSERT_NE(dispatch, nullptr);
+  EXPECT_EQ(dispatch->count, report->task_arrivals);
+  EXPECT_EQ(static_cast<size_t>(report->metrics.CounterValue(
+                "tbf_serve_unassigned_total")),
+            report->unassigned);
+}
+
+TEST(ReplayTest, RunRegistriesAreIsolated) {
+  // Two runs must not bleed counters into each other (each instruments a
+  // private registry, not the process-wide one).
+  TbfFramework framework = BuildFramework();
+  EventTrace trace = SmallTrace(50, 25, 0.1, 31);
+  ReplayOptions options;
+  options.num_shards = 2;
+  auto first = RunEventReplay(framework, trace, options);
+  auto second = RunEventReplay(framework, trace, options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  const obs::HistogramSample* a =
+      first->metrics.FindHistogram("tbf_serve_dispatch_latency_ns");
+  const obs::HistogramSample* b =
+      second->metrics.FindHistogram("tbf_serve_dispatch_latency_ns");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->count, b->count);  // not doubled by the first run
+  EXPECT_EQ(a->count, first->task_arrivals);
+}
+
+#endif  // TBF_METRICS_DISABLED
 
 TEST(ReplayTest, EventTraceSurvivesCsvRoundTripIntoReplay) {
   // The adoption path: external timestamped trace in, replay out.

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Schema validator for the BENCH_*.json artifacts CI archives.
+
+Every file must be a google-benchmark JSON document: a top-level object
+with a "context" object and a non-empty "benchmarks" list whose entries
+carry a non-empty "name", positive "iterations", finite non-negative
+"real_time"/"cpu_time", and a known "time_unit". Every other numeric
+field (user counters like overhead_percent or mean_tree_distance) must be
+finite — Python's json module happily parses NaN/Infinity, so perf
+regressions can't hide behind non-numbers.
+
+Usage: tools/check_bench_json.py FILE_OR_DIR [...]
+       (directories are searched for BENCH_*.json)
+"""
+
+import json
+import math
+import sys
+from pathlib import Path
+
+TIME_UNITS = {"ns", "us", "ms", "s"}
+REQUIRED_FIELDS = ("name", "iterations", "real_time", "cpu_time", "time_unit")
+
+
+def check_entry(entry, index, errors):
+    where = f"benchmarks[{index}]"
+    if not isinstance(entry, dict):
+        errors.append(f"{where}: not an object")
+        return
+    name = entry.get("name")
+    where = f"benchmarks[{index}] ({name})"
+    for field in REQUIRED_FIELDS:
+        if field not in entry:
+            errors.append(f"{where}: missing field {field!r}")
+    if not isinstance(name, str) or not name:
+        errors.append(f"{where}: 'name' must be a non-empty string")
+    iterations = entry.get("iterations")
+    if iterations is not None and (
+        not isinstance(iterations, int) or iterations <= 0
+    ):
+        errors.append(f"{where}: 'iterations' must be a positive integer")
+    unit = entry.get("time_unit")
+    if unit is not None and unit not in TIME_UNITS:
+        errors.append(f"{where}: unknown time_unit {unit!r}")
+    for field in ("real_time", "cpu_time"):
+        value = entry.get(field)
+        if value is not None and (
+            not isinstance(value, (int, float))
+            or not math.isfinite(value)
+            or value < 0
+        ):
+            errors.append(f"{where}: {field!r} must be a finite number >= 0")
+    for field, value in entry.items():
+        if isinstance(value, float) and not math.isfinite(value):
+            errors.append(f"{where}: field {field!r} is not finite: {value}")
+    if entry.get("error_occurred"):
+        errors.append(f"{where}: benchmark errored: "
+                      f"{entry.get('error_message', '?')}")
+
+
+def check_file(path):
+    errors = []
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable JSON: {exc}"]
+    if not isinstance(document, dict):
+        return ["top level is not an object"]
+    context = document.get("context")
+    if not isinstance(context, dict):
+        errors.append("missing 'context' object")
+    benchmarks = document.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        errors.append("'benchmarks' must be a non-empty list")
+        return errors
+    for index, entry in enumerate(benchmarks):
+        check_entry(entry, index, errors)
+    return errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip())
+        return 2
+    files = []
+    for argument in sys.argv[1:]:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.glob("BENCH_*.json")))
+        else:
+            files.append(path)
+    if not files:
+        print("no BENCH_*.json files found")
+        return 1
+    failed = 0
+    for path in files:
+        errors = check_file(path)
+        for error in errors:
+            print(f"{path}: {error}")
+        if errors:
+            failed += 1
+        else:
+            print(f"{path}: OK")
+    print(f"checked {len(files)} bench JSON files: "
+          f"{'FAIL' if failed else 'all valid'}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

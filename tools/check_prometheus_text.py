@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Validates Prometheus text exposition (version 0.0.4) read from stdin.
+
+Used by CI as the exporter smoke test:
+    ./example_metrics_dump | python3 tools/check_prometheus_text.py
+
+Checks, line by line:
+  * comments are well-formed `# TYPE name counter|gauge|histogram` or
+    `# HELP name ...`; samples are `name value` or `name{labels} value`;
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*, labels parse as
+    key="value" pairs, values parse as finite floats;
+  * no fully-labeled sample appears twice;
+  * histograms are consistent: `X_bucket` counts are cumulative
+    (non-decreasing as `le` grows), close with le="+Inf", and the +Inf
+    bucket equals `X_count`.
+
+Exits 0 and prints a summary when the input is valid.
+"""
+
+import math
+import re
+import sys
+
+NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+                    r"(?:\{(?P<labels>[^}]*)\})? (?P<value>\S+)$")
+LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"$')
+TYPE_LINE = re.compile(r"^# TYPE (?P<name>\S+) "
+                       r"(?P<kind>counter|gauge|histogram|summary|untyped)$")
+
+
+def parse_le(value):
+    return math.inf if value == "+Inf" else float(value)
+
+
+def main():
+    errors = []
+    samples = {}
+    seen = set()
+    for line_number, line in enumerate(sys.stdin, start=1):
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("#"):
+            if line.startswith("# HELP "):
+                continue
+            match = TYPE_LINE.match(line)
+            if not match:
+                errors.append(f"line {line_number}: malformed comment: {line}")
+            elif not NAME.match(match.group("name")):
+                errors.append(f"line {line_number}: bad metric name in TYPE")
+            continue
+        match = SAMPLE.match(line)
+        if not match:
+            errors.append(f"line {line_number}: malformed sample: {line}")
+            continue
+        labels = {}
+        if match.group("labels"):
+            for part in match.group("labels").split(","):
+                label = LABEL.match(part)
+                if not label:
+                    errors.append(
+                        f"line {line_number}: malformed label {part!r}")
+                else:
+                    labels[label.group("key")] = label.group("value")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            errors.append(f"line {line_number}: non-numeric value: {line}")
+            continue
+        if not math.isfinite(value):
+            errors.append(f"line {line_number}: non-finite value: {line}")
+            continue
+        key = (match.group("name"), tuple(sorted(labels.items())))
+        if key in seen:
+            errors.append(f"line {line_number}: duplicate sample: {line}")
+        seen.add(key)
+        samples[key] = value
+
+    # Histogram consistency: cumulative buckets closing at +Inf == _count.
+    histograms = {}
+    for (name, labels), value in samples.items():
+        if not name.endswith("_bucket"):
+            continue
+        labels = dict(labels)
+        if "le" not in labels:
+            errors.append(f"{name}: bucket sample without le label")
+            continue
+        le = labels.pop("le")
+        series = (name[: -len("_bucket")], tuple(sorted(labels.items())))
+        histograms.setdefault(series, []).append((parse_le(le), value))
+    for (base, labels), buckets in sorted(histograms.items()):
+        buckets.sort()
+        previous = 0.0
+        for le, count in buckets:
+            if count < previous:
+                errors.append(f"{base}: bucket le={le} not cumulative")
+            previous = count
+        if buckets[-1][0] != math.inf:
+            errors.append(f"{base}: histogram does not close with le=\"+Inf\"")
+        total = samples.get((base + "_count", labels))
+        if total is None:
+            errors.append(f"{base}: missing {base}_count")
+        elif buckets[-1][0] == math.inf and buckets[-1][1] != total:
+            errors.append(f"{base}: +Inf bucket {buckets[-1][1]} != "
+                          f"count {total}")
+
+    for error in errors:
+        print(error)
+    print(f"parsed {len(samples)} samples, {len(histograms)} histograms: "
+          f"{'FAIL' if errors else 'OK'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
