@@ -1,0 +1,180 @@
+#include "common/fault.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace tbf {
+namespace fault {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kFail: return "fail";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kExhaustBudget: return "exhaust_budget";
+    case FaultKind::kDegrade: return "degrade";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::Seeded(uint64_t seed,
+                            const std::vector<std::string>& sites,
+                            int num_faults, uint64_t horizon) {
+  FaultPlan plan;
+  if (sites.empty() || num_faults <= 0) return plan;
+  Rng rng(seed);
+  for (int i = 0; i < num_faults; ++i) {
+    FaultSpec spec;
+    spec.site = sites[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(sites.size()) - 1))];
+    // Kinds that make sense at the site, inferred from its name. Stream
+    // sites get the event mutations; budget sites simulate exhaustion;
+    // admission sites shed; fan-out sites degrade; the rest stall or fail.
+    std::vector<FaultKind> kinds;
+    if (spec.site.find("replay.event") != std::string::npos) {
+      kinds = {FaultKind::kDrop, FaultKind::kDuplicate, FaultKind::kReorder,
+               FaultKind::kStall};
+    } else if (spec.site.find("budget.") != std::string::npos) {
+      kinds = {FaultKind::kExhaustBudget};
+    } else if (spec.site.find("serve.fanout") != std::string::npos) {
+      kinds = {FaultKind::kDegrade};
+    } else if (spec.site.find("serve.admission") != std::string::npos) {
+      kinds = {FaultKind::kFail};  // shed: ResourceExhausted below
+    } else {
+      kinds = {FaultKind::kStall, FaultKind::kFail};
+    }
+    spec.kind = kinds[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(kinds.size()) - 1))];
+    spec.after = static_cast<uint64_t>(
+        rng.UniformInt(0, static_cast<int64_t>(horizon) - 1));
+    spec.count = static_cast<uint64_t>(rng.UniformInt(1, 3));
+    spec.stall_ms = 0.1;  // keep seeded chaos fast: sub-millisecond stalls
+    if (spec.site.find("serve.admission") != std::string::npos) {
+      spec.code = StatusCode::kResourceExhausted;
+      spec.message = "injected shed (seeded chaos)";
+    } else {
+      spec.code = StatusCode::kInternal;
+      spec.message = "injected failure (seeded chaos)";
+    }
+    plan.faults.push_back(std::move(spec));
+  }
+  return plan;
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();  // never destroyed
+  return *injector;
+}
+
+Status FaultInjector::Arm(FaultPlan plan) {
+#ifdef TBF_FAULTS_DISABLED
+  (void)plan;
+  return Status::Unimplemented("fault injection compiled out (TBF_FAULTS=OFF)");
+#else
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = std::move(plan);
+  firings_ = FaultFirings{};
+  site_hits_.clear();
+  armed_.store(true, std::memory_order_relaxed);
+  return Status::OK();
+#endif
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+  plan_.faults.clear();
+}
+
+// mu_ must be held.
+std::optional<FaultAction> FaultInjector::Resolve(std::string_view site,
+                                                  uint64_t index) {
+  for (const FaultSpec& spec : plan_.faults) {
+    if (spec.site != site) continue;
+    if (index < spec.after) continue;
+    if (spec.count != 0 && index >= spec.after + spec.count) continue;
+    FaultAction action;
+    action.kind = spec.kind;
+    action.stall_ms = spec.stall_ms;
+    if (spec.kind == FaultKind::kFail) {
+      action.status = Status(spec.code, spec.message + " at " +
+                                            std::string(site) + "#" +
+                                            std::to_string(index));
+    } else if (spec.kind == FaultKind::kExhaustBudget) {
+      action.status = Status::FailedPrecondition(
+          spec.message + ": injected budget exhaustion at " +
+          std::string(site) + "#" + std::to_string(index));
+    }
+    switch (spec.kind) {
+      case FaultKind::kStall: ++firings_.stalls; break;
+      case FaultKind::kFail: ++firings_.failures; break;
+      case FaultKind::kDrop: ++firings_.drops; break;
+      case FaultKind::kDuplicate: ++firings_.duplicates; break;
+      case FaultKind::kReorder: ++firings_.reorders; break;
+      case FaultKind::kExhaustBudget: ++firings_.budget_exhaustions; break;
+      case FaultKind::kDegrade: ++firings_.degrades; break;
+    }
+    return action;
+  }
+  return std::nullopt;
+}
+
+std::optional<FaultAction> FaultInjector::OnHit(std::string_view site,
+                                                uint64_t index) {
+  if (!armed()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return std::nullopt;
+  return Resolve(site, index);
+}
+
+std::optional<FaultAction> FaultInjector::OnHit(std::string_view site) {
+  if (!armed()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return std::nullopt;
+  const uint64_t index = site_hits_[std::string(site)]++;
+  return Resolve(site, index);
+}
+
+namespace {
+
+Status ApplyStatusAction(const std::optional<FaultAction>& action) {
+  if (!action) return Status::OK();
+  if (action->kind == FaultKind::kStall) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(action->stall_ms));
+    return Status::OK();
+  }
+  if (action->kind == FaultKind::kFail ||
+      action->kind == FaultKind::kExhaustBudget) {
+    return action->status;
+  }
+  return Status::OK();  // stream/degrade kinds are meaningless here
+}
+
+}  // namespace
+
+Status FaultInjector::Inject(std::string_view site) {
+  return ApplyStatusAction(OnHit(site));
+}
+
+Status FaultInjector::InjectAt(std::string_view site, uint64_t index) {
+  return ApplyStatusAction(OnHit(site, index));
+}
+
+uint64_t FaultInjector::hits(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = site_hits_.find(std::string(site));
+  return it == site_hits_.end() ? 0 : it->second;
+}
+
+FaultFirings FaultInjector::firings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return firings_;
+}
+
+}  // namespace fault
+}  // namespace tbf

@@ -1,0 +1,199 @@
+// Deterministic, seeded fault injection for chaos testing the serve stack.
+//
+// Production code declares *injection sites* — named points where a fault
+// plan may schedule a disruption (see docs/ROBUSTNESS.md for the site
+// catalog). A FaultPlan is a list of FaultSpecs; each spec names a site, a
+// fault kind, and the hit-index window [after, after + count) in which it
+// fires. Hit indices come from the caller when the site has a natural
+// deterministic index (the replay loop passes the absolute trace event
+// index, so a plan means the same thing across epoch cuts, shard counts
+// and checkpoint resumes), or from a per-site counter maintained by the
+// injector (reset on Arm) otherwise.
+//
+// Determinism contract: with a fixed plan armed and sites hit in a fixed
+// order (sequential dispatch), every firing is a pure function of
+// (plan, hit index) — no wall clock, no global RNG. FaultPlan::Seeded
+// derives a pseudo-random plan from a seed through the library's own Rng,
+// so "chaos seed 17" is the same chaos everywhere, forever.
+//
+// Cost when idle: one relaxed atomic load per site hit when no plan is
+// armed; with -DTBF_FAULTS_DISABLED (CMake -DTBF_FAULTS=OFF) the macros
+// below compile to nothing and Arm() refuses, so release builds can prove
+// the sites away entirely.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tbf {
+namespace fault {
+
+/// \brief What a scheduled fault does when it fires.
+enum class FaultKind {
+  kStall,          ///< sleep for stall_ms, then proceed normally
+  kFail,           ///< return Status(code, message) from the site
+  kDrop,           ///< stream sites: drop the event (counted, never silent)
+  kDuplicate,      ///< stream sites: process the event twice
+  kReorder,        ///< stream sites: swap the event with its successor
+  kExhaustBudget,  ///< budget sites: refuse the charge as if the cap hit
+  kDegrade,        ///< fan-out sites: resolve home-shard-only (approximate)
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// \brief One scheduled fault: fires at `site` on hit indices in
+/// [after, after + count) (count == 0 means every hit from `after` on).
+struct FaultSpec {
+  std::string site;
+  FaultKind kind = FaultKind::kFail;
+  uint64_t after = 0;
+  uint64_t count = 1;
+  double stall_ms = 0.0;                        ///< kStall
+  StatusCode code = StatusCode::kInternal;      ///< kFail
+  std::string message = "injected fault";       ///< kFail / kExhaustBudget
+};
+
+/// \brief A deterministic schedule of faults.
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+
+  /// \brief Derives a pseudo-random plan of `num_faults` specs from `seed`:
+  /// sites drawn uniformly from `sites`, kinds drawn from the kinds that
+  /// make sense at that site (inferred from its name: "replay.event" gets
+  /// stream kinds, "budget." sites get kExhaustBudget, "serve.fanout" gets
+  /// kDegrade, "serve.admission" gets shed-style kFail, anything else
+  /// kFail/kStall), hit windows in [0, horizon). Bit-stable across
+  /// platforms (library Rng only).
+  static FaultPlan Seeded(uint64_t seed, const std::vector<std::string>& sites,
+                          int num_faults, uint64_t horizon = 256);
+};
+
+/// \brief The action a site hit must take (resolved from the armed plan).
+struct FaultAction {
+  FaultKind kind = FaultKind::kFail;
+  double stall_ms = 0.0;
+  Status status;  ///< kFail / kExhaustBudget: the status to return
+};
+
+/// \brief Cumulative firings since the last Arm() (for tests and reports).
+struct FaultFirings {
+  uint64_t stalls = 0;
+  uint64_t failures = 0;
+  uint64_t drops = 0;
+  uint64_t duplicates = 0;
+  uint64_t reorders = 0;
+  uint64_t budget_exhaustions = 0;
+  uint64_t degrades = 0;
+  uint64_t total() const {
+    return stalls + failures + drops + duplicates + reorders +
+           budget_exhaustions + degrades;
+  }
+};
+
+/// \brief Process-wide fault injector. Thread-safe; hits on an unarmed
+/// injector are a single relaxed load.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// \brief Arms `plan`, resetting all per-site hit counters and firing
+  /// stats. Fails with Unimplemented when faults are compiled out.
+  Status Arm(FaultPlan plan);
+
+  /// \brief Disarms; every site becomes a no-op again.
+  void Disarm();
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// \brief Records a hit at `site` with an explicit deterministic index
+  /// and returns the scheduled action, if any. Stalls are *not* applied
+  /// here (the caller decides); kFail/kExhaustBudget statuses are
+  /// materialized into action.status.
+  std::optional<FaultAction> OnHit(std::string_view site, uint64_t index);
+
+  /// \brief Auto-indexed variant: uses the site's own hit counter
+  /// (incremented on every call while armed, reset by Arm).
+  std::optional<FaultAction> OnHit(std::string_view site);
+
+  /// \brief Status-site convenience: applies kStall in place and converts
+  /// kFail / kExhaustBudget into the scheduled Status; any other kind (or
+  /// no scheduled fault) returns OK.
+  Status Inject(std::string_view site);
+  Status InjectAt(std::string_view site, uint64_t index);
+
+  /// Hits observed at `site` since the last Arm (auto-indexed sites only).
+  uint64_t hits(std::string_view site) const;
+
+  FaultFirings firings() const;
+
+ private:
+  FaultInjector() = default;
+
+  std::optional<FaultAction> Resolve(std::string_view site, uint64_t index);
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  FaultFirings firings_;
+  std::unordered_map<std::string, uint64_t> site_hits_;
+};
+
+/// \brief RAII plan armer for tests: arms on construction (no-op when
+/// faults are compiled out), disarms on destruction.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(FaultPlan plan) {
+    armed_ = FaultInjector::Global().Arm(std::move(plan)).ok();
+  }
+  ~ScopedFaultPlan() { FaultInjector::Global().Disarm(); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+  /// False when faults are compiled out (tests should then skip).
+  bool armed() const { return armed_; }
+
+ private:
+  bool armed_ = false;
+};
+
+/// Inline no-op helpers for the compiled-out configuration.
+inline std::optional<FaultAction> NoAction() { return std::nullopt; }
+
+}  // namespace fault
+}  // namespace tbf
+
+// Site macros. Call these at injection sites; they cost one relaxed load
+// when no plan is armed and compile to constants under
+// -DTBF_FAULTS_DISABLED.
+#ifdef TBF_FAULTS_DISABLED
+#define TBF_FAULT_INJECT(site) ::tbf::Status::OK()
+#define TBF_FAULT_INJECT_AT(site, index) ::tbf::Status::OK()
+#define TBF_FAULT_ONHIT(site) (::tbf::fault::NoAction())
+#define TBF_FAULT_ONHIT_AT(site, index) (::tbf::fault::NoAction())
+#else
+#define TBF_FAULT_INJECT(site)                               \
+  (::tbf::fault::FaultInjector::Global().armed()             \
+       ? ::tbf::fault::FaultInjector::Global().Inject(site)  \
+       : ::tbf::Status::OK())
+#define TBF_FAULT_INJECT_AT(site, index)                            \
+  (::tbf::fault::FaultInjector::Global().armed()                    \
+       ? ::tbf::fault::FaultInjector::Global().InjectAt(site, index) \
+       : ::tbf::Status::OK())
+#define TBF_FAULT_ONHIT(site)                               \
+  (::tbf::fault::FaultInjector::Global().armed()            \
+       ? ::tbf::fault::FaultInjector::Global().OnHit(site)  \
+       : ::tbf::fault::NoAction())
+#define TBF_FAULT_ONHIT_AT(site, index)                            \
+  (::tbf::fault::FaultInjector::Global().armed()                   \
+       ? ::tbf::fault::FaultInjector::Global().OnHit(site, index)  \
+       : ::tbf::fault::NoAction())
+#endif

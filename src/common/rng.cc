@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <sstream>
 
 namespace tbf {
 
@@ -64,6 +65,24 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
 }
 
 Rng Rng::Split(uint64_t salt) { return Rng(Mix(NextU64() ^ Mix(salt))); }
+
+std::string Rng::SerializeState() const {
+  std::ostringstream os;
+  os << seed_ << ' ' << engine_;
+  return os.str();
+}
+
+Status Rng::RestoreState(const std::string& state) {
+  std::istringstream is(state);
+  uint64_t seed = 0;
+  std::mt19937_64 engine;
+  if (!(is >> seed >> engine)) {
+    return Status::InvalidArgument("Rng::RestoreState: malformed state token");
+  }
+  seed_ = seed;
+  engine_ = engine;
+  return Status::OK();
+}
 
 Rng Rng::ForkAt(uint64_t index) const {
   // Different mixing constant than Split so ForkAt(i) never collides with a

@@ -8,7 +8,10 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
+
+#include "common/status.h"
 
 namespace tbf {
 
@@ -84,6 +87,16 @@ class Rng {
   uint64_t NextU64() { return engine_(); }
 
   uint64_t seed() const { return seed_; }
+
+  /// \brief Serializes seed + full engine state into a printable
+  /// space-separated decimal token string. RestoreState round-trips it so
+  /// the restored generator continues the draw sequence exactly where the
+  /// serialized one left off (crash-safe replay checkpoints rely on this).
+  std::string SerializeState() const;
+
+  /// \brief Restores a state produced by SerializeState. On failure the
+  /// generator is left unchanged and InvalidArgument is returned.
+  Status RestoreState(const std::string& state);
 
  private:
   uint64_t seed_;

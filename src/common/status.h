@@ -21,6 +21,8 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kUnimplemented,
+  kResourceExhausted,
+  kAborted,
 };
 
 /// \brief Returns a human-readable name for a StatusCode.
@@ -64,6 +66,12 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -104,6 +112,8 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kIOError: return "IOError";
     case StatusCode::kUnimplemented: return "Unimplemented";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kAborted: return "Aborted";
   }
   return "Unknown";
 }

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 
@@ -227,6 +228,47 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
     }
   }
   return snapshot;
+}
+
+void MetricRegistry::Merge(const MetricsSnapshot& snapshot) {
+  if (!internal::Enabled()) return;
+  for (const CounterSample& sample : snapshot.counters) {
+    Kind kind;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find(sample.name);
+      if (it != entries_.end()) {
+        kind = it->second.kind;
+      } else {
+        const bool integral = sample.value >= 0.0 &&
+                              sample.value == std::floor(sample.value) &&
+                              sample.value <= 0x1.0p53;
+        kind = integral ? Kind::kCounter : Kind::kDoubleCounter;
+      }
+    }
+    if (kind == Kind::kCounter) {
+      FindOrCreateCounter(sample.name)
+          ->Add(static_cast<uint64_t>(sample.value));
+    } else if (kind == Kind::kDoubleCounter) {
+      FindOrCreateDoubleCounter(sample.name)->Add(sample.value);
+    }
+    // A counter sample colliding with a gauge/histogram name cannot come
+    // from Snapshot(); drop it rather than CHECK-fail on corrupt input.
+  }
+  for (const GaugeSample& sample : snapshot.gauges) {
+    FindOrCreateGauge(sample.name)->Set(sample.value);
+  }
+  for (const HistogramSample& sample : snapshot.histograms) {
+    Histogram* histogram = FindOrCreateHistogram(sample.name);
+    // Buckets land in stripe 0 (friend access): the public Record API
+    // cannot reproduce an arbitrary (bucket, sum) pair exactly.
+    Histogram::Stripe& stripe = histogram->stripes_[0];
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      stripe.buckets[static_cast<size_t>(i)].fetch_add(
+          sample.buckets[static_cast<size_t>(i)], std::memory_order_relaxed);
+    }
+    stripe.sum.fetch_add(sample.sum, std::memory_order_relaxed);
+  }
 }
 
 size_t MetricRegistry::size() const {

@@ -298,6 +298,16 @@ class MetricRegistry {
   /// Merged view of every metric registered so far.
   MetricsSnapshot Snapshot() const;
 
+  /// \brief Accumulates a saved snapshot into this registry (counters and
+  /// histogram buckets add, gauges take the snapshot value) — the inverse
+  /// of Snapshot(), used by checkpoint resume to carry pre-crash totals
+  /// into a fresh registry. Metrics already registered keep their kind;
+  /// unknown counter names are registered as Counter when the value is a
+  /// non-negative integer and DoubleCounter otherwise, so restore AFTER
+  /// constructing the components that register their own metrics. No-op
+  /// while metrics are disabled.
+  void Merge(const MetricsSnapshot& snapshot);
+
   /// Number of registered metrics (all kinds).
   size_t size() const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fault.h"
 #include "common/logging.h"
 
 namespace tbf {
@@ -27,6 +28,13 @@ inline bool FitsCap(double spent, double epsilon, double cap) {
   return spent + epsilon <= cap * (1.0 + 1e-12);
 }
 
+// A chargeable epsilon is strictly positive AND finite. `epsilon <= 0.0`
+// alone would let NaN through (every comparison with NaN is false) and
+// +inf past it, silently corrupting every subsequent cap check.
+inline bool ChargeableEpsilon(double epsilon) {
+  return std::isfinite(epsilon) && epsilon > 0.0;
+}
+
 }  // namespace
 
 PrivacyBudgetLedger::PrivacyBudgetLedger(double lifetime_budget)
@@ -35,7 +43,9 @@ PrivacyBudgetLedger::PrivacyBudgetLedger(double lifetime_budget)
 }
 
 Status PrivacyBudgetLedger::Charge(const std::string& user, double epsilon) {
-  if (epsilon <= 0.0) return Status::InvalidArgument("epsilon must be positive");
+  if (!ChargeableEpsilon(epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive and finite");
+  }
   double& spent = spent_[user];
   if (!FitsCap(spent, epsilon, lifetime_budget_)) {
     if (spent == 0.0) spent_.erase(user);  // keep num_users() meaningful
@@ -56,7 +66,8 @@ double PrivacyBudgetLedger::Remaining(const std::string& user) const {
 }
 
 bool PrivacyBudgetLedger::CanCharge(const std::string& user, double epsilon) const {
-  return epsilon > 0.0 && FitsCap(Spent(user), epsilon, lifetime_budget_);
+  return ChargeableEpsilon(epsilon) &&
+         FitsCap(Spent(user), epsilon, lifetime_budget_);
 }
 
 EpochBudgetLedger::EpochBudgetLedger(double epoch_budget,
@@ -98,7 +109,17 @@ void EpochBudgetLedger::AdvanceEpoch() {
 }
 
 Status EpochBudgetLedger::Charge(const std::string& user, double epsilon) {
-  if (epsilon <= 0.0) return Status::InvalidArgument("epsilon must be positive");
+  if (!ChargeableEpsilon(epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive and finite");
+  }
+  // Injection site "budget.charge": a scheduled kExhaustBudget refuses the
+  // charge exactly as a cap hit would (counted as an epoch denial).
+  Status injected = TBF_FAULT_INJECT("budget.charge");
+  if (!injected.ok()) {
+    ++totals_.denied_epoch;
+    denied_epoch_metric_->Add(1);
+    return injected;
+  }
   const double in_epoch = SpentThisEpoch(user);
   if (!FitsCap(in_epoch, epsilon, epoch_budget_)) {
     ++totals_.denied_epoch;
@@ -123,7 +144,7 @@ Status EpochBudgetLedger::Charge(const std::string& user, double epsilon) {
 }
 
 bool EpochBudgetLedger::CanCharge(const std::string& user, double epsilon) const {
-  if (epsilon <= 0.0) return false;
+  if (!ChargeableEpsilon(epsilon)) return false;
   if (!FitsCap(SpentThisEpoch(user), epsilon, epoch_budget_)) return false;
   return !lifetime_budget_ ||
          FitsCap(SpentLifetime(user), epsilon, *lifetime_budget_);
@@ -145,6 +166,65 @@ double EpochBudgetLedger::RemainingThisEpoch(const std::string& user) const {
     rest = std::min(rest, *lifetime_budget_ - SpentLifetime(user));
   }
   return rest > 0.0 ? rest : 0.0;
+}
+
+namespace {
+
+double MaxSpend(const std::unordered_map<std::string, double>& spent) {
+  double max_spend = 0.0;
+  for (const auto& [user, eps] : spent) max_spend = std::max(max_spend, eps);
+  return max_spend;
+}
+
+std::vector<std::pair<std::string, double>> SortedSpend(
+    const std::unordered_map<std::string, double>& spent) {
+  std::vector<std::pair<std::string, double>> out(spent.begin(), spent.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+double EpochBudgetLedger::MaxLifetimeSpent() const {
+  return MaxSpend(lifetime_spent_);
+}
+
+double EpochBudgetLedger::MaxEpochSpent() const {
+  return MaxSpend(epoch_spent_);
+}
+
+EpochBudgetLedger::State EpochBudgetLedger::ExportState() const {
+  State state;
+  state.epoch = epoch_;
+  state.epoch_spent = SortedSpend(epoch_spent_);
+  state.lifetime_spent = SortedSpend(lifetime_spent_);
+  state.totals = totals_;
+  return state;
+}
+
+Status EpochBudgetLedger::RestoreState(const State& state) {
+  for (const auto& [user, eps] : state.epoch_spent) {
+    if (!std::isfinite(eps) || eps < 0.0) {
+      return Status::InvalidArgument("ledger state: bad epoch spend for " +
+                                     user);
+    }
+  }
+  for (const auto& [user, eps] : state.lifetime_spent) {
+    if (!std::isfinite(eps) || eps < 0.0) {
+      return Status::InvalidArgument("ledger state: bad lifetime spend for " +
+                                     user);
+    }
+  }
+  epoch_ = state.epoch;
+  epoch_spent_.clear();
+  epoch_spent_.insert(state.epoch_spent.begin(), state.epoch_spent.end());
+  lifetime_spent_.clear();
+  lifetime_spent_.insert(state.lifetime_spent.begin(),
+                         state.lifetime_spent.end());
+  totals_ = state.totals;
+  epoch_metric_->Set(epoch_);
+  users_metric_->Set(static_cast<int64_t>(lifetime_spent_.size()));
+  return Status::OK();
 }
 
 }  // namespace tbf

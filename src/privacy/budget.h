@@ -19,6 +19,8 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "obs/metrics.h"
@@ -85,6 +87,16 @@ class EpochBudgetLedger {
     uint64_t denied_lifetime = 0;  ///< refused: lifetime cap
   };
 
+  /// Full serializable accounting state (for crash-safe checkpoints).
+  /// Spend maps are exported sorted by user so serialization is
+  /// byte-deterministic.
+  struct State {
+    int64_t epoch = 0;
+    std::vector<std::pair<std::string, double>> epoch_spent;
+    std::vector<std::pair<std::string, double>> lifetime_spent;
+    Totals totals;
+  };
+
   /// \param epoch_budget maximum epsilon per user within one epoch (> 0).
   /// \param lifetime_budget optional cumulative cap across all epochs
   ///   (> 0, and at least `epoch_budget` to be satisfiable in one epoch —
@@ -133,6 +145,22 @@ class EpochBudgetLedger {
 
   /// Cumulative admission/denial totals (see Totals).
   const Totals& totals() const { return totals_; }
+
+  /// \brief Largest lifetime spend across all users (0 when empty) — the
+  /// chaos harness asserts this never exceeds the lifetime cap.
+  double MaxLifetimeSpent() const;
+
+  /// \brief Largest current-epoch spend across all users (0 when empty).
+  double MaxEpochSpent() const;
+
+  /// \brief Snapshot of the full accounting state, sorted by user.
+  State ExportState() const;
+
+  /// \brief Restores a state produced by ExportState. Caps are not part of
+  /// the state and must match the construction parameters; the registry
+  /// counters are NOT re-added (a checkpoint resume merges the saved
+  /// metrics snapshot separately), only the gauges are refreshed.
+  Status RestoreState(const State& state);
 
  private:
   double epoch_budget_;

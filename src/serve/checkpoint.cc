@@ -1,0 +1,556 @@
+#include "serve/checkpoint.h"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace tbf {
+
+uint32_t Crc32(std::string_view data, uint32_t crc) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  crc = ~crc;
+  for (const char ch : data) {
+    crc = kTable[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+namespace {
+
+void CrcAddU64(uint32_t* crc, uint64_t v) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
+  }
+  *crc = Crc32(std::string_view(bytes, 8), *crc);
+}
+
+void CrcAddDouble(uint32_t* crc, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  CrcAddU64(crc, bits);
+}
+
+void CrcAddString(uint32_t* crc, const std::string& s) {
+  CrcAddU64(crc, s.size());
+  *crc = Crc32(s, *crc);
+}
+
+}  // namespace
+
+uint32_t FingerprintEventTrace(const EventTrace& trace) {
+  uint32_t crc = 0;
+  CrcAddDouble(&crc, trace.region.min_x);
+  CrcAddDouble(&crc, trace.region.min_y);
+  CrcAddDouble(&crc, trace.region.max_x);
+  CrcAddDouble(&crc, trace.region.max_y);
+  CrcAddU64(&crc, trace.events.size());
+  for (const TimedEvent& event : trace.events) {
+    CrcAddU64(&crc, static_cast<uint64_t>(event.kind));
+    CrcAddDouble(&crc, event.time);
+    CrcAddString(&crc, event.id);
+    CrcAddDouble(&crc, event.location.x);
+    CrcAddDouble(&crc, event.location.y);
+  }
+  return crc;
+}
+
+namespace {
+
+// ------------------------- token (de)serialization -------------------------
+
+// %XX-escapes space, '%', control bytes, DEL and a *leading* '-', so every
+// escaped string is a single whitespace-free token and the standalone
+// token "-" unambiguously means "absent".
+std::string Esc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c == '%' || c <= 0x20 || c == 0x7F || (i == 0 && c == '-')) {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> Unesc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out += s[i];
+      continue;
+    }
+    if (i + 2 >= s.size()) {
+      return Status::InvalidArgument("truncated %-escape in token");
+    }
+    auto hex = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      return -1;
+    };
+    const int hi = hex(s[i + 1]);
+    const int lo = hex(s[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("bad %-escape in token");
+    }
+    out += static_cast<char>((hi << 4) | lo);
+    i += 2;
+  }
+  return out;
+}
+
+std::string FmtF64(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+Result<uint64_t> ParseU64(const std::string& tok, const char* what) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (tok.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+      tok[0] == '-') {
+    return Status::InvalidArgument(std::string("checkpoint: bad ") + what +
+                                   " '" + tok + "'");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+Result<int64_t> ParseI64(const std::string& tok, const char* what) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (tok.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument(std::string("checkpoint: bad ") + what +
+                                   " '" + tok + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseF64(const std::string& tok, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (tok.empty() || end == nullptr || *end != '\0') {
+    return Status::InvalidArgument(std::string("checkpoint: bad ") + what +
+                                   " '" + tok + "'");
+  }
+  return v;
+}
+
+constexpr int kMaxStatusCode = static_cast<int>(StatusCode::kAborted);
+
+std::vector<std::string> SplitTokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    const size_t space = line.find(' ', pos);
+    const size_t end = space == std::string::npos ? line.size() : space;
+    if (end > pos) tokens.push_back(line.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::string SerializeReplayCheckpoint(const ReplayCheckpoint& c) {
+  std::ostringstream out;
+  out << "version " << c.version << '\n';
+  out << "trace_fp " << c.trace_fingerprint << '\n';
+  out << "config " << c.num_shards << ' ' << FmtF64(c.epoch_seconds) << ' '
+      << c.server_seed << ' ' << c.obfuscation_seed << '\n';
+  out << "cursor " << c.next_event << ' ' << c.arrivals_obfuscated << ' '
+      << c.next_task_slot << '\n';
+  const ReplayCheckpoint::ReportCounters& r = c.report;
+  out << "report " << r.registered << ' ' << r.assigned << ' ' << r.unassigned
+      << ' ' << r.denied << ' ' << r.shed << ' ' << r.quarantined << ' '
+      << r.missed_departures << ' ' << r.processed_events << ' '
+      << r.faults_dropped << ' ' << r.faults_duplicated << ' '
+      << r.faults_reordered << ' ' << r.faults_stalled << ' '
+      << r.checkpoints_written << '\n';
+  for (const EpochStats& e : c.per_epoch) {
+    out << "epoch " << e.epoch << ' ' << e.worker_arrivals << ' '
+        << e.task_arrivals << ' ' << e.departures << ' ' << e.assigned << ' '
+        << e.unassigned << ' ' << e.denied << ' '
+        << FmtF64(e.obfuscate_seconds) << ' ' << FmtF64(e.dispatch_seconds)
+        << ' ' << FmtF64(e.epsilon_spent) << ' ' << e.denied_epoch_budget
+        << ' ' << e.denied_lifetime_budget << ' ' << e.shed << ' '
+        << e.quarantined << '\n';
+  }
+  for (const TaskOutcome& t : c.task_outcomes) {
+    out << "task " << Esc(t.task_id) << ' '
+        << static_cast<int>(t.status.code()) << ' '
+        << (t.status.message().empty() ? "-" : Esc(t.status.message())) << ' '
+        << (t.worker ? Esc(*t.worker) : "-") << ' '
+        << FmtF64(t.reported_tree_distance) << '\n';
+  }
+  for (const QuarantineRecord& q : c.quarantined_events) {
+    out << "quar " << q.event_index << ' '
+        << (q.id.empty() ? "-" : Esc(q.id)) << ' ' << Esc(q.cause) << '\n';
+  }
+  out << "server " << (c.server.packed ? 1 : 0) << ' '
+      << c.server.assigned_tasks << '\n';
+  out << "rng " << Esc(c.server.rng_state) << '\n';
+  for (const std::string& id : c.server.worker_by_index_id) {
+    out << "slot " << (id.empty() ? "-" : Esc(id)) << '\n';
+  }
+  out << "free";
+  for (const int id : c.server.free_index_ids) out << ' ' << id;
+  out << '\n';
+  for (const ShardedServerState::Worker& w : c.server.workers) {
+    out << "worker " << Esc(w.id) << ' ' << w.code << ' '
+        << (w.leaf_digits.empty() ? "-" : Esc(w.leaf_digits)) << ' '
+        << w.index_id << ' ' << w.shard << '\n';
+  }
+  if (c.server.ledger) {
+    const EpochBudgetLedger::State& ledger = *c.server.ledger;
+    out << "ledger " << ledger.epoch << ' '
+        << FmtF64(ledger.totals.epsilon_spent) << ' ' << ledger.totals.charges
+        << ' ' << ledger.totals.denied_epoch << ' '
+        << ledger.totals.denied_lifetime << '\n';
+    for (const auto& [user, eps] : ledger.epoch_spent) {
+      out << "lspend e " << Esc(user) << ' ' << FmtF64(eps) << '\n';
+    }
+    for (const auto& [user, eps] : ledger.lifetime_spent) {
+      out << "lspend l " << Esc(user) << ' ' << FmtF64(eps) << '\n';
+    }
+  }
+  for (const obs::CounterSample& sample : c.metrics.counters) {
+    out << "counter " << Esc(sample.name) << ' ' << FmtF64(sample.value)
+        << '\n';
+  }
+  for (const obs::GaugeSample& sample : c.metrics.gauges) {
+    out << "gauge " << Esc(sample.name) << ' ' << sample.value << '\n';
+  }
+  for (const obs::HistogramSample& sample : c.metrics.histograms) {
+    out << "hist " << Esc(sample.name) << ' ' << sample.count << ' '
+        << sample.sum;
+    for (const uint64_t bucket : sample.buckets) out << ' ' << bucket;
+    out << '\n';
+  }
+  const std::string payload = out.str();
+  char header[64];
+  std::snprintf(header, sizeof(header), "TBFCKPT1 %08x %zu\n",
+                Crc32(payload), payload.size());
+  return header + payload;
+}
+
+Result<ReplayCheckpoint> ParseReplayCheckpoint(const std::string& text) {
+  const size_t header_end = text.find('\n');
+  if (header_end == std::string::npos) {
+    return Status::InvalidArgument("checkpoint: missing header line");
+  }
+  const std::vector<std::string> header =
+      SplitTokens(text.substr(0, header_end));
+  if (header.size() != 3 || header[0] != "TBFCKPT1") {
+    return Status::InvalidArgument(
+        "checkpoint: bad magic (not a TBFCKPT1 file)");
+  }
+  char* end = nullptr;
+  const unsigned long declared_crc = std::strtoul(header[1].c_str(), &end, 16);
+  if (end == nullptr || *end != '\0' || header[1].size() != 8) {
+    return Status::InvalidArgument("checkpoint: bad CRC field '" + header[1] +
+                                   "'");
+  }
+  TBF_ASSIGN_OR_RETURN(const uint64_t declared_len,
+                       ParseU64(header[2], "payload length"));
+  const std::string payload = text.substr(header_end + 1);
+  if (payload.size() != declared_len) {
+    return Status::InvalidArgument(
+        "checkpoint: payload length mismatch (declared " +
+        std::to_string(declared_len) + ", got " +
+        std::to_string(payload.size()) + ") — truncated write?");
+  }
+  const uint32_t actual_crc = Crc32(payload);
+  if (actual_crc != static_cast<uint32_t>(declared_crc)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "declared %08lx, computed %08x",
+                  declared_crc, actual_crc);
+    return Status::InvalidArgument(std::string("checkpoint: CRC mismatch (") +
+                                   buf + ") — corrupt file");
+  }
+
+  ReplayCheckpoint c;
+  bool saw_version = false, saw_config = false, saw_cursor = false,
+       saw_report = false, saw_server = false, saw_rng = false,
+       saw_free = false;
+  size_t line_no = 1;
+  size_t pos = 0;
+  while (pos < payload.size()) {
+    ++line_no;
+    size_t eol = payload.find('\n', pos);
+    if (eol == std::string::npos) eol = payload.size();
+    const std::string line = payload.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    const std::vector<std::string> tok = SplitTokens(line);
+    const std::string& key = tok[0];
+    const auto bad = [&](const std::string& why) {
+      return Status::InvalidArgument("checkpoint line " +
+                                     std::to_string(line_no) + ": " + why);
+    };
+    if (key == "version") {
+      if (tok.size() != 2) return bad("version needs 1 field");
+      TBF_ASSIGN_OR_RETURN(const int64_t v, ParseI64(tok[1], "version"));
+      if (v != 1) return bad("unsupported version " + tok[1]);
+      c.version = static_cast<int>(v);
+      saw_version = true;
+    } else if (key == "trace_fp") {
+      if (tok.size() != 2) return bad("trace_fp needs 1 field");
+      TBF_ASSIGN_OR_RETURN(const uint64_t fp, ParseU64(tok[1], "trace_fp"));
+      c.trace_fingerprint = static_cast<uint32_t>(fp);
+    } else if (key == "config") {
+      if (tok.size() != 5) return bad("config needs 4 fields");
+      TBF_ASSIGN_OR_RETURN(const int64_t shards,
+                           ParseI64(tok[1], "num_shards"));
+      c.num_shards = static_cast<int>(shards);
+      TBF_ASSIGN_OR_RETURN(c.epoch_seconds, ParseF64(tok[2], "epoch_seconds"));
+      TBF_ASSIGN_OR_RETURN(c.server_seed, ParseU64(tok[3], "server_seed"));
+      TBF_ASSIGN_OR_RETURN(c.obfuscation_seed,
+                           ParseU64(tok[4], "obfuscation_seed"));
+      saw_config = true;
+    } else if (key == "cursor") {
+      if (tok.size() != 4) return bad("cursor needs 3 fields");
+      TBF_ASSIGN_OR_RETURN(c.next_event, ParseU64(tok[1], "next_event"));
+      TBF_ASSIGN_OR_RETURN(c.arrivals_obfuscated,
+                           ParseU64(tok[2], "arrivals_obfuscated"));
+      TBF_ASSIGN_OR_RETURN(c.next_task_slot,
+                           ParseI64(tok[3], "next_task_slot"));
+      saw_cursor = true;
+    } else if (key == "report") {
+      if (tok.size() != 14) return bad("report needs 13 fields");
+      uint64_t* fields[] = {
+          &c.report.registered,        &c.report.assigned,
+          &c.report.unassigned,        &c.report.denied,
+          &c.report.shed,              &c.report.quarantined,
+          &c.report.missed_departures, &c.report.processed_events,
+          &c.report.faults_dropped,    &c.report.faults_duplicated,
+          &c.report.faults_reordered,  &c.report.faults_stalled,
+          &c.report.checkpoints_written};
+      for (size_t i = 0; i < 13; ++i) {
+        TBF_ASSIGN_OR_RETURN(*fields[i], ParseU64(tok[i + 1], "report field"));
+      }
+      saw_report = true;
+    } else if (key == "epoch") {
+      if (tok.size() != 15) return bad("epoch needs 14 fields");
+      EpochStats e;
+      TBF_ASSIGN_OR_RETURN(e.epoch, ParseI64(tok[1], "epoch"));
+      uint64_t v = 0;
+      TBF_ASSIGN_OR_RETURN(v, ParseU64(tok[2], "worker_arrivals"));
+      e.worker_arrivals = static_cast<size_t>(v);
+      TBF_ASSIGN_OR_RETURN(v, ParseU64(tok[3], "task_arrivals"));
+      e.task_arrivals = static_cast<size_t>(v);
+      TBF_ASSIGN_OR_RETURN(v, ParseU64(tok[4], "departures"));
+      e.departures = static_cast<size_t>(v);
+      TBF_ASSIGN_OR_RETURN(v, ParseU64(tok[5], "assigned"));
+      e.assigned = static_cast<size_t>(v);
+      TBF_ASSIGN_OR_RETURN(v, ParseU64(tok[6], "unassigned"));
+      e.unassigned = static_cast<size_t>(v);
+      TBF_ASSIGN_OR_RETURN(v, ParseU64(tok[7], "denied"));
+      e.denied = static_cast<size_t>(v);
+      TBF_ASSIGN_OR_RETURN(e.obfuscate_seconds,
+                           ParseF64(tok[8], "obfuscate_seconds"));
+      TBF_ASSIGN_OR_RETURN(e.dispatch_seconds,
+                           ParseF64(tok[9], "dispatch_seconds"));
+      TBF_ASSIGN_OR_RETURN(e.epsilon_spent, ParseF64(tok[10], "epsilon_spent"));
+      TBF_ASSIGN_OR_RETURN(e.denied_epoch_budget,
+                           ParseU64(tok[11], "denied_epoch_budget"));
+      TBF_ASSIGN_OR_RETURN(e.denied_lifetime_budget,
+                           ParseU64(tok[12], "denied_lifetime_budget"));
+      TBF_ASSIGN_OR_RETURN(v, ParseU64(tok[13], "shed"));
+      e.shed = static_cast<size_t>(v);
+      TBF_ASSIGN_OR_RETURN(v, ParseU64(tok[14], "quarantined"));
+      e.quarantined = static_cast<size_t>(v);
+      c.per_epoch.push_back(e);
+    } else if (key == "task") {
+      if (tok.size() != 6) return bad("task needs 5 fields");
+      TaskOutcome t;
+      TBF_ASSIGN_OR_RETURN(t.task_id, Unesc(tok[1]));
+      TBF_ASSIGN_OR_RETURN(const int64_t code, ParseI64(tok[2], "status code"));
+      if (code < 0 || code > kMaxStatusCode) {
+        return bad("status code out of range: " + tok[2]);
+      }
+      std::string message;
+      if (tok[3] != "-") {
+        TBF_ASSIGN_OR_RETURN(message, Unesc(tok[3]));
+      }
+      t.status = code == 0 ? Status::OK()
+                           : Status(static_cast<StatusCode>(code), message);
+      if (tok[4] != "-") {
+        TBF_ASSIGN_OR_RETURN(std::string worker, Unesc(tok[4]));
+        t.worker = std::move(worker);
+      }
+      TBF_ASSIGN_OR_RETURN(t.reported_tree_distance,
+                           ParseF64(tok[5], "tree distance"));
+      c.task_outcomes.push_back(std::move(t));
+    } else if (key == "quar") {
+      if (tok.size() != 4) return bad("quar needs 3 fields");
+      QuarantineRecord q;
+      TBF_ASSIGN_OR_RETURN(q.event_index, ParseU64(tok[1], "event index"));
+      if (tok[2] != "-") {
+        TBF_ASSIGN_OR_RETURN(q.id, Unesc(tok[2]));
+      }
+      TBF_ASSIGN_OR_RETURN(q.cause, Unesc(tok[3]));
+      c.quarantined_events.push_back(std::move(q));
+    } else if (key == "server") {
+      if (tok.size() != 3) return bad("server needs 2 fields");
+      TBF_ASSIGN_OR_RETURN(const uint64_t packed, ParseU64(tok[1], "packed"));
+      if (packed > 1) return bad("packed must be 0 or 1");
+      c.server.packed = packed == 1;
+      TBF_ASSIGN_OR_RETURN(c.server.assigned_tasks,
+                           ParseU64(tok[2], "assigned_tasks"));
+      saw_server = true;
+    } else if (key == "rng") {
+      if (tok.size() != 2) return bad("rng needs 1 field");
+      TBF_ASSIGN_OR_RETURN(c.server.rng_state, Unesc(tok[1]));
+      saw_rng = true;
+    } else if (key == "slot") {
+      if (tok.size() != 2) return bad("slot needs 1 field");
+      std::string id;
+      if (tok[1] != "-") {
+        TBF_ASSIGN_OR_RETURN(id, Unesc(tok[1]));
+      }
+      c.server.worker_by_index_id.push_back(std::move(id));
+    } else if (key == "free") {
+      for (size_t i = 1; i < tok.size(); ++i) {
+        TBF_ASSIGN_OR_RETURN(const int64_t id, ParseI64(tok[i], "free id"));
+        c.server.free_index_ids.push_back(static_cast<int>(id));
+      }
+      saw_free = true;
+    } else if (key == "worker") {
+      if (tok.size() != 6) return bad("worker needs 5 fields");
+      ShardedServerState::Worker w;
+      TBF_ASSIGN_OR_RETURN(w.id, Unesc(tok[1]));
+      TBF_ASSIGN_OR_RETURN(w.code, ParseU64(tok[2], "worker code"));
+      if (tok[3] != "-") {
+        TBF_ASSIGN_OR_RETURN(w.leaf_digits, Unesc(tok[3]));
+      }
+      TBF_ASSIGN_OR_RETURN(const int64_t index_id,
+                           ParseI64(tok[4], "index id"));
+      w.index_id = static_cast<int>(index_id);
+      TBF_ASSIGN_OR_RETURN(const int64_t shard, ParseI64(tok[5], "shard"));
+      w.shard = static_cast<int>(shard);
+      c.server.workers.push_back(std::move(w));
+    } else if (key == "ledger") {
+      if (tok.size() != 6) return bad("ledger needs 5 fields");
+      EpochBudgetLedger::State ledger;
+      TBF_ASSIGN_OR_RETURN(ledger.epoch, ParseI64(tok[1], "ledger epoch"));
+      TBF_ASSIGN_OR_RETURN(ledger.totals.epsilon_spent,
+                           ParseF64(tok[2], "epsilon_spent"));
+      TBF_ASSIGN_OR_RETURN(ledger.totals.charges,
+                           ParseU64(tok[3], "charges"));
+      TBF_ASSIGN_OR_RETURN(ledger.totals.denied_epoch,
+                           ParseU64(tok[4], "denied_epoch"));
+      TBF_ASSIGN_OR_RETURN(ledger.totals.denied_lifetime,
+                           ParseU64(tok[5], "denied_lifetime"));
+      c.server.ledger = std::move(ledger);
+    } else if (key == "lspend") {
+      if (tok.size() != 4 || (tok[1] != "e" && tok[1] != "l")) {
+        return bad("lspend needs kind (e|l), user, epsilon");
+      }
+      if (!c.server.ledger) return bad("lspend before ledger line");
+      TBF_ASSIGN_OR_RETURN(std::string user, Unesc(tok[2]));
+      TBF_ASSIGN_OR_RETURN(const double eps, ParseF64(tok[3], "spend"));
+      auto& target = tok[1] == "e" ? c.server.ledger->epoch_spent
+                                   : c.server.ledger->lifetime_spent;
+      target.emplace_back(std::move(user), eps);
+    } else if (key == "counter") {
+      if (tok.size() != 3) return bad("counter needs 2 fields");
+      obs::CounterSample sample;
+      TBF_ASSIGN_OR_RETURN(sample.name, Unesc(tok[1]));
+      TBF_ASSIGN_OR_RETURN(sample.value, ParseF64(tok[2], "counter value"));
+      c.metrics.counters.push_back(std::move(sample));
+    } else if (key == "gauge") {
+      if (tok.size() != 3) return bad("gauge needs 2 fields");
+      obs::GaugeSample sample;
+      TBF_ASSIGN_OR_RETURN(sample.name, Unesc(tok[1]));
+      TBF_ASSIGN_OR_RETURN(sample.value, ParseI64(tok[2], "gauge value"));
+      c.metrics.gauges.push_back(std::move(sample));
+    } else if (key == "hist") {
+      if (tok.size() != 4 + obs::Histogram::kBuckets) {
+        return bad("hist needs name, count, sum and 64 buckets");
+      }
+      obs::HistogramSample sample;
+      TBF_ASSIGN_OR_RETURN(sample.name, Unesc(tok[1]));
+      TBF_ASSIGN_OR_RETURN(sample.count, ParseU64(tok[2], "hist count"));
+      TBF_ASSIGN_OR_RETURN(sample.sum, ParseU64(tok[3], "hist sum"));
+      for (int i = 0; i < obs::Histogram::kBuckets; ++i) {
+        TBF_ASSIGN_OR_RETURN(
+            sample.buckets[static_cast<size_t>(i)],
+            ParseU64(tok[static_cast<size_t>(i) + 4], "hist bucket"));
+      }
+      c.metrics.histograms.push_back(std::move(sample));
+    } else {
+      return bad("unknown record kind '" + key + "'");
+    }
+  }
+  if (!saw_version || !saw_config || !saw_cursor || !saw_report ||
+      !saw_server || !saw_rng || !saw_free) {
+    return Status::InvalidArgument(
+        "checkpoint: missing required record(s) — truncated or corrupt "
+        "payload");
+  }
+  return c;
+}
+
+Status WriteReplayCheckpointFile(const ReplayCheckpoint& checkpoint,
+                                 const std::string& path) {
+  const std::string text = SerializeReplayCheckpoint(checkpoint);
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open checkpoint tmp file: " + tmp);
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  bool ok = written == text.size() && std::fflush(file) == 0;
+#ifndef _WIN32
+  ok = ok && fsync(fileno(file)) == 0;
+#endif
+  ok = (std::fclose(file) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError("checkpoint write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("checkpoint rename failed: " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+Result<ReplayCheckpoint> ReadReplayCheckpointFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open checkpoint: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseReplayCheckpoint(buf.str());
+}
+
+}  // namespace tbf

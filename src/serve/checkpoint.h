@@ -1,0 +1,111 @@
+// Crash-safe replay checkpoints.
+//
+// A ReplayCheckpoint freezes everything the event-time replay loop needs
+// to continue draw-for-draw identically after a crash: the replay cursor
+// (next event, obfuscation fork offset, next task slot), the partial
+// report (outcome counters, per-epoch stats, task outcomes, quarantine
+// records), the engine's full state (worker registry, index-id pool
+// incl. free-list order, tie-break RNG, budget ledger) and the run's
+// metrics snapshot. Identity fields (trace fingerprint, shard count,
+// epoch length, seeds) let resume refuse a checkpoint that does not
+// belong to the run being resumed.
+//
+// On-disk format (docs/ROBUSTNESS.md has the full catalog):
+//
+//   TBFCKPT1 <crc32-hex8> <payload-bytes>\n
+//   <payload>
+//
+// The payload is line-oriented `key v1 v2 ...` records. Strings are
+// %XX-escaped (space, '%', control bytes, and a leading '-' — so the
+// standalone token `-` unambiguously means "absent"); doubles are
+// printf %a hexfloats, which round-trip bit-exactly. The CRC-32 (IEEE,
+// reflected, the same polynomial as zlib/binascii.crc32) covers the
+// payload bytes, so tools/check_checkpoint.py can validate a file with
+// nothing but the Python standard library.
+//
+// WriteReplayCheckpointFile is atomic: the bytes go to `<path>.tmp`,
+// are fsync'd, and rename(2) publishes them — a crash mid-write leaves
+// either the previous checkpoint or a stray .tmp, never a torn file.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+#include "serve/replay.h"
+#include "serve/sharded_server.h"
+#include "workload/instance.h"
+
+namespace tbf {
+
+/// \brief CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF) —
+/// bit-compatible with zlib's crc32() and Python's binascii.crc32. Pass a
+/// previous return value as `crc` to checksum incrementally.
+uint32_t Crc32(std::string_view data, uint32_t crc = 0);
+
+/// \brief Order-sensitive fingerprint of a trace (region + every event's
+/// kind, time bits, id and location bits). Unlike WriteEventTrace it
+/// never fails — poison events (NaN times, garbage ids) fingerprint fine.
+uint32_t FingerprintEventTrace(const EventTrace& trace);
+
+/// \brief Serializable state of one replay run (see RunEventReplay).
+struct ReplayCheckpoint {
+  int version = 1;
+
+  // Identity: resume refuses a checkpoint whose trace or configuration
+  // does not match the run being resumed.
+  uint32_t trace_fingerprint = 0;
+  int num_shards = 1;
+  double epoch_seconds = 0.0;
+  uint64_t server_seed = 0;
+  uint64_t obfuscation_seed = 0;
+
+  // Replay cursor.
+  uint64_t next_event = 0;           ///< first trace event not yet replayed
+  uint64_t arrivals_obfuscated = 0;  ///< global ForkAt offset
+  int64_t next_task_slot = 0;        ///< next ReplayReport task slot
+
+  // Partial report: the deterministic outcome fields accumulated so far.
+  struct ReportCounters {
+    uint64_t registered = 0;
+    uint64_t assigned = 0;
+    uint64_t unassigned = 0;
+    uint64_t denied = 0;
+    uint64_t shed = 0;
+    uint64_t quarantined = 0;
+    uint64_t missed_departures = 0;
+    uint64_t processed_events = 0;
+    uint64_t faults_dropped = 0;
+    uint64_t faults_duplicated = 0;
+    uint64_t faults_reordered = 0;
+    uint64_t faults_stalled = 0;
+    uint64_t checkpoints_written = 0;
+  } report;
+  std::vector<EpochStats> per_epoch;
+  std::vector<TaskOutcome> task_outcomes;  ///< filled prefix only
+  std::vector<QuarantineRecord> quarantined_events;
+
+  // Engine and flight-recorder state.
+  ShardedServerState server;
+  obs::MetricsSnapshot metrics;
+};
+
+/// \brief Serializes header + payload (see the format note above).
+std::string SerializeReplayCheckpoint(const ReplayCheckpoint& checkpoint);
+
+/// \brief Parses and validates (header, CRC, schema) a serialized
+/// checkpoint. Corruption anywhere yields a precise InvalidArgument,
+/// never a crash.
+Result<ReplayCheckpoint> ParseReplayCheckpoint(const std::string& text);
+
+/// \brief Atomic write: tmp file + fsync + rename.
+Status WriteReplayCheckpointFile(const ReplayCheckpoint& checkpoint,
+                                 const std::string& path);
+
+Result<ReplayCheckpoint> ReadReplayCheckpointFile(const std::string& path);
+
+}  // namespace tbf

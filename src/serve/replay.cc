@@ -1,14 +1,19 @@
 #include "serve/replay.h"
 
+#include <chrono>
 #include <cmath>
 #include <functional>
+#include <optional>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
+#include "serve/checkpoint.h"
 #include "serve/sharded_server.h"
 
 namespace tbf {
@@ -19,14 +24,17 @@ namespace {
 // the obfuscated report and its home lane.
 struct PreparedEvent {
   const TimedEvent* event = nullptr;
+  uint64_t event_index = 0;  // absolute index into EventTrace::events
   int report_index = -1;  // into the epoch's obfuscated batch (arrivals)
   int task_slot = -1;     // into ReplayReport::task_outcomes (tasks)
 };
 
 struct LaneStats {
+  size_t registered = 0;
   size_t assigned = 0;
   size_t unassigned = 0;
   size_t denied = 0;
+  size_t shed = 0;
   size_t missed_departures = 0;
 };
 
@@ -38,15 +46,62 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
   if (options.epoch_seconds <= 0.0) {
     return Status::InvalidArgument("epoch_seconds must be positive");
   }
-  for (size_t i = 0; i < trace.events.size(); ++i) {
-    if (!std::isfinite(trace.events[i].time)) {
-      return Status::InvalidArgument("event times must be finite (event " +
-                                     std::to_string(i) + ")");
+  if (!options.checkpoint_path.empty() && options.checkpoint_every_epochs < 1) {
+    return Status::InvalidArgument("checkpoint_every_epochs must be >= 1");
+  }
+  if (options.resume_from_checkpoint && options.checkpoint_path.empty()) {
+    return Status::InvalidArgument(
+        "resume_from_checkpoint requires checkpoint_path");
+  }
+
+  const size_t n = trace.events.size();
+  const bool quarantining = options.poison_policy == PoisonPolicy::kQuarantine;
+  // Poison handling. kFail keeps the historical contract (and its exact
+  // messages): the first bad event aborts the whole run up front.
+  // kQuarantine pre-scans instead: poison events are marked and carry a
+  // cause, surviving events behave exactly as if the trace never
+  // contained the poison (time ordering is checked across survivors
+  // only, and quarantined events consume no obfuscation draws).
+  std::vector<uint8_t> poison;
+  std::vector<std::string> poison_cause;
+  if (!quarantining) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(trace.events[i].time)) {
+        return Status::InvalidArgument("event times must be finite (event " +
+                                       std::to_string(i) + ")");
+      }
+      if (i > 0 && trace.events[i].time < trace.events[i - 1].time) {
+        return Status::InvalidArgument(
+            "events must be in nondecreasing time order (event " +
+            std::to_string(i) + ")");
+      }
     }
-    if (i > 0 && trace.events[i].time < trace.events[i - 1].time) {
-      return Status::InvalidArgument(
-          "events must be in nondecreasing time order (event " +
-          std::to_string(i) + ")");
+  } else {
+    poison.assign(n, 0);
+    poison_cause.resize(n);
+    double last_time = 0.0;
+    bool have_last = false;
+    for (size_t i = 0; i < n; ++i) {
+      const TimedEvent& event = trace.events[i];
+      std::string cause;
+      if (!std::isfinite(event.time)) {
+        cause = "non-finite event time";
+      } else if (have_last && event.time < last_time) {
+        cause = "event time regressed below preceding surviving event";
+      } else if (event.id.empty()) {
+        cause = "empty event id";
+      } else if (event.kind != EventKind::kWorkerDeparture &&
+                 (!std::isfinite(event.location.x) ||
+                  !std::isfinite(event.location.y))) {
+        cause = "non-finite location coordinates";
+      }
+      if (!cause.empty()) {
+        poison[i] = 1;
+        poison_cause[i] = std::move(cause);
+      } else {
+        last_time = event.time;
+        have_last = true;
+      }
     }
   }
 
@@ -58,6 +113,10 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
   obs::MetricRegistry run_metrics;
   obs::Histogram* obfuscate_hist =
       run_metrics.FindOrCreateHistogram("tbf_replay_obfuscate_latency_ns");
+  obs::Counter* quarantined_metric =
+      run_metrics.FindOrCreateCounter("tbf_robustness_quarantined_total");
+  obs::Counter* checkpoint_metric =
+      run_metrics.FindOrCreateCounter("tbf_robustness_checkpoints_total");
 
   ShardedServerOptions server_options;
   server_options.num_shards = options.num_shards;
@@ -65,6 +124,9 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
   server_options.epoch_budget = options.epoch_budget;
   server_options.tie_break = options.tie_break;
   server_options.seed = options.server_seed;
+  server_options.max_backlog_per_shard = options.max_backlog_per_shard;
+  server_options.degrade_fanout_inflight_threshold =
+      options.degrade_fanout_inflight_threshold;
   server_options.metrics = &run_metrics;
   TBF_ASSIGN_OR_RETURN(std::unique_ptr<ShardedTbfServer> server,
                        ShardedTbfServer::Create(framework.tree_ptr(),
@@ -83,12 +145,40 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
       case EventKind::kWorkerDeparture: ++report.departures; break;
     }
   }
-  report.events = trace.events.size();
+  report.events = n;
   report.task_outcomes.resize(report.task_arrivals);
-  if (trace.events.empty()) {
+  if (trace.events.empty() && !options.resume_from_checkpoint) {
     report.available_workers_end = 0;
     return report;
   }
+
+  // Epoch of every event, resolved up front: survivors by event time
+  // relative to the first survivor, poison events by the window that is
+  // open where they sit in the trace (so quarantine lands in a
+  // deterministic epoch even for NaN times).
+  std::vector<int64_t> event_epoch(n, 0);
+  {
+    double t0 = 0.0;
+    bool have_t0 = false;
+    int64_t last_epoch = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (quarantining && poison[i]) {
+        event_epoch[i] = last_epoch;
+        continue;
+      }
+      if (!have_t0) {
+        t0 = trace.events[i].time;
+        have_t0 = true;
+      }
+      last_epoch = static_cast<int64_t>(
+          std::floor((trace.events[i].time - t0) / options.epoch_seconds));
+      event_epoch[i] = last_epoch;
+    }
+  }
+
+  const uint32_t trace_fingerprint = options.checkpoint_path.empty()
+                                         ? 0
+                                         : FingerprintEventTrace(trace);
 
   ThreadPool pool(options.threads);
   const Rng obfuscation_stream(options.obfuscation_seed);
@@ -98,35 +188,156 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
   // same draws, just heavier reports.
   const LeafCodec* codec = framework.codec();
   const bool packed = codec != nullptr;
-  const double t0 = trace.events.front().time;
   uint64_t arrivals_obfuscated = 0;  // global ForkAt offset
   int next_task_slot = 0;
-  WallTimer total_timer;
-
   size_t begin = 0;
-  while (begin < trace.events.size()) {
-    const int64_t epoch = static_cast<int64_t>(
-        std::floor((trace.events[begin].time - t0) / options.epoch_seconds));
-    size_t end = begin;
-    while (end < trace.events.size() &&
-           static_cast<int64_t>(std::floor(
-               (trace.events[end].time - t0) / options.epoch_seconds)) == epoch) {
-      ++end;
+
+  if (options.resume_from_checkpoint) {
+    TBF_ASSIGN_OR_RETURN(ReplayCheckpoint ckpt,
+                         ReadReplayCheckpointFile(options.checkpoint_path));
+    if (ckpt.trace_fingerprint != trace_fingerprint) {
+      return Status::FailedPrecondition(
+          "checkpoint does not belong to this trace (fingerprint mismatch)");
     }
+    if (ckpt.num_shards != options.num_shards ||
+        ckpt.epoch_seconds != options.epoch_seconds ||
+        ckpt.server_seed != options.server_seed ||
+        ckpt.obfuscation_seed != options.obfuscation_seed) {
+      return Status::FailedPrecondition(
+          "checkpoint configuration mismatch (shards, epoch length or "
+          "seeds differ from the checkpointed run)");
+    }
+    if (ckpt.next_event > n || ckpt.next_task_slot < 0) {
+      return Status::InvalidArgument(
+          "checkpoint cursor out of range for this trace");
+    }
+    // Engine state first, then the metrics snapshot: Merge must see the
+    // engine's metric kinds already registered.
+    TBF_RETURN_NOT_OK(server->RestoreState(ckpt.server));
+    run_metrics.Merge(ckpt.metrics);
+    report.registered = static_cast<size_t>(ckpt.report.registered);
+    report.assigned = static_cast<size_t>(ckpt.report.assigned);
+    report.unassigned = static_cast<size_t>(ckpt.report.unassigned);
+    report.denied = static_cast<size_t>(ckpt.report.denied);
+    report.shed = static_cast<size_t>(ckpt.report.shed);
+    report.quarantined = static_cast<size_t>(ckpt.report.quarantined);
+    report.missed_departures =
+        static_cast<size_t>(ckpt.report.missed_departures);
+    report.processed_events =
+        static_cast<size_t>(ckpt.report.processed_events);
+    report.faults_dropped = ckpt.report.faults_dropped;
+    report.faults_duplicated = ckpt.report.faults_duplicated;
+    report.faults_reordered = ckpt.report.faults_reordered;
+    report.faults_stalled = ckpt.report.faults_stalled;
+    // checkpoints_written counts only this run's writes — not restored.
+    report.per_epoch = std::move(ckpt.per_epoch);
+    report.quarantined_events = std::move(ckpt.quarantined_events);
+    if (ckpt.task_outcomes.size() > report.task_outcomes.size()) {
+      report.task_outcomes.resize(ckpt.task_outcomes.size());
+    }
+    for (size_t i = 0; i < ckpt.task_outcomes.size(); ++i) {
+      report.task_outcomes[i] = std::move(ckpt.task_outcomes[i]);
+    }
+    begin = static_cast<size_t>(ckpt.next_event);
+    arrivals_obfuscated = ckpt.arrivals_obfuscated;
+    next_task_slot = static_cast<int>(ckpt.next_task_slot);
+    report.resumed = true;
+  }
+
+  WallTimer total_timer;
+  uint64_t epochs_completed_this_run = 0;
+
+  while (begin < n) {
+    const int64_t epoch = event_epoch[begin];
+    size_t end = begin;
+    while (end < n && event_epoch[end] == epoch) ++end;
 
     EpochStats stats;
     stats.epoch = epoch;
+
+    const auto quarantine = [&](size_t i, std::string cause) {
+      ++stats.quarantined;
+      ++report.quarantined;
+      ++report.processed_events;
+      quarantined_metric->Add(1);
+      report.quarantined_events.push_back(QuarantineRecord{
+          static_cast<uint64_t>(i), trace.events[i].id, std::move(cause)});
+    };
+
+    // The window's event order, after quarantine and after the armed
+    // fault plan's stream mutations (site "replay.event", hit-indexed by
+    // the absolute trace position so a plan means the same thing across
+    // epoch cuts and checkpoint resumes). Drops vanish here (counted),
+    // duplicates appear twice, a reorder swaps the event with its next
+    // surviving successor inside the window.
+    std::vector<uint64_t> order;
+    order.reserve(end - begin);
+    std::optional<uint64_t> reorder_deferred;
+    const auto emit = [&](uint64_t idx) {
+      order.push_back(idx);
+      if (reorder_deferred) {
+        order.push_back(*reorder_deferred);
+        reorder_deferred.reset();
+      }
+    };
+    for (size_t i = begin; i < end; ++i) {
+      if (quarantining && poison[i]) {
+        quarantine(i, poison_cause[i]);
+        continue;
+      }
+      const std::optional<fault::FaultAction> action =
+          TBF_FAULT_ONHIT_AT("replay.event", static_cast<uint64_t>(i));
+      if (!action) {
+        emit(static_cast<uint64_t>(i));
+        continue;
+      }
+      switch (action->kind) {
+        case fault::FaultKind::kDrop:
+          ++report.faults_dropped;
+          break;
+        case fault::FaultKind::kDuplicate:
+          ++report.faults_duplicated;
+          emit(static_cast<uint64_t>(i));
+          emit(static_cast<uint64_t>(i));
+          break;
+        case fault::FaultKind::kReorder:
+          if (!reorder_deferred) {
+            ++report.faults_reordered;
+            reorder_deferred = static_cast<uint64_t>(i);
+          } else {
+            emit(static_cast<uint64_t>(i));
+          }
+          break;
+        case fault::FaultKind::kStall:
+          ++report.faults_stalled;
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(action->stall_ms));
+          emit(static_cast<uint64_t>(i));
+          break;
+        case fault::FaultKind::kFail:
+        case fault::FaultKind::kExhaustBudget:
+          // A forced failure on the stream is handled like a poison
+          // event: quarantined with its cause, replay continues.
+          quarantine(i, "injected fault: " + action->status.message());
+          break;
+        default:
+          emit(static_cast<uint64_t>(i));
+          break;
+      }
+    }
+    if (reorder_deferred) order.push_back(*reorder_deferred);
 
     // Client-side reporting for this window, batched over the pool. The
     // fork offset makes report i of the trace independent of where the
     // epoch cut falls.
     std::vector<PreparedEvent> prepared;
-    prepared.reserve(end - begin);
+    prepared.reserve(order.size());
     std::vector<Point> locations;
-    for (size_t i = begin; i < end; ++i) {
-      const TimedEvent& event = trace.events[i];
+    for (const uint64_t gi : order) {
+      const TimedEvent& event = trace.events[static_cast<size_t>(gi)];
       PreparedEvent item;
       item.event = &event;
+      item.event_index = gi;
       switch (event.kind) {
         case EventKind::kWorkerArrival:
           ++stats.worker_arrivals;
@@ -137,6 +348,12 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
           ++stats.task_arrivals;
           item.report_index = static_cast<int>(locations.size());
           item.task_slot = next_task_slot++;
+          // Duplication faults can mint more task dispatches than the
+          // trace has task arrivals.
+          if (static_cast<size_t>(next_task_slot) >
+              report.task_outcomes.size()) {
+            report.task_outcomes.resize(static_cast<size_t>(next_task_slot));
+          }
           locations.push_back(event.location);
           break;
         case EventKind::kWorkerDeparture:
@@ -144,6 +361,7 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
           break;
       }
       prepared.push_back(item);
+      ++report.processed_events;
     }
     std::vector<LeafCode> code_reports;
     std::vector<LeafPath> path_reports;
@@ -178,25 +396,47 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
                                   LaneStats* lane) {
       const TimedEvent& event = *item.event;
       const size_t idx = static_cast<size_t>(item.report_index);
+      // Forced budget denial ("replay.budget", hit-indexed by absolute
+      // trace position): refuse the report before it reaches the engine,
+      // exactly as a cap refusal would.
+      Status forced = Status::OK();
+      if (event.kind != EventKind::kWorkerDeparture) {
+        forced = TBF_FAULT_INJECT_AT("replay.budget", item.event_index);
+      }
       switch (event.kind) {
         case EventKind::kWorkerArrival: {
-          Status status =
-              packed ? server->RegisterWorker(event.id, code_reports[idx],
-                                              declared_epsilon)
-                     : server->RegisterWorker(event.id, path_reports[idx],
-                                              declared_epsilon);
-          if (!status.ok()) ++lane->denied;
+          const Status status =
+              !forced.ok()
+                  ? forced
+                  : (packed ? server->RegisterWorker(event.id,
+                                                     code_reports[idx],
+                                                     declared_epsilon)
+                            : server->RegisterWorker(event.id,
+                                                     path_reports[idx],
+                                                     declared_epsilon));
+          if (status.ok()) {
+            ++lane->registered;
+          } else if (status.code() == StatusCode::kResourceExhausted) {
+            ++lane->shed;
+          } else {
+            ++lane->denied;
+          }
           break;
         }
         case EventKind::kTaskArrival: {
+          TaskOutcome& outcome =
+              report.task_outcomes[static_cast<size_t>(item.task_slot)];
+          outcome.task_id = event.id;
+          if (!forced.ok()) {
+            outcome.status = forced;
+            ++lane->denied;
+            break;
+          }
           Result<DispatchResult> dispatched =
               packed ? server->SubmitTask(event.id, code_reports[idx],
                                           declared_epsilon)
                      : server->SubmitTask(event.id, path_reports[idx],
                                           declared_epsilon);
-          TaskOutcome& outcome =
-              report.task_outcomes[static_cast<size_t>(item.task_slot)];
-          outcome.task_id = event.id;
           if (dispatched.ok()) {
             outcome.worker = dispatched->worker;
             outcome.reported_tree_distance = dispatched->reported_tree_distance;
@@ -207,7 +447,11 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
             }
           } else {
             outcome.status = dispatched.status();
-            ++lane->denied;
+            if (outcome.status.code() == StatusCode::kResourceExhausted) {
+              ++lane->shed;
+            } else {
+              ++lane->denied;
+            }
           }
           break;
         }
@@ -284,19 +528,67 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
           totals.denied_lifetime - totals_before.denied_lifetime;
     }
     for (const LaneStats& lane : lanes) {
+      report.registered += lane.registered;
       stats.assigned += lane.assigned;
       stats.unassigned += lane.unassigned;
       stats.denied += lane.denied;
+      stats.shed += lane.shed;
       report.missed_departures += lane.missed_departures;
     }
 
     report.assigned += stats.assigned;
     report.unassigned += stats.unassigned;
     report.denied += stats.denied;
+    report.shed += stats.shed;
     report.obfuscate_seconds += stats.obfuscate_seconds;
     report.dispatch_seconds += stats.dispatch_seconds;
     report.per_epoch.push_back(stats);
     begin = end;
+
+    ++epochs_completed_this_run;
+    if (!options.checkpoint_path.empty() &&
+        epochs_completed_this_run %
+                static_cast<uint64_t>(options.checkpoint_every_epochs) ==
+            0) {
+      ++report.checkpoints_written;
+      checkpoint_metric->Add(1);
+      ReplayCheckpoint ckpt;
+      ckpt.trace_fingerprint = trace_fingerprint;
+      ckpt.num_shards = options.num_shards;
+      ckpt.epoch_seconds = options.epoch_seconds;
+      ckpt.server_seed = options.server_seed;
+      ckpt.obfuscation_seed = options.obfuscation_seed;
+      ckpt.next_event = static_cast<uint64_t>(end);
+      ckpt.arrivals_obfuscated = arrivals_obfuscated;
+      ckpt.next_task_slot = next_task_slot;
+      ckpt.report.registered = report.registered;
+      ckpt.report.assigned = report.assigned;
+      ckpt.report.unassigned = report.unassigned;
+      ckpt.report.denied = report.denied;
+      ckpt.report.shed = report.shed;
+      ckpt.report.quarantined = report.quarantined;
+      ckpt.report.missed_departures = report.missed_departures;
+      ckpt.report.processed_events = report.processed_events;
+      ckpt.report.faults_dropped = report.faults_dropped;
+      ckpt.report.faults_duplicated = report.faults_duplicated;
+      ckpt.report.faults_reordered = report.faults_reordered;
+      ckpt.report.faults_stalled = report.faults_stalled;
+      ckpt.report.checkpoints_written = report.checkpoints_written;
+      ckpt.per_epoch = report.per_epoch;
+      ckpt.task_outcomes.assign(
+          report.task_outcomes.begin(),
+          report.task_outcomes.begin() + next_task_slot);
+      ckpt.quarantined_events = report.quarantined_events;
+      ckpt.server = server->ExportState();
+      ckpt.metrics = run_metrics.Snapshot();
+      TBF_RETURN_NOT_OK(
+          WriteReplayCheckpointFile(ckpt, options.checkpoint_path));
+    }
+    // Kill site, hit-indexed by the absolute epoch ordinal (stable across
+    // resumes). It fires AFTER the checkpoint is durable, so a chaos plan
+    // that aborts here models a crash whose latest checkpoint survived.
+    TBF_RETURN_NOT_OK(TBF_FAULT_INJECT_AT(
+        "replay.epoch", static_cast<uint64_t>(report.per_epoch.size() - 1)));
   }
 
   report.epochs = report.per_epoch.size();

@@ -43,6 +43,21 @@
 
 namespace tbf {
 
+/// \brief What the replay loop does with a poison event — one whose
+/// fields the loop cannot process (non-finite time or coordinates, time
+/// regression, empty id).
+enum class PoisonPolicy {
+  /// Abort the run with InvalidArgument on the first poison event
+  /// (historical behavior, the default).
+  kFail,
+  /// Quarantine it: record (event index, id, cause) in
+  /// ReplayReport::quarantined_events, count it, and continue
+  /// deterministically with the remaining events. Quarantined events
+  /// consume no obfuscation draws, so the surviving events' reports are
+  /// bit-identical to a trace that never contained the poison.
+  kQuarantine,
+};
+
 /// \brief Configuration of one replay run.
 struct ReplayOptions {
   /// Event-time window per epoch (> 0, seconds of trace time).
@@ -76,6 +91,27 @@ struct ReplayOptions {
 
   /// Seed of the client-side obfuscation stream.
   uint64_t obfuscation_seed = 11;
+
+  /// Poison-event handling (see PoisonPolicy).
+  PoisonPolicy poison_policy = PoisonPolicy::kFail;
+
+  /// Admission control and fan-out degradation, passed through to the
+  /// engine (see ShardedServerOptions).
+  size_t max_backlog_per_shard = 0;
+  size_t degrade_fanout_inflight_threshold = 0;
+
+  /// Crash-safe checkpoints: when nonempty, the loop writes an atomic
+  /// (tmp + fsync + rename, CRC-framed) checkpoint of its full state to
+  /// this path after every `checkpoint_every_epochs`-th epoch. A replay
+  /// resumed from such a checkpoint continues draw-for-draw identically
+  /// to the uninterrupted run (see docs/ROBUSTNESS.md).
+  std::string checkpoint_path;
+  int checkpoint_every_epochs = 1;
+
+  /// Resume from `checkpoint_path` instead of starting at event 0. The
+  /// trace, shard count, epoch length and seeds must match the
+  /// checkpointed run (verified via fingerprints).
+  bool resume_from_checkpoint = false;
 };
 
 /// \brief Outcome of one task-arrival event, in task arrival order.
@@ -107,6 +143,19 @@ struct EpochStats {
   uint64_t denied_epoch_budget = 0;
   /// Reports refused by the lifetime cap within this epoch.
   uint64_t denied_lifetime_budget = 0;
+
+  /// Reports shed by admission control within this epoch.
+  size_t shed = 0;
+  /// Poison events quarantined within this epoch's window.
+  size_t quarantined = 0;
+};
+
+/// \brief One quarantined poison event: where it sat in the trace and why
+/// the loop refused to process it.
+struct QuarantineRecord {
+  uint64_t event_index = 0;  ///< index into EventTrace::events
+  std::string id;            ///< the event's id ("" when that was the poison)
+  std::string cause;         ///< human-readable reason
 };
 
 /// \brief End-of-run counters of one engine shard (from the run's metric
@@ -132,6 +181,40 @@ struct ReplayReport {
   /// churn, not an error).
   size_t missed_departures = 0;
   size_t epochs = 0;
+
+  // Robustness accounting. Every event the loop attempts lands in exactly
+  // one outcome bucket, so for any run (faults or not):
+  //
+  //   registered + assigned + unassigned + denied + shed + quarantined
+  //     + departures_attempted == processed_events
+  //
+  // where departures_attempted = (successful departures) +
+  // missed_departures, and processed_events = events - faults_dropped +
+  // faults_duplicated - (still-quarantined events are counted in
+  // processed_events too, as quarantine IS their outcome). The chaos
+  // harness asserts this identity under every shipped fault plan.
+
+  /// Worker registrations accepted by the engine.
+  size_t registered = 0;
+  /// Reports refused by admission control (ResourceExhausted).
+  size_t shed = 0;
+  /// Poison events quarantined instead of dispatched.
+  size_t quarantined = 0;
+  /// Events the loop handled (dispatched or quarantined):
+  /// events - faults_dropped + faults_duplicated.
+  size_t processed_events = 0;
+
+  /// Stream mutations actually fired by the armed fault plan (all zero
+  /// without one).
+  uint64_t faults_dropped = 0;
+  uint64_t faults_duplicated = 0;
+  uint64_t faults_reordered = 0;
+  uint64_t faults_stalled = 0;
+
+  /// Checkpoints written by this run (resumed runs count only their own).
+  uint64_t checkpoints_written = 0;
+  /// True when this run resumed from a checkpoint.
+  bool resumed = false;
 
   double obfuscate_seconds = 0.0;
   double dispatch_seconds = 0.0;
@@ -176,6 +259,10 @@ struct ReplayReport {
 
   std::vector<EpochStats> per_epoch;
   std::vector<TaskOutcome> task_outcomes;  ///< task arrival order
+
+  /// Poison events quarantined by this run, in trace order (empty unless
+  /// poison_policy == kQuarantine).
+  std::vector<QuarantineRecord> quarantined_events;
 };
 
 /// \brief Replays `trace` against a fresh sharded engine built on

@@ -1,10 +1,12 @@
 #include "serve/sharded_server.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
 #include <type_traits>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/timer.h"
 #include "obs/scoped_timer.h"
 
@@ -39,6 +41,34 @@ template <>
 struct KeyTraits<LeafPath> {
   static const LeafPath& Of(const auto& state) { return state.leaf; }
   static void Store(auto* state, const LeafPath& leaf) { state->leaf = leaf; }
+};
+
+// RAII in-flight tracking for admission control / degradation: entry
+// increments the home shard's and the engine's counters, exit decrements
+// them (relaxed — advisory pressure signals, not synchronization).
+class InflightToken {
+ public:
+  InflightToken(std::atomic<size_t>* shard_count,
+                std::atomic<size_t>* total_count)
+      : shard_count_(shard_count), total_count_(total_count) {
+    shard_count_->fetch_add(1, std::memory_order_relaxed);
+    total_count_->fetch_add(1, std::memory_order_relaxed);
+  }
+  ~InflightToken() {
+    shard_count_->fetch_sub(1, std::memory_order_relaxed);
+    total_count_->fetch_sub(1, std::memory_order_relaxed);
+  }
+  InflightToken(const InflightToken&) = delete;
+  InflightToken& operator=(const InflightToken&) = delete;
+
+  /// In-flight count at this shard including this operation.
+  size_t shard_backlog() const {
+    return shard_count_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<size_t>* shard_count_;
+  std::atomic<size_t>* total_count_;
 };
 
 }  // namespace
@@ -77,8 +107,10 @@ ShardedTbfServer::ShardedTbfServer(std::shared_ptr<const CompleteHst> tree,
       rng_(options.seed),
       packed_(tree_->codec() != nullptr) {
   shards_.reserve(static_cast<size_t>(options.num_shards));
+  shard_inflight_.reserve(static_cast<size_t>(options.num_shards));
   for (int s = 0; s < options.num_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(tree_->depth(), tree_->arity()));
+    shard_inflight_.push_back(std::make_unique<std::atomic<size_t>>(0));
   }
   metrics_ = options.metrics != nullptr ? options.metrics
                                         : obs::MetricRegistry::Global();
@@ -107,6 +139,9 @@ ShardedTbfServer::ShardedTbfServer(std::shared_ptr<const CompleteHst> tree,
   denied_metric_ = metrics_->FindOrCreateCounter("tbf_serve_denied_total");
   fanout_metric_ =
       metrics_->FindOrCreateCounter("tbf_serve_crossshard_fanout_total");
+  shed_metric_ = metrics_->FindOrCreateCounter("tbf_robustness_shed_total");
+  degraded_fanout_metric_ =
+      metrics_->FindOrCreateCounter("tbf_robustness_degraded_fanouts_total");
   dispatch_latency_metric_ =
       metrics_->FindOrCreateHistogram("tbf_serve_dispatch_latency_ns");
   lock_wait_metric_ =
@@ -161,14 +196,30 @@ template <typename Key>
 Status ShardedTbfServer::RegisterImpl(const std::string& worker_id,
                                       const Key& key,
                                       std::optional<double> declared_epsilon) {
-  // Charge first: a refused charge must leave the pool untouched.
-  TBF_RETURN_NOT_OK(ChargeIfRequired(worker_id, declared_epsilon));
   int new_shard;
   if constexpr (std::is_same_v<Key, LeafCode>) {
     new_shard = router_.ShardOf(key, *tree_->codec());
   } else {
     new_shard = router_.ShardOf(key);
   }
+  // Admission control runs before the budget charge: a shed report must
+  // not burn epsilon (the client will retry it verbatim).
+  InflightToken inflight(shard_inflight_[static_cast<size_t>(new_shard)].get(),
+                         &total_inflight_);
+  Status admitted = TBF_FAULT_INJECT("serve.admission");
+  if (admitted.ok() && options_.max_backlog_per_shard > 0 &&
+      inflight.shard_backlog() > options_.max_backlog_per_shard) {
+    admitted = Status::ResourceExhausted(
+        "shard " + std::to_string(new_shard) + " backlog full (>" +
+        std::to_string(options_.max_backlog_per_shard) + " in flight)");
+  }
+  if (!admitted.ok()) {
+    shed_operations_.fetch_add(1, std::memory_order_relaxed);
+    shed_metric_->Add(1);
+    return admitted;
+  }
+  // Charge next: a refused charge must leave the pool untouched.
+  TBF_RETURN_NOT_OK(ChargeIfRequired(worker_id, declared_epsilon));
   for (;;) {
     // Peek at the worker's current shard to know which index mutexes the
     // mutation needs; revalidate after acquiring them (the worker may be
@@ -323,13 +374,28 @@ template <typename Key>
 Result<DispatchResult> ShardedTbfServer::SubmitImpl(
     const std::string& task_id, const Key& key,
     std::optional<double> declared_epsilon) {
-  TBF_RETURN_NOT_OK(ChargeIfRequired(task_id, declared_epsilon));
   int home;
   if constexpr (std::is_same_v<Key, LeafCode>) {
     home = router_.ShardOf(key, *tree_->codec());
   } else {
     home = router_.ShardOf(key);
   }
+  // Admission control before the budget charge (see RegisterImpl).
+  InflightToken inflight(shard_inflight_[static_cast<size_t>(home)].get(),
+                         &total_inflight_);
+  Status admitted = TBF_FAULT_INJECT("serve.admission");
+  if (admitted.ok() && options_.max_backlog_per_shard > 0 &&
+      inflight.shard_backlog() > options_.max_backlog_per_shard) {
+    admitted = Status::ResourceExhausted(
+        "shard " + std::to_string(home) + " backlog full (>" +
+        std::to_string(options_.max_backlog_per_shard) + " in flight)");
+  }
+  if (!admitted.ok()) {
+    shed_operations_.fetch_add(1, std::memory_order_relaxed);
+    shed_metric_->Add(1);
+    return admitted;
+  }
+  TBF_RETURN_NOT_OK(ChargeIfRequired(task_id, declared_epsilon));
   shard_tasks_metric_[static_cast<size_t>(home)]->Add(1);
   // Dispatch latency covers the whole resolution, lock waits included
   // (histogram-only timer: no clock reads when metrics are off).
@@ -352,6 +418,31 @@ Result<DispatchResult> ShardedTbfServer::SubmitImpl(
     if (!nearest && router_.num_shards() == 1) {
       unassigned_metric_->Add(1);
       return DispatchResult{};  // no worker available: task unassigned
+    }
+    // Graceful degradation, decided while still holding only the home
+    // lock: under pressure (total in-flight count at or above the
+    // threshold), or when the "serve.fanout" site fires, a boundary task
+    // settles for the home shard's best candidate instead of sweeping all
+    // K shard locks. Approximate — the true nearest may live in a
+    // neighbouring shard — but counted, never silent.
+    bool degrade =
+        options_.degrade_fanout_inflight_threshold > 0 &&
+        total_inflight_.load(std::memory_order_relaxed) >=
+            options_.degrade_fanout_inflight_threshold;
+    if (!degrade) {
+      auto action = TBF_FAULT_ONHIT("serve.fanout");
+      degrade = action && action->kind == fault::FaultKind::kDegrade;
+    }
+    if (degrade) {
+      degraded_fanouts_.fetch_add(1, std::memory_order_relaxed);
+      degraded_fanout_metric_->Add(1);
+      if (nearest) {
+        std::lock_guard<std::mutex> pool_lock(pool_mu_);
+        return ConsumeCandidate(
+            Candidate{home, nearest->first, nearest->second});
+      }
+      unassigned_metric_->Add(1);
+      return DispatchResult{};  // degraded and home empty: unassigned
     }
   }
 
@@ -452,6 +543,130 @@ std::vector<Status> ShardedTbfServer::RegisterWorkers(
         RegisterWorker(report.user_id, report.code, report.declared_epsilon));
   }
   return statuses;
+}
+
+namespace {
+
+std::string LeafDigitsOf(const LeafPath& leaf) {
+  std::string out;
+  for (size_t i = 0; i < leaf.size(); ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(static_cast<int>(leaf[i]));
+  }
+  return out;
+}
+
+Result<LeafPath> LeafFromDigits(const std::string& digits) {
+  LeafPath leaf;
+  size_t pos = 0;
+  while (pos < digits.size()) {
+    size_t dot = digits.find('.', pos);
+    if (dot == std::string::npos) dot = digits.size();
+    const std::string token = digits.substr(pos, dot - pos);
+    char* end = nullptr;
+    const long digit = std::strtol(token.c_str(), &end, 10);
+    if (token.empty() || end == nullptr || *end != '\0' || digit < 0 ||
+        digit > 0xFFFF) {
+      return Status::InvalidArgument("bad leaf digit '" + token + "'");
+    }
+    leaf.push_back(static_cast<char16_t>(digit));
+    pos = dot + 1;
+  }
+  return leaf;
+}
+
+}  // namespace
+
+ShardedServerState ShardedTbfServer::ExportState() const {
+  ShardedServerState state;
+  state.packed = packed_;
+  state.assigned_tasks =
+      static_cast<uint64_t>(assigned_tasks_.load(std::memory_order_relaxed));
+  state.rng_state = rng_.SerializeState();
+  {
+    std::lock_guard<std::mutex> pool_lock(pool_mu_);
+    state.worker_by_index_id = worker_by_index_id_;
+    state.free_index_ids = free_index_ids_;
+    state.workers.reserve(workers_.size());
+    for (const auto& [id, worker] : workers_) {
+      ShardedServerState::Worker w;
+      w.id = id;
+      w.code = worker.code;
+      if (!packed_) w.leaf_digits = LeafDigitsOf(worker.leaf);
+      w.index_id = worker.index_id;
+      w.shard = worker.shard;
+      state.workers.push_back(std::move(w));
+    }
+  }
+  std::sort(state.workers.begin(), state.workers.end(),
+            [](const ShardedServerState::Worker& a,
+               const ShardedServerState::Worker& b) { return a.id < b.id; });
+  if (ledger_ != nullptr) {
+    std::lock_guard<std::mutex> lock(budget_mu_);
+    state.ledger = ledger_->ExportState();
+  }
+  return state;
+}
+
+Status ShardedTbfServer::RestoreState(const ShardedServerState& state) {
+  if (state.packed != packed_) {
+    return Status::InvalidArgument(
+        "server state packed-mode mismatch (checkpoint from a different "
+        "tree?)");
+  }
+  if ((state.ledger.has_value()) != (ledger_ != nullptr)) {
+    return Status::InvalidArgument(
+        "server state budget-ledger mismatch (checkpoint from different "
+        "budget options?)");
+  }
+  std::lock_guard<std::mutex> pool_lock(pool_mu_);
+  if (!workers_.empty()) {
+    return Status::FailedPrecondition(
+        "RestoreState requires a freshly created engine");
+  }
+  const size_t pool_size = state.worker_by_index_id.size();
+  for (int free_id : state.free_index_ids) {
+    if (free_id < 0 || static_cast<size_t>(free_id) >= pool_size) {
+      return Status::InvalidArgument("server state: free id out of range");
+    }
+  }
+  for (const ShardedServerState::Worker& w : state.workers) {
+    if (w.index_id < 0 || static_cast<size_t>(w.index_id) >= pool_size ||
+        state.worker_by_index_id[static_cast<size_t>(w.index_id)] != w.id) {
+      return Status::InvalidArgument(
+          "server state: worker/index-id table mismatch for '" + w.id + "'");
+    }
+    if (w.shard < 0 || w.shard >= router_.num_shards()) {
+      return Status::InvalidArgument("server state: shard out of range for '" +
+                                     w.id + "'");
+    }
+  }
+  TBF_RETURN_NOT_OK(rng_.RestoreState(state.rng_state));
+  worker_by_index_id_ = state.worker_by_index_id;
+  free_index_ids_ = state.free_index_ids;
+  for (const ShardedServerState::Worker& w : state.workers) {
+    WorkerState& worker = workers_[w.id];
+    worker.index_id = w.index_id;
+    worker.shard = w.shard;
+    Shard& shard = *shards_[static_cast<size_t>(w.shard)];
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    if (packed_) {
+      worker.code = w.code;
+      shard.index.Insert(w.code, w.index_id);
+    } else {
+      TBF_ASSIGN_OR_RETURN(worker.leaf, LeafFromDigits(w.leaf_digits));
+      shard.index.Insert(worker.leaf, w.index_id);
+    }
+  }
+  available_.store(state.workers.size(), std::memory_order_relaxed);
+  assigned_tasks_.store(static_cast<size_t>(state.assigned_tasks),
+                        std::memory_order_relaxed);
+  available_metric_->Set(static_cast<int64_t>(state.workers.size()));
+  if (ledger_ != nullptr) {
+    std::lock_guard<std::mutex> lock(budget_mu_);
+    TBF_RETURN_NOT_OK(ledger_->RestoreState(*state.ledger));
+  }
+  return Status::OK();
 }
 
 std::vector<BatchDispatchOutcome> ShardedTbfServer::SubmitTasks(

@@ -75,11 +75,49 @@ struct ShardedServerOptions {
   /// Seed for randomized tie-breaking.
   uint64_t seed = 1;
 
+  /// Admission control: maximum in-flight operations per shard (0 =
+  /// unbounded). An operation arriving at a shard whose backlog is full is
+  /// *shed* — refused with ResourceExhausted before any budget charge, and
+  /// counted in tbf_robustness_shed_total — instead of queueing without
+  /// bound behind the shard mutex.
+  size_t max_backlog_per_shard = 0;
+
+  /// Graceful degradation of cross-shard fan-out: when > 0 and the total
+  /// in-flight operation count reaches this threshold, a boundary task
+  /// resolves against its home shard only (approximate nearest instead of
+  /// a full K-shard lock sweep), counted in
+  /// tbf_robustness_degraded_fanouts_total — never silent. 0 = always
+  /// exact. A threshold of 1 degrades every fan-out deterministically
+  /// (useful for tests; any single-threaded driver always has exactly one
+  /// operation in flight).
+  size_t degrade_fanout_inflight_threshold = 0;
+
   /// Registry receiving the engine's tbf_serve_* series (and the
   /// ledger's tbf_privacy_* series when budgets are on); nullptr uses
   /// the process-wide registry. Must outlive the server. The replay loop
   /// passes a per-run registry so interval deltas are isolated.
   obs::MetricRegistry* metrics = nullptr;
+};
+
+/// \brief Full serializable state of a ShardedTbfServer (crash-safe replay
+/// checkpoints). Everything is exported in a deterministic order (workers
+/// sorted by id) so serialization is byte-stable.
+struct ShardedServerState {
+  struct Worker {
+    std::string id;
+    uint64_t code = 0;        ///< packed report (packed mode)
+    std::string leaf_digits;  ///< "d0.d1...." (path mode)
+    int index_id = -1;
+    int shard = -1;
+  };
+
+  bool packed = false;
+  uint64_t assigned_tasks = 0;
+  std::string rng_state;                     ///< Rng::SerializeState
+  std::vector<std::string> worker_by_index_id;  ///< "" = free slot
+  std::vector<int> free_index_ids;           ///< recycling order matters
+  std::vector<Worker> workers;               ///< sorted by id
+  std::optional<EpochBudgetLedger::State> ledger;
 };
 
 /// \brief Sharded online dispatch server on obfuscated leaves.
@@ -171,6 +209,29 @@ class ShardedTbfServer {
   /// docs/OBSERVABILITY.md for the catalog).
   obs::MetricRegistry* metrics() const { return metrics_; }
 
+  /// Operations shed by per-shard admission control so far.
+  uint64_t shed_operations() const {
+    return shed_operations_.load(std::memory_order_relaxed);
+  }
+
+  /// Boundary fan-outs resolved home-shard-only under pressure so far.
+  uint64_t degraded_fanouts() const {
+    return degraded_fanouts_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Snapshot of the engine's full mutable state, deterministic
+  /// byte-for-byte for a quiescent engine. Do not call concurrently with
+  /// operations.
+  ShardedServerState ExportState() const;
+
+  /// \brief Restores a state exported by ExportState into a freshly
+  /// created engine with identical construction options (tree, shard
+  /// count, budgets). After restore, the engine continues draw-for-draw
+  /// as the exported one would have. Do not call concurrently with
+  /// operations; fails (leaving the engine unusable for determinism
+  /// purposes) on inconsistent input.
+  Status RestoreState(const ShardedServerState& state);
+
  private:
   struct Shard {
     Shard(int depth, int arity) : index(depth, arity) {}
@@ -241,11 +302,20 @@ class ShardedTbfServer {
   std::vector<std::string> worker_by_index_id_;
   std::vector<int> free_index_ids_;
 
-  std::mutex budget_mu_;
+  mutable std::mutex budget_mu_;
   std::unique_ptr<EpochBudgetLedger> ledger_;
 
   std::atomic<size_t> available_{0};
   std::atomic<size_t> assigned_tasks_{0};
+
+  // Load tracking for admission control and fan-out degradation: in-flight
+  // operation counts, incremented on entry to a (Register|Submit|
+  // Unregister)Impl and decremented on exit (relaxed; advisory pressure
+  // signals, not synchronization).
+  std::vector<std::unique_ptr<std::atomic<size_t>>> shard_inflight_;
+  std::atomic<size_t> total_inflight_{0};
+  std::atomic<uint64_t> shed_operations_{0};
+  std::atomic<uint64_t> degraded_fanouts_{0};
 
   // Metrics handles (resolved once at construction; mutations on the hot
   // path are striped relaxed atomics, compiled out under
@@ -258,6 +328,8 @@ class ShardedTbfServer {
   obs::Counter* unassigned_metric_ = nullptr;
   obs::Counter* denied_metric_ = nullptr;
   obs::Counter* fanout_metric_ = nullptr;
+  obs::Counter* shed_metric_ = nullptr;
+  obs::Counter* degraded_fanout_metric_ = nullptr;
   obs::Histogram* dispatch_latency_metric_ = nullptr;
   obs::Histogram* lock_wait_metric_ = nullptr;
   obs::Gauge* available_metric_ = nullptr;

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "common/csv.h"
+#include "common/fault.h"
 
 namespace tbf {
 
@@ -189,12 +190,20 @@ Result<std::string> WriteEventTrace(const EventTrace& trace) {
 }
 
 Result<EventTrace> ReadEventTrace(const std::string& text) {
+  // Injection site "trace.read": lets the chaos harness simulate ingest
+  // failures (corrupt storage, truncated reads) without touching the file.
+  TBF_RETURN_NOT_OK(TBF_FAULT_INJECT("trace.read"));
   TBF_ASSIGN_OR_RETURN(auto rows, ParseCsv(text));
   EventTrace trace;
   bool has_region = false;
   double last_time = 0.0;
   bool any_event = false;
-  std::unordered_set<std::string> worker_ids;
+  // Active-set id tracking: a worker id may re-arrive only after departing;
+  // task ids are one-shot. Duplicate ids would otherwise surface deep in
+  // the serving engine as confusing AlreadyExists/NotFound statuses (or,
+  // worse, silently double-count in offline analysis).
+  std::unordered_set<std::string> active_workers;
+  std::unordered_set<std::string> task_ids;
   for (size_t r = 0; r < rows.size(); ++r) {
     const auto& row = rows[r];
     if (row.empty()) continue;
@@ -242,7 +251,25 @@ Result<EventTrace> ReadEventTrace(const std::string& text) {
         event.id = row[3];
         TBF_ASSIGN_OR_RETURN(event.location.x, ParseNumber(row[4], "x", r));
         TBF_ASSIGN_OR_RETURN(event.location.y, ParseNumber(row[5], "y", r));
-        if (event.kind == EventKind::kWorkerArrival) worker_ids.insert(event.id);
+        if (has_region && !trace.region.Contains(event.location)) {
+          return Status::OutOfRange("event location (" +
+                                    FormatDouble(event.location.x) + ", " +
+                                    FormatDouble(event.location.y) +
+                                    ") outside the declared region at row " +
+                                    std::to_string(r));
+        }
+        if (event.kind == EventKind::kWorkerArrival) {
+          if (!active_workers.insert(event.id).second) {
+            return Status::InvalidArgument(
+                "duplicate arrival of active worker '" + event.id +
+                "' at row " + std::to_string(r));
+          }
+        } else {
+          if (!task_ids.insert(event.id).second) {
+            return Status::InvalidArgument("duplicate task id '" + event.id +
+                                           "' at row " + std::to_string(r));
+          }
+        }
       } else if (what == "depart") {
         if (row.size() != 4) {
           return Status::InvalidArgument(
@@ -250,10 +277,10 @@ Result<EventTrace> ReadEventTrace(const std::string& text) {
         }
         event.kind = EventKind::kWorkerDeparture;
         event.id = row[3];
-        if (worker_ids.count(event.id) == 0) {
-          return Status::InvalidArgument("departure of unknown worker '" +
-                                         event.id + "' at row " +
-                                         std::to_string(r));
+        if (active_workers.erase(event.id) == 0) {
+          return Status::InvalidArgument(
+              "departure of absent worker '" + event.id + "' at row " +
+              std::to_string(r) + " (never arrived or already departed)");
         }
       } else {
         return Status::InvalidArgument("unknown event kind '" + what +

@@ -1,0 +1,215 @@
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace tbf {
+namespace fault {
+namespace {
+
+// Every test arms its own plan and disarms via ScopedFaultPlan, so tests
+// stay independent even though the injector is process-wide.
+
+#ifndef TBF_FAULTS_DISABLED
+
+TEST(FaultInjectorTest, UnarmedSitesAreNoops) {
+  FaultInjector& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Arm(FaultPlan{}).ok());  // reset firings of past tests
+  injector.Disarm();
+  EXPECT_FALSE(injector.armed());
+  EXPECT_FALSE(TBF_FAULT_ONHIT_AT("any.site", 0).has_value());
+  EXPECT_TRUE(TBF_FAULT_INJECT("any.site").ok());
+  EXPECT_EQ(injector.firings().total(), 0u);
+}
+
+TEST(FaultInjectorTest, FiresOnlyInsideTheScheduledWindow) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.site = "test.window";
+  spec.kind = FaultKind::kFail;
+  spec.after = 2;
+  spec.count = 2;
+  spec.code = StatusCode::kInternal;
+  spec.message = "boom";
+  plan.faults.push_back(spec);
+  ScopedFaultPlan armed(std::move(plan));
+  ASSERT_TRUE(armed.armed());
+
+  FaultInjector& injector = FaultInjector::Global();
+  for (uint64_t i = 0; i < 6; ++i) {
+    const std::optional<FaultAction> action = injector.OnHit("test.window", i);
+    if (i == 2 || i == 3) {
+      ASSERT_TRUE(action.has_value()) << i;
+      EXPECT_EQ(action->kind, FaultKind::kFail);
+      EXPECT_EQ(action->status.code(), StatusCode::kInternal);
+      // The materialized status names the site and hit index.
+      EXPECT_NE(action->status.message().find("test.window#" +
+                                              std::to_string(i)),
+                std::string::npos);
+    } else {
+      EXPECT_FALSE(action.has_value()) << i;
+    }
+  }
+  EXPECT_EQ(injector.firings().failures, 2u);
+}
+
+TEST(FaultInjectorTest, CountZeroMeansForever) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.site = "test.forever";
+  spec.kind = FaultKind::kDrop;
+  spec.after = 10;
+  spec.count = 0;
+  plan.faults.push_back(spec);
+  ScopedFaultPlan armed(std::move(plan));
+  ASSERT_TRUE(armed.armed());
+  FaultInjector& injector = FaultInjector::Global();
+  EXPECT_FALSE(injector.OnHit("test.forever", 9).has_value());
+  EXPECT_TRUE(injector.OnHit("test.forever", 10).has_value());
+  EXPECT_TRUE(injector.OnHit("test.forever", 1000000).has_value());
+  EXPECT_EQ(injector.firings().drops, 2u);
+}
+
+TEST(FaultInjectorTest, AutoIndexedSitesCountTheirOwnHits) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.site = "test.auto";
+  spec.kind = FaultKind::kFail;
+  spec.after = 1;
+  spec.count = 1;
+  plan.faults.push_back(spec);
+  ScopedFaultPlan armed(std::move(plan));
+  ASSERT_TRUE(armed.armed());
+  FaultInjector& injector = FaultInjector::Global();
+
+  EXPECT_TRUE(injector.Inject("test.auto").ok());   // hit 0
+  EXPECT_FALSE(injector.Inject("test.auto").ok());  // hit 1: fires
+  EXPECT_TRUE(injector.Inject("test.auto").ok());   // hit 2
+  EXPECT_EQ(injector.hits("test.auto"), 3u);
+  // Other sites keep independent counters.
+  EXPECT_EQ(injector.hits("test.other"), 0u);
+}
+
+TEST(FaultInjectorTest, ArmResetsCountersAndFirings) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.site = "test.reset";
+  spec.kind = FaultKind::kFail;
+  spec.after = 0;
+  spec.count = 1;
+  plan.faults.push_back(spec);
+  FaultInjector& injector = FaultInjector::Global();
+  {
+    ScopedFaultPlan armed(plan);
+    ASSERT_TRUE(armed.armed());
+    EXPECT_FALSE(injector.Inject("test.reset").ok());
+    EXPECT_EQ(injector.hits("test.reset"), 1u);
+  }
+  {
+    ScopedFaultPlan armed(plan);
+    ASSERT_TRUE(armed.armed());
+    // Fresh counters: hit 0 fires again.
+    EXPECT_EQ(injector.hits("test.reset"), 0u);
+    EXPECT_FALSE(injector.Inject("test.reset").ok());
+    EXPECT_EQ(injector.firings().failures, 1u);
+  }
+}
+
+TEST(FaultInjectorTest, ExhaustBudgetMaterializesFailedPrecondition) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.site = "budget.charge";
+  spec.kind = FaultKind::kExhaustBudget;
+  spec.after = 0;
+  spec.count = 1;
+  plan.faults.push_back(spec);
+  ScopedFaultPlan armed(std::move(plan));
+  ASSERT_TRUE(armed.armed());
+  const Status status = FaultInjector::Global().InjectAt("budget.charge", 0);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("injected budget exhaustion"),
+            std::string::npos);
+}
+
+TEST(FaultInjectorTest, StreamKindsReturnOkFromStatusSites) {
+  // A drop scheduled at a Status-shaped site must not fail the call — the
+  // Inject() convenience only honors kStall/kFail/kExhaustBudget.
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.site = "test.stream";
+  spec.kind = FaultKind::kDuplicate;
+  spec.after = 0;
+  spec.count = 0;
+  plan.faults.push_back(spec);
+  ScopedFaultPlan armed(std::move(plan));
+  ASSERT_TRUE(armed.armed());
+  EXPECT_TRUE(FaultInjector::Global().Inject("test.stream").ok());
+}
+
+TEST(FaultPlanTest, SeededPlansAreBitStable) {
+  const std::vector<std::string> sites = {"replay.event", "budget.charge",
+                                          "serve.admission", "serve.fanout"};
+  const FaultPlan a = FaultPlan::Seeded(17, sites, 12, 64);
+  const FaultPlan b = FaultPlan::Seeded(17, sites, 12, 64);
+  ASSERT_EQ(a.faults.size(), 12u);
+  ASSERT_EQ(a.faults.size(), b.faults.size());
+  for (size_t i = 0; i < a.faults.size(); ++i) {
+    EXPECT_EQ(a.faults[i].site, b.faults[i].site) << i;
+    EXPECT_EQ(a.faults[i].kind, b.faults[i].kind) << i;
+    EXPECT_EQ(a.faults[i].after, b.faults[i].after) << i;
+    EXPECT_EQ(a.faults[i].count, b.faults[i].count) << i;
+  }
+  const FaultPlan c = FaultPlan::Seeded(18, sites, 12, 64);
+  bool differs = false;
+  for (size_t i = 0; i < c.faults.size(); ++i) {
+    if (c.faults[i].site != a.faults[i].site ||
+        c.faults[i].after != a.faults[i].after) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);  // different seed, different chaos
+}
+
+TEST(FaultPlanTest, SeededKindsMatchTheSite) {
+  const std::vector<std::string> sites = {"replay.event", "budget.charge",
+                                          "serve.admission", "serve.fanout"};
+  const FaultPlan plan = FaultPlan::Seeded(99, sites, 64, 128);
+  for (const FaultSpec& spec : plan.faults) {
+    EXPECT_GE(spec.count, 1u);
+    EXPECT_LE(spec.count, 3u);
+    EXPECT_LT(spec.after, 128u);
+    if (spec.site == "replay.event") {
+      EXPECT_TRUE(spec.kind == FaultKind::kDrop ||
+                  spec.kind == FaultKind::kDuplicate ||
+                  spec.kind == FaultKind::kReorder ||
+                  spec.kind == FaultKind::kStall)
+          << FaultKindName(spec.kind);
+    } else if (spec.site == "budget.charge") {
+      EXPECT_EQ(spec.kind, FaultKind::kExhaustBudget);
+    } else if (spec.site == "serve.admission") {
+      EXPECT_EQ(spec.kind, FaultKind::kFail);
+      EXPECT_EQ(spec.code, StatusCode::kResourceExhausted);
+    } else if (spec.site == "serve.fanout") {
+      EXPECT_EQ(spec.kind, FaultKind::kDegrade);
+    }
+  }
+}
+
+#else  // TBF_FAULTS_DISABLED
+
+TEST(FaultInjectorTest, CompiledOutArmRefuses) {
+  EXPECT_EQ(FaultInjector::Global().Arm(FaultPlan{}).code(),
+            StatusCode::kUnimplemented);
+  ScopedFaultPlan armed(FaultPlan{});
+  EXPECT_FALSE(armed.armed());
+  EXPECT_TRUE(TBF_FAULT_INJECT("any.site").ok());
+  EXPECT_FALSE(TBF_FAULT_ONHIT("any.site").has_value());
+}
+
+#endif  // TBF_FAULTS_DISABLED
+
+}  // namespace
+}  // namespace fault
+}  // namespace tbf

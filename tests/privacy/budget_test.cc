@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace tbf {
 namespace {
 
@@ -71,6 +73,27 @@ TEST(LedgerTest, RejectsNonPositiveCharge) {
   EXPECT_EQ(ledger.Charge("eve", 0.0).code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(ledger.Charge("eve", -0.5).code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(ledger.num_users(), 0u);
+}
+
+TEST(LedgerTest, RejectsNonFiniteCharge) {
+  // NaN defeats every cap comparison (all comparisons false) and +inf
+  // would blow past any cap; both must be refused up front, charging
+  // nothing and leaving the user table untouched.
+  PrivacyBudgetLedger ledger(1.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(ledger.Charge("mallory", nan).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ledger.Charge("mallory", inf).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ledger.Charge("mallory", -inf).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(ledger.CanCharge("mallory", nan));
+  EXPECT_FALSE(ledger.CanCharge("mallory", inf));
+  EXPECT_EQ(ledger.num_users(), 0u);
+  EXPECT_DOUBLE_EQ(ledger.Spent("mallory"), 0.0);
+  // The guard must not break legitimate extreme-but-finite charges.
+  EXPECT_TRUE(ledger.Charge("mallory", 1e-300).ok());
 }
 
 TEST(LedgerTest, UnknownUserHasFullBudget) {
@@ -171,6 +194,27 @@ TEST(EpochLedgerTest, RejectsNonPositiveCharge) {
   EXPECT_EQ(ledger.Charge("eve", -1.0).code(), StatusCode::kInvalidArgument);
   EXPECT_FALSE(ledger.CanCharge("eve", 0.0));
   EXPECT_EQ(ledger.num_users(), 0u);
+}
+
+TEST(EpochLedgerTest, RejectsNonFiniteCharge) {
+  EpochBudgetLedger ledger(1.0, 2.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  ASSERT_TRUE(ledger.Charge("frank", 0.5).ok());
+  Status refused = ledger.Charge("frank", nan);
+  EXPECT_EQ(refused.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(refused.message().find("positive and finite"), std::string::npos);
+  EXPECT_EQ(ledger.Charge("frank", inf).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ledger.Charge("frank", -inf).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(ledger.CanCharge("frank", nan));
+  // A refused non-finite charge corrupts no accounting: the earlier valid
+  // spend is still intact and further valid charges still work.
+  EXPECT_DOUBLE_EQ(ledger.SpentThisEpoch("frank"), 0.5);
+  EXPECT_DOUBLE_EQ(ledger.SpentLifetime("frank"), 0.5);
+  EXPECT_TRUE(ledger.Charge("frank", 0.5).ok());
+  EXPECT_EQ(ledger.totals().charges, 2u);
 }
 
 TEST(EpochLedgerDeathTest, RejectsBadBudgets) {

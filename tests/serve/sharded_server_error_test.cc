@@ -1,0 +1,249 @@
+// Error-path contract tests for ShardedTbfServer (ISSUE 7, satellite c).
+// Degraded operation is only trustworthy if the failure statuses are
+// precise and the engine's shared state (worker registry, index-id pool,
+// budget ledger) stays consistent across refused operations.
+
+#include "serve/sharded_server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/server.h"
+#include "geo/grid.h"
+
+namespace tbf {
+namespace {
+
+std::shared_ptr<const CompleteHst> BuildTree(uint64_t seed = 3) {
+  EuclideanMetric metric;
+  Rng rng(seed);
+  auto grid = UniformGridPoints(BBox::Square(100), 6);
+  auto tree = CompleteHst::BuildFromPoints(*grid, metric, &rng);
+  EXPECT_TRUE(tree.ok());
+  return std::make_shared<const CompleteHst>(std::move(tree).MoveValueUnsafe());
+}
+
+LeafPath SomeLeaf(const CompleteHst& tree, uint64_t seed) {
+  Rng rng(seed);
+  return RandomLeafPath(tree.depth(), tree.arity(), &rng);
+}
+
+TEST(ShardedServerErrorTest, UnregisterUnknownIsPreciseNotFound) {
+  auto tree = BuildTree();
+  auto server = ShardedTbfServer::Create(tree);
+  ASSERT_TRUE(server.ok());
+  const Status s = (*server)->UnregisterWorker("ghost");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_NE(s.message().find("unknown worker ghost"), std::string::npos);
+
+  // Unregistering twice: the second call finds nothing.
+  ASSERT_TRUE((*server)->RegisterWorker("w1", SomeLeaf(*tree, 1)).ok());
+  ASSERT_TRUE((*server)->UnregisterWorker("w1").ok());
+  EXPECT_EQ((*server)->UnregisterWorker("w1").code(), StatusCode::kNotFound);
+  EXPECT_EQ((*server)->available_workers(), 0u);
+}
+
+TEST(ShardedServerErrorTest, ReRegistrationRelocatesInsteadOfDuplicating) {
+  auto tree = BuildTree();
+  ShardedServerOptions options;
+  options.num_shards = 4;
+  auto server = ShardedTbfServer::Create(tree, options);
+  ASSERT_TRUE(server.ok());
+
+  ASSERT_TRUE((*server)->RegisterWorker("w1", SomeLeaf(*tree, 1)).ok());
+  // Same id again is a relocation, not an AlreadyExists error — and it
+  // must not grow the pool or the available count.
+  ASSERT_TRUE((*server)->RegisterWorker("w1", SomeLeaf(*tree, 2)).ok());
+  EXPECT_EQ((*server)->available_workers(), 1u);
+  EXPECT_EQ((*server)->index_id_pool_size(), 1u);
+  EXPECT_TRUE((*server)->IsRegistered("w1"));
+}
+
+TEST(ShardedServerErrorTest, BudgetDenialLeavesRegistrationUntouched) {
+  auto tree = BuildTree();
+  ShardedServerOptions options;
+  options.num_shards = 4;
+  options.lifetime_budget = 1.0;
+  auto server = ShardedTbfServer::Create(tree, options);
+  ASSERT_TRUE(server.ok());
+
+  // Missing epsilon under enforcement is an InvalidArgument, not a crash
+  // and not a silent free pass.
+  const Status missing = (*server)->RegisterWorker("w1", SomeLeaf(*tree, 1));
+  EXPECT_EQ(missing.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(missing.message().find("declare their epsilon"),
+            std::string::npos);
+  EXPECT_FALSE((*server)->IsRegistered("w1"));
+
+  ASSERT_TRUE((*server)->RegisterWorker("w1", SomeLeaf(*tree, 1), 0.8).ok());
+  // The relocation charge no longer fits: refused with the exact budget
+  // code, and the worker stays available at its previous report.
+  const Status refused =
+      (*server)->RegisterWorker("w1", SomeLeaf(*tree, 2), 0.8);
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE((*server)->IsRegistered("w1"));
+  EXPECT_EQ((*server)->available_workers(), 1u);
+
+  // SubmitTask whose own charge cannot fit: denied with the budget code,
+  // and no worker is consumed by the refused submission.
+  auto denied = (*server)->SubmitTask("t-denied", SomeLeaf(*tree, 3), 2.0);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*server)->available_workers(), 1u);
+  EXPECT_EQ((*server)->assigned_tasks(), 0u);
+  // A fresh task user with a fitting epsilon is still served.
+  auto ok = (*server)->SubmitTask("t-ok", SomeLeaf(*tree, 4), 0.5);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  ASSERT_TRUE(ok->worker.has_value());
+  EXPECT_EQ(*ok->worker, "w1");
+  EXPECT_EQ((*server)->available_workers(), 0u);
+}
+
+TEST(ShardedServerErrorTest, SubmitWithEmptyPoolIsUnassignedNotAnError) {
+  auto tree = BuildTree();
+  auto server = ShardedTbfServer::Create(tree);
+  ASSERT_TRUE(server.ok());
+  auto result = (*server)->SubmitTask("t1", SomeLeaf(*tree, 1));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->worker.has_value());
+  EXPECT_EQ((*server)->assigned_tasks(), 0u);
+}
+
+TEST(ShardedServerErrorTest, IdPoolRecyclesThroughInterleavedFailures) {
+  auto tree = BuildTree();
+  ShardedServerOptions options;
+  options.num_shards = 4;
+  options.lifetime_budget = 1.0;
+  auto server = ShardedTbfServer::Create(tree, options);
+  ASSERT_TRUE(server.ok());
+
+  ASSERT_TRUE((*server)->RegisterWorker("a", SomeLeaf(*tree, 1), 0.4).ok());
+  ASSERT_TRUE((*server)->RegisterWorker("b", SomeLeaf(*tree, 2), 0.4).ok());
+  ASSERT_TRUE((*server)->RegisterWorker("c", SomeLeaf(*tree, 3), 0.4).ok());
+  EXPECT_EQ((*server)->index_id_pool_size(), 3u);
+
+  // Failures interleaved with churn: none of these may leak a pool slot.
+  EXPECT_EQ((*server)->UnregisterWorker("nope").code(), StatusCode::kNotFound);
+  EXPECT_EQ((*server)->RegisterWorker("b", SomeLeaf(*tree, 4), 0.8).code(),
+            StatusCode::kFailedPrecondition);  // relocation over budget
+  EXPECT_EQ((*server)
+                ->RegisterWorker("d", SomeLeaf(*tree, 5), 2.0)
+                .code(),
+            StatusCode::kFailedPrecondition);  // fresh id, denied: no slot
+  EXPECT_EQ((*server)->index_id_pool_size(), 3u);
+
+  // Departures free slots; new arrivals recycle them (pool stays at peak).
+  ASSERT_TRUE((*server)->UnregisterWorker("a").ok());
+  ASSERT_TRUE((*server)->UnregisterWorker("c").ok());
+  ASSERT_TRUE((*server)->RegisterWorker("e", SomeLeaf(*tree, 6), 0.4).ok());
+  ASSERT_TRUE((*server)->RegisterWorker("f", SomeLeaf(*tree, 7), 0.4).ok());
+  EXPECT_EQ((*server)->index_id_pool_size(), 3u);
+  EXPECT_EQ((*server)->available_workers(), 3u);
+
+  // Assignment also releases the slot for reuse.
+  auto assigned = (*server)->SubmitTask("t1", SomeLeaf(*tree, 8), 0.4);
+  ASSERT_TRUE(assigned.ok());
+  ASSERT_TRUE(assigned->worker.has_value());
+  ASSERT_TRUE((*server)->RegisterWorker("g", SomeLeaf(*tree, 9), 0.4).ok());
+  EXPECT_EQ((*server)->index_id_pool_size(), 3u);
+}
+
+TEST(ShardedServerErrorTest, BeginEpochMovesForwardOnly) {
+  auto tree = BuildTree();
+  ShardedServerOptions options;
+  options.epoch_budget = 0.5;
+  auto server = ShardedTbfServer::Create(tree, options);
+  ASSERT_TRUE(server.ok());
+  EXPECT_TRUE((*server)->BeginEpoch(3).ok());
+  const Status back = (*server)->BeginEpoch(2);
+  EXPECT_EQ(back.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(back.message().find("epochs only move forward"),
+            std::string::npos);
+  EXPECT_TRUE((*server)->BeginEpoch(3).ok());  // re-entry is a no-op
+
+  // Without an epoch budget the call is an explicit no-op, never an error.
+  auto plain = ShardedTbfServer::Create(tree);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE((*plain)->BeginEpoch(7).ok());
+  EXPECT_TRUE((*plain)->BeginEpoch(1).ok());
+}
+
+TEST(ShardedServerErrorTest, RestoreStateValidatesItsInput) {
+  auto tree = BuildTree();
+  ShardedServerOptions options;
+  options.num_shards = 4;
+  auto source = ShardedTbfServer::Create(tree, options);
+  ASSERT_TRUE(source.ok());
+  ASSERT_TRUE((*source)->RegisterWorker("w1", SomeLeaf(*tree, 1)).ok());
+  const ShardedServerState good = (*source)->ExportState();
+
+  // Restoring into a non-fresh engine is refused.
+  {
+    auto target = ShardedTbfServer::Create(tree, options);
+    ASSERT_TRUE(target.ok());
+    ASSERT_TRUE((*target)->RegisterWorker("other", SomeLeaf(*tree, 2)).ok());
+    EXPECT_EQ((*target)->RestoreState(good).code(),
+              StatusCode::kFailedPrecondition);
+  }
+
+  // Packed-mode mismatch (checkpoint from a different tree build).
+  {
+    auto target = ShardedTbfServer::Create(tree, options);
+    ASSERT_TRUE(target.ok());
+    ShardedServerState flipped = good;
+    flipped.packed = !flipped.packed;
+    EXPECT_EQ((*target)->RestoreState(flipped).code(),
+              StatusCode::kInvalidArgument);
+  }
+
+  // Ledger presence mismatch (different budget options).
+  {
+    ShardedServerOptions budgeted = options;
+    budgeted.epoch_budget = 1.0;
+    auto target = ShardedTbfServer::Create(tree, budgeted);
+    ASSERT_TRUE(target.ok());
+    EXPECT_EQ((*target)->RestoreState(good).code(),
+              StatusCode::kInvalidArgument);
+  }
+
+  // Corrupt free list / worker table entries are named, not crashed on.
+  {
+    auto target = ShardedTbfServer::Create(tree, options);
+    ASSERT_TRUE(target.ok());
+    ShardedServerState corrupt = good;
+    corrupt.free_index_ids.push_back(1000);
+    const Status s = (*target)->RestoreState(corrupt);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(s.message().find("free id out of range"), std::string::npos);
+  }
+  {
+    auto target = ShardedTbfServer::Create(tree, options);
+    ASSERT_TRUE(target.ok());
+    ShardedServerState corrupt = good;
+    ASSERT_FALSE(corrupt.workers.empty());
+    corrupt.workers[0].shard = 99;
+    const Status s = (*target)->RestoreState(corrupt);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(s.message().find("shard out of range"), std::string::npos);
+  }
+
+  // The untouched export still restores, and the restored engine behaves
+  // like the original (same worker answers the same task).
+  {
+    auto target = ShardedTbfServer::Create(tree, options);
+    ASSERT_TRUE(target.ok());
+    ASSERT_TRUE((*target)->RestoreState(good).ok());
+    EXPECT_EQ((*target)->available_workers(), 1u);
+    auto a = (*source)->SubmitTask("t", SomeLeaf(*tree, 3));
+    auto b = (*target)->SubmitTask("t", SomeLeaf(*tree, 3));
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->worker, b->worker);
+  }
+}
+
+}  // namespace
+}  // namespace tbf

@@ -1,0 +1,279 @@
+// Malformed-input hardening tests for the event-trace ingest path
+// (ISSUE 7, satellite a). ReadEventTrace is the front door for replay and
+// the chaos harness: every corrupt byte stream must come back as a precise
+// Status naming the offending row and cause — never a crash, never a
+// silently wrong trace.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+#include <string>
+
+#include "workload/synthetic.h"
+#include "workload/trace.h"
+
+namespace tbf {
+namespace {
+
+// A small, well-formed trace exercising every row kind, used as the seed
+// corpus for the mutation fuzz below and as the baseline for the targeted
+// corruption cases.
+std::string ValidTraceText() {
+  return
+      "region,0,0,200,200\n"
+      "event,1,worker,w1,10,10\n"
+      "event,2,worker,w2,20,20\n"
+      "event,3,task,t1,15,15\n"
+      "event,4,depart,w1\n"
+      "event,5,worker,w1,30,30\n"  // re-arrival after departure is legal
+      "event,6,task,t2,40,40\n";
+}
+
+TEST(EventTraceFuzzTest, CleanRoundTripStillWorks) {
+  auto trace = ReadEventTrace(ValidTraceText());
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_EQ(trace->events.size(), 6u);
+  auto text = WriteEventTrace(*trace);
+  ASSERT_TRUE(text.ok());
+  auto again = ReadEventTrace(*text);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->events.size(), trace->events.size());
+}
+
+TEST(EventTraceFuzzTest, TruncatedRowsNamePositionAndCause) {
+  {
+    auto r = ReadEventTrace("region,0,0,200,200\nevent,1,worker,w1,10\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(r.status().message().find("arrival event needs time,kind,id,x,y"),
+              std::string::npos);
+    EXPECT_NE(r.status().message().find("row 1"), std::string::npos);
+  }
+  {
+    auto r = ReadEventTrace("region,0,0,200,200\nevent,1\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("event row too short at row 1"),
+              std::string::npos);
+  }
+  {
+    auto r = ReadEventTrace("region,0,0,200,200\nevent,1,depart\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("event row too short"),
+              std::string::npos);
+  }
+  {
+    auto r = ReadEventTrace("region,0,0,200\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("region row needs 4 coordinates"),
+              std::string::npos);
+  }
+}
+
+TEST(EventTraceFuzzTest, GarbageBytesAreRejectedNotCrashed) {
+  // Binary garbage (NUL bytes, invalid UTF-8 sequences, ANSI noise) must
+  // come back as a Status, whatever it parses to.
+  const std::string garbage_cases[] = {
+      std::string("\x00\xff\xfe\x01garbage", 11),
+      "\xc3\x28 invalid utf8 \xa0\xa1",
+      "region,0,0,200,200\nevent,\x1b[31m1\x1b[0m,worker,w1,10,10\n",
+      "event\xef\xbf\xbd,1,worker,w,1,1",
+      std::string(4096, ','),
+  };
+  for (const std::string& text : garbage_cases) {
+    auto r = ReadEventTrace(text);
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(r.status().message().empty());
+  }
+}
+
+TEST(EventTraceFuzzTest, DuplicateActiveWorkerNamesIdAndRow) {
+  auto r = ReadEventTrace(
+      "region,0,0,200,200\n"
+      "event,1,worker,w1,10,10\n"
+      "event,2,worker,w1,20,20\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(
+      r.status().message().find("duplicate arrival of active worker 'w1'"),
+      std::string::npos);
+  EXPECT_NE(r.status().message().find("row 2"), std::string::npos);
+}
+
+TEST(EventTraceFuzzTest, DuplicateTaskIdNamesIdAndRow) {
+  auto r = ReadEventTrace(
+      "region,0,0,200,200\n"
+      "event,1,task,t1,10,10\n"
+      "event,2,task,t1,20,20\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("duplicate task id 't1' at row 2"),
+            std::string::npos);
+}
+
+TEST(EventTraceFuzzTest, DepartureOfAbsentWorkerNamesIdAndRow) {
+  {
+    auto r = ReadEventTrace(
+        "region,0,0,200,200\n"
+        "event,1,depart,ghost\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find(
+                  "departure of absent worker 'ghost' at row 1"),
+              std::string::npos);
+  }
+  {
+    // Double departure: the second one finds the worker already gone.
+    auto r = ReadEventTrace(
+        "region,0,0,200,200\n"
+        "event,1,worker,w1,10,10\n"
+        "event,2,depart,w1\n"
+        "event,3,depart,w1\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("departure of absent worker 'w1'"),
+              std::string::npos);
+    EXPECT_NE(r.status().message().find("row 3"), std::string::npos);
+  }
+}
+
+TEST(EventTraceFuzzTest, NonMonotoneTimestampsAreRejected) {
+  auto r = ReadEventTrace(
+      "region,0,0,200,200\n"
+      "event,5,worker,w1,10,10\n"
+      "event,4,task,t1,20,20\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(
+      r.status().message().find("event times must be nondecreasing (row 2)"),
+      std::string::npos);
+}
+
+TEST(EventTraceFuzzTest, NonFiniteValuesAreRejectedAtTheRow) {
+  {
+    auto r = ReadEventTrace(
+        "region,0,0,200,200\n"
+        "event,nan,worker,w1,10,10\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("non-finite event time at row 1"),
+              std::string::npos);
+  }
+  {
+    // strtod parses "inf" happily; the region check catches the location.
+    auto r = ReadEventTrace(
+        "region,0,0,200,200\n"
+        "event,1,worker,w1,inf,10\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+    EXPECT_NE(r.status().message().find("outside the declared region"),
+              std::string::npos);
+    EXPECT_NE(r.status().message().find("row 1"), std::string::npos);
+  }
+  {
+    auto r = ReadEventTrace(
+        "region,0,0,200,200\n"
+        "event,1,worker,w1,10,not-a-number\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("bad y at row 1"), std::string::npos);
+  }
+}
+
+TEST(EventTraceFuzzTest, OutOfRegionCoordinatesNameTheRow) {
+  auto r = ReadEventTrace(
+      "region,0,0,200,200\n"
+      "event,1,task,t1,300,10\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(r.status().message().find("outside the declared region at row 1"),
+            std::string::npos);
+}
+
+TEST(EventTraceFuzzTest, UnknownKindsAndMissingRegionAreRejected) {
+  {
+    auto r = ReadEventTrace("region,0,0,200,200\nevent,1,teleport,w1,1,1\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("unknown event kind 'teleport'"),
+              std::string::npos);
+  }
+  {
+    auto r = ReadEventTrace("frobnicate,1,2\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("unknown row kind 'frobnicate'"),
+              std::string::npos);
+  }
+  {
+    auto r = ReadEventTrace("event,1,worker,w1,10,10\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("missing region row"),
+              std::string::npos);
+  }
+  {
+    auto r = ReadEventTrace("region,0,0,200,200\nevent,1,worker,,10,10\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("empty event id at row 1"),
+              std::string::npos);
+  }
+}
+
+TEST(EventTraceFuzzTest, WriterRefusesUnrepresentableTraces) {
+  EventTrace trace;
+  trace.region = BBox::Square(100);
+  TimedEvent e;
+  e.kind = EventKind::kWorkerArrival;
+  e.time = 1.0;
+  e.id = "comma,id";  // no quoting in the schema: must be refused
+  e.location = Point{1, 1};
+  trace.events.push_back(e);
+  auto text = WriteEventTrace(trace);
+  ASSERT_FALSE(text.ok());
+  EXPECT_NE(text.status().message().find("unrepresentable"),
+            std::string::npos);
+
+  trace.events[0].id = "ok";
+  trace.events[0].time = std::numeric_limits<double>::quiet_NaN();
+  auto text2 = WriteEventTrace(trace);
+  ASSERT_FALSE(text2.ok());
+  EXPECT_NE(text2.status().message().find("non-finite event time"),
+            std::string::npos);
+}
+
+// Seeded mutation fuzz: corrupt a real serialized trace thousands of ways
+// and assert ReadEventTrace never crashes and never returns an empty error.
+// (The parser may legitimately accept some mutations — e.g. a digit change
+// inside a coordinate — so "ok" results are fine; crashing is not.)
+TEST(EventTraceFuzzTest, SeededMutationSweepNeverCrashes) {
+  SyntheticEventConfig config;
+  config.base.num_workers = 20;
+  config.base.num_tasks = 15;
+  config.base.seed = 7;
+  config.horizon_seconds = 100.0;
+  config.departure_probability = 0.3;
+  auto trace = GenerateEventTrace(config);
+  ASSERT_TRUE(trace.ok());
+  auto serialized = WriteEventTrace(*trace);
+  ASSERT_TRUE(serialized.ok());
+  const std::string& base = *serialized;
+  ASSERT_FALSE(base.empty());
+
+  std::mt19937_64 rng(20260808);
+  std::uniform_int_distribution<size_t> pos(0, base.size() - 1);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string mutated = base;
+    const int mode = iter % 4;
+    if (mode == 0) {  // flip one byte to anything
+      mutated[pos(rng)] = static_cast<char>(byte(rng));
+    } else if (mode == 1) {  // truncate mid-row
+      mutated.resize(pos(rng));
+    } else if (mode == 2) {  // delete a span
+      const size_t at = pos(rng);
+      mutated.erase(at, 1 + rng() % 16);
+    } else {  // insert garbage bytes
+      const char junk[] = {',', '\n', '\0', static_cast<char>(byte(rng))};
+      mutated.insert(pos(rng), std::string(junk, sizeof(junk)));
+    }
+    auto r = ReadEventTrace(mutated);
+    if (!r.ok()) {
+      EXPECT_FALSE(r.status().message().empty()) << "iter " << iter;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tbf

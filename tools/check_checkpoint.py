@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Validates TBF replay checkpoint files (src/serve/checkpoint.cc format).
+
+Stdlib only — CI runs this against the checkpoints the seeded chaos drill
+leaves behind, as an independent (non-C++) check that what the writer
+fsync'd to disk is a complete, CRC-clean, schema-valid snapshot.
+
+Format (docs/ROBUSTNESS.md):
+    TBFCKPT1 <crc32 hex8> <payload bytes>\\n
+    <payload: one record per line, space-separated %XX-escaped tokens>
+
+Exit status: 0 when every file validates, 1 otherwise.
+
+Usage:
+    tools/check_checkpoint.py FILE [FILE...]
+    tools/check_checkpoint.py --dir DIR      # every *.ckpt under DIR
+"""
+
+import argparse
+import binascii
+import os
+import re
+import sys
+
+HIST_BUCKETS = 64  # obs::Histogram::kBuckets
+
+# record key -> (min tokens after key, max tokens after key, doc)
+_UNBOUNDED = 1 << 30
+SCHEMA = {
+    "version": (1, 1, "format version"),
+    "trace_fp": (1, 1, "trace fingerprint"),
+    "config": (4, 4, "num_shards epoch_seconds server_seed obfuscation_seed"),
+    "cursor": (3, 3, "next_event arrivals_obfuscated next_task_slot"),
+    "report": (13, 13, "replay report counters"),
+    "epoch": (14, 14, "per-epoch stats"),
+    "task": (5, 5, "task_id status_code message worker distance"),
+    "quar": (3, 3, "event_index id cause"),
+    "server": (2, 2, "packed assigned_tasks"),
+    "rng": (1, 1, "serialized rng state"),
+    "slot": (1, 1, "worker_by_index_id entry"),
+    "free": (0, _UNBOUNDED, "free index ids"),
+    "worker": (5, 5, "id code leaf_digits index_id shard"),
+    "ledger": (5, 5, "epoch epsilon_spent charges denied_epoch denied_lifetime"),
+    "lspend": (3, 3, "e|l user epsilon"),
+    "counter": (2, 2, "name value"),
+    "gauge": (2, 2, "name value"),
+    "hist": (3 + HIST_BUCKETS, 3 + HIST_BUCKETS, "name count sum buckets..."),
+}
+
+REQUIRED = {"version", "config", "cursor", "report", "server", "rng", "free"}
+
+_ESCAPE_RE = re.compile(r"%([0-9A-Fa-f]{2})|%")
+
+
+def unescape(token):
+    """Reverses checkpoint.cc's Esc(): %XX byte escapes ('%' itself is
+    stored as %25). Raises ValueError on truncated or malformed escapes."""
+    out = []
+    i = 0
+    while i < len(token):
+        ch = token[i]
+        if ch == "%":
+            hex2 = token[i + 1 : i + 3]
+            if len(hex2) != 2:
+                raise ValueError("truncated %-escape")
+            if not re.fullmatch(r"[0-9A-Fa-f]{2}", hex2):
+                raise ValueError("bad %-escape '%s'" % token[i : i + 3])
+            out.append(chr(int(hex2, 16)))
+            i += 3
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _fail(path, line_no, message):
+    where = path if line_no is None else "%s:%d" % (path, line_no)
+    print("FAIL %s: %s" % (where, message))
+    return False
+
+
+def check_file(path):
+    try:
+        with open(path, "rb") as f:
+            blob = f.read()
+    except OSError as e:
+        return _fail(path, None, "unreadable: %s" % e)
+
+    newline = blob.find(b"\n")
+    if newline < 0:
+        return _fail(path, None, "no header line")
+    header = blob[:newline].decode("ascii", errors="replace").split(" ")
+    if len(header) != 3 or header[0] != "TBFCKPT1":
+        return _fail(path, None, "bad magic (expected 'TBFCKPT1 <crc> <len>')")
+    if not re.fullmatch(r"[0-9a-f]{8}", header[1]):
+        return _fail(path, None, "CRC field is not 8 hex digits: %r" % header[1])
+    declared_crc = int(header[1], 16)
+    try:
+        declared_len = int(header[2])
+    except ValueError:
+        return _fail(path, None, "payload length is not an integer")
+
+    payload = blob[newline + 1 :]
+    if len(payload) != declared_len:
+        return _fail(
+            path, None,
+            "payload length mismatch: header says %d, file has %d "
+            "(truncated write?)" % (declared_len, len(payload)),
+        )
+    actual_crc = binascii.crc32(payload) & 0xFFFFFFFF
+    if actual_crc != declared_crc:
+        return _fail(
+            path, None,
+            "CRC mismatch: header %08x, payload %08x (corrupt file)"
+            % (declared_crc, actual_crc),
+        )
+
+    seen = set()
+    ok = True
+    for line_no, raw in enumerate(payload.split(b"\n"), start=2):
+        if not raw:
+            continue
+        try:
+            tokens = raw.decode("ascii").split(" ")
+        except UnicodeDecodeError:
+            ok = _fail(path, line_no, "non-ASCII byte outside %-escaping")
+            continue
+        key = tokens[0]
+        if key not in SCHEMA:
+            ok = _fail(path, line_no, "unknown record kind '%s'" % key)
+            continue
+        low, high, doc = SCHEMA[key]
+        n = len(tokens) - 1
+        if not low <= n <= high:
+            ok = _fail(
+                path, line_no,
+                "'%s' has %d fields, wants %s (%s)"
+                % (key, n, low if low == high else "%d..%d" % (low, high), doc),
+            )
+            continue
+        try:
+            for token in tokens[1:]:
+                unescape(token)
+        except ValueError as e:
+            ok = _fail(path, line_no, "%s in '%s' record" % (e, key))
+            continue
+        if key == "lspend" and tokens[1] not in ("e", "l"):
+            ok = _fail(path, line_no, "lspend scope must be 'e' or 'l'")
+        seen.add(key)
+
+    missing = REQUIRED - seen
+    if missing:
+        ok = _fail(path, None, "missing required records: %s" % ", ".join(sorted(missing)))
+    if ok:
+        print("OK   %s (%d payload bytes, crc %08x)" % (path, declared_len, declared_crc))
+    return ok
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", help="checkpoint files")
+    parser.add_argument("--dir", help="validate every *.ckpt under this directory")
+    args = parser.parse_args(argv)
+
+    files = list(args.files)
+    if args.dir:
+        for root, _, names in os.walk(args.dir):
+            files.extend(os.path.join(root, n) for n in sorted(names) if n.endswith(".ckpt"))
+    if not files:
+        parser.error("no checkpoint files given (pass FILE... or --dir DIR)")
+
+    all_ok = all([check_file(f) for f in files])
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
