@@ -213,6 +213,41 @@ BENCHMARK(BM_InverseCdfObfuscateCode)
     ->Args({32, 2})
     ->Args({10, 8});
 
+// Timing-oblivious sampler (oblivious-vs-inverse-CDF row): constant-shape
+// schedule — depth + 2 rng words per sample no matter the truth or the
+// drawn level — with the same zero-allocation audit as the inverse-CDF
+// row: 10k samples outside the timed loop must never touch the heap.
+void BM_ObliviousObfuscateCode(benchmark::State& state) {
+  const Setup& setup = GetShapedSetup(static_cast<int>(state.range(0)),
+                                      static_cast<int>(state.range(1)));
+  Rng rng(1);
+  const LeafCode x =
+      setup.mechanism.codec()->Pack(setup.tree.leaf_of_point(0));
+
+  const size_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    benchmark::DoNotOptimize(setup.mechanism.ObfuscateCodeOblivious(x, &rng));
+  }
+  const size_t audit_allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  if (audit_allocs != 0) {
+    state.SkipWithError("ObfuscateCodeOblivious allocated on the sampling path");
+    return;
+  }
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(setup.mechanism.ObfuscateCodeOblivious(x, &rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["depth"] = setup.tree.depth();
+  state.counters["arity"] = setup.tree.arity();
+  state.counters["audit_allocs_per_10k"] = static_cast<double>(audit_allocs);
+}
+BENCHMARK(BM_ObliviousObfuscateCode)
+    ->Args({16, 4})
+    ->Args({32, 2})
+    ->Args({10, 8});
+
 // --------------------------- index churn rows ------------------------------
 // Steady-state insert/remove churn of the availability index at the fast
 // path's shape: one worker leaves a leaf, another arrives elsewhere —

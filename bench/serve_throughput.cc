@@ -34,8 +34,9 @@ struct ServeWorkload {
 
 // Framework + trace are shared across iterations and shard counts: the
 // bench measures serving, not setup. The sampler axis (0 = walk, 1 =
-// inverse-CDF) rebuilds only the framework; the trace is generated once
-// per worker count and shared by reference across sampler entries.
+// inverse-CDF, 2 = timing-oblivious) rebuilds only the framework; the
+// trace is generated once per worker count and shared by reference
+// across sampler entries.
 const EventTrace& GetTrace(int workers) {
   static std::map<int, EventTrace>* cache = new std::map<int, EventTrace>;
   auto it = cache->find(workers);
@@ -76,8 +77,9 @@ const ServeWorkload& GetWorkload(int workers, SamplerKind sampler) {
 void BM_ServeReplay(benchmark::State& state) {
   const int workers = static_cast<int>(state.range(0));
   const int shards = static_cast<int>(state.range(1));
-  const SamplerKind sampler = state.range(2) == 0 ? SamplerKind::kWalk
-                                                  : SamplerKind::kInverseCdf;
+  const SamplerKind sampler = state.range(2) == 0   ? SamplerKind::kWalk
+                              : state.range(2) == 1 ? SamplerKind::kInverseCdf
+                                                    : SamplerKind::kOblivious;
   const ServeWorkload& workload = GetWorkload(workers, sampler);
 
   ReplayOptions options;
@@ -125,7 +127,8 @@ void BM_ServeReplay(benchmark::State& state) {
   state.counters["epochs"] = static_cast<double>(epochs);
   // Comparison fields: the serve path dispatches on packed LeafCodes end to
   // end (code_native = 1 distinguishes this JSON from pre-fast-path
-  // artifacts); sampler 0 = Bernoulli walk, 1 = inverse-CDF single draw.
+  // artifacts); sampler 0 = Bernoulli walk, 1 = inverse-CDF single draw,
+  // 2 = timing-oblivious constant-shape schedule.
   state.counters["code_native"] =
       workload.framework.codec() != nullptr ? 1.0 : 0.0;
   state.counters["sampler"] = static_cast<double>(state.range(2));
@@ -140,9 +143,11 @@ BENCHMARK(BM_ServeReplay)
     ->Args({100000, 2, 0})
     ->Args({100000, 4, 0})
     ->Args({100000, 8, 0})
-    // Walk vs inverse-CDF, end to end at the 100k gate.
+    // Walk vs inverse-CDF vs oblivious, end to end at the 100k gate.
     ->Args({100000, 1, 1})
-    ->Args({100000, 8, 1});
+    ->Args({100000, 8, 1})
+    ->Args({100000, 1, 2})
+    ->Args({100000, 8, 2});
 
 }  // namespace
 }  // namespace tbf

@@ -17,23 +17,37 @@ uint64_t Mix(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+// UniformRandomBitGenerator facade over Rng::NextU64 so the std
+// distributions below consume bit-identical words to the bare engine
+// while every draw lands in draw_count().
+struct CountingBits {
+  using result_type = std::mt19937_64::result_type;
+  static constexpr result_type min() { return std::mt19937_64::min(); }
+  static constexpr result_type max() { return std::mt19937_64::max(); }
+  result_type operator()() { return rng->NextU64(); }
+  Rng* rng;
+};
+
 }  // namespace
 
 Rng::Rng(uint64_t seed) : seed_(seed), engine_(Mix(seed)) {}
 
 int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
   std::uniform_int_distribution<int64_t> dist(lo, hi);
-  return dist(engine_);
+  CountingBits bits{this};
+  return dist(bits);
 }
 
 double Rng::Normal(double mean, double stddev) {
   std::normal_distribution<double> dist(mean, stddev);
-  return dist(engine_);
+  CountingBits bits{this};
+  return dist(bits);
 }
 
 double Rng::Exponential(double rate) {
   std::exponential_distribution<double> dist(rate);
-  return dist(engine_);
+  CountingBits bits{this};
+  return dist(bits);
 }
 
 double Rng::Laplace(double scale) {

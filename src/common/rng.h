@@ -31,7 +31,7 @@ class Rng {
   /// \brief Uniform double in [0, 1).
   double Uniform01() {
     // 53-bit mantissa resolution in [0, 1).
-    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
   }
 
   /// \brief Uniform double in [lo, hi).
@@ -84,9 +84,21 @@ class Rng {
   Rng ForkAt(uint64_t index) const;
 
   /// \brief Raw 64-bit draw.
-  uint64_t NextU64() { return engine_(); }
+  uint64_t NextU64() {
+    ++draws_;
+    return engine_();
+  }
 
   uint64_t seed() const { return seed_; }
+
+  /// \brief Number of raw 64-bit engine draws consumed so far. Every
+  /// public sampling primitive funnels through this count (the std
+  /// distribution wrappers draw via a counting adapter), so deltas of
+  /// draw_count() measure exactly how many words an operation consumed —
+  /// the probe the oblivious-sampler invariance harness asserts on.
+  /// Diagnostic only: not part of SerializeState (a restored generator
+  /// continues counting from its current value).
+  uint64_t draw_count() const { return draws_; }
 
   /// \brief Serializes seed + full engine state into a printable
   /// space-separated decimal token string. RestoreState round-trips it so
@@ -100,6 +112,7 @@ class Rng {
 
  private:
   uint64_t seed_;
+  uint64_t draws_ = 0;
   std::mt19937_64 engine_;
 };
 

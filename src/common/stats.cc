@@ -67,4 +67,32 @@ double ChiSquareStatistic(const std::vector<size_t>& observed,
   return chi2;
 }
 
+double ChiSquareQuantile(double df, double z) {
+  const double a = 2.0 / (9.0 * df);
+  const double t = 1.0 - a + z * std::sqrt(a);
+  return df * t * t * t;
+}
+
+double KolmogorovSmirnovStatistic(const std::vector<double>& sorted_samples,
+                                  const std::vector<double>& cdf_of_sorted) {
+  const size_t n = sorted_samples.size();
+  if (n == 0 || cdf_of_sorted.size() != n) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  double sup = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    // Both one-sided gaps of the empirical step function around F(x_(i)).
+    const double f = cdf_of_sorted[i];
+    const double hi = static_cast<double>(i + 1) / static_cast<double>(n) - f;
+    const double lo = f - static_cast<double>(i) / static_cast<double>(n);
+    sup = std::max({sup, hi, lo});
+  }
+  return sup;
+}
+
+double KolmogorovSmirnovCritical(size_t n, double alpha) {
+  const double c = std::sqrt(-std::log(alpha / 2.0) / 2.0);
+  return c / std::sqrt(static_cast<double>(n));
+}
+
 }  // namespace tbf

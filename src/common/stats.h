@@ -44,4 +44,28 @@ double ChiSquareStatistic(const std::vector<size_t>& observed,
                           const std::vector<double>& expected_probs,
                           double min_expected = 5.0);
 
+/// \brief Standard-normal quantile of the 0.99 level (z with
+/// Phi(z) = 0.99): the tail every statistical acceptance test in the suite
+/// pins its threshold to (p > 0.01).
+inline constexpr double kNormalQuantileP99 = 2.326;
+
+/// \brief Upper quantile of the chi-square distribution with `df` degrees
+/// of freedom via the Wilson–Hilferty cube approximation; `z` is the
+/// standard-normal quantile of the target tail (kNormalQuantileP99 for
+/// p = 0.01). Accurate to a fraction of a percent for df >= 3 — plenty for
+/// accept/reject thresholds of goodness-of-fit tests.
+double ChiSquareQuantile(double df, double z = kNormalQuantileP99);
+
+/// \brief One-sample Kolmogorov–Smirnov statistic: sup_x |F_n(x) - F(x)|
+/// of `samples` against the exact CDF values `cdf_of_sorted`, which must
+/// hold F(x_(i)) for the i-th *sorted* sample. Pass the samples already
+/// sorted ascending. Returns NaN on size mismatch or empty input.
+double KolmogorovSmirnovStatistic(const std::vector<double>& sorted_samples,
+                                  const std::vector<double>& cdf_of_sorted);
+
+/// \brief Asymptotic critical value of the one-sample KS test at
+/// significance alpha: c(alpha) / sqrt(n), c = sqrt(-ln(alpha / 2) / 2).
+/// Valid for n >= ~35; all suite uses are n >= 10^4.
+double KolmogorovSmirnovCritical(size_t n, double alpha = 0.01);
+
 }  // namespace tbf

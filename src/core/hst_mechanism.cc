@@ -105,6 +105,8 @@ Result<HstMechanism> HstMechanism::Build(const CompleteHst& tree, double epsilon
       obs::LabeledName("tbf_mechanism_draws_total", "sampler", "walk"));
   m.draws_inverse_cdf_ = metrics->FindOrCreateCounter(
       obs::LabeledName("tbf_mechanism_draws_total", "sampler", "inverse_cdf"));
+  m.draws_oblivious_ = metrics->FindOrCreateCounter(
+      obs::LabeledName("tbf_mechanism_draws_total", "sampler", "oblivious"));
   m.draws_naive_ = metrics->FindOrCreateCounter(
       obs::LabeledName("tbf_mechanism_draws_total", "sampler", "naive"));
   return m;
@@ -137,6 +139,28 @@ inline int RemapWord(uint64_t word, int m) {
   return static_cast<int>(
       (static_cast<unsigned __int128>(word) * static_cast<uint64_t>(m)) >> 64);
 }
+
+// All-ones when `c` is true, zero otherwise — the select primitive of the
+// oblivious descent (no data-dependent branch, no cmov dependence on the
+// compiler's mood).
+inline uint64_t MaskAll(bool c) { return -static_cast<uint64_t>(c); }
+
+// Probe hooks of the oblivious sampler. NoProbe compiles to nothing, so
+// the serving instantiation carries zero instrumentation cost.
+struct NoProbe {
+  void LevelScanIter() {}
+  void DescentIter() {}
+  void SelectOp() {}
+  void RngWord() {}
+};
+
+struct TallyProbe {
+  ObliviousTally* tally;
+  void LevelScanIter() { ++tally->level_scan_iters; }
+  void DescentIter() { ++tally->descent_iters; }
+  void SelectOp() { ++tally->select_ops; }
+  void RngWord() { ++tally->rng_words; }
+};
 
 }  // namespace
 
@@ -182,6 +206,78 @@ LeafCode HstMechanism::ObfuscateCode(LeafCode truth, Rng* rng) const {
         out, pos, static_cast<int>(rng->UniformInt(0, arity_ - 1)));
   }
   return out;
+}
+
+template <typename Probe>
+LeafCode HstMechanism::ObfuscateCodeObliviousImpl(LeafCode truth, Rng* rng,
+                                                  Probe probe) const {
+  TBF_CHECK(codec_) << "tree shape exceeds packed-code capacity";
+  // Word 1: the turn level, by a full scan of the cumulative level table.
+  // Unlike TurnLevelFromUniform there is no guide-table shortcut and no
+  // early exit — every call executes exactly depth_ compare-accumulate
+  // steps, and the comparison feeds an integer add instead of a branch.
+  // The result is identical (the scan counts the levels whose cum <= u,
+  // which IS the smallest index with cum > u for a nondecreasing table).
+  const double u = rng->Uniform01();
+  probe.RngWord();
+  const double* cum = cum_level_prob_.data();
+  int level = 0;
+  for (int k = 0; k < depth_; ++k) {
+    level += static_cast<int>(cum[k] <= u);
+    probe.LevelScanIter();
+  }
+
+  // Word 2: the first rewritten digit. Uniform over [0, arity - 1) by
+  // Lemire-style bounded reduction of one full word (rejection-free for
+  // every arity — this replaces the odd-arity UniformInt fallback of the
+  // inverse-CDF path), with the != truth constraint folded in by the
+  // arithmetic shift past the true digit. At level == 0 the pick is
+  // computed against the clamped position depth_ - 1 and then masked away
+  // below; the draw happens regardless so the word count never moves.
+  const int first = depth_ - level;  // == depth_ when the walk turns at x
+  const int old_pos = first - static_cast<int>(first == depth_);
+  const int old_digit = codec_->Digit(truth, old_pos);
+  const uint64_t pick_word = rng->NextU64();
+  probe.RngWord();
+  int pick = RemapWord(pick_word, arity_ - 1);
+  pick += static_cast<int>(pick >= old_digit);
+
+  // Words 3 .. depth_ + 2: branchless constant-shape descent. Every digit
+  // position draws one word and resolves through the same three-way mask
+  // select — keep the truth digit above the turn, the pick at the turn,
+  // a fresh uniform digit below it — so positions that keep the truth
+  // digit cost exactly what rewritten positions cost. first == depth_
+  // makes every position a "keep", which returns the truth itself
+  // through the identical schedule.
+  const int bits = codec_->bits_per_digit();
+  uint64_t acc = 0;
+  for (int pos = 0; pos < depth_; ++pos) {
+    const uint64_t word = rng->NextU64();
+    probe.RngWord();
+    const int uniform_digit = RemapWord(word, arity_);
+    const int keep_digit = codec_->Digit(truth, pos);
+    const uint64_t keep_mask = MaskAll(pos < first);
+    const uint64_t pick_mask = MaskAll(pos == first);
+    const int digit = static_cast<int>(
+        (static_cast<uint64_t>(keep_digit) & keep_mask) |
+        (static_cast<uint64_t>(pick) & pick_mask) |
+        (static_cast<uint64_t>(uniform_digit) & ~(keep_mask | pick_mask)));
+    acc = (acc << bits) | static_cast<uint64_t>(digit);
+    probe.DescentIter();
+    probe.SelectOp();
+  }
+  return acc << (64 - bits * depth_);
+}
+
+LeafCode HstMechanism::ObfuscateCodeOblivious(LeafCode truth, Rng* rng) const {
+  draws_oblivious_->Add(1);
+  return ObfuscateCodeObliviousImpl(truth, rng, NoProbe{});
+}
+
+LeafCode HstMechanism::ObfuscateCodeOblivious(LeafCode truth, Rng* rng,
+                                              ObliviousTally* tally) const {
+  draws_oblivious_->Add(1);
+  return ObfuscateCodeObliviousImpl(truth, rng, TallyProbe{tally});
 }
 
 LeafCode HstMechanism::ObfuscateCodeWalk(LeafCode truth, Rng* rng) const {

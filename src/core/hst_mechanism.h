@@ -47,6 +47,33 @@ enum class SamplerKind {
   /// Single-draw inverse-CDF over the level marginal on packed codes —
   /// same distribution, O(1) rng draws per sample (chi-square verified).
   kInverseCdf,
+  /// Timing-oblivious sampler: same distribution again, but every sample
+  /// consumes exactly depth + 2 rng words and executes an identical
+  /// fixed-trip-count instruction schedule no matter which leaf is the
+  /// truth or which level is drawn, so neither wall-clock nor trip counts
+  /// leak the secret (tests/privacy/oblivious_invariance_test.cc).
+  kOblivious,
+};
+
+/// \brief Executed-operation tally of one ObfuscateCodeOblivious call,
+/// filled by the probed overload. The invariance harness asserts these
+/// are identical across every possible true leaf of a fixed tree shape —
+/// together with the Rng draw_count() delta this is the machine-checkable
+/// statement of the sampler's obliviousness.
+struct ObliviousTally {
+  uint64_t level_scan_iters = 0;  ///< full-cumulative-table scan steps
+  uint64_t descent_iters = 0;     ///< digit positions rewritten/kept
+  uint64_t select_ops = 0;        ///< branchless three-way digit selects
+  uint64_t rng_words = 0;         ///< 64-bit words consumed
+
+  friend bool operator==(const ObliviousTally& a, const ObliviousTally& b) {
+    return a.level_scan_iters == b.level_scan_iters &&
+           a.descent_iters == b.descent_iters &&
+           a.select_ops == b.select_ops && a.rng_words == b.rng_words;
+  }
+  friend bool operator!=(const ObliviousTally& a, const ObliviousTally& b) {
+    return !(a == b);
+  }
 };
 
 /// \brief eps-Geo-I mechanism over the leaves of a complete c-ary HST.
@@ -81,10 +108,36 @@ class HstMechanism final : public LeafMechanism {
   /// reference identity the serve pipeline leans on. Requires codec().
   LeafCode ObfuscateCodeWalk(LeafCode truth, Rng* rng) const;
 
-  /// \brief Dispatches to ObfuscateCodeWalk or ObfuscateCode by `kind`.
+  /// \brief Timing-oblivious sampler on packed codes: the same exact
+  /// distribution as ObfuscateCode, drawn through a schedule whose trip
+  /// counts, rng-word consumption (exactly depth + 2 words) and executed
+  /// operations are independent of the true leaf AND of the level drawn:
+  /// the level comes from a full-table scan with no early exit, the
+  /// first rewritten digit folds the != truth constraint in arithmetically
+  /// (rejection-free Lemire-style bounded reduction, all arities), and the
+  /// descent writes every digit position through branchless mask selects.
+  /// An observer timing the call, counting its branches or tracing its rng
+  /// learns nothing beyond the tree shape. Requires codec() (CHECKed).
+  LeafCode ObfuscateCodeOblivious(LeafCode truth, Rng* rng) const;
+
+  /// \brief Instrumented variant filling `tally` with the executed
+  /// operation counts (identical draws and outputs to the plain overload
+  /// for the same rng state; the probe is compiled separately so the
+  /// serving path pays nothing for it).
+  LeafCode ObfuscateCodeOblivious(LeafCode truth, Rng* rng,
+                                  ObliviousTally* tally) const;
+
+  /// \brief Dispatches to the sampler selected by `kind`.
   LeafCode ObfuscateCodeWith(LeafCode truth, Rng* rng, SamplerKind kind) const {
-    return kind == SamplerKind::kWalk ? ObfuscateCodeWalk(truth, rng)
-                                      : ObfuscateCode(truth, rng);
+    switch (kind) {
+      case SamplerKind::kWalk:
+        return ObfuscateCodeWalk(truth, rng);
+      case SamplerKind::kInverseCdf:
+        return ObfuscateCode(truth, rng);
+      case SamplerKind::kOblivious:
+        return ObfuscateCodeOblivious(truth, rng);
+    }
+    return ObfuscateCodeWalk(truth, rng);  // unreachable
   }
 
   /// \brief Algorithm 2: enumerate-all-leaves sampling, O(c^D).
@@ -150,6 +203,12 @@ class HstMechanism final : public LeafMechanism {
   // Turn level of the fast sampler: smallest k with cum_level_prob_[k] > u.
   int TurnLevelFromUniform(double u) const;
 
+  // Shared body of the oblivious sampler; Probe is either a no-op (plain
+  // overload) or an ObliviousTally recorder (probed overload).
+  template <typename Probe>
+  LeafCode ObfuscateCodeObliviousImpl(LeafCode truth, Rng* rng,
+                                      Probe probe) const;
+
   int depth_ = 0;
   int arity_ = 2;
   bool pow2_arity_ = false;
@@ -170,6 +229,7 @@ class HstMechanism final : public LeafMechanism {
   // sample, compiled out under TBF_METRICS_DISABLED.
   obs::Counter* draws_walk_ = nullptr;
   obs::Counter* draws_inverse_cdf_ = nullptr;
+  obs::Counter* draws_oblivious_ = nullptr;
   obs::Counter* draws_naive_ = nullptr;
 };
 

@@ -17,17 +17,19 @@ Result<TbfFramework> TbfFramework::Build(std::vector<Point> predefined_points,
                        HstMechanism::Build(*framework.tree_, options.epsilon));
   framework.mechanism_ = std::make_shared<const HstMechanism>(std::move(mechanism));
   framework.sampler_ = options.sampler;
-  if (options.sampler == SamplerKind::kInverseCdf &&
+  if (options.sampler != SamplerKind::kWalk &&
       framework.tree_->codec() == nullptr) {
     return Status::InvalidArgument(
-        "inverse-CDF sampler requires a tree shape that fits packed codes");
+        "inverse-CDF/oblivious samplers require a tree shape that fits "
+        "packed codes");
   }
   return framework;
 }
 
 std::vector<LeafPath> TbfFramework::ObfuscateBatch(
     const std::vector<Point>& locations, const Rng& stream, ThreadPool* pool,
-    BatchStageTimings* timings, uint64_t fork_offset) const {
+    BatchStageTimings* timings, uint64_t fork_offset,
+    std::optional<SamplerKind> sampler_override) const {
   const size_t n = locations.size();
   // Stage 1: nearest-predefined-point mapping (pure reads of the kd-tree).
   std::vector<const LeafPath*> mapped(n, nullptr);
@@ -40,15 +42,18 @@ std::vector<LeafPath> TbfFramework::ObfuscateBatch(
   // Stage 2: mechanism draws, one ForkAt stream per item.
   std::vector<LeafPath> reported(n);
   timer.Restart();
-  const bool fast = sampler_ == SamplerKind::kInverseCdf;
+  const SamplerKind kind = sampler_override.value_or(sampler_);
+  const bool packed = kind != SamplerKind::kWalk;
   const LeafCodec* codec = tree_->codec();
+  TBF_CHECK(!packed || codec != nullptr)
+      << "non-walk samplers require a tree shape that fits packed codes";
   pool->ParallelFor(n, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       Rng item_rng = stream.ForkAt(fork_offset + i);
       reported[i] =
-          fast ? codec->Unpack(mechanism_->ObfuscateCode(
-                     codec->Pack(*mapped[i]), &item_rng))
-               : mechanism_->Obfuscate(*mapped[i], &item_rng);
+          packed ? codec->Unpack(mechanism_->ObfuscateCodeWith(
+                       codec->Pack(*mapped[i]), &item_rng, kind))
+                 : mechanism_->Obfuscate(*mapped[i], &item_rng);
     }
   });
   if (timings) timings->obfuscate_seconds += timer.ElapsedSeconds();
@@ -57,7 +62,8 @@ std::vector<LeafPath> TbfFramework::ObfuscateBatch(
 
 std::vector<LeafCode> TbfFramework::ObfuscateCodes(
     const std::vector<Point>& locations, const Rng& stream, ThreadPool* pool,
-    BatchStageTimings* timings, uint64_t fork_offset) const {
+    BatchStageTimings* timings, uint64_t fork_offset,
+    std::optional<SamplerKind> sampler_override) const {
   TBF_CHECK(tree_->codec() != nullptr)
       << "tree shape exceeds packed-code capacity";
   const size_t n = locations.size();
@@ -77,7 +83,7 @@ std::vector<LeafCode> TbfFramework::ObfuscateCodes(
   // the two pipelines report the same leaves.
   std::vector<LeafCode> reported(n);
   timer.Restart();
-  const SamplerKind kind = sampler_;
+  const SamplerKind kind = sampler_override.value_or(sampler_);
   pool->ParallelFor(n, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       Rng item_rng = stream.ForkAt(fork_offset + i);

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/result.h"
@@ -34,7 +35,10 @@ struct TbfOptions {
   /// Sampler driving the batched/serving obfuscation paths. kWalk (the
   /// default) keeps every existing draw sequence bit-identical; kInverseCdf
   /// draws the same distribution in O(1) rng calls per sample
-  /// (HstMechanism::ObfuscateCode).
+  /// (HstMechanism::ObfuscateCode); kOblivious draws it through a
+  /// constant-shape schedule whose timing and trip counts are independent
+  /// of the true leaf (HstMechanism::ObfuscateCodeOblivious). The non-walk
+  /// samplers require a tree shape that fits packed codes.
   SamplerKind sampler = SamplerKind::kWalk;
 
   /// Algorithm-1 options (beta, normalization).
@@ -87,20 +91,23 @@ class TbfFramework {
   /// obfuscates per epoch) gets results independent of where the cuts
   /// fall by passing the number of items already obfuscated as the
   /// offset. `timings`, when given, accumulates the per-stage wall clock.
-  std::vector<LeafPath> ObfuscateBatch(const std::vector<Point>& locations,
-                                       const Rng& stream, ThreadPool* pool,
-                                       BatchStageTimings* timings = nullptr,
-                                       uint64_t fork_offset = 0) const;
+  /// `sampler_override` replaces TbfOptions::sampler for this batch only
+  /// (the replay loop plumbs its per-run sampler through here); a
+  /// non-walk override requires codec() != nullptr (CHECKed).
+  std::vector<LeafPath> ObfuscateBatch(
+      const std::vector<Point>& locations, const Rng& stream, ThreadPool* pool,
+      BatchStageTimings* timings = nullptr, uint64_t fork_offset = 0,
+      std::optional<SamplerKind> sampler_override = std::nullopt) const;
 
-  /// \brief Code-native batch reporting: identical fork/determinism
-  /// contract to ObfuscateBatch, but maps to precomputed leaf codes and
-  /// samples in the packed domain — no LeafPath is materialized for any
-  /// item. With the default kWalk sampler, element i is exactly
+  /// \brief Code-native batch reporting: identical fork/determinism and
+  /// override contract to ObfuscateBatch, but maps to precomputed leaf
+  /// codes and samples in the packed domain — no LeafPath is materialized
+  /// for any item. With the default kWalk sampler, element i is exactly
   /// codec()->Pack(ObfuscateBatch(...)[i]). Requires codec() != nullptr.
-  std::vector<LeafCode> ObfuscateCodes(const std::vector<Point>& locations,
-                                       const Rng& stream, ThreadPool* pool,
-                                       BatchStageTimings* timings = nullptr,
-                                       uint64_t fork_offset = 0) const;
+  std::vector<LeafCode> ObfuscateCodes(
+      const std::vector<Point>& locations, const Rng& stream, ThreadPool* pool,
+      BatchStageTimings* timings = nullptr, uint64_t fork_offset = 0,
+      std::optional<SamplerKind> sampler_override = std::nullopt) const;
 
   /// \brief Codec of the published tree's packed leaf addressing, or
   /// nullptr when the shape exceeds 64 bits.

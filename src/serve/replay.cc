@@ -188,6 +188,12 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
   // same draws, just heavier reports.
   const LeafCodec* codec = framework.codec();
   const bool packed = codec != nullptr;
+  if (!packed && options.sampler.has_value() &&
+      *options.sampler != SamplerKind::kWalk) {
+    return Status::InvalidArgument(
+        "ReplayOptions::sampler: non-walk samplers require a tree shape "
+        "that fits packed codes");
+  }
   uint64_t arrivals_obfuscated = 0;  // global ForkAt offset
   int next_task_slot = 0;
   size_t begin = 0;
@@ -368,11 +374,15 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
     {
       obs::ScopedTimer obf_timer(&stats.obfuscate_seconds);
       if (packed) {
-        code_reports = framework.ObfuscateCodes(
-            locations, obfuscation_stream, &pool, nullptr, arrivals_obfuscated);
+        code_reports =
+            framework.ObfuscateCodes(locations, obfuscation_stream, &pool,
+                                     nullptr, arrivals_obfuscated,
+                                     options.sampler);
       } else {
-        path_reports = framework.ObfuscateBatch(
-            locations, obfuscation_stream, &pool, nullptr, arrivals_obfuscated);
+        path_reports =
+            framework.ObfuscateBatch(locations, obfuscation_stream, &pool,
+                                     nullptr, arrivals_obfuscated,
+                                     options.sampler);
       }
     }
     arrivals_obfuscated += locations.size();

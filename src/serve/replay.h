@@ -92,6 +92,15 @@ struct ReplayOptions {
   /// Seed of the client-side obfuscation stream.
   uint64_t obfuscation_seed = 11;
 
+  /// Mechanism sampler for the client-side obfuscation pass; nullopt uses
+  /// the framework's configured sampler (TbfOptions::sampler). A non-walk
+  /// sampler (kInverseCdf, or the timing-oblivious kOblivious) requires a
+  /// tree shape that fits packed codes. Like the seeds, the sampler is
+  /// part of a run's identity: resuming a checkpointed run with a
+  /// different sampler changes the obfuscation draw stream and is on the
+  /// caller, exactly as rebuilding the framework differently would be.
+  std::optional<SamplerKind> sampler;
+
   /// Poison-event handling (see PoisonPolicy).
   PoisonPolicy poison_policy = PoisonPolicy::kFail;
 

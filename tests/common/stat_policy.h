@@ -1,0 +1,70 @@
+// Seed policy of the statistical acceptance tests.
+//
+// Every chi-square / KS / moment test in the suite draws from a NAMED seed
+// written literally at the call site, so a failure reproduces bit-for-bit
+// on any machine. But a correct statistical test at significance p = 0.01
+// still fails ~1% of fresh seeds by design, so a hardcoded seed that
+// happens to land in the rejection tail would fail *deterministically* —
+// worse than flaky. The suite-wide policy, implemented by
+// ExpectStatistical below:
+//
+//   1. Run the check at the named primary seed. Pass => done (the normal
+//      path; primary seeds are chosen once and land in the acceptance
+//      region for the committed implementation).
+//   2. On failure, retry EXACTLY ONCE at the named retry seed (a
+//      different literal, equally reproducible). Pass => the test passes
+//      but prints the primary-seed statistic — a signal to re-pin the
+//      primary seed in a follow-up, not an error.
+//   3. Fail at both named seeds => the test fails. Two independent
+//      rejections at p = 0.01 happen by chance once in 10^4 runs; in
+//      practice it means the sampled distribution is wrong.
+//
+// Never retry in a loop, never derive seeds from time or process state:
+// the two-literal budget keeps the false-pass probability negligible
+// (a broken sampler must beat p = 0.01 twice) while removing the
+// deterministic-tail failure mode entirely.
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace tbf {
+namespace testing {
+
+/// \brief One statistical check under the suite's retry-once seed policy.
+///
+/// `trial(seed)` runs the whole measurement (sampling + statistic +
+/// threshold comparison) at that seed and returns a human-readable failure
+/// description, or the empty string on pass. `what` names the check in
+/// diagnostics.
+inline void ExpectStatistical(
+    const std::string& what, uint64_t primary_seed, uint64_t retry_seed,
+    const std::function<std::string(uint64_t)>& trial) {
+  const std::string primary_failure = trial(primary_seed);
+  if (primary_failure.empty()) return;
+
+  std::ostringstream note;
+  note << what << ": primary seed " << primary_seed
+       << " landed in the rejection tail (" << primary_failure
+       << "); retrying once at named seed " << retry_seed
+       << " per tests/common/stat_policy.h";
+  // Surface the tail event in the test output and the XML/JSON report so
+  // a follow-up can re-pin the primary seed, without failing the build.
+  std::cerr << "[  STAT    ] " << note.str() << "\n";
+  ::testing::Test::RecordProperty("stat_retry", note.str());
+
+  const std::string retry_failure = trial(retry_seed);
+  EXPECT_TRUE(retry_failure.empty())
+      << what << " rejected at BOTH named seeds — primary " << primary_seed
+      << ": " << primary_failure << "; retry " << retry_seed << ": "
+      << retry_failure
+      << ". Two independent p=0.01 rejections: the distribution is wrong.";
+}
+
+}  // namespace testing
+}  // namespace tbf

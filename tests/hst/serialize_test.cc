@@ -50,6 +50,50 @@ TEST(SerializeTest, RoundTripPreservesDistancesAndMapping) {
   EXPECT_EQ(parsed->MapToNearestPoint(query), original.MapToNearestPoint(query));
 }
 
+TEST(SerializeTest, RoundTripPreservesPackedCodeDomain) {
+  // The serve path runs entirely on packed LeafCodes, so publication must
+  // preserve the packed domain bit for bit: a client that parses the
+  // published tree has to compute the SAME codes the server computed, or
+  // every code-keyed exchange (reports, availability lookups, shard
+  // routing) silently desynchronizes. Checks codec shape, every
+  // precomputed leaf_code_of_point, the code-keyed point_of_leaf inverse,
+  // and the end-to-end MapToNearestLeafCode client mapping.
+  CompleteHst original = BuildTree(19, 6);
+  auto parsed = ParseCompleteHst(SerializeCompleteHst(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+  const LeafCodec* original_codec = original.codec();
+  const LeafCodec* parsed_codec = parsed->codec();
+  ASSERT_NE(original_codec, nullptr);
+  ASSERT_NE(parsed_codec, nullptr);
+  EXPECT_EQ(parsed_codec->depth(), original_codec->depth());
+  EXPECT_EQ(parsed_codec->arity(), original_codec->arity());
+  EXPECT_EQ(parsed_codec->bits_per_digit(), original_codec->bits_per_digit());
+
+  for (int p = 0; p < original.num_points(); ++p) {
+    const LeafCode code = original.leaf_code_of_point(p);
+    EXPECT_EQ(parsed->leaf_code_of_point(p), code) << "point " << p;
+    // Code-keyed inverse lookup agrees across the round trip...
+    ASSERT_TRUE(parsed->point_of_leaf(code).has_value()) << "point " << p;
+    EXPECT_EQ(*parsed->point_of_leaf(code), p);
+    // ...and with the LeafPath-keyed lookup on the same tree.
+    EXPECT_EQ(parsed->point_of_leaf(parsed->leaf_of_point(p)),
+              parsed->point_of_leaf(code));
+    // Pack/Unpack through the parsed codec reproduces the published path.
+    EXPECT_EQ(parsed_codec->Pack(original.leaf_of_point(p)), code);
+    EXPECT_EQ(parsed_codec->Unpack(code), original.leaf_of_point(p));
+  }
+
+  // Client-side mapping: arbitrary query locations map to the same packed
+  // code on both trees.
+  Rng rng(23);
+  for (int i = 0; i < 200; ++i) {
+    const Point query{rng.Uniform(-10, 110), rng.Uniform(-10, 110)};
+    EXPECT_EQ(parsed->MapToNearestLeafCode(query),
+              original.MapToNearestLeafCode(query));
+  }
+}
+
 TEST(SerializeTest, HeaderFormat) {
   CompleteHst tree = BuildTree();
   std::string text = SerializeCompleteHst(tree);

@@ -5,8 +5,10 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <sstream>
 
 #include "common/math.h"
+#include "common/stat_policy.h"
 #include "common/stats.h"
 #include "geo/grid.h"
 #include "privacy/geo_check.h"
@@ -52,24 +54,55 @@ TEST(DiscreteExponentialTest, CloserOutputsMoreLikely) {
   EXPECT_GT(m.LogProbability(0, 1), m.LogProbability(0, 15));
 }
 
-TEST(DiscreteExponentialTest, SamplesMatchExactDistribution) {
-  DiscreteExponentialMechanism m(SmallGrid(), 0.3);
-  Rng rng(5);
-  const Point truth = m.candidates()[5];
+// One full-distribution chi-square run of Obfuscate against the exact
+// exp(LogProbability) law from `truth` (snapped to candidate `snap_id`);
+// "" on pass, diagnostic on rejection.
+std::string ExponentialChiSquareTrial(double eps, const Point& truth,
+                                      int snap_id, int n, uint64_t seed) {
+  DiscreteExponentialMechanism m(SmallGrid(), eps);
+  EXPECT_EQ(m.NearestCandidate(truth), snap_id);
+  Rng rng(seed);
   std::map<Point, size_t, bool (*)(const Point&, const Point&)> counts(
       [](const Point& a, const Point& b) {
         return a.x != b.x ? a.x < b.x : a.y < b.y;
       });
-  const int n = 100000;
   for (int i = 0; i < n; ++i) ++counts[m.Obfuscate(truth, &rng)];
   std::vector<size_t> observed;
   std::vector<double> expected;
   for (size_t z = 0; z < m.candidates().size(); ++z) {
     observed.push_back(counts[m.candidates()[z]]);
-    expected.push_back(std::exp(m.LogProbability(5, static_cast<int>(z))));
+    expected.push_back(
+        std::exp(m.LogProbability(snap_id, static_cast<int>(z))));
+    EXPECT_GE(n * expected.back(), 5.0) << "cell would be pooled";
   }
-  // 15 df, 0.999 quantile ~ 37.7; generous headroom.
-  EXPECT_LT(ChiSquareStatistic(observed, expected), 60.0);
+  const double chi2 = ChiSquareStatistic(observed, expected);
+  const double df = static_cast<double>(m.candidates().size()) - 1.0;
+  const double threshold = ChiSquareQuantile(df);
+  if (chi2 < threshold) return "";
+  std::ostringstream failure;
+  failure << "chi2=" << chi2 << " > " << threshold << " at df=" << df;
+  return failure.str();
+}
+
+TEST(DiscreteExponentialTest, SamplesMatchExactDistribution) {
+  // Wilson–Hilferty p > 0.01 threshold at 15 df, named seeds per
+  // tests/common/stat_policy.h (replaces the historical fixed bound of 60,
+  // which accepted distributions off by several sigma).
+  tbf::testing::ExpectStatistical(
+      "discrete exponential vs exp(LogProbability), candidate truth",
+      /*primary_seed=*/5, /*retry_seed=*/6163, [](uint64_t seed) {
+        return ExponentialChiSquareTrial(0.3, {10.0, 10.0}, 5, 100000, seed);
+      });
+}
+
+TEST(DiscreteExponentialTest, SamplesMatchExactDistributionOffGridTruth) {
+  // An off-candidate truth must first snap, then sample the snapped law
+  // exactly — the end-to-end path every caller uses.
+  tbf::testing::ExpectStatistical(
+      "discrete exponential vs exp(LogProbability), off-grid truth",
+      /*primary_seed=*/20260814, /*retry_seed=*/7247, [](uint64_t seed) {
+        return ExponentialChiSquareTrial(0.15, {28.0, 1.0}, 12, 100000, seed);
+      });
 }
 
 TEST(DiscreteExponentialTest, GeoIndistinguishabilityExact) {

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Line-coverage ratchet for the library sources (stdlib-only, gcov-based).
+
+Runs `gcov --json-format` over every .gcda the instrumented test run left
+in the build tree (CMake -DTBF_COVERAGE=ON + ctest), aggregates executed /
+instrumented line counts for files under src/, and fails when overall
+line coverage drops below the floor recorded in tools/coverage_floor.txt.
+The floor is a RATCHET: raise it when coverage durably improves, never
+lower it to make a PR pass — a drop means the change shipped untested
+lines, so add tests or shrink the change.
+
+A line counts as covered when ANY translation unit executed it (the same
+source line is instrumented separately by every TU that inlines it, so
+counts are merged with max before the roll-up).
+
+Usage: tools/check_coverage.py BUILD_DIR [--floor-file tools/coverage_floor.txt]
+       [--report-out coverage_report.txt] [--source-prefix src/]
+
+Exit codes: 0 coverage >= floor, 1 below floor or no data, 2 bad usage.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+
+def find_gcda(build_dir: Path):
+    return sorted(build_dir.rglob("*.gcda"))
+
+
+def run_gcov(gcda: Path, build_dir: Path):
+    """One gcov invocation; returns the parsed JSON documents (one per
+    source file gcov reports on), or [] when gcov fails on this unit."""
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", str(gcda.resolve())],
+        cwd=build_dir,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        print(f"warning: gcov failed on {gcda}: {proc.stderr.strip()}",
+              file=sys.stderr)
+        return []
+    docs = []
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            docs.append(json.loads(line))
+        except json.JSONDecodeError as err:
+            print(f"warning: unparseable gcov output for {gcda}: {err}",
+                  file=sys.stderr)
+    return docs
+
+
+def relative_source(path: str, repo_root: Path, prefix: str):
+    """Repo-relative path when `path` is a repo source under `prefix`,
+    else None (system headers, gtest, build-dir artifacts)."""
+    p = Path(path)
+    if not p.is_absolute():
+        # gcov emits paths relative to its cwd for in-tree sources.
+        p = (repo_root / p).resolve()
+    try:
+        rel = p.resolve().relative_to(repo_root.resolve())
+    except ValueError:
+        return None
+    rel_str = rel.as_posix()
+    return rel_str if rel_str.startswith(prefix) else None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("build_dir", type=Path)
+    parser.add_argument("--floor-file", type=Path,
+                        default=Path("tools/coverage_floor.txt"))
+    parser.add_argument("--report-out", type=Path, default=None)
+    parser.add_argument("--source-prefix", default="src/")
+    args = parser.parse_args()
+
+    if not args.build_dir.is_dir():
+        print(f"error: build dir {args.build_dir} not found", file=sys.stderr)
+        return 2
+    try:
+        floor = float(args.floor_file.read_text().split()[0])
+    except (OSError, ValueError, IndexError) as err:
+        print(f"error: cannot read floor from {args.floor_file}: {err}",
+              file=sys.stderr)
+        return 2
+
+    repo_root = args.floor_file.resolve().parent.parent
+    gcda_files = find_gcda(args.build_dir)
+    if not gcda_files:
+        print("error: no .gcda files found — build with -DTBF_COVERAGE=ON "
+              "and run the tests first", file=sys.stderr)
+        return 1
+
+    # (file, line) -> max execution count across all TUs.
+    line_counts = {}
+    for gcda in gcda_files:
+        for doc in run_gcov(gcda, args.build_dir):
+            for file_entry in doc.get("files", []):
+                rel = relative_source(file_entry.get("file", ""), repo_root,
+                                      args.source_prefix)
+                if rel is None:
+                    continue
+                for line in file_entry.get("lines", []):
+                    key = (rel, line["line_number"])
+                    count = line.get("count", 0)
+                    if count > line_counts.get(key, -1):
+                        line_counts[key] = count
+
+    if not line_counts:
+        print("error: gcov reported no instrumented lines under "
+              f"{args.source_prefix}", file=sys.stderr)
+        return 1
+
+    per_file = {}
+    for (rel, _), count in line_counts.items():
+        covered, total = per_file.get(rel, (0, 0))
+        per_file[rel] = (covered + (1 if count > 0 else 0), total + 1)
+
+    covered = sum(c for c, _ in per_file.values())
+    total = sum(t for _, t in per_file.values())
+    percent = 100.0 * covered / total
+
+    lines = [f"line coverage: {percent:.2f}% ({covered}/{total} lines, "
+             f"{len(per_file)} files, floor {floor:.2f}%)", ""]
+    for rel in sorted(per_file):
+        file_covered, file_total = per_file[rel]
+        lines.append(f"{100.0 * file_covered / file_total:6.2f}%  "
+                     f"{file_covered:5d}/{file_total:<5d}  {rel}")
+    report = "\n".join(lines) + "\n"
+    print(report, end="")
+    if args.report_out:
+        args.report_out.write_text(report)
+
+    if percent < floor:
+        print(f"FAIL: coverage {percent:.2f}% is below the ratchet floor "
+              f"{floor:.2f}% ({args.floor_file}). Add tests for the new "
+              "lines (do not lower the floor).", file=sys.stderr)
+        return 1
+    print(f"OK: coverage {percent:.2f}% >= floor {floor:.2f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
