@@ -23,6 +23,7 @@
 #include "geo/grid.h"
 #include "geo/rank_index.h"
 #include "hst/complete_hst.h"
+#include "hst/snapshot.h"
 
 // Global allocation counter feeding the zero-allocation assertions below
 // (same idiom as micro_mechanism.cc): replacing operator new counts every
@@ -124,6 +125,62 @@ void BM_CompleteHstBuild(benchmark::State& state) {
   state.counters["N"] = static_cast<double>(points.size());
 }
 BENCHMARK(BM_CompleteHstBuild)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+// One shared CompleteHst per size for the snapshot rows (building the
+// 100k tree once is the whole point — the rows measure the alternative).
+const CompleteHst& GetTree(int count) {
+  static std::map<int, CompleteHst>* cache = new std::map<int, CompleteHst>();
+  auto it = cache->find(count);
+  if (it == cache->end()) {
+    EuclideanMetric metric;
+    Rng rng(13);
+    auto tree = CompleteHst::BuildFromPoints(GetPoints(count), metric, &rng);
+    it = cache->emplace(count, std::move(tree).MoveValueUnsafe()).first;
+  }
+  return it->second;
+}
+
+void BM_HstSnapshotSerialize(benchmark::State& state) {
+  const CompleteHst& tree = GetTree(static_cast<int>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string blob = SerializeHstSnapshot(tree);
+    bytes = blob.size();
+    benchmark::DoNotOptimize(blob);
+  }
+  state.counters["N"] = static_cast<double>(tree.num_points());
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_HstSnapshotSerialize)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+// The restart path: loading the published tree from its snapshot instead
+// of rebuilding. Pair this row with BM_CompleteHstBuild at the same N —
+// the acceptance bar is >= 20x faster at N = 100k (the parse only
+// re-validates and rebuilds the leaf-lookup tables; the nearest-point
+// mapper is lazy and first paid by the first MapToNearest* call).
+void BM_HstSnapshotParse(benchmark::State& state) {
+  const CompleteHst& tree = GetTree(static_cast<int>(state.range(0)));
+  const std::string blob = SerializeHstSnapshot(tree);
+  for (auto _ : state) {
+    auto parsed = ParseHstSnapshot(blob);
+    if (!parsed.ok()) {
+      state.SkipWithError("snapshot parse failed");
+      return;
+    }
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.counters["N"] = static_cast<double>(tree.num_points());
+  state.counters["bytes"] = static_cast<double>(blob.size());
+}
+BENCHMARK(BM_HstSnapshotParse)
     ->Arg(1024)
     ->Arg(16384)
     ->Arg(100000)

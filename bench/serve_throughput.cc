@@ -21,6 +21,7 @@
 #include "bench/json_main.h"
 #include "core/tbf.h"
 #include "geo/grid.h"
+#include "hst/snapshot.h"
 #include "serve/replay.h"
 #include "workload/synthetic.h"
 
@@ -133,6 +134,61 @@ void BM_ServeReplay(benchmark::State& state) {
       workload.framework.codec() != nullptr ? 1.0 : 0.0;
   state.counters["sampler"] = static_cast<double>(state.range(2));
 }
+
+// Republish under load: the same replay with three live tree swaps
+// (bit-identical snapshot copies) spread across the run. The delta
+// against the matching BM_ServeReplay row is the whole cost of
+// zero-downtime republication — re-keying every live worker and
+// rebuilding the shard indexes three times, with zero dropped events
+// (assigned/unassigned must equal the swap-free row).
+void BM_ServeReplayWithRepublish(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const int shards = static_cast<int>(state.range(1));
+  const ServeWorkload& workload = GetWorkload(workers, SamplerKind::kWalk);
+
+  auto copy = ParseHstSnapshot(SerializeHstSnapshot(workload.framework.tree()));
+  if (!copy.ok()) {
+    state.SkipWithError("snapshot round-trip failed");
+    return;
+  }
+  auto tree = std::make_shared<const CompleteHst>(
+      std::move(copy).MoveValueUnsafe());
+
+  ReplayOptions options;
+  options.epoch_seconds = 30.0;
+  options.num_shards = shards;
+  options.threads = shards;
+  options.parallel_dispatch = shards > 1;
+  options.republishes.push_back({5, tree});
+  options.republishes.push_back({10, tree});
+  options.republishes.push_back({15, tree});
+  size_t assigned = 0;
+  size_t unassigned = 0;
+  uint64_t republishes = 0;
+  for (auto _ : state) {
+    auto report = RunEventReplay(workload.framework, *workload.trace, options);
+    if (!report.ok()) {
+      state.SkipWithError(report.status().ToString().c_str());
+      return;
+    }
+    assigned = report->assigned;
+    unassigned = report->unassigned;
+    republishes = report->republishes;
+    benchmark::DoNotOptimize(report->events_per_second);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.trace->events.size()));
+  state.counters["shards"] = shards;
+  state.counters["assigned"] = static_cast<double>(assigned);
+  state.counters["unassigned"] = static_cast<double>(unassigned);
+  state.counters["republishes"] = static_cast<double>(republishes);
+}
+
+BENCHMARK(BM_ServeReplayWithRepublish)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Args({10000, 1})
+    ->Args({100000, 4});
 
 BENCHMARK(BM_ServeReplay)
     ->Unit(benchmark::kMillisecond)

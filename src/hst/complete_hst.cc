@@ -59,7 +59,7 @@ Result<CompleteHst> CompleteHst::Build(const HstTree& tree,
 
   out.FinishLeafCodes();
   TBF_CHECK(out.BuildLeafLookup()) << "duplicate leaf path in built tree";
-  out.mapper_ = std::make_unique<KdTree>(out.points_);
+  out.Mapper();  // the build path pays the k-d tree up front
   return out;
 }
 
@@ -72,7 +72,8 @@ Result<CompleteHst> CompleteHst::BuildFromPoints(const std::vector<Point>& point
 
 Result<CompleteHst> CompleteHst::FromParts(int depth, int arity, double scale,
                                            std::vector<Point> points,
-                                           std::vector<LeafPath> leaf_paths) {
+                                           std::vector<LeafPath> leaf_paths,
+                                           PartsValidation validation) {
   if (depth < 1) return Status::InvalidArgument("depth must be >= 1");
   if (arity < 2) return Status::InvalidArgument("arity must be >= 2");
   if (arity > std::numeric_limits<char16_t>::max()) {
@@ -89,14 +90,16 @@ Result<CompleteHst> CompleteHst::FromParts(int depth, int arity, double scale,
   out.scale_ = scale;
   out.points_ = std::move(points);
   out.leaf_paths_ = std::move(leaf_paths);
-  for (size_t pid = 0; pid < out.leaf_paths_.size(); ++pid) {
-    const LeafPath& path = out.leaf_paths_[pid];
-    if (static_cast<int>(path.size()) != depth) {
-      return Status::InvalidArgument("leaf path length != depth");
-    }
-    for (char16_t digit : path) {
-      if (static_cast<int>(digit) >= arity) {
-        return Status::InvalidArgument("leaf path digit out of arity range");
+  if (validation == PartsValidation::kFull) {
+    for (size_t pid = 0; pid < out.leaf_paths_.size(); ++pid) {
+      const LeafPath& path = out.leaf_paths_[pid];
+      if (static_cast<int>(path.size()) != depth) {
+        return Status::InvalidArgument("leaf path length != depth");
+      }
+      for (char16_t digit : path) {
+        if (static_cast<int>(digit) >= arity) {
+          return Status::InvalidArgument("leaf path digit out of arity range");
+        }
       }
     }
   }
@@ -104,7 +107,10 @@ Result<CompleteHst> CompleteHst::FromParts(int depth, int arity, double scale,
   if (!out.BuildLeafLookup()) {
     return Status::InvalidArgument("duplicate leaf path");
   }
-  out.mapper_ = std::make_unique<KdTree>(out.points_);
+  // No Mapper() here: the deserialization path returns as soon as the
+  // lookup tables exist, deferring the k-d tree to the first
+  // MapToNearest* call (a restarting server needs leaf lookups
+  // immediately, the mapper only on its first re-key or client mapping).
   return out;
 }
 
@@ -132,7 +138,9 @@ bool CompleteHst::BuildLeafLookup() {
   }
   point_by_leaf_.reserve(leaf_paths_.size());
   for (size_t pid = 0; pid < leaf_paths_.size(); ++pid) {
-    if (!point_by_leaf_.emplace(leaf_paths_[pid], static_cast<int>(pid))
+    if (!point_by_leaf_
+             .emplace(std::u16string_view(leaf_paths_[pid]),
+                      static_cast<int>(pid))
              .second) {
       return false;
     }
@@ -154,7 +162,7 @@ std::optional<int> CompleteHst::point_of_leaf(const LeafPath& leaf) const {
     }
     return point_of_leaf(codec_->Pack(leaf));
   }
-  auto it = point_by_leaf_.find(leaf);
+  auto it = point_by_leaf_.find(std::u16string_view(leaf));
   if (it == point_by_leaf_.end()) return std::nullopt;
   return it->second;
 }
@@ -174,8 +182,14 @@ double CompleteHst::TreeDistanceForLcaLevel(int level) const {
   return TreeDistanceForLevel(level) / scale_;
 }
 
+const KdTree& CompleteHst::Mapper() const {
+  std::call_once(mapper_->once,
+                 [this] { mapper_->tree = std::make_unique<KdTree>(points_); });
+  return *mapper_->tree;
+}
+
 int CompleteHst::MapToNearestPoint(const Point& location) const {
-  int id = mapper_->NearestNeighbor(location);
+  int id = Mapper().NearestNeighbor(location);
   TBF_CHECK(id >= 0) << "empty predefined point set";
   return id;
 }

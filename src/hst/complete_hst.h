@@ -10,7 +10,9 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -43,12 +45,21 @@ class CompleteHst {
                                              const Metric& metric, Rng* rng,
                                              const HstTreeOptions& options = {});
 
+  /// How much of the per-path validation FromParts repeats. Path
+  /// uniqueness is always checked (the parsers cannot do it cheaply);
+  /// kPrevalidated skips only the per-digit length/range loop for callers
+  /// that already proved both with row-precise errors of their own — the
+  /// binary snapshot loader, where the loop is a measurable share of the
+  /// restart path.
+  enum class PartsValidation { kFull, kPrevalidated };
+
   /// \brief Reconstructs a published tree from its parts (the
   /// deserialization path — see hst/serialize.h). Validates depth/arity/
   /// scale ranges, path lengths, digit bounds, and path uniqueness.
-  static Result<CompleteHst> FromParts(int depth, int arity, double scale,
-                                       std::vector<Point> points,
-                                       std::vector<LeafPath> leaf_paths);
+  static Result<CompleteHst> FromParts(
+      int depth, int arity, double scale, std::vector<Point> points,
+      std::vector<LeafPath> leaf_paths,
+      PartsValidation validation = PartsValidation::kFull);
 
   /// Tree depth D (root level).
   int depth() const { return depth_; }
@@ -134,10 +145,26 @@ class CompleteHst {
   std::vector<LeafCode> leaf_codes_;  // parallel to leaf_paths_ (packed)
   std::optional<LeafCodec> codec_;    // set when the shape fits 64 bits
   // Leaf -> point id. point_by_code_ when a codec exists (uint64 hashing);
-  // the LeafPath map only serves shapes beyond 64-bit codes.
+  // the view-keyed map only serves shapes beyond 64-bit codes. Its keys
+  // view into leaf_paths_ (no per-key copy on the snapshot-load path);
+  // they stay valid because leaf_paths_ is never mutated after
+  // construction and moving the vector does not move its elements.
   std::unordered_map<LeafCode, int> point_by_code_;
-  std::unordered_map<LeafPath, int> point_by_leaf_;
-  std::unique_ptr<KdTree> mapper_;
+  std::unordered_map<std::u16string_view, int> point_by_leaf_;
+
+  // Nearest-point mapper (the client-side mapping step), constructed on
+  // first use. A tree reloaded from its snapshot serves leaf-addressed
+  // lookups the moment the parse returns; the k-d tree is only needed by
+  // the MapToNearest* API (and republish re-keying), so FromParts defers
+  // its construction to the first mapping call while the build path
+  // pre-warms it. Heap-boxed because std::once_flag is immovable and
+  // CompleteHst must stay movable.
+  struct LazyMapper {
+    std::once_flag once;
+    std::unique_ptr<KdTree> tree;
+  };
+  const KdTree& Mapper() const;
+  mutable std::unique_ptr<LazyMapper> mapper_ = std::make_unique<LazyMapper>();
 };
 
 }  // namespace tbf

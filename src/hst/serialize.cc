@@ -1,8 +1,11 @@
 #include "hst/serialize.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <unordered_map>
 
 namespace tbf {
 
@@ -60,14 +63,34 @@ Result<CompleteHst> ParseCompleteHst(const std::string& text) {
     return Status::InvalidArgument("missing scale");
   }
 
+  // Validate the header before trusting any of it in the row loop, with
+  // messages precise enough to locate the corruption.
+  if (depth < 1) {
+    return Status::InvalidArgument("bad header: depth " +
+                                   std::to_string(depth) + " must be >= 1");
+  }
+  if (arity < 2 || arity > 0xFFFF) {
+    return Status::InvalidArgument("bad header: arity " +
+                                   std::to_string(arity) +
+                                   " out of range [2, 65535]");
+  }
+  if (!std::isfinite(scale) || scale <= 0.0) {
+    return Status::InvalidArgument(
+        "bad header: scale must be positive and finite");
+  }
+
   size_t count = 0;
   if (!(in >> key >> count) || key != "points") {
     return Status::InvalidArgument("missing points count");
   }
   std::vector<Point> points;
   std::vector<LeafPath> paths;
-  points.reserve(count);
-  paths.reserve(count);
+  // Cap the speculative reserve: a corrupted count must fail with
+  // "truncated point table", not a giant allocation.
+  constexpr size_t kMaxReserve = size_t{1} << 20;
+  points.reserve(std::min(count, kMaxReserve));
+  paths.reserve(std::min(count, kMaxReserve));
+  std::unordered_map<LeafPath, size_t> first_row_of_leaf;
   for (size_t i = 0; i < count; ++i) {
     double x = 0, y = 0;
     std::string path_text;
@@ -75,9 +98,61 @@ Result<CompleteHst> ParseCompleteHst(const std::string& text) {
       return Status::InvalidArgument("truncated point table at row " +
                                      std::to_string(i));
     }
+    if (!std::isfinite(x) || !std::isfinite(y)) {
+      return Status::InvalidArgument("row " + std::to_string(i) +
+                                     ": non-finite coordinate");
+    }
+    // Strict digit-path parsing (LeafPathFromString is atoi-based and
+    // never fails — garbage silently becomes digit 0, so the validation
+    // must happen here, row by row).
+    LeafPath leaf;
+    leaf.reserve(static_cast<size_t>(depth));
+    size_t pos = 0;
+    while (pos <= path_text.size()) {
+      size_t dot = path_text.find('.', pos);
+      if (dot == std::string::npos) dot = path_text.size();
+      const std::string token = path_text.substr(pos, dot - pos);
+      long digit = 0;
+      bool valid = !token.empty() && token.size() <= 5;
+      for (const char c : token) {
+        if (c < '0' || c > '9') {
+          valid = false;
+          break;
+        }
+        digit = digit * 10 + (c - '0');
+      }
+      if (!valid || digit >= arity) {
+        return Status::InvalidArgument(
+            "row " + std::to_string(i) + ": leaf digit '" + token +
+            "' invalid or out of arity range [0, " + std::to_string(arity) +
+            ")");
+      }
+      leaf.push_back(static_cast<char16_t>(digit));
+      if (dot == path_text.size()) break;
+      pos = dot + 1;
+    }
+    if (static_cast<int>(leaf.size()) != depth) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(i) + ": leaf path has " +
+          std::to_string(leaf.size()) + " digits, want depth " +
+          std::to_string(depth));
+    }
+    const auto [it, inserted] = first_row_of_leaf.emplace(leaf, i);
+    if (!inserted) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(i) + ": duplicate leaf path (first seen at "
+          "row " + std::to_string(it->second) + ")");
+    }
     points.push_back({x, y});
-    paths.push_back(LeafPathFromString(path_text));
+    paths.push_back(std::move(leaf));
   }
+  std::string extra;
+  if (in >> extra) {
+    return Status::InvalidArgument("trailing garbage after the point table "
+                                   "('" + extra + "')");
+  }
+  // FromParts re-validates the invariants above (cheap backstop) and
+  // rebuilds the nearest-leaf mapper.
   return CompleteHst::FromParts(depth, arity, scale, std::move(points),
                                 std::move(paths));
 }

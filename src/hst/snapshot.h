@@ -1,0 +1,64 @@
+// Versioned binary snapshots of a CompleteHst — load without rebuild.
+//
+// The text format (hst/serialize.h) is the v1 *publication* wire format:
+// human-readable, diffable, what the server hands to clients. This module
+// is the *operational* format: a CRC-framed little-endian binary blob a
+// restarting server loads to come back up without paying HstTree::Build
+// again (only the leaf-lookup tables are reconstructed, and the
+// nearest-point mapper lazily on first use — orders of magnitude
+// cheaper than a full build; bench/micro_hst_build.cc measures the
+// ratio).
+//
+// On-disk layout (tools/check_snapshot.py validates it with nothing but
+// the Python standard library):
+//
+//   TBFSNAP1 <crc32-hex8> <payload-bytes>\n     header (common/atomic_file.h)
+//   payload, little-endian:
+//     u32  version            (1)
+//     u32  flags              bit 0: leaves as packed u64 codes
+//                             (set exactly when the shape fits 64-bit
+//                             codes, LeafCodec::Fits); otherwise leaves
+//                             are depth x u16 digit paths
+//     i32  depth
+//     i32  arity
+//     f64  scale
+//     u64  num_points
+//     num_points x (f64 x, f64 y)               predefined points
+//     num_points x u64                          leaf codes   (bit 0 set)
+//     num_points x depth x u16                  leaf digits  (bit 0 clear)
+//
+// Parsing is defensive: truncation, bad version, flag/shape mismatch,
+// non-finite values and structural violations all yield precise
+// InvalidArgument statuses (with record indexes), never a crash — the
+// same contract the checkpoint parser honors.
+//
+// WriteHstSnapshotFile publishes atomically (tmp + fsync + rename) and
+// carries the fault site "snapshot.write"; ReadHstSnapshotFile carries
+// "snapshot.load". An injected failure on either aborts cleanly with the
+// target file untouched.
+
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "hst/complete_hst.h"
+
+namespace tbf {
+
+/// \brief Serializes `tree` into the framed binary snapshot format.
+std::string SerializeHstSnapshot(const CompleteHst& tree);
+
+/// \brief Parses a snapshot produced by SerializeHstSnapshot; validates
+/// the frame (magic, CRC, length), the schema, and every structural
+/// invariant before reconstructing the tree via CompleteHst::FromParts.
+Result<CompleteHst> ParseHstSnapshot(const std::string& bytes);
+
+/// \brief Atomic write (tmp + fsync + rename; fault site
+/// "snapshot.write" — an injected failure leaves `path` untouched).
+Status WriteHstSnapshotFile(const CompleteHst& tree, const std::string& path);
+
+/// \brief Reads and parses a snapshot file (fault site "snapshot.load").
+Result<CompleteHst> ReadHstSnapshotFile(const std::string& path);
+
+}  // namespace tbf

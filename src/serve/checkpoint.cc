@@ -1,37 +1,20 @@
 #include "serve/checkpoint.h"
 
-#include <array>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <sstream>
 
-#ifndef _WIN32
-#include <unistd.h>
-#endif
+#include "common/atomic_file.h"
 
 namespace tbf {
 
-uint32_t Crc32(std::string_view data, uint32_t crc) {
-  static const std::array<uint32_t, 256> kTable = [] {
-    std::array<uint32_t, 256> table{};
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
-      }
-      table[i] = c;
-    }
-    return table;
-  }();
-  crc = ~crc;
-  for (const char ch : data) {
-    crc = kTable[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
-  }
-  return ~crc;
-}
+namespace {
+
+constexpr char kCheckpointMagic[] = "TBFCKPT1";
+
+}  // namespace
 
 namespace {
 
@@ -216,7 +199,7 @@ std::string SerializeReplayCheckpoint(const ReplayCheckpoint& c) {
         << (q.id.empty() ? "-" : Esc(q.id)) << ' ' << Esc(q.cause) << '\n';
   }
   out << "server " << (c.server.packed ? 1 : 0) << ' '
-      << c.server.assigned_tasks << '\n';
+      << c.server.assigned_tasks << ' ' << c.server.tree_epoch << '\n';
   out << "rng " << Esc(c.server.rng_state) << '\n';
   for (const std::string& id : c.server.worker_by_index_id) {
     out << "slot " << (id.empty() ? "-" : Esc(id)) << '\n';
@@ -256,46 +239,12 @@ std::string SerializeReplayCheckpoint(const ReplayCheckpoint& c) {
     out << '\n';
   }
   const std::string payload = out.str();
-  char header[64];
-  std::snprintf(header, sizeof(header), "TBFCKPT1 %08x %zu\n",
-                Crc32(payload), payload.size());
-  return header + payload;
+  return FrameCrcPayload(kCheckpointMagic, payload);
 }
 
 Result<ReplayCheckpoint> ParseReplayCheckpoint(const std::string& text) {
-  const size_t header_end = text.find('\n');
-  if (header_end == std::string::npos) {
-    return Status::InvalidArgument("checkpoint: missing header line");
-  }
-  const std::vector<std::string> header =
-      SplitTokens(text.substr(0, header_end));
-  if (header.size() != 3 || header[0] != "TBFCKPT1") {
-    return Status::InvalidArgument(
-        "checkpoint: bad magic (not a TBFCKPT1 file)");
-  }
-  char* end = nullptr;
-  const unsigned long declared_crc = std::strtoul(header[1].c_str(), &end, 16);
-  if (end == nullptr || *end != '\0' || header[1].size() != 8) {
-    return Status::InvalidArgument("checkpoint: bad CRC field '" + header[1] +
-                                   "'");
-  }
-  TBF_ASSIGN_OR_RETURN(const uint64_t declared_len,
-                       ParseU64(header[2], "payload length"));
-  const std::string payload = text.substr(header_end + 1);
-  if (payload.size() != declared_len) {
-    return Status::InvalidArgument(
-        "checkpoint: payload length mismatch (declared " +
-        std::to_string(declared_len) + ", got " +
-        std::to_string(payload.size()) + ") — truncated write?");
-  }
-  const uint32_t actual_crc = Crc32(payload);
-  if (actual_crc != static_cast<uint32_t>(declared_crc)) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "declared %08lx, computed %08x",
-                  declared_crc, actual_crc);
-    return Status::InvalidArgument(std::string("checkpoint: CRC mismatch (") +
-                                   buf + ") — corrupt file");
-  }
+  TBF_ASSIGN_OR_RETURN(const std::string payload,
+                       UnframeCrcPayload(kCheckpointMagic, text, "checkpoint"));
 
   ReplayCheckpoint c;
   bool saw_version = false, saw_config = false, saw_cursor = false,
@@ -319,7 +268,10 @@ Result<ReplayCheckpoint> ParseReplayCheckpoint(const std::string& text) {
     if (key == "version") {
       if (tok.size() != 2) return bad("version needs 1 field");
       TBF_ASSIGN_OR_RETURN(const int64_t v, ParseI64(tok[1], "version"));
-      if (v != 1) return bad("unsupported version " + tok[1]);
+      if (v != 2) {
+        return bad("unsupported version " + tok[1] +
+                   " (this build reads v2 checkpoints)");
+      }
       c.version = static_cast<int>(v);
       saw_version = true;
     } else if (key == "trace_fp") {
@@ -420,12 +372,14 @@ Result<ReplayCheckpoint> ParseReplayCheckpoint(const std::string& text) {
       TBF_ASSIGN_OR_RETURN(q.cause, Unesc(tok[3]));
       c.quarantined_events.push_back(std::move(q));
     } else if (key == "server") {
-      if (tok.size() != 3) return bad("server needs 2 fields");
+      if (tok.size() != 4) return bad("server needs 3 fields");
       TBF_ASSIGN_OR_RETURN(const uint64_t packed, ParseU64(tok[1], "packed"));
       if (packed > 1) return bad("packed must be 0 or 1");
       c.server.packed = packed == 1;
       TBF_ASSIGN_OR_RETURN(c.server.assigned_tasks,
                            ParseU64(tok[2], "assigned_tasks"));
+      TBF_ASSIGN_OR_RETURN(c.server.tree_epoch,
+                           ParseU64(tok[3], "tree_epoch"));
       saw_server = true;
     } else if (key == "rng") {
       if (tok.size() != 2) return bad("rng needs 1 field");
@@ -522,35 +476,14 @@ Result<ReplayCheckpoint> ParseReplayCheckpoint(const std::string& text) {
 
 Status WriteReplayCheckpointFile(const ReplayCheckpoint& checkpoint,
                                  const std::string& path) {
-  const std::string text = SerializeReplayCheckpoint(checkpoint);
-  const std::string tmp = path + ".tmp";
-  std::FILE* file = std::fopen(tmp.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::IOError("cannot open checkpoint tmp file: " + tmp);
-  }
-  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
-  bool ok = written == text.size() && std::fflush(file) == 0;
-#ifndef _WIN32
-  ok = ok && fsync(fileno(file)) == 0;
-#endif
-  ok = (std::fclose(file) == 0) && ok;
-  if (!ok) {
-    std::remove(tmp.c_str());
-    return Status::IOError("checkpoint write failed: " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IOError("checkpoint rename failed: " + tmp + " -> " + path);
-  }
-  return Status::OK();
+  return WriteFileAtomic(path, SerializeReplayCheckpoint(checkpoint),
+                         "checkpoint");
 }
 
 Result<ReplayCheckpoint> ReadReplayCheckpointFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open checkpoint: " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return ParseReplayCheckpoint(buf.str());
+  TBF_ASSIGN_OR_RETURN(const std::string text,
+                       ReadFileToString(path, "checkpoint"));
+  return ParseReplayCheckpoint(text);
 }
 
 }  // namespace tbf

@@ -34,6 +34,10 @@
 #include <string_view>
 #include <vector>
 
+// Crc32 and the atomic tmp+fsync+rename write live in common/atomic_file.h
+// (shared with hst/snapshot.h); this include keeps them visible to every
+// checkpoint consumer that historically found them here.
+#include "common/atomic_file.h"
 #include "common/result.h"
 #include "obs/metrics.h"
 #include "serve/replay.h"
@@ -42,19 +46,19 @@
 
 namespace tbf {
 
-/// \brief CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF) —
-/// bit-compatible with zlib's crc32() and Python's binascii.crc32. Pass a
-/// previous return value as `crc` to checksum incrementally.
-uint32_t Crc32(std::string_view data, uint32_t crc = 0);
-
 /// \brief Order-sensitive fingerprint of a trace (region + every event's
 /// kind, time bits, id and location bits). Unlike WriteEventTrace it
 /// never fails — poison events (NaN times, garbage ids) fingerprint fine.
 uint32_t FingerprintEventTrace(const EventTrace& trace);
 
 /// \brief Serializable state of one replay run (see RunEventReplay).
+///
+/// Version history: v1 had a 2-field `server` record; v2 added the
+/// server's tree epoch (number of republishes applied — see
+/// serve/republish.h) so resume can fast-forward the engine onto the
+/// correct published tree before restoring worker state.
 struct ReplayCheckpoint {
-  int version = 1;
+  int version = 2;
 
   // Identity: resume refuses a checkpoint whose trace or configuration
   // does not match the run being resumed.

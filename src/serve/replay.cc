@@ -53,6 +53,26 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
     return Status::InvalidArgument(
         "resume_from_checkpoint requires checkpoint_path");
   }
+  for (size_t i = 0; i < options.republishes.size(); ++i) {
+    const ReplayRepublish& entry = options.republishes[i];
+    if (entry.tree == nullptr) {
+      return Status::InvalidArgument(
+          "republish schedule entry " + std::to_string(i) +
+          ": tree must not be null");
+    }
+    if (entry.tree->depth() != framework.tree().depth() ||
+        entry.tree->arity() != framework.tree().arity()) {
+      return Status::InvalidArgument(
+          "republish schedule entry " + std::to_string(i) +
+          ": tree shape must match the framework tree (live reports are "
+          "expressed in the published geometry)");
+    }
+    if (i > 0 && entry.at_epoch <= options.republishes[i - 1].at_epoch) {
+      return Status::InvalidArgument(
+          "republish schedule must be strictly increasing in at_epoch "
+          "(entry " + std::to_string(i) + ")");
+    }
+  }
 
   const size_t n = trace.events.size();
   const bool quarantining = options.poison_policy == PoisonPolicy::kQuarantine;
@@ -197,6 +217,7 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
   uint64_t arrivals_obfuscated = 0;  // global ForkAt offset
   int next_task_slot = 0;
   size_t begin = 0;
+  size_t next_republish = 0;  // cursor into options.republishes
 
   if (options.resume_from_checkpoint) {
     TBF_ASSIGN_OR_RETURN(ReplayCheckpoint ckpt,
@@ -217,6 +238,29 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
       return Status::InvalidArgument(
           "checkpoint cursor out of range for this trace");
     }
+    // Fast-forward the fresh engine through the prefix of the republish
+    // schedule the checkpointed run had already applied: RestoreState
+    // requires the engine to sit at the checkpoint's tree epoch (worker
+    // codes in the state are expressed in that tree). fast_forward skips
+    // the tbf_republish_* counters (the checkpoint's metric snapshot
+    // already contains them) and the republish fault sites (this is
+    // state reconstruction, not new work).
+    if (ckpt.server.tree_epoch > options.republishes.size()) {
+      return Status::FailedPrecondition(
+          "checkpoint tree epoch " + std::to_string(ckpt.server.tree_epoch) +
+          " exceeds the republish schedule (" +
+          std::to_string(options.republishes.size()) +
+          " entries) — resumed with a different schedule?");
+    }
+    for (size_t i = 0; i < ckpt.server.tree_epoch; ++i) {
+      RepublishOptions fast_forward;
+      fast_forward.fast_forward = true;
+      Result<RepublishReport> republished =
+          server->Republish(options.republishes[i].tree, fast_forward);
+      if (!republished.ok()) return republished.status();
+    }
+    next_republish = static_cast<size_t>(ckpt.server.tree_epoch);
+    report.republishes = ckpt.server.tree_epoch;
     // Engine state first, then the metrics snapshot: Merge must see the
     // engine's metric kinds already registered.
     TBF_RETURN_NOT_OK(server->RestoreState(ckpt.server));
@@ -257,6 +301,19 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
     const int64_t epoch = event_epoch[begin];
     size_t end = begin;
     while (end < n && event_epoch[end] == epoch) ++end;
+
+    // Scheduled live republishes fire at the window boundary, before the
+    // window's obfuscation, budget rollover and dispatch: the swap is
+    // atomic with respect to every event, so nothing in this window can
+    // straddle it.
+    while (next_republish < options.republishes.size() &&
+           options.republishes[next_republish].at_epoch <= epoch) {
+      Result<RepublishReport> republished =
+          server->Republish(options.republishes[next_republish].tree);
+      if (!republished.ok()) return republished.status();
+      ++next_republish;
+      ++report.republishes;
+    }
 
     EpochStats stats;
     stats.epoch = epoch;

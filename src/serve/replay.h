@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -56,6 +57,16 @@ enum class PoisonPolicy {
   /// consume no obfuscation draws, so the surviving events' reports are
   /// bit-identical to a trace that never contained the poison.
   kQuarantine,
+};
+
+/// \brief One scheduled live republish (see ReplayOptions::republishes).
+struct ReplayRepublish {
+  /// Event-time epoch at whose window start the swap runs (the first
+  /// window with epoch >= at_epoch, so a schedule entry inside an empty
+  /// window still fires).
+  int64_t at_epoch = 0;
+  /// The new tree; must match the framework tree's depth and arity.
+  std::shared_ptr<const CompleteHst> tree;
 };
 
 /// \brief Configuration of one replay run.
@@ -121,6 +132,18 @@ struct ReplayOptions {
   /// trace, shard count, epoch length and seeds must match the
   /// checkpointed run (verified via fingerprints).
   bool resume_from_checkpoint = false;
+
+  /// Scheduled live republishes: entry {at_epoch, tree} swaps the
+  /// engine's published tree (ShardedTbfServer::Republish — zero
+  /// downtime, live workers re-keyed) at the start of the first event
+  /// window whose epoch is >= at_epoch, before that window's budget
+  /// rollover and dispatch. Entries must be strictly increasing in
+  /// at_epoch with non-null trees of the framework tree's shape. Like the
+  /// seeds, the schedule is part of a run's identity: checkpoints record
+  /// the engine's tree epoch, and resume fast-forwards the fresh engine
+  /// through the already-applied prefix of this schedule before restoring
+  /// state — resuming with a different schedule is on the caller.
+  std::vector<ReplayRepublish> republishes;
 };
 
 /// \brief Outcome of one task-arrival event, in task arrival order.
@@ -224,6 +247,9 @@ struct ReplayReport {
   uint64_t checkpoints_written = 0;
   /// True when this run resumed from a checkpoint.
   bool resumed = false;
+  /// Scheduled republishes applied so far (resumed runs include the
+  /// fast-forwarded prefix, so the count matches the uninterrupted run).
+  uint64_t republishes = 0;
 
   double obfuscate_seconds = 0.0;
   double dispatch_seconds = 0.0;

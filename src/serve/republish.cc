@@ -1,0 +1,220 @@
+// ShardedTbfServer::Republish — zero-downtime tree swap with live
+// re-keying. See serve/republish.h for the lifecycle and
+// docs/ROBUSTNESS.md for the crash-safety story.
+
+#include "serve/republish.h"
+
+#include <algorithm>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/timer.h"
+#include "serve/sharded_server.h"
+
+namespace tbf {
+
+namespace {
+
+// Translates one stored report old tree -> new tree. A report on a real
+// leaf follows its predefined point (MapToNearest* is exact: a point in
+// the set maps to its own leaf, so a bit-identical tree re-keys every
+// report to itself). A report on a fake leaf — obfuscation lands there —
+// keeps its digits verbatim: the digit combination exists in every tree
+// of the same shape, and preserving it is what makes a no-op republish
+// draw-for-draw equivalent to not republishing.
+LeafCode RekeyReport(const CompleteHst& from, const CompleteHst& to,
+                     LeafCode key, bool* fake) {
+  if (std::optional<int> point = from.point_of_leaf(key)) {
+    *fake = false;
+    return to.MapToNearestLeafCode(from.points()[static_cast<size_t>(*point)]);
+  }
+  *fake = true;
+  return key;
+}
+
+LeafPath RekeyReport(const CompleteHst& from, const CompleteHst& to,
+                     const LeafPath& key, bool* fake) {
+  if (std::optional<int> point = from.point_of_leaf(key)) {
+    *fake = false;
+    return to.MapToNearestLeaf(from.points()[static_cast<size_t>(*point)]);
+  }
+  *fake = true;
+  return key;
+}
+
+}  // namespace
+
+Result<RepublishReport> ShardedTbfServer::Republish(
+    std::shared_ptr<const CompleteHst> new_tree,
+    const RepublishOptions& options) {
+  if (new_tree == nullptr) {
+    return Status::InvalidArgument("republish: tree must not be null");
+  }
+  // One republish at a time: the whole rekey + swap sequence runs against
+  // a stable old tree (only Republish itself ever changes the tree).
+  std::lock_guard<std::mutex> republish_lock(republish_mu_);
+  const CompleteHst& old_tree = tree();
+  if (new_tree->depth() != old_tree.depth() ||
+      new_tree->arity() != old_tree.arity()) {
+    return Status::InvalidArgument(
+        "republish: new tree shape (depth " +
+        std::to_string(new_tree->depth()) + ", arity " +
+        std::to_string(new_tree->arity()) +
+        ") must match the published shape (depth " +
+        std::to_string(old_tree.depth()) + ", arity " +
+        std::to_string(old_tree.arity()) +
+        ") — live reports and shard routing are expressed in the published "
+        "geometry");
+  }
+  if (!options.fast_forward) republish_started_metric_->Add(1);
+  if (packed_) return RepublishImpl<LeafCode>(std::move(new_tree), options);
+  return RepublishImpl<LeafPath>(std::move(new_tree), options);
+}
+
+template <typename Key>
+Result<RepublishReport> ShardedTbfServer::RepublishImpl(
+    std::shared_ptr<const CompleteHst> new_tree,
+    const RepublishOptions& options) {
+  const CompleteHst& old_tree = tree();  // stable: republish_mu_ held
+  const size_t batch_size =
+      options.rekey_batch_size == 0 ? 1024 : options.rekey_batch_size;
+  RepublishReport rep;
+
+  // Phase A — advisory re-key outside the locks. Snapshot the registry,
+  // translate each worker's report in batches (each batch one
+  // "republish.rekey" hit, ordered by worker id so chaos plans are
+  // deterministic). Concurrent traffic proceeds; workers that churn
+  // between snapshot and flip are re-keyed inline in phase B.
+  struct Staged {
+    Key old_key{};
+    Key new_key{};
+    bool fake = false;
+  };
+  std::vector<std::pair<std::string, Key>> live;
+  {
+    std::lock_guard<std::mutex> pool_lock(pool_mu_);
+    live.reserve(workers_.size());
+    for (const auto& [id, state] : workers_) {
+      if constexpr (std::is_same_v<Key, LeafCode>) {
+        live.emplace_back(id, state.code);
+      } else {
+        live.emplace_back(id, state.leaf);
+      }
+    }
+  }
+  std::sort(live.begin(), live.end());
+  WallTimer rekey_timer;
+  std::unordered_map<std::string, Staged> staged;
+  staged.reserve(live.size());
+  for (size_t i = 0; i < live.size(); i += batch_size) {
+    if (!options.fast_forward) {
+      const Status injected =
+          TBF_FAULT_INJECT_AT("republish.rekey", i / batch_size);
+      if (!injected.ok()) {
+        republish_aborted_metric_->Add(1);
+        return injected;  // nothing applied yet: clean abort
+      }
+    }
+    const size_t end = std::min(live.size(), i + batch_size);
+    for (size_t j = i; j < end; ++j) {
+      Staged entry;
+      entry.old_key = live[j].second;
+      entry.new_key =
+          RekeyReport(old_tree, *new_tree, live[j].second, &entry.fake);
+      staged.emplace(live[j].first, std::move(entry));
+    }
+  }
+  rep.rekey_seconds = rekey_timer.ElapsedSeconds();
+
+  // Phase B — flip. All shard mutexes (ascending) + the pool: no
+  // operation can be mid-mutation, so the swap is atomic with respect to
+  // every arrival, task and departure. The fault site fires before any
+  // mutation — an injected failure aborts with the engine untouched.
+  WallTimer swap_timer;
+  std::vector<std::unique_lock<std::mutex>> shard_locks;
+  shard_locks.reserve(shards_.size());
+  for (auto& shard : shards_) shard_locks.emplace_back(shard->mu);
+  std::lock_guard<std::mutex> pool_lock(pool_mu_);
+  if (!options.fast_forward) {
+    const Status injected = TBF_FAULT_INJECT_AT(
+        "republish.swap", tree_epoch_.load(std::memory_order_relaxed));
+    if (!injected.ok()) {
+      republish_aborted_metric_->Add(1);
+      return injected;
+    }
+  }
+  std::vector<HstAvailabilityIndex> fresh;
+  fresh.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    fresh.emplace_back(new_tree->depth(), new_tree->arity());
+  }
+  for (auto& [id, state] : workers_) {
+    Key old_key;
+    if constexpr (std::is_same_v<Key, LeafCode>) {
+      old_key = state.code;
+    } else {
+      old_key = state.leaf;
+    }
+    Key new_key;
+    bool fake = false;
+    const auto it = staged.find(id);
+    if (it != staged.end() && it->second.old_key == old_key) {
+      new_key = it->second.new_key;
+      fake = it->second.fake;
+    } else {
+      new_key = RekeyReport(old_tree, *new_tree, old_key, &fake);
+    }
+    int new_shard;
+    if constexpr (std::is_same_v<Key, LeafCode>) {
+      new_shard = router_.ShardOf(new_key, *new_tree->codec());
+    } else {
+      new_shard = router_.ShardOf(new_key);
+    }
+    if (new_shard != state.shard) ++rep.relocated;
+    if constexpr (std::is_same_v<Key, LeafCode>) {
+      state.code = new_key;
+    } else {
+      state.leaf = new_key;
+    }
+    state.shard = new_shard;
+    fresh[static_cast<size_t>(new_shard)].Insert(new_key, state.index_id);
+    ++rep.workers_rekeyed;
+    if (fake) {
+      ++rep.fake_kept;
+    } else {
+      ++rep.real_remapped;
+    }
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->index = std::move(fresh[s]);
+  }
+  {
+    std::lock_guard<std::mutex> tree_lock(tree_mu_);
+    tree_ptr_.store(new_tree.get(), std::memory_order_release);
+    tree_history_.push_back(std::move(new_tree));
+  }
+  rep.tree_epoch = tree_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  rep.shards_swapped = static_cast<int>(shards_.size());
+  rep.swap_seconds = swap_timer.ElapsedSeconds();
+  if (!options.fast_forward) {
+    republish_rekeyed_metric_->Add(static_cast<uint64_t>(rep.workers_rekeyed));
+    republish_swapped_metric_->Add(static_cast<uint64_t>(rep.shards_swapped));
+  }
+  tree_epoch_metric_->Set(static_cast<int64_t>(rep.tree_epoch));
+  return rep;
+}
+
+template Result<RepublishReport> ShardedTbfServer::RepublishImpl<LeafCode>(
+    std::shared_ptr<const CompleteHst> new_tree,
+    const RepublishOptions& options);
+template Result<RepublishReport> ShardedTbfServer::RepublishImpl<LeafPath>(
+    std::shared_ptr<const CompleteHst> new_tree,
+    const RepublishOptions& options);
+
+}  // namespace tbf

@@ -101,17 +101,18 @@ Result<std::unique_ptr<ShardedTbfServer>> ShardedTbfServer::Create(
 
 ShardedTbfServer::ShardedTbfServer(std::shared_ptr<const CompleteHst> tree,
                                    const ShardedServerOptions& options)
-    : tree_(std::move(tree)),
-      options_(options),
-      router_(tree_->depth(), tree_->arity(), options.num_shards),
+    : options_(options),
+      router_(tree->depth(), tree->arity(), options.num_shards),
       rng_(options.seed),
-      packed_(tree_->codec() != nullptr) {
+      packed_(tree->codec() != nullptr) {
   shards_.reserve(static_cast<size_t>(options.num_shards));
   shard_inflight_.reserve(static_cast<size_t>(options.num_shards));
   for (int s = 0; s < options.num_shards; ++s) {
-    shards_.push_back(std::make_unique<Shard>(tree_->depth(), tree_->arity()));
+    shards_.push_back(std::make_unique<Shard>(tree->depth(), tree->arity()));
     shard_inflight_.push_back(std::make_unique<std::atomic<size_t>>(0));
   }
+  tree_ptr_.store(tree.get(), std::memory_order_release);
+  tree_history_.push_back(std::move(tree));
   metrics_ = options.metrics != nullptr ? options.metrics
                                         : obs::MetricRegistry::Global();
   if (options_.epoch_budget || options_.lifetime_budget) {
@@ -148,6 +149,20 @@ ShardedTbfServer::ShardedTbfServer(std::shared_ptr<const CompleteHst> tree,
       metrics_->FindOrCreateHistogram("tbf_serve_lock_wait_ns");
   available_metric_ =
       metrics_->FindOrCreateGauge("tbf_serve_available_workers");
+  republish_started_metric_ =
+      metrics_->FindOrCreateCounter("tbf_republish_started_total");
+  republish_rekeyed_metric_ =
+      metrics_->FindOrCreateCounter("tbf_republish_rekeyed_workers_total");
+  republish_swapped_metric_ =
+      metrics_->FindOrCreateCounter("tbf_republish_swapped_shards_total");
+  republish_aborted_metric_ =
+      metrics_->FindOrCreateCounter("tbf_republish_aborted_total");
+  tree_epoch_metric_ = metrics_->FindOrCreateGauge("tbf_serve_tree_epoch");
+}
+
+std::shared_ptr<const CompleteHst> ShardedTbfServer::tree_shared() const {
+  std::lock_guard<std::mutex> tree_lock(tree_mu_);
+  return tree_history_.back();
 }
 
 Status ShardedTbfServer::ChargeIfRequired(
@@ -198,7 +213,7 @@ Status ShardedTbfServer::RegisterImpl(const std::string& worker_id,
                                       std::optional<double> declared_epsilon) {
   int new_shard;
   if constexpr (std::is_same_v<Key, LeafCode>) {
-    new_shard = router_.ShardOf(key, *tree_->codec());
+    new_shard = router_.ShardOf(key, *tree().codec());
   } else {
     new_shard = router_.ShardOf(key);
   }
@@ -268,9 +283,9 @@ Status ShardedTbfServer::RegisterImpl(const std::string& worker_id,
 Status ShardedTbfServer::RegisterWorker(const std::string& worker_id,
                                         const LeafPath& leaf,
                                         std::optional<double> declared_epsilon) {
-  TBF_RETURN_NOT_OK(ValidateReportedLeaf(*tree_, leaf));
+  TBF_RETURN_NOT_OK(ValidateReportedLeaf(tree(), leaf));
   if (packed_) {
-    return RegisterImpl(worker_id, tree_->codec()->Pack(leaf), declared_epsilon);
+    return RegisterImpl(worker_id, tree().codec()->Pack(leaf), declared_epsilon);
   }
   return RegisterImpl(worker_id, leaf, declared_epsilon);
 }
@@ -278,7 +293,7 @@ Status ShardedTbfServer::RegisterWorker(const std::string& worker_id,
 Status ShardedTbfServer::RegisterWorker(const std::string& worker_id,
                                         LeafCode code,
                                         std::optional<double> declared_epsilon) {
-  TBF_RETURN_NOT_OK(ValidateReportedLeafCode(*tree_, code));
+  TBF_RETURN_NOT_OK(ValidateReportedLeafCode(tree(), code));
   return RegisterImpl(worker_id, code, declared_epsilon);
 }
 
@@ -366,7 +381,7 @@ DispatchResult ShardedTbfServer::ConsumeCandidate(const Candidate& candidate) {
   DispatchResult result;
   result.worker = worker_id;
   result.reported_tree_distance =
-      tree_->TreeDistanceForLcaLevel(candidate.lca_level);
+      tree().TreeDistanceForLcaLevel(candidate.lca_level);
   return result;
 }
 
@@ -376,7 +391,7 @@ Result<DispatchResult> ShardedTbfServer::SubmitImpl(
     std::optional<double> declared_epsilon) {
   int home;
   if constexpr (std::is_same_v<Key, LeafCode>) {
-    home = router_.ShardOf(key, *tree_->codec());
+    home = router_.ShardOf(key, *tree().codec());
   } else {
     home = router_.ShardOf(key);
   }
@@ -491,9 +506,9 @@ Result<DispatchResult> ShardedTbfServer::SubmitImpl(
 Result<DispatchResult> ShardedTbfServer::SubmitTask(
     const std::string& task_id, const LeafPath& leaf,
     std::optional<double> declared_epsilon) {
-  TBF_RETURN_NOT_OK(ValidateReportedLeaf(*tree_, leaf));
+  TBF_RETURN_NOT_OK(ValidateReportedLeaf(tree(), leaf));
   if (packed_) {
-    return SubmitImpl(task_id, tree_->codec()->Pack(leaf), declared_epsilon);
+    return SubmitImpl(task_id, tree().codec()->Pack(leaf), declared_epsilon);
   }
   return SubmitImpl(task_id, leaf, declared_epsilon);
 }
@@ -501,7 +516,7 @@ Result<DispatchResult> ShardedTbfServer::SubmitTask(
 Result<DispatchResult> ShardedTbfServer::SubmitTask(
     const std::string& task_id, LeafCode code,
     std::optional<double> declared_epsilon) {
-  TBF_RETURN_NOT_OK(ValidateReportedLeafCode(*tree_, code));
+  TBF_RETURN_NOT_OK(ValidateReportedLeafCode(tree(), code));
   return SubmitImpl(task_id, code, declared_epsilon);
 }
 
@@ -582,6 +597,7 @@ ShardedServerState ShardedTbfServer::ExportState() const {
   state.packed = packed_;
   state.assigned_tasks =
       static_cast<uint64_t>(assigned_tasks_.load(std::memory_order_relaxed));
+  state.tree_epoch = tree_epoch_.load(std::memory_order_acquire);
   state.rng_state = rng_.SerializeState();
   {
     std::lock_guard<std::mutex> pool_lock(pool_mu_);
@@ -618,6 +634,14 @@ Status ShardedTbfServer::RestoreState(const ShardedServerState& state) {
     return Status::InvalidArgument(
         "server state budget-ledger mismatch (checkpoint from different "
         "budget options?)");
+  }
+  if (state.tree_epoch != tree_epoch_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "server state tree-epoch mismatch (checkpoint at epoch " +
+        std::to_string(state.tree_epoch) + ", engine at " +
+        std::to_string(tree_epoch_.load(std::memory_order_acquire)) +
+        ") — fast-forward the engine by re-applying the republish schedule "
+        "before restoring");
   }
   std::lock_guard<std::mutex> pool_lock(pool_mu_);
   if (!workers_.empty()) {

@@ -53,6 +53,7 @@
 #include "hst/hst_index.h"
 #include "obs/metrics.h"
 #include "privacy/budget.h"
+#include "serve/republish.h"
 #include "serve/shard_router.h"
 
 namespace tbf {
@@ -113,6 +114,7 @@ struct ShardedServerState {
 
   bool packed = false;
   uint64_t assigned_tasks = 0;
+  uint64_t tree_epoch = 0;  ///< republishes applied (published-tree version)
   std::string rng_state;                     ///< Rng::SerializeState
   std::vector<std::string> worker_by_index_id;  ///< "" = free slot
   std::vector<int> free_index_ids;           ///< recycling order matters
@@ -179,6 +181,38 @@ class ShardedTbfServer {
   /// without an epoch budget; going backwards fails).
   Status BeginEpoch(int64_t epoch);
 
+  /// \brief Atomically swaps the published tree for `new_tree` while the
+  /// engine keeps serving — zero downtime, no dropped operation.
+  ///
+  /// `new_tree` must have the published shape (same depth and arity):
+  /// live reports, shard routing and packed codes are all expressed in
+  /// the published geometry, so republishing is re-learning the partition
+  /// over the same grid, not changing the grid. The scale and point set
+  /// may differ freely.
+  ///
+  /// Every live worker's stored report is re-keyed old-tree -> new-tree:
+  /// a report sitting on a *real* leaf follows its predefined point
+  /// through CompleteHst::MapToNearestLeafCode on the new tree; a report
+  /// on a *fake* leaf (obfuscation can land there) keeps its digits
+  /// verbatim — which is exactly what makes a republish of a bit-identical
+  /// tree draw-for-draw equivalent to not republishing at all.
+  ///
+  /// Two phases: re-keying runs in batches outside the locks against a
+  /// stable old tree (concurrent traffic proceeds); the flip then takes
+  /// every shard mutex plus the pool, rebuilds the per-shard indexes and
+  /// publishes the new tree. Fault sites "republish.rekey" (hit-indexed
+  /// by batch ordinal) and "republish.swap" (hit-indexed by the current
+  /// tree epoch, firing before any mutation) abort cleanly: a failed
+  /// republish leaves the engine exactly as it was. Concurrent Republish
+  /// calls serialize.
+  Result<RepublishReport> Republish(std::shared_ptr<const CompleteHst> new_tree,
+                                    const RepublishOptions& options = {});
+
+  /// Number of republishes applied so far (0 for the construction tree).
+  uint64_t tree_epoch() const {
+    return tree_epoch_.load(std::memory_order_acquire);
+  }
+
   /// Number of workers currently available for assignment.
   size_t available_workers() const {
     return available_.load(std::memory_order_relaxed);
@@ -199,7 +233,17 @@ class ShardedTbfServer {
 
   int num_shards() const { return router_.num_shards(); }
   const ShardRouter& router() const { return router_; }
-  const CompleteHst& tree() const { return *tree_; }
+
+  /// The currently published tree. References stay valid for the
+  /// server's lifetime even across Republish (superseded trees are
+  /// retained), but after a republish this accessor returns the *new*
+  /// tree — snapshot tree_shared() when you need one stable tree object.
+  const CompleteHst& tree() const {
+    return *tree_ptr_.load(std::memory_order_acquire);
+  }
+
+  /// Shared ownership of the currently published tree.
+  std::shared_ptr<const CompleteHst> tree_shared() const;
 
   /// The epoch/lifetime ledger, when budgeting is enabled (else nullptr).
   /// Synchronize externally with concurrent operations before reading.
@@ -289,11 +333,33 @@ class ShardedTbfServer {
   // must be held; takes pool_mu_ internally.
   DispatchResult ConsumeCandidate(const Candidate& candidate);
 
-  std::shared_ptr<const CompleteHst> tree_;
+  // Republish core over the report key type (see RegisterImpl); the
+  // caller holds republish_mu_ and has validated the new tree's shape.
+  template <typename Key>
+  Result<RepublishReport> RepublishImpl(
+      std::shared_ptr<const CompleteHst> new_tree,
+      const RepublishOptions& options);
+
   ShardedServerOptions options_;
   ShardRouter router_;
   Rng rng_;
-  bool packed_ = false;  // tree_->codec() != nullptr
+  bool packed_ = false;  // tree()->codec() != nullptr (invariant: shape,
+                         // and hence codec-ness, never changes — Republish
+                         // requires the published depth and arity)
+
+  // The published tree. tree_ptr_ is the lock-free read path (entry-point
+  // validation, packing, distance reporting); tree_history_ owns every
+  // tree ever published, so references handed out by tree() stay valid
+  // across republishes for the server's whole lifetime. The flip happens
+  // under ALL shard mutexes + pool_mu_ (so in-flight operations never
+  // straddle it) + tree_mu_; tree_epoch_ counts flips. republish_mu_
+  // serializes whole Republish calls so re-keying always runs against a
+  // stable old tree.
+  mutable std::mutex tree_mu_;
+  std::vector<std::shared_ptr<const CompleteHst>> tree_history_;
+  std::atomic<const CompleteHst*> tree_ptr_{nullptr};
+  std::atomic<uint64_t> tree_epoch_{0};
+  std::mutex republish_mu_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
 
@@ -333,6 +399,11 @@ class ShardedTbfServer {
   obs::Histogram* dispatch_latency_metric_ = nullptr;
   obs::Histogram* lock_wait_metric_ = nullptr;
   obs::Gauge* available_metric_ = nullptr;
+  obs::Counter* republish_started_metric_ = nullptr;
+  obs::Counter* republish_rekeyed_metric_ = nullptr;
+  obs::Counter* republish_swapped_metric_ = nullptr;
+  obs::Counter* republish_aborted_metric_ = nullptr;
+  obs::Gauge* tree_epoch_metric_ = nullptr;
 };
 
 }  // namespace tbf

@@ -23,6 +23,7 @@
 
 #include "common/fault.h"
 #include "geo/grid.h"
+#include "hst/snapshot.h"
 #include "serve/checkpoint.h"
 #include "serve/replay.h"
 #include "workload/synthetic.h"
@@ -79,6 +80,7 @@ void ExpectDeterministicFieldsEqual(const ReplayReport& a,
   EXPECT_EQ(a.quarantined, b.quarantined);
   EXPECT_EQ(a.missed_departures, b.missed_departures);
   EXPECT_EQ(a.processed_events, b.processed_events);
+  EXPECT_EQ(a.republishes, b.republishes);
   EXPECT_EQ(a.faults_dropped, b.faults_dropped);
   EXPECT_EQ(a.faults_duplicated, b.faults_duplicated);
   EXPECT_EQ(a.faults_reordered, b.faults_reordered);
@@ -370,6 +372,172 @@ TEST(ChaosReplayTest, SeededSweepSurvivesAndBalances) {
     ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
     if (!keep_dir) std::remove(options.checkpoint_path.c_str());
   }
+}
+
+// A same-shape tree that genuinely re-keys live workers: the first two
+// predefined points trade leaves.
+std::shared_ptr<const CompleteHst> SwappedTree(const CompleteHst& tree) {
+  std::vector<LeafPath> paths;
+  paths.reserve(static_cast<size_t>(tree.num_points()));
+  for (int p = 0; p < tree.num_points(); ++p) {
+    paths.push_back(tree.leaf_of_point(p));
+  }
+  std::swap(paths[0], paths[1]);
+  auto swapped = CompleteHst::FromParts(tree.depth(), tree.arity(),
+                                        tree.scale(), tree.points(),
+                                        std::move(paths));
+  EXPECT_TRUE(swapped.ok()) << swapped.status();
+  return std::make_shared<const CompleteHst>(
+      std::move(swapped).MoveValueUnsafe());
+}
+
+TEST(ChaosReplayTest, KillAtRepublishSwapAndResumeMatchesUninterruptedRun) {
+  TbfFramework framework = BuildFramework();
+  EventTrace trace = ChaosTrace(200, 140, 11);
+
+  // A live republish to a genuinely different tree at epoch 2, and a
+  // second one (back to a copy of the original) later.
+  std::vector<ReplayRepublish> schedule;
+  schedule.push_back({2, SwappedTree(framework.tree())});
+  {
+    auto copy = ParseHstSnapshot(SerializeHstSnapshot(framework.tree()));
+    ASSERT_TRUE(copy.ok());
+    schedule.push_back({5, std::make_shared<const CompleteHst>(
+                               std::move(copy).MoveValueUnsafe())});
+  }
+
+  fault::FaultPlan stream_plan = fault::FaultPlan::Seeded(
+      47, {"replay.event", "replay.budget"}, 10, trace.events.size());
+  // The swap site is hit-indexed by the engine's tree epoch, so a
+  // resumed run re-attempting the same republish would land on the same
+  // index: the kill models a transient fault that has cleared by the
+  // time the operator restarts, so the resume arms only the stream plan.
+  fault::FaultPlan kill_plan = stream_plan;
+  {
+    fault::FaultSpec kill;
+    kill.site = "republish.swap";
+    kill.kind = fault::FaultKind::kFail;
+    kill.code = StatusCode::kAborted;
+    kill.message = "injected crash at the shard flip";
+    kill.after = 0;  // tree epoch 0: the first swap attempt
+    kill.count = 1;
+    kill_plan.faults.push_back(kill);
+  }
+
+  ReplayOptions options;
+  options.epoch_seconds = 60.0;
+  options.num_shards = 4;
+  options.epoch_budget = 4.0;
+  options.lifetime_budget = 15.0;
+  options.poison_policy = PoisonPolicy::kQuarantine;
+  options.checkpoint_every_epochs = 1;
+  options.republishes = schedule;
+
+  // Uninterrupted baseline, stream chaos only.
+  const std::string base_path =
+      ::testing::TempDir() + "/tbf_chaos_swap_baseline.ckpt";
+  ReplayOptions baseline_options = options;
+  baseline_options.checkpoint_path = base_path;
+  Result<ReplayReport> baseline = Status::Internal("unset");
+  {
+    fault::ScopedFaultPlan armed(stream_plan);
+    ASSERT_TRUE(armed.armed());
+    baseline = RunEventReplay(framework, trace, baseline_options);
+  }
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_EQ(baseline->republishes, 2u);
+
+  // Crash drill: the first shard flip dies mid-republish. The engine
+  // aborts the swap atomically, the run surfaces the injected status,
+  // and the last durable checkpoint still records tree epoch 0.
+  const std::string crash_path =
+      ::testing::TempDir() + "/tbf_chaos_swap_crash.ckpt";
+  ReplayOptions crash_options = options;
+  crash_options.checkpoint_path = crash_path;
+  {
+    fault::ScopedFaultPlan armed(kill_plan);
+    ASSERT_TRUE(armed.armed());
+    auto killed = RunEventReplay(framework, trace, crash_options);
+    ASSERT_FALSE(killed.ok());
+    EXPECT_EQ(killed.status().code(), StatusCode::kAborted);
+  }
+  auto ckpt = ReadReplayCheckpointFile(crash_path);
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+  EXPECT_EQ(ckpt->server.tree_epoch, 0u);
+
+  // Resume with the fault cleared: the republish is re-attempted at the
+  // same window, succeeds, and the stitched run converges to the
+  // uninterrupted one field for field — including the republish count.
+  ReplayOptions resume_options = crash_options;
+  resume_options.resume_from_checkpoint = true;
+  Result<ReplayReport> resumed = Status::Internal("unset");
+  {
+    fault::ScopedFaultPlan armed(stream_plan);
+    ASSERT_TRUE(armed.armed());
+    resumed = RunEventReplay(framework, trace, resume_options);
+  }
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(resumed->resumed);
+  EXPECT_EQ(resumed->republishes, 2u);
+  ExpectAccountingIdentity(*resumed);
+  ExpectDeterministicFieldsEqual(*baseline, *resumed);
+
+  std::remove(base_path.c_str());
+  std::remove(crash_path.c_str());
+}
+
+TEST(ChaosReplayTest, KillAtSnapshotWriteLeavesPublishedSnapshotIntact) {
+  // The publisher's crash drill: a snapshot republication dies mid-write.
+  // Atomic publication guarantees the previous snapshot survives intact,
+  // so a restarting server still comes up — on the old tree.
+  TbfFramework framework = BuildFramework();
+  // When TBF_CHAOS_CHECKPOINT_DIR is set (CI), the final snapshot stays
+  // behind for tools/check_snapshot.py — the same artifact flow as the
+  // sweep's checkpoints.
+  const char* keep_dir = std::getenv("TBF_CHAOS_CHECKPOINT_DIR");
+  const std::string dir = keep_dir ? keep_dir : ::testing::TempDir();
+  const std::string path = dir + "/tbf_chaos_snapshot.snap";
+  ASSERT_TRUE(WriteHstSnapshotFile(framework.tree(), path).ok());
+
+  auto replacement = SwappedTree(framework.tree());
+  {
+    fault::FaultSpec spec;
+    spec.site = "snapshot.write";
+    spec.kind = fault::FaultKind::kFail;
+    spec.code = StatusCode::kIOError;
+    spec.message = "injected crash mid-write";
+    fault::FaultPlan plan;
+    plan.faults.push_back(spec);
+    fault::ScopedFaultPlan armed(plan);
+    ASSERT_TRUE(armed.armed());
+    auto failed = WriteHstSnapshotFile(*replacement, path);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.code(), StatusCode::kIOError);
+  }
+
+  // The survivor parses and still carries the ORIGINAL leaf layout, and
+  // an engine restarted from it serves draws identical to one built on
+  // the in-memory tree.
+  auto survivor = ReadHstSnapshotFile(path);
+  ASSERT_TRUE(survivor.ok()) << survivor.status();
+  EXPECT_EQ(SerializeHstSnapshot(*survivor),
+            SerializeHstSnapshot(framework.tree()));
+
+  EventTrace trace = ChaosTrace(60, 40, 19);
+  ReplayOptions options;
+  options.epoch_seconds = 60.0;
+  options.num_shards = 2;
+  auto from_memory = RunEventReplay(framework, trace, options);
+  ASSERT_TRUE(from_memory.ok());
+
+  // After the fault clears, the retry replaces the snapshot atomically.
+  ASSERT_TRUE(WriteHstSnapshotFile(*replacement, path).ok());
+  auto reloaded = ReadHstSnapshotFile(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(SerializeHstSnapshot(*reloaded),
+            SerializeHstSnapshot(*replacement));
+
+  if (!keep_dir) std::remove(path.c_str());
 }
 
 #endif  // TBF_FAULTS_DISABLED

@@ -1,0 +1,188 @@
+// Fuzz/corruption sweep for the text publication parser, in the style of
+// tests/workload/trace_fuzz_test.cc: targeted corruptions must yield
+// row-precise diagnostics, and a seeded mutation storm must never crash
+// the parser — every input either parses to a valid tree or fails with a
+// clean InvalidArgument.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <string>
+
+#include "core/hst_mechanism.h"
+#include "geo/grid.h"
+#include "hst/serialize.h"
+
+namespace tbf {
+namespace {
+
+CompleteHst BuildTree(uint64_t seed = 3, int side = 5) {
+  EuclideanMetric metric;
+  Rng rng(seed);
+  auto grid = UniformGridPoints(BBox::Square(100), side);
+  auto tree = CompleteHst::BuildFromPoints(*grid, metric, &rng);
+  EXPECT_TRUE(tree.ok()) << tree.status();
+  return std::move(tree).MoveValueUnsafe();
+}
+
+void ExpectParseError(const std::string& text, const std::string& substring) {
+  auto parsed = ParseCompleteHst(text);
+  ASSERT_FALSE(parsed.ok()) << "expected error containing '" << substring
+                            << "'";
+  EXPECT_NE(parsed.status().message().find(substring), std::string::npos)
+      << parsed.status();
+}
+
+// A small hand-written document whose rows are easy to corrupt precisely.
+// Geometry: depth 2, arity 3, scale 8 — leaves are two dot-separated
+// digits in [0, 3).
+std::string ValidDocument() {
+  return
+      "tbf-hst 1\n"
+      "depth 2 arity 3 scale 8\n"
+      "points 4\n"
+      "0 0 0.0\n"
+      "10 0 0.1\n"
+      "0 10 1.0\n"
+      "10 10 2.2\n";
+}
+
+TEST(SerializeFuzzTest, ValidCorpusParses) {
+  auto parsed = ParseCompleteHst(ValidDocument());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->depth(), 2);
+  EXPECT_EQ(parsed->arity(), 3);
+  EXPECT_EQ(parsed->num_points(), 4);
+}
+
+TEST(SerializeFuzzTest, HeaderCorruptions) {
+  ExpectParseError("", "not a tbf-hst document");
+  ExpectParseError("nonsense 1\n", "not a tbf-hst document");
+  ExpectParseError("tbf-hst 9\n", "unsupported tbf-hst version 9");
+  ExpectParseError("tbf-hst 1\narity 3\n", "missing depth");
+  ExpectParseError("tbf-hst 1\ndepth 2 scale 8\n", "missing arity");
+  ExpectParseError("tbf-hst 1\ndepth 2 arity 3\n", "missing scale");
+  ExpectParseError("tbf-hst 1\ndepth 2 arity 3 scale 8\n",
+                   "missing points count");
+  ExpectParseError("tbf-hst 1\ndepth 0 arity 3 scale 8\npoints 1\n",
+                   "bad header: depth 0 must be >= 1");
+  ExpectParseError("tbf-hst 1\ndepth 2 arity 1 scale 8\npoints 1\n",
+                   "bad header: arity 1 out of range [2, 65535]");
+  ExpectParseError("tbf-hst 1\ndepth 2 arity 70000 scale 8\npoints 1\n",
+                   "out of range [2, 65535]");
+  ExpectParseError("tbf-hst 1\ndepth 2 arity 3 scale -8\npoints 1\n",
+                   "bad header: scale must be positive and finite");
+  // libstdc++ refuses "inf"/"nan" at extraction, other platforms produce
+  // the value and trip the finiteness check — either way it must fail.
+  EXPECT_FALSE(
+      ParseCompleteHst("tbf-hst 1\ndepth 2 arity 3 scale inf\npoints 1\n")
+          .ok());
+}
+
+TEST(SerializeFuzzTest, RowErrorsNameTheRow) {
+  // Truncation: the declared count exceeds the table.
+  ExpectParseError(
+      "tbf-hst 1\ndepth 2 arity 3 scale 8\npoints 4\n0 0 0.0\n10 0 0.1\n",
+      "truncated point table at row 2");
+  // Digit beyond the arity.
+  ExpectParseError(
+      "tbf-hst 1\ndepth 2 arity 3 scale 8\npoints 2\n0 0 0.0\n10 0 0.7\n",
+      "row 1: leaf digit '7' invalid or out of arity range [0, 3)");
+  // Garbage token in a path: the atoi-based LeafPathFromString would have
+  // silently read 'x' as 0 — the parser must reject it instead.
+  ExpectParseError(
+      "tbf-hst 1\ndepth 2 arity 3 scale 8\npoints 2\n0 0 0.0\n10 0 0.x\n",
+      "row 1: leaf digit 'x' invalid");
+  // Empty digit (consecutive dots).
+  ExpectParseError(
+      "tbf-hst 1\ndepth 2 arity 3 scale 8\npoints 1\n0 0 0..1\n",
+      "row 0: leaf digit ''");
+  // Wrong path length.
+  ExpectParseError(
+      "tbf-hst 1\ndepth 2 arity 3 scale 8\npoints 2\n0 0 0.0\n10 0 0.1.2\n",
+      "row 1: leaf path has 3 digits, want depth 2");
+  ExpectParseError(
+      "tbf-hst 1\ndepth 2 arity 3 scale 8\npoints 1\n0 0 1\n",
+      "row 0: leaf path has 1 digits, want depth 2");
+  // Duplicate leaf names both rows.
+  ExpectParseError(
+      "tbf-hst 1\ndepth 2 arity 3 scale 8\npoints 3\n"
+      "0 0 0.0\n10 0 0.1\n5 5 0.0\n",
+      "row 2: duplicate leaf path (first seen at row 0)");
+  // Non-finite coordinates: rejected at extraction (libstdc++) or by the
+  // row's finiteness check — never accepted.
+  EXPECT_FALSE(
+      ParseCompleteHst(
+          "tbf-hst 1\ndepth 2 arity 3 scale 8\npoints 1\nnan 0 0.0\n")
+          .ok());
+  EXPECT_FALSE(
+      ParseCompleteHst(
+          "tbf-hst 1\ndepth 2 arity 3 scale 8\npoints 1\n0 inf 0.0\n")
+          .ok());
+}
+
+TEST(SerializeFuzzTest, TrailingGarbageRejected) {
+  ExpectParseError(ValidDocument() + "surprise\n",
+                   "trailing garbage after the point table ('surprise')");
+  // An extra well-formed row is also garbage: the count is authoritative.
+  ExpectParseError(ValidDocument() + "3 3 1.1\n", "trailing garbage");
+}
+
+TEST(SerializeFuzzTest, HugeDeclaredCountFailsFastWithoutAllocating) {
+  // A corrupt count must fail via row-truncation (the reserve is capped),
+  // not a multi-gigabyte allocation.
+  ExpectParseError(
+      "tbf-hst 1\ndepth 2 arity 3 scale 8\npoints 99999999999\n",
+      "truncated point table at row 0");
+}
+
+// Mutation storm over a real serialized tree. The text format carries no
+// checksum, so a mutation may legitimately still parse (e.g. a digit of a
+// coordinate changes) — the contract under fuzz is no crash, no hang, and
+// ok() implies a structurally valid tree.
+TEST(SerializeFuzzTest, SeededMutationSweepNeverCrashes) {
+  const std::string base = SerializeCompleteHst(BuildTree());
+  std::mt19937 prng(20260808);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string mutated = base;
+    switch (iter % 4) {
+      case 0:  // truncate
+        mutated.resize(prng() % (mutated.size() + 1));
+        break;
+      case 1: {  // substitute a printable byte
+        if (!mutated.empty()) {
+          mutated[prng() % mutated.size()] =
+              static_cast<char>(' ' + prng() % 95);
+        }
+        break;
+      }
+      case 2: {  // splice a random chunk over a random position
+        const size_t from = prng() % mutated.size();
+        const size_t to = prng() % mutated.size();
+        const size_t len = prng() % 32;
+        mutated = mutated.substr(0, to) + base.substr(from, len) +
+                  mutated.substr(to);
+        break;
+      }
+      default: {  // inflate or deflate the declared count
+        const size_t pos = mutated.find("points ");
+        if (pos != std::string::npos) {
+          mutated.insert(pos + 7, std::to_string(prng() % 10000));
+        }
+        break;
+      }
+    }
+    auto parsed = ParseCompleteHst(mutated);
+    if (parsed.ok()) {
+      EXPECT_GE(parsed->depth(), 1);
+      EXPECT_GE(parsed->arity(), 2);
+      EXPECT_GT(parsed->num_points(), 0);
+    } else {
+      EXPECT_FALSE(parsed.status().message().empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tbf

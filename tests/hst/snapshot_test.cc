@@ -1,0 +1,399 @@
+#include "hst/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <string>
+
+#include "common/atomic_file.h"
+#include "common/fault.h"
+#include "core/hst_mechanism.h"
+#include "geo/grid.h"
+
+namespace tbf {
+namespace {
+
+CompleteHst BuildTree(uint64_t seed = 3, int side = 5) {
+  EuclideanMetric metric;
+  Rng rng(seed);
+  auto grid = UniformGridPoints(BBox::Square(100), side);
+  auto tree = CompleteHst::BuildFromPoints(*grid, metric, &rng);
+  EXPECT_TRUE(tree.ok()) << tree.status();
+  return std::move(tree).MoveValueUnsafe();
+}
+
+// A shape too deep for 64-bit codes (70 binary digits) — exercises the
+// digit-path leaf encoding (flags bit 0 clear).
+CompleteHst BuildDeepTree() {
+  const int depth = 70;
+  std::vector<Point> points = {{0.0, 0.0}, {10.0, 10.0}, {20.0, 0.0}};
+  std::vector<LeafPath> paths(
+      points.size(), LeafPath(static_cast<size_t>(depth), char16_t{0}));
+  paths[1][0] = char16_t{1};
+  paths[2][1] = char16_t{1};
+  auto tree = CompleteHst::FromParts(depth, 2, 2.5, std::move(points),
+                                     std::move(paths));
+  EXPECT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ(tree->codec(), nullptr);
+  return std::move(tree).MoveValueUnsafe();
+}
+
+// --- payload surgery helpers -------------------------------------------
+
+std::string PayloadOf(const std::string& framed) {
+  const size_t nl = framed.find('\n');
+  EXPECT_NE(nl, std::string::npos);
+  return framed.substr(nl + 1);
+}
+
+std::string Reframe(const std::string& payload) {
+  return FrameCrcPayload("TBFSNAP1", payload);
+}
+
+void PatchU32(std::string* payload, size_t off, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*payload)[off + static_cast<size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void PatchU64(std::string* payload, size_t off, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    (*payload)[off + static_cast<size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void PatchF64(std::string* payload, size_t off, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PatchU64(payload, off, bits);
+}
+
+// Payload layout: version@0 flags@4 depth@8 arity@12 scale@16 count@24,
+// point table @32.
+constexpr size_t kOffVersion = 0;
+constexpr size_t kOffFlags = 4;
+constexpr size_t kOffDepth = 8;
+constexpr size_t kOffArity = 12;
+constexpr size_t kOffScale = 16;
+constexpr size_t kOffCount = 24;
+constexpr size_t kOffPoints = 32;
+
+void ExpectParseError(const std::string& bytes, const std::string& substring) {
+  auto parsed = ParseHstSnapshot(bytes);
+  ASSERT_FALSE(parsed.ok()) << "expected error containing '" << substring
+                            << "'";
+  EXPECT_NE(parsed.status().message().find(substring), std::string::npos)
+      << parsed.status();
+}
+
+// --- round trips --------------------------------------------------------
+
+TEST(HstSnapshotTest, RoundTripPreservesEverythingPacked) {
+  CompleteHst original = BuildTree();
+  ASSERT_NE(original.codec(), nullptr);
+  auto parsed = ParseHstSnapshot(SerializeHstSnapshot(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->depth(), original.depth());
+  EXPECT_EQ(parsed->arity(), original.arity());
+  EXPECT_DOUBLE_EQ(parsed->scale(), original.scale());
+  ASSERT_EQ(parsed->num_points(), original.num_points());
+  ASSERT_NE(parsed->codec(), nullptr);
+  for (int p = 0; p < original.num_points(); ++p) {
+    EXPECT_EQ(parsed->points()[static_cast<size_t>(p)],
+              original.points()[static_cast<size_t>(p)]);
+    EXPECT_EQ(parsed->leaf_of_point(p), original.leaf_of_point(p));
+    EXPECT_EQ(parsed->leaf_code_of_point(p), original.leaf_code_of_point(p));
+  }
+  // The operational artifact must agree with the publication wire format:
+  // distances and client-side mapping are draw-for-draw identical.
+  for (int a = 0; a < original.num_points(); a += 3) {
+    for (int b = 0; b < original.num_points(); b += 5) {
+      EXPECT_DOUBLE_EQ(parsed->TreeDistance(parsed->leaf_of_point(a),
+                                            parsed->leaf_of_point(b)),
+                       original.TreeDistance(original.leaf_of_point(a),
+                                             original.leaf_of_point(b)));
+    }
+  }
+  Point query{33.3, 61.2};
+  EXPECT_EQ(parsed->MapToNearestLeafCode(query),
+            original.MapToNearestLeafCode(query));
+}
+
+TEST(HstSnapshotTest, RoundTripPreservesDeepDigitPathTree) {
+  CompleteHst original = BuildDeepTree();
+  const std::string bytes = SerializeHstSnapshot(original);
+  auto parsed = ParseHstSnapshot(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->depth(), original.depth());
+  EXPECT_EQ(parsed->arity(), original.arity());
+  EXPECT_DOUBLE_EQ(parsed->scale(), original.scale());
+  EXPECT_EQ(parsed->codec(), nullptr);
+  ASSERT_EQ(parsed->num_points(), original.num_points());
+  for (int p = 0; p < original.num_points(); ++p) {
+    EXPECT_EQ(parsed->leaf_of_point(p), original.leaf_of_point(p));
+  }
+}
+
+TEST(HstSnapshotTest, SerializationIsDeterministic) {
+  CompleteHst tree = BuildTree(11);
+  EXPECT_EQ(SerializeHstSnapshot(tree), SerializeHstSnapshot(tree));
+}
+
+// --- frame corruption ---------------------------------------------------
+
+TEST(HstSnapshotTest, RejectsBadMagic) {
+  std::string bytes = SerializeHstSnapshot(BuildTree());
+  bytes[0] = 'X';
+  ExpectParseError(bytes, "bad magic");
+}
+
+TEST(HstSnapshotTest, RejectsFlippedPayloadByte) {
+  std::string bytes = SerializeHstSnapshot(BuildTree());
+  bytes[bytes.size() - 3] = static_cast<char>(bytes[bytes.size() - 3] ^ 0x40);
+  ExpectParseError(bytes, "CRC mismatch");
+}
+
+TEST(HstSnapshotTest, RejectsTruncatedFile) {
+  std::string bytes = SerializeHstSnapshot(BuildTree());
+  bytes.resize(bytes.size() - 10);
+  ExpectParseError(bytes, "length mismatch");
+}
+
+TEST(HstSnapshotTest, RejectsEmptyAndGarbageInput) {
+  ExpectParseError("", "missing header line");
+  ExpectParseError("complete garbage, not a snapshot", "missing header line");
+  ExpectParseError("garbage with a newline\nand more\n", "bad magic");
+  ExpectParseError("TBFSNAP1 zzzzzzzz 10\n0123456789", "bad CRC field");
+}
+
+// --- schema corruption (valid frame, hostile payload) -------------------
+
+TEST(HstSnapshotTest, RejectsUnsupportedVersion) {
+  std::string payload = PayloadOf(SerializeHstSnapshot(BuildTree()));
+  PatchU32(&payload, kOffVersion, 2);
+  ExpectParseError(Reframe(payload), "unsupported version 2");
+}
+
+TEST(HstSnapshotTest, RejectsUnknownFlagBits) {
+  std::string payload = PayloadOf(SerializeHstSnapshot(BuildTree()));
+  PatchU32(&payload, kOffFlags, 0x2 | 0x1);
+  ExpectParseError(Reframe(payload), "unknown flag bits");
+}
+
+TEST(HstSnapshotTest, RejectsFlagShapeMismatch) {
+  // The grid tree fits packed codes, so a clear packed bit contradicts
+  // the shape (and vice versa for the deep tree).
+  std::string payload = PayloadOf(SerializeHstSnapshot(BuildTree()));
+  PatchU32(&payload, kOffFlags, 0);
+  ExpectParseError(Reframe(payload), "leaf encoding does not match");
+
+  std::string deep = PayloadOf(SerializeHstSnapshot(BuildDeepTree()));
+  PatchU32(&deep, kOffFlags, 1);
+  ExpectParseError(Reframe(deep), "leaf encoding does not match");
+}
+
+TEST(HstSnapshotTest, RejectsBadGeometryHeader) {
+  const std::string base = PayloadOf(SerializeHstSnapshot(BuildTree()));
+
+  std::string payload = base;
+  PatchU32(&payload, kOffDepth, 0);
+  ExpectParseError(Reframe(payload), "depth 0 must be >= 1");
+
+  payload = base;
+  PatchU32(&payload, kOffArity, 1);
+  ExpectParseError(Reframe(payload), "arity 1 out of range");
+
+  payload = base;
+  PatchF64(&payload, kOffScale, -4.0);
+  ExpectParseError(Reframe(payload), "scale must be positive");
+}
+
+TEST(HstSnapshotTest, RejectsEmptyPointSet) {
+  std::string payload = PayloadOf(SerializeHstSnapshot(BuildTree()));
+  PatchU64(&payload, kOffCount, 0);
+  ExpectParseError(Reframe(payload), "empty point set");
+}
+
+TEST(HstSnapshotTest, HugePointCountFailsWithoutAllocating) {
+  // A corrupt count must be caught by the byte-size cross-check before
+  // any reserve — not by an out-of-memory crash.
+  std::string payload = PayloadOf(SerializeHstSnapshot(BuildTree()));
+  PatchU64(&payload, kOffCount, uint64_t{1} << 60);
+  ExpectParseError(Reframe(payload), "truncated payload");
+}
+
+TEST(HstSnapshotTest, RejectsTruncatedPayload) {
+  std::string payload = PayloadOf(SerializeHstSnapshot(BuildTree()));
+  payload.resize(payload.size() - 3);
+  ExpectParseError(Reframe(payload), "truncated payload");
+
+  payload.resize(kOffCount + 2);  // cut mid-header
+  ExpectParseError(Reframe(payload), "truncated payload");
+}
+
+TEST(HstSnapshotTest, RejectsNonFinitePoint) {
+  std::string payload = PayloadOf(SerializeHstSnapshot(BuildTree()));
+  PatchF64(&payload, kOffPoints, std::numeric_limits<double>::quiet_NaN());
+  ExpectParseError(Reframe(payload), "point 0: non-finite coordinate");
+}
+
+TEST(HstSnapshotTest, RejectsCodeBitsOutsideShape) {
+  // depth 3 x arity 4 = 6 bits of code; the top byte is guaranteed
+  // outside the shape, so poisoning it survives the per-digit masking
+  // and must be caught by the re-pack identity check.
+  std::vector<Point> points = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  std::vector<LeafPath> paths = {
+      {char16_t{0}, char16_t{0}, char16_t{0}},
+      {char16_t{1}, char16_t{0}, char16_t{0}},
+      {char16_t{2}, char16_t{1}, char16_t{0}}};
+  auto tree =
+      CompleteHst::FromParts(3, 4, 2.0, std::move(points), std::move(paths));
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  ASSERT_NE(tree->codec(), nullptr);
+  std::string payload = PayloadOf(SerializeHstSnapshot(*tree));
+  const size_t codes_off =
+      kOffPoints + static_cast<size_t>(tree->num_points()) * 16;
+  payload[codes_off + 7] = static_cast<char>(0xFF);  // poison high byte
+  ExpectParseError(Reframe(payload), "leaf 0: code has bits outside");
+}
+
+TEST(HstSnapshotTest, RejectsDigitOutOfArityRange) {
+  CompleteHst tree = BuildDeepTree();
+  std::string payload = PayloadOf(SerializeHstSnapshot(tree));
+  const size_t digits_off =
+      kOffPoints + static_cast<size_t>(tree.num_points()) * 16;
+  payload[digits_off] = 5;  // arity is 2; digit 5 is out of range
+  payload[digits_off + 1] = 0;
+  ExpectParseError(Reframe(payload),
+                   "leaf 0: digit 5 at level 0 out of arity range");
+}
+
+TEST(HstSnapshotTest, RejectsDuplicateLeafViaBackstop) {
+  CompleteHst tree = BuildTree();
+  std::string payload = PayloadOf(SerializeHstSnapshot(tree));
+  const size_t codes_off =
+      kOffPoints + static_cast<size_t>(tree.num_points()) * 16;
+  // Make leaf 1's code identical to leaf 0's: structural validation
+  // passes, FromParts rejects the duplicate with the "snapshot: " prefix.
+  PatchU64(&payload, codes_off + 8, tree.leaf_code_of_point(0));
+  auto parsed = ParseHstSnapshot(Reframe(payload));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("snapshot: "), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(HstSnapshotTest, RejectsTrailingBytes) {
+  std::string payload = PayloadOf(SerializeHstSnapshot(BuildTree()));
+  payload.append("\0\0\0\0", 4);
+  ExpectParseError(Reframe(payload), "4 trailing bytes");
+}
+
+// --- mutation sweep: corrupt bytes never crash the parser ---------------
+
+TEST(HstSnapshotTest, RandomSingleByteMutationsAlwaysRejected) {
+  const std::string bytes = SerializeHstSnapshot(BuildTree());
+  std::mt19937 prng(20260808);
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string mutated = bytes;
+    const size_t pos = prng() % mutated.size();
+    char flip = static_cast<char>(prng() % 256);
+    while (flip == mutated[pos]) flip = static_cast<char>(prng() % 256);
+    mutated[pos] = flip;
+    // Every byte is covered: the header tokens are validated, the payload
+    // is CRC-checked. A one-byte substitution must always be detected.
+    EXPECT_FALSE(ParseHstSnapshot(mutated).ok()) << "byte " << pos;
+  }
+  for (int iter = 0; iter < 100; ++iter) {
+    std::string mutated = bytes.substr(0, prng() % bytes.size());
+    EXPECT_FALSE(ParseHstSnapshot(mutated).ok())
+        << "truncation to " << mutated.size();
+  }
+}
+
+// --- files and fault sites ----------------------------------------------
+
+TEST(HstSnapshotTest, FileRoundTripAndMissingFile) {
+  const std::string path = ::testing::TempDir() + "/tbf_snapshot_test.snap";
+  std::remove(path.c_str());
+
+  CompleteHst tree = BuildTree(5);
+  ASSERT_TRUE(WriteHstSnapshotFile(tree, path).ok());
+  auto loaded = ReadHstSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(SerializeHstSnapshot(*loaded), SerializeHstSnapshot(tree));
+
+  auto missing = ReadHstSnapshotFile(path + ".does-not-exist");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIOError);
+
+  std::remove(path.c_str());
+}
+
+#ifndef TBF_FAULTS_DISABLED
+
+TEST(HstSnapshotTest, InjectedWriteFailureLeavesPreviousSnapshotIntact) {
+  const std::string path = ::testing::TempDir() + "/tbf_snapshot_fault.snap";
+  std::remove(path.c_str());
+
+  CompleteHst first = BuildTree(3);
+  CompleteHst second = BuildTree(9);
+  ASSERT_TRUE(WriteHstSnapshotFile(first, path).ok());
+
+  {
+    fault::FaultSpec spec;
+    spec.site = "snapshot.write";
+    spec.kind = fault::FaultKind::kFail;
+    spec.code = StatusCode::kIOError;
+    spec.message = "injected disk failure";
+    fault::FaultPlan plan;
+    plan.faults.push_back(spec);
+    fault::ScopedFaultPlan armed(plan);
+
+    Status failed = WriteHstSnapshotFile(second, path);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.code(), StatusCode::kIOError);
+  }
+
+  // The aborted write must not have touched the published file.
+  auto loaded = ReadHstSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(SerializeHstSnapshot(*loaded), SerializeHstSnapshot(first));
+
+  // With the fault cleared the retry succeeds and replaces the snapshot.
+  ASSERT_TRUE(WriteHstSnapshotFile(second, path).ok());
+  auto reloaded = ReadHstSnapshotFile(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(SerializeHstSnapshot(*reloaded), SerializeHstSnapshot(second));
+
+  std::remove(path.c_str());
+}
+
+TEST(HstSnapshotTest, InjectedLoadFailureSurfacesWithoutReadingFile) {
+  const std::string path = ::testing::TempDir() + "/tbf_snapshot_load.snap";
+  CompleteHst tree = BuildTree(4);
+  ASSERT_TRUE(WriteHstSnapshotFile(tree, path).ok());
+
+  {
+    fault::FaultSpec spec;
+    spec.site = "snapshot.load";
+    spec.kind = fault::FaultKind::kFail;
+    spec.code = StatusCode::kIOError;
+    fault::FaultPlan plan;
+    plan.faults.push_back(spec);
+    fault::ScopedFaultPlan armed(plan);
+    EXPECT_EQ(ReadHstSnapshotFile(path).status().code(),
+              StatusCode::kIOError);
+  }
+  EXPECT_TRUE(ReadHstSnapshotFile(path).ok());
+  std::remove(path.c_str());
+}
+
+#endif  // TBF_FAULTS_DISABLED
+
+}  // namespace
+}  // namespace tbf

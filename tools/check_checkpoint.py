@@ -35,7 +35,7 @@ SCHEMA = {
     "epoch": (14, 14, "per-epoch stats"),
     "task": (5, 5, "task_id status_code message worker distance"),
     "quar": (3, 3, "event_index id cause"),
-    "server": (2, 2, "packed assigned_tasks"),
+    "server": (3, 3, "packed assigned_tasks tree_epoch"),
     "rng": (1, 1, "serialized rng state"),
     "slot": (1, 1, "worker_by_index_id entry"),
     "free": (0, _UNBOUNDED, "free index ids"),

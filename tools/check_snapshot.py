@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Validates TBF tree snapshot files (src/hst/snapshot.cc format).
+
+Stdlib only — CI runs this against snapshots written by the benchmark and
+chaos jobs, as an independent (non-C++) check that what the writer
+fsync'd to disk is a complete, CRC-clean, schema-valid tree.
+
+Format (docs/ROBUSTNESS.md):
+    TBFSNAP1 <crc32 hex8> <payload bytes>\\n
+    payload, little-endian:
+        u32 version (1)
+        u32 flags   (bit 0: leaves as packed u64 codes)
+        i32 depth
+        i32 arity
+        f64 scale
+        u64 num_points
+        num_points x (f64 x, f64 y)
+        num_points x u64            leaf codes   (flags bit 0 set)
+        num_points x depth x u16    leaf digits  (flags bit 0 clear)
+
+Exit status: 0 when every file validates, 1 otherwise.
+
+Usage:
+    tools/check_snapshot.py FILE [FILE...]
+    tools/check_snapshot.py --dir DIR      # every *.snap under DIR
+"""
+
+import argparse
+import binascii
+import math
+import os
+import re
+import struct
+import sys
+
+MAGIC = "TBFSNAP1"
+VERSION = 1
+FLAG_PACKED = 1 << 0
+
+
+def bits_per_digit(arity):
+    """Mirror of LeafCodec::BitsPerDigit: ceil(log2(arity))."""
+    return (arity - 1).bit_length()
+
+
+def shape_fits(depth, arity):
+    """Mirror of LeafCodec::Fits."""
+    return depth >= 1 and arity >= 2 and depth * bits_per_digit(arity) <= 64
+
+
+def _fail(path, message):
+    print("FAIL %s: %s" % (path, message))
+    return False
+
+
+def check_file(path):
+    try:
+        with open(path, "rb") as f:
+            blob = f.read()
+    except OSError as e:
+        return _fail(path, "unreadable: %s" % e)
+
+    newline = blob.find(b"\n")
+    if newline < 0:
+        return _fail(path, "no header line")
+    header = blob[:newline].decode("ascii", errors="replace").split(" ")
+    if len(header) != 3 or header[0] != MAGIC:
+        return _fail(path, "bad magic (expected '%s <crc> <len>')" % MAGIC)
+    if not re.fullmatch(r"[0-9a-f]{8}", header[1]):
+        return _fail(path, "CRC field is not 8 hex digits: %r" % header[1])
+    declared_crc = int(header[1], 16)
+    try:
+        declared_len = int(header[2])
+    except ValueError:
+        return _fail(path, "payload length is not an integer")
+
+    payload = blob[newline + 1 :]
+    if len(payload) != declared_len:
+        return _fail(
+            path,
+            "payload length mismatch: header says %d, file has %d "
+            "(truncated write?)" % (declared_len, len(payload)),
+        )
+    actual_crc = binascii.crc32(payload) & 0xFFFFFFFF
+    if actual_crc != declared_crc:
+        return _fail(
+            path,
+            "CRC mismatch: header %08x, payload %08x (corrupt file)"
+            % (declared_crc, actual_crc),
+        )
+
+    if len(payload) < 32:
+        return _fail(path, "payload shorter than the 32-byte header")
+    version, flags, depth, arity = struct.unpack_from("<IIii", payload, 0)
+    (scale,) = struct.unpack_from("<d", payload, 16)
+    (num_points,) = struct.unpack_from("<Q", payload, 24)
+
+    if version != VERSION:
+        return _fail(path, "unsupported version %d (reads v%d)" % (version, VERSION))
+    if flags & ~FLAG_PACKED:
+        return _fail(path, "unknown flag bits 0x%x" % (flags & ~FLAG_PACKED))
+    if depth < 1:
+        return _fail(path, "depth %d must be >= 1" % depth)
+    if not 2 <= arity <= 0xFFFF:
+        return _fail(path, "arity %d out of range [2, 65535]" % arity)
+    if not math.isfinite(scale) or scale <= 0.0:
+        return _fail(path, "scale must be positive and finite, got %r" % scale)
+    packed = bool(flags & FLAG_PACKED)
+    if packed != shape_fits(depth, arity):
+        return _fail(
+            path,
+            "leaf encoding does not match the shape: packed flag %s but "
+            "depth %d x arity %d %s 64-bit codes"
+            % (
+                "set" if packed else "clear",
+                depth,
+                arity,
+                "fits" if shape_fits(depth, arity) else "does not fit",
+            ),
+        )
+    if num_points == 0:
+        return _fail(path, "empty point set")
+
+    leaf_bytes = 8 if packed else 2 * depth
+    want = 32 + num_points * (16 + leaf_bytes)
+    if len(payload) != want:
+        return _fail(
+            path,
+            "payload is %d bytes, %d points need %d" % (len(payload), num_points, want),
+        )
+
+    points_off = 32
+    for i in range(num_points):
+        x, y = struct.unpack_from("<dd", payload, points_off + 16 * i)
+        if not (math.isfinite(x) and math.isfinite(y)):
+            return _fail(path, "point %d: non-finite coordinate" % i)
+
+    leaves_off = points_off + 16 * num_points
+    seen = set()
+    bits = bits_per_digit(arity)
+    mask = (1 << bits) - 1
+    for i in range(num_points):
+        if packed:
+            (code,) = struct.unpack_from("<Q", payload, leaves_off + 8 * i)
+            # Digits sit root-first from the top bit down (LeafCodec);
+            # everything below the last digit must be zero.
+            digits = [
+                (code >> (64 - bits * (level + 1))) & mask for level in range(depth)
+            ]
+            repacked = 0
+            for level, digit in enumerate(digits):
+                repacked |= digit << (64 - bits * (level + 1))
+            if repacked != code:
+                return _fail(path, "leaf %d: code has bits outside the shape" % i)
+            key = code
+        else:
+            digits = struct.unpack_from(
+                "<%dH" % depth, payload, leaves_off + 2 * depth * i
+            )
+            key = tuple(digits)
+        for level, digit in enumerate(digits):
+            if digit >= arity:
+                return _fail(
+                    path,
+                    "leaf %d: digit %d at level %d out of arity range [0, %d)"
+                    % (i, digit, level, arity),
+                )
+        if key in seen:
+            return _fail(path, "leaf %d: duplicate leaf path" % i)
+        seen.add(key)
+
+    print(
+        "OK   %s (%d points, depth %d, arity %d, %s leaves, crc %08x)"
+        % (path, num_points, depth, arity, "packed" if packed else "digit", declared_crc)
+    )
+    return True
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", help="snapshot files")
+    parser.add_argument("--dir", help="validate every *.snap under this directory")
+    parser.add_argument(
+        "--expect-fail",
+        action="store_true",
+        help="invert the verdict: succeed only when every file FAILS "
+        "(CI uses this to prove corrupted fixtures are rejected)",
+    )
+    args = parser.parse_args(argv)
+
+    files = list(args.files)
+    if args.dir:
+        for root, _, names in os.walk(args.dir):
+            files.extend(
+                os.path.join(root, n) for n in sorted(names) if n.endswith(".snap")
+            )
+    if not files:
+        parser.error("no snapshot files given (pass FILE... or --dir DIR)")
+
+    results = [check_file(f) for f in files]
+    if args.expect_fail:
+        return 0 if not any(results) else 1
+    return 0 if all(results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
