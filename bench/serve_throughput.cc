@@ -15,7 +15,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <map>
+#include <string>
 #include <utility>
 
 #include "bench/json_main.h"
@@ -183,6 +185,72 @@ void BM_ServeReplayWithRepublish(benchmark::State& state) {
   state.counters["unassigned"] = static_cast<double>(unassigned);
   state.counters["republishes"] = static_cast<double>(republishes);
 }
+
+// Durability under load: the same sequential replay with the write-ahead
+// journal off / group-commit / every-record. The wal_policy counter keys
+// the rows; every row (including the WAL-off reference) checkpoints at
+// the same cadence, so the events/sec delta against wal_policy = 0 is
+// the whole journaling overhead. Group commit (the shipped default) must
+// stay within 15% of the WAL-off row at the 100k gate — every-record
+// buys per-record power-loss durability and is expected to cost real
+// throughput on fsync-bound disks, so it only runs at the 10k row.
+void BM_ServeReplayDurable(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const int policy = static_cast<int>(state.range(1));
+  const ServeWorkload& workload = GetWorkload(workers, SamplerKind::kWalk);
+
+  const std::string dir =
+      std::filesystem::temp_directory_path().string() + "/tbf_bench_wal";
+  ReplayOptions options;
+  options.epoch_seconds = 30.0;
+  options.num_shards = 1;  // the journal is an ordered log: sequential
+  options.checkpoint_every_epochs = 4;
+  if (policy > 0) {
+    options.durable_dir = dir;
+    options.wal_fsync = policy == 1 ? WalFsyncPolicy::GroupCommit()
+                                    : WalFsyncPolicy::EveryRecord();
+  } else {
+    // The WAL-off reference writes the legacy single-file checkpoint at
+    // the same cadence, so every row pays the same snapshot cost and the
+    // delta against it is the journal alone — exactly the overhead the
+    // group-commit gate bounds.
+    options.checkpoint_path = dir + ".legacy.ckpt";
+  }
+  size_t assigned = 0;
+  uint64_t checkpoints = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);  // each iteration is a fresh run
+    std::filesystem::remove(dir + ".legacy.ckpt");
+    state.ResumeTiming();
+    auto report = RunEventReplay(workload.framework, *workload.trace, options);
+    if (!report.ok()) {
+      state.SkipWithError(report.status().ToString().c_str());
+      return;
+    }
+    assigned = report->assigned;
+    checkpoints = report->checkpoints_written;
+    benchmark::DoNotOptimize(report->events_per_second);
+  }
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove(dir + ".legacy.ckpt");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.trace->events.size()));
+  // 0 = WAL off (legacy checkpoint only), 1 = group commit (default
+  // policy), 2 = every-record.
+  state.counters["wal_policy"] = policy;
+  state.counters["assigned"] = static_cast<double>(assigned);
+  state.counters["checkpoints"] = static_cast<double>(checkpoints);
+}
+
+BENCHMARK(BM_ServeReplayDurable)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({10000, 2})
+    ->Args({100000, 0})
+    ->Args({100000, 1});
 
 BENCHMARK(BM_ServeReplayWithRepublish)
     ->Unit(benchmark::kMillisecond)

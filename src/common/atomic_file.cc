@@ -9,26 +9,53 @@
 #include <vector>
 
 #ifndef _WIN32
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
 namespace tbf {
 
 uint32_t Crc32(std::string_view data, uint32_t crc) {
-  static const std::array<uint32_t, 256> kTable = [] {
-    std::array<uint32_t, 256> table{};
+  // Slice-by-8: tables[j] advances a byte through j+1 rounds of the
+  // polynomial, so the loop folds 8 input bytes per step with no
+  // inter-byte dependency chain. Same polynomial, same values as the
+  // classic one-table loop — only the throughput changes (this sits on
+  // the WAL append path, where every frame is checksummed).
+  static const std::array<std::array<uint32_t, 256>, 8> kTables = [] {
+    std::array<std::array<uint32_t, 256>, 8> tables{};
     for (uint32_t i = 0; i < 256; ++i) {
       uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
         c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
       }
-      table[i] = c;
+      tables[0][i] = c;
     }
-    return table;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = tables[0][i];
+      for (int j = 1; j < 8; ++j) {
+        c = tables[0][c & 0xFFu] ^ (c >> 8);
+        tables[j][i] = c;
+      }
+    }
+    return tables;
   }();
+  const auto& t = kTables;
   crc = ~crc;
-  for (const char ch : data) {
-    crc = kTable[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data.data());
+  size_t n = data.size();
+  while (n >= 8) {
+    const uint32_t low = crc ^ (static_cast<uint32_t>(p[0]) |
+                                (static_cast<uint32_t>(p[1]) << 8) |
+                                (static_cast<uint32_t>(p[2]) << 16) |
+                                (static_cast<uint32_t>(p[3]) << 24));
+    crc = t[7][low & 0xFFu] ^ t[6][(low >> 8) & 0xFFu] ^
+          t[5][(low >> 16) & 0xFFu] ^ t[4][low >> 24] ^ t[3][p[4]] ^
+          t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
   }
   return ~crc;
 }
@@ -122,7 +149,37 @@ Status WriteFileAtomic(const std::string& path, std::string_view bytes,
     std::remove(tmp.c_str());
     return Status::IOError(label + " rename failed: " + tmp + " -> " + path);
   }
+  // The rename entry lives in the directory, not the file: without this
+  // sync a power failure can forget the publication (or resurrect the
+  // previous file) even though the data blocks were fsync'd above.
+  Status dir_sync = FsyncParentDir(path);
+  if (!dir_sync.ok()) {
+    return Status::IOError(label + " directory fsync failed after rename: " +
+                           dir_sync.message());
+  }
   return Status::OK();
+}
+
+Status FsyncDir(const std::string& dir_path) {
+#ifndef _WIN32
+  const int fd = ::open(dir_path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open directory for fsync: " + dir_path);
+  }
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) return Status::IOError("directory fsync failed: " + dir_path);
+#else
+  (void)dir_path;
+#endif
+  return Status::OK();
+}
+
+Status FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return FsyncDir(".");
+  if (slash == 0) return FsyncDir("/");
+  return FsyncDir(path.substr(0, slash));
 }
 
 Result<std::string> ReadFileToString(const std::string& path,

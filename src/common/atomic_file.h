@@ -45,10 +45,21 @@ Result<std::string> UnframeCrcPayload(std::string_view magic,
                                       std::string_view what);
 
 /// \brief Atomic publication: writes to `<path>.tmp`, fsyncs, then
-/// renames over `path`. On failure the tmp file is removed and `path` is
-/// untouched; `what` labels the IOError messages.
+/// renames over `path` and fsyncs the parent directory (without the
+/// directory fsync the rename itself can be lost on power failure, even
+/// though the file data was synced). On failure the tmp file is removed
+/// and `path` is untouched; `what` labels the IOError messages.
 Status WriteFileAtomic(const std::string& path, std::string_view bytes,
                        std::string_view what);
+
+/// \brief fsyncs a directory, making its entries (freshly created,
+/// renamed or removed files) durable across power loss. POSIX only; a
+/// no-op where directories cannot be fsync'd.
+Status FsyncDir(const std::string& dir_path);
+
+/// \brief FsyncDir on `path`'s parent directory ("." when the path has
+/// no directory component, "/" for root-level paths).
+Status FsyncParentDir(const std::string& path);
 
 /// \brief Slurps a file (binary-safe); IOError when it cannot be opened.
 Result<std::string> ReadFileToString(const std::string& path,

@@ -16,44 +16,46 @@ constexpr char kCheckpointMagic[] = "TBFCKPT1";
 
 }  // namespace
 
-namespace {
-
-void CrcAddU64(uint32_t* crc, uint64_t v) {
-  char bytes[8];
-  for (int i = 0; i < 8; ++i) {
-    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
-  }
-  *crc = Crc32(std::string_view(bytes, 8), *crc);
-}
-
-void CrcAddDouble(uint32_t* crc, double v) {
-  uint64_t bits;
-  static_assert(sizeof(bits) == sizeof(v));
-  std::memcpy(&bits, &v, sizeof(bits));
-  CrcAddU64(crc, bits);
-}
-
-void CrcAddString(uint32_t* crc, const std::string& s) {
-  CrcAddU64(crc, s.size());
-  *crc = Crc32(s, *crc);
-}
-
-}  // namespace
-
 uint32_t FingerprintEventTrace(const EventTrace& trace) {
+  // Byte-stream identical to CRC-ing each field separately (CRC chains
+  // across calls), but batching fields into 64 KiB chunks keeps the
+  // per-call overhead off the per-event path: durable replays fingerprint
+  // the whole trace on every run, so this is sized for 100k+ events.
   uint32_t crc = 0;
-  CrcAddDouble(&crc, trace.region.min_x);
-  CrcAddDouble(&crc, trace.region.min_y);
-  CrcAddDouble(&crc, trace.region.max_x);
-  CrcAddDouble(&crc, trace.region.max_y);
-  CrcAddU64(&crc, trace.events.size());
+  std::string chunk;
+  constexpr size_t kFlushAt = size_t{1} << 16;
+  chunk.reserve(kFlushAt + 64);
+  const auto add_u64 = [&chunk](uint64_t v) {
+    char bytes[8];
+    for (int i = 0; i < 8; ++i) {
+      bytes[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
+    }
+    chunk.append(bytes, 8);
+  };
+  const auto add_double = [&add_u64](double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    add_u64(bits);
+  };
+  add_double(trace.region.min_x);
+  add_double(trace.region.min_y);
+  add_double(trace.region.max_x);
+  add_double(trace.region.max_y);
+  add_u64(trace.events.size());
   for (const TimedEvent& event : trace.events) {
-    CrcAddU64(&crc, static_cast<uint64_t>(event.kind));
-    CrcAddDouble(&crc, event.time);
-    CrcAddString(&crc, event.id);
-    CrcAddDouble(&crc, event.location.x);
-    CrcAddDouble(&crc, event.location.y);
+    add_u64(static_cast<uint64_t>(event.kind));
+    add_double(event.time);
+    add_u64(event.id.size());
+    chunk += event.id;
+    add_double(event.location.x);
+    add_double(event.location.y);
+    if (chunk.size() >= kFlushAt) {
+      crc = Crc32(chunk, crc);
+      chunk.clear();
+    }
   }
+  if (!chunk.empty()) crc = Crc32(chunk, crc);
   return crc;
 }
 
@@ -171,6 +173,7 @@ std::string SerializeReplayCheckpoint(const ReplayCheckpoint& c) {
       << c.server_seed << ' ' << c.obfuscation_seed << '\n';
   out << "cursor " << c.next_event << ' ' << c.arrivals_obfuscated << ' '
       << c.next_task_slot << '\n';
+  out << "wal " << c.wal_next_lsn << '\n';
   const ReplayCheckpoint::ReportCounters& r = c.report;
   out << "report " << r.registered << ' ' << r.assigned << ' ' << r.unassigned
       << ' ' << r.denied << ' ' << r.shed << ' ' << r.quarantined << ' '
@@ -268,9 +271,9 @@ Result<ReplayCheckpoint> ParseReplayCheckpoint(const std::string& text) {
     if (key == "version") {
       if (tok.size() != 2) return bad("version needs 1 field");
       TBF_ASSIGN_OR_RETURN(const int64_t v, ParseI64(tok[1], "version"));
-      if (v != 2) {
+      if (v != 2 && v != 3) {
         return bad("unsupported version " + tok[1] +
-                   " (this build reads v2 checkpoints)");
+                   " (this build reads v2 and v3 checkpoints)");
       }
       c.version = static_cast<int>(v);
       saw_version = true;
@@ -296,6 +299,9 @@ Result<ReplayCheckpoint> ParseReplayCheckpoint(const std::string& text) {
       TBF_ASSIGN_OR_RETURN(c.next_task_slot,
                            ParseI64(tok[3], "next_task_slot"));
       saw_cursor = true;
+    } else if (key == "wal") {
+      if (tok.size() != 2) return bad("wal needs 1 field");
+      TBF_ASSIGN_OR_RETURN(c.wal_next_lsn, ParseU64(tok[1], "wal_next_lsn"));
     } else if (key == "report") {
       if (tok.size() != 14) return bad("report needs 13 fields");
       uint64_t* fields[] = {

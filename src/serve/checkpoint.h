@@ -56,9 +56,12 @@ uint32_t FingerprintEventTrace(const EventTrace& trace);
 /// Version history: v1 had a 2-field `server` record; v2 added the
 /// server's tree epoch (number of republishes applied — see
 /// serve/republish.h) so resume can fast-forward the engine onto the
-/// correct published tree before restoring worker state.
+/// correct published tree before restoring worker state; v3 added the
+/// `wal` record (wal_next_lsn — the journal position this checkpoint
+/// covers, see serve/wal.h). The parser reads v2 and v3 (a v2 file
+/// simply has wal_next_lsn == 0).
 struct ReplayCheckpoint {
-  int version = 2;
+  int version = 3;
 
   // Identity: resume refuses a checkpoint whose trace or configuration
   // does not match the run being resumed.
@@ -72,6 +75,12 @@ struct ReplayCheckpoint {
   uint64_t next_event = 0;           ///< first trace event not yet replayed
   uint64_t arrivals_obfuscated = 0;  ///< global ForkAt offset
   int64_t next_task_slot = 0;        ///< next ReplayReport task slot
+
+  /// First journal LSN *not* covered by this checkpoint: recovery
+  /// replays WAL records with lsn >= wal_next_lsn, and compaction may
+  /// delete segments entirely below the oldest retained checkpoint's
+  /// value. 0 for non-durable runs (no journal).
+  uint64_t wal_next_lsn = 0;
 
   // Partial report: the deterministic outcome fields accumulated so far.
   struct ReportCounters {

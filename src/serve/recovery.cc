@@ -1,0 +1,355 @@
+#include "serve/recovery.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "common/fault.h"
+#include "hst/snapshot.h"
+#include "serve/republish.h"
+
+namespace tbf {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void SleepSeconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+bool IsCheckpointFileName(const std::string& name, uint64_t* ordinal) {
+  unsigned long long parsed = 0;
+  char tail = '\0';
+  if (std::sscanf(name.c_str(), "ckpt-%8llu.ckp%c", &parsed, &tail) != 2 ||
+      tail != 't') {
+    return false;
+  }
+  if (name != ReplayCheckpointFileName(parsed)) return false;
+  *ordinal = parsed;
+  return true;
+}
+
+/// Reads + parses one checkpoint with the transient-IO retry policy.
+/// Fault site "recovery.scan" fires once per attempt, so a seeded plan
+/// with count=1 exercises exactly the retry path.
+Result<ReplayCheckpoint> ReadCheckpointWithRetry(const std::string& path,
+                                                 const RecoveryPolicy& policy,
+                                                 uint64_t* io_retries) {
+  const int attempts = std::max(1, policy.max_attempts);
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    Status injected = TBF_FAULT_INJECT("recovery.scan");
+    Result<ReplayCheckpoint> read =
+        injected.ok() ? ReadReplayCheckpointFile(path)
+                      : Result<ReplayCheckpoint>(injected);
+    if (read.ok()) return read;
+    if (read.status().code() != StatusCode::kIOError) {
+      return read.status();  // corruption / schema: fail fast, no retry
+    }
+    last = read.status();
+    if (attempt + 1 < attempts) {
+      if (io_retries != nullptr) ++*io_retries;
+      SleepSeconds(policy.backoff_seconds);
+    }
+  }
+  return last;
+}
+
+std::string DivergenceAt(uint64_t lsn, const std::string& what) {
+  return "recovery: journal/state divergence at lsn " + std::to_string(lsn) +
+         ": " + what;
+}
+
+}  // namespace
+
+std::string ReplayCheckpointFileName(uint64_t ordinal) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ckpt-%08llu.ckpt",
+                static_cast<unsigned long long>(ordinal));
+  return buf;
+}
+
+Result<RecoveredRun> RecoverReplayDir(const std::string& dir,
+                                      const RecoveryPolicy& policy,
+                                      obs::MetricRegistry* metrics) {
+  RecoveredRun run;
+
+  // Enumerate surviving checkpoint files, ordinal ascending.
+  std::vector<std::pair<uint64_t, std::string>> candidates;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    uint64_t ordinal = 0;
+    const std::string name = entry.path().filename().string();
+    if (IsCheckpointFileName(name, &ordinal)) {
+      candidates.emplace_back(ordinal, entry.path().string());
+    }
+  }
+  if (ec) {
+    return Status::IOError("recovery: cannot list replay directory " + dir +
+                           ": " + ec.message());
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  // Validate every candidate (retention + compaction need the full valid
+  // list); the newest valid one becomes the restore point. Transient
+  // IOErrors are retried; a file that still fails — or fails to parse —
+  // is rejected and the supervisor falls back to the next-newest.
+  for (const auto& [ordinal, path] : candidates) {
+    Result<ReplayCheckpoint> read =
+        ReadCheckpointWithRetry(path, policy, &run.io_retries);
+    if (!read.ok()) {
+      ++run.checkpoints_rejected;
+      continue;
+    }
+    run.retained.push_back(
+        RetainedCheckpoint{ordinal, path, read->wal_next_lsn});
+    run.checkpoint = std::move(*read);
+    run.checkpoint_path = path;
+  }
+
+  // Scan + repair the journal.
+  TBF_ASSIGN_OR_RETURN(run.wal, ScanWalDir(dir, /*repair_torn_tail=*/true));
+
+  // Identity cross-check: a checkpoint and a journal from different runs
+  // must never be combined.
+  if (run.checkpoint.has_value() && run.wal.has_identity) {
+    WalIdentity from_ckpt;
+    from_ckpt.trace_fingerprint = run.checkpoint->trace_fingerprint;
+    from_ckpt.num_shards = run.checkpoint->num_shards;
+    from_ckpt.epoch_seconds = run.checkpoint->epoch_seconds;
+    from_ckpt.server_seed = run.checkpoint->server_seed;
+    from_ckpt.obfuscation_seed = run.checkpoint->obfuscation_seed;
+    if (!(from_ckpt == run.wal.identity)) {
+      return Status::FailedPrecondition(
+          "recovery: checkpoint " + run.checkpoint_path +
+          " and the journal in " + dir + " belong to different runs");
+    }
+  }
+
+  // Locate the replay suffix. LSNs are contiguous, so coverage maps to an
+  // index directly — and any gap is detectable, never silently skipped.
+  const uint64_t cover =
+      run.checkpoint.has_value() ? run.checkpoint->wal_next_lsn : 0;
+  if (run.wal.records.empty()) {
+    if (cover > 0) {
+      return Status::FailedPrecondition(
+          "recovery: checkpoint " + run.checkpoint_path + " covers journal up "
+          "to lsn " + std::to_string(cover) + " but no journal survived in " +
+          dir);
+    }
+    run.suffix_begin = 0;
+  } else {
+    const uint64_t first = run.wal.records.front().lsn;
+    if (cover < first) {
+      return Status::FailedPrecondition(
+          "recovery: journal in " + dir + " begins at lsn " +
+          std::to_string(first) + " but the newest valid checkpoint covers "
+          "only up to lsn " + std::to_string(cover) +
+          " — events in the gap are unrecoverable");
+    }
+    if (cover > run.wal.next_lsn) {
+      return Status::Internal(
+          "recovery: checkpoint " + run.checkpoint_path + " claims journal "
+          "coverage up to lsn " + std::to_string(cover) +
+          " but the journal ends at lsn " + std::to_string(run.wal.next_lsn) +
+          " — checkpoints must be written after a journal sync");
+    }
+    run.suffix_begin = static_cast<size_t>(cover - first);
+  }
+
+  if (metrics != nullptr) {
+    metrics->FindOrCreateCounter("tbf_recovery_attempts_total")->Add(1);
+    metrics->FindOrCreateCounter("tbf_recovery_checkpoints_rejected_total")
+        ->Add(run.checkpoints_rejected);
+    metrics->FindOrCreateCounter("tbf_recovery_io_retries_total")
+        ->Add(run.io_retries);
+    metrics->FindOrCreateCounter("tbf_wal_truncated_records_total")
+        ->Add(run.wal.truncated_records);
+  }
+  return run;
+}
+
+Result<WalReplayResult> ReplayWalSuffix(
+    ShardedTbfServer* server, const std::vector<WalRecord>& records,
+    size_t suffix_begin,
+    const std::vector<std::shared_ptr<const CompleteHst>>& republish_trees,
+    obs::MetricRegistry* metrics) {
+  WalReplayResult out;
+  RecoveredWindow* window = nullptr;
+
+  for (size_t i = suffix_begin; i < records.size(); ++i) {
+    const WalRecord& rec = records[i];
+    ++out.replayed_records;
+    switch (rec.kind) {
+      case WalRecordKind::kSegmentHeader:
+        break;  // carries no state
+
+      case WalRecordKind::kRepublish: {
+        if (rec.tree_epoch != server->tree_epoch() + 1) {
+          return Status::Internal(DivergenceAt(
+              rec.lsn, "republish to tree epoch " +
+                           std::to_string(rec.tree_epoch) +
+                           " but the engine is at tree epoch " +
+                           std::to_string(server->tree_epoch())));
+        }
+        if (rec.tree_epoch > republish_trees.size()) {
+          return Status::FailedPrecondition(
+              "recovery: journal records republish #" +
+              std::to_string(rec.tree_epoch) +
+              " but the run's schedule has only " +
+              std::to_string(republish_trees.size()) + " republish trees");
+        }
+        RepublishOptions fast_forward;
+        fast_forward.fast_forward = true;
+        Result<RepublishReport> swapped = server->Republish(
+            republish_trees[rec.tree_epoch - 1], fast_forward);
+        if (!swapped.ok()) return swapped.status();
+        break;
+      }
+
+      case WalRecordKind::kEpochBegin: {
+        out.windows.push_back(RecoveredWindow{});
+        window = &out.windows.back();
+        window->epoch = rec.epoch;
+        window->begin_index = rec.begin_index;
+        window->arrivals_obfuscated = rec.arrivals_obfuscated;
+        window->next_task_slot = rec.next_task_slot;
+        window->epoch_begun = true;
+        TBF_RETURN_NOT_OK(server->BeginEpoch(rec.epoch));
+        break;
+      }
+
+      case WalRecordKind::kQuarantine:
+      case WalRecordKind::kStreamFault: {
+        if (window == nullptr) {
+          return Status::Internal(
+              DivergenceAt(rec.lsn,
+                           "stage-1 record before any epoch-begin marker — "
+                           "the journal suffix does not start at a window "
+                           "boundary"));
+        }
+        ++window->stage1_records;
+        break;
+      }
+
+      case WalRecordKind::kWorkerArrival:
+      case WalRecordKind::kTaskArrival:
+      case WalRecordKind::kWorkerDeparture: {
+        if (window == nullptr) {
+          return Status::Internal(
+              DivergenceAt(rec.lsn,
+                           "dispatch record before any epoch-begin marker — "
+                           "the journal suffix does not start at a window "
+                           "boundary"));
+        }
+        // Forced records never reached the engine originally; re-applying
+        // them would fork ledger history.
+        if (!rec.outcome.forced) {
+          const std::optional<double> epsilon =
+              rec.has_epsilon ? std::optional<double>(rec.declared_epsilon)
+                              : std::nullopt;
+          if (rec.kind == WalRecordKind::kWorkerArrival) {
+            const Status applied =
+                rec.packed
+                    ? server->RegisterWorker(rec.id,
+                                             static_cast<LeafCode>(rec.code),
+                                             epsilon)
+                    : server->RegisterWorker(rec.id, rec.digits, epsilon);
+            if (static_cast<int32_t>(applied.code()) !=
+                rec.outcome.status_code) {
+              return Status::Internal(DivergenceAt(
+                  rec.lsn, "worker '" + rec.id + "' registration returned " +
+                               applied.ToString() + " but the journal "
+                               "recorded status code " +
+                               std::to_string(rec.outcome.status_code)));
+            }
+          } else if (rec.kind == WalRecordKind::kTaskArrival) {
+            const Result<DispatchResult> dispatched =
+                rec.packed
+                    ? server->SubmitTask(rec.id,
+                                         static_cast<LeafCode>(rec.code),
+                                         epsilon)
+                    : server->SubmitTask(rec.id, rec.digits, epsilon);
+            if (static_cast<int32_t>(dispatched.status().code()) !=
+                rec.outcome.status_code) {
+              return Status::Internal(DivergenceAt(
+                  rec.lsn, "task '" + rec.id + "' submission returned " +
+                               dispatched.status().ToString() +
+                               " but the journal recorded status code " +
+                               std::to_string(rec.outcome.status_code)));
+            }
+            if (dispatched.ok()) {
+              const bool has_worker = dispatched->worker.has_value();
+              if (has_worker != rec.outcome.has_worker ||
+                  (has_worker && *dispatched->worker != rec.outcome.worker)) {
+                return Status::Internal(DivergenceAt(
+                    rec.lsn,
+                    "task '" + rec.id + "' was assigned '" +
+                        (has_worker ? *dispatched->worker : "<none>") +
+                        "' but the journal recorded '" +
+                        (rec.outcome.has_worker ? rec.outcome.worker
+                                                : "<none>") +
+                        "'"));
+              }
+              if (dispatched->reported_tree_distance !=
+                  rec.outcome.tree_distance) {
+                return Status::Internal(DivergenceAt(
+                    rec.lsn, "task '" + rec.id + "' tree distance differs "
+                             "from the journaled value"));
+              }
+            }
+          } else {  // kWorkerDeparture — on disk only the missed flag
+            const Status applied = server->UnregisterWorker(rec.id);
+            if (applied.ok() == rec.missed) {
+              return Status::Internal(DivergenceAt(
+                  rec.lsn, "worker '" + rec.id + "' departure " +
+                               (applied.ok() ? "succeeded" : "missed") +
+                               " but the journal recorded the opposite"));
+            }
+          }
+        }
+        window->dispatched.push_back(rec);
+        window->epsilon_charged += rec.outcome.epsilon_charged;
+        if (rec.outcome.budget_denied == 1) ++window->denied_epoch;
+        if (rec.outcome.budget_denied == 2) ++window->denied_lifetime;
+        ++out.recovered_events;
+        break;
+      }
+    }
+  }
+
+  if (metrics != nullptr) {
+    metrics->FindOrCreateCounter("tbf_recovery_replayed_records_total")
+        ->Add(out.replayed_records);
+    metrics->FindOrCreateCounter("tbf_wal_recovered_events_total")
+        ->Add(out.recovered_events);
+  }
+  return out;
+}
+
+Result<CompleteHst> ReadHstSnapshotFileWithRetry(const std::string& path,
+                                                 const RecoveryPolicy& policy,
+                                                 uint64_t* io_retries) {
+  const int attempts = std::max(1, policy.max_attempts);
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    Result<CompleteHst> read = ReadHstSnapshotFile(path);
+    if (read.ok()) return read;
+    if (read.status().code() != StatusCode::kIOError) {
+      return read.status();  // corruption: retrying cannot help
+    }
+    last = read.status();
+    if (attempt + 1 < attempts) {
+      if (io_retries != nullptr) ++*io_retries;
+      SleepSeconds(policy.backoff_seconds);
+    }
+  }
+  return last;
+}
+
+}  // namespace tbf

@@ -1,0 +1,153 @@
+// Crash-anywhere recovery supervisor.
+//
+// A durable replay run leaves two kinds of artifacts in its directory:
+// periodic checkpoints `ckpt-<ordinal:08>.ckpt` (serve/checkpoint.h) and
+// the segmented event journal `wal-<seq:08>.seg` (serve/wal.h). After a
+// crash — mid-append, mid-fsync, mid-rotation, mid-checkpoint — recovery
+// proceeds in three steps:
+//
+//   1. RecoverReplayDir picks the newest *valid* checkpoint. A checkpoint
+//      that fails to read with a transient IOError is retried once with a
+//      bounded backoff (RecoveryPolicy); one that fails to *parse*
+//      (corruption) is rejected permanently and the supervisor falls back
+//      to the next-newest. It then scans the journal, repairs the torn
+//      tail (truncating at the first bad CRC / short frame with a
+//      record-precise report), cross-checks the journal identity against
+//      the checkpoint, and locates the replay suffix: the first journal
+//      record with lsn >= the checkpoint's wal_next_lsn.
+//   2. The caller restores the checkpoint into a fresh ShardedTbfServer
+//      (the existing resume path), then ReplayWalSuffix re-applies the
+//      journal suffix through the engine. Each dispatched record carries
+//      the outcome the original run observed; the replayed outcome must
+//      match field-for-field or recovery fails with a journal/state
+//      divergence error rather than silently forking history.
+//   3. ReplayWalSuffix also reconstructs, per event window touched by the
+//      suffix, what the window had already completed (stage-1 quarantine
+//      records, dispatched events, ledger charges) so the replay loop can
+//      re-enter the window and skip exactly the journaled work.
+//
+// Metrics: tbf_recovery_attempts_total, tbf_recovery_checkpoints_rejected
+// _total, tbf_recovery_io_retries_total, tbf_recovery_replayed_records
+// _total, tbf_wal_recovered_events_total, tbf_wal_truncated_records_total.
+// Fault site: "recovery.scan" fires on every checkpoint read attempt.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "hst/complete_hst.h"
+#include "obs/metrics.h"
+#include "serve/checkpoint.h"
+#include "serve/sharded_server.h"
+#include "serve/wal.h"
+
+namespace tbf {
+
+/// \brief Bounded-retry policy for transient IO during recovery.
+struct RecoveryPolicy {
+  /// Total attempts per read (1 initial + retries). The issue ships
+  /// retry-once: 2 attempts.
+  int max_attempts = 2;
+  /// Sleep between attempts. Small: the transient faults this guards
+  /// against (NFS hiccup, overloaded disk) clear in milliseconds.
+  double backoff_seconds = 0.005;
+};
+
+/// \brief `ckpt-<ordinal:08>.ckpt`.
+std::string ReplayCheckpointFileName(uint64_t ordinal);
+
+/// \brief One surviving, *valid* checkpoint file (retention candidate).
+struct RetainedCheckpoint {
+  uint64_t ordinal = 0;
+  std::string path;
+  uint64_t wal_next_lsn = 0;
+};
+
+/// \brief Everything RecoverReplayDir learned about a durable directory.
+struct RecoveredRun {
+  /// Newest valid checkpoint, if any survived.
+  std::optional<ReplayCheckpoint> checkpoint;
+  std::string checkpoint_path;  ///< "" when no checkpoint survived
+
+  /// Every valid checkpoint, ordinal ascending (for retention/compaction:
+  /// compaction must keep the journal back to the *oldest* retained
+  /// checkpoint so a later recovery can still fall back to it).
+  std::vector<RetainedCheckpoint> retained;
+
+  uint64_t checkpoints_rejected = 0;  ///< corrupt files skipped
+  uint64_t io_retries = 0;            ///< transient IO reads retried
+
+  /// Journal scan after torn-tail repair.
+  WalScan wal;
+  /// Index into wal.records of the first record not covered by the
+  /// checkpoint (== wal.records.size() when the checkpoint covers all).
+  size_t suffix_begin = 0;
+};
+
+/// \brief Scans a durable replay directory: newest-valid checkpoint
+/// selection (transient reads retried, corrupt files rejected with
+/// fallback), journal scan + torn-tail repair, identity cross-checks,
+/// suffix location. Fails (never silently drops events) when the journal
+/// has a gap the surviving checkpoints cannot cover.
+Result<RecoveredRun> RecoverReplayDir(const std::string& dir,
+                                      const RecoveryPolicy& policy = {},
+                                      obs::MetricRegistry* metrics = nullptr);
+
+/// \brief What the journal proves one event window had already completed
+/// before the crash. The replay loop re-enters the window and skips
+/// exactly this much work (the outcomes below are the journaled ones, so
+/// skipping re-dispatch cannot fork history — and cannot re-spend
+/// privacy budget).
+struct RecoveredWindow {
+  int64_t epoch = 0;
+  uint64_t begin_index = 0;          ///< first trace index of the window
+  uint64_t arrivals_obfuscated = 0;  ///< ForkAt offset at window start
+  int64_t next_task_slot = 0;        ///< report task slot at window start
+  bool epoch_begun = false;  ///< BeginEpoch already applied (via journal)
+  /// Stage-1 (pre-dispatch) records already journaled: quarantines and
+  /// stream-fault bookkeeping, in journal order.
+  size_t stage1_records = 0;
+  /// Dispatched events already journaled (arrival/task/departure records
+  /// with their outcomes), in dispatch order.
+  std::vector<WalRecord> dispatched;
+  /// Ledger deltas the journaled dispatches produced (per window).
+  double epsilon_charged = 0.0;
+  uint64_t denied_epoch = 0;
+  uint64_t denied_lifetime = 0;
+};
+
+struct WalReplayResult {
+  /// Windows the suffix touched, oldest first. The last one may be
+  /// partial (the crash happened inside it).
+  std::vector<RecoveredWindow> windows;
+  uint64_t replayed_records = 0;  ///< journal records consumed
+  uint64_t recovered_events = 0;  ///< dispatched events re-applied
+};
+
+/// \brief Re-applies `records[suffix_begin..]` through the engine:
+/// BeginEpoch at window markers, registration/submission/unregistration
+/// with the *journaled* obfuscated reports, republishes fast-forwarded
+/// from `republishes` (the run's schedule). Verifies every replayed
+/// outcome against the journaled one; any divergence (status code,
+/// assigned worker, tree distance, ledger charge) is an Internal error —
+/// the journal and the engine disagree and recovery must not guess.
+/// Records whose outcome is `forced` (an injected pre-engine denial)
+/// are counted but not re-applied.
+Result<WalReplayResult> ReplayWalSuffix(
+    ShardedTbfServer* server, const std::vector<WalRecord>& records,
+    size_t suffix_begin, const std::vector<std::shared_ptr<const CompleteHst>>& republish_trees,
+    obs::MetricRegistry* metrics = nullptr);
+
+/// \brief ReadHstSnapshotFile with the recovery retry policy: a transient
+/// IOError (file vanished mid-read, open refused) is retried up to
+/// policy.max_attempts with backoff; a parse error (corruption) fails
+/// fast. `io_retries`, when non-null, is incremented per retry.
+Result<CompleteHst> ReadHstSnapshotFileWithRetry(
+    const std::string& path, const RecoveryPolicy& policy = {},
+    uint64_t* io_retries = nullptr);
+
+}  // namespace tbf

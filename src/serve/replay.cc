@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <functional>
 #include <optional>
 #include <thread>
@@ -14,7 +15,9 @@
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 #include "serve/checkpoint.h"
+#include "serve/recovery.h"
 #include "serve/sharded_server.h"
+#include "serve/wal.h"
 
 namespace tbf {
 
@@ -46,12 +49,30 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
   if (options.epoch_seconds <= 0.0) {
     return Status::InvalidArgument("epoch_seconds must be positive");
   }
-  if (!options.checkpoint_path.empty() && options.checkpoint_every_epochs < 1) {
+  const bool durable = !options.durable_dir.empty();
+  if ((!options.checkpoint_path.empty() || durable) &&
+      options.checkpoint_every_epochs < 1) {
     return Status::InvalidArgument("checkpoint_every_epochs must be >= 1");
   }
   if (options.resume_from_checkpoint && options.checkpoint_path.empty()) {
     return Status::InvalidArgument(
         "resume_from_checkpoint requires checkpoint_path");
+  }
+  if (durable && !options.checkpoint_path.empty()) {
+    return Status::InvalidArgument(
+        "durable_dir and checkpoint_path are mutually exclusive (the "
+        "durable directory owns its own ordinal checkpoints)");
+  }
+  if (durable && options.parallel_dispatch && options.num_shards > 1) {
+    return Status::InvalidArgument(
+        "durable_dir requires sequential dispatch: the journal is an "
+        "ordered log and parallel lane interleaving is not replayable");
+  }
+  if (durable && options.keep_checkpoints < 1) {
+    return Status::InvalidArgument("keep_checkpoints must be >= 1");
+  }
+  if (options.recover && !durable) {
+    return Status::InvalidArgument("recover requires durable_dir");
   }
   for (size_t i = 0; i < options.republishes.size(); ++i) {
     const ReplayRepublish& entry = options.republishes[i];
@@ -167,8 +188,9 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
   }
   report.events = n;
   report.task_outcomes.resize(report.task_arrivals);
-  if (trace.events.empty() && !options.resume_from_checkpoint) {
+  if (trace.events.empty() && !options.resume_from_checkpoint && !durable) {
     report.available_workers_end = 0;
+    if (options.export_final_state) report.final_state = server->ExportState();
     return report;
   }
 
@@ -196,9 +218,10 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
     }
   }
 
-  const uint32_t trace_fingerprint = options.checkpoint_path.empty()
-                                         ? 0
-                                         : FingerprintEventTrace(trace);
+  const uint32_t trace_fingerprint =
+      (options.checkpoint_path.empty() && !durable)
+          ? 0
+          : FingerprintEventTrace(trace);
 
   ThreadPool pool(options.threads);
   const Rng obfuscation_stream(options.obfuscation_seed);
@@ -219,9 +242,9 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
   size_t begin = 0;
   size_t next_republish = 0;  // cursor into options.republishes
 
-  if (options.resume_from_checkpoint) {
-    TBF_ASSIGN_OR_RETURN(ReplayCheckpoint ckpt,
-                         ReadReplayCheckpointFile(options.checkpoint_path));
+  // Restores a parsed checkpoint into the fresh engine + loop cursor;
+  // shared by single-file resume and the durable recovery supervisor.
+  const auto restore_from_checkpoint = [&](ReplayCheckpoint& ckpt) -> Status {
     if (ckpt.trace_fingerprint != trace_fingerprint) {
       return Status::FailedPrecondition(
           "checkpoint does not belong to this trace (fingerprint mismatch)");
@@ -292,6 +315,74 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
     arrivals_obfuscated = ckpt.arrivals_obfuscated;
     next_task_slot = static_cast<int>(ckpt.next_task_slot);
     report.resumed = true;
+    return Status::OK();
+  };
+
+  if (options.resume_from_checkpoint) {
+    TBF_ASSIGN_OR_RETURN(ReplayCheckpoint ckpt,
+                         ReadReplayCheckpointFile(options.checkpoint_path));
+    TBF_RETURN_NOT_OK(restore_from_checkpoint(ckpt));
+  }
+
+  // Durable serving: recover the directory (newest valid checkpoint +
+  // journal-suffix re-apply), then open the journal for appending.
+  std::unique_ptr<WalWriter> wal;
+  std::vector<RecoveredWindow> resume_windows;
+  size_t resume_window_idx = 0;
+  std::vector<RetainedCheckpoint> retained;  // valid ckpts, ordinal order
+  if (durable) {
+    WalIdentity wal_identity;
+    wal_identity.trace_fingerprint = trace_fingerprint;
+    wal_identity.num_shards = options.num_shards;
+    wal_identity.epoch_seconds = options.epoch_seconds;
+    wal_identity.server_seed = options.server_seed;
+    wal_identity.obfuscation_seed = options.obfuscation_seed;
+
+    if (options.recover) {
+      TBF_ASSIGN_OR_RETURN(
+          RecoveredRun recovered,
+          RecoverReplayDir(options.durable_dir, RecoveryPolicy{},
+                           &run_metrics));
+      if (recovered.wal.has_identity &&
+          !(recovered.wal.identity == wal_identity)) {
+        return Status::FailedPrecondition(
+            "recover: the journal in " + options.durable_dir +
+            " belongs to a different run (identity mismatch)");
+      }
+      retained = std::move(recovered.retained);
+      report.wal_truncated_records = recovered.wal.truncated_records;
+      if (recovered.checkpoint.has_value()) {
+        TBF_RETURN_NOT_OK(restore_from_checkpoint(*recovered.checkpoint));
+      }
+      std::vector<std::shared_ptr<const CompleteHst>> republish_trees;
+      republish_trees.reserve(options.republishes.size());
+      for (const ReplayRepublish& entry : options.republishes) {
+        republish_trees.push_back(entry.tree);
+      }
+      TBF_ASSIGN_OR_RETURN(
+          WalReplayResult applied,
+          ReplayWalSuffix(server.get(), recovered.wal.records,
+                          recovered.suffix_begin, republish_trees,
+                          &run_metrics));
+      report.recovered_events = applied.recovered_events;
+      resume_windows = std::move(applied.windows);
+      if (!resume_windows.empty()) {
+        // Rewind the cursor to the first suffix window's start: the loop
+        // re-enters it and skips exactly the journaled work.
+        const RecoveredWindow& first = resume_windows.front();
+        begin = static_cast<size_t>(first.begin_index);
+        arrivals_obfuscated = first.arrivals_obfuscated;
+        next_task_slot = static_cast<int>(first.next_task_slot);
+        report.resumed = true;
+      }
+      // The engine's tree epoch counts schedule entries applied (via the
+      // checkpoint fast-forward and/or journaled republish records).
+      next_republish = static_cast<size_t>(server->tree_epoch());
+      report.republishes = server->tree_epoch();
+    }
+    TBF_ASSIGN_OR_RETURN(wal, WalWriter::Open(options.durable_dir,
+                                              wal_identity, options.wal_fsync,
+                                              &run_metrics));
   }
 
   WallTimer total_timer;
@@ -313,18 +404,76 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
       if (!republished.ok()) return republished.status();
       ++next_republish;
       ++report.republishes;
+      if (wal != nullptr) {
+        WalRecord rec;
+        rec.kind = WalRecordKind::kRepublish;
+        rec.tree_epoch = server->tree_epoch();
+        TBF_RETURN_NOT_OK(wal->Append(&rec));
+      }
     }
+
+    // Recovery re-entry: `rw` describes what the journal proved this
+    // window had already completed. The loop recomputes the window from
+    // the trace and skips exactly that much work — re-journaling,
+    // BeginEpoch, and re-dispatch of the journaled prefix.
+    RecoveredWindow* rw = resume_window_idx < resume_windows.size()
+                              ? &resume_windows[resume_window_idx]
+                              : nullptr;
+    if (rw != nullptr &&
+        (rw->epoch != epoch || rw->begin_index != begin ||
+         rw->arrivals_obfuscated != arrivals_obfuscated ||
+         rw->next_task_slot != next_task_slot)) {
+      return Status::Internal(
+          "recovery: journaled window cursor (epoch " +
+          std::to_string(rw->epoch) + ", event " +
+          std::to_string(rw->begin_index) +
+          ") disagrees with the replay loop (epoch " + std::to_string(epoch) +
+          ", event " + std::to_string(begin) +
+          ") — trace or schedule changed since the crash?");
+    }
+    if (wal != nullptr && !(rw != nullptr && rw->epoch_begun)) {
+      WalRecord rec;
+      rec.kind = WalRecordKind::kEpochBegin;
+      rec.epoch = epoch;
+      rec.begin_index = static_cast<uint64_t>(begin);
+      rec.arrivals_obfuscated = arrivals_obfuscated;
+      rec.next_task_slot = next_task_slot;
+      TBF_RETURN_NOT_OK(wal->Append(&rec));
+    }
+    const size_t stage1_skip = rw != nullptr ? rw->stage1_records : 0;
+    size_t stage1_seen = 0;
+    // Journals one stage-1 (pre-dispatch) record, skipping the prefix the
+    // journal already holds from before the crash.
+    const auto journal_stage1 = [&](WalRecord rec) -> Status {
+      const size_t ordinal = stage1_seen++;
+      if (wal == nullptr || ordinal < stage1_skip) return Status::OK();
+      return wal->Append(&rec);
+    };
 
     EpochStats stats;
     stats.epoch = epoch;
 
-    const auto quarantine = [&](size_t i, std::string cause) {
+    const auto quarantine = [&](size_t i, std::string cause) -> Status {
       ++stats.quarantined;
       ++report.quarantined;
       ++report.processed_events;
       quarantined_metric->Add(1);
       report.quarantined_events.push_back(QuarantineRecord{
-          static_cast<uint64_t>(i), trace.events[i].id, std::move(cause)});
+          static_cast<uint64_t>(i), trace.events[i].id, cause});
+      WalRecord rec;
+      rec.kind = WalRecordKind::kQuarantine;
+      rec.event_index = static_cast<uint64_t>(i);
+      rec.id = trace.events[i].id;
+      rec.cause = std::move(cause);
+      return journal_stage1(std::move(rec));
+    };
+    const auto journal_stream_fault = [&](size_t i,
+                                          uint8_t fault_kind) -> Status {
+      WalRecord rec;
+      rec.kind = WalRecordKind::kStreamFault;
+      rec.event_index = static_cast<uint64_t>(i);
+      rec.fault_kind = fault_kind;
+      return journal_stage1(std::move(rec));
     };
 
     // The window's event order, after quarantine and after the armed
@@ -345,7 +494,7 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
     };
     for (size_t i = begin; i < end; ++i) {
       if (quarantining && poison[i]) {
-        quarantine(i, poison_cause[i]);
+        TBF_RETURN_NOT_OK(quarantine(i, poison_cause[i]));
         continue;
       }
       const std::optional<fault::FaultAction> action =
@@ -357,15 +506,18 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
       switch (action->kind) {
         case fault::FaultKind::kDrop:
           ++report.faults_dropped;
+          TBF_RETURN_NOT_OK(journal_stream_fault(i, 0));
           break;
         case fault::FaultKind::kDuplicate:
           ++report.faults_duplicated;
+          TBF_RETURN_NOT_OK(journal_stream_fault(i, 1));
           emit(static_cast<uint64_t>(i));
           emit(static_cast<uint64_t>(i));
           break;
         case fault::FaultKind::kReorder:
           if (!reorder_deferred) {
             ++report.faults_reordered;
+            TBF_RETURN_NOT_OK(journal_stream_fault(i, 2));
             reorder_deferred = static_cast<uint64_t>(i);
           } else {
             emit(static_cast<uint64_t>(i));
@@ -373,6 +525,7 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
           break;
         case fault::FaultKind::kStall:
           ++report.faults_stalled;
+          TBF_RETURN_NOT_OK(journal_stream_fault(i, 3));
           std::this_thread::sleep_for(
               std::chrono::duration<double, std::milli>(action->stall_ms));
           emit(static_cast<uint64_t>(i));
@@ -381,7 +534,8 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
         case fault::FaultKind::kExhaustBudget:
           // A forced failure on the stream is handled like a poison
           // event: quarantined with its cause, replay continues.
-          quarantine(i, "injected fault: " + action->status.message());
+          TBF_RETURN_NOT_OK(
+              quarantine(i, "injected fault: " + action->status.message()));
           break;
         default:
           emit(static_cast<uint64_t>(i));
@@ -389,6 +543,15 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
       }
     }
     if (reorder_deferred) order.push_back(*reorder_deferred);
+    if (stage1_seen < stage1_skip) {
+      return Status::Internal(
+          "recovery: the journal holds " + std::to_string(stage1_skip) +
+          " stage-1 records for epoch " + std::to_string(epoch) +
+          " but the re-run window produced only " +
+          std::to_string(stage1_seen) +
+          " — the event stream is not reproducible (stream-fault plan "
+          "not re-armed?)");
+    }
 
     // Client-side reporting for this window, batched over the pool. The
     // fork offset makes report i of the trace independent of where the
@@ -426,9 +589,29 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
       prepared.push_back(item);
       ++report.processed_events;
     }
+    // Journaled dispatch prefix of a recovered window: those events were
+    // already re-applied to the engine from the journal, so the loop
+    // only reconstructs their report-level bookkeeping below.
+    const size_t dispatch_skip =
+        rw != nullptr ? rw->dispatched.size() : 0;
+    if (dispatch_skip > prepared.size()) {
+      return Status::Internal(
+          "recovery: the journal holds " + std::to_string(dispatch_skip) +
+          " dispatched events for epoch " + std::to_string(epoch) +
+          " but the re-run window prepared only " +
+          std::to_string(prepared.size()) +
+          " — the event stream is not reproducible (stream-fault plan "
+          "not re-armed?)");
+    }
+
     std::vector<LeafCode> code_reports;
     std::vector<LeafPath> path_reports;
-    {
+    // A fully journaled window never touches the engine again, so its
+    // obfuscated reports are not needed; the draw stream stays aligned
+    // because report i always forks at offset arrivals_obfuscated + i.
+    const bool skip_obfuscation = dispatch_skip == prepared.size() &&
+                                  rw != nullptr;
+    if (!skip_obfuscation) {
       obs::ScopedTimer obf_timer(&stats.obfuscate_seconds);
       if (packed) {
         code_reports =
@@ -443,7 +626,7 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
       }
     }
     arrivals_obfuscated += locations.size();
-    if (!locations.empty()) {
+    if (!locations.empty() && !skip_obfuscation) {
       // The batched pass's wall time, attributed evenly to its reports
       // (one O(1) RecordN, not one Record per report).
       const double per_report =
@@ -454,13 +637,16 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
     }
 
     // Epoch budgets roll over at the window boundary, even across empty
-    // windows (BeginEpoch jumps forward).
-    TBF_RETURN_NOT_OK(server->BeginEpoch(epoch));
+    // windows (BeginEpoch jumps forward). Recovery already applied this
+    // window's rollover from its journal marker.
+    if (!(rw != nullptr && rw->epoch_begun)) {
+      TBF_RETURN_NOT_OK(server->BeginEpoch(epoch));
+    }
 
     // Dispatch. One lane per shard in parallel mode: lanes preserve
     // per-shard event order, the engine's locks linearize the rest.
     const auto dispatch_one = [&](const PreparedEvent& item,
-                                  LaneStats* lane) {
+                                  LaneStats* lane) -> Status {
       const TimedEvent& event = *item.event;
       const size_t idx = static_cast<size_t>(item.report_index);
       // Forced budget denial ("replay.budget", hit-indexed by absolute
@@ -469,6 +655,28 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
       Status forced = Status::OK();
       if (event.kind != EventKind::kWorkerDeparture) {
         forced = TBF_FAULT_INJECT_AT("replay.budget", item.event_index);
+      }
+      // Journal-after-apply: the record carries the engine's outcome and
+      // the ledger delta this one dispatch produced, so recovery can
+      // replay it without re-deciding (or re-charging) anything.
+      WalRecord rec;
+      rec.event_index = item.event_index;
+      rec.id = event.id;
+      const EpochBudgetLedger* event_ledger =
+          wal != nullptr ? server->ledger() : nullptr;
+      const EpochBudgetLedger::Totals charged_before =
+          event_ledger != nullptr ? event_ledger->totals()
+                                  : EpochBudgetLedger::Totals{};
+      if (wal != nullptr && event.kind != EventKind::kWorkerDeparture) {
+        rec.packed = packed;
+        if (packed) {
+          rec.code = code_reports[idx];
+        } else {
+          rec.digits = path_reports[idx];
+        }
+        rec.has_epsilon = declared_epsilon.has_value();
+        rec.declared_epsilon = declared_epsilon.value_or(0.0);
+        rec.outcome.forced = !forced.ok();
       }
       switch (event.kind) {
         case EventKind::kWorkerArrival: {
@@ -488,15 +696,22 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
           } else {
             ++lane->denied;
           }
+          rec.kind = WalRecordKind::kWorkerArrival;
+          rec.outcome.status_code = static_cast<int32_t>(status.code());
+          if (!status.ok()) rec.outcome.message = status.message();
           break;
         }
         case EventKind::kTaskArrival: {
           TaskOutcome& outcome =
               report.task_outcomes[static_cast<size_t>(item.task_slot)];
           outcome.task_id = event.id;
+          rec.kind = WalRecordKind::kTaskArrival;
+          rec.task_slot = item.task_slot;
           if (!forced.ok()) {
             outcome.status = forced;
             ++lane->denied;
+            rec.outcome.status_code = static_cast<int32_t>(forced.code());
+            rec.outcome.message = forced.message();
             break;
           }
           Result<DispatchResult> dispatched =
@@ -509,9 +724,12 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
             outcome.reported_tree_distance = dispatched->reported_tree_distance;
             if (outcome.worker) {
               ++lane->assigned;
+              rec.outcome.has_worker = true;
+              rec.outcome.worker = *outcome.worker;
             } else {
               ++lane->unassigned;
             }
+            rec.outcome.tree_distance = outcome.reported_tree_distance;
           } else {
             outcome.status = dispatched.status();
             if (outcome.status.code() == StatusCode::kResourceExhausted) {
@@ -519,15 +737,107 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
             } else {
               ++lane->denied;
             }
+            rec.outcome.status_code =
+                static_cast<int32_t>(outcome.status.code());
+            rec.outcome.message = outcome.status.message();
           }
           break;
         }
         case EventKind::kWorkerDeparture: {
           Status status = server->UnregisterWorker(event.id);
           if (!status.ok()) ++lane->missed_departures;
+          rec.kind = WalRecordKind::kWorkerDeparture;
+          rec.missed = !status.ok();
           break;
         }
       }
+      if (wal != nullptr) {
+        if (event_ledger != nullptr) {
+          const EpochBudgetLedger::Totals charged = event_ledger->totals();
+          rec.outcome.epsilon_charged =
+              charged.epsilon_spent - charged_before.epsilon_spent;
+          if (charged.denied_epoch > charged_before.denied_epoch) {
+            rec.outcome.budget_denied = 1;
+          } else if (charged.denied_lifetime > charged_before.denied_lifetime) {
+            rec.outcome.budget_denied = 2;
+          }
+        }
+        TBF_RETURN_NOT_OK(wal->Append(&rec));
+      }
+      return Status::OK();
+    };
+
+    // Reconstructs the report-level bookkeeping of one journaled dispatch
+    // (the engine was already advanced by recovery's journal replay) and
+    // verifies the re-run window lines up with the journal.
+    const auto skip_journaled = [&](const PreparedEvent& item,
+                                    const WalRecord& logged,
+                                    LaneStats* lane) -> Status {
+      const TimedEvent& event = *item.event;
+      WalRecordKind want = WalRecordKind::kWorkerDeparture;
+      if (event.kind == EventKind::kWorkerArrival) {
+        want = WalRecordKind::kWorkerArrival;
+      } else if (event.kind == EventKind::kTaskArrival) {
+        want = WalRecordKind::kTaskArrival;
+      }
+      if (logged.kind != want || logged.event_index != item.event_index ||
+          logged.id != event.id) {
+        return Status::Internal(
+            "recovery: re-run window event " +
+            std::to_string(item.event_index) + " ('" + event.id +
+            "') disagrees with the journaled record at lsn " +
+            std::to_string(logged.lsn) +
+            " — the event stream is not reproducible");
+      }
+      const StatusCode logged_code =
+          static_cast<StatusCode>(logged.outcome.status_code);
+      switch (event.kind) {
+        case EventKind::kWorkerArrival:
+          if (logged.outcome.status_code == 0) {
+            ++lane->registered;
+          } else if (logged_code == StatusCode::kResourceExhausted) {
+            ++lane->shed;
+          } else {
+            ++lane->denied;
+          }
+          break;
+        case EventKind::kTaskArrival: {
+          if (logged.task_slot != item.task_slot) {
+            return Status::Internal(
+                "recovery: journaled task slot " +
+                std::to_string(logged.task_slot) +
+                " disagrees with the re-run slot " +
+                std::to_string(item.task_slot) + " at lsn " +
+                std::to_string(logged.lsn));
+          }
+          TaskOutcome& outcome =
+              report.task_outcomes[static_cast<size_t>(item.task_slot)];
+          outcome.task_id = event.id;
+          if (logged.outcome.status_code == 0) {
+            outcome.status = Status::OK();
+            outcome.reported_tree_distance = logged.outcome.tree_distance;
+            if (logged.outcome.has_worker) {
+              outcome.worker = logged.outcome.worker;
+              ++lane->assigned;
+            } else {
+              outcome.worker = std::nullopt;
+              ++lane->unassigned;
+            }
+          } else {
+            outcome.status = Status(logged_code, logged.outcome.message);
+            if (logged_code == StatusCode::kResourceExhausted) {
+              ++lane->shed;
+            } else {
+              ++lane->denied;
+            }
+          }
+          break;
+        }
+        case EventKind::kWorkerDeparture:
+          if (logged.missed) ++lane->missed_departures;
+          break;
+      }
+      return Status::OK();
     };
 
     // Ledger totals bracket the dispatch: every charge (and denial)
@@ -540,7 +850,17 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
     std::vector<LaneStats> lanes;
     if (!options.parallel_dispatch || options.num_shards == 1) {
       lanes.resize(1);
-      for (const PreparedEvent& item : prepared) dispatch_one(item, &lanes[0]);
+      size_t pos = 0;
+      for (const PreparedEvent& item : prepared) {
+        if (pos < dispatch_skip) {
+          TBF_RETURN_NOT_OK(
+              skip_journaled(item, rw->dispatched[pos], &lanes[0]));
+          ++pos;
+          continue;
+        }
+        ++pos;
+        TBF_RETURN_NOT_OK(dispatch_one(item, &lanes[0]));
+      }
     } else {
       const size_t num_lanes = static_cast<size_t>(options.num_shards);
       lanes.resize(num_lanes);
@@ -577,13 +897,21 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
         }
         queues[lane].push_back(&item);
       }
+      std::vector<Status> lane_status(num_lanes);
       pool.ParallelFor(num_lanes, [&](size_t lane_begin, size_t lane_end) {
         for (size_t lane = lane_begin; lane < lane_end; ++lane) {
           for (const PreparedEvent* item : queues[lane]) {
-            dispatch_one(*item, &lanes[lane]);
+            // Journaling is sequential-only (validated above), so this
+            // can only fail once a future mode journals in parallel.
+            Status dispatched = dispatch_one(*item, &lanes[lane]);
+            if (!dispatched.ok()) {
+              lane_status[lane] = std::move(dispatched);
+              break;
+            }
           }
         }
       });
+      for (const Status& status : lane_status) TBF_RETURN_NOT_OK(status);
     }
     dispatch_timer.Stop();  // stats.dispatch_seconds += elapsed
     if (ledger != nullptr) {
@@ -593,6 +921,14 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
           totals.denied_epoch - totals_before.denied_epoch;
       stats.denied_lifetime_budget =
           totals.denied_lifetime - totals_before.denied_lifetime;
+    }
+    if (rw != nullptr) {
+      // The journaled prefix's charges landed during recovery's journal
+      // replay, before this window's bracket: add them back so the
+      // window's stats match the uninterrupted run.
+      stats.epsilon_spent += rw->epsilon_charged;
+      stats.denied_epoch_budget += rw->denied_epoch;
+      stats.denied_lifetime_budget += rw->denied_lifetime;
     }
     for (const LaneStats& lane : lanes) {
       report.registered += lane.registered;
@@ -611,14 +947,10 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
     report.dispatch_seconds += stats.dispatch_seconds;
     report.per_epoch.push_back(stats);
     begin = end;
+    if (rw != nullptr) ++resume_window_idx;
 
     ++epochs_completed_this_run;
-    if (!options.checkpoint_path.empty() &&
-        epochs_completed_this_run %
-                static_cast<uint64_t>(options.checkpoint_every_epochs) ==
-            0) {
-      ++report.checkpoints_written;
-      checkpoint_metric->Add(1);
+    const auto build_checkpoint = [&]() -> ReplayCheckpoint {
       ReplayCheckpoint ckpt;
       ckpt.trace_fingerprint = trace_fingerprint;
       ckpt.num_shards = options.num_shards;
@@ -648,8 +980,45 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
       ckpt.quarantined_events = report.quarantined_events;
       ckpt.server = server->ExportState();
       ckpt.metrics = run_metrics.Snapshot();
-      TBF_RETURN_NOT_OK(
-          WriteReplayCheckpointFile(ckpt, options.checkpoint_path));
+      return ckpt;
+    };
+    const bool checkpoint_due =
+        epochs_completed_this_run %
+            static_cast<uint64_t>(options.checkpoint_every_epochs) ==
+        0;
+    if (!options.checkpoint_path.empty() && checkpoint_due) {
+      ++report.checkpoints_written;
+      checkpoint_metric->Add(1);
+      TBF_RETURN_NOT_OK(WriteReplayCheckpointFile(
+          build_checkpoint(), options.checkpoint_path));
+    }
+    // Durable checkpoint: journal barrier first, so wal_next_lsn names a
+    // durable journal position; then retention + whole-segment rotation
+    // and compaction below the *oldest* retained checkpoint (keeping the
+    // fallback recoverable). Suppressed while earlier recovered windows
+    // are still being re-entered: a checkpoint here would claim journal
+    // coverage of windows whose work is journaled but not yet in this
+    // run's report.
+    if (durable && checkpoint_due &&
+        resume_window_idx >= resume_windows.size()) {
+      TBF_RETURN_NOT_OK(wal->Sync());
+      ++report.checkpoints_written;
+      checkpoint_metric->Add(1);
+      ReplayCheckpoint ckpt = build_checkpoint();
+      ckpt.wal_next_lsn = wal->next_lsn();
+      const uint64_t ordinal = report.per_epoch.size();
+      const std::string ckpt_path =
+          options.durable_dir + "/" + ReplayCheckpointFileName(ordinal);
+      TBF_RETURN_NOT_OK(WriteReplayCheckpointFile(ckpt, ckpt_path));
+      retained.push_back(
+          RetainedCheckpoint{ordinal, ckpt_path, ckpt.wal_next_lsn});
+      while (retained.size() >
+             static_cast<size_t>(options.keep_checkpoints)) {
+        std::remove(retained.front().path.c_str());
+        retained.erase(retained.begin());
+      }
+      TBF_RETURN_NOT_OK(wal->Rotate());
+      TBF_RETURN_NOT_OK(wal->CompactBelow(retained.front().wal_next_lsn));
     }
     // Kill site, hit-indexed by the absolute epoch ordinal (stable across
     // resumes). It fires AFTER the checkpoint is durable, so a chaos plan
@@ -657,6 +1026,17 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
     TBF_RETURN_NOT_OK(TBF_FAULT_INJECT_AT(
         "replay.epoch", static_cast<uint64_t>(report.per_epoch.size() - 1)));
   }
+
+  if (resume_window_idx < resume_windows.size()) {
+    return Status::Internal(
+        "recovery: " +
+        std::to_string(resume_windows.size() - resume_window_idx) +
+        " journaled window(s) were never re-entered by the replay loop — "
+        "trace shorter than the journaled run?");
+  }
+  // Final journal barrier: everything this run processed is durable
+  // before the report is assembled.
+  if (wal != nullptr) TBF_RETURN_NOT_OK(wal->Close());
 
   report.epochs = report.per_epoch.size();
   report.wall_seconds = total_timer.ElapsedSeconds();
@@ -704,6 +1084,7 @@ Result<ReplayReport> RunEventReplay(const TbfFramework& framework,
     report.denied_epoch_budget = totals.denied_epoch;
     report.denied_lifetime_budget = totals.denied_lifetime;
   }
+  if (options.export_final_state) report.final_state = server->ExportState();
   return report;
 }
 

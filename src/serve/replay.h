@@ -40,6 +40,8 @@
 #include "core/tbf.h"
 #include "hst/hst_index.h"
 #include "obs/metrics.h"
+#include "serve/sharded_server.h"
+#include "serve/wal.h"
 #include "workload/instance.h"
 
 namespace tbf {
@@ -132,6 +134,38 @@ struct ReplayOptions {
   /// trace, shard count, epoch length and seeds must match the
   /// checkpointed run (verified via fingerprints).
   bool resume_from_checkpoint = false;
+
+  /// Durable serving (docs/ROBUSTNESS.md): when nonempty, the loop keeps
+  /// a segmented write-ahead journal (serve/wal.h) plus periodic ordinal
+  /// checkpoints `ckpt-<ordinal:08>.ckpt` in this directory. Every
+  /// replay event is journaled *with the obfuscated report it carried
+  /// and the outcome the engine produced*, so a crash anywhere is
+  /// recoverable field-for-field (set `recover`). Requires sequential
+  /// dispatch (the journal is an ordered log) and is mutually exclusive
+  /// with `checkpoint_path` (the single-file legacy checkpoint).
+  std::string durable_dir;
+
+  /// Journal commit policy for durable runs (see WalFsyncPolicy):
+  /// kEveryRecord survives power loss per record, kGroupCommit (default)
+  /// loses at most one group, kNone survives process crashes only.
+  WalFsyncPolicy wal_fsync;
+
+  /// Durable checkpoints retained in `durable_dir`; older ones are
+  /// deleted and the journal is compacted below the oldest survivor
+  /// (>= 1; 2 keeps a fallback if the newest write is torn).
+  int keep_checkpoints = 2;
+
+  /// Crash-anywhere recovery: before replaying, scan `durable_dir`
+  /// (serve/recovery.h) — restore the newest valid checkpoint, repair
+  /// the journal's torn tail, re-apply the journal suffix through the
+  /// engine, and re-enter the interrupted window skipping exactly the
+  /// journaled work. A fresh (empty) directory starts a normal run.
+  bool recover = false;
+
+  /// Export the engine's full final state (worker registry, free-list
+  /// order, RNG, ledger, tree epoch) into ReplayReport::final_state —
+  /// the equivalence oracle of the crash drills.
+  bool export_final_state = false;
 
   /// Scheduled live republishes: entry {at_epoch, tree} swaps the
   /// engine's published tree (ShardedTbfServer::Republish — zero
@@ -247,6 +281,10 @@ struct ReplayReport {
   uint64_t checkpoints_written = 0;
   /// True when this run resumed from a checkpoint.
   bool resumed = false;
+  /// Journaled events re-applied by crash recovery (0 for fresh runs).
+  uint64_t recovered_events = 0;
+  /// Torn journal records dropped by the tail repair during recovery.
+  uint64_t wal_truncated_records = 0;
   /// Scheduled republishes applied so far (resumed runs include the
   /// fast-forwarded prefix, so the count matches the uninterrupted run).
   uint64_t republishes = 0;
@@ -298,6 +336,9 @@ struct ReplayReport {
   /// Poison events quarantined by this run, in trace order (empty unless
   /// poison_policy == kQuarantine).
   std::vector<QuarantineRecord> quarantined_events;
+
+  /// Engine state after the last event (ReplayOptions::export_final_state).
+  std::optional<ShardedServerState> final_state;
 };
 
 /// \brief Replays `trace` against a fresh sharded engine built on

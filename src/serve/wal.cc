@@ -1,0 +1,840 @@
+#include "serve/wal.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "common/atomic_file.h"
+#include "common/fault.h"
+
+namespace tbf {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// A frame is <len:u32><crc:u32><payload>; anything claiming a larger
+// payload than this is garbage (torn or corrupt), not a real record —
+// the cap keeps a corrupted length field from driving a huge allocation.
+constexpr size_t kMaxWalPayload = 1 << 22;
+constexpr size_t kFrameHeaderBytes = 8;
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---- little-endian byte helpers ------------------------------------------
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+  out->append(buf, 4);  // one append, not four push_backs (hot path)
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+  out->append(buf, 8);
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutStr(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+void PutPath(std::string* out, const LeafPath& p) {
+  PutU32(out, static_cast<uint32_t>(p.size()));
+  for (const char16_t d : p) {
+    PutU8(out, static_cast<uint8_t>(d & 0xFF));
+    PutU8(out, static_cast<uint8_t>((d >> 8) & 0xFF));
+  }
+}
+
+// Bounds-checked little-endian reader over one payload.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> U8() {
+    if (pos_ + 1 > data_.size()) return Short("u8");
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  Result<uint32_t> U32() {
+    if (pos_ + 4 > data_.size()) return Short("u32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  Result<uint64_t> U64() {
+    if (pos_ + 8 > data_.size()) return Short("u64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  Result<int64_t> I64() {
+    TBF_ASSIGN_OR_RETURN(uint64_t v, U64());
+    return static_cast<int64_t>(v);
+  }
+  Result<double> F64() {
+    TBF_ASSIGN_OR_RETURN(uint64_t bits, U64());
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  Result<std::string> Str() {
+    TBF_ASSIGN_OR_RETURN(uint32_t len, U32());
+    if (pos_ + len > data_.size()) return Short("string body");
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+  Result<LeafPath> Path() {
+    TBF_ASSIGN_OR_RETURN(uint32_t len, U32());
+    if (pos_ + static_cast<size_t>(len) * 2 > data_.size()) {
+      return Short("leaf path body");
+    }
+    LeafPath p;
+    p.reserve(len);
+    for (uint32_t i = 0; i < len; ++i) {
+      const auto lo = static_cast<unsigned char>(data_[pos_ + 2 * i]);
+      const auto hi = static_cast<unsigned char>(data_[pos_ + 2 * i + 1]);
+      p.push_back(static_cast<char16_t>(lo | (hi << 8)));
+    }
+    pos_ += static_cast<size_t>(len) * 2;
+    return p;
+  }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t pos() const { return pos_; }
+
+ private:
+  Status Short(const char* what) const {
+    return Status::InvalidArgument(std::string("wal record: short read (") +
+                                   what + " at byte " + std::to_string(pos_) +
+                                   ")");
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// Flags byte of dispatch records.
+constexpr uint8_t kFlagPacked = 1 << 0;
+constexpr uint8_t kFlagHasEpsilon = 1 << 1;
+constexpr uint8_t kFlagForced = 1 << 2;
+constexpr uint8_t kFlagHasWorker = 1 << 3;
+constexpr uint8_t kFlagMissed = 1 << 4;
+
+void PutOutcome(std::string* out, const WalOutcome& o) {
+  PutU32(out, static_cast<uint32_t>(o.status_code));
+  PutStr(out, o.message);
+  PutF64(out, o.epsilon_charged);
+  PutU8(out, o.budget_denied);
+}
+
+Status ReadOutcome(ByteReader* r, WalOutcome* o) {
+  TBF_ASSIGN_OR_RETURN(uint32_t code, r->U32());
+  o->status_code = static_cast<int32_t>(code);
+  TBF_ASSIGN_OR_RETURN(o->message, r->Str());
+  TBF_ASSIGN_OR_RETURN(o->epsilon_charged, r->F64());
+  TBF_ASSIGN_OR_RETURN(o->budget_denied, r->U8());
+  if (o->budget_denied > 2) {
+    return Status::InvalidArgument("wal record: budget_denied out of range");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  std::string out;
+  out.reserve(64 + record.id.size() + record.outcome.message.size() +
+              record.outcome.worker.size() + record.cause.size() +
+              record.digits.size() * 2);
+  EncodeWalRecordTo(record, &out);
+  return out;
+}
+
+void EncodeWalRecordTo(const WalRecord& record, std::string* out_ptr) {
+  std::string& out = *out_ptr;
+  PutU8(&out, static_cast<uint8_t>(record.kind));
+  PutU64(&out, record.lsn);
+  switch (record.kind) {
+    case WalRecordKind::kSegmentHeader:
+      PutU32(&out, record.format_version);
+      PutU64(&out, record.segment_seq);
+      PutU32(&out, record.identity.trace_fingerprint);
+      PutU32(&out, static_cast<uint32_t>(record.identity.num_shards));
+      PutF64(&out, record.identity.epoch_seconds);
+      PutU64(&out, record.identity.server_seed);
+      PutU64(&out, record.identity.obfuscation_seed);
+      break;
+    case WalRecordKind::kEpochBegin:
+      PutI64(&out, record.epoch);
+      PutU64(&out, record.begin_index);
+      PutU64(&out, record.arrivals_obfuscated);
+      PutI64(&out, record.next_task_slot);
+      break;
+    case WalRecordKind::kWorkerArrival:
+    case WalRecordKind::kTaskArrival: {
+      PutU64(&out, record.event_index);
+      PutStr(&out, record.id);
+      uint8_t flags = 0;
+      if (record.packed) flags |= kFlagPacked;
+      if (record.has_epsilon) flags |= kFlagHasEpsilon;
+      if (record.outcome.forced) flags |= kFlagForced;
+      if (record.outcome.has_worker) flags |= kFlagHasWorker;
+      PutU8(&out, flags);
+      if (record.packed) {
+        PutU64(&out, record.code);
+      } else {
+        PutPath(&out, record.digits);
+      }
+      if (record.has_epsilon) PutF64(&out, record.declared_epsilon);
+      PutOutcome(&out, record.outcome);
+      if (record.kind == WalRecordKind::kTaskArrival) {
+        PutI64(&out, record.task_slot);
+        if (record.outcome.has_worker) PutStr(&out, record.outcome.worker);
+        PutF64(&out, record.outcome.tree_distance);
+      }
+      break;
+    }
+    case WalRecordKind::kWorkerDeparture: {
+      PutU64(&out, record.event_index);
+      PutStr(&out, record.id);
+      PutU8(&out, record.missed ? kFlagMissed : 0);
+      break;
+    }
+    case WalRecordKind::kQuarantine:
+      PutU64(&out, record.event_index);
+      PutStr(&out, record.id);
+      PutStr(&out, record.cause);
+      break;
+    case WalRecordKind::kStreamFault:
+      PutU64(&out, record.event_index);
+      PutU8(&out, record.fault_kind);
+      break;
+    case WalRecordKind::kRepublish:
+      PutU64(&out, record.tree_epoch);
+      break;
+  }
+}
+
+Result<WalRecord> DecodeWalRecord(std::string_view payload) {
+  ByteReader r(payload);
+  WalRecord rec;
+  TBF_ASSIGN_OR_RETURN(uint8_t kind, r.U8());
+  if (kind > static_cast<uint8_t>(WalRecordKind::kRepublish)) {
+    return Status::InvalidArgument("wal record: unknown kind " +
+                                   std::to_string(kind));
+  }
+  rec.kind = static_cast<WalRecordKind>(kind);
+  TBF_ASSIGN_OR_RETURN(rec.lsn, r.U64());
+  switch (rec.kind) {
+    case WalRecordKind::kSegmentHeader: {
+      TBF_ASSIGN_OR_RETURN(rec.format_version, r.U32());
+      if (rec.format_version != 1) {
+        return Status::InvalidArgument(
+            "wal segment header: unsupported format version " +
+            std::to_string(rec.format_version) + " (this build reads v1)");
+      }
+      TBF_ASSIGN_OR_RETURN(rec.segment_seq, r.U64());
+      TBF_ASSIGN_OR_RETURN(rec.identity.trace_fingerprint, r.U32());
+      TBF_ASSIGN_OR_RETURN(uint32_t shards, r.U32());
+      rec.identity.num_shards = static_cast<int32_t>(shards);
+      TBF_ASSIGN_OR_RETURN(rec.identity.epoch_seconds, r.F64());
+      TBF_ASSIGN_OR_RETURN(rec.identity.server_seed, r.U64());
+      TBF_ASSIGN_OR_RETURN(rec.identity.obfuscation_seed, r.U64());
+      break;
+    }
+    case WalRecordKind::kEpochBegin: {
+      TBF_ASSIGN_OR_RETURN(rec.epoch, r.I64());
+      TBF_ASSIGN_OR_RETURN(rec.begin_index, r.U64());
+      TBF_ASSIGN_OR_RETURN(rec.arrivals_obfuscated, r.U64());
+      TBF_ASSIGN_OR_RETURN(rec.next_task_slot, r.I64());
+      break;
+    }
+    case WalRecordKind::kWorkerArrival:
+    case WalRecordKind::kTaskArrival: {
+      TBF_ASSIGN_OR_RETURN(rec.event_index, r.U64());
+      TBF_ASSIGN_OR_RETURN(rec.id, r.Str());
+      TBF_ASSIGN_OR_RETURN(uint8_t flags, r.U8());
+      rec.packed = (flags & kFlagPacked) != 0;
+      rec.has_epsilon = (flags & kFlagHasEpsilon) != 0;
+      rec.outcome.forced = (flags & kFlagForced) != 0;
+      rec.outcome.has_worker = (flags & kFlagHasWorker) != 0;
+      if (rec.packed) {
+        TBF_ASSIGN_OR_RETURN(rec.code, r.U64());
+      } else {
+        TBF_ASSIGN_OR_RETURN(rec.digits, r.Path());
+      }
+      if (rec.has_epsilon) {
+        TBF_ASSIGN_OR_RETURN(rec.declared_epsilon, r.F64());
+      }
+      TBF_RETURN_NOT_OK(ReadOutcome(&r, &rec.outcome));
+      if (rec.kind == WalRecordKind::kTaskArrival) {
+        TBF_ASSIGN_OR_RETURN(rec.task_slot, r.I64());
+        if (rec.outcome.has_worker) {
+          TBF_ASSIGN_OR_RETURN(rec.outcome.worker, r.Str());
+        }
+        TBF_ASSIGN_OR_RETURN(rec.outcome.tree_distance, r.F64());
+      } else if (rec.outcome.has_worker) {
+        return Status::InvalidArgument(
+            "wal record: worker flag on a non-task record");
+      }
+      break;
+    }
+    case WalRecordKind::kWorkerDeparture: {
+      TBF_ASSIGN_OR_RETURN(rec.event_index, r.U64());
+      TBF_ASSIGN_OR_RETURN(rec.id, r.Str());
+      TBF_ASSIGN_OR_RETURN(uint8_t flags, r.U8());
+      rec.missed = (flags & kFlagMissed) != 0;
+      break;
+    }
+    case WalRecordKind::kQuarantine: {
+      TBF_ASSIGN_OR_RETURN(rec.event_index, r.U64());
+      TBF_ASSIGN_OR_RETURN(rec.id, r.Str());
+      TBF_ASSIGN_OR_RETURN(rec.cause, r.Str());
+      break;
+    }
+    case WalRecordKind::kStreamFault: {
+      TBF_ASSIGN_OR_RETURN(rec.event_index, r.U64());
+      TBF_ASSIGN_OR_RETURN(rec.fault_kind, r.U8());
+      if (rec.fault_kind > 3) {
+        return Status::InvalidArgument("wal record: fault_kind out of range");
+      }
+      break;
+    }
+    case WalRecordKind::kRepublish: {
+      TBF_ASSIGN_OR_RETURN(rec.tree_epoch, r.U64());
+      break;
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        "wal record: trailing bytes after a complete record (kind " +
+        std::to_string(kind) + ")");
+  }
+  return rec;
+}
+
+void AppendWalFrame(std::string* out, std::string_view payload) {
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Crc32(payload));
+  out->append(payload.data(), payload.size());
+}
+
+std::string WalSegmentFileName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%08llu.seg",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+namespace {
+
+// Outcome of scanning one segment file's bytes: the valid records, the
+// byte length of the valid prefix, and — when a frame was bad — a
+// record-precise description of where and why.
+struct SegmentScan {
+  std::vector<WalRecord> records;
+  uint64_t valid_bytes = 0;
+  bool bad = false;
+  std::string bad_detail;  ///< "record N (offset B): reason"
+};
+
+SegmentScan ScanSegmentBytes(const std::string& blob) {
+  SegmentScan scan;
+  size_t pos = 0;
+  uint64_t ordinal = 0;
+  const auto bad = [&](const std::string& reason) {
+    scan.bad = true;
+    scan.bad_detail = "record " + std::to_string(ordinal) + " (offset " +
+                      std::to_string(pos) + "): " + reason;
+  };
+  while (pos < blob.size()) {
+    if (blob.size() - pos < kFrameHeaderBytes) {
+      bad("short frame header (" + std::to_string(blob.size() - pos) +
+          " trailing bytes)");
+      break;
+    }
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<uint32_t>(static_cast<unsigned char>(blob[pos + i]))
+             << (8 * i);
+      crc |= static_cast<uint32_t>(
+                 static_cast<unsigned char>(blob[pos + 4 + i]))
+             << (8 * i);
+    }
+    if (len > kMaxWalPayload) {
+      bad("frame length " + std::to_string(len) + " exceeds the " +
+          std::to_string(kMaxWalPayload) + "-byte cap");
+      break;
+    }
+    if (pos + kFrameHeaderBytes + len > blob.size()) {
+      bad("frame extends " +
+          std::to_string(pos + kFrameHeaderBytes + len - blob.size()) +
+          " bytes past end of file (torn write)");
+      break;
+    }
+    const std::string_view payload(blob.data() + pos + kFrameHeaderBytes, len);
+    const uint32_t actual = Crc32(payload);
+    if (actual != crc) {
+      char hex[48];
+      std::snprintf(hex, sizeof(hex), "declared %08x, computed %08x", crc,
+                    actual);
+      bad(std::string("payload CRC mismatch (") + hex + ")");
+      break;
+    }
+    Result<WalRecord> rec = DecodeWalRecord(payload);
+    if (!rec.ok()) {
+      // CRC-valid but schema-bad is corruption (or a format skew), never
+      // a torn write — surface the decoder's message verbatim.
+      bad(rec.status().message());
+      break;
+    }
+    scan.records.push_back(std::move(rec).MoveValueUnsafe());
+    pos += kFrameHeaderBytes + len;
+    scan.valid_bytes = pos;
+    ++ordinal;
+  }
+  return scan;
+}
+
+}  // namespace
+
+Result<WalScan> ScanWalDir(const std::string& dir, bool repair_torn_tail) {
+  WalScan out;
+  std::error_code ec;
+  if (!fs::exists(dir, ec) || ec) return out;
+
+  std::vector<std::pair<uint64_t, std::string>> files;  // (seq, path)
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    unsigned long long seq = 0;
+    char trail = 0;
+    if (std::sscanf(name.c_str(), "wal-%8llu.se%c", &seq, &trail) == 2 &&
+        trail == 'g' && name == WalSegmentFileName(seq)) {
+      files.emplace_back(seq, entry.path().string());
+    }
+  }
+  if (ec) {
+    return Status::IOError("cannot list wal directory: " + dir + ": " +
+                           ec.message());
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) return out;
+
+  for (size_t i = 0; i + 1 < files.size(); ++i) {
+    if (files[i + 1].first != files[i].first + 1) {
+      return Status::InvalidArgument(
+          "wal directory " + dir + ": segment sequence gap (" +
+          WalSegmentFileName(files[i].first) + " is followed by " +
+          WalSegmentFileName(files[i + 1].first) + ")");
+    }
+  }
+
+  bool have_lsn = false;
+  for (size_t i = 0; i < files.size(); ++i) {
+    const bool last = i + 1 == files.size();
+    const std::string& path = files[i].second;
+    TBF_ASSIGN_OR_RETURN(std::string blob,
+                         ReadFileToString(path, "wal segment"));
+    SegmentScan seg = ScanSegmentBytes(blob);
+    const std::string where = "wal segment " + path + ": " + seg.bad_detail;
+    if (seg.bad && !last) {
+      return Status::InvalidArgument(
+          where + " — corruption before the journal tail");
+    }
+    // Every segment must open with a header whose seq matches its file
+    // name and whose identity agrees with the rest of the journal.
+    if (seg.records.empty()) {
+      if (!last) {
+        return Status::InvalidArgument("wal segment " + path +
+                                       ": no valid records (missing header)");
+      }
+      // A last segment with no valid header is a torn creation: nothing
+      // in it is usable. Repair deletes the file.
+      out.truncated_records += 1;
+      out.truncated_bytes += blob.size();
+      out.tail_detail = seg.bad ? where
+                                : "wal segment " + path + ": empty file";
+      if (repair_torn_tail) {
+        std::error_code rm_ec;
+        fs::remove(path, rm_ec);
+        if (rm_ec) {
+          return Status::IOError("cannot remove torn wal segment " + path +
+                                 ": " + rm_ec.message());
+        }
+        TBF_RETURN_NOT_OK(FsyncDir(dir));
+        break;
+      }
+      return Status::InvalidArgument(out.tail_detail +
+                                     " — torn tail (repair disabled)");
+    }
+    const WalRecord& header = seg.records.front();
+    if (header.kind != WalRecordKind::kSegmentHeader) {
+      return Status::InvalidArgument("wal segment " + path +
+                                     ": first record is not a segment header");
+    }
+    if (header.segment_seq != files[i].first) {
+      return Status::InvalidArgument(
+          "wal segment " + path + ": header seq " +
+          std::to_string(header.segment_seq) + " does not match the file name");
+    }
+    if (!out.has_identity) {
+      out.identity = header.identity;
+      out.has_identity = true;
+    } else if (!(out.identity == header.identity)) {
+      return Status::InvalidArgument(
+          "wal segment " + path +
+          ": run identity differs from the preceding segments");
+    }
+    if (!have_lsn) {
+      out.next_lsn = header.lsn;  // the oldest retained segment sets the base
+      have_lsn = true;
+    }
+    for (size_t k = 0; k < seg.records.size(); ++k) {
+      const WalRecord& rec = seg.records[k];
+      if (rec.lsn != out.next_lsn) {
+        return Status::InvalidArgument(
+            "wal segment " + path + ": record " + std::to_string(k) +
+            " has lsn " + std::to_string(rec.lsn) + ", expected " +
+            std::to_string(out.next_lsn) + " (journal gap)");
+      }
+      if (k > 0 && rec.kind == WalRecordKind::kSegmentHeader) {
+        return Status::InvalidArgument("wal segment " + path +
+                                       ": segment header mid-segment");
+      }
+      ++out.next_lsn;
+    }
+    WalSegmentInfo info;
+    info.seq = files[i].first;
+    info.first_lsn = header.lsn;
+    info.path = path;
+    info.records = seg.records.size();
+    info.bytes = seg.valid_bytes;
+    out.segments.push_back(info);
+    for (WalRecord& rec : seg.records) out.records.push_back(std::move(rec));
+
+    if (seg.bad) {  // last segment, torn tail
+      out.truncated_records += 1;
+      out.truncated_bytes += blob.size() - seg.valid_bytes;
+      out.tail_detail =
+          where + " — truncating " +
+          std::to_string(blob.size() - seg.valid_bytes) + " bytes";
+      if (!repair_torn_tail) {
+        return Status::InvalidArgument(out.tail_detail +
+                                       " — torn tail (repair disabled)");
+      }
+      std::error_code tr_ec;
+      fs::resize_file(path, seg.valid_bytes, tr_ec);
+      if (tr_ec) {
+        return Status::IOError("cannot truncate torn wal segment " + path +
+                               ": " + tr_ec.message());
+      }
+      out.segments.back().bytes = seg.valid_bytes;
+    }
+  }
+  return out;
+}
+
+// ---- WalWriter -----------------------------------------------------------
+
+WalWriter::WalWriter(std::string dir, WalIdentity identity,
+                     WalFsyncPolicy policy, obs::MetricRegistry* metrics)
+    : dir_(std::move(dir)),
+      identity_(identity),
+      policy_(policy) {
+  if (metrics != nullptr) {
+    appends_ = metrics->FindOrCreateCounter("tbf_wal_appends_total");
+    fsyncs_ = metrics->FindOrCreateCounter("tbf_wal_fsyncs_total");
+    bytes_ = metrics->FindOrCreateCounter("tbf_wal_bytes_total");
+    rotations_ = metrics->FindOrCreateCounter("tbf_wal_rotations_total");
+    compacted_ =
+        metrics->FindOrCreateCounter("tbf_wal_compacted_segments_total");
+    group_size_ = metrics->FindOrCreateHistogram("tbf_wal_group_size");
+  }
+}
+
+WalWriter::~WalWriter() {
+  if (!closed_) Close().ok();  // best effort
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(
+    const std::string& dir, const WalIdentity& identity,
+    const WalFsyncPolicy& policy, obs::MetricRegistry* metrics) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create wal directory " + dir + ": " +
+                           ec.message());
+  }
+  TBF_ASSIGN_OR_RETURN(WalScan scan, ScanWalDir(dir, /*repair=*/true));
+  if (scan.has_identity && !(scan.identity == identity)) {
+    return Status::FailedPrecondition(
+        "wal directory " + dir +
+        " belongs to a different run (identity mismatch)");
+  }
+  std::unique_ptr<WalWriter> writer(
+      new WalWriter(dir, identity, policy, metrics));
+  writer->next_lsn_ = scan.next_lsn;
+  writer->segments_ = std::move(scan.segments);
+  // Always start a fresh segment: appending into a repaired file would
+  // re-open a tail we just certified, and a fresh header re-anchors the
+  // LSN chain after a mid-rotation crash.
+  const uint64_t seq =
+      writer->segments_.empty() ? 0 : writer->segments_.back().seq + 1;
+  TBF_RETURN_NOT_OK(writer->OpenSegment(seq));
+  return writer;
+}
+
+Status WalWriter::OpenSegment(uint64_t seq) {
+  const std::string path = dir_ + "/" + WalSegmentFileName(seq);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    poisoned_ = true;
+    return Status::IOError("cannot create wal segment: " + path);
+  }
+  file_ = file;
+  seq_ = seq;
+
+  WalRecord header;
+  header.kind = WalRecordKind::kSegmentHeader;
+  header.lsn = next_lsn_++;
+  header.segment_seq = seq;
+  header.identity = identity_;
+  std::string frame;
+  AppendWalFrame(&frame, EncodeWalRecord(header));
+  bool ok = std::fwrite(frame.data(), 1, frame.size(), file_) == frame.size();
+  ok = ok && std::fflush(file_) == 0;
+#ifndef _WIN32
+  ok = ok && fsync(fileno(file_)) == 0;
+#endif
+  if (!ok) {
+    poisoned_ = true;
+    return Status::IOError("cannot write wal segment header: " + path);
+  }
+  // Segment creation is a directory mutation: sync it so the file (and
+  // with it the LSN chain) survives power loss.
+  TBF_RETURN_NOT_OK(FsyncDir(dir_));
+  if (bytes_ != nullptr) bytes_->Add(frame.size());
+
+  WalSegmentInfo info;
+  info.seq = seq;
+  info.first_lsn = header.lsn;
+  info.path = path;
+  info.records = 1;
+  info.bytes = frame.size();
+  segments_.push_back(info);
+  return Status::OK();
+}
+
+void WalWriter::SimulateTornCrash(uint64_t lsn) {
+  // A crash loses the unflushed group plus the in-flight frame at an
+  // arbitrary byte. Append has already framed the in-flight record into
+  // pending_, so the buffer holds exactly group+frame. Deterministic torn
+  // length (keyed by the LSN) keeps the chaos drill reproducible: prefix
+  // of [0, group+frame] bytes.
+  const size_t torn =
+      static_cast<size_t>((lsn * 2654435761ULL) % (pending_.size() + 1));
+  if (file_ != nullptr) {
+    std::fwrite(pending_.data(), 1, torn, file_);
+    std::fflush(file_);  // the bytes reached the OS; the process is gone
+  }
+  pending_.clear();
+  pending_records_ = 0;
+  poisoned_ = true;
+}
+
+Status WalWriter::Append(WalRecord* record) {
+  if (closed_ || poisoned_) {
+    return Status::FailedPrecondition(
+        "wal writer is closed or poisoned by a previous failure");
+  }
+  record->lsn = next_lsn_;
+  // Frame the record in place at the tail of the group buffer — an
+  // 8-byte header placeholder, the payload, then patch <len><crc> once
+  // the payload size is known. The hot path copies each record exactly
+  // once and allocates nothing once the buffer is warmed up.
+  if (pending_records_ == 0) group_opened_seconds_ = MonotonicSeconds();
+  const size_t base = pending_.size();
+  pending_.append(8, '\0');
+  EncodeWalRecordTo(*record, &pending_);
+  const std::string_view payload(pending_.data() + base + 8,
+                                 pending_.size() - base - 8);
+  char header[8];
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = Crc32(payload);
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<char>((len >> (8 * i)) & 0xFFu);
+    header[4 + i] = static_cast<char>((crc >> (8 * i)) & 0xFFu);
+  }
+  std::memcpy(pending_.data() + base, header, 8);
+  const size_t frame_bytes = pending_.size() - base;
+
+  const Status injected = TBF_FAULT_INJECT_AT("wal.append", record->lsn);
+  if (!injected.ok()) {
+    SimulateTornCrash(record->lsn);
+    return injected;
+  }
+
+  ++next_lsn_;
+  ++pending_records_;
+  segments_.back().records += 1;
+  if (appends_ != nullptr) appends_->Add(1);
+  if (bytes_ != nullptr) bytes_->Add(frame_bytes);
+
+  switch (policy_.kind) {
+    case WalFsyncPolicy::Kind::kEveryRecord:
+      return Commit(/*do_fsync=*/true);
+    case WalFsyncPolicy::Kind::kNone:
+      return Commit(/*do_fsync=*/false);
+    case WalFsyncPolicy::Kind::kGroupCommit:
+      if (pending_records_ >= policy_.max_records ||
+          pending_.size() >= policy_.max_bytes ||
+          MonotonicSeconds() - group_opened_seconds_ >=
+              policy_.max_delay_seconds) {
+        return Commit(/*do_fsync=*/true);
+      }
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Commit(bool do_fsync) {
+  if (pending_.empty() && (!do_fsync || records_since_fsync_ == 0)) {
+    return Status::OK();
+  }
+  if (!pending_.empty()) {
+    const bool ok =
+        std::fwrite(pending_.data(), 1, pending_.size(), file_) ==
+            pending_.size() &&
+        std::fflush(file_) == 0;
+    if (!ok) {
+      poisoned_ = true;
+      return Status::IOError("wal segment write failed: " +
+                             segments_.back().path);
+    }
+    segments_.back().bytes += pending_.size();
+    records_since_fsync_ += pending_records_;
+    pending_.clear();
+    pending_records_ = 0;
+  }
+  if (do_fsync) {
+    const Status injected = TBF_FAULT_INJECT("wal.fsync");
+    if (!injected.ok()) {
+      poisoned_ = true;
+      return injected;
+    }
+#ifndef _WIN32
+    if (fsync(fileno(file_)) != 0) {
+      poisoned_ = true;
+      return Status::IOError("wal segment fsync failed: " +
+                             segments_.back().path);
+    }
+#endif
+    if (fsyncs_ != nullptr) fsyncs_->Add(1);
+    if (group_size_ != nullptr && records_since_fsync_ > 0) {
+      group_size_->Record(records_since_fsync_);
+    }
+    records_since_fsync_ = 0;
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (closed_ || poisoned_) {
+    return Status::FailedPrecondition(
+        "wal writer is closed or poisoned by a previous failure");
+  }
+  return Commit(/*do_fsync=*/true);
+}
+
+Status WalWriter::Rotate() {
+  TBF_RETURN_NOT_OK(Sync());
+  const Status injected = TBF_FAULT_INJECT_AT("wal.rotate", seq_ + 1);
+  if (!injected.ok()) {
+    poisoned_ = true;
+    return injected;
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  if (rotations_ != nullptr) rotations_->Add(1);
+  return OpenSegment(seq_ + 1);
+}
+
+Status WalWriter::CompactBelow(uint64_t keep_from_lsn) {
+  if (closed_ || poisoned_) {
+    return Status::FailedPrecondition(
+        "wal writer is closed or poisoned by a previous failure");
+  }
+  bool removed = false;
+  // A segment is fully covered when its successor starts at or below the
+  // keep point (its own records all have smaller LSNs). The active
+  // segment is never deleted.
+  while (segments_.size() >= 2 && segments_[1].first_lsn <= keep_from_lsn) {
+    std::error_code ec;
+    fs::remove(segments_.front().path, ec);
+    if (ec) {
+      return Status::IOError("cannot remove compacted wal segment " +
+                             segments_.front().path + ": " + ec.message());
+    }
+    segments_.erase(segments_.begin());
+    if (compacted_ != nullptr) compacted_->Add(1);
+    removed = true;
+  }
+  if (removed) TBF_RETURN_NOT_OK(FsyncDir(dir_));
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  Status status = Status::OK();
+  if (!poisoned_) status = Commit(/*do_fsync=*/true);
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0 && status.ok()) {
+      status = Status::IOError("wal segment close failed");
+    }
+    file_ = nullptr;
+  }
+  return status;
+}
+
+}  // namespace tbf

@@ -1,0 +1,290 @@
+// Kill-anywhere chaos drill: a durable replay is killed at RANDOM journal
+// positions — mid-window, mid-group, right before or after a checkpoint,
+// around republish swaps — and recovery must reproduce the uninterrupted
+// run field-for-field: worker registry, free-list recycling order, RNG
+// state, ledger totals and per-user spends, tree epoch, and the full
+// deterministic report (task outcomes, per-epoch exact epsilon).
+//
+// The drill covers >= 50 kill points across >= 3 trace seeds, rotating
+// the journal fsync policy (every-record / group-commit / none) so each
+// crash-surface shows up: a torn tail of at most one record, at most one
+// group, or whatever fflush left behind.
+//
+// CI hooks: TBF_CHAOS_SEED pins the drill to one seed per job;
+// TBF_CHAOS_CHECKPOINT_DIR makes the last kill of each seed leave its
+// recovered durable directory behind for tools/check_wal.py and
+// tools/check_checkpoint.py to validate as artifacts.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "geo/grid.h"
+#include "hst/snapshot.h"
+#include "serve/recovery.h"
+#include "serve/replay.h"
+#include "workload/synthetic.h"
+
+namespace tbf {
+namespace {
+
+namespace fs = std::filesystem;
+
+TbfFramework BuildFramework(double epsilon = 0.6, uint64_t seed = 7) {
+  Rng rng(seed);
+  auto grid = UniformGridPoints(BBox::Square(200), 8);
+  EXPECT_TRUE(grid.ok());
+  TbfOptions options;
+  options.epsilon = epsilon;
+  auto framework =
+      TbfFramework::Build(std::move(*grid), EuclideanMetric(), &rng, options);
+  EXPECT_TRUE(framework.ok());
+  return std::move(framework).MoveValueUnsafe();
+}
+
+EventTrace DrillTrace(uint64_t seed) {
+  SyntheticEventConfig config;
+  config.base.num_workers = 110;
+  config.base.num_tasks = 80;
+  config.base.seed = seed;
+  config.horizon_seconds = 600.0;
+  config.departure_probability = 0.15;
+  auto trace = GenerateEventTrace(config);
+  EXPECT_TRUE(trace.ok());
+  return std::move(trace).MoveValueUnsafe();
+}
+
+std::shared_ptr<const CompleteHst> CopiedTree(const CompleteHst& tree) {
+  auto copy = ParseHstSnapshot(SerializeHstSnapshot(tree));
+  EXPECT_TRUE(copy.ok());
+  return std::make_shared<const CompleteHst>(
+      std::move(copy).MoveValueUnsafe());
+}
+
+void ExpectServerStateEqual(const ShardedServerState& got,
+                            const ShardedServerState& want,
+                            const std::string& what) {
+  EXPECT_EQ(got.packed, want.packed) << what;
+  EXPECT_EQ(got.assigned_tasks, want.assigned_tasks) << what;
+  EXPECT_EQ(got.tree_epoch, want.tree_epoch) << what;
+  EXPECT_EQ(got.rng_state, want.rng_state) << what;
+  EXPECT_EQ(got.worker_by_index_id, want.worker_by_index_id) << what;
+  EXPECT_EQ(got.free_index_ids, want.free_index_ids) << what;
+  ASSERT_EQ(got.workers.size(), want.workers.size()) << what;
+  for (size_t i = 0; i < got.workers.size(); ++i) {
+    EXPECT_EQ(got.workers[i].id, want.workers[i].id) << what << " #" << i;
+    EXPECT_EQ(got.workers[i].code, want.workers[i].code) << what << " #" << i;
+    EXPECT_EQ(got.workers[i].leaf_digits, want.workers[i].leaf_digits)
+        << what << " #" << i;
+    EXPECT_EQ(got.workers[i].index_id, want.workers[i].index_id)
+        << what << " #" << i;
+    EXPECT_EQ(got.workers[i].shard, want.workers[i].shard) << what << " #" << i;
+  }
+  ASSERT_EQ(got.ledger.has_value(), want.ledger.has_value()) << what;
+  if (got.ledger.has_value()) {
+    EXPECT_EQ(got.ledger->epoch, want.ledger->epoch) << what;
+    EXPECT_EQ(got.ledger->epoch_spent, want.ledger->epoch_spent) << what;
+    EXPECT_EQ(got.ledger->lifetime_spent, want.ledger->lifetime_spent) << what;
+    EXPECT_EQ(got.ledger->totals.epsilon_spent,
+              want.ledger->totals.epsilon_spent)
+        << what;
+    EXPECT_EQ(got.ledger->totals.charges, want.ledger->totals.charges) << what;
+    EXPECT_EQ(got.ledger->totals.denied_epoch,
+              want.ledger->totals.denied_epoch)
+        << what;
+    EXPECT_EQ(got.ledger->totals.denied_lifetime,
+              want.ledger->totals.denied_lifetime)
+        << what;
+  }
+}
+
+void ExpectDeterministicReportEqual(const ReplayReport& got,
+                                    const ReplayReport& want,
+                                    const std::string& what) {
+  EXPECT_EQ(got.registered, want.registered) << what;
+  EXPECT_EQ(got.assigned, want.assigned) << what;
+  EXPECT_EQ(got.unassigned, want.unassigned) << what;
+  EXPECT_EQ(got.denied, want.denied) << what;
+  EXPECT_EQ(got.shed, want.shed) << what;
+  EXPECT_EQ(got.quarantined, want.quarantined) << what;
+  EXPECT_EQ(got.missed_departures, want.missed_departures) << what;
+  EXPECT_EQ(got.processed_events, want.processed_events) << what;
+  EXPECT_EQ(got.republishes, want.republishes) << what;
+  ASSERT_EQ(got.task_outcomes.size(), want.task_outcomes.size()) << what;
+  for (size_t i = 0; i < got.task_outcomes.size(); ++i) {
+    EXPECT_EQ(got.task_outcomes[i].task_id, want.task_outcomes[i].task_id)
+        << what << " task " << i;
+    EXPECT_EQ(got.task_outcomes[i].status.code(),
+              want.task_outcomes[i].status.code())
+        << what << " task " << i;
+    EXPECT_EQ(got.task_outcomes[i].worker, want.task_outcomes[i].worker)
+        << what << " task " << i;
+    EXPECT_EQ(got.task_outcomes[i].reported_tree_distance,
+              want.task_outcomes[i].reported_tree_distance)
+        << what << " task " << i;
+  }
+  ASSERT_EQ(got.per_epoch.size(), want.per_epoch.size()) << what;
+  for (size_t i = 0; i < got.per_epoch.size(); ++i) {
+    EXPECT_EQ(got.per_epoch[i].epsilon_spent, want.per_epoch[i].epsilon_spent)
+        << what << " epoch " << i;
+    EXPECT_EQ(got.per_epoch[i].denied_epoch_budget,
+              want.per_epoch[i].denied_epoch_budget)
+        << what << " epoch " << i;
+    EXPECT_EQ(got.per_epoch[i].denied_lifetime_budget,
+              want.per_epoch[i].denied_lifetime_budget)
+        << what << " epoch " << i;
+  }
+}
+
+// The privacy contract a crash must never break: no user exceeds their
+// caps, whatever the journal lost or re-applied.
+void ExpectLedgerNeverOverspends(const ShardedServerState& state,
+                                 double epoch_budget, double lifetime_budget,
+                                 const std::string& what) {
+  ASSERT_TRUE(state.ledger.has_value()) << what;
+  const double slack = 1e-9;
+  for (const auto& [user, spent] : state.ledger->epoch_spent) {
+    EXPECT_LE(spent, epoch_budget + slack) << what << " user " << user;
+  }
+  for (const auto& [user, spent] : state.ledger->lifetime_spent) {
+    EXPECT_LE(spent, lifetime_budget + slack) << what << " user " << user;
+  }
+}
+
+#ifndef TBF_FAULTS_DISABLED
+
+constexpr double kEpochBudget = 1.5;
+constexpr double kLifetimeBudget = 4.0;
+
+ReplayOptions DrillOptions(const std::string& dir, int policy_rotation) {
+  ReplayOptions options;
+  options.epoch_seconds = 60.0;
+  options.durable_dir = dir;
+  options.keep_checkpoints = 2;
+  options.checkpoint_every_epochs = 1;
+  options.export_final_state = true;
+  options.lifetime_budget = kLifetimeBudget;
+  options.epoch_budget = kEpochBudget;
+  switch (policy_rotation % 3) {
+    case 0:
+      options.wal_fsync = WalFsyncPolicy::EveryRecord();
+      break;
+    case 1:
+      options.wal_fsync = WalFsyncPolicy::GroupCommit(8, 1 << 14, 0.005);
+      break;
+    default:
+      options.wal_fsync = WalFsyncPolicy::None();
+      break;
+  }
+  return options;
+}
+
+TEST(KillAnywhereDrill, RecoveryIsFieldForFieldIdentical) {
+  const char* pinned = std::getenv("TBF_CHAOS_SEED");
+  const char* artifact_root = std::getenv("TBF_CHAOS_CHECKPOINT_DIR");
+  std::vector<uint64_t> seeds{101, 202, 303};
+  if (pinned != nullptr) {
+    seeds.assign(1, static_cast<uint64_t>(std::strtoull(pinned, nullptr, 10)));
+  }
+  // 18 kills per seed: 54 >= 50 kill points across the default 3 seeds.
+  const int kills_per_seed = 18;
+
+  TbfFramework framework = BuildFramework();
+  // A mid-run live republish so kills land before, inside and after a
+  // tree swap (the journal's kRepublish records must fast-forward).
+  std::vector<ReplayRepublish> schedule;
+  schedule.push_back({2, CopiedTree(framework.tree())});
+
+  for (uint64_t seed : seeds) {
+    EventTrace trace = DrillTrace(seed);
+    const std::string tag = "seed" + std::to_string(seed);
+
+    // The uninterrupted reference run (also durable: the journal length
+    // defines the kill range).
+    const std::string clean_dir =
+        ::testing::TempDir() + "/tbf_drill_clean_" + tag;
+    fs::remove_all(clean_dir);
+    ReplayOptions clean_options = DrillOptions(clean_dir, 0);
+    clean_options.republishes = schedule;
+    auto clean = RunEventReplay(framework, trace, clean_options);
+    ASSERT_TRUE(clean.ok()) << tag << ": " << clean.status().ToString();
+    ASSERT_TRUE(clean->final_state.has_value());
+    auto clean_scan = ScanWalDir(clean_dir, /*repair_torn_tail=*/false);
+    ASSERT_TRUE(clean_scan.ok()) << clean_scan.status().ToString();
+    const uint64_t total_lsns = clean_scan->next_lsn;
+    ASSERT_GT(total_lsns, 10u) << tag;
+
+    Rng kill_rng(seed * 7919 + 1);
+    for (int t = 0; t < kills_per_seed; ++t) {
+      // RANDOM kill position over the whole journal LSN range. Kills that
+      // land on a segment-header LSN never fire (headers are not
+      // appended), which degenerates to recover-after-clean-exit — a
+      // crash surface worth covering too.
+      const uint64_t kill_lsn = kill_rng.NextU64() % total_lsns;
+      const std::string what = tag + " kill@" + std::to_string(kill_lsn);
+      const bool keep_artifacts =
+          artifact_root != nullptr && t + 1 == kills_per_seed;
+      const std::string dir =
+          keep_artifacts
+              ? std::string(artifact_root) + "/kill_anywhere_" + tag
+              : ::testing::TempDir() + "/tbf_drill_" + tag;
+      fs::remove_all(dir);
+
+      ReplayOptions options = DrillOptions(dir, t);
+      options.republishes = schedule;
+      bool crashed = false;
+      {
+        fault::FaultPlan plan;
+        fault::FaultSpec kill;
+        kill.site = "wal.append";
+        kill.kind = fault::FaultKind::kFail;
+        kill.code = StatusCode::kAborted;
+        kill.after = kill_lsn;
+        kill.count = 1;
+        plan.faults.push_back(kill);
+        fault::ScopedFaultPlan armed(plan);
+        auto died = RunEventReplay(framework, trace, options);
+        crashed = !died.ok();
+        if (crashed) {
+          EXPECT_EQ(died.status().code(), StatusCode::kAborted) << what;
+        }
+      }
+
+      ReplayOptions resume = options;
+      resume.recover = true;
+      auto recovered = RunEventReplay(framework, trace, resume);
+      ASSERT_TRUE(recovered.ok())
+          << what << ": " << recovered.status().ToString();
+      ASSERT_TRUE(recovered->final_state.has_value()) << what;
+      if (crashed) {
+        EXPECT_TRUE(recovered->resumed || recovered->recovered_events > 0 ||
+                    recovered->wal_truncated_records > 0)
+            << what << ": a crashed run recovered nothing";
+      }
+
+      ExpectDeterministicReportEqual(*recovered, *clean, what);
+      ExpectServerStateEqual(*recovered->final_state, *clean->final_state,
+                             what);
+      ExpectLedgerNeverOverspends(*recovered->final_state, kEpochBudget,
+                                  kLifetimeBudget, what);
+
+      // The recovered directory itself must be in a recoverable state
+      // (checkpoints valid, journal scannable) — CI additionally runs
+      // tools/check_wal.py over the kept artifact.
+      auto post = RecoverReplayDir(dir);
+      EXPECT_TRUE(post.ok()) << what << ": " << post.status().ToString();
+
+      if (!keep_artifacts) fs::remove_all(dir);
+    }
+    fs::remove_all(clean_dir);
+  }
+}
+
+#endif  // TBF_FAULTS_DISABLED
+
+}  // namespace
+}  // namespace tbf

@@ -1,0 +1,439 @@
+// Recovery supervisor: newest-valid checkpoint selection with fallback,
+// transient-IO retry with bounded backoff, gap detection, identity
+// cross-checks, snapshot read retry, and an end-to-end crash/recover
+// equivalence smoke test (the full kill-anywhere drill lives in
+// tests/chaos/kill_anywhere_test.cc).
+
+#include "serve/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "geo/grid.h"
+#include "hst/snapshot.h"
+#include "serve/replay.h"
+#include "workload/synthetic.h"
+
+namespace tbf {
+namespace {
+
+namespace fs = std::filesystem;
+
+TbfFramework BuildFramework(double epsilon = 0.6, uint64_t seed = 7) {
+  Rng rng(seed);
+  auto grid = UniformGridPoints(BBox::Square(200), 8);
+  EXPECT_TRUE(grid.ok());
+  TbfOptions options;
+  options.epsilon = epsilon;
+  auto framework =
+      TbfFramework::Build(std::move(*grid), EuclideanMetric(), &rng, options);
+  EXPECT_TRUE(framework.ok());
+  return std::move(framework).MoveValueUnsafe();
+}
+
+EventTrace SmallTrace(int workers = 80, int tasks = 60, uint64_t seed = 5) {
+  SyntheticEventConfig config;
+  config.base.num_workers = workers;
+  config.base.num_tasks = tasks;
+  config.base.seed = seed;
+  config.horizon_seconds = 600.0;
+  config.departure_probability = 0.15;
+  auto trace = GenerateEventTrace(config);
+  EXPECT_TRUE(trace.ok());
+  return std::move(trace).MoveValueUnsafe();
+}
+
+ReplayOptions DurableOptions(const std::string& dir) {
+  ReplayOptions options;
+  options.epoch_seconds = 60.0;
+  options.durable_dir = dir;
+  options.wal_fsync = WalFsyncPolicy::None();  // speed; crash tests opt up
+  options.keep_checkpoints = 2;
+  options.checkpoint_every_epochs = 1;
+  options.export_final_state = true;
+  options.lifetime_budget = 4.0;
+  options.epoch_budget = 1.5;
+  return options;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/tbf_recovery_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+void CorruptFile(const std::string& path) {
+  std::fstream io(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(io.good()) << path;
+  io.seekp(10);
+  io.put('\x7f');
+}
+
+void ExpectServerStateEqual(const ShardedServerState& a,
+                            const ShardedServerState& b) {
+  EXPECT_EQ(a.packed, b.packed);
+  EXPECT_EQ(a.assigned_tasks, b.assigned_tasks);
+  EXPECT_EQ(a.tree_epoch, b.tree_epoch);
+  EXPECT_EQ(a.rng_state, b.rng_state);
+  EXPECT_EQ(a.worker_by_index_id, b.worker_by_index_id);
+  EXPECT_EQ(a.free_index_ids, b.free_index_ids);
+  ASSERT_EQ(a.workers.size(), b.workers.size());
+  for (size_t i = 0; i < a.workers.size(); ++i) {
+    EXPECT_EQ(a.workers[i].id, b.workers[i].id) << i;
+    EXPECT_EQ(a.workers[i].code, b.workers[i].code) << i;
+    EXPECT_EQ(a.workers[i].leaf_digits, b.workers[i].leaf_digits) << i;
+    EXPECT_EQ(a.workers[i].index_id, b.workers[i].index_id) << i;
+    EXPECT_EQ(a.workers[i].shard, b.workers[i].shard) << i;
+  }
+  ASSERT_EQ(a.ledger.has_value(), b.ledger.has_value());
+  if (a.ledger.has_value()) {
+    EXPECT_EQ(a.ledger->epoch, b.ledger->epoch);
+    EXPECT_EQ(a.ledger->epoch_spent, b.ledger->epoch_spent);
+    EXPECT_EQ(a.ledger->lifetime_spent, b.ledger->lifetime_spent);
+    EXPECT_EQ(a.ledger->totals.epsilon_spent, b.ledger->totals.epsilon_spent);
+    EXPECT_EQ(a.ledger->totals.charges, b.ledger->totals.charges);
+    EXPECT_EQ(a.ledger->totals.denied_epoch, b.ledger->totals.denied_epoch);
+    EXPECT_EQ(a.ledger->totals.denied_lifetime,
+              b.ledger->totals.denied_lifetime);
+  }
+}
+
+TEST(RecoveryTest, DurableRunMatchesPlainRunAndLeavesValidArtifacts) {
+  TbfFramework framework = BuildFramework();
+  EventTrace trace = SmallTrace();
+  const std::string dir = FreshDir("durable_plain");
+
+  ReplayOptions plain;
+  plain.epoch_seconds = 60.0;
+  plain.export_final_state = true;
+  plain.lifetime_budget = 4.0;
+  plain.epoch_budget = 1.5;
+  auto baseline = RunEventReplay(framework, trace, plain);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  auto durable = RunEventReplay(framework, trace, DurableOptions(dir));
+  ASSERT_TRUE(durable.ok()) << durable.status().ToString();
+
+  // Journaling must not change the run.
+  EXPECT_EQ(durable->assigned, baseline->assigned);
+  EXPECT_EQ(durable->registered, baseline->registered);
+  EXPECT_EQ(durable->denied, baseline->denied);
+  ASSERT_TRUE(baseline->final_state.has_value());
+  ASSERT_TRUE(durable->final_state.has_value());
+  ExpectServerStateEqual(*durable->final_state, *baseline->final_state);
+  EXPECT_GT(durable->checkpoints_written, 0u);
+
+  // The directory recovers: newest checkpoint + journal suffix.
+  auto recovered = RecoverReplayDir(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ASSERT_TRUE(recovered->checkpoint.has_value());
+  EXPECT_EQ(recovered->checkpoints_rejected, 0u);
+  EXPECT_EQ(recovered->io_retries, 0u);
+  EXPECT_LE(recovered->retained.size(), 2u);  // keep_checkpoints
+  EXPECT_FALSE(recovered->retained.empty());
+  EXPECT_EQ(recovered->retained.back().path, recovered->checkpoint_path);
+  EXPECT_TRUE(recovered->wal.has_identity);
+  // Compaction kept the journal back to the oldest retained checkpoint.
+  EXPECT_LE(recovered->wal.records.front().lsn,
+            recovered->retained.front().wal_next_lsn);
+}
+
+TEST(RecoveryTest, FallsBackWhenTheNewestCheckpointIsCorrupt) {
+  TbfFramework framework = BuildFramework();
+  EventTrace trace = SmallTrace();
+  const std::string dir = FreshDir("fallback");
+  auto durable = RunEventReplay(framework, trace, DurableOptions(dir));
+  ASSERT_TRUE(durable.ok()) << durable.status().ToString();
+
+  auto before = RecoverReplayDir(dir);
+  ASSERT_TRUE(before.ok());
+  ASSERT_GE(before->retained.size(), 2u);
+  const RetainedCheckpoint newest = before->retained.back();
+  const RetainedCheckpoint previous =
+      before->retained[before->retained.size() - 2];
+
+  CorruptFile(newest.path);
+  auto after = RecoverReplayDir(dir);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->checkpoints_rejected, 1u);
+  EXPECT_EQ(after->checkpoint_path, previous.path);
+  ASSERT_TRUE(after->checkpoint.has_value());
+  EXPECT_EQ(after->checkpoint->wal_next_lsn, previous.wal_next_lsn);
+  // The journal still covers the older restore point (compaction policy).
+  EXPECT_LE(after->wal.records.front().lsn, previous.wal_next_lsn);
+  EXPECT_EQ(after->suffix_begin,
+            static_cast<size_t>(previous.wal_next_lsn -
+                                after->wal.records.front().lsn));
+}
+
+TEST(RecoveryTest, AllCheckpointsLostMeansGapUnlessJournalIsComplete) {
+  TbfFramework framework = BuildFramework();
+  EventTrace trace = SmallTrace();
+  const std::string dir = FreshDir("gap");
+  auto durable = RunEventReplay(framework, trace, DurableOptions(dir));
+  ASSERT_TRUE(durable.ok()) << durable.status().ToString();
+
+  // Compaction dropped journal prefixes covered by retained checkpoints,
+  // so losing every checkpoint leaves an unrecoverable gap — which must
+  // be a loud error, not a silent partial recovery.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt-", 0) == 0) fs::remove(entry.path());
+  }
+  auto recovered = RecoverReplayDir(dir);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(recovered.status().message().find("unrecoverable"),
+            std::string::npos)
+      << recovered.status().message();
+}
+
+TEST(RecoveryTest, CheckpointWithoutJournalIsALoudError) {
+  TbfFramework framework = BuildFramework();
+  EventTrace trace = SmallTrace();
+  const std::string dir = FreshDir("no_journal");
+  auto durable = RunEventReplay(framework, trace, DurableOptions(dir));
+  ASSERT_TRUE(durable.ok());
+
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) == 0) fs::remove(entry.path());
+  }
+  auto recovered = RecoverReplayDir(dir);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(recovered.status().message().find("no journal survived"),
+            std::string::npos);
+}
+
+TEST(RecoveryTest, ForeignCheckpointIsRejectedByIdentity) {
+  TbfFramework framework = BuildFramework();
+  EventTrace trace = SmallTrace();
+  const std::string dir = FreshDir("identity");
+  const std::string foreign_dir = FreshDir("identity_foreign");
+  auto durable = RunEventReplay(framework, trace, DurableOptions(dir));
+  ASSERT_TRUE(durable.ok());
+
+  ReplayOptions foreign = DurableOptions(foreign_dir);
+  foreign.server_seed = 999;  // a different run identity
+  auto other = RunEventReplay(framework, trace, foreign);
+  ASSERT_TRUE(other.ok());
+
+  // Drop the foreign run's newest checkpoint into our directory with a
+  // newer ordinal: the supervisor must refuse to combine them.
+  auto other_rec = RecoverReplayDir(foreign_dir);
+  ASSERT_TRUE(other_rec.ok());
+  fs::copy_file(other_rec->checkpoint_path,
+                dir + "/" + ReplayCheckpointFileName(99));
+  auto recovered = RecoverReplayDir(dir);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(recovered.status().message().find("different runs"),
+            std::string::npos);
+}
+
+TEST(RecoveryTest, EmptyDirectoryIsAFreshStart) {
+  const std::string dir = FreshDir("empty");
+  auto recovered = RecoverReplayDir(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_FALSE(recovered->checkpoint.has_value());
+  EXPECT_TRUE(recovered->wal.records.empty());
+  EXPECT_EQ(recovered->suffix_begin, 0u);
+}
+
+TEST(RecoveryTest, SuffixNotAtWindowBoundaryIsDivergence) {
+  TbfFramework framework = BuildFramework();
+  auto server = ShardedTbfServer::Create(framework.tree_ptr());
+  ASSERT_TRUE(server.ok());
+
+  WalRecord rec;
+  rec.kind = WalRecordKind::kWorkerArrival;
+  rec.lsn = 40;
+  rec.id = "w-1";
+  rec.packed = true;
+  rec.code = 5;
+  std::vector<WalRecord> records{rec};
+  auto replayed = ReplayWalSuffix(server->get(), records, 0, {});
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.status().code(), StatusCode::kInternal);
+  EXPECT_NE(replayed.status().message().find("window boundary"),
+            std::string::npos);
+}
+
+#ifndef TBF_FAULTS_DISABLED
+
+TEST(RecoveryTest, TransientCheckpointReadIsRetriedOnce) {
+  TbfFramework framework = BuildFramework();
+  EventTrace trace = SmallTrace();
+  const std::string dir = FreshDir("retry");
+  auto durable = RunEventReplay(framework, trace, DurableOptions(dir));
+  ASSERT_TRUE(durable.ok());
+
+  fault::FaultPlan plan;
+  fault::FaultSpec flake;
+  flake.site = "recovery.scan";
+  flake.kind = fault::FaultKind::kFail;
+  flake.code = StatusCode::kIOError;
+  flake.after = 0;
+  flake.count = 1;  // first read attempt only: the retry succeeds
+  plan.faults.push_back(flake);
+  fault::ScopedFaultPlan armed(plan);
+  ASSERT_TRUE(armed.armed());
+
+  auto recovered = RecoverReplayDir(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->io_retries, 1u);
+  EXPECT_EQ(recovered->checkpoints_rejected, 0u);
+  ASSERT_TRUE(recovered->checkpoint.has_value());
+}
+
+TEST(RecoveryTest, PersistentIoErrorRejectsOnlyThatCheckpoint) {
+  TbfFramework framework = BuildFramework();
+  EventTrace trace = SmallTrace();
+  const std::string dir = FreshDir("persistent_io");
+  auto durable = RunEventReplay(framework, trace, DurableOptions(dir));
+  ASSERT_TRUE(durable.ok());
+  auto before = RecoverReplayDir(dir);
+  ASSERT_TRUE(before.ok());
+  ASSERT_GE(before->retained.size(), 2u);
+
+  fault::FaultPlan plan;
+  fault::FaultSpec dead;
+  dead.site = "recovery.scan";
+  dead.kind = fault::FaultKind::kFail;
+  dead.code = StatusCode::kIOError;
+  dead.after = 0;
+  dead.count = 2;  // both attempts on the oldest checkpoint fail
+  plan.faults.push_back(dead);
+  fault::ScopedFaultPlan armed(plan);
+  ASSERT_TRUE(armed.armed());
+
+  auto recovered = RecoverReplayDir(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->checkpoints_rejected, 1u);
+  EXPECT_EQ(recovered->io_retries, 1u);
+  // The newest checkpoint still restores.
+  EXPECT_EQ(recovered->checkpoint_path, before->retained.back().path);
+}
+
+TEST(RecoveryTest, ParseErrorsFailFastWithoutRetry) {
+  TbfFramework framework = BuildFramework();
+  EventTrace trace = SmallTrace();
+  const std::string dir = FreshDir("fail_fast");
+  auto durable = RunEventReplay(framework, trace, DurableOptions(dir));
+  ASSERT_TRUE(durable.ok());
+
+  fault::FaultPlan plan;
+  fault::FaultSpec bad;
+  bad.site = "recovery.scan";
+  bad.kind = fault::FaultKind::kFail;
+  bad.code = StatusCode::kInvalidArgument;  // "corruption", not transient
+  bad.after = 0;
+  bad.count = 1;
+  plan.faults.push_back(bad);
+  fault::ScopedFaultPlan armed(plan);
+  ASSERT_TRUE(armed.armed());
+
+  auto recovered = RecoverReplayDir(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->checkpoints_rejected, 1u);
+  EXPECT_EQ(recovered->io_retries, 0u);  // no retry on corruption
+}
+
+TEST(RecoveryTest, SnapshotReadRetriesTransientIoErrors) {
+  TbfFramework framework = BuildFramework();
+  const std::string dir = FreshDir("snapshot");
+  const std::string path = dir + "/tree.snap";
+  ASSERT_TRUE(WriteHstSnapshotFile(framework.tree(), path).ok());
+
+  {
+    fault::FaultPlan plan;
+    fault::FaultSpec flake;
+    flake.site = "snapshot.load";
+    flake.kind = fault::FaultKind::kFail;
+    flake.code = StatusCode::kIOError;
+    flake.after = 0;
+    flake.count = 1;
+    plan.faults.push_back(flake);
+    fault::ScopedFaultPlan armed(plan);
+    uint64_t retries = 0;
+    auto read = ReadHstSnapshotFileWithRetry(path, {}, &retries);
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    EXPECT_EQ(retries, 1u);
+  }
+  {
+    fault::FaultPlan plan;
+    fault::FaultSpec dead;
+    dead.site = "snapshot.load";
+    dead.kind = fault::FaultKind::kFail;
+    dead.code = StatusCode::kIOError;
+    dead.after = 0;
+    dead.count = 2;  // exhausts both attempts
+    plan.faults.push_back(dead);
+    fault::ScopedFaultPlan armed(plan);
+    uint64_t retries = 0;
+    auto read = ReadHstSnapshotFileWithRetry(path, {}, &retries);
+    ASSERT_FALSE(read.ok());
+    EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+    EXPECT_EQ(retries, 1u);
+  }
+  // Corruption fails fast: no retry can fix a bad parse.
+  CorruptFile(path);
+  uint64_t retries = 0;
+  auto read = ReadHstSnapshotFileWithRetry(path, {}, &retries);
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(retries, 0u);
+}
+
+TEST(RecoveryTest, CrashMidRunThenRecoverMatchesUninterrupted) {
+  TbfFramework framework = BuildFramework();
+  EventTrace trace = SmallTrace();
+  const std::string dir = FreshDir("crash_smoke");
+
+  ReplayOptions options = DurableOptions(dir);
+  options.wal_fsync = WalFsyncPolicy::GroupCommit(8, 1 << 16, 0.01);
+  auto baseline = RunEventReplay(framework, trace, options);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  // Crash partway through a fresh run of the same trace.
+  const std::string crash_dir = FreshDir("crash_smoke_run");
+  {
+    fault::FaultPlan plan;
+    fault::FaultSpec kill;
+    kill.site = "wal.append";
+    kill.kind = fault::FaultKind::kFail;
+    kill.code = StatusCode::kAborted;
+    kill.after = 120;  // an arbitrary mid-run lsn
+    kill.count = 1;
+    plan.faults.push_back(kill);
+    fault::ScopedFaultPlan armed(plan);
+    ReplayOptions crash = options;
+    crash.durable_dir = crash_dir;
+    auto died = RunEventReplay(framework, trace, crash);
+    ASSERT_FALSE(died.ok());
+    EXPECT_EQ(died.status().code(), StatusCode::kAborted);
+  }
+
+  // Recover and finish: field-for-field identical end state.
+  ReplayOptions resume = options;
+  resume.durable_dir = crash_dir;
+  resume.recover = true;
+  auto recovered = RunEventReplay(framework, trace, resume);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ASSERT_TRUE(recovered->final_state.has_value());
+  ExpectServerStateEqual(*recovered->final_state, *baseline->final_state);
+  EXPECT_EQ(recovered->assigned, baseline->assigned);
+  EXPECT_EQ(recovered->denied, baseline->denied);
+}
+
+#endif  // TBF_FAULTS_DISABLED
+
+}  // namespace
+}  // namespace tbf

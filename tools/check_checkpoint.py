@@ -31,6 +31,7 @@ SCHEMA = {
     "trace_fp": (1, 1, "trace fingerprint"),
     "config": (4, 4, "num_shards epoch_seconds server_seed obfuscation_seed"),
     "cursor": (3, 3, "next_event arrivals_obfuscated next_task_slot"),
+    "wal": (1, 1, "wal_next_lsn"),
     "report": (13, 13, "replay report counters"),
     "epoch": (14, 14, "per-epoch stats"),
     "task": (5, 5, "task_id status_code message worker distance"),
